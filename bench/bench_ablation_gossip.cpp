@@ -1,0 +1,101 @@
+// Ablation: Head-of-the-Log gossip interval (paper §5.4). The gossip is
+// fixed-size (one u64 per maintainer) and off the append path, so append
+// throughput should be insensitive to the interval — but the HL (and thus
+// gap-safe read latency) staleness grows with it.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flstore/client.h"
+#include "flstore/service.h"
+#include "net/inproc_transport.h"
+
+namespace {
+
+using namespace chariots;
+using namespace chariots::flstore;
+
+struct GossipResult {
+  double append_rate;
+  uint64_t hl_staleness;  // appended - HL at steady state
+  uint64_t gossip_messages;
+};
+
+GossipResult RunWithGossipInterval(int64_t gossip_nanos) {
+  net::InProcTransport transport;
+  constexpr uint32_t kMaintainers = 3;
+  ClusterInfo info;
+  info.journal = EpochJournal(kMaintainers, 100);
+  for (uint32_t i = 0; i < kMaintainers; ++i) {
+    info.maintainers.push_back("m/" + std::to_string(i));
+  }
+  ControllerServer controller(&transport, "controller", info);
+  (void)controller.Start();
+  std::vector<std::unique_ptr<MaintainerServer>> servers;
+  for (uint32_t i = 0; i < kMaintainers; ++i) {
+    MaintainerOptions mo;
+    mo.index = i;
+    mo.journal = info.journal;
+    mo.store.mode = storage::SyncMode::kMemoryOnly;
+    MaintainerServer::Options so;
+    so.node = info.maintainers[i];
+    so.peers = info.maintainers;
+    so.gossip_interval_nanos = gossip_nanos;
+    servers.push_back(
+        std::make_unique<MaintainerServer>(&transport, mo, so));
+    (void)servers.back()->Start();
+  }
+  FLStoreClient client(&transport, "client", "controller");
+  (void)client.Start();
+
+  uint64_t before_msgs = transport.messages_delivered();
+  auto start = std::chrono::steady_clock::now();
+  constexpr int kAppends = 20'000;
+  LogRecord rec;
+  rec.body = std::string(64, 'g');
+  for (int i = 0; i < kAppends; ++i) {
+    (void)client.Append(rec);
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+
+  // HL staleness right after the last append (before gossip catches up).
+  uint64_t hl = client.HeadOfLog().value_or(0);
+  GossipResult result;
+  result.append_rate =
+      kAppends * 1e9 /
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count();
+  result.hl_staleness = kAppends > static_cast<int>(hl)
+                            ? kAppends - hl
+                            : 0;
+  // Message overhead attributable to the run (appends are RPC pairs too;
+  // this is total fabric traffic — gossip dominates the difference between
+  // intervals).
+  result.gossip_messages = transport.messages_delivered() - before_msgs -
+                           2ull * kAppends;
+  for (auto& s : servers) s->Stop();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation: HL gossip interval (3 maintainers) ===\n");
+  std::printf("%-16s %-24s %-22s %-18s\n", "Interval (ms)",
+              "Append rate (rec/s)", "HL staleness (rec)",
+              "Gossip msgs");
+  for (int64_t interval : {500'000ll, 2'000'000ll, 10'000'000ll,
+                           50'000'000ll}) {
+    GossipResult r = RunWithGossipInterval(interval);
+    std::printf("%-16.1f %-24.0f %-22llu %-18llu\n", interval / 1e6,
+                r.append_rate,
+                static_cast<unsigned long long>(r.hl_staleness),
+                static_cast<unsigned long long>(r.gossip_messages));
+  }
+  std::printf("\nExpected shape: append rate insensitive to the interval "
+              "(gossip is fixed-size, off the data path); HL staleness "
+              "grows with the interval.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9 reproduction: per-second throughput timeseries of the Table-4
+// deployment (2 clients, 2 batchers, 1 filter, 1 maintainer, 1 store) over
+// a fixed record count.
+//
+// Paper shape: the clients and batchers finish early (they run at ~2x the
+// filter's rate); the maintainer/queue keeps draining long after; and right
+// at the end the downstream rate jumps briefly, because once the batchers
+// stop transmitting, the filter's network interface has spare capacity to
+// push its backlog to the later stages.
+
+#include <cstdio>
+#include <vector>
+
+#include "sim/chariots_pipeline.h"
+
+int main() {
+  using namespace chariots::sim;
+  PipelineShape shape;
+  shape.clients = 2;
+  shape.batchers = 2;
+  ChariotsPipelineSim sim(shape);
+  sim.RunToCount(400'000);
+
+  std::printf("=== Figure 9: throughput timeseries (2 clients, 2 batchers, "
+              "1 of each later stage) ===\n");
+  std::vector<std::vector<double>> series;
+  std::vector<std::string> names;
+  names.push_back("Client 1");
+  series.push_back(sim.Timeseries("Client", 0));
+  names.push_back("Batcher 1");
+  series.push_back(sim.Timeseries("Batcher", 0));
+  names.push_back("Filter");
+  series.push_back(sim.Timeseries("Filter", 0));
+  names.push_back("Maintainer");
+  series.push_back(sim.Timeseries("Maintainer", 0));
+
+  size_t max_len = 0;
+  for (const auto& s : series) max_len = std::max(max_len, s.size());
+  std::printf("%-8s", "t (s)");
+  for (const auto& n : names) std::printf("%-14s", n.c_str());
+  std::printf("\n");
+  for (size_t t = 0; t < max_len; ++t) {
+    std::printf("%-8zu", t);
+    for (const auto& s : series) {
+      if (t < s.size()) {
+        std::printf("%-14.0f", s[t]);
+      } else {
+        std::printf("%-14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: clients/batchers finish first at ~126K/s; "
+              "the filter and later stages last roughly twice as long at "
+              "~120K/s and spike briefly once the batchers go idle.\n");
+  return 0;
+}

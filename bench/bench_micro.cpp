@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the hot paths under the paper's
+// numbers: record codecs, CRC, storage append, striping math, index lookup,
+// and the queue admission step.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "chariots/queue.h"
+#include "chariots/record.h"
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "flstore/indexer.h"
+#include "flstore/maintainer.h"
+#include "flstore/striping.h"
+#include "storage/log_store.h"
+
+namespace {
+
+using namespace chariots;
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::Value(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_GeoRecordEncode(benchmark::State& state) {
+  geo::GeoRecord record;
+  record.host = 2;
+  record.toid = 12345;
+  record.deps = {10, 20, 30};
+  record.body.assign(512, 'b');
+  record.tags = {{"key", "value"}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::EncodeGeoRecord(record));
+  }
+}
+BENCHMARK(BM_GeoRecordEncode);
+
+void BM_GeoRecordDecode(benchmark::State& state) {
+  geo::GeoRecord record;
+  record.body.assign(512, 'b');
+  record.deps = {1, 2, 3};
+  std::string encoded = geo::EncodeGeoRecord(record);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::DecodeGeoRecord(encoded));
+  }
+}
+BENCHMARK(BM_GeoRecordDecode);
+
+void BM_LogStoreAppendMemory(benchmark::State& state) {
+  storage::LogStoreOptions options;
+  options.mode = storage::SyncMode::kMemoryOnly;
+  storage::LogStore store(options);
+  (void)store.Open();
+  std::string payload(512, 'p');
+  uint64_t lid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Append(lid++, payload));
+    // Bound resident data so the benchmark measures the append path, not
+    // allocator pressure from an ever-growing store.
+    if ((lid & 0xffff) == 0) (void)store.TruncateBelow(lid);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogStoreAppendMemory);
+
+void BM_LogStoreAppendDisk(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "chariots_bench_store";
+  std::filesystem::remove_all(dir);
+  storage::LogStoreOptions options;
+  options.dir = dir.string();
+  options.mode = storage::SyncMode::kBuffered;
+  storage::LogStore store(options);
+  (void)store.Open();
+  std::string payload(512, 'p');
+  uint64_t lid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Append(lid++, payload));
+    if ((lid & 0xffff) == 0) (void)store.TruncateBelow(lid);
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LogStoreAppendDisk);
+
+void BM_MaintainerPostAssignAppend(benchmark::State& state) {
+  flstore::MaintainerOptions options;
+  options.index = 0;
+  options.journal = flstore::EpochJournal(4, 1000);
+  options.store.mode = storage::SyncMode::kMemoryOnly;
+  flstore::LogMaintainer maintainer(options);
+  (void)maintainer.Open();
+  flstore::LogRecord record;
+  record.body.assign(512, 'r');
+  uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maintainer.Append(record));
+    if ((++n & 0xffff) == 0) {
+      (void)maintainer.TruncateBelow(flstore::kInvalidLId - 1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MaintainerPostAssignAppend);
+
+void BM_StripingMaintainerFor(benchmark::State& state) {
+  flstore::EpochJournal journal(5, 1000);
+  (void)journal.AddEpoch({1'000'000, 6, 1000});
+  uint64_t lid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(journal.MaintainerFor(lid));
+    lid += 997;
+  }
+}
+BENCHMARK(BM_StripingMaintainerFor);
+
+void BM_IndexerLookup(benchmark::State& state) {
+  flstore::Indexer indexer;
+  for (uint64_t lid = 0; lid < 100'000; ++lid) {
+    indexer.Add("key" + std::to_string(lid % 1000), "v", lid);
+  }
+  flstore::IndexQuery query;
+  query.key = "key500";
+  query.limit = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexer.Lookup(query));
+  }
+}
+BENCHMARK(BM_IndexerLookup);
+
+void BM_QueueTokenAdmission(benchmark::State& state) {
+  flstore::EpochJournal journal(4, 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    geo::Token token(1);
+    geo::GeoQueue queue(0, &journal, [](uint32_t, geo::GeoRecord) {});
+    for (geo::TOId t = 1; t <= 1000; ++t) {
+      geo::GeoRecord r;
+      r.host = 0;
+      r.toid = t;
+      queue.Enqueue(std::move(r));
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(queue.ProcessToken(&token));
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_QueueTokenAdmission);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Extension bench: Message Futures commit latency vs WAN round-trip time
+// (paper §4.3). An MF transaction's fate is decided once every peer's
+// history has crossed once in each direction, so commit latency should
+// track the RTT — the property Helios later optimizes toward its lower
+// bound.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "apps/msgfutures.h"
+#include "chariots/fabric.h"
+#include "common/histogram.h"
+#include "net/inproc_transport.h"
+
+using namespace chariots;
+using namespace chariots::geo;
+using namespace chariots::apps;
+
+namespace {
+
+void RunRtt(int64_t one_way_nanos) {
+  net::InProcTransport transport;
+  net::LinkOptions wan;
+  wan.latency_nanos = one_way_nanos;
+  transport.SetLink("geo/", "geo/", wan);
+  TransportFabric fabric(&transport);
+
+  std::vector<std::unique_ptr<Datacenter>> dcs;
+  for (uint32_t d = 0; d < 2; ++d) {
+    ChariotsConfig config;
+    config.dc_id = d;
+    config.num_datacenters = 2;
+    config.batcher_flush_nanos = 100'000;
+    dcs.push_back(std::make_unique<Datacenter>(config, &fabric));
+    (void)dcs.back()->Start();
+  }
+  MessageFutures mf0(dcs[0].get());
+  MessageFutures mf1(dcs[1].get());
+  mf0.StartBackground(500'000);
+  mf1.StartBackground(500'000);
+
+  Histogram commit_lat;
+  for (int i = 0; i < 30; ++i) {
+    auto txn = mf0.Begin();
+    txn.Put("k" + std::to_string(i), "v");
+    auto start = std::chrono::steady_clock::now();
+    auto outcome = mf0.Commit(txn);
+    if (outcome.ok()) {
+      commit_lat.Record(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+    }
+  }
+  std::printf("%-18.1f %-20.1f %-16.1f %-16.1f\n", one_way_nanos / 0.5e6,
+              commit_lat.mean(), commit_lat.Percentile(50),
+              commit_lat.Percentile(99));
+  for (auto& dc : dcs) dc->Stop();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Message Futures commit latency vs WAN RTT (2 DCs) "
+              "===\n");
+  std::printf("%-18s %-20s %-16s %-16s\n", "RTT (ms)",
+              "commit mean (ms)", "p50 (ms)", "p99 (ms)");
+  for (int64_t one_way : {500'000ll, 2'500'000ll, 5'000'000ll,
+                          10'000'000ll}) {
+    RunRtt(one_way);
+  }
+  std::printf("\nExpected shape: commit latency tracks the round-trip time "
+              "(one crossing of histories in each direction), plus pipeline "
+              "overhead — the Message Futures cost model the paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Table 3 reproduction: two client machines, one machine for every other
+// stage.
+//
+// Paper shape: the two clients are throttled to ~65K appends/s each by the
+// single batcher (~126K under the doubled offered load) — the batcher is
+// the bottleneck, not the clients.
+
+#include <cstdio>
+
+#include "sim/chariots_pipeline.h"
+
+int main() {
+  using namespace chariots::sim;
+  PipelineShape shape;
+  shape.clients = 2;
+  ChariotsPipelineSim sim(shape);
+  sim.RunToCount(400'000);
+  sim.PrintTable(
+      "=== Table 3: two clients, one machine per remaining stage ===");
+  std::printf("\nExpected shape: clients ~63-66K each (sum capped by the "
+              "batcher); batcher ~126K and now the bottleneck.\n");
+  return 0;
+}

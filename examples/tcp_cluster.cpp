@@ -1,0 +1,106 @@
+// FLStore over real TCP sockets: the same cluster as the quickstart, but
+// every node lives on its own TcpTransport with loopback routes — the
+// closest thing to a multi-process deployment that fits in one example
+// binary. Demonstrates that the FLStore services and client library are
+// transport-agnostic.
+//
+//   ./build/examples/tcp_cluster
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flstore/client.h"
+#include "flstore/service.h"
+#include "net/tcp_transport.h"
+
+using namespace chariots;
+using namespace chariots::flstore;
+
+int main() {
+  // One TcpTransport per "machine": controller, two maintainers, client.
+  net::TcpTransport controller_net, m0_net, m1_net, client_net;
+  if (!controller_net.Listen(0).ok() || !m0_net.Listen(0).ok() ||
+      !m1_net.Listen(0).ok() || !client_net.Listen(0).ok()) {
+    std::fprintf(stderr, "listen failed\n");
+    return 1;
+  }
+
+  // Every machine routes the others' node prefixes to their ports.
+  auto wire = [&](net::TcpTransport& t) {
+    t.AddRoute("ctrl", "127.0.0.1", controller_net.port());
+    t.AddRoute("m0", "127.0.0.1", m0_net.port());
+    t.AddRoute("m1", "127.0.0.1", m1_net.port());
+    t.AddRoute("client", "127.0.0.1", client_net.port());
+  };
+  wire(controller_net);
+  wire(m0_net);
+  wire(m1_net);
+  wire(client_net);
+
+  ClusterInfo info;
+  info.journal = EpochJournal(2, 8);
+  info.maintainers = {"m0/maintainer", "m1/maintainer"};
+
+  ControllerServer controller(&controller_net, "ctrl/controller", info);
+  if (!controller.Start().ok()) return 1;
+
+  std::vector<std::unique_ptr<MaintainerServer>> maintainers;
+  net::TcpTransport* nets[] = {&m0_net, &m1_net};
+  for (uint32_t i = 0; i < 2; ++i) {
+    MaintainerOptions mo;
+    mo.index = i;
+    mo.journal = info.journal;
+    mo.store.mode = storage::SyncMode::kMemoryOnly;
+    MaintainerServer::Options so;
+    so.node = info.maintainers[i];
+    so.peers = info.maintainers;
+    so.gossip_interval_nanos = 1'000'000;
+    maintainers.push_back(
+        std::make_unique<MaintainerServer>(nets[i], mo, so));
+    if (!maintainers.back()->Start().ok()) return 1;
+  }
+
+  FLStoreClient client(&client_net, "client/app", "ctrl/controller");
+  if (!client.Start().ok()) {
+    std::fprintf(stderr, "client bootstrap over TCP failed\n");
+    return 1;
+  }
+  std::printf("bootstrap over TCP done: %zu maintainers (ports %d, %d)\n",
+              client.cluster_info().maintainers.size(), m0_net.port(),
+              m1_net.port());
+
+  for (int i = 0; i < 10; ++i) {
+    LogRecord record;
+    record.body = "tcp-record-" + std::to_string(i);
+    auto lid = client.Append(record);
+    if (!lid.ok()) {
+      std::fprintf(stderr, "append failed: %s\n",
+                   lid.status().ToString().c_str());
+      return 1;
+    }
+  }
+  // Round-robin appends put 5 records on each maintainer; with batch-8
+  // striping, maintainer 0's first range (positions 0..7) still has gaps at
+  // 5..7, so the gap-free head settles at 5.
+  LId head = 0;
+  for (int attempt = 0; attempt < 500 && head < 5; ++attempt) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    head = client.HeadOfLog().value_or(0);
+  }
+  std::printf("10 appends over TCP; gap-free head of log = %llu (positions "
+              "5..7 of maintainer 0's batch are still unfilled)\n",
+              static_cast<unsigned long long>(head));
+  auto record = client.Read(0);
+  if (record.ok()) {
+    std::printf("read back LId 0 over TCP: %s\n", record->body.c_str());
+  }
+
+  client.Stop();
+  for (auto& m : maintainers) m->Stop();
+  controller.Stop();
+  std::printf("tcp cluster example done\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#include "apps/hyksos.h"
+
+namespace chariots::apps {
+
+Hyksos::Hyksos(geo::Datacenter* dc) : dc_(dc), client_(dc) {}
+
+Status Hyksos::Put(const std::string& key, const std::string& value) {
+  // The record is tagged with the key so gets are one index lookup; the
+  // value rides both the tag (for index-only reads) and the body.
+  auto r = client_.Append(value, {{TagFor(key), value}});
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status Hyksos::Del(const std::string& key) {
+  auto r = client_.Append(kDeleted, {{TagFor(key), kDeleted}});
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<geo::GeoRecord> Hyksos::MostRecent(const std::string& key,
+                                          flstore::LId before_lid) {
+  return client_.ReadMostRecent(TagFor(key), before_lid);
+}
+
+Result<std::string> Hyksos::Get(const std::string& key) {
+  CHARIOTS_ASSIGN_OR_RETURN(geo::GeoRecord record,
+                            client_.ReadMostRecent(TagFor(key)));
+  if (record.body == kDeleted) {
+    return Status::NotFound("key deleted: " + key);
+  }
+  return record.body;
+}
+
+Result<std::map<std::string, std::string>> Hyksos::GetTxn(
+    const std::vector<std::string>& keys) {
+  // Algorithm 1: pin the head-of-log position (no gaps below it — the
+  // queues assign LIds consecutively), then read each key as of that
+  // position.
+  flstore::LId snapshot = client_.Head();
+  std::map<std::string, std::string> out;
+  for (const std::string& key : keys) {
+    Result<geo::GeoRecord> record = MostRecent(key, snapshot);
+    if (record.ok()) {
+      if (record->body != kDeleted) out[key] = record->body;
+    } else if (!record.status().IsNotFound()) {
+      return record.status();
+    }
+  }
+  return out;
+}
+
+}  // namespace chariots::apps

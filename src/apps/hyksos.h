@@ -1,0 +1,62 @@
+#ifndef CHARIOTS_APPS_HYKSOS_H_
+#define CHARIOTS_APPS_HYKSOS_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chariots/client.h"
+
+namespace chariots::apps {
+
+/// Hyksos (paper §4.1): a causally consistent replicated key-value store
+/// built purely on the Chariots log interface. Values live in the log; the
+/// current value of a key is the record with the highest log position
+/// carrying a put for it. Get transactions return a consistent snapshot by
+/// pinning a head-of-log position and reading every key as of that
+/// position (paper Algorithm 1).
+class Hyksos {
+ public:
+  /// One Hyksos session on one datacenter. Causal dependencies of what the
+  /// session reads/writes are tracked by the underlying ChariotsClient.
+  explicit Hyksos(geo::Datacenter* dc);
+
+  /// Writes key = value (paper: an append tagged with the key).
+  Status Put(const std::string& key, const std::string& value);
+
+  /// Reads the most recent value of `key`; NotFound if never written or
+  /// deleted.
+  Result<std::string> Get(const std::string& key);
+
+  /// Deletes `key` (appends a tombstone record — the log stays immutable;
+  /// the deletion is itself causally ordered and replicated).
+  Status Del(const std::string& key);
+
+  /// Get transaction (paper Algorithm 1): a consistent snapshot of the
+  /// requested keys. Keys never written are absent from the result.
+  Result<std::map<std::string, std::string>> GetTxn(
+      const std::vector<std::string>& keys);
+
+  /// The snapshot position a get transaction would pin right now.
+  flstore::LId SnapshotPosition() const { return client_.Head(); }
+
+  geo::ChariotsClient& client() { return client_; }
+
+ private:
+  static std::string TagFor(const std::string& key) { return "kv:" + key; }
+  /// Tag value marking a deletion (record bodies are opaque to Chariots,
+  /// so the marker must ride the tag; Hyksos escapes ordinary values that
+  /// would collide).
+  static constexpr char kDeleted[] = "\x01__deleted__";
+
+  Result<geo::GeoRecord> MostRecent(const std::string& key,
+                                    flstore::LId before_lid);
+
+  geo::Datacenter* const dc_;
+  geo::ChariotsClient client_;
+};
+
+}  // namespace chariots::apps
+
+#endif  // CHARIOTS_APPS_HYKSOS_H_

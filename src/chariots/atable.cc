@@ -1,0 +1,99 @@
+#include "chariots/atable.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace chariots::geo {
+
+AwarenessTable::AwarenessTable(uint32_t num_datacenters, DatacenterId self)
+    : n_(num_datacenters),
+      self_(self),
+      t_(num_datacenters, std::vector<TOId>(num_datacenters, 0)) {}
+
+AwarenessTable::AwarenessTable(AwarenessTable&& other) noexcept
+    : n_(other.n_), self_(other.self_) {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  t_ = std::move(other.t_);
+}
+
+TOId AwarenessTable::Get(DatacenterId row, DatacenterId col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return t_[row][col];
+}
+
+void AwarenessTable::Advance(DatacenterId row, DatacenterId col, TOId toid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  t_[row][col] = std::max(t_[row][col], toid);
+}
+
+std::vector<TOId> AwarenessTable::KnowledgeVector() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return t_[self_];
+}
+
+void AwarenessTable::Merge(const AwarenessTable& other) {
+  std::vector<std::vector<TOId>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    snapshot = other.t_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t i = 0; i < n_ && i < snapshot.size(); ++i) {
+    for (uint32_t j = 0; j < n_ && j < snapshot[i].size(); ++j) {
+      t_[i][j] = std::max(t_[i][j], snapshot[i][j]);
+    }
+  }
+}
+
+Status AwarenessTable::MergeEncoded(std::string_view encoded) {
+  CHARIOTS_ASSIGN_OR_RETURN(AwarenessTable other, Decode(encoded));
+  Merge(other);
+  return Status::OK();
+}
+
+bool AwarenessTable::GcEligible(DatacenterId host, TOId toid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t j = 0; j < n_; ++j) {
+    if (t_[j][host] < toid) return false;
+  }
+  return true;
+}
+
+TOId AwarenessTable::GlobalFloor(DatacenterId col) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TOId floor = t_[0][col];
+  for (uint32_t j = 1; j < n_; ++j) floor = std::min(floor, t_[j][col]);
+  return floor;
+}
+
+std::string AwarenessTable::Encode() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter w;
+  w.PutU32(n_);
+  w.PutU32(self_);
+  for (const auto& row : t_) {
+    for (TOId v : row) w.PutU64(v);
+  }
+  return std::move(w).data();
+}
+
+Result<AwarenessTable> AwarenessTable::Decode(std::string_view data) {
+  BinaryReader r(data);
+  uint32_t n = 0, self = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&self));
+  if (n == 0 || self >= n ||
+      r.remaining() < static_cast<size_t>(n) * n * 8) {
+    return Status::Corruption("bad awareness table encoding");
+  }
+  AwarenessTable table(n, self);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      CHARIOTS_RETURN_IF_ERROR(r.GetU64(&table.t_[i][j]));
+    }
+  }
+  return table;
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,69 @@
+#ifndef CHARIOTS_CHARIOTS_ATABLE_H_
+#define CHARIOTS_CHARIOTS_ATABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "chariots/record.h"
+#include "common/result.h"
+
+namespace chariots::geo {
+
+/// The Awareness Table (paper §6.1, after the Replicated Dictionary): an
+/// n×n matrix per datacenter. At datacenter A, entry T[B][C] is a TOId t
+/// meaning "A is certain B has incorporated all of C's records up to t".
+///
+/// Row `self` is the local knowledge vector (what this DC has incorporated);
+/// other rows are learned from propagation and advance monotonically.
+/// Thread-safe.
+class AwarenessTable {
+ public:
+  AwarenessTable(uint32_t num_datacenters, DatacenterId self);
+
+  /// Movable (fresh mutex); not copyable or move-assignable.
+  AwarenessTable(AwarenessTable&& other) noexcept;
+  AwarenessTable(const AwarenessTable&) = delete;
+  AwarenessTable& operator=(const AwarenessTable&) = delete;
+  AwarenessTable& operator=(AwarenessTable&&) = delete;
+
+  uint32_t size() const { return n_; }
+  DatacenterId self() const { return self_; }
+
+  /// T[row][col].
+  TOId Get(DatacenterId row, DatacenterId col) const;
+
+  /// Advances T[row][col] to at least `toid`.
+  void Advance(DatacenterId row, DatacenterId col, TOId toid);
+
+  /// This DC's knowledge vector (row self).
+  std::vector<TOId> KnowledgeVector() const;
+
+  /// Element-wise max merge with a peer's whole table (transitive knowledge:
+  /// what the peer knows about everyone's awareness).
+  void Merge(const AwarenessTable& other);
+  Status MergeEncoded(std::string_view encoded);
+
+  /// Garbage-collection rule (paper §6.1): a record r hosted at `host` with
+  /// TOId `toid` may be collected iff every datacenter is known to have it:
+  /// ∀j: T[j][host] ≥ toid.
+  bool GcEligible(DatacenterId host, TOId toid) const;
+
+  /// Min over rows of T[row][col]: the TOId of `col` that everyone is known
+  /// to have reached.
+  TOId GlobalFloor(DatacenterId col) const;
+
+  std::string Encode() const;
+  static Result<AwarenessTable> Decode(std::string_view data);
+
+ private:
+  uint32_t n_;
+  DatacenterId self_;
+  mutable std::mutex mu_;
+  std::vector<std::vector<TOId>> t_;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_ATABLE_H_

@@ -1,0 +1,63 @@
+#include "chariots/batcher.h"
+
+namespace chariots::geo {
+
+Batcher::Batcher(const FilterMap* filter_map, size_t flush_records,
+                 int64_t flush_interval_nanos, FlushFn flush, Clock* clock)
+    : filter_map_(filter_map),
+      flush_records_(flush_records),
+      flush_interval_nanos_(flush_interval_nanos),
+      flush_(std::move(flush)),
+      clock_(clock) {}
+
+Batcher::~Batcher() { Stop(); }
+
+void Batcher::Start() {
+  bool expected = true;
+  if (!stop_.compare_exchange_strong(expected, false)) return;
+  timer_ = std::thread([this] { TimerLoop(); });
+}
+
+void Batcher::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (timer_.joinable()) timer_.join();
+  FlushAll();
+}
+
+void Batcher::Submit(GeoRecord record) {
+  records_in_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t filter_id = filter_map_->FilterFor(record.host, record.toid);
+  std::vector<GeoRecord> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<GeoRecord>& buf = buffers_[filter_id];
+    buf.push_back(std::move(record));
+    if (buf.size() < flush_records_) return;
+    ready.swap(buf);
+  }
+  batches_out_.fetch_add(1, std::memory_order_relaxed);
+  flush_(filter_id, std::move(ready));
+}
+
+void Batcher::FlushAll() {
+  std::unordered_map<uint32_t, std::vector<GeoRecord>> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(buffers_);
+  }
+  for (auto& [filter_id, batch] : out) {
+    if (batch.empty()) continue;
+    batches_out_.fetch_add(1, std::memory_order_relaxed);
+    flush_(filter_id, std::move(batch));
+  }
+}
+
+void Batcher::TimerLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    clock_->SleepFor(flush_interval_nanos_);
+    FlushAll();
+  }
+}
+
+}  // namespace chariots::geo

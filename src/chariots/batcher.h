@@ -1,0 +1,72 @@
+#ifndef CHARIOTS_CHARIOTS_BATCHER_H_
+#define CHARIOTS_CHARIOTS_BATCHER_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "chariots/filter_map.h"
+#include "chariots/record.h"
+#include "common/clock.h"
+
+namespace chariots::geo {
+
+/// A batcher (paper §6.2): buffers records received locally or from remote
+/// datacenters, one buffer per destination filter, and flushes a buffer to
+/// its filter when it reaches the size threshold (or on a timer so sparse
+/// traffic is not delayed indefinitely). Batchers are completely independent
+/// of each other — adding one requires no coordination.
+class Batcher {
+ public:
+  /// Delivers a flushed batch to filter `filter_id`.
+  using FlushFn =
+      std::function<void(uint32_t filter_id, std::vector<GeoRecord> batch)>;
+
+  Batcher(const FilterMap* filter_map, size_t flush_records,
+          int64_t flush_interval_nanos, FlushFn flush,
+          Clock* clock = SystemClock::Default());
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Starts the background flush timer.
+  void Start();
+
+  /// Flushes everything and stops the timer.
+  void Stop();
+
+  /// Routes `record` into the buffer of its championing filter; flushes
+  /// that buffer if it reached the threshold.
+  void Submit(GeoRecord record);
+
+  /// Forces all buffers out immediately.
+  void FlushAll();
+
+  uint64_t records_in() const { return records_in_.load(); }
+  uint64_t batches_out() const { return batches_out_.load(); }
+
+ private:
+  void TimerLoop();
+  void FlushLocked(uint32_t filter_id);
+
+  const FilterMap* const filter_map_;
+  const size_t flush_records_;
+  const int64_t flush_interval_nanos_;
+  FlushFn flush_;
+  Clock* const clock_;
+
+  std::mutex mu_;
+  std::unordered_map<uint32_t, std::vector<GeoRecord>> buffers_;
+  std::atomic<bool> stop_{true};
+  std::thread timer_;
+  std::atomic<uint64_t> records_in_{0};
+  std::atomic<uint64_t> batches_out_{0};
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_BATCHER_H_

@@ -1,0 +1,105 @@
+#include "chariots/client.h"
+
+#include <condition_variable>
+
+namespace chariots::geo {
+
+ChariotsClient::ChariotsClient(Datacenter* dc)
+    : dc_(dc), deps_(dc->config().num_datacenters, 0) {}
+
+Result<std::pair<TOId, flstore::LId>> ChariotsClient::Append(
+    std::string body, std::vector<flstore::Tag> tags,
+    std::chrono::milliseconds timeout) {
+  struct WaitState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    flstore::LId lid = flstore::kInvalidLId;
+  };
+  auto state = std::make_shared<WaitState>();
+
+  DepVector deps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deps = deps_;
+  }
+  TOId toid = dc_->Append(std::move(body), std::move(tags), std::move(deps),
+                          [state](TOId, flstore::LId lid) {
+                            std::lock_guard<std::mutex> lock(state->mu);
+                            state->done = true;
+                            state->lid = lid;
+                            state->cv.notify_all();
+                          });
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deps_[dc_->dc_id()] = std::max(deps_[dc_->dc_id()], toid);
+  }
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  if (!state->cv.wait_for(lock, timeout, [&] { return state->done; })) {
+    return Status::TimedOut("append not committed locally in time");
+  }
+  return std::make_pair(toid, state->lid);
+}
+
+TOId ChariotsClient::AppendAsync(std::string body,
+                                 std::vector<flstore::Tag> tags) {
+  DepVector deps;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deps = deps_;
+  }
+  TOId toid = dc_->Append(std::move(body), std::move(tags), std::move(deps));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    deps_[dc_->dc_id()] = std::max(deps_[dc_->dc_id()], toid);
+  }
+  return toid;
+}
+
+void ChariotsClient::AbsorbLocked(const GeoRecord& record) {
+  if (record.host < deps_.size()) {
+    deps_[record.host] = std::max(deps_[record.host], record.toid);
+  }
+  for (size_t d = 0; d < record.deps.size() && d < deps_.size(); ++d) {
+    deps_[d] = std::max(deps_[d], record.deps[d]);
+  }
+}
+
+Result<GeoRecord> ChariotsClient::Read(flstore::LId lid) {
+  CHARIOTS_ASSIGN_OR_RETURN(GeoRecord record, dc_->Read(lid));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AbsorbLocked(record);
+  }
+  return record;
+}
+
+DepVector ChariotsClient::deps() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deps_;
+}
+
+Result<std::vector<GeoRecord>> ChariotsClient::Read(const ReadRules& rules) {
+  CHARIOTS_ASSIGN_OR_RETURN(std::vector<GeoRecord> records,
+                            ReadWithRules(*dc_, rules));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const GeoRecord& record : records) AbsorbLocked(record);
+  return records;
+}
+
+Result<GeoRecord> ChariotsClient::ReadMostRecent(const std::string& tag_key,
+                                                 flstore::LId before_lid) {
+  flstore::IndexQuery query;
+  query.key = tag_key;
+  query.before_lid =
+      before_lid == flstore::kInvalidLId ? dc_->HeadLid() : before_lid;
+  query.limit = 1;
+  std::vector<flstore::Posting> postings = dc_->Lookup(query);
+  if (postings.empty()) {
+    return Status::NotFound("no record with tag " + tag_key);
+  }
+  return Read(postings.front().lid);
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,64 @@
+#ifndef CHARIOTS_CHARIOTS_CLIENT_H_
+#define CHARIOTS_CHARIOTS_CLIENT_H_
+
+#include <chrono>
+#include <mutex>
+#include <utility>
+
+#include "chariots/datacenter.h"
+#include "chariots/read_rules.h"
+
+namespace chariots::geo {
+
+/// An application-client session against one datacenter (paper §3): the
+/// append/read interface plus automatic causal dependency tracking. Reads
+/// fold the read record's (host, toid) and its dependency vector into the
+/// session's vector; appends carry the vector, so the causal order of
+/// everything this session observed is honored at every replica.
+class ChariotsClient {
+ public:
+  explicit ChariotsClient(Datacenter* dc);
+
+  /// Appends and waits for the local commit; returns (toid, lid).
+  Result<std::pair<TOId, flstore::LId>> Append(
+      std::string body, std::vector<flstore::Tag> tags = {},
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Fire-and-forget append; the session dependency on it is still
+  /// recorded (subsequent appends causally follow it). Returns its TOId.
+  TOId AppendAsync(std::string body, std::vector<flstore::Tag> tags = {});
+
+  /// Reads the record at `lid` and absorbs its causal information.
+  Result<GeoRecord> Read(flstore::LId lid);
+
+  /// Most recent record carrying the tag, as of `before_lid` (kInvalidLId =
+  /// head of log). Absorbs causal information like Read.
+  Result<GeoRecord> ReadMostRecent(const std::string& tag_key,
+                                   flstore::LId before_lid =
+                                       flstore::kInvalidLId);
+
+  /// The paper's rule-based read (§3): selects by LId, LId range,
+  /// (host, toid), or tag. Absorbs causal information from every record
+  /// returned.
+  Result<std::vector<GeoRecord>> Read(const ReadRules& rules);
+
+  /// The local log's gap-free head.
+  flstore::LId Head() const { return dc_->HeadLid(); }
+
+  /// Snapshot of the session's causal dependency vector (deps()[d] = max
+  /// TOId of datacenter d this session has observed).
+  DepVector deps() const;
+
+  Datacenter* datacenter() const { return dc_; }
+
+ private:
+  void AbsorbLocked(const GeoRecord& record);
+
+  Datacenter* const dc_;
+  mutable std::mutex mu_;
+  DepVector deps_;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_CLIENT_H_

@@ -1,0 +1,54 @@
+#ifndef CHARIOTS_CHARIOTS_CONFIG_H_
+#define CHARIOTS_CHARIOTS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/log_store.h"
+
+namespace chariots::geo {
+
+/// Deployment shape of one datacenter's Chariots pipeline (paper §6.2).
+/// Every stage count is independently scalable (live elasticity, §6.3).
+struct ChariotsConfig {
+  /// This datacenter's id and the size of the replication group.
+  uint32_t dc_id = 0;
+  uint32_t num_datacenters = 1;
+
+  /// Stage widths.
+  uint32_t num_batchers = 1;
+  uint32_t num_filters = 1;
+  uint32_t num_queues = 1;
+  uint32_t num_maintainers = 1;
+  uint32_t num_senders = 1;
+
+  /// FLStore striping batch (records per maintainer per round).
+  uint64_t stripe_batch = 1000;
+
+  /// Batcher flush policy: flush a filter buffer at this many records or
+  /// after this much time, whichever first.
+  size_t batcher_flush_records = 64;
+  int64_t batcher_flush_nanos = 1'000'000;  // 1 ms
+
+  /// Bounded-queue capacity between stages (backpressure depth).
+  size_t stage_queue_capacity = 4096;
+
+  /// Storage mode for the log maintainers. kMemoryOnly by default (benches);
+  /// set dir to a base directory to persist (per-maintainer subdirs).
+  storage::SyncMode store_mode = storage::SyncMode::kMemoryOnly;
+  std::string store_dir;
+
+  /// Sender batch size (records per replication message) and resend timer.
+  size_t sender_batch_records = 256;
+  int64_t sender_resend_nanos = 50'000'000;  // 50 ms
+
+  /// Garbage collection sweep interval; <= 0 disables the GC thread
+  /// (the user may keep the log forever — paper §6.1).
+  int64_t gc_interval_nanos = 0;
+  /// Optional cold-storage archive file for GC'd segments.
+  std::string gc_archive_path;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_CONFIG_H_

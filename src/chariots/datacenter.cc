@@ -1,0 +1,655 @@
+#include "chariots/datacenter.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/logging.h"
+#include "storage/file.h"
+
+namespace chariots::geo {
+
+namespace {
+std::vector<DatacenterId> OtherDatacenters(uint32_t self, uint32_t n) {
+  std::vector<DatacenterId> out;
+  for (uint32_t d = 0; d < n; ++d) {
+    if (d != self) out.push_back(d);
+  }
+  return out;
+}
+}  // namespace
+
+Datacenter::Datacenter(ChariotsConfig config, ReplicationFabric* fabric)
+    : config_(config),
+      fabric_(fabric),
+      journal_(config.num_maintainers, config.stripe_batch),
+      filter_map_(config.num_filters, config.num_datacenters),
+      atable_(config.num_datacenters, config.dc_id),
+      token_(config.num_datacenters),
+      toid_to_lid_(config.num_datacenters),
+      toid_base_(config.num_datacenters, 1) {}
+
+Datacenter::~Datacenter() { Stop(); }
+
+void Datacenter::Subscribe(std::function<void(const GeoRecord&)> subscriber) {
+  subscribers_.push_back(std::move(subscriber));
+}
+
+Status Datacenter::Start() {
+  if (config_.dc_id >= config_.num_datacenters) {
+    return Status::InvalidArgument("dc_id must be < num_datacenters");
+  }
+  if (config_.num_batchers == 0 || config_.num_filters == 0 ||
+      config_.num_queues == 0 || config_.num_maintainers == 0) {
+    return Status::InvalidArgument("every stage needs at least one machine");
+  }
+  if (config_.num_filters > kMaxFilters ||
+      config_.num_batchers > kMaxBatchers ||
+      config_.num_queues > kMaxQueues) {
+    return Status::InvalidArgument("stage width beyond reserved capacity");
+  }
+  if (config_.stripe_batch == 0) {
+    return Status::InvalidArgument("stripe_batch must be positive");
+  }
+  if (running_.exchange(true)) {
+    return Status::FailedPrecondition("datacenter already running");
+  }
+
+  // Log maintainers (FLStore stage).
+  for (uint32_t m = 0; m < config_.num_maintainers; ++m) {
+    flstore::MaintainerOptions mo;
+    mo.index = m;
+    mo.journal = journal_;
+    mo.store.mode = config_.store_mode;
+    if (!config_.store_dir.empty()) {
+      mo.store.dir =
+          config_.store_dir + "/maintainer-" + std::to_string(m);
+    }
+    maintainers_.push_back(std::make_unique<flstore::LogMaintainer>(mo));
+    CHARIOTS_RETURN_IF_ERROR(maintainers_.back()->Open());
+  }
+
+  // Whole-datacenter restart: rebuild replica clocks, awareness, index,
+  // GC metadata, and the sender buffer from the persisted log before any
+  // pipeline thread starts.
+  if (!config_.store_dir.empty()) {
+    CHARIOTS_RETURN_IF_ERROR(RecoverFromStorage());
+  }
+
+  // Queues + token.
+  queues_.reserve(kMaxQueues);
+  for (uint32_t q = 0; q < config_.num_queues; ++q) {
+    queues_.push_back(std::make_unique<GeoQueue>(
+        q, &journal_,
+        [this](uint32_t m, GeoRecord r) {
+          RouteToMaintainer(m, std::move(r));
+        }));
+  }
+  queue_count_.store(queues_.size(), std::memory_order_release);
+
+  // Filters, each with a bounded inbox drained by its own thread.
+  filters_.reserve(kMaxFilters);
+  for (uint32_t f = 0; f < config_.num_filters; ++f) {
+    auto stage = std::make_unique<FilterStage>();
+    stage->inbox = std::make_unique<BoundedQueue<std::vector<GeoRecord>>>(
+        config_.stage_queue_capacity);
+    stage->filter = std::make_unique<Filter>(
+        f, &filter_map_, [this](GeoRecord r) {
+          uint64_t i = queue_rr_.fetch_add(1, std::memory_order_relaxed);
+          size_t n = queue_count_.load(std::memory_order_acquire);
+          queues_[i % n]->Enqueue(std::move(r));
+        });
+    filters_.push_back(std::move(stage));
+  }
+  // After a restart the filters resume their champion streams where the
+  // recovered log left off.
+  std::vector<TOId> incorporated = atable_.KnowledgeVector();
+  for (auto& stage : filters_) {
+    for (DatacenterId d = 0; d < config_.num_datacenters; ++d) {
+      if (incorporated[d] > 0) stage->filter->SeedHost(d, incorporated[d]);
+    }
+  }
+  for (size_t f = 0; f < filters_.size(); ++f) {
+    filters_[f]->thread = std::thread([this, f] { FilterLoop(f); });
+  }
+  filter_count_.store(filters_.size(), std::memory_order_release);
+
+  // Batchers.
+  batchers_.reserve(kMaxBatchers);
+  for (uint32_t b = 0; b < config_.num_batchers; ++b) {
+    batchers_.push_back(std::make_unique<Batcher>(
+        &filter_map_, config_.batcher_flush_records,
+        config_.batcher_flush_nanos,
+        [this](uint32_t filter_id, std::vector<GeoRecord> batch) {
+          if (filter_id < filter_count_.load(std::memory_order_acquire)) {
+            filters_[filter_id]->inbox->Push(std::move(batch));
+          }
+        }));
+    batchers_.back()->Start();
+  }
+  batcher_count_.store(batchers_.size(), std::memory_order_release);
+
+  // Token circulation.
+  token_thread_ = std::thread([this] { TokenLoop(); });
+
+  // Replication: receiver first, then senders (sharded by destination).
+  if (config_.num_datacenters > 1) {
+    receiver_ = std::make_unique<Receiver>(
+        config_.dc_id, &atable_,
+        [this](GeoRecord r) { SubmitToBatcher(std::move(r)); });
+    CHARIOTS_RETURN_IF_ERROR(fabric_->RegisterReceiver(
+        config_.dc_id, [this](DatacenterId from, std::string payload) {
+          receiver_->OnMessage(from, std::move(payload));
+        }));
+
+    std::vector<DatacenterId> others =
+        OtherDatacenters(config_.dc_id, config_.num_datacenters);
+    uint32_t num_senders =
+        std::max<uint32_t>(1, std::min<uint32_t>(config_.num_senders,
+                                                 others.size()));
+    std::vector<std::vector<DatacenterId>> shards(num_senders);
+    for (size_t i = 0; i < others.size(); ++i) {
+      shards[i % num_senders].push_back(others[i]);
+    }
+    Sender::Options so;
+    so.batch_records = config_.sender_batch_records;
+    so.resend_nanos = config_.sender_resend_nanos;
+    for (auto& shard : shards) {
+      if (shard.empty()) continue;
+      senders_.push_back(std::make_unique<Sender>(
+          config_.dc_id, shard, &local_buffer_, &atable_, fabric_, so));
+      senders_.back()->Start();
+    }
+  }
+
+  if (config_.gc_interval_nanos > 0) {
+    gc_thread_ = std::thread([this] { GcLoop(); });
+  }
+  return Status::OK();
+}
+
+void Datacenter::Stop() {
+  if (!running_.exchange(false)) return;
+
+  // Upstream first: batchers flush, filters drain, token drains queues.
+  for (auto& b : batchers_) b->Stop();
+  for (auto& f : filters_) f->inbox->Close();
+  for (auto& f : filters_) {
+    if (f->thread.joinable()) f->thread.join();
+  }
+  if (token_thread_.joinable()) token_thread_.join();
+  for (auto& s : senders_) s->Stop();
+  if (receiver_ != nullptr) (void)fabric_->Unregister(config_.dc_id);
+  if (gc_thread_.joinable()) gc_thread_.join();
+  // Clean shutdown: sync the log and leave a fresh recovery point.
+  Status s = WriteCheckpoint();
+  if (!s.ok()) {
+    LOG_WARN << "dc" << config_.dc_id << ": checkpoint on stop failed: "
+             << s.ToString();
+  }
+}
+
+namespace {
+constexpr uint32_t kCheckpointMagic = 0xC4A210;
+constexpr uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Status Datacenter::WriteCheckpoint() {
+  if (config_.store_dir.empty()) return Status::OK();
+  // Durability order: the log first, then the checkpoint that summarizes
+  // it — a checkpoint must never claim records the log lost.
+  for (auto& m : maintainers_) {
+    CHARIOTS_RETURN_IF_ERROR(m->Sync());
+  }
+  BinaryWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(head_lid_.load(std::memory_order_acquire));
+  w.PutU64(next_toid_.load(std::memory_order_acquire));
+  w.PutU64(gc_horizon_.load(std::memory_order_acquire));
+  w.PutBytes(atable_.Encode());
+  return storage::WriteStringToFileAtomic(
+      std::move(w).data(), config_.store_dir + "/checkpoint");
+}
+
+Status Datacenter::RecoverFromStorage() {
+  // 1. Load the checkpoint, if any.
+  flstore::LId ckpt_next_lid = 0;
+  TOId ckpt_next_toid = 0;
+  flstore::LId ckpt_horizon = 0;
+  std::string raw;
+  std::string path = config_.store_dir + "/checkpoint";
+  if (storage::FileExists(path) &&
+      storage::ReadFileToString(path, &raw).ok()) {
+    BinaryReader r(raw);
+    uint32_t magic = 0, version = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&magic));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&version));
+    if (magic != kCheckpointMagic || version != kCheckpointVersion) {
+      return Status::Corruption("bad checkpoint header");
+    }
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&ckpt_next_lid));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&ckpt_next_toid));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&ckpt_horizon));
+    std::string atable_bytes;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&atable_bytes));
+    CHARIOTS_RETURN_IF_ERROR(atable_.MergeEncoded(atable_bytes));
+  }
+
+  // 2. Gather every stored lid across the maintainers.
+  std::vector<flstore::LId> lids;
+  for (auto& m : maintainers_) {
+    std::vector<flstore::LId> mine = m->StoredLids();
+    lids.insert(lids.end(), mine.begin(), mine.end());
+  }
+  std::sort(lids.begin(), lids.end());
+
+  // 3. Records at/after the checkpoint must form a contiguous run (the
+  //    token assigned them consecutively); a hole means the crash lost a
+  //    buffered write, and everything past the hole is a straggler whose
+  //    causal prefix is gone — discard it (tombstone) so the positions can
+  //    be reassigned.
+  flstore::LId resume_lid = ckpt_next_lid;
+  size_t straggler_start = lids.size();
+  for (size_t i = 0; i < lids.size(); ++i) {
+    if (lids[i] < ckpt_next_lid) continue;
+    if (lids[i] != resume_lid) {
+      straggler_start = i;
+      break;
+    }
+    ++resume_lid;
+  }
+  for (size_t i = straggler_start; i < lids.size(); ++i) {
+    LOG_WARN << "dc" << config_.dc_id << ": discarding straggler record at "
+             << "lid " << lids[i] << " (hole below it after crash)";
+    uint32_t m = journal_.MaintainerFor(lids[i]);
+    CHARIOTS_RETURN_IF_ERROR(maintainers_[m]->Remove(lids[i]));
+  }
+  lids.resize(straggler_start);
+
+  // 4. Replay the surviving records: rebuild GC metadata + index for all
+  //    of them, replica clocks only for those past the checkpoint, and the
+  //    sender buffer for local records.
+  meta_base_ = ckpt_horizon;
+  gc_horizon_.store(ckpt_horizon);
+  next_toid_.store(ckpt_next_toid);
+  bool local_base_set = false;
+  uint64_t replayed = 0;
+  for (flstore::LId lid : lids) {
+    if (lid < ckpt_horizon) continue;  // partially-GC'd cold segment
+    uint32_t m = journal_.MaintainerFor(lid);
+    CHARIOTS_ASSIGN_OR_RETURN(flstore::LogRecord log_record,
+                              maintainers_[m]->Read(lid));
+    CHARIOTS_ASSIGN_OR_RETURN(GeoRecord record, FromLogRecord(log_record));
+    lid_meta_.emplace_back(record.host, record.toid);
+    if (toid_to_lid_[record.host].empty()) {
+      toid_base_[record.host] = record.toid;
+    }
+    toid_to_lid_[record.host].push_back(lid);
+    indexer_.AddRecord(log_record, lid);
+    if (lid >= ckpt_next_lid) {
+      atable_.Advance(config_.dc_id, record.host, record.toid);
+      ++replayed;
+      if (record.host == config_.dc_id) {
+        TOId expected =
+            next_toid_.load(std::memory_order_relaxed);
+        if (record.toid > expected) next_toid_.store(record.toid);
+      }
+    }
+    if (record.host == config_.dc_id) {
+      if (!local_base_set) {
+        local_buffer_.SetBase(record.toid);
+        local_base_set = true;
+      }
+      local_buffer_.Put(record.toid, EncodeGeoRecord(record));
+    }
+  }
+
+  if (!local_base_set) {
+    // No local records survive (all GC'd or none ever): the buffer starts
+    // at the next local TOId to be handed out.
+    local_buffer_.SetBase(next_toid_.load(std::memory_order_relaxed) + 1);
+  }
+
+  // 5. Seed the token and head from the recovered prefix.
+  token_.max_toid = atable_.KnowledgeVector();
+  token_.next_lid = resume_lid;
+  head_lid_.store(resume_lid, std::memory_order_release);
+  incorporated_.store(replayed);
+  if (!lids.empty() || ckpt_next_lid > 0) {
+    LOG_INFO << "dc" << config_.dc_id << ": recovered " << lids.size()
+             << " records; log resumes at lid " << resume_lid
+             << ", next local toid "
+             << next_toid_.load(std::memory_order_relaxed) + 1;
+  }
+  return Status::OK();
+}
+
+void Datacenter::FilterLoop(size_t filter_index) {
+  FilterStage& stage = *filters_[filter_index];
+  while (auto batch = stage.inbox->Pop()) {
+    stage.filter->Accept(std::move(*batch));
+  }
+}
+
+void Datacenter::TokenLoop() {
+  while (true) {
+    size_t appended = 0;
+    size_t n = queue_count_.load(std::memory_order_acquire);
+    for (size_t q = 0; q < n; ++q) {
+      appended += queues_[q]->ProcessToken(&token_);
+      head_lid_.store(token_.next_lid, std::memory_order_release);
+    }
+    if (appended == 0) {
+      if (!running_.load(std::memory_order_relaxed)) {
+        // Drain check: stop once no queue has pending input. Records still
+        // deferred in the token have unsatisfiable dependencies (nothing new
+        // is coming) and are abandoned, matching a shutdown mid-replication.
+        bool idle = true;
+        for (size_t q = 0; q < n; ++q) {
+          idle = idle && queues_[q]->pending() == 0;
+        }
+        if (idle) return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+}
+
+void Datacenter::RouteToMaintainer(uint32_t maintainer_index,
+                                   GeoRecord record) {
+  flstore::LogRecord log_record = ToLogRecord(record);
+  Status s = maintainers_[maintainer_index]->AppendAt(record.lid, log_record);
+  if (!s.ok()) {
+    LOG_ERROR << "dc" << config_.dc_id << ": AppendAt(" << record.lid
+              << ") failed: " << s.ToString();
+    return;
+  }
+  indexer_.AddRecord(log_record, record.lid);
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    lid_meta_.emplace_back(record.host, record.toid);
+    if (toid_to_lid_[record.host].empty()) {
+      toid_base_[record.host] = record.toid;
+    }
+    toid_to_lid_[record.host].push_back(record.lid);
+  }
+  // The token assigns consecutive LIds and routes synchronously in
+  // assignment order, so once `lid` is persisted the whole prefix is.
+  head_lid_.store(record.lid + 1, std::memory_order_release);
+  atable_.Advance(config_.dc_id, record.host, record.toid);
+  incorporated_.fetch_add(1, std::memory_order_relaxed);
+  // Subscribers run before the append acknowledgment, so "append returned"
+  // implies every subscriber has seen the record.
+  for (const auto& subscriber : subscribers_) subscriber(record);
+  if (record.host == config_.dc_id) {
+    local_buffer_.Put(record.toid, EncodeGeoRecord(record));
+    if (record.on_committed) record.on_committed(record.toid, record.lid);
+  }
+  {
+    // Taking the lock orders this notify with the waiter's predicate check.
+    std::lock_guard<std::mutex> lock(wait_mu_);
+  }
+  wait_cv_.notify_all();
+}
+
+void Datacenter::SubmitToBatcher(GeoRecord record) {
+  uint64_t i = batcher_rr_.fetch_add(1, std::memory_order_relaxed);
+  size_t n = batcher_count_.load(std::memory_order_acquire);
+  batchers_[i % n]->Submit(std::move(record));
+}
+
+TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
+                        DepVector deps,
+                        std::function<void(TOId, flstore::LId)> on_committed) {
+  GeoRecord record;
+  record.host = config_.dc_id;
+  record.toid = next_toid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  record.body = std::move(body);
+  record.tags = std::move(tags);
+  record.deps = std::move(deps);
+  record.deps.resize(config_.num_datacenters, 0);
+  record.on_committed = std::move(on_committed);
+  TOId toid = record.toid;
+  SubmitToBatcher(std::move(record));
+  return toid;
+}
+
+Result<GeoRecord> Datacenter::Read(flstore::LId lid) const {
+  uint32_t m = journal_.MaintainerFor(lid);
+  CHARIOTS_ASSIGN_OR_RETURN(flstore::LogRecord log_record,
+                            maintainers_[m]->Read(lid));
+  return FromLogRecord(log_record);
+}
+
+flstore::LId Datacenter::HeadLid() const {
+  return head_lid_.load(std::memory_order_acquire);
+}
+
+std::vector<GeoRecord> Datacenter::ReadRange(flstore::LId from,
+                                             size_t limit) const {
+  std::vector<GeoRecord> out;
+  flstore::LId head = HeadLid();
+  for (flstore::LId lid = from; lid < head && out.size() < limit; ++lid) {
+    Result<GeoRecord> r = Read(lid);
+    if (r.ok()) out.push_back(std::move(r).value());
+  }
+  return out;
+}
+
+std::vector<flstore::Posting> Datacenter::Lookup(
+    const flstore::IndexQuery& query) const {
+  return indexer_.Lookup(query);
+}
+
+Result<GeoRecord> Datacenter::ReadByToid(DatacenterId host,
+                                         TOId toid) const {
+  if (host >= config_.num_datacenters || toid == 0) {
+    return Status::InvalidArgument("bad (host, toid)");
+  }
+  flstore::LId lid;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    if (toid < toid_base_[host]) {
+      return Status::NotFound("record garbage collected");
+    }
+    size_t idx = toid - toid_base_[host];
+    if (idx >= toid_to_lid_[host].size()) {
+      return Status::NotFound("record not incorporated yet");
+    }
+    lid = toid_to_lid_[host][idx];
+  }
+  return Read(lid);
+}
+
+std::vector<TOId> Datacenter::IncorporatedVector() const {
+  return atable_.KnowledgeVector();
+}
+
+bool Datacenter::WaitForToid(DatacenterId dc, TOId toid,
+                             int64_t timeout_nanos) const {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  return wait_cv_.wait_for(lock, std::chrono::nanoseconds(timeout_nanos),
+                           [&] {
+                             return atable_.Get(config_.dc_id, dc) >= toid;
+                           });
+}
+
+Datacenter::Stats Datacenter::GetStats() const {
+  Stats stats;
+  stats.appends_local = next_toid_.load();
+  stats.records_incorporated = incorporated_.load();
+  size_t nb = batcher_count_.load(std::memory_order_acquire);
+  for (size_t b = 0; b < nb; ++b) {
+    stats.batcher_records_in += batchers_[b]->records_in();
+    stats.batches_flushed += batchers_[b]->batches_out();
+  }
+  size_t nf = filter_count_.load(std::memory_order_acquire);
+  for (size_t f = 0; f < nf; ++f) {
+    stats.filter_forwarded += filters_[f]->filter->forwarded();
+    stats.filter_duplicates += filters_[f]->filter->duplicates_dropped();
+    stats.filter_buffered += filters_[f]->filter->buffered();
+  }
+  size_t nq = queue_count_.load(std::memory_order_acquire);
+  for (size_t q = 0; q < nq; ++q) {
+    stats.queue_duplicates += queues_[q]->duplicates_dropped();
+  }
+  for (const auto& s : senders_) {
+    stats.records_sent += s->records_sent();
+    stats.batches_sent += s->batches_sent();
+  }
+  if (receiver_ != nullptr) {
+    stats.records_received = receiver_->records_received();
+  }
+  stats.index_postings = indexer_.posting_count();
+  stats.head_lid = HeadLid();
+  stats.gc_horizon = gc_horizon_.load();
+  return stats;
+}
+
+std::string Datacenter::DebugString() const {
+  Stats s = GetStats();
+  std::string out;
+  char line[128];
+  std::snprintf(line, sizeof(line), "dc%u stats:\n", config_.dc_id);
+  out += line;
+  auto row = [&](const char* name, uint64_t value) {
+    std::snprintf(line, sizeof(line), "  %-22s %llu\n", name,
+                  static_cast<unsigned long long>(value));
+    out += line;
+  };
+  row("appends_local", s.appends_local);
+  row("records_incorporated", s.records_incorporated);
+  row("batcher_records_in", s.batcher_records_in);
+  row("batches_flushed", s.batches_flushed);
+  row("filter_forwarded", s.filter_forwarded);
+  row("filter_duplicates", s.filter_duplicates);
+  row("filter_buffered", s.filter_buffered);
+  row("queue_duplicates", s.queue_duplicates);
+  row("records_sent", s.records_sent);
+  row("batches_sent", s.batches_sent);
+  row("records_received", s.records_received);
+  row("index_postings", s.index_postings);
+  row("head_lid", s.head_lid);
+  row("gc_horizon", s.gc_horizon);
+  return out;
+}
+
+Status Datacenter::SplitFilterChampionship(DatacenterId host, TOId from_toid,
+                                           std::vector<uint32_t> filters) {
+  for (uint32_t f : filters) {
+    if (f >= kMaxFilters) {
+      return Status::InvalidArgument("filter id beyond reserved capacity");
+    }
+    // Grow the filter stage if the reassignment references new filters.
+    while (f >= filters_.size()) {
+      auto stage = std::make_unique<FilterStage>();
+      stage->inbox = std::make_unique<BoundedQueue<std::vector<GeoRecord>>>(
+          config_.stage_queue_capacity);
+      uint32_t id = static_cast<uint32_t>(filters_.size());
+      stage->filter = std::make_unique<Filter>(
+          id, &filter_map_, [this](GeoRecord r) {
+            uint64_t i = queue_rr_.fetch_add(1, std::memory_order_relaxed);
+            queues_[i % queues_.size()]->Enqueue(std::move(r));
+          });
+      filters_.push_back(std::move(stage));
+      size_t index = filters_.size() - 1;
+      filters_[index]->thread =
+          std::thread([this, index] { FilterLoop(index); });
+      filter_count_.store(filters_.size(), std::memory_order_release);
+    }
+  }
+  return filter_map_.Reassign(host, from_toid, std::move(filters));
+}
+
+Status Datacenter::AddBatcher() {
+  if (batchers_.size() >= kMaxBatchers) {
+    return Status::ResourceExhausted("batcher capacity reached");
+  }
+  batchers_.push_back(std::make_unique<Batcher>(
+      &filter_map_, config_.batcher_flush_records,
+      config_.batcher_flush_nanos,
+      [this](uint32_t filter_id, std::vector<GeoRecord> batch) {
+        if (filter_id < filter_count_.load(std::memory_order_acquire)) {
+          filters_[filter_id]->inbox->Push(std::move(batch));
+        }
+      }));
+  batchers_.back()->Start();
+  batcher_count_.store(batchers_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Datacenter::AddQueue() {
+  if (queues_.size() >= kMaxQueues) {
+    return Status::ResourceExhausted("queue capacity reached");
+  }
+  uint32_t id = static_cast<uint32_t>(queues_.size());
+  queues_.push_back(std::make_unique<GeoQueue>(
+      id, &journal_, [this](uint32_t m, GeoRecord r) {
+        RouteToMaintainer(m, std::move(r));
+      }));
+  // Publishing the count both inserts the queue into the token circulation
+  // and lets filters start routing records to it.
+  queue_count_.store(queues_.size(), std::memory_order_release);
+  return Status::OK();
+}
+
+size_t Datacenter::num_batchers() const {
+  return batcher_count_.load(std::memory_order_acquire);
+}
+
+size_t Datacenter::num_queues() const {
+  return queue_count_.load(std::memory_order_acquire);
+}
+
+Status Datacenter::RunGcOnce() {
+  flstore::LId horizon;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    horizon = gc_horizon_.load();
+    while (!lid_meta_.empty() && horizon >= meta_base_ &&
+           horizon - meta_base_ < lid_meta_.size()) {
+      auto [host, toid] = lid_meta_[horizon - meta_base_];
+      if (!atable_.GcEligible(host, toid)) break;
+      ++horizon;
+    }
+    // Drop metadata below the new horizon. Per-host TOId order respects
+    // lid order, so each dropped record is the front of its host's
+    // toid->lid map.
+    while (meta_base_ < horizon && !lid_meta_.empty()) {
+      auto [host, toid] = lid_meta_.front();
+      (void)toid;
+      if (!toid_to_lid_[host].empty()) {
+        toid_to_lid_[host].pop_front();
+        ++toid_base_[host];
+      }
+      lid_meta_.pop_front();
+      ++meta_base_;
+    }
+    gc_horizon_.store(horizon);
+  }
+  // Checkpoint before truncating: the checkpoint carries the state below
+  // the horizon that the truncated records can no longer replay.
+  CHARIOTS_RETURN_IF_ERROR(WriteCheckpoint());
+  for (auto& m : maintainers_) {
+    CHARIOTS_RETURN_IF_ERROR(
+        m->TruncateBelow(horizon, config_.gc_archive_path));
+  }
+  indexer_.TruncateBelow(horizon);
+  // Local records everyone has can leave the send buffer.
+  local_buffer_.TruncateBelow(atable_.GlobalFloor(config_.dc_id) + 1);
+  return Status::OK();
+}
+
+void Datacenter::GcLoop() {
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(config_.gc_interval_nanos));
+    Status s = RunGcOnce();
+    if (!s.ok()) {
+      LOG_WARN << "dc" << config_.dc_id << ": gc failed: " << s.ToString();
+    }
+  }
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,234 @@
+#ifndef CHARIOTS_CHARIOTS_DATACENTER_H_
+#define CHARIOTS_CHARIOTS_DATACENTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chariots/atable.h"
+#include "chariots/batcher.h"
+#include "chariots/config.h"
+#include "chariots/fabric.h"
+#include "chariots/filter.h"
+#include "chariots/filter_map.h"
+#include "chariots/queue.h"
+#include "chariots/record.h"
+#include "chariots/replication.h"
+#include "common/queue.h"
+#include "flstore/indexer.h"
+#include "flstore/maintainer.h"
+
+namespace chariots::geo {
+
+/// One datacenter's Chariots instance (paper §6.2): the full multi-stage
+/// pipeline — receivers → batchers → filters → queues (token ring) → FLStore
+/// log maintainers → senders — plus the awareness table, local indexing, and
+/// garbage collection.
+///
+/// Thread model: batchers run their own flush timers; each filter drains a
+/// bounded inbox on its own thread; a token thread circulates the token
+/// round-robin over the queues (LId assignment serializes through the token
+/// exactly as in the paper; queues buffer in parallel); appends to the log
+/// maintainers happen on the token thread (in-process FLStore); senders run
+/// their own shipping loops.
+class Datacenter {
+ public:
+  Datacenter(ChariotsConfig config, ReplicationFabric* fabric);
+  ~Datacenter();
+
+  Datacenter(const Datacenter&) = delete;
+  Datacenter& operator=(const Datacenter&) = delete;
+
+  Status Start();
+  void Stop();
+
+  // ------------------------------------------------------------ client API
+
+  /// Appends a record created at this datacenter. Assigns and returns its
+  /// TOId immediately; `on_committed` (optional, moved from `record`-style
+  /// callers) fires with (toid, lid) once the record is persisted locally.
+  /// `deps` is the caller's causal dependency vector (may be empty).
+  TOId Append(std::string body, std::vector<flstore::Tag> tags,
+              DepVector deps,
+              std::function<void(TOId, flstore::LId)> on_committed = {});
+
+  /// Reads the record at local position `lid`. NotFound below the GC
+  /// horizon or above the filled prefix.
+  Result<GeoRecord> Read(flstore::LId lid) const;
+
+  /// The local log's gap-free head: every position < HeadLid() is persisted
+  /// (the token assigns LIds consecutively and appends synchronously).
+  flstore::LId HeadLid() const;
+
+  /// Reads up to `limit` records in [from, HeadLid()).
+  std::vector<GeoRecord> ReadRange(flstore::LId from, size_t limit) const;
+
+  /// Tag lookup against the local index.
+  std::vector<flstore::Posting> Lookup(const flstore::IndexQuery& query) const;
+
+  /// Registers a push subscriber invoked (on the token thread, so keep it
+  /// fast) for every record as it becomes durable, local and remote alike,
+  /// in LId order. Must be called before Start().
+  void Subscribe(std::function<void(const GeoRecord&)> subscriber);
+
+  /// Reads a record by its replication identity (host, toid) — the paper's
+  /// Read-by-TOId rule (§3). NotFound if not yet incorporated or GC'd.
+  Result<GeoRecord> ReadByToid(DatacenterId host, TOId toid) const;
+
+  // --------------------------------------------------------- introspection
+
+  uint32_t dc_id() const { return config_.dc_id; }
+  const ChariotsConfig& config() const { return config_; }
+  const AwarenessTable& atable() const { return atable_; }
+  /// Highest TOId handed out to local appends.
+  TOId max_local_toid() const { return next_toid_.load(); }
+  /// Highest TOId of each datacenter incorporated into the local log.
+  std::vector<TOId> IncorporatedVector() const;
+
+  /// Blocks until the local log has incorporated `toid` of datacenter `dc`
+  /// (or the timeout passes). Convenience for tests and examples.
+  bool WaitForToid(DatacenterId dc, TOId toid, int64_t timeout_nanos) const;
+
+  struct Stats {
+    uint64_t appends_local = 0;
+    uint64_t records_incorporated = 0;
+    uint64_t batcher_records_in = 0;
+    uint64_t batches_flushed = 0;
+    uint64_t filter_forwarded = 0;
+    uint64_t filter_duplicates = 0;
+    uint64_t filter_buffered = 0;
+    uint64_t queue_duplicates = 0;
+    uint64_t records_sent = 0;
+    uint64_t batches_sent = 0;
+    uint64_t records_received = 0;
+    uint64_t index_postings = 0;
+    flstore::LId head_lid = 0;
+    flstore::LId gc_horizon = 0;
+  };
+  Stats GetStats() const;
+
+  /// Multi-line human-readable stats dump (ops/diagnostics).
+  std::string DebugString() const;
+
+  // ------------------------------------------------------------ elasticity
+
+  /// Adds a filter with a future reassignment: records of `host` with TOId
+  /// >= `from_toid` are split across `filters` (paper §6.3).
+  Status SplitFilterChampionship(DatacenterId host, TOId from_toid,
+                                 std::vector<uint32_t> filters);
+
+  /// Adds a batcher. Batchers are completely independent (paper §6.3), so
+  /// this takes effect immediately: future appends/receives round-robin
+  /// over the grown set.
+  Status AddBatcher();
+
+  /// Adds a queue to the token ring. The token visits it from its next
+  /// circulation; filters may route records to it immediately (a queue can
+  /// receive any record).
+  Status AddQueue();
+
+  size_t num_batchers() const;
+  size_t num_queues() const;
+  size_t num_filters() const {
+    return filter_count_.load(std::memory_order_acquire);
+  }
+
+  // -------------------------------------------------------------------- GC
+
+  // ---------------------------------------------------- crash recovery
+
+  /// Persists a recovery checkpoint (replica clocks + awareness table) to
+  /// the store directory. Called automatically on Stop() and before each
+  /// GC truncation; callable any time for tighter recovery points. No-op
+  /// for memory-only deployments.
+  Status WriteCheckpoint();
+
+  /// Advances the GC horizon as far as the awareness table allows and
+  /// truncates storage + index + sender buffer below it. Safe to call any
+  /// time; also run periodically when config.gc_interval_nanos > 0.
+  Status RunGcOnce();
+  flstore::LId gc_horizon() const { return gc_horizon_.load(); }
+
+ private:
+  friend class DatacenterTestPeer;
+
+  /// Rebuilds all volatile state from the persisted log + checkpoint after
+  /// a whole-datacenter restart (paper §1: datacenter-level fault
+  /// tolerance). Runs in Start() before the pipeline threads exist.
+  Status RecoverFromStorage();
+
+  void FilterLoop(size_t filter_index);
+  void TokenLoop();
+  void GcLoop();
+  void RouteToMaintainer(uint32_t maintainer_index, GeoRecord record);
+  void SubmitToBatcher(GeoRecord record);
+
+  ChariotsConfig config_;
+  ReplicationFabric* const fabric_;
+
+  flstore::EpochJournal journal_;
+  FilterMap filter_map_;
+  AwarenessTable atable_;
+
+  /// Batchers/queues are reserved to fixed capacities so elastic growth
+  /// never reallocates under concurrent readers; readers bound their index
+  /// by the companion atomic count.
+  static constexpr size_t kMaxBatchers = 256;
+  static constexpr size_t kMaxQueues = 256;
+  std::vector<std::unique_ptr<Batcher>> batchers_;
+  std::atomic<size_t> batcher_count_{0};
+  std::atomic<uint64_t> batcher_rr_{0};
+
+  struct FilterStage {
+    std::unique_ptr<Filter> filter;
+    std::unique_ptr<BoundedQueue<std::vector<GeoRecord>>> inbox;
+    std::thread thread;
+  };
+  /// Filter stages. Reserved to kMaxFilters at Start so elasticity can grow
+  /// the stage without reallocating under concurrent readers; readers bound
+  /// their index by filter_count_.
+  static constexpr size_t kMaxFilters = 256;
+  std::vector<std::unique_ptr<FilterStage>> filters_;
+  std::atomic<size_t> filter_count_{0};
+  std::atomic<uint64_t> queue_rr_{0};
+
+  std::vector<std::unique_ptr<GeoQueue>> queues_;
+  std::atomic<size_t> queue_count_{0};
+  Token token_;
+  std::thread token_thread_;
+
+  std::vector<std::unique_ptr<flstore::LogMaintainer>> maintainers_;
+  flstore::Indexer indexer_;
+
+  LocalRecordBuffer local_buffer_;
+  std::vector<std::unique_ptr<Sender>> senders_;
+  std::unique_ptr<Receiver> receiver_;
+
+  // GC bookkeeping: (host, toid) per lid, from lid meta_base_.
+  mutable std::mutex meta_mu_;
+  std::deque<std::pair<DatacenterId, TOId>> lid_meta_;
+  flstore::LId meta_base_ = 0;
+  // TOId -> LId per host (dense, toids start at 1); bases advance with GC.
+  std::vector<std::deque<flstore::LId>> toid_to_lid_;
+  std::vector<TOId> toid_base_;
+  std::thread gc_thread_;
+
+  std::vector<std::function<void(const GeoRecord&)>> subscribers_;
+  std::atomic<TOId> next_toid_{0};
+  std::atomic<flstore::LId> head_lid_{0};
+  std::atomic<flstore::LId> gc_horizon_{0};
+  std::atomic<uint64_t> incorporated_{0};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex wait_mu_;
+  mutable std::condition_variable wait_cv_;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_DATACENTER_H_

@@ -1,0 +1,104 @@
+#include "chariots/filter_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace chariots::geo {
+
+FilterMap::FilterMap(uint32_t num_filters, uint32_t num_datacenters)
+    : num_filters_(num_filters), per_dc_(num_datacenters) {
+  assert(num_filters > 0 && num_datacenters > 0);
+  // Default assignment: spread filters over datacenters as evenly as
+  // possible. DC d gets the filters f with f % num_datacenters == d when
+  // filters > datacenters; otherwise the single filter d % num_filters.
+  for (DatacenterId d = 0; d < num_datacenters; ++d) {
+    Assignment a;
+    a.from_toid = 1;
+    if (num_filters <= num_datacenters) {
+      a.filters = {d % num_filters};
+    } else {
+      for (uint32_t f = 0; f < num_filters; ++f) {
+        if (f % num_datacenters == d) a.filters.push_back(f);
+      }
+    }
+    per_dc_[d].push_back(std::move(a));
+  }
+}
+
+const FilterMap::Assignment& FilterMap::AssignmentFor(DatacenterId host,
+                                                      TOId toid) const {
+  const std::vector<Assignment>& list = per_dc_[host];
+  // Last assignment with from_toid <= toid.
+  for (auto it = list.rbegin(); it != list.rend(); ++it) {
+    if (it->from_toid <= toid) return *it;
+  }
+  return list.front();
+}
+
+uint32_t FilterMap::FilterFor(DatacenterId host, TOId toid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Assignment& a = AssignmentFor(host, toid);
+  return a.filters[toid % a.filters.size()];
+}
+
+bool FilterMap::StrideFor(uint32_t filter, DatacenterId host, TOId toid,
+                          uint64_t* stride, uint64_t* phase) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Assignment& a = AssignmentFor(host, toid);
+  for (size_t i = 0; i < a.filters.size(); ++i) {
+    if (a.filters[i] == filter) {
+      *stride = a.filters.size();
+      *phase = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+TOId FilterMap::NextChampioned(uint32_t filter, DatacenterId host,
+                               TOId after) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<Assignment>& list = per_dc_[host];
+  for (size_t a = 0; a < list.size(); ++a) {
+    // Segment [from, to): to = next assignment's from, or unbounded.
+    TOId from = list[a].from_toid;
+    TOId to = a + 1 < list.size() ? list[a + 1].from_toid : 0;  // 0 = open
+    TOId start = std::max(after + 1, from);
+    if (to != 0 && start >= to) continue;
+    // Find this filter's phase within the segment.
+    const std::vector<uint32_t>& filters = list[a].filters;
+    for (size_t p = 0; p < filters.size(); ++p) {
+      if (filters[p] != filter) continue;
+      uint64_t stride = filters.size();
+      // Smallest toid >= start with toid % stride == p.
+      TOId candidate = start + ((p + stride - start % stride) % stride);
+      if (to == 0 || candidate < to) return candidate;
+    }
+  }
+  return 0;
+}
+
+Status FilterMap::Reassign(DatacenterId host, TOId from_toid,
+                           std::vector<uint32_t> filters) {
+  if (host >= per_dc_.size()) {
+    return Status::InvalidArgument("unknown datacenter");
+  }
+  if (filters.empty()) {
+    return Status::InvalidArgument("assignment needs at least one filter");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t f : filters) {
+    if (f >= num_filters_) {
+      // Growing the filter pool: extend the known width.
+      num_filters_ = f + 1;
+    }
+  }
+  if (from_toid <= per_dc_[host].back().from_toid) {
+    return Status::InvalidArgument(
+        "future reassignment must start after the current assignment");
+  }
+  per_dc_[host].push_back(Assignment{from_toid, std::move(filters)});
+  return Status::OK();
+}
+
+}  // namespace chariots::geo

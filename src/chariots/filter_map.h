@@ -1,0 +1,69 @@
+#ifndef CHARIOTS_CHARIOTS_FILTER_MAP_H_
+#define CHARIOTS_CHARIOTS_FILTER_MAP_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "chariots/record.h"
+#include "common/status.h"
+
+namespace chariots::geo {
+
+/// Championing assignment for the filters stage (paper §6.2): every record
+/// is championed by exactly one filter, determined by its host datacenter
+/// and TOId. When there are at least as many datacenters as filters, each
+/// filter champions whole datacenters (host mod filters). When there are
+/// more filters than datacenters, a datacenter's stream is split across
+/// several filters by TOId stride (the paper's odd/even example generalized
+/// to modulus classes).
+///
+/// Live elasticity (§6.3) uses *future reassignment*: a new assignment
+/// becomes effective for records with TOId ≥ a transition point, per
+/// datacenter, so batchers can switch over without coordination.
+class FilterMap {
+ public:
+  /// Champion shape for one datacenter from some TOId on.
+  struct Assignment {
+    TOId from_toid = 1;          ///< effective for toid >= from_toid
+    std::vector<uint32_t> filters;  ///< filter ids; record goes to
+                                    ///< filters[toid % filters.size()]
+  };
+
+  FilterMap(uint32_t num_filters, uint32_t num_datacenters);
+
+  /// The filter championing (host, toid).
+  uint32_t FilterFor(DatacenterId host, TOId toid) const;
+
+  /// Stride and phase of filter `filter` for `host` at `toid`: the filter
+  /// champions toids with toid % stride == phase (within the assignment
+  /// containing `toid`). Returns false if the filter does not champion this
+  /// host there at all.
+  bool StrideFor(uint32_t filter, DatacenterId host, TOId toid,
+                 uint64_t* stride, uint64_t* phase) const;
+
+  /// The smallest TOId strictly greater than `after` that `filter`
+  /// champions for `host`; 0 if there is none (the filter left the
+  /// assignment and no future segment includes it).
+  TOId NextChampioned(uint32_t filter, DatacenterId host, TOId after) const;
+
+  /// Future reassignment: records of `host` with TOId >= `from_toid` are
+  /// championed by `filters` (modulus split). `from_toid` must be beyond
+  /// every previously installed transition for that host.
+  Status Reassign(DatacenterId host, TOId from_toid,
+                  std::vector<uint32_t> filters);
+
+  uint32_t num_filters() const { return num_filters_; }
+
+ private:
+  const Assignment& AssignmentFor(DatacenterId host, TOId toid) const;
+
+  uint32_t num_filters_;
+  mutable std::mutex mu_;
+  // Per datacenter: assignments sorted by from_toid (first covers toid 1).
+  std::vector<std::vector<Assignment>> per_dc_;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_FILTER_MAP_H_

@@ -1,0 +1,84 @@
+#ifndef CHARIOTS_CHARIOTS_GEO_SERVICE_H_
+#define CHARIOTS_CHARIOTS_GEO_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "chariots/datacenter.h"
+#include "net/rpc.h"
+
+namespace chariots::geo {
+
+/// RPC opcodes for the datacenter's client-facing service. (Replication
+/// between datacenters uses the fabric directly; these opcodes are for
+/// application clients running outside the datacenter process.)
+enum GeoOpcode : uint16_t {
+  kGeoAppend = 50,     ///< body + tags + deps -> toid + lid (waits durable)
+  kGeoRead = 51,       ///< u64 lid -> encoded GeoRecord + lid
+  kGeoHead = 52,       ///< () -> u64 head lid
+  kGeoLookup = 53,     ///< IndexQuery -> postings
+  kGeoReadByToid = 54, ///< u32 host + u64 toid -> encoded GeoRecord + lid
+};
+
+/// Hosts a Datacenter's client API on the RPC fabric, so application
+/// clients can run as separate processes (see tools/chariots_node
+/// --role=datacenter).
+class GeoServer {
+ public:
+  /// `node` is this server's address (e.g. "geo/dc0/api").
+  GeoServer(net::Transport* transport, net::NodeId node, Datacenter* dc);
+  ~GeoServer();
+
+  Status Start();
+  void Stop();
+
+ private:
+  Datacenter* const dc_;
+  net::RpcEndpoint endpoint_;
+};
+
+/// Remote-process counterpart of ChariotsClient: the same append/read
+/// interface with causal dependency tracking, over RPC.
+class GeoRpcClient {
+ public:
+  GeoRpcClient(net::Transport* transport, net::NodeId node,
+               net::NodeId server);
+  ~GeoRpcClient();
+
+  Status Start();
+  void Stop();
+
+  /// Appends and waits until durable at the datacenter; returns
+  /// (toid, lid). The session's causal dependencies ride along.
+  Result<std::pair<TOId, flstore::LId>> Append(
+      std::string body, std::vector<flstore::Tag> tags = {});
+
+  /// Reads by local position, absorbing causal dependencies.
+  Result<GeoRecord> Read(flstore::LId lid);
+
+  /// Reads by replication identity.
+  Result<GeoRecord> ReadByToid(DatacenterId host, TOId toid);
+
+  Result<flstore::LId> Head();
+
+  Result<std::vector<flstore::Posting>> Lookup(
+      const flstore::IndexQuery& query);
+
+  /// Most recent record with `tag_key` as of `before_lid` (kInvalidLId =
+  /// current head), absorbing causal dependencies.
+  Result<GeoRecord> ReadMostRecent(const std::string& tag_key,
+                                   flstore::LId before_lid =
+                                       flstore::kInvalidLId);
+
+ private:
+  void Absorb(const GeoRecord& record);
+
+  net::RpcEndpoint endpoint_;
+  const net::NodeId server_;
+  std::mutex mu_;
+  DepVector deps_;
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_GEO_SERVICE_H_

@@ -1,0 +1,82 @@
+#include "chariots/queue.h"
+
+#include <algorithm>
+
+namespace chariots::geo {
+
+GeoQueue::GeoQueue(uint32_t id, const flstore::EpochJournal* journal,
+                   RouteFn route)
+    : id_(id), journal_(journal), route_(std::move(route)) {}
+
+void GeoQueue::Enqueue(GeoRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(std::move(record));
+}
+
+bool GeoQueue::Admissible(const Token& token, const GeoRecord& r) const {
+  if (r.host >= token.max_toid.size()) return false;
+  if (r.toid != token.max_toid[r.host] + 1) return false;
+  for (size_t d = 0; d < r.deps.size() && d < token.max_toid.size(); ++d) {
+    if (d == r.host) continue;  // own-host dependency is the toid order
+    if (r.deps[d] > token.max_toid[d]) return false;
+  }
+  return true;
+}
+
+size_t GeoQueue::ProcessToken(Token* token) {
+  // Collect work: newly filtered records plus the token's deferred ones.
+  std::vector<GeoRecord> work;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    work.swap(pending_);
+  }
+  work.insert(work.end(), std::make_move_iterator(token->deferred.begin()),
+              std::make_move_iterator(token->deferred.end()));
+  token->deferred.clear();
+
+  // Sorting by (host, toid) makes each pass admit whole runs.
+  std::sort(work.begin(), work.end(),
+            [](const GeoRecord& a, const GeoRecord& b) {
+              if (a.host != b.host) return a.host < b.host;
+              return a.toid < b.toid;
+            });
+
+  size_t appended_now = 0;
+  bool progress = true;
+  std::vector<GeoRecord> rest;
+  while (progress) {
+    progress = false;
+    rest.clear();
+    rest.reserve(work.size());
+    for (GeoRecord& r : work) {
+      if (r.host < token->max_toid.size() &&
+          r.toid <= token->max_toid[r.host]) {
+        // Already in the log somewhere: retransmission duplicate.
+        duplicates_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (!Admissible(*token, r)) {
+        rest.push_back(std::move(r));
+        continue;
+      }
+      r.lid = token->next_lid++;
+      token->max_toid[r.host] = r.toid;
+      uint32_t maintainer = journal_->MaintainerFor(r.lid);
+      route_(maintainer, std::move(r));
+      ++appended_now;
+      progress = true;
+    }
+    work.swap(rest);
+  }
+
+  token->deferred = std::move(work);
+  appended_.fetch_add(appended_now, std::memory_order_relaxed);
+  return appended_now;
+}
+
+size_t GeoQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,75 @@
+#ifndef CHARIOTS_CHARIOTS_QUEUE_H_
+#define CHARIOTS_CHARIOTS_QUEUE_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "chariots/record.h"
+#include "flstore/striping.h"
+
+namespace chariots::geo {
+
+/// The token circulating among the queues (paper §6.2): the single point of
+/// truth for LId assignment. Carries the maximum TOId per datacenter already
+/// incorporated into the local log, the next LId to hand out, and the
+/// deferred records whose causal dependencies are not yet satisfied.
+struct Token {
+  std::vector<TOId> max_toid;
+  flstore::LId next_lid = 0;
+  std::vector<GeoRecord> deferred;
+
+  explicit Token(uint32_t num_datacenters)
+      : max_toid(num_datacenters, 0) {}
+};
+
+/// A queue (paper §6.2): buffers filtered records; when holding the token it
+/// appends every record whose causal dependencies are satisfied — assigning
+/// consecutive LIds, so the log below `next_lid` is gap-free by construction
+/// — and defers the rest into the token.
+///
+/// Admission rule for record r (host h, toid t, deps d[]):
+///   * t ≤ token.max_toid[h]  → duplicate, dropped;
+///   * t == token.max_toid[h] + 1  AND  d[k] ≤ token.max_toid[k] ∀k  →
+///     admitted (total order per host + happened-before, paper §3);
+///   * otherwise deferred.
+class GeoQueue {
+ public:
+  /// Routes an admitted record (lid filled in) to maintainer
+  /// `maintainer_index`.
+  using RouteFn = std::function<void(uint32_t maintainer_index, GeoRecord)>;
+
+  GeoQueue(uint32_t id, const flstore::EpochJournal* journal, RouteFn route);
+
+  GeoQueue(const GeoQueue&) = delete;
+  GeoQueue& operator=(const GeoQueue&) = delete;
+
+  /// Stashes a record until this queue next holds the token. Thread-safe.
+  void Enqueue(GeoRecord record);
+
+  /// Runs the token protocol over everything pending + previously deferred.
+  /// Returns the number of records appended this turn.
+  size_t ProcessToken(Token* token);
+
+  uint32_t id() const { return id_; }
+  size_t pending() const;
+  uint64_t appended() const { return appended_.load(); }
+  uint64_t duplicates_dropped() const { return duplicates_.load(); }
+
+ private:
+  bool Admissible(const Token& token, const GeoRecord& r) const;
+
+  const uint32_t id_;
+  const flstore::EpochJournal* const journal_;
+  RouteFn route_;
+
+  mutable std::mutex mu_;
+  std::vector<GeoRecord> pending_;
+  std::atomic<uint64_t> appended_{0};
+  std::atomic<uint64_t> duplicates_{0};
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_QUEUE_H_

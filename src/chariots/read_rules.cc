@@ -1,0 +1,66 @@
+#include "chariots/read_rules.h"
+
+#include "chariots/datacenter.h"
+
+namespace chariots::geo {
+
+Result<std::vector<GeoRecord>> ReadWithRules(const Datacenter& dc,
+                                             const ReadRules& rules) {
+  int selectors = (rules.lid.has_value() ? 1 : 0) +
+                  (rules.lid_range.has_value() ? 1 : 0) +
+                  (rules.host.has_value() || rules.toid.has_value() ? 1 : 0) +
+                  (rules.tag.has_value() ? 1 : 0);
+  if (selectors != 1) {
+    return Status::InvalidArgument(
+        "rules must name exactly one selector (lid, lid_range, host+toid, "
+        "or tag)");
+  }
+
+  std::vector<GeoRecord> out;
+  if (rules.lid) {
+    CHARIOTS_ASSIGN_OR_RETURN(GeoRecord record, dc.Read(*rules.lid));
+    out.push_back(std::move(record));
+    return out;
+  }
+
+  if (rules.lid_range) {
+    auto [first, last] = *rules.lid_range;
+    if (first > last) {
+      return Status::InvalidArgument("lid_range first > last");
+    }
+    flstore::LId stop = std::min<flstore::LId>(last, dc.HeadLid());
+    for (flstore::LId lid = first;
+         lid < stop && out.size() < rules.limit; ++lid) {
+      Result<GeoRecord> record = dc.Read(lid);
+      if (record.ok()) out.push_back(std::move(record).value());
+    }
+    return out;
+  }
+
+  if (rules.host || rules.toid) {
+    if (!rules.host || !rules.toid) {
+      return Status::InvalidArgument("host and toid must be set together");
+    }
+    CHARIOTS_ASSIGN_OR_RETURN(GeoRecord record,
+                              dc.ReadByToid(*rules.host, *rules.toid));
+    out.push_back(std::move(record));
+    return out;
+  }
+
+  flstore::IndexQuery query;
+  query.key = *rules.tag;
+  query.value_equals = rules.tag_value_equals;
+  query.value_min = rules.tag_value_min;
+  query.value_max = rules.tag_value_max;
+  query.before_lid =
+      rules.before_lid == flstore::kInvalidLId ? dc.HeadLid()
+                                               : rules.before_lid;
+  query.limit = rules.limit;
+  for (const flstore::Posting& posting : dc.Lookup(query)) {
+    Result<GeoRecord> record = dc.Read(posting.lid);
+    if (record.ok()) out.push_back(std::move(record).value());
+  }
+  return out;
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,50 @@
+#ifndef CHARIOTS_CHARIOTS_READ_RULES_H_
+#define CHARIOTS_CHARIOTS_READ_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chariots/record.h"
+#include "flstore/indexer.h"
+
+namespace chariots::geo {
+
+/// The paper's Read interface (§3): "Read(in: rules, out: records) —
+/// return the records that match the input rules. A rule might involve
+/// TOIds, LIds, and tags information."
+///
+/// Exactly one selector must be set:
+///  * `lid`            — one record by local position;
+///  * `lid_range`      — records in [first, last) by position;
+///  * `host` + `toid`  — one record by replication identity;
+///  * `tag`            — most recent `limit` records carrying the tag,
+///                       optionally value-filtered and pinned below
+///                       `before_lid` (snapshot reads).
+struct ReadRules {
+  std::optional<flstore::LId> lid;
+  std::optional<std::pair<flstore::LId, flstore::LId>> lid_range;
+
+  std::optional<DatacenterId> host;
+  std::optional<TOId> toid;
+
+  std::optional<std::string> tag;
+  std::optional<std::string> tag_value_equals;
+  std::optional<int64_t> tag_value_min;
+  std::optional<int64_t> tag_value_max;
+  flstore::LId before_lid = flstore::kInvalidLId;
+
+  /// Maximum records returned (tag and range selectors).
+  uint32_t limit = 1;
+};
+
+class Datacenter;
+
+/// Evaluates `rules` against `dc`'s log. InvalidArgument if the rules do
+/// not name exactly one selector.
+Result<std::vector<GeoRecord>> ReadWithRules(const Datacenter& dc,
+                                             const ReadRules& rules);
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_READ_RULES_H_

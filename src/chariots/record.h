@@ -1,0 +1,62 @@
+#ifndef CHARIOTS_CHARIOTS_RECORD_H_
+#define CHARIOTS_CHARIOTS_RECORD_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/types.h"
+
+namespace chariots::geo {
+
+/// Datacenter identifier (index into the replication group).
+using DatacenterId = uint32_t;
+
+/// Total-order id (paper §3): position of a record among records created at
+/// its *host* datacenter. 1-based ("the first record of each node has a TOId
+/// of 1"); identical across all replicas of the record.
+using TOId = uint64_t;
+
+/// Per-datacenter causal dependency vector: deps[d] is the highest TOId of
+/// datacenter d that is causally before this record. The record itself
+/// additionally depends on (host, toid-1) implicitly.
+using DepVector = std::vector<TOId>;
+
+/// A record in the geo-replicated shared log. The LId differs per
+/// datacenter; host/toid/deps/body/tags are identical everywhere.
+struct GeoRecord {
+  DatacenterId host = 0;
+  TOId toid = 0;
+  /// Position in the local datacenter's log; kInvalidLId until the queues
+  /// stage assigns it.
+  flstore::LId lid = flstore::kInvalidLId;
+  DepVector deps;
+  std::string body;
+  std::vector<flstore::Tag> tags;
+
+  /// Completion hook for locally appended records: fires once the record is
+  /// persisted locally, with its TOId and LId (paper §3: "The assigned TOId
+  /// and LId will be sent back to the Application client"). Never
+  /// serialized; remote copies carry none.
+  std::function<void(TOId, flstore::LId)> on_committed;
+};
+
+/// Serializes the replicated part of a record (everything but lid and the
+/// completion hook).
+std::string EncodeGeoRecord(const GeoRecord& record);
+Result<GeoRecord> DecodeGeoRecord(std::string_view data);
+
+/// Converts to the FLStore representation: body = encoded GeoRecord, tags
+/// copied for indexing.
+flstore::LogRecord ToLogRecord(const GeoRecord& record);
+
+/// Inverse of ToLogRecord (lid taken from the log record).
+Result<GeoRecord> FromLogRecord(const flstore::LogRecord& log_record);
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_RECORD_H_

@@ -1,0 +1,201 @@
+#include "chariots/replication.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace chariots::geo {
+
+std::string EncodeReplicationBatch(const ReplicationBatch& batch) {
+  BinaryWriter w;
+  w.PutBytes(batch.atable);
+  w.PutU64(batch.first_toid);
+  w.PutU32(static_cast<uint32_t>(batch.records.size()));
+  for (const std::string& r : batch.records) w.PutBytes(r);
+  return std::move(w).data();
+}
+
+Result<ReplicationBatch> DecodeReplicationBatch(std::string_view data) {
+  BinaryReader r(data);
+  ReplicationBatch batch;
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&batch.atable));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&batch.first_toid));
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  batch.records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string rec;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec));
+    batch.records.push_back(std::move(rec));
+  }
+  return batch;
+}
+
+// ------------------------------------------------------ LocalRecordBuffer
+
+void LocalRecordBuffer::Put(TOId toid, std::string encoded) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(toid == base_ + records_.size() &&
+         "local records must be incorporated in TOId order");
+  (void)toid;
+  records_.push_back(std::move(encoded));
+}
+
+void LocalRecordBuffer::SetBase(TOId first_toid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(records_.empty() && "SetBase only valid on an empty buffer");
+  base_ = first_toid;
+}
+
+TOId LocalRecordBuffer::max_toid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_ + records_.size() - 1;
+}
+
+size_t LocalRecordBuffer::Read(TOId from, size_t max_records,
+                               std::vector<std::string>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from < base_) return 0;  // already garbage collected
+  size_t offset = from - base_;
+  size_t available = records_.size() > offset ? records_.size() - offset : 0;
+  size_t n = std::min(available, max_records);
+  for (size_t i = 0; i < n; ++i) out->push_back(records_[offset + i]);
+  return n;
+}
+
+void LocalRecordBuffer::TruncateBelow(TOId floor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (base_ < floor && !records_.empty()) {
+    records_.pop_front();
+    ++base_;
+  }
+}
+
+size_t LocalRecordBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+// ------------------------------------------------------------------ Sender
+
+Sender::Sender(DatacenterId self, std::vector<DatacenterId> destinations,
+               const LocalRecordBuffer* buffer, const AwarenessTable* atable,
+               ReplicationFabric* fabric, Options options, Clock* clock)
+    : self_(self),
+      buffer_(buffer),
+      atable_(atable),
+      fabric_(fabric),
+      options_(options),
+      clock_(clock) {
+  for (DatacenterId dc : destinations) {
+    dests_.push_back(DestState{dc, 0, 0, 0});
+  }
+}
+
+Sender::~Sender() { Stop(); }
+
+void Sender::Start() {
+  bool expected = true;
+  if (!stop_.compare_exchange_strong(expected, false)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Sender::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Sender::Loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (Tick() == 0) clock_->SleepFor(options_.tick_nanos);
+  }
+}
+
+size_t Sender::Tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = clock_->NowNanos();
+  size_t shipped = 0;
+
+  for (DestState& dest : dests_) {
+    // The peer's awareness of us doubles as the acknowledgement.
+    TOId acked = atable_->Get(dest.dc, self_);
+    if (acked > dest.sent_upto) dest.sent_upto = acked;
+    // No ack progress for a while: rewind and retransmit (the filters at
+    // the destination absorb duplicates).
+    if (acked < dest.sent_upto &&
+        now - dest.last_send_nanos > options_.resend_nanos) {
+      dest.sent_upto = acked;
+    }
+
+    TOId max = buffer_->max_toid();
+    if (dest.sent_upto < max) {
+      ReplicationBatch batch;
+      batch.atable = atable_->Encode();
+      batch.first_toid = dest.sent_upto + 1;
+      size_t n = buffer_->Read(batch.first_toid, options_.batch_records,
+                               &batch.records);
+      if (n > 0) {
+        Status s = fabric_->Send(self_, dest.dc,
+                                 EncodeReplicationBatch(batch));
+        if (s.ok()) {
+          dest.sent_upto += n;
+          dest.last_send_nanos = now;
+          dest.last_heartbeat_nanos = now;
+          shipped += n;
+          records_sent_.fetch_add(n, std::memory_order_relaxed);
+          batches_sent_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+    }
+
+    // Nothing to ship: heartbeat the awareness table so knowledge (and GC
+    // eligibility) keeps flowing.
+    if (now - dest.last_heartbeat_nanos > options_.heartbeat_nanos) {
+      ReplicationBatch hb;
+      hb.atable = atable_->Encode();
+      if (fabric_->Send(self_, dest.dc, EncodeReplicationBatch(hb)).ok()) {
+        dest.last_heartbeat_nanos = now;
+        batches_sent_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return shipped;
+}
+
+// ---------------------------------------------------------------- Receiver
+
+Receiver::Receiver(DatacenterId self, AwarenessTable* atable, SubmitFn submit)
+    : self_(self), atable_(atable), submit_(std::move(submit)) {}
+
+void Receiver::OnMessage(DatacenterId from, std::string payload) {
+  (void)from;
+  Result<ReplicationBatch> batch = DecodeReplicationBatch(payload);
+  if (!batch.ok()) {
+    LOG_WARN << "dc" << self_ << ": undecodable replication batch: "
+             << batch.status().ToString();
+    return;
+  }
+  if (!batch->atable.empty()) {
+    Status s = atable_->MergeEncoded(batch->atable);
+    if (!s.ok()) {
+      LOG_WARN << "dc" << self_ << ": bad piggybacked atable: "
+               << s.ToString();
+    }
+  }
+  batches_received_.fetch_add(1, std::memory_order_relaxed);
+  for (const std::string& encoded : batch->records) {
+    Result<GeoRecord> record = DecodeGeoRecord(encoded);
+    if (!record.ok()) {
+      LOG_WARN << "dc" << self_ << ": undecodable record in batch";
+      continue;
+    }
+    records_received_.fetch_add(1, std::memory_order_relaxed);
+    submit_(std::move(record).value());
+  }
+}
+
+}  // namespace chariots::geo

@@ -1,0 +1,150 @@
+#ifndef CHARIOTS_CHARIOTS_REPLICATION_H_
+#define CHARIOTS_CHARIOTS_REPLICATION_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "chariots/atable.h"
+#include "chariots/fabric.h"
+#include "chariots/record.h"
+#include "common/clock.h"
+#include "common/result.h"
+
+namespace chariots::geo {
+
+/// One replication message: the sender's whole awareness table (transitive
+/// knowledge piggyback, paper §6.1) plus a run of the sender's local records
+/// starting at `first_toid` (empty for pure heartbeats).
+struct ReplicationBatch {
+  std::string atable;  ///< encoded AwarenessTable
+  TOId first_toid = 0;
+  std::vector<std::string> records;  ///< encoded GeoRecords, consecutive TOIds
+};
+
+std::string EncodeReplicationBatch(const ReplicationBatch& batch);
+Result<ReplicationBatch> DecodeReplicationBatch(std::string_view data);
+
+/// Holds this datacenter's *local* records (host == self), indexed by TOId,
+/// for the senders to read and ship. Local records are incorporated in
+/// strict TOId order (queue admission), so puts are sequential. Old entries
+/// are dropped once every replica is known to have them.
+class LocalRecordBuffer {
+ public:
+  LocalRecordBuffer() = default;
+
+  /// Adds the record with TOId `toid` (must be exactly max_toid() + 1).
+  void Put(TOId toid, std::string encoded);
+
+  /// Recovery: declares that the buffer starts at `first_toid` (earlier
+  /// records were garbage collected — every replica already has them).
+  /// Only valid while empty.
+  void SetBase(TOId first_toid);
+
+  /// Highest TOId stored (0 if none ever).
+  TOId max_toid() const;
+
+  /// Copies up to `max_records` encoded records starting at `from` (only as
+  /// far as contiguously available). Returns how many were copied; records
+  /// older than the retention floor yield 0 (caller falls back to asking
+  /// the peer to recover via another replica — not modeled).
+  size_t Read(TOId from, size_t max_records,
+              std::vector<std::string>* out) const;
+
+  /// Drops records with TOId < floor.
+  void TruncateBelow(TOId floor);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  TOId base_ = 1;  // TOId of front()
+  std::deque<std::string> records_;
+};
+
+/// The senders stage (paper §6.2): ships local records to every other
+/// datacenter, with the awareness table piggybacked. Retransmits from the
+/// last *acknowledged* TOId — acknowledgement is simply the peer's awareness
+/// row coming back — so datacenter-level failures and partitions heal
+/// automatically. One Sender instance can own several destinations; a
+/// deployment scales by giving each destination (or destination shard) its
+/// own sender.
+class Sender {
+ public:
+  struct Options {
+    size_t batch_records = 256;
+    int64_t tick_nanos = 1'000'000;         ///< send-loop cadence (1 ms)
+    int64_t resend_nanos = 50'000'000;      ///< rewind if unacked (50 ms)
+    int64_t heartbeat_nanos = 10'000'000;   ///< ATable-only message (10 ms)
+  };
+
+  Sender(DatacenterId self, std::vector<DatacenterId> destinations,
+         const LocalRecordBuffer* buffer, const AwarenessTable* atable,
+         ReplicationFabric* fabric, Options options,
+         Clock* clock = SystemClock::Default());
+  ~Sender();
+
+  void Start();
+  void Stop();
+
+  /// One pass over all destinations; returns records shipped. Exposed for
+  /// deterministic tests (the background thread just calls this in a loop).
+  size_t Tick();
+
+  uint64_t records_sent() const { return records_sent_.load(); }
+  uint64_t batches_sent() const { return batches_sent_.load(); }
+
+ private:
+  struct DestState {
+    DatacenterId dc;
+    TOId sent_upto = 0;          // optimistic high-water mark
+    int64_t last_send_nanos = 0;
+    int64_t last_heartbeat_nanos = 0;
+  };
+
+  void Loop();
+
+  const DatacenterId self_;
+  const LocalRecordBuffer* const buffer_;
+  const AwarenessTable* const atable_;
+  ReplicationFabric* const fabric_;
+  const Options options_;
+  Clock* const clock_;
+
+  std::mutex mu_;
+  std::vector<DestState> dests_;
+  std::atomic<bool> stop_{true};
+  std::thread thread_;
+  std::atomic<uint64_t> records_sent_{0};
+  std::atomic<uint64_t> batches_sent_{0};
+};
+
+/// The receiving half: decodes replication batches from peers, merges the
+/// awareness table, and hands records to the local pipeline (batchers
+/// stage). Duplicate deliveries are fine — the filters drop them.
+class Receiver {
+ public:
+  using SubmitFn = std::function<void(GeoRecord)>;
+
+  Receiver(DatacenterId self, AwarenessTable* atable, SubmitFn submit);
+
+  /// Fabric handler.
+  void OnMessage(DatacenterId from, std::string payload);
+
+  uint64_t records_received() const { return records_received_.load(); }
+  uint64_t batches_received() const { return batches_received_.load(); }
+
+ private:
+  const DatacenterId self_;
+  AwarenessTable* const atable_;
+  SubmitFn submit_;
+  std::atomic<uint64_t> records_received_{0};
+  std::atomic<uint64_t> batches_received_{0};
+};
+
+}  // namespace chariots::geo
+
+#endif  // CHARIOTS_CHARIOTS_REPLICATION_H_

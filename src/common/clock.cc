@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace chariots {
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* const clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace chariots

@@ -1,0 +1,68 @@
+#ifndef CHARIOTS_COMMON_CLOCK_H_
+#define CHARIOTS_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+namespace chariots {
+
+/// Abstract monotonic clock, injectable for deterministic tests. Time is
+/// expressed as nanoseconds since an arbitrary epoch.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time in nanoseconds.
+  virtual int64_t NowNanos() const = 0;
+
+  /// Blocks the calling thread for (at least) `nanos` nanoseconds.
+  virtual void SleepFor(int64_t nanos) = 0;
+
+  int64_t NowMicros() const { return NowNanos() / 1000; }
+  int64_t NowMillis() const { return NowNanos() / 1000000; }
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock.
+class SystemClock : public Clock {
+ public:
+  /// Process-wide shared instance.
+  static SystemClock* Default();
+
+  int64_t NowNanos() const override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void SleepFor(int64_t nanos) override {
+    if (nanos > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+  }
+};
+
+/// Manually advanced clock for deterministic unit tests. SleepFor advances
+/// the clock instead of blocking, so timeout logic can be tested instantly.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : now_(start_nanos) {}
+
+  int64_t NowNanos() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void SleepFor(int64_t nanos) override { Advance(nanos); }
+
+  void Advance(int64_t nanos) {
+    now_.fetch_add(nanos, std::memory_order_acq_rel);
+  }
+  void Set(int64_t nanos) { now_.store(nanos, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> now_;
+};
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_CLOCK_H_

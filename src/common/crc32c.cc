@@ -1,0 +1,60 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace chariots::crc32c {
+namespace {
+
+// CRC-32C (Castagnoli) reflected polynomial.
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  uint32_t t[4][256];
+};
+
+Tables BuildTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    tb.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    tb.t[1][i] = (tb.t[0][i] >> 8) ^ tb.t[0][tb.t[0][i] & 0xff];
+    tb.t[2][i] = (tb.t[1][i] >> 8) ^ tb.t[0][tb.t[1][i] & 0xff];
+    tb.t[3][i] = (tb.t[2][i] >> 8) ^ tb.t[0][tb.t[2][i] & 0xff];
+  }
+  return tb;
+}
+
+const Tables& GetTables() {
+  static const Tables& tables = *new Tables(BuildTables());
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n) {
+  const Tables& tb = GetTables();
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(data);
+  uint32_t crc = init_crc ^ 0xffffffffu;
+
+  // Slicing-by-4 main loop.
+  while (n >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xff] ^ tb.t[2][(crc >> 8) & 0xff] ^
+          tb.t[1][(crc >> 16) & 0xff] ^ tb.t[0][(crc >> 24) & 0xff];
+    p += 4;
+    n -= 4;
+  }
+  while (n--) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace chariots::crc32c

@@ -1,0 +1,33 @@
+#ifndef CHARIOTS_COMMON_CRC32C_H_
+#define CHARIOTS_COMMON_CRC32C_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace chariots::crc32c {
+
+/// Extends `init_crc` with `data` using the CRC-32C (Castagnoli) polynomial.
+/// Software table-driven implementation (slicing-by-4).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// CRC-32C of a whole buffer.
+inline uint32_t Value(std::string_view data) {
+  return Extend(0, data.data(), data.size());
+}
+
+/// Masked CRC as used by LevelDB/RocksDB: storing the CRC of data that itself
+/// contains CRCs can defeat error detection, so stored checksums are masked.
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8ul;
+}
+
+/// Inverse of Mask().
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8ul;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace chariots::crc32c
+
+#endif  // CHARIOTS_COMMON_CRC32C_H_

@@ -1,0 +1,54 @@
+#ifndef CHARIOTS_COMMON_HISTOGRAM_H_
+#define CHARIOTS_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace chariots {
+
+/// Log-bucketed latency/size histogram with approximate percentiles.
+/// Bucket i covers values in [2^(i/4-ish)] — we use geometric buckets with
+/// ratio ~1.2 for ~1 significant digit of resolution across 1ns..100s.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (any non-negative magnitude, e.g. nanoseconds).
+  void Record(double value);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const;
+  double sum() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  /// Approximate p-th percentile, p in [0,100].
+  double Percentile(double p) const;
+
+  /// One-line summary: count/mean/p50/p99/max.
+  std::string ToString() const;
+
+  void Reset();
+
+ private:
+  size_t BucketFor(double value) const;
+  double BucketUpper(size_t index) const;
+
+  static constexpr size_t kNumBuckets = 180;
+
+  mutable std::mutex mu_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_HISTOGRAM_H_

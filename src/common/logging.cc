@@ -1,0 +1,61 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <mutex>
+
+namespace chariots {
+namespace internal_logging {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* const mu = new std::mutex();
+  return *mu;
+}
+}  // namespace
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  auto now = std::chrono::system_clock::now().time_since_epoch();
+  long ms = std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+  {
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "[%ld.%03ld %s %s:%d] %s\n", ms / 1000, ms % 1000,
+                 LevelName(level), base, line, msg.c_str());
+  }
+  if (level == LogLevel::kFatal) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace internal_logging
+
+void SetLogLevel(LogLevel level) {
+  internal_logging::g_min_level.store(static_cast<int>(level),
+                                      std::memory_order_relaxed);
+}
+
+}  // namespace chariots

@@ -1,0 +1,58 @@
+#ifndef CHARIOTS_COMMON_LOGGING_H_
+#define CHARIOTS_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace chariots {
+
+/// Diagnostic log severities. kFatal aborts the process after logging.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Process-wide minimum level; messages below it are discarded.
+extern std::atomic<int> g_min_level;
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream-collecting helper; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the process-wide minimum log level.
+void SetLogLevel(LogLevel level);
+
+#define CHARIOTS_LOG(level)                                                  \
+  if (static_cast<int>(::chariots::LogLevel::level) <                        \
+      ::chariots::internal_logging::g_min_level.load(                        \
+          std::memory_order_relaxed)) {                                      \
+  } else                                                                     \
+    ::chariots::internal_logging::LogMessage(::chariots::LogLevel::level,    \
+                                             __FILE__, __LINE__)             \
+        .stream()
+
+#define LOG_DEBUG CHARIOTS_LOG(kDebug)
+#define LOG_INFO CHARIOTS_LOG(kInfo)
+#define LOG_WARN CHARIOTS_LOG(kWarn)
+#define LOG_ERROR CHARIOTS_LOG(kError)
+#define LOG_FATAL CHARIOTS_LOG(kFatal)
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_LOGGING_H_

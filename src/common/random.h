@@ -1,0 +1,73 @@
+#ifndef CHARIOTS_COMMON_RANDOM_H_
+#define CHARIOTS_COMMON_RANDOM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace chariots {
+
+/// Small fast deterministic PRNG (xorshift128+). Not cryptographic. Each
+/// instance is single-threaded; give each worker its own seeded instance for
+/// reproducible workloads.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    s0_ = seed ^ 0x2545f4914f6cdd1dull;
+    s1_ = seed * 0x9e3779b97f4a7c15ull + 1;
+    // Warm up to decorrelate close seeds.
+    for (int i = 0; i < 8; ++i) Next();
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool OneIn(double p) { return NextDouble() < p; }
+
+  /// Random printable ASCII string of length n.
+  std::string NextString(size_t n) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+  /// Zipfian-ish skewed pick in [0, n): front-loaded distribution used by
+  /// key-value workloads. theta in (0,1), higher = more skew.
+  uint64_t Skewed(uint64_t n, double theta = 0.99) {
+    // Approximate: pick an exponent-distributed rank.
+    double u = NextDouble();
+    double rank = (n - 1) * (1.0 - std::min(1.0, u / (1.0 - theta + 1e-9)));
+    if (rank < 0) rank = 0;
+    uint64_t r = static_cast<uint64_t>(rank);
+    return r >= n ? n - 1 : r;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+#ifndef CHARIOTS_COMMON_RESULT_H_
+#define CHARIOTS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace chariots {
+
+/// A Status or a value of type T — the StatusOr pattern. A Result is either
+/// OK and holds a T, or non-OK and holds only the error Status. Accessing the
+/// value of a non-OK Result aborts (programming error, like dereferencing an
+/// empty optional).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (OK result).
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or returns its error.
+///   CHARIOTS_ASSIGN_OR_RETURN(auto v, Compute());
+#define CHARIOTS_ASSIGN_OR_RETURN(lhs, expr)                    \
+  CHARIOTS_ASSIGN_OR_RETURN_IMPL_(                              \
+      CHARIOTS_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+#define CHARIOTS_CONCAT_INNER_(a, b) a##b
+#define CHARIOTS_CONCAT_(a, b) CHARIOTS_CONCAT_INNER_(a, b)
+#define CHARIOTS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_RESULT_H_

@@ -1,0 +1,53 @@
+#include "common/status.h"
+
+namespace chariots {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kTimedOut:
+      return "timed out";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotSupported:
+      return "not supported";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace chariots

@@ -1,0 +1,73 @@
+#include "corfu/corfu.h"
+
+namespace chariots::corfu {
+
+Sequencer::Sequencer(double capacity_tokens_per_sec, Clock* clock) {
+  if (capacity_tokens_per_sec > 0) {
+    capacity_ = std::make_unique<TokenBucket>(
+        capacity_tokens_per_sec, capacity_tokens_per_sec / 100, clock);
+  }
+}
+
+Position Sequencer::Next(uint64_t count) {
+  if (capacity_ != nullptr) capacity_->Acquire(static_cast<double>(count));
+  return next_.fetch_add(count, std::memory_order_relaxed);
+}
+
+Position Sequencer::Tail() const {
+  return next_.load(std::memory_order_relaxed);
+}
+
+Status StorageUnit::Write(Position position, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cells_.try_emplace(position);
+  if (!inserted) {
+    return Status::AlreadyExists("cell occupied (write-once)");
+  }
+  it->second.payload = std::move(payload);
+  return Status::OK();
+}
+
+Status StorageUnit::Fill(Position position) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cells_.try_emplace(position);
+  if (!inserted && !it->second.junk) {
+    return Status::AlreadyExists("cell holds data; cannot junk-fill");
+  }
+  it->second.junk = true;
+  it->second.payload.clear();
+  return Status::OK();
+}
+
+Result<std::string> StorageUnit::Read(Position position) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(position);
+  if (it == cells_.end()) return Status::NotFound("hole (never written)");
+  if (it->second.junk) return Status::Aborted("junk-filled hole");
+  return it->second.payload;
+}
+
+uint64_t StorageUnit::cells_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+CorfuLog::CorfuLog(Sequencer* sequencer, std::vector<StorageUnit*> units)
+    : sequencer_(sequencer), units_(std::move(units)) {}
+
+Result<Position> CorfuLog::Append(std::string payload) {
+  Position position = sequencer_->Next();
+  CHARIOTS_RETURN_IF_ERROR(UnitFor(position)->Write(position,
+                                                    std::move(payload)));
+  return position;
+}
+
+Result<std::string> CorfuLog::Read(Position position) const {
+  return UnitFor(position)->Read(position);
+}
+
+Status CorfuLog::Fill(Position position) {
+  return UnitFor(position)->Fill(position);
+}
+
+}  // namespace chariots::corfu

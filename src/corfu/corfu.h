@@ -1,0 +1,105 @@
+#ifndef CHARIOTS_CORFU_CORFU_H_
+#define CHARIOTS_CORFU_CORFU_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rate_limiter.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace chariots::corfu {
+
+/// Log position in the CORFU-style baseline.
+using Position = uint64_t;
+
+/// The centralized sequencer of the CORFU protocol (paper §2.1, §5.2): it
+/// *pre-assigns* log positions to clients before they write. This is the
+/// design whose single-machine bandwidth bounds the whole log's append
+/// throughput — the bottleneck FLStore's post-assignment removes.
+///
+/// An optional token bucket models the sequencer machine's finite capacity
+/// (network I/O of a single box); leave the rate at 0 for an ideal,
+/// infinitely fast sequencer.
+class Sequencer {
+ public:
+  explicit Sequencer(double capacity_tokens_per_sec = 0,
+                     Clock* clock = SystemClock::Default());
+
+  /// Reserves `count` consecutive positions and returns the first.
+  Position Next(uint64_t count = 1);
+
+  /// Highest position handed out + 1 (the tail).
+  Position Tail() const;
+
+ private:
+  std::atomic<Position> next_{0};
+  std::unique_ptr<TokenBucket> capacity_;
+};
+
+/// A flash-unit-style storage server: write-once cells addressed by
+/// position. Writing an occupied cell fails (AlreadyExists), which is what
+/// makes client-driven CORFU appends safe; a special junk fill marks holes
+/// left by crashed clients so readers can skip them.
+class StorageUnit {
+ public:
+  /// Writes `payload` at `position`; write-once.
+  Status Write(Position position, std::string payload);
+
+  /// Marks `position` as junk (hole fill). Succeeds if empty or already
+  /// junk; fails with AlreadyExists if real data is present.
+  Status Fill(Position position);
+
+  /// Reads the cell; NotFound if never written, Aborted if junk-filled.
+  Result<std::string> Read(Position position) const;
+
+  uint64_t cells_written() const;
+
+ private:
+  struct Cell {
+    bool junk = false;
+    std::string payload;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<Position, Cell> cells_;
+};
+
+/// Client-driven CORFU log: ask the sequencer for a position, then write
+/// directly to the responsible storage unit (position % num_units). The
+/// data path bypasses the sequencer — appends scale with storage units —
+/// but every append still pays one sequencer round trip, so total
+/// throughput is capped by the sequencer's capacity.
+class CorfuLog {
+ public:
+  CorfuLog(Sequencer* sequencer, std::vector<StorageUnit*> units);
+
+  /// Appends a record; returns its position.
+  Result<Position> Append(std::string payload);
+
+  /// Reads a position (NotFound for holes not yet filled, Aborted for
+  /// junk).
+  Result<std::string> Read(Position position) const;
+
+  /// Fills a hole at `position` (crash recovery path).
+  Status Fill(Position position);
+
+  /// The sequencer's current tail.
+  Position Tail() const { return sequencer_->Tail(); }
+
+ private:
+  StorageUnit* UnitFor(Position position) const {
+    return units_[position % units_.size()];
+  }
+
+  Sequencer* const sequencer_;
+  std::vector<StorageUnit*> units_;
+};
+
+}  // namespace chariots::corfu
+
+#endif  // CHARIOTS_CORFU_CORFU_H_

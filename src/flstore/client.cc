@@ -1,0 +1,165 @@
+#include "flstore/client.h"
+
+#include "common/codec.h"
+
+namespace chariots::flstore {
+
+FLStoreClient::FLStoreClient(net::Transport* transport, net::NodeId node,
+                             net::NodeId controller)
+    : endpoint_(transport, std::move(node)), controller_(std::move(controller)) {}
+
+FLStoreClient::~FLStoreClient() { Stop(); }
+
+Status FLStoreClient::Start() {
+  CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  return RefreshClusterInfo();
+}
+
+void FLStoreClient::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  endpoint_.Stop();
+}
+
+Status FLStoreClient::RefreshClusterInfo() {
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload, endpoint_.Call(controller_, kGetClusterInfo, ""));
+  CHARIOTS_ASSIGN_OR_RETURN(ClusterInfo info, DecodeClusterInfo(payload));
+  std::lock_guard<std::mutex> lock(mu_);
+  info_ = std::move(info);
+  return Status::OK();
+}
+
+ClusterInfo FLStoreClient::cluster_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return info_;
+}
+
+net::NodeId FLStoreClient::MaintainerForAppend() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Appends may go to any maintainer (paper §5.2: "randomly or intelligibly
+  // selected"); round-robin spreads load evenly.
+  uint64_t i = rr_.fetch_add(1, std::memory_order_relaxed);
+  return info_.maintainers[i % info_.maintainers.size()];
+}
+
+Result<net::NodeId> FLStoreClient::MaintainerForLId(LId lid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint32_t index = info_.journal.MaintainerFor(lid);
+  if (index >= info_.maintainers.size()) {
+    return Status::Unavailable("stale cluster info: unknown maintainer");
+  }
+  return info_.maintainers[index];
+}
+
+Result<LId> FLStoreClient::Append(const LogRecord& record) {
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(MaintainerForAppend(), kAppend, EncodeLogRecord(record)));
+  BinaryReader r(payload);
+  LId lid = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+  return lid;
+}
+
+Result<std::vector<LId>> FLStoreClient::AppendBatch(
+    const std::vector<LogRecord>& records) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(records.size()));
+  for (const LogRecord& record : records) {
+    w.PutBytes(EncodeLogRecord(record));
+  }
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(MaintainerForAppend(), kAppendBatch,
+                     std::move(w).data()));
+  BinaryReader r(payload);
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  std::vector<LId> lids(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lids[i]));
+  }
+  return lids;
+}
+
+Result<LId> FLStoreClient::AppendOrdered(const LogRecord& record,
+                                         LId min_lid) {
+  BinaryWriter w;
+  w.PutU64(min_lid);
+  w.PutBytes(EncodeLogRecord(record));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(MaintainerForAppend(), kAppendOrdered,
+                     std::move(w).data()));
+  BinaryReader r(payload);
+  LId lid = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+  return lid;
+}
+
+Result<LogRecord> FLStoreClient::Read(LId lid) {
+  CHARIOTS_ASSIGN_OR_RETURN(net::NodeId node, MaintainerForLId(lid));
+  BinaryWriter w;
+  w.PutU64(lid);
+  CHARIOTS_ASSIGN_OR_RETURN(std::string payload,
+                            endpoint_.Call(node, kRead, std::move(w).data()));
+  return DecodeLogRecord(lid, payload);
+}
+
+Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
+  CHARIOTS_ASSIGN_OR_RETURN(net::NodeId node, MaintainerForLId(lid));
+  BinaryWriter w;
+  w.PutU64(lid);
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(node, kReadCommitted, std::move(w).data()));
+  return DecodeLogRecord(lid, payload);
+}
+
+Result<LId> FLStoreClient::HeadOfLog() {
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(MaintainerForAppend(), kHeadOfLog, ""));
+  BinaryReader r(payload);
+  LId hl = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));
+  return hl;
+}
+
+Result<std::vector<Posting>> FLStoreClient::Lookup(const IndexQuery& query) {
+  net::NodeId indexer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (info_.indexers.empty()) {
+      return Status::FailedPrecondition("cluster has no indexers");
+    }
+    indexer = info_.indexers[IndexerForKey(
+        query.key, static_cast<uint32_t>(info_.indexers.size()))];
+  }
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(indexer, kIndexLookup, EncodeIndexQuery(query)));
+  return DecodePostings(payload);
+}
+
+Result<std::vector<LogRecord>> FLStoreClient::ReadByTag(
+    const IndexQuery& query) {
+  CHARIOTS_ASSIGN_OR_RETURN(std::vector<Posting> postings, Lookup(query));
+  std::vector<LogRecord> records;
+  records.reserve(postings.size());
+  for (const Posting& p : postings) {
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, Read(p.lid));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,80 @@
+#ifndef CHARIOTS_FLSTORE_CLIENT_H_
+#define CHARIOTS_FLSTORE_CLIENT_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flstore/controller.h"
+#include "flstore/indexer.h"
+#include "flstore/service.h"
+#include "flstore/types.h"
+#include "net/rpc.h"
+
+namespace chariots::flstore {
+
+/// The linked client library of the paper (§3, §5.1): an application client
+/// polls the controller once per session for the cluster layout, then talks
+/// to maintainers (appends/reads) and indexers (tag lookups) directly.
+class FLStoreClient {
+ public:
+  /// `node` is this client's own address on the fabric; `controller` is the
+  /// controller's address.
+  FLStoreClient(net::Transport* transport, net::NodeId node,
+                net::NodeId controller);
+  ~FLStoreClient();
+
+  /// Starts the session: binds the endpoint and fetches cluster info.
+  Status Start();
+  void Stop();
+
+  /// Appends a record to a (round-robin chosen) maintainer; returns the
+  /// post-assigned LId.
+  Result<LId> Append(const LogRecord& record);
+
+  /// Appends a batch in one round trip (all records land on one
+  /// maintainer, in order); returns their LIds.
+  Result<std::vector<LId>> AppendBatch(const std::vector<LogRecord>& records);
+
+  /// Explicit-order append: lands at a position strictly greater than
+  /// `min_lid` (paper §5.4). Returns the LId, or kInvalidLId if deferred.
+  Result<LId> AppendOrdered(const LogRecord& record, LId min_lid);
+
+  /// Reads a record by its LId, routing via the striping journal.
+  Result<LogRecord> Read(LId lid);
+
+  /// Gap-safe read: only positions below the Head of the Log.
+  Result<LogRecord> ReadCommitted(LId lid);
+
+  /// Current Head of the Log (asks a maintainer).
+  Result<LId> HeadOfLog();
+
+  /// Tag lookup via the responsible indexer.
+  Result<std::vector<Posting>> Lookup(const IndexQuery& query);
+
+  /// Convenience: look up the matching postings and read their records.
+  Result<std::vector<LogRecord>> ReadByTag(const IndexQuery& query);
+
+  /// Re-polls the controller (e.g. after elasticity changed the layout).
+  Status RefreshClusterInfo();
+
+  /// The layout this client is currently operating with.
+  ClusterInfo cluster_info() const;
+
+ private:
+  net::NodeId MaintainerForAppend();
+  Result<net::NodeId> MaintainerForLId(LId lid);
+
+  net::RpcEndpoint endpoint_;
+  const net::NodeId controller_;
+
+  mutable std::mutex mu_;
+  ClusterInfo info_;
+  std::atomic<uint64_t> rr_{0};
+  bool started_ = false;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_CLIENT_H_

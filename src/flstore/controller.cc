@@ -1,0 +1,39 @@
+#include "flstore/controller.h"
+
+#include "common/codec.h"
+
+namespace chariots::flstore {
+
+std::string EncodeClusterInfo(const ClusterInfo& info) {
+  BinaryWriter w;
+  w.PutBytes(info.journal.Encode());
+  w.PutU32(static_cast<uint32_t>(info.maintainers.size()));
+  for (const auto& m : info.maintainers) w.PutBytes(m);
+  w.PutU32(static_cast<uint32_t>(info.indexers.size()));
+  for (const auto& i : info.indexers) w.PutBytes(i);
+  w.PutU64(info.approx_records);
+  return std::move(w).data();
+}
+
+Result<ClusterInfo> DecodeClusterInfo(std::string_view data) {
+  BinaryReader r(data);
+  ClusterInfo info;
+  std::string journal_bytes;
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&journal_bytes));
+  CHARIOTS_ASSIGN_OR_RETURN(info.journal, EpochJournal::Decode(journal_bytes));
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  info.maintainers.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.maintainers[i]));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  info.indexers.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.indexers[i]));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.approx_records));
+  return info;
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,67 @@
+#ifndef CHARIOTS_FLSTORE_CONTROLLER_H_
+#define CHARIOTS_FLSTORE_CONTROLLER_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/striping.h"
+#include "net/message.h"
+
+namespace chariots::flstore {
+
+/// Everything an application client needs to run a session (paper §5.1):
+/// addresses of the maintainers and indexers, the striping history, and an
+/// approximate record count.
+struct ClusterInfo {
+  EpochJournal journal{1, 1000};
+  /// Maintainer node ids, position-aligned with maintainer indices.
+  std::vector<net::NodeId> maintainers;
+  std::vector<net::NodeId> indexers;
+  uint64_t approx_records = 0;
+};
+
+std::string EncodeClusterInfo(const ClusterInfo& info);
+Result<ClusterInfo> DecodeClusterInfo(std::string_view data);
+
+/// The highly-available stateless control cluster of the paper, realized as
+/// a single in-memory metadata service: an oracle application clients poll
+/// at session start for the locations and striping of the log maintainers.
+/// (The paper's controller holds no data-path state; neither does this one.)
+class Controller {
+ public:
+  explicit Controller(ClusterInfo initial) : info_(std::move(initial)) {}
+
+  ClusterInfo GetInfo() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return info_;
+  }
+
+  /// Live elasticity: appends `node` as a new maintainer and installs the
+  /// given future epoch (which must reference the grown maintainer count).
+  Status AddMaintainer(const net::NodeId& node, const StripeEpoch& epoch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (epoch.num_maintainers != info_.maintainers.size() + 1) {
+      return Status::InvalidArgument(
+          "epoch maintainer count must equal current + 1");
+    }
+    CHARIOTS_RETURN_IF_ERROR(info_.journal.AddEpoch(epoch));
+    info_.maintainers.push_back(node);
+    return Status::OK();
+  }
+
+  void SetApproxRecords(uint64_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    info_.approx_records = n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ClusterInfo info_;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_CONTROLLER_H_

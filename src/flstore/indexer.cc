@@ -1,0 +1,163 @@
+#include "flstore/indexer.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/codec.h"
+
+namespace chariots::flstore {
+
+std::string EncodeIndexQuery(const IndexQuery& query) {
+  BinaryWriter w;
+  w.PutBytes(query.key);
+  w.PutU8(query.value_equals.has_value() ? 1 : 0);
+  if (query.value_equals) w.PutBytes(*query.value_equals);
+  w.PutU8(query.value_min.has_value() ? 1 : 0);
+  if (query.value_min) w.PutI64(*query.value_min);
+  w.PutU8(query.value_max.has_value() ? 1 : 0);
+  if (query.value_max) w.PutI64(*query.value_max);
+  w.PutU64(query.before_lid);
+  w.PutU32(query.limit);
+  return std::move(w).data();
+}
+
+Result<IndexQuery> DecodeIndexQuery(std::string_view data) {
+  BinaryReader r(data);
+  IndexQuery q;
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&q.key));
+  uint8_t has = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&has));
+  if (has) {
+    std::string v;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&v));
+    q.value_equals = std::move(v);
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&has));
+  if (has) {
+    int64_t v = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetI64(&v));
+    q.value_min = v;
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&has));
+  if (has) {
+    int64_t v = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetI64(&v));
+    q.value_max = v;
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&q.before_lid));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&q.limit));
+  return q;
+}
+
+std::string EncodePostings(const std::vector<Posting>& postings) {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(postings.size()));
+  for (const Posting& p : postings) {
+    w.PutU64(p.lid);
+    w.PutBytes(p.value);
+  }
+  return std::move(w).data();
+}
+
+Result<std::vector<Posting>> DecodePostings(std::string_view data) {
+  BinaryReader r(data);
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  std::vector<Posting> out(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&out[i].lid));
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&out[i].value));
+  }
+  return out;
+}
+
+void Indexer::Add(const std::string& key, const std::string& value, LId lid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Posting>& list = postings_[key];
+  // Common case: appends arrive in increasing lid order.
+  if (list.empty() || list.back().lid < lid) {
+    list.push_back(Posting{lid, value});
+    ++count_;
+    return;
+  }
+  auto it = std::lower_bound(
+      list.begin(), list.end(), lid,
+      [](const Posting& p, LId l) { return p.lid < l; });
+  if (it != list.end() && it->lid == lid) return;  // idempotent
+  list.insert(it, Posting{lid, value});
+  ++count_;
+}
+
+void Indexer::AddRecord(const LogRecord& record, LId lid) {
+  for (const Tag& tag : record.tags) {
+    Add(tag.key, tag.value, lid);
+  }
+}
+
+namespace {
+bool ValueMatches(const IndexQuery& q, const std::string& value) {
+  if (q.value_equals && value != *q.value_equals) return false;
+  if (q.value_min || q.value_max) {
+    char* end = nullptr;
+    long long v = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') return false;  // non-numeric
+    if (q.value_min && v < *q.value_min) return false;
+    if (q.value_max && v > *q.value_max) return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::vector<Posting> Indexer::Lookup(const IndexQuery& query) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Posting> out;
+  auto it = postings_.find(query.key);
+  if (it == postings_.end()) return out;
+  const std::vector<Posting>& list = it->second;
+  // Upper end: first posting with lid >= before_lid.
+  auto end = query.before_lid == kInvalidLId
+                 ? list.end()
+                 : std::lower_bound(
+                       list.begin(), list.end(), query.before_lid,
+                       [](const Posting& p, LId l) { return p.lid < l; });
+  for (auto rit = std::make_reverse_iterator(end); rit != list.rend();
+       ++rit) {
+    if (out.size() >= query.limit) break;
+    if (ValueMatches(query, rit->value)) out.push_back(*rit);
+  }
+  return out;
+}
+
+void Indexer::TruncateBelow(LId horizon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = postings_.begin(); it != postings_.end();) {
+    std::vector<Posting>& list = it->second;
+    auto keep = std::lower_bound(
+        list.begin(), list.end(), horizon,
+        [](const Posting& p, LId l) { return p.lid < l; });
+    count_ -= static_cast<uint64_t>(keep - list.begin());
+    list.erase(list.begin(), keep);
+    if (list.empty()) {
+      it = postings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t Indexer::posting_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint32_t IndexerForKey(const std::string& key, uint32_t num_indexers) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ull;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<uint32_t>(h % num_indexers);
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,81 @@
+#ifndef CHARIOTS_FLSTORE_INDEXER_H_
+#define CHARIOTS_FLSTORE_INDEXER_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/types.h"
+
+namespace chariots::flstore {
+
+/// A tag lookup (paper §5.3): "return the most recent `limit` record LIds
+/// carrying tag `key`", optionally restricted to an exact value, a numeric
+/// value range, and positions strictly below `before_lid` (the snapshot
+/// point used by Hyksos get-transactions).
+struct IndexQuery {
+  std::string key;
+  std::optional<std::string> value_equals;
+  /// Numeric comparisons: applied to values parseable as signed integers;
+  /// non-numeric values never match when a bound is set.
+  std::optional<int64_t> value_min;
+  std::optional<int64_t> value_max;
+  /// Only postings with lid < before_lid (kInvalidLId = no bound).
+  LId before_lid = kInvalidLId;
+  /// Max postings returned, most recent (highest lid) first.
+  uint32_t limit = 1;
+};
+
+/// One posting in the index.
+struct Posting {
+  LId lid;
+  std::string value;
+
+  friend bool operator==(const Posting&, const Posting&) = default;
+};
+
+std::string EncodeIndexQuery(const IndexQuery& query);
+Result<IndexQuery> DecodeIndexQuery(std::string_view data);
+std::string EncodePostings(const std::vector<Posting>& postings);
+Result<std::vector<Posting>> DecodePostings(std::string_view data);
+
+/// An indexer maintains tag → postings for the subset of tag keys it
+/// champions (keys are partitioned across indexers by hash — see
+/// IndexerForKey). Postings per key are kept ordered by LId so "most recent
+/// before position X" is a binary search.
+class Indexer {
+ public:
+  Indexer() = default;
+
+  /// Adds a posting. Idempotent per (key, lid).
+  void Add(const std::string& key, const std::string& value, LId lid);
+
+  /// Adds postings for every tag of a record.
+  void AddRecord(const LogRecord& record, LId lid);
+
+  /// Runs a query; results are most-recent-first.
+  std::vector<Posting> Lookup(const IndexQuery& query) const;
+
+  /// Drops postings with lid < horizon (GC alongside the log).
+  void TruncateBelow(LId horizon);
+
+  uint64_t posting_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  // key -> postings sorted ascending by lid.
+  std::map<std::string, std::vector<Posting>> postings_;
+  uint64_t count_ = 0;
+};
+
+/// The partition function: which of `num_indexers` indexers champions `key`.
+uint32_t IndexerForKey(const std::string& key, uint32_t num_indexers);
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_INDEXER_H_

@@ -1,0 +1,271 @@
+#include "flstore/maintainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chariots::flstore {
+
+LogMaintainer::LogMaintainer(MaintainerOptions options)
+    : options_(options),
+      journal_(options.journal),
+      store_(options.store) {
+  size_t epochs = journal_.num_epochs();
+  assign_next_.assign(epochs, 0);
+  filled_contig_.assign(epochs, 0);
+  filled_pending_.assign(epochs, {});
+  gossip_.assign(
+      std::max<size_t>(journal_.MaxMaintainers(), options.index + 1), 0);
+}
+
+Status LogMaintainer::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARIOTS_RETURN_IF_ERROR(store_.Open());
+  RebuildStateLocked();
+  return Status::OK();
+}
+
+void LogMaintainer::RebuildStateLocked() {
+  std::fill(assign_next_.begin(), assign_next_.end(), 0);
+  std::fill(filled_contig_.begin(), filled_contig_.end(), 0);
+  for (auto& pending : filled_pending_) pending.clear();
+  // Rebuild fill/assignment state from the stored records.
+  for (LId lid : store_.ListLids()) {
+    SlotRef ref = journal_.SlotFor(lid);
+    MarkFilledLocked(ref);
+    assign_next_[ref.epoch_index] =
+        std::max(assign_next_[ref.epoch_index], ref.slot + 1);
+  }
+  gossip_[options_.index] = FirstUnfilledGlobalLocked();
+}
+
+Result<LId> LogMaintainer::NextAssignableGlobalLocked() const {
+  // Walk epochs starting from the first with unassigned slots; skip epochs
+  // where this maintainer has no (or no more) slots.
+  for (size_t e = 0; e < journal_.num_epochs(); ++e) {
+    uint64_t slots = journal_.SlotCount(options_.index, e);
+    if (assign_next_[e] >= slots) continue;  // exhausted or not a member
+    Result<LId> global =
+        journal_.GlobalFor(options_.index, SlotRef{e, assign_next_[e]});
+    if (global.ok()) return global;
+  }
+  return Status::ResourceExhausted(
+      "maintainer owns no further positions in the current striping");
+}
+
+void LogMaintainer::MarkFilledLocked(SlotRef ref) {
+  if (ref.epoch_index >= filled_contig_.size()) return;
+  uint64_t& contig = filled_contig_[ref.epoch_index];
+  std::set<uint64_t>& pending = filled_pending_[ref.epoch_index];
+  if (ref.slot == contig) {
+    ++contig;
+    while (!pending.empty() && *pending.begin() == contig) {
+      pending.erase(pending.begin());
+      ++contig;
+    }
+  } else if (ref.slot > contig) {
+    pending.insert(ref.slot);
+  }
+}
+
+LId LogMaintainer::FirstUnfilledGlobalLocked() const {
+  for (size_t e = 0; e < journal_.num_epochs(); ++e) {
+    uint64_t slots = journal_.SlotCount(options_.index, e);
+    if (slots == 0) continue;
+    if (filled_contig_[e] >= slots) continue;  // epoch fully filled
+    Result<LId> global = journal_.GlobalFor(
+        options_.index, SlotRef{e, filled_contig_[e]});
+    if (global.ok()) return *global;
+  }
+  return kInvalidLId;
+}
+
+Result<LId> LogMaintainer::AppendLocked(const LogRecord& record) {
+  CHARIOTS_ASSIGN_OR_RETURN(LId lid, NextAssignableGlobalLocked());
+  SlotRef ref = journal_.SlotFor(lid);
+  CHARIOTS_RETURN_IF_ERROR(store_.Append(lid, EncodeLogRecord(record)));
+  assign_next_[ref.epoch_index] = ref.slot + 1;
+  MarkFilledLocked(ref);
+  gossip_[options_.index] = FirstUnfilledGlobalLocked();
+  return lid;
+}
+
+Result<LId> LogMaintainer::Append(const LogRecord& record) {
+  std::vector<std::pair<LogRecord, LId>> landed;
+  Result<LId> result = [&]() -> Result<LId> {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid, AppendLocked(record));
+    landed.emplace_back(record, lid);
+    auto drained = DrainDeferredLocked();
+    landed.insert(landed.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+    return lid;
+  }();
+  if (observer_) {
+    for (auto& [rec, lid] : landed) observer_(rec, lid);
+  }
+  return result;
+}
+
+Result<LId> LogMaintainer::AppendOrdered(const LogRecord& record,
+                                         LId min_lid) {
+  std::vector<std::pair<LogRecord, LId>> landed;
+  Result<LId> result = [&]() -> Result<LId> {
+    std::lock_guard<std::mutex> lock(mu_);
+    CHARIOTS_ASSIGN_OR_RETURN(LId next, NextAssignableGlobalLocked());
+    if (next > min_lid) {
+      CHARIOTS_ASSIGN_OR_RETURN(LId lid, AppendLocked(record));
+      landed.emplace_back(record, lid);
+      return lid;
+    }
+    deferred_.push_back(DeferredAppend{record, min_lid});
+    return kInvalidLId;
+  }();
+  if (observer_) {
+    for (auto& [rec, lid] : landed) observer_(rec, lid);
+  }
+  return result;
+}
+
+std::vector<std::pair<LogRecord, LId>> LogMaintainer::DrainDeferredLocked() {
+  std::vector<std::pair<LogRecord, LId>> landed;
+  bool progress = true;
+  while (progress && !deferred_.empty()) {
+    progress = false;
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      Result<LId> next = NextAssignableGlobalLocked();
+      if (!next.ok()) return landed;
+      if (*next > it->min_lid) {
+        Result<LId> lid = AppendLocked(it->record);
+        if (lid.ok()) {
+          landed.emplace_back(std::move(it->record), *lid);
+          it = deferred_.erase(it);
+          progress = true;
+          continue;
+        }
+      }
+      ++it;
+    }
+  }
+  return landed;
+}
+
+Status LogMaintainer::AppendAt(LId lid, const LogRecord& record) {
+  std::vector<std::pair<LogRecord, LId>> landed;
+  Status status = [&]() -> Status {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (journal_.MaintainerFor(lid) != options_.index) {
+      return Status::OutOfRange("lid not owned by this maintainer");
+    }
+    CHARIOTS_RETURN_IF_ERROR(store_.Append(lid, EncodeLogRecord(record)));
+    SlotRef ref = journal_.SlotFor(lid);
+    MarkFilledLocked(ref);
+    assign_next_[ref.epoch_index] =
+        std::max(assign_next_[ref.epoch_index], ref.slot + 1);
+    gossip_[options_.index] = FirstUnfilledGlobalLocked();
+    landed.emplace_back(record, lid);
+    return Status::OK();
+  }();
+  if (status.ok() && observer_) {
+    for (auto& [rec, l] : landed) observer_(rec, l);
+  }
+  return status;
+}
+
+Result<LogRecord> LogMaintainer::Read(LId lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (journal_.MaintainerFor(lid) != options_.index) {
+    return Status::OutOfRange("lid not owned by this maintainer");
+  }
+  CHARIOTS_ASSIGN_OR_RETURN(std::string payload, store_.Get(lid));
+  return DecodeLogRecord(lid, payload);
+}
+
+Result<LogRecord> LogMaintainer::ReadCommitted(LId lid) const {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LId hl = *std::min_element(gossip_.begin(), gossip_.end());
+    if (lid >= hl) {
+      return Status::Unavailable(
+          "lid is at or beyond the head of the log (possible gaps)");
+    }
+  }
+  return Read(lid);
+}
+
+LId LogMaintainer::FirstUnfilledGlobal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FirstUnfilledGlobalLocked();
+}
+
+void LogMaintainer::OnGossip(uint32_t peer_index, LId peer_first_unfilled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (peer_index >= gossip_.size()) {
+    gossip_.resize(peer_index + 1, 0);
+  }
+  // Monotone: gossip may arrive out of order.
+  gossip_[peer_index] = std::max(gossip_[peer_index], peer_first_unfilled);
+}
+
+LId LogMaintainer::HeadOfLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return *std::min_element(gossip_.begin(), gossip_.end());
+}
+
+Status LogMaintainer::AddEpoch(const StripeEpoch& epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARIOTS_RETURN_IF_ERROR(journal_.AddEpoch(epoch));
+  assign_next_.push_back(0);
+  filled_contig_.push_back(0);
+  filled_pending_.emplace_back();
+  if (journal_.MaxMaintainers() > gossip_.size()) {
+    gossip_.resize(journal_.MaxMaintainers(), 0);
+  }
+  gossip_[options_.index] = FirstUnfilledGlobalLocked();
+  return Status::OK();
+}
+
+void LogMaintainer::SetAppendObserver(
+    std::function<void(const LogRecord&, LId)> observer) {
+  observer_ = std::move(observer);
+}
+
+Status LogMaintainer::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.Sync();
+}
+
+Status LogMaintainer::TruncateBelow(LId horizon,
+                                    const std::string& archive_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.TruncateBelow(horizon, archive_path);
+}
+
+std::vector<LId> LogMaintainer::StoredLids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.ListLids();
+}
+
+Status LogMaintainer::Remove(LId lid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARIOTS_RETURN_IF_ERROR(store_.Remove(lid));
+  RebuildStateLocked();
+  return Status::OK();
+}
+
+uint64_t LogMaintainer::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.count();
+}
+
+EpochJournal LogMaintainer::journal() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_;
+}
+
+size_t LogMaintainer::deferred_ordered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferred_.size();
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,151 @@
+#ifndef CHARIOTS_FLSTORE_MAINTAINER_H_
+#define CHARIOTS_FLSTORE_MAINTAINER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/striping.h"
+#include "flstore/types.h"
+#include "storage/log_store.h"
+
+namespace chariots::flstore {
+
+/// Configuration for one log maintainer.
+struct MaintainerOptions {
+  /// This maintainer's index within the striping.
+  uint32_t index = 0;
+  /// Initial striping regime(s). All maintainers of a deployment must agree.
+  EpochJournal journal{1, 1000};
+  /// Storage engine configuration (in-memory or persistent).
+  storage::LogStoreOptions store;
+};
+
+/// A log maintainer (paper §5.2): owns the deterministic round-robin ranges
+/// of the shared log given by the epoch journal, persists records, serves
+/// reads, and participates in the Head-of-the-Log gossip (§5.4).
+///
+/// Two append paths:
+///  * Append() — *post-assignment*: the maintainer assigns the record the
+///    next free position it owns. This is the scalable single-datacenter
+///    FLStore path; no cross-maintainer coordination.
+///  * AppendAt() — pre-assigned LId, used by the Chariots queues stage
+///    (§6.2), which performs the causal assignment centrally per token.
+///
+/// Thread-safe. Transport-agnostic: MaintainerServer (service.h) exposes it
+/// over RPC and runs the gossip timer.
+class LogMaintainer {
+ public:
+  explicit LogMaintainer(MaintainerOptions options);
+
+  LogMaintainer(const LogMaintainer&) = delete;
+  LogMaintainer& operator=(const LogMaintainer&) = delete;
+
+  /// Opens the underlying store (recovering any persisted records, which
+  /// also rebuilds the fill state).
+  Status Open();
+
+  /// Post-assignment append: assigns the next free owned position.
+  Result<LId> Append(const LogRecord& record);
+
+  /// Explicit-order append (paper §5.4): the record is only assigned a
+  /// position strictly greater than `min_lid`. If the next free position is
+  /// not beyond the bound yet, the record is buffered and assigned once the
+  /// log advances. Returns the LId if assigned immediately, or kInvalidLId
+  /// if deferred (observer fires when it lands).
+  Result<LId> AppendOrdered(const LogRecord& record, LId min_lid);
+
+  /// Pre-assigned append. Fails with OutOfRange if `lid` is not owned by
+  /// this maintainer, AlreadyExists if occupied.
+  Status AppendAt(LId lid, const LogRecord& record);
+
+  /// Raw read: the record at `lid` regardless of gaps before it.
+  Result<LogRecord> Read(LId lid) const;
+
+  /// Gap-safe read (paper §5.4): fails with Unavailable if `lid >=
+  /// HeadOfLog()` — the caller must not observe positions that may still
+  /// have gaps before them.
+  Result<LogRecord> ReadCommitted(LId lid) const;
+
+  /// First global position owned by this maintainer that is not yet filled
+  /// (contiguously): everything this maintainer owns below it is present.
+  /// kInvalidLId if the maintainer owns no unfilled positions (it left the
+  /// striping in the current epoch and completed its history).
+  LId FirstUnfilledGlobal() const;
+
+  /// Ingests a gossip update from peer maintainer `peer_index`.
+  void OnGossip(uint32_t peer_index, LId peer_first_unfilled);
+
+  /// The Head of the Log: every position < HL is filled somewhere in the
+  /// cluster (min over the gossip vector). Records below HL are safe to
+  /// read in log order with no gaps.
+  LId HeadOfLog() const;
+
+  /// Installs a future striping epoch (live elasticity, §6.3).
+  Status AddEpoch(const StripeEpoch& epoch);
+
+  /// Observer called (outside the lock) for every record that lands, with
+  /// its assigned LId. Used to publish index postings and to feed senders.
+  void SetAppendObserver(std::function<void(const LogRecord&, LId)> observer);
+
+  /// Flushes buffered writes to stable storage.
+  Status Sync();
+
+  /// Garbage-collects storage below `horizon` (see LogStore::TruncateBelow).
+  Status TruncateBelow(LId horizon, const std::string& archive_path = "");
+
+  /// Sorted LIds currently stored (recovery/diagnostics; O(n log n)).
+  std::vector<LId> StoredLids() const;
+
+  /// Removes a stored record (tombstone) and rebuilds the fill/assignment
+  /// state. Used by datacenter crash recovery to discard records beyond a
+  /// hole in the recovered prefix.
+  Status Remove(LId lid);
+
+  uint64_t count() const;
+  uint32_t index() const { return options_.index; }
+  EpochJournal journal() const;
+  /// Number of ordered appends still waiting for their minimum bound.
+  size_t deferred_ordered() const;
+
+ private:
+  struct DeferredAppend {
+    LogRecord record;
+    LId min_lid;
+  };
+
+  // All Locked helpers require mu_ held.
+  Result<LId> NextAssignableGlobalLocked() const;
+  void RebuildStateLocked();
+  Result<LId> AppendLocked(const LogRecord& record);
+  void MarkFilledLocked(SlotRef ref);
+  LId FirstUnfilledGlobalLocked() const;
+  // Drains deferred ordered appends that became eligible; returns landed
+  // (record, lid) pairs for observer notification.
+  std::vector<std::pair<LogRecord, LId>> DrainDeferredLocked();
+
+  MaintainerOptions options_;
+
+  mutable std::mutex mu_;
+  EpochJournal journal_;
+  storage::LogStore store_;
+  // Post-assignment cursor: for each epoch, the next slot to hand out.
+  std::vector<uint64_t> assign_next_;
+  // Fill tracking: contiguous filled slot count per epoch + out-of-order
+  // slots (pre-assigned appends may arrive ahead of earlier ones).
+  std::vector<uint64_t> filled_contig_;
+  std::vector<std::set<uint64_t>> filled_pending_;
+  // Gossip vector: first-unfilled global per maintainer (self kept fresh).
+  std::vector<LId> gossip_;
+  std::deque<DeferredAppend> deferred_;
+  std::function<void(const LogRecord&, LId)> observer_;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_MAINTAINER_H_

@@ -1,0 +1,265 @@
+#include "flstore/service.h"
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace chariots::flstore {
+
+namespace {
+
+std::string EncodeLId(LId lid) {
+  BinaryWriter w;
+  w.PutU64(lid);
+  return std::move(w).data();
+}
+
+Result<LId> DecodeLId(std::string_view data) {
+  BinaryReader r(data);
+  LId lid = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+  return lid;
+}
+
+}  // namespace
+
+std::string EncodeEpoch(const StripeEpoch& epoch) {
+  BinaryWriter w;
+  w.PutU64(epoch.start_lid);
+  w.PutU32(epoch.num_maintainers);
+  w.PutU64(epoch.batch_size);
+  return std::move(w).data();
+}
+
+Result<StripeEpoch> DecodeEpoch(std::string_view data) {
+  BinaryReader r(data);
+  StripeEpoch epoch;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch.start_lid));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&epoch.num_maintainers));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch.batch_size));
+  return epoch;
+}
+
+// ---------------------------------------------------------------- maintainer
+
+MaintainerServer::MaintainerServer(net::Transport* transport,
+                                   MaintainerOptions maintainer,
+                                   Options options)
+    : maintainer_(std::move(maintainer)),
+      options_(std::move(options)),
+      endpoint_(transport, options_.node) {}
+
+MaintainerServer::~MaintainerServer() { Stop(); }
+
+Status MaintainerServer::Start() {
+  CHARIOTS_RETURN_IF_ERROR(maintainer_.Open());
+  if (!options_.indexers.empty()) {
+    maintainer_.SetAppendObserver(
+        [this](const LogRecord& record, LId lid) {
+          PublishPostings(record, lid);
+        });
+  }
+  InstallHandlers();
+  CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  if (options_.peers.size() > 1) {
+    gossip_thread_ = std::thread([this] { GossipLoop(); });
+  }
+  return Status::OK();
+}
+
+void MaintainerServer::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  if (gossip_thread_.joinable()) gossip_thread_.join();
+  endpoint_.Stop();
+}
+
+void MaintainerServer::InstallHandlers() {
+  endpoint_.Handle(kAppend, [this](const net::NodeId&,
+                                   const std::string& payload)
+                                -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                              DecodeLogRecord(kInvalidLId, payload));
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
+    return EncodeLId(lid);
+  });
+
+  endpoint_.Handle(kAppendBatch, [this](const net::NodeId&,
+                                        const std::string& payload)
+                                     -> Result<std::string> {
+    BinaryReader r(payload);
+    uint32_t n = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    BinaryWriter out;
+    out.PutU32(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      std::string rec_bytes;
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+      CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                                DecodeLogRecord(kInvalidLId, rec_bytes));
+      CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
+      out.PutU64(lid);
+    }
+    return std::move(out).data();
+  });
+
+  endpoint_.Handle(kAppendAt, [this](const net::NodeId&,
+                                     const std::string& payload)
+                                  -> Result<std::string> {
+    BinaryReader r(payload);
+    LId lid = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+    std::string rec_bytes;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                              DecodeLogRecord(lid, rec_bytes));
+    CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(lid, record));
+    return std::string();
+  });
+
+  endpoint_.Handle(kAppendOrdered, [this](const net::NodeId&,
+                                          const std::string& payload)
+                                       -> Result<std::string> {
+    BinaryReader r(payload);
+    LId min_lid = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&min_lid));
+    std::string rec_bytes;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                              DecodeLogRecord(kInvalidLId, rec_bytes));
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid,
+                              maintainer_.AppendOrdered(record, min_lid));
+    return EncodeLId(lid);
+  });
+
+  endpoint_.Handle(kRead, [this](const net::NodeId&,
+                                 const std::string& payload)
+                              -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, maintainer_.Read(lid));
+    return EncodeLogRecord(record);
+  });
+
+  endpoint_.Handle(kReadCommitted, [this](const net::NodeId&,
+                                          const std::string& payload)
+                                       -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
+    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                              maintainer_.ReadCommitted(lid));
+    return EncodeLogRecord(record);
+  });
+
+  endpoint_.Handle(kHeadOfLog, [this](const net::NodeId&, const std::string&)
+                                   -> Result<std::string> {
+    return EncodeLId(maintainer_.HeadOfLog());
+  });
+
+  endpoint_.Handle(kAddEpoch, [this](const net::NodeId&,
+                                     const std::string& payload)
+                                  -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(StripeEpoch epoch, DecodeEpoch(payload));
+    CHARIOTS_RETURN_IF_ERROR(maintainer_.AddEpoch(epoch));
+    return std::string();
+  });
+
+  endpoint_.HandleOneWay(kGossip, [this](const net::NodeId&,
+                                         std::string payload) {
+    BinaryReader r(payload);
+    uint32_t index = 0;
+    LId first_unfilled = 0;
+    if (r.GetU32(&index).ok() && r.GetU64(&first_unfilled).ok()) {
+      maintainer_.OnGossip(index, first_unfilled);
+    }
+  });
+}
+
+void MaintainerServer::GossipLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    BinaryWriter w;
+    w.PutU32(maintainer_.index());
+    w.PutU64(maintainer_.FirstUnfilledGlobal());
+    std::string payload = std::move(w).data();
+    for (size_t i = 0; i < options_.peers.size(); ++i) {
+      if (i == maintainer_.index()) continue;
+      (void)endpoint_.Notify(options_.peers[i], kGossip, payload);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.gossip_interval_nanos));
+  }
+}
+
+void MaintainerServer::PublishPostings(const LogRecord& record, LId lid) {
+  for (const Tag& tag : record.tags) {
+    uint32_t idx = IndexerForKey(
+        tag.key, static_cast<uint32_t>(options_.indexers.size()));
+    BinaryWriter w;
+    w.PutBytes(tag.key);
+    w.PutBytes(tag.value);
+    w.PutU64(lid);
+    (void)endpoint_.Notify(options_.indexers[idx], kIndexAdd,
+                           std::move(w).data());
+  }
+}
+
+// ------------------------------------------------------------------ indexer
+
+IndexerServer::IndexerServer(net::Transport* transport, net::NodeId node)
+    : endpoint_(transport, std::move(node)) {}
+
+IndexerServer::~IndexerServer() { Stop(); }
+
+Status IndexerServer::Start() {
+  endpoint_.Handle(kIndexLookup, [this](const net::NodeId&,
+                                        const std::string& payload)
+                                     -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(IndexQuery query, DecodeIndexQuery(payload));
+    return EncodePostings(indexer_.Lookup(query));
+  });
+  endpoint_.HandleOneWay(kIndexAdd, [this](const net::NodeId&,
+                                           std::string payload) {
+    BinaryReader r(payload);
+    std::string key, value;
+    LId lid = 0;
+    if (r.GetBytes(&key).ok() && r.GetBytes(&value).ok() &&
+        r.GetU64(&lid).ok()) {
+      indexer_.Add(key, value, lid);
+    }
+  });
+  return endpoint_.Start();
+}
+
+void IndexerServer::Stop() { endpoint_.Stop(); }
+
+// --------------------------------------------------------------- controller
+
+ControllerServer::ControllerServer(net::Transport* transport,
+                                   net::NodeId node, ClusterInfo initial)
+    : controller_(std::move(initial)), endpoint_(transport, std::move(node)) {}
+
+ControllerServer::~ControllerServer() { Stop(); }
+
+Status ControllerServer::Start() {
+  endpoint_.Handle(kGetClusterInfo, [this](const net::NodeId&,
+                                           const std::string&)
+                                        -> Result<std::string> {
+    return EncodeClusterInfo(controller_.GetInfo());
+  });
+  endpoint_.Handle(kControllerAddMaintainer,
+                   [this](const net::NodeId&, const std::string& payload)
+                       -> Result<std::string> {
+                     BinaryReader r(payload);
+                     std::string node;
+                     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&node));
+                     std::string epoch_bytes;
+                     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&epoch_bytes));
+                     CHARIOTS_ASSIGN_OR_RETURN(StripeEpoch epoch,
+                                               DecodeEpoch(epoch_bytes));
+                     CHARIOTS_RETURN_IF_ERROR(
+                         controller_.AddMaintainer(node, epoch));
+                     return std::string();
+                   });
+  return endpoint_.Start();
+}
+
+void ControllerServer::Stop() { endpoint_.Stop(); }
+
+}  // namespace chariots::flstore

@@ -1,0 +1,106 @@
+#ifndef CHARIOTS_FLSTORE_SERVICE_H_
+#define CHARIOTS_FLSTORE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "flstore/controller.h"
+#include "flstore/indexer.h"
+#include "flstore/maintainer.h"
+#include "net/rpc.h"
+
+namespace chariots::flstore {
+
+/// RPC opcodes of the FLStore fabric.
+enum Opcode : uint16_t {
+  kAppend = 1,        ///< record -> u64 lid (post-assignment)
+  kAppendAt = 2,      ///< u64 lid + record -> ()
+  kAppendOrdered = 3, ///< u64 min_lid + record -> u64 lid (or kInvalidLId)
+  kRead = 4,          ///< u64 lid -> record
+  kReadCommitted = 5, ///< u64 lid -> record (gap-safe)
+  kHeadOfLog = 6,     ///< () -> u64 HL
+  kAddEpoch = 7,      ///< epoch -> ()
+  kGossip = 8,        ///< one-way: u32 index + u64 first_unfilled
+  kIndexLookup = 9,   ///< IndexQuery -> postings
+  kIndexAdd = 10,     ///< one-way: key + value + u64 lid
+  kGetClusterInfo = 11,  ///< () -> ClusterInfo
+  kControllerAddMaintainer = 12,  ///< node + epoch -> ()
+  kAppendBatch = 13,  ///< u32 n + n records -> n u64 lids
+};
+
+/// Wire encoding of a StripeEpoch (used by kAddEpoch /
+/// kControllerAddMaintainer requests).
+std::string EncodeEpoch(const StripeEpoch& epoch);
+Result<StripeEpoch> DecodeEpoch(std::string_view data);
+
+/// Hosts a LogMaintainer on the RPC fabric: serves appends/reads, runs the
+/// HL gossip timer, and publishes tag postings to the indexers.
+class MaintainerServer {
+ public:
+  struct Options {
+    net::NodeId node;                    ///< this server's address
+    std::vector<net::NodeId> peers;      ///< all maintainer nodes (by index)
+    std::vector<net::NodeId> indexers;   ///< indexer nodes for postings
+    int64_t gossip_interval_nanos = 2'000'000;  ///< 2 ms default
+  };
+
+  MaintainerServer(net::Transport* transport, MaintainerOptions maintainer,
+                   Options options);
+  ~MaintainerServer();
+
+  /// Opens the maintainer and begins serving + gossiping.
+  Status Start();
+  void Stop();
+
+  LogMaintainer& maintainer() { return maintainer_; }
+
+ private:
+  void InstallHandlers();
+  void GossipLoop();
+  void PublishPostings(const LogRecord& record, LId lid);
+
+  LogMaintainer maintainer_;
+  Options options_;
+  net::RpcEndpoint endpoint_;
+  std::atomic<bool> stop_{false};
+  std::thread gossip_thread_;
+};
+
+/// Hosts an Indexer on the RPC fabric.
+class IndexerServer {
+ public:
+  IndexerServer(net::Transport* transport, net::NodeId node);
+  ~IndexerServer();
+
+  Status Start();
+  void Stop();
+
+  Indexer& indexer() { return indexer_; }
+
+ private:
+  Indexer indexer_;
+  net::RpcEndpoint endpoint_;
+};
+
+/// Hosts the Controller on the RPC fabric.
+class ControllerServer {
+ public:
+  ControllerServer(net::Transport* transport, net::NodeId node,
+                   ClusterInfo initial);
+  ~ControllerServer();
+
+  Status Start();
+  void Stop();
+
+  Controller& controller() { return controller_; }
+
+ private:
+  Controller controller_;
+  net::RpcEndpoint endpoint_;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_SERVICE_H_

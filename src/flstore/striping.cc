@@ -1,0 +1,141 @@
+#include "flstore/striping.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/codec.h"
+
+namespace chariots::flstore {
+
+EpochJournal::EpochJournal(uint32_t num_maintainers, uint64_t batch_size) {
+  assert(num_maintainers > 0 && batch_size > 0);
+  epochs_.push_back(StripeEpoch{0, num_maintainers, batch_size});
+}
+
+EpochJournal::EpochJournal(std::vector<StripeEpoch> epochs)
+    : epochs_(std::move(epochs)) {
+  assert(!epochs_.empty() && epochs_.front().start_lid == 0);
+}
+
+Status EpochJournal::AddEpoch(const StripeEpoch& epoch) {
+  if (epoch.num_maintainers == 0 || epoch.batch_size == 0) {
+    return Status::InvalidArgument("epoch needs maintainers and batch > 0");
+  }
+  if (epoch.start_lid <= epochs_.back().start_lid) {
+    return Status::InvalidArgument(
+        "new epoch must start after the current epoch (future reassignment)");
+  }
+  epochs_.push_back(epoch);
+  return Status::OK();
+}
+
+LId EpochJournal::EpochEnd(size_t i) const {
+  return i + 1 < epochs_.size() ? epochs_[i + 1].start_lid : kInvalidLId;
+}
+
+size_t EpochJournal::EpochIndexFor(LId lid) const {
+  // Last epoch with start_lid <= lid.
+  size_t lo = 0, hi = epochs_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi + 1) / 2;
+    if (epochs_[mid].start_lid <= lid) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+uint32_t EpochJournal::MaintainerFor(LId lid) const {
+  size_t e = EpochIndexFor(lid);
+  const StripeEpoch& ep = epochs_[e];
+  uint64_t rel = lid - ep.start_lid;
+  return static_cast<uint32_t>((rel / ep.batch_size) % ep.num_maintainers);
+}
+
+Result<LId> EpochJournal::GlobalFor(uint32_t m, SlotRef ref) const {
+  if (ref.epoch_index >= epochs_.size()) {
+    return Status::OutOfRange("epoch index out of range");
+  }
+  const StripeEpoch& ep = epochs_[ref.epoch_index];
+  if (m >= ep.num_maintainers) {
+    return Status::OutOfRange("maintainer not part of epoch");
+  }
+  uint64_t round = ref.slot / ep.batch_size;
+  uint64_t offset = ref.slot % ep.batch_size;
+  uint64_t rel = round * ep.num_maintainers * ep.batch_size +
+                 static_cast<uint64_t>(m) * ep.batch_size + offset;
+  LId global = ep.start_lid + rel;
+  if (global >= EpochEnd(ref.epoch_index)) {
+    return Status::OutOfRange("slot beyond epoch end");
+  }
+  return global;
+}
+
+SlotRef EpochJournal::SlotFor(LId lid) const {
+  size_t e = EpochIndexFor(lid);
+  const StripeEpoch& ep = epochs_[e];
+  uint64_t rel = lid - ep.start_lid;
+  uint64_t round = rel / (static_cast<uint64_t>(ep.num_maintainers) *
+                          ep.batch_size);
+  uint64_t offset = rel % ep.batch_size;
+  return SlotRef{e, round * ep.batch_size + offset};
+}
+
+uint64_t EpochJournal::SlotCount(uint32_t m, size_t epoch_index) const {
+  const StripeEpoch& ep = epochs_[epoch_index];
+  if (m >= ep.num_maintainers) return 0;
+  LId end = EpochEnd(epoch_index);
+  if (end == kInvalidLId) return UINT64_MAX;  // open epoch
+  uint64_t span = end - ep.start_lid;
+  uint64_t stripe = static_cast<uint64_t>(ep.num_maintainers) * ep.batch_size;
+  uint64_t full_rounds = span / stripe;
+  uint64_t tail = span % stripe;
+  uint64_t count = full_rounds * ep.batch_size;
+  uint64_t m_start = static_cast<uint64_t>(m) * ep.batch_size;
+  if (tail > m_start) {
+    count += std::min(tail - m_start, ep.batch_size);
+  }
+  return count;
+}
+
+uint32_t EpochJournal::MaxMaintainers() const {
+  uint32_t max = 0;
+  for (const auto& ep : epochs_) max = std::max(max, ep.num_maintainers);
+  return max;
+}
+
+std::string EpochJournal::Encode() const {
+  BinaryWriter w;
+  w.PutU32(static_cast<uint32_t>(epochs_.size()));
+  for (const auto& ep : epochs_) {
+    w.PutU64(ep.start_lid);
+    w.PutU32(ep.num_maintainers);
+    w.PutU64(ep.batch_size);
+  }
+  return std::move(w).data();
+}
+
+Result<EpochJournal> EpochJournal::Decode(std::string_view data) {
+  BinaryReader r(data);
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  if (n == 0) return Status::Corruption("empty epoch journal");
+  // Each epoch is 20 bytes on the wire; reject counts the buffer can't hold.
+  if (r.remaining() < static_cast<size_t>(n) * 20) {
+    return Status::Corruption("epoch journal truncated");
+  }
+  std::vector<StripeEpoch> epochs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epochs[i].start_lid));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&epochs[i].num_maintainers));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epochs[i].batch_size));
+  }
+  if (epochs.front().start_lid != 0) {
+    return Status::Corruption("first epoch must start at 0");
+  }
+  return EpochJournal(std::move(epochs));
+}
+
+}  // namespace chariots::flstore

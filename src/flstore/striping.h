@@ -1,0 +1,85 @@
+#ifndef CHARIOTS_FLSTORE_STRIPING_H_
+#define CHARIOTS_FLSTORE_STRIPING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/types.h"
+
+namespace chariots::flstore {
+
+/// One striping regime: from `start_lid` (inclusive) the log is striped
+/// round-robin over `num_maintainers` maintainers in batches of `batch_size`
+/// consecutive positions (paper §5.2, Figure 4). Live elasticity (§6.3)
+/// installs a new epoch at a *future* LId instead of migrating records.
+struct StripeEpoch {
+  LId start_lid = 0;
+  uint32_t num_maintainers = 1;
+  uint64_t batch_size = 1000;
+
+  friend bool operator==(const StripeEpoch&, const StripeEpoch&) = default;
+};
+
+/// Identifies one slot owned by one maintainer: the `slot`-th position (in
+/// that maintainer's own dense numbering) within epoch `epoch_index`.
+struct SlotRef {
+  size_t epoch_index = 0;
+  uint64_t slot = 0;
+};
+
+/// The epoch journal (paper §6.3): the full history of striping regimes.
+/// Queues, maintainers, and readers consult it to translate between global
+/// LIds and per-maintainer slots — including for old records written under
+/// earlier regimes.
+class EpochJournal {
+ public:
+  /// Starts with a single epoch at LId 0.
+  explicit EpochJournal(uint32_t num_maintainers, uint64_t batch_size);
+  explicit EpochJournal(std::vector<StripeEpoch> epochs);
+
+  /// Installs a new striping regime taking effect at `epoch.start_lid`.
+  /// Must be strictly greater than the previous epoch's start (future
+  /// reassignment); InvalidArgument otherwise.
+  Status AddEpoch(const StripeEpoch& epoch);
+
+  /// The maintainer index that owns global position `lid`.
+  uint32_t MaintainerFor(LId lid) const;
+
+  /// The epoch index covering `lid`.
+  size_t EpochIndexFor(LId lid) const;
+
+  /// Global LId of maintainer `m`'s slot `ref`. Returns OutOfRange if the
+  /// slot would land at or beyond the epoch's end.
+  Result<LId> GlobalFor(uint32_t m, SlotRef ref) const;
+
+  /// Inverse of GlobalFor: which (epoch, slot) of which maintainer holds
+  /// `lid`.
+  SlotRef SlotFor(LId lid) const;
+
+  /// Number of slots maintainer `m` owns in epoch `epoch_index`
+  /// (UINT64_MAX for the open final epoch if it owns any).
+  uint64_t SlotCount(uint32_t m, size_t epoch_index) const;
+
+  const std::vector<StripeEpoch>& epochs() const { return epochs_; }
+  const StripeEpoch& current() const { return epochs_.back(); }
+  size_t num_epochs() const { return epochs_.size(); }
+
+  /// Maximum maintainer index + 1 across all epochs.
+  uint32_t MaxMaintainers() const;
+
+  std::string Encode() const;
+  static Result<EpochJournal> Decode(std::string_view data);
+
+ private:
+  /// End (exclusive) of epoch i: next epoch's start, or UINT64_MAX.
+  LId EpochEnd(size_t i) const;
+
+  std::vector<StripeEpoch> epochs_;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_STRIPING_H_

@@ -1,0 +1,50 @@
+#ifndef CHARIOTS_FLSTORE_TYPES_H_
+#define CHARIOTS_FLSTORE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace chariots::flstore {
+
+/// Log position id: the record's position in this datacenter's shared log
+/// (paper §3). 0-based and gap-free below the Head of the Log.
+using LId = uint64_t;
+
+/// Sentinel for "no position".
+inline constexpr LId kInvalidLId = std::numeric_limits<LId>::max();
+
+/// A key/value tag attached to a record by the application client. Tags are
+/// visible to Chariots (indexed); the record body is opaque (paper §3).
+struct Tag {
+  std::string key;
+  std::string value;
+
+  friend bool operator==(const Tag&, const Tag&) = default;
+};
+
+/// A record as stored by FLStore inside one datacenter. In the
+/// multi-datacenter deployment the body carries the encoded Chariots record
+/// (with TOId / host DC / dependency metadata); in single-DC FLStore use the
+/// body is the application payload directly.
+struct LogRecord {
+  LId lid = kInvalidLId;
+  std::string body;
+  std::vector<Tag> tags;
+
+  friend bool operator==(const LogRecord&, const LogRecord&) = default;
+};
+
+/// Serializes a record (without its lid, which is the storage key).
+std::string EncodeLogRecord(const LogRecord& record);
+
+/// Inverse of EncodeLogRecord; `lid` is filled from the argument.
+Result<LogRecord> DecodeLogRecord(LId lid, std::string_view data);
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_TYPES_H_

@@ -1,0 +1,220 @@
+#include "net/inproc_transport.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace chariots::net {
+
+/// Per-node delivery state: a priority queue ordered by delivery time,
+/// drained by a dedicated thread that sleeps until the head is due.
+struct InProcTransport::Inbox {
+  NodeId node;
+  MessageHandler handler;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<DelayedMessage, std::vector<DelayedMessage>,
+                      std::greater<DelayedMessage>>
+      queue;
+  bool stopped = false;
+  std::thread thread;
+};
+
+InProcTransport::InProcTransport(Clock* clock) : clock_(clock), rng_(42) {
+  // Default rule: everything connected, zero latency, unlimited bandwidth.
+  SetLink("", "", LinkOptions{});
+}
+
+InProcTransport::~InProcTransport() {
+  std::vector<std::unique_ptr<Inbox>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [_, inbox] : inboxes_) {
+      {
+        std::lock_guard<std::mutex> il(inbox->mu);
+        inbox->stopped = true;
+        inbox->cv.notify_all();
+      }
+      to_join.push_back(std::move(inbox));
+    }
+    inboxes_.clear();
+  }
+  for (auto& inbox : to_join) {
+    if (inbox->thread.joinable()) inbox->thread.join();
+  }
+}
+
+Status InProcTransport::Register(const NodeId& node, MessageHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inboxes_.count(node) != 0) {
+    return Status::AlreadyExists("node already registered: " + node);
+  }
+  auto inbox = std::make_unique<Inbox>();
+  inbox->node = node;
+  inbox->handler = std::move(handler);
+  Inbox* raw = inbox.get();
+  inbox->thread = std::thread([this, raw] { InboxLoop(raw); });
+  inboxes_.emplace(node, std::move(inbox));
+  return Status::OK();
+}
+
+Status InProcTransport::Unregister(const NodeId& node) {
+  std::unique_ptr<Inbox> inbox;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inboxes_.find(node);
+    if (it == inboxes_.end()) return Status::NotFound("node: " + node);
+    inbox = std::move(it->second);
+    inboxes_.erase(it);
+  }
+  {
+    std::lock_guard<std::mutex> il(inbox->mu);
+    inbox->stopped = true;
+    inbox->cv.notify_all();
+  }
+  if (inbox->thread.joinable()) inbox->thread.join();
+  return Status::OK();
+}
+
+InProcTransport::LinkRule* InProcTransport::ResolveLink(const NodeId& from,
+                                                        const NodeId& to) {
+  // Most specific match: longest dst prefix, then longest src prefix.
+  LinkRule* best = nullptr;
+  size_t best_dst = 0, best_src = 0;
+  for (auto& rule : links_) {
+    if (from.rfind(rule->src_prefix, 0) != 0) continue;
+    if (to.rfind(rule->dst_prefix, 0) != 0) continue;
+    size_t d = rule->dst_prefix.size(), s = rule->src_prefix.size();
+    if (best == nullptr || d > best_dst || (d == best_dst && s > best_src)) {
+      best = rule.get();
+      best_dst = d;
+      best_src = s;
+    }
+  }
+  return best;
+}
+
+Status InProcTransport::Send(Message msg) {
+  Inbox* inbox = nullptr;
+  TokenBucket* bandwidth = nullptr;
+  int64_t latency = 0;
+  size_t wire_size = msg.WireSize();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = inboxes_.find(msg.to);
+    if (it == inboxes_.end()) {
+      return Status::NotFound("unknown destination: " + msg.to);
+    }
+    inbox = it->second.get();
+    LinkRule* rule = ResolveLink(msg.from, msg.to);
+    if (rule != nullptr) {
+      if (rule->options.drop_probability > 0 &&
+          rng_.NextDouble() < rule->options.drop_probability) {
+        ++dropped_;
+        return Status::OK();  // silent loss, like a real network
+      }
+      latency = rule->options.latency_nanos;
+      bandwidth = rule->bandwidth.get();
+    }
+  }
+  // Serialize onto the link outside the registry lock: this blocks the
+  // sender, modeling NIC back-pressure.
+  if (bandwidth != nullptr) bandwidth->Acquire(static_cast<double>(wire_size));
+
+  DelayedMessage dm;
+  dm.deliver_at_nanos = clock_->NowNanos() + latency;
+  dm.msg = std::move(msg);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dm.seq = ++seq_;
+  }
+  {
+    std::lock_guard<std::mutex> il(inbox->mu);
+    if (inbox->stopped) return Status::NotFound("destination stopped");
+    inbox->queue.push(std::move(dm));
+    inbox->cv.notify_one();
+  }
+  return Status::OK();
+}
+
+void InProcTransport::InboxLoop(Inbox* inbox) {
+  std::unique_lock<std::mutex> lock(inbox->mu);
+  for (;;) {
+    if (inbox->stopped) return;
+    if (inbox->queue.empty()) {
+      inbox->cv.wait(lock,
+                     [&] { return inbox->stopped || !inbox->queue.empty(); });
+      continue;
+    }
+    int64_t now = clock_->NowNanos();
+    const DelayedMessage& head = inbox->queue.top();
+    if (head.deliver_at_nanos > now) {
+      inbox->cv.wait_for(
+          lock, std::chrono::nanoseconds(head.deliver_at_nanos - now));
+      continue;
+    }
+    Message msg = std::move(const_cast<DelayedMessage&>(head).msg);
+    inbox->queue.pop();
+    lock.unlock();
+    inbox->handler(std::move(msg));
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      ++delivered_;
+    }
+    lock.lock();
+  }
+}
+
+void InProcTransport::SetLink(const std::string& src_prefix,
+                              const std::string& dst_prefix,
+                              LinkOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& rule : links_) {
+    if (rule->src_prefix == src_prefix && rule->dst_prefix == dst_prefix) {
+      rule->options = options;
+      rule->bandwidth =
+          options.bandwidth_bytes_per_sec > 0
+              ? std::make_unique<TokenBucket>(options.bandwidth_bytes_per_sec,
+                                              options.bandwidth_bytes_per_sec,
+                                              clock_)
+              : nullptr;
+      return;
+    }
+  }
+  auto rule = std::make_unique<LinkRule>();
+  rule->src_prefix = src_prefix;
+  rule->dst_prefix = dst_prefix;
+  rule->options = options;
+  if (options.bandwidth_bytes_per_sec > 0) {
+    rule->bandwidth = std::make_unique<TokenBucket>(
+        options.bandwidth_bytes_per_sec, options.bandwidth_bytes_per_sec,
+        clock_);
+  }
+  links_.push_back(std::move(rule));
+}
+
+void InProcTransport::Partition(const std::string& a_prefix,
+                                const std::string& b_prefix) {
+  LinkOptions drop;
+  drop.drop_probability = 1.0;
+  SetLink(a_prefix, b_prefix, drop);
+  SetLink(b_prefix, a_prefix, drop);
+}
+
+void InProcTransport::Heal(const std::string& a_prefix,
+                           const std::string& b_prefix) {
+  SetLink(a_prefix, b_prefix, LinkOptions{});
+  SetLink(b_prefix, a_prefix, LinkOptions{});
+}
+
+uint64_t InProcTransport::messages_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+uint64_t InProcTransport::messages_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace chariots::net

@@ -1,0 +1,34 @@
+#include "net/message.h"
+
+#include "common/codec.h"
+
+namespace chariots::net {
+
+std::string EncodeMessage(const Message& msg) {
+  BinaryWriter w;
+  w.PutBytes(msg.from);
+  w.PutBytes(msg.to);
+  w.PutU16(msg.type);
+  w.PutU64(msg.rpc_id);
+  w.PutU8(msg.is_response ? 1 : 0);
+  w.PutU8(msg.error_code);
+  w.PutBytes(msg.payload);
+  return std::move(w).data();
+}
+
+Result<Message> DecodeMessage(std::string_view data) {
+  BinaryReader r(data);
+  Message msg;
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&msg.from));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&msg.to));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU16(&msg.type));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&msg.rpc_id));
+  uint8_t is_response = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&is_response));
+  msg.is_response = is_response != 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&msg.error_code));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&msg.payload));
+  return msg;
+}
+
+}  // namespace chariots::net

@@ -1,0 +1,43 @@
+#ifndef CHARIOTS_NET_MESSAGE_H_
+#define CHARIOTS_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace chariots::net {
+
+/// Logical node address. Nodes are named hierarchically by convention,
+/// e.g. "dc0/maintainer/2" or "dc1/receiver/0".
+using NodeId = std::string;
+
+/// A unit of communication between nodes. `type` is an application-defined
+/// opcode; `rpc_id` correlates a response with its request (0 for one-way
+/// notifications).
+struct Message {
+  NodeId from;
+  NodeId to;
+  uint16_t type = 0;
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+  /// Non-zero on an error response: holds the StatusCode.
+  uint8_t error_code = 0;
+  std::string payload;
+
+  /// Approximate wire size in bytes, used by bandwidth simulation.
+  size_t WireSize() const {
+    return from.size() + to.size() + payload.size() + 24;
+  }
+};
+
+/// Serializes a message to wire bytes (used by the TCP transport).
+std::string EncodeMessage(const Message& msg);
+
+/// Parses wire bytes back into a message.
+Result<Message> DecodeMessage(std::string_view data);
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_MESSAGE_H_

@@ -1,0 +1,160 @@
+#include "net/rpc.h"
+
+#include "common/logging.h"
+
+namespace chariots::net {
+
+RpcEndpoint::RpcEndpoint(Transport* transport, NodeId node)
+    : transport_(transport), node_(std::move(node)) {}
+
+RpcEndpoint::~RpcEndpoint() { Stop(); }
+
+void RpcEndpoint::Handle(uint16_t type, RpcHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[type] = std::move(handler);
+}
+
+void RpcEndpoint::HandleOneWay(uint16_t type, OneWayHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  oneway_handlers_[type] = std::move(handler);
+}
+
+Status RpcEndpoint::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) return Status::FailedPrecondition("endpoint started");
+    started_ = true;
+  }
+  return transport_->Register(node_,
+                              [this](Message msg) { OnMessage(std::move(msg)); });
+}
+
+void RpcEndpoint::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    for (auto& [_, call] : pending_) {
+      std::lock_guard<std::mutex> cl(call->mu);
+      call->done = true;
+      call->status = Status::Unavailable("endpoint stopped");
+      call->cv.notify_all();
+    }
+    pending_.clear();
+  }
+  (void)transport_->Unregister(node_);
+}
+
+void RpcEndpoint::OnMessage(Message msg) {
+  if (msg.is_response) {
+    std::shared_ptr<PendingCall> call;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(msg.rpc_id);
+      if (it == pending_.end()) return;  // late response; already timed out
+      call = it->second;
+      pending_.erase(it);
+    }
+    std::lock_guard<std::mutex> cl(call->mu);
+    call->done = true;
+    if (msg.error_code != 0) {
+      call->status =
+          Status(static_cast<StatusCode>(msg.error_code), msg.payload);
+    } else {
+      call->response = std::move(msg.payload);
+    }
+    call->cv.notify_all();
+    return;
+  }
+
+  if (msg.rpc_id == 0) {
+    OneWayHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = oneway_handlers_.find(msg.type);
+      if (it != oneway_handlers_.end()) handler = it->second;
+    }
+    if (handler) {
+      handler(msg.from, std::move(msg.payload));
+    } else {
+      LOG_WARN << node_ << ": no one-way handler for type " << msg.type;
+    }
+    return;
+  }
+
+  RpcHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(msg.type);
+    if (it != handlers_.end()) handler = it->second;
+  }
+
+  Message reply;
+  reply.from = node_;
+  reply.to = msg.from;
+  reply.type = msg.type;
+  reply.rpc_id = msg.rpc_id;
+  reply.is_response = true;
+  if (!handler) {
+    reply.error_code = static_cast<uint8_t>(StatusCode::kNotSupported);
+    reply.payload = "no handler for opcode";
+  } else {
+    Result<std::string> result = handler(msg.from, msg.payload);
+    if (result.ok()) {
+      reply.payload = std::move(result).value();
+    } else {
+      reply.error_code = static_cast<uint8_t>(result.status().code());
+      reply.payload = result.status().message();
+    }
+  }
+  (void)transport_->Send(std::move(reply));
+}
+
+Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
+                                      std::string payload,
+                                      std::chrono::milliseconds timeout) {
+  auto call = std::make_shared<PendingCall>();
+  uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return Status::FailedPrecondition("endpoint not started");
+    pending_.emplace(rpc_id, call);
+  }
+
+  Message msg;
+  msg.from = node_;
+  msg.to = to;
+  msg.type = type;
+  msg.rpc_id = rpc_id;
+  msg.payload = std::move(payload);
+  Status send_status = transport_->Send(std::move(msg));
+  if (!send_status.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(rpc_id);
+    return send_status;
+  }
+
+  std::unique_lock<std::mutex> cl(call->mu);
+  if (!call->cv.wait_for(cl, timeout, [&] { return call->done; })) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(rpc_id);
+    }
+    return Status::TimedOut("rpc to " + to + " timed out");
+  }
+  if (!call->status.ok()) return call->status;
+  return std::move(call->response);
+}
+
+Status RpcEndpoint::Notify(const NodeId& to, uint16_t type,
+                           std::string payload) {
+  Message msg;
+  msg.from = node_;
+  msg.to = to;
+  msg.type = type;
+  msg.rpc_id = 0;
+  msg.payload = std::move(payload);
+  return transport_->Send(std::move(msg));
+}
+
+}  // namespace chariots::net

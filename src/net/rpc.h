@@ -1,0 +1,89 @@
+#ifndef CHARIOTS_NET_RPC_H_
+#define CHARIOTS_NET_RPC_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace chariots::net {
+
+/// Request/response layer over a Transport. One endpoint per logical node.
+///
+/// Server side: register per-opcode handlers, then Start(). Handlers run on
+/// the transport delivery thread; they return the response payload or an
+/// error Status (which travels back as an error response).
+///
+/// Client side: Call() blocks for the response with a timeout; Notify() is
+/// fire-and-forget.
+class RpcEndpoint {
+ public:
+  using RpcHandler =
+      std::function<Result<std::string>(const NodeId& from,
+                                        const std::string& payload)>;
+  /// One-way message handler (no response is sent).
+  using OneWayHandler =
+      std::function<void(const NodeId& from, std::string payload)>;
+
+  RpcEndpoint(Transport* transport, NodeId node);
+  ~RpcEndpoint();
+
+  RpcEndpoint(const RpcEndpoint&) = delete;
+  RpcEndpoint& operator=(const RpcEndpoint&) = delete;
+
+  /// Registers a request handler for `type`. Must precede Start().
+  void Handle(uint16_t type, RpcHandler handler);
+
+  /// Registers a one-way handler for `type`. Must precede Start().
+  void HandleOneWay(uint16_t type, OneWayHandler handler);
+
+  /// Binds to the transport and begins serving.
+  Status Start();
+
+  /// Unbinds; outstanding Calls fail with Unavailable.
+  void Stop();
+
+  /// Sends a request and blocks for the response.
+  Result<std::string> Call(const NodeId& to, uint16_t type,
+                           std::string payload,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(5000));
+
+  /// Fire-and-forget notification.
+  Status Notify(const NodeId& to, uint16_t type, std::string payload);
+
+  const NodeId& node() const { return node_; }
+
+ private:
+  struct PendingCall {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+    std::string response;
+  };
+
+  void OnMessage(Message msg);
+
+  Transport* const transport_;
+  const NodeId node_;
+
+  std::mutex mu_;
+  bool started_ = false;
+  std::unordered_map<uint16_t, RpcHandler> handlers_;
+  std::unordered_map<uint16_t, OneWayHandler> oneway_handlers_;
+  std::unordered_map<uint64_t, std::shared_ptr<PendingCall>> pending_;
+  std::atomic<uint64_t> next_rpc_id_{1};
+};
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_RPC_H_

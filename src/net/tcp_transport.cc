@@ -1,0 +1,300 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace chariots::net {
+
+namespace {
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+// Returns false on clean EOF before any byte; IOError on mid-read failure.
+Result<bool> ReadAll(int fd, char* data, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport() = default;
+
+TcpTransport::~TcpTransport() { Shutdown(); }
+
+Status TcpTransport::Listen(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TcpTransport::AddRoute(const std::string& prefix, const std::string& host,
+                            int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_.emplace_back(prefix, host + ":" + std::to_string(port));
+}
+
+Status TcpTransport::Register(const NodeId& node, MessageHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (local_.count(node) != 0) {
+    return Status::AlreadyExists("node already registered: " + node);
+  }
+  local_[node] = std::move(handler);
+  return Status::OK();
+}
+
+Status TcpTransport::Unregister(const NodeId& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (local_.erase(node) == 0) return Status::NotFound("node: " + node);
+  return Status::OK();
+}
+
+void TcpTransport::Deliver(Message msg) {
+  MessageHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = local_.find(msg.to);
+    if (it == local_.end()) {
+      LOG_WARN << "tcp: dropping message for unknown local node " << msg.to;
+      return;
+    }
+    handler = it->second;
+  }
+  handler(std::move(msg));
+}
+
+Status TcpTransport::Send(Message msg) {
+  std::string addr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (local_.count(msg.to) != 0) {
+      // Local shortcut — deliver on the caller thread.
+      MessageHandler handler = local_[msg.to];
+      // Drop the lock before invoking user code.
+      // (handler copy keeps it alive.)
+      mu_.unlock();
+      handler(std::move(msg));
+      mu_.lock();
+      return Status::OK();
+    }
+    size_t best = 0;
+    bool found = false;
+    for (const auto& [prefix, a] : routes_) {
+      if (msg.to.rfind(prefix, 0) == 0 &&
+          (!found || prefix.size() >= best)) {
+        best = prefix.size();
+        addr = a;
+        found = true;
+      }
+    }
+    if (!found) {
+      // No static route: try the connection the peer was learned on.
+      auto it = learned_.find(msg.to);
+      if (it != learned_.end()) {
+        if (std::shared_ptr<Connection> conn = it->second.lock()) {
+          // Write outside the registry lock.
+          mu_.unlock();
+          Status s = WriteFrame(conn.get(), msg);
+          mu_.lock();
+          return s;
+        }
+        learned_.erase(it);
+      }
+      return Status::NotFound("no route to " + msg.to);
+    }
+  }
+  CHARIOTS_ASSIGN_OR_RETURN(std::shared_ptr<Connection> conn,
+                            GetOrConnect(addr));
+  return WriteFrame(conn.get(), msg);
+}
+
+Result<std::shared_ptr<TcpTransport::Connection>> TcpTransport::GetOrConnect(
+    const std::string& addr) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conns_.find(addr);
+    if (it != conns_.end()) return it->second;
+  }
+  // Parse host:port.
+  size_t colon = addr.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("bad address: " + addr);
+  }
+  std::string host = addr.substr(0, colon);
+  int port = std::atoi(addr.c_str() + colon + 1);
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &sa.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return Status::Unavailable("connect " + addr + ": " +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto conn = std::make_shared<Connection>();
+  conn->fd = fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto [it, inserted] = conns_.emplace(addr, conn);
+    if (!inserted) {
+      // Lost a race; use the existing connection.
+      ::close(fd);
+      return it->second;
+    }
+  }
+  conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  return conn;
+}
+
+Status TcpTransport::WriteFrame(Connection* conn, const Message& msg) {
+  std::string body = EncodeMessage(msg);
+  char header[4];
+  uint32_t len = static_cast<uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  CHARIOTS_RETURN_IF_ERROR(WriteAll(conn->fd, header, 4));
+  return WriteAll(conn->fd, body.data(), body.size());
+}
+
+void TcpTransport::ReaderLoop(std::shared_ptr<Connection> conn) {
+  for (;;) {
+    char header[4];
+    Result<bool> got = ReadAll(conn->fd, header, 4);
+    if (!got.ok() || !*got) break;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<uint32_t>(static_cast<uint8_t>(header[i])) << (8 * i);
+    }
+    if (len > (64u << 20)) {
+      LOG_ERROR << "tcp: oversized frame (" << len << " bytes); closing";
+      break;
+    }
+    std::string body(len, '\0');
+    got = ReadAll(conn->fd, body.data(), len);
+    if (!got.ok() || !*got) break;
+    Result<Message> msg = DecodeMessage(body);
+    if (!msg.ok()) {
+      LOG_ERROR << "tcp: undecodable frame; closing: "
+                << msg.status().ToString();
+      break;
+    }
+    if (!msg->from.empty()) {
+      // Peer learning: the sender is reachable over this connection.
+      std::lock_guard<std::mutex> lock(mu_);
+      learned_[msg->from] = conn;
+    }
+    Deliver(std::move(msg).value());
+    if (shutdown_.load(std::memory_order_relaxed)) break;
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+void TcpTransport::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      accepted_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void TcpTransport::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::shared_ptr<Connection>> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [_, c] : conns_) all.push_back(c);
+    for (auto& c : accepted_) all.push_back(c);
+    conns_.clear();
+    accepted_.clear();
+  }
+  for (auto& c : all) {
+    ::shutdown(c->fd, SHUT_RDWR);
+  }
+  for (auto& c : all) {
+    if (c->reader.joinable()) c->reader.join();
+    ::close(c->fd);
+  }
+}
+
+}  // namespace chariots::net

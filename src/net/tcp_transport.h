@@ -1,0 +1,80 @@
+#ifndef CHARIOTS_NET_TCP_TRANSPORT_H_
+#define CHARIOTS_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace chariots::net {
+
+/// Transport over real TCP sockets. Messages are length-prefixed frames
+/// (u32 little-endian length + EncodeMessage bytes). Connection handling is
+/// blocking I/O with one reader thread per accepted/established connection —
+/// simple and robust; suitable for the scale of a reproduction deployment.
+///
+/// Routing: local nodes are registered handlers; remote nodes are reached via
+/// prefix routes installed with AddRoute("dc1", "127.0.0.1:7001"). Longest
+/// matching prefix wins. A message whose destination resolves locally is
+/// delivered without touching a socket. Additionally, the transport LEARNS
+/// peers: a node id seen as the sender on an inbound connection becomes
+/// reachable over that connection — so servers can answer clients they
+/// have no static route to (clients connect from ephemeral addresses).
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  /// Starts accepting connections on `port` (all interfaces). Pass 0 to let
+  /// the OS choose; the bound port is then available via port().
+  Status Listen(int port);
+
+  int port() const { return port_; }
+
+  /// Routes messages for node ids starting with `prefix` to `host:port`.
+  void AddRoute(const std::string& prefix, const std::string& host,
+                int port);
+
+  Status Register(const NodeId& node, MessageHandler handler) override;
+  Status Unregister(const NodeId& node) override;
+  Status Send(Message msg) override;
+
+  /// Closes all sockets and joins all threads.
+  void Shutdown();
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::thread reader;
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(std::shared_ptr<Connection> conn);
+  Status WriteFrame(Connection* conn, const Message& msg);
+  Result<std::shared_ptr<Connection>> GetOrConnect(const std::string& addr);
+  void Deliver(Message msg);
+
+  std::atomic<bool> shutdown_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex mu_;
+  std::unordered_map<NodeId, MessageHandler> local_;
+  std::vector<std::pair<std::string, std::string>> routes_;  // prefix -> addr
+  std::unordered_map<std::string, std::shared_ptr<Connection>> conns_;
+  std::vector<std::shared_ptr<Connection>> accepted_;
+  /// Peer learning: sender node id -> connection it was last seen on.
+  std::unordered_map<NodeId, std::weak_ptr<Connection>> learned_;
+};
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_TCP_TRANSPORT_H_

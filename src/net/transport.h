@@ -1,0 +1,38 @@
+#ifndef CHARIOTS_NET_TRANSPORT_H_
+#define CHARIOTS_NET_TRANSPORT_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "net/message.h"
+
+namespace chariots::net {
+
+/// Callback invoked on a transport delivery thread for each inbound message.
+/// Handlers must be fast or hand off to their own executor; one slow handler
+/// stalls that node's inbox.
+using MessageHandler = std::function<void(Message)>;
+
+/// Abstract point-to-point message fabric. Implementations: InProcTransport
+/// (simulated latency/bandwidth inside one process) and TcpTransport (real
+/// sockets). Delivery is at-most-once and FIFO per (from, to) pair unless a
+/// fault model says otherwise.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Binds `node` to `handler`. Fails with AlreadyExists if bound.
+  virtual Status Register(const NodeId& node, MessageHandler handler) = 0;
+
+  /// Removes a binding; in-flight messages to the node are dropped.
+  virtual Status Unregister(const NodeId& node) = 0;
+
+  /// Queues `msg` for delivery to `msg.to`. Returns NotFound if the
+  /// destination was never registered (delivery failures after a successful
+  /// Send are silent, like a real network).
+  virtual Status Send(Message msg) = 0;
+};
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_TRANSPORT_H_

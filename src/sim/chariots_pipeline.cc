@@ -1,0 +1,98 @@
+#include "sim/chariots_pipeline.h"
+
+namespace chariots::sim {
+
+namespace {
+// Client->batcher inbox is shallow (synchronous append acknowledgement);
+// everything downstream buffers deeply (batch spooling).
+constexpr size_t kShallowInboxBatches = 8;
+constexpr size_t kDeepInboxBatches = 8192;
+
+MachineModel Scaled(MachineModel m, double scale) {
+  m.nominal_rate /= scale;
+  m.overload_rate /= scale;
+  return m;
+}
+}  // namespace
+
+ChariotsPipelineSim::ChariotsPipelineSim(const PipelineShape& shape,
+                                         double client_target_rate,
+                                         uint32_t batch_records,
+                                         double time_scale)
+    : time_scale_(time_scale > 0 ? time_scale : 1) {
+  stages_.push_back(std::make_unique<SimStage>(
+      "Batcher", shape.batchers, Scaled(BatcherMachine(), time_scale_),
+      kShallowInboxBatches));
+  stages_.push_back(std::make_unique<SimStage>(
+      "Filter", shape.filters, Scaled(FilterMachine(), time_scale_),
+      kDeepInboxBatches));
+  stages_.push_back(std::make_unique<SimStage>(
+      "Maintainer", shape.maintainers,
+      Scaled(MaintainerMachine(), time_scale_), kDeepInboxBatches));
+  stages_.push_back(std::make_unique<SimStage>(
+      "Store", shape.stores, Scaled(StoreMachine(), time_scale_),
+      kDeepInboxBatches));
+  for (size_t i = 0; i + 1 < stages_.size(); ++i) {
+    stages_[i]->set_next(stages_[i + 1].get());
+  }
+  clients_ = std::make_unique<SimSource>(
+      shape.clients, Scaled(ClientMachine(), time_scale_),
+      client_target_rate / time_scale_, batch_records,
+      stages_.front().get());
+}
+
+void ChariotsPipelineSim::RunToCount(uint64_t records_per_client) {
+  for (auto& stage : stages_) stage->Start();
+  clients_->RunToCount(static_cast<uint64_t>(records_per_client /
+                                             time_scale_));
+  // Drain front to back: closing a stage's inboxes after its producers
+  // finished lets every in-flight record reach the store.
+  for (auto& stage : stages_) stage->StopAndDrain();
+}
+
+std::vector<ChariotsPipelineSim::RowResult> ChariotsPipelineSim::Results()
+    const {
+  std::vector<RowResult> rows;
+  rows.push_back(RowResult{"Client", clients_->MachineRates()});
+  for (const auto& stage : stages_) {
+    rows.push_back(RowResult{stage->name(), stage->MachineRates()});
+  }
+  for (RowResult& row : rows) {
+    for (double& rate : row.machine_rates) rate *= time_scale_;
+  }
+  return rows;
+}
+
+std::vector<double> ChariotsPipelineSim::Timeseries(
+    const std::string& stage_name, size_t machine) const {
+  std::vector<double> series;
+  if (stage_name == "Client") {
+    series = clients_->MachineTimeseries(machine);
+  } else {
+    for (const auto& stage : stages_) {
+      if (stage->name() == stage_name) {
+        series = stage->MachineTimeseries(machine);
+        break;
+      }
+    }
+  }
+  for (double& v : series) v *= time_scale_;
+  return series;
+}
+
+void ChariotsPipelineSim::PrintTable(const char* title) const {
+  std::printf("%s\n", title);
+  std::printf("%-14s %s\n", "Machine", "Throughput (Kappends/s)");
+  for (const RowResult& row : Results()) {
+    for (size_t i = 0; i < row.machine_rates.size(); ++i) {
+      std::string label = row.stage;
+      if (row.machine_rates.size() > 1) {
+        label += " " + std::to_string(i + 1);
+      }
+      std::printf("%-14s %.1f\n", label.c_str(),
+                  row.machine_rates[i] / 1000.0);
+    }
+  }
+}
+
+}  // namespace chariots::sim

@@ -1,0 +1,70 @@
+#ifndef CHARIOTS_SIM_CHARIOTS_PIPELINE_H_
+#define CHARIOTS_SIM_CHARIOTS_PIPELINE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/pipeline_sim.h"
+
+namespace chariots::sim {
+
+/// Stage widths for a simulated Chariots deployment (Tables 2–5). Rows are
+/// named as the paper's tables name them: Client, Batcher, Filter,
+/// Maintainer (the LId-assignment stage), Store (FLStore persistence).
+struct PipelineShape {
+  size_t clients = 1;
+  size_t batchers = 1;
+  size_t filters = 1;
+  size_t maintainers = 1;
+  size_t stores = 1;
+};
+
+/// One simulated Chariots pipeline (single datacenter, as in §7.2): client
+/// machines feed batchers through a *shallow* inbox (appends are
+/// acknowledged, so clients feel backpressure from a saturated batcher),
+/// while batchers spool into deep downstream buffers (their whole job is
+/// buffering — the Figure 9 drain behaviour).
+class ChariotsPipelineSim {
+ public:
+  /// `time_scale`: uniform rate scaling (all modeled rates divided by it
+  /// for execution, results multiplied back — queueing shapes are
+  /// invariant). Lets a multi-hundred-K/s deployment run faithfully on a
+  /// small host; reported rates are machine-equivalent records/s.
+  explicit ChariotsPipelineSim(const PipelineShape& shape,
+                               double client_target_rate = 0,
+                               uint32_t batch_records = 256,
+                               double time_scale = 10);
+
+  /// Runs each client to `records_per_client` (in modeled records; scaled
+  /// internally) and waits for the pipeline to drain completely.
+  void RunToCount(uint64_t records_per_client);
+
+  /// Scaled records/s timeseries for a row machine ("Client" row index 0).
+  std::vector<double> Timeseries(const std::string& stage_name,
+                                 size_t machine) const;
+
+  /// Per-machine rates for one table row, in stage order.
+  struct RowResult {
+    std::string stage;
+    std::vector<double> machine_rates;
+  };
+  std::vector<RowResult> Results() const;
+
+  /// Prints the table in the paper's format.
+  void PrintTable(const char* title) const;
+
+  SimSource& clients() { return *clients_; }
+  SimStage& stage(size_t i) { return *stages_[i]; }
+  size_t num_stages() const { return stages_.size(); }
+
+ private:
+  double time_scale_;
+  std::unique_ptr<SimSource> clients_;
+  std::vector<std::unique_ptr<SimStage>> stages_;  // batcher..store
+};
+
+}  // namespace chariots::sim
+
+#endif  // CHARIOTS_SIM_CHARIOTS_PIPELINE_H_

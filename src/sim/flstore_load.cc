@@ -1,0 +1,161 @@
+#include "sim/flstore_load.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/rate_limiter.h"
+#include "flstore/maintainer.h"
+#include "sim/meter.h"
+
+namespace chariots::sim {
+
+namespace {
+
+/// Records move between the client and maintainer machine in batches: one
+/// queue operation per kTransferBatch records. (The harness may run on a
+/// single-core host; per-record locking would measure the host's mutex
+/// throughput instead of the modeled machines'.)
+constexpr size_t kTransferBatch = 32;
+
+/// Reclaim the in-memory store periodically so long sweeps don't grow
+/// memory without bound (equivalent to archiving cold segments).
+constexpr uint64_t kTruncateEvery = 1 << 16;
+
+/// One maintainer machine: a real FLStore LogMaintainer behind a service
+/// token bucket with the Figure 7 overload degradation.
+struct MaintainerBox {
+  std::unique_ptr<flstore::LogMaintainer> maintainer;
+  std::unique_ptr<BoundedQueue<std::vector<flstore::LogRecord>>> inbox;
+  std::unique_ptr<TokenBucket> service;
+  std::unique_ptr<ThroughputMeter> meter;
+  std::thread thread;
+  bool overloaded = false;
+};
+
+}  // namespace
+
+FLStoreLoadResult RunFLStoreLoad(const FLStoreLoadOptions& raw_options) {
+  Clock* clock = SystemClock::Default();
+  // Apply the uniform time scale (see FLStoreLoadOptions::time_scale).
+  FLStoreLoadOptions options = raw_options;
+  const double scale = options.time_scale > 0 ? options.time_scale : 1;
+  options.target_per_maintainer /= scale;
+  MachineModel model = options.maintainer_model;
+  model.nominal_rate /= scale;
+  model.overload_rate /= scale;
+
+  std::vector<std::unique_ptr<MaintainerBox>> machines;
+  for (uint32_t m = 0; m < options.num_maintainers; ++m) {
+    auto machine = std::make_unique<MaintainerBox>();
+    flstore::MaintainerOptions mo;
+    mo.index = m;
+    mo.journal = flstore::EpochJournal(options.num_maintainers,
+                                       options.stripe_batch);
+    mo.store.mode = storage::SyncMode::kMemoryOnly;
+    machine->maintainer = std::make_unique<flstore::LogMaintainer>(mo);
+    Status s = machine->maintainer->Open();
+    (void)s;
+    machine->inbox = std::make_unique<
+        BoundedQueue<std::vector<flstore::LogRecord>>>(64);
+    machine->service = std::make_unique<TokenBucket>(
+        model.nominal_rate, model.nominal_rate / 100, clock);
+    machine->meter = std::make_unique<ThroughputMeter>();
+    machines.push_back(std::move(machine));
+  }
+
+  std::atomic<bool> measuring{false};
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> offered{0};
+
+  // Maintainer machine loops: pull a batch, pay the modeled service cost,
+  // then run the real post-assignment appends.
+  for (auto& machine : machines) {
+    MaintainerBox* raw = machine.get();
+    machine->thread = std::thread([raw, &model, &measuring] {
+      uint64_t appended = 0;
+      while (auto batch = raw->inbox->Pop()) {
+        double fill = raw->inbox->fill_fraction();
+        if (!raw->overloaded && fill > model.overload_fill) {
+          raw->service->set_rate(model.overload_rate);
+          raw->overloaded = true;
+        } else if (raw->overloaded && fill < model.overload_fill / 2) {
+          raw->service->set_rate(model.nominal_rate);
+          raw->overloaded = false;
+        }
+        raw->service->Acquire(static_cast<double>(batch->size()));
+        for (flstore::LogRecord& record : *batch) {
+          (void)raw->maintainer->Append(record);
+        }
+        appended += batch->size();
+        if (measuring.load(std::memory_order_relaxed)) {
+          raw->meter->Add(batch->size());
+        }
+        if (appended >= kTruncateEvery) {
+          appended = 0;
+          (void)raw->maintainer->TruncateBelow(flstore::kInvalidLId - 1);
+        }
+      }
+    });
+  }
+
+  // Client machines: one generator per maintainer at the target rate.
+  // Closed-loop clients (target 0) block on the inbox; open-loop clients
+  // drop the batch when the inbox is full (offered load beyond acceptance).
+  std::vector<std::thread> clients;
+  for (auto& machine : machines) {
+    MaintainerBox* raw = machine.get();
+    clients.emplace_back([raw, &options, &stop, &offered, &measuring,
+                          clock] {
+      TokenBucket pace(options.target_per_maintainer,
+                       options.target_per_maintainer > 0
+                           ? options.target_per_maintainer / 100
+                           : 0,
+                       clock);
+      flstore::LogRecord record;
+      record.body.assign(options.record_bytes, 'x');
+      while (!stop.load(std::memory_order_relaxed)) {
+        pace.Acquire(kTransferBatch);
+        if (measuring.load(std::memory_order_relaxed)) {
+          offered.fetch_add(kTransferBatch, std::memory_order_relaxed);
+        }
+        std::vector<flstore::LogRecord> batch(kTransferBatch, record);
+        if (options.target_per_maintainer > 0) {
+          (void)raw->inbox->TryPush(std::move(batch));  // open loop
+        } else {
+          if (!raw->inbox->Push(std::move(batch))) return;  // closed loop
+        }
+      }
+    });
+  }
+
+  clock->SleepFor(options.warmup_nanos);
+  for (auto& machine : machines) machine->meter->Start();
+  measuring.store(true);
+  clock->SleepFor(options.measure_nanos);
+  measuring.store(false);
+  stop.store(true);
+  for (auto& machine : machines) machine->inbox->Close();
+  for (auto& t : clients) t.join();
+  for (auto& machine : machines) {
+    if (machine->thread.joinable()) machine->thread.join();
+  }
+
+  FLStoreLoadResult result;
+  for (auto& machine : machines) {
+    // Rate over the fixed measurement window (not machine-active time),
+    // reported in modeled machine-equivalent records/s.
+    double rate = static_cast<double>(machine->meter->count()) * 1e9 /
+                  static_cast<double>(options.measure_nanos) * scale;
+    result.per_maintainer_rate.push_back(rate);
+    result.total_rate += rate;
+  }
+  result.offered_rate = static_cast<double>(offered.load()) * 1e9 /
+                        static_cast<double>(options.measure_nanos) * scale;
+  return result;
+}
+
+}  // namespace chariots::sim

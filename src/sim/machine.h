@@ -1,0 +1,41 @@
+#ifndef CHARIOTS_SIM_MACHINE_H_
+#define CHARIOTS_SIM_MACHINE_H_
+
+namespace chariots::sim {
+
+/// Capacity model of one machine in the simulated cluster (the substitution
+/// for the paper's testbed, DESIGN.md §4). A machine processes records at
+/// up to `nominal_rate`; when driven past saturation (its inbox persistently
+/// above `overload_fill`), contention overhead drops the effective service
+/// rate to `overload_rate` — reproducing the rise-then-drop of Figure 7.
+struct MachineModel {
+  double nominal_rate = 131'000;
+  double overload_rate = 131'000;
+  double overload_fill = 0.9;
+};
+
+/// The private-cloud machines (Xeon E5620, 10 GbE): ~131K appends/s,
+/// no pronounced overload degradation observed in the paper.
+inline MachineModel PrivateCloudMachine() {
+  return MachineModel{131'000, 124'000, 0.95};
+}
+
+/// The public-cloud machines (AWS c3.large): peak ~150K appends/s at the
+/// saturation knee, degrading to ~120K under overload (paper Figure 7).
+inline MachineModel PublicCloudMachine() {
+  return MachineModel{150'000, 120'000, 0.85};
+}
+
+/// Per-stage calibrations for the Chariots pipeline tables (Tables 2–5).
+/// Values are tuned to the paper's basic-deployment measurements: every
+/// machine class lands near 124–132 Kappends/s, with the filter degrading
+/// to ~120K when its NIC is saturated by multiple upstream batchers.
+inline MachineModel ClientMachine() { return {129'500, 129'500, 1.0}; }
+inline MachineModel BatcherMachine() { return {130'000, 126'500, 0.85}; }
+inline MachineModel FilterMachine() { return {129'000, 120'000, 0.85}; }
+inline MachineModel MaintainerMachine() { return {124'000, 118'000, 0.9}; }
+inline MachineModel StoreMachine() { return {132'000, 121'000, 0.9}; }
+
+}  // namespace chariots::sim
+
+#endif  // CHARIOTS_SIM_MACHINE_H_

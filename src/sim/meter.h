@@ -1,0 +1,86 @@
+#ifndef CHARIOTS_SIM_METER_H_
+#define CHARIOTS_SIM_METER_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace chariots::sim {
+
+/// Thread-safe records/second meter with a windowed timeseries (used by the
+/// Figure 9 reproduction) and overall-rate reporting (used by the tables).
+class ThroughputMeter {
+ public:
+  /// `window_nanos`: bucket width for the timeseries.
+  explicit ThroughputMeter(int64_t window_nanos = 1'000'000'000,
+                           Clock* clock = SystemClock::Default())
+      : window_nanos_(window_nanos), clock_(clock) {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  /// Call once measurement begins (sets t0 for rates and buckets).
+  void Start() {
+    start_nanos_.store(clock_->NowNanos(), std::memory_order_relaxed);
+    started_.store(true, std::memory_order_release);
+  }
+
+  void Add(uint64_t records) {
+    int64_t now = clock_->NowNanos();
+    count_.fetch_add(records, std::memory_order_relaxed);
+    last_nanos_.store(now, std::memory_order_relaxed);
+    if (!started_.load(std::memory_order_acquire)) return;
+    int64_t start = start_nanos_.load(std::memory_order_relaxed);
+    size_t bucket = static_cast<size_t>((now - start) / window_nanos_);
+    if (bucket < kMaxBuckets) {
+      buckets_[bucket].fetch_add(records, std::memory_order_relaxed);
+    }
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Average records/second from Start() to the last Add().
+  double Rate() const {
+    if (!started_.load(std::memory_order_acquire)) return 0;
+    int64_t start = start_nanos_.load(std::memory_order_relaxed);
+    int64_t last = last_nanos_.load(std::memory_order_relaxed);
+    if (last <= start) return 0;
+    return static_cast<double>(count()) * 1e9 /
+           static_cast<double>(last - start);
+  }
+
+  /// Records/second per window since Start(), up to the last active window.
+  std::vector<double> Timeseries() const {
+    std::vector<double> out;
+    if (!started_.load(std::memory_order_acquire)) return out;
+    int64_t start = start_nanos_.load(std::memory_order_relaxed);
+    int64_t last = last_nanos_.load(std::memory_order_relaxed);
+    if (last <= start) return out;
+    size_t n = static_cast<size_t>((last - start) / window_nanos_) + 1;
+    n = std::min(n, kMaxBuckets);
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.push_back(buckets_[i].load(std::memory_order_relaxed) * 1e9 /
+                    static_cast<double>(window_nanos_));
+    }
+    return out;
+  }
+
+ private:
+  static constexpr size_t kMaxBuckets = 600;
+
+  const int64_t window_nanos_;
+  Clock* const clock_;
+  std::atomic<bool> started_{false};
+  std::atomic<int64_t> start_nanos_{0};
+  std::atomic<int64_t> last_nanos_{0};
+  std::atomic<uint64_t> count_{0};
+  std::array<std::atomic<uint64_t>, kMaxBuckets> buckets_{};
+};
+
+}  // namespace chariots::sim
+
+#endif  // CHARIOTS_SIM_METER_H_

@@ -1,0 +1,114 @@
+#ifndef CHARIOTS_SIM_PIPELINE_SIM_H_
+#define CHARIOTS_SIM_PIPELINE_SIM_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/queue.h"
+#include "common/rate_limiter.h"
+#include "sim/machine.h"
+#include "sim/meter.h"
+
+namespace chariots::sim {
+
+/// A batch of records moving through the simulated Chariots pipeline. Only
+/// the count matters for the queueing network; the pipeline *logic* is
+/// validated separately by the tests against the real components.
+struct SimBatch {
+  uint32_t records = 0;
+};
+
+/// One pipeline stage made of `num_machines` identical machines. Each
+/// machine has its own inbox and a token-bucket service rate following a
+/// MachineModel (with overload degradation); processed batches go
+/// round-robin to the next stage's machines. This mirrors the paper's
+/// deployment where every stage is an independent set of boxes (§6.2) and
+/// machines buffer ahead of slower downstream stages (the Figure 9
+/// behaviour), which is why inboxes are deep rather than tightly coupled.
+class SimStage {
+ public:
+  SimStage(std::string name, size_t num_machines, MachineModel model,
+           size_t inbox_capacity = 1 << 16);
+  ~SimStage();
+
+  /// Sets the downstream stage (null for the last stage).
+  void set_next(SimStage* next) { next_ = next; }
+
+  void Start();
+  /// Closes the inboxes, lets the machines drain them, and joins.
+  void StopAndDrain();
+
+  /// Submits a batch to machine (rr % machines); blocks when that machine's
+  /// inbox is full (producer-side backpressure, as when a sender blocks on
+  /// a saturated receiver NIC).
+  void Submit(SimBatch batch);
+
+  const std::string& name() const { return name_; }
+  size_t num_machines() const { return machines_.size(); }
+  /// Per-machine average throughput (records/s).
+  std::vector<double> MachineRates() const;
+  /// Whole-stage records/s timeseries of machine `i`.
+  std::vector<double> MachineTimeseries(size_t i) const;
+  uint64_t TotalRecords() const;
+
+ private:
+  struct Machine {
+    std::unique_ptr<BoundedQueue<SimBatch>> inbox;
+    std::unique_ptr<TokenBucket> bucket;
+    std::unique_ptr<ThroughputMeter> meter;
+    std::thread thread;
+    bool overloaded = false;
+  };
+
+  void MachineLoop(Machine* machine);
+
+  const std::string name_;
+  const MachineModel model_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  SimStage* next_ = nullptr;
+  std::atomic<uint64_t> rr_{0};
+  std::atomic<bool> started_{false};
+};
+
+/// Open-loop record generators standing in for the paper's client machines.
+/// Each source machine produces batches at `target_rate` (0 = as fast as
+/// its machine model allows, i.e. the closed-loop "private cloud" clients)
+/// into the first stage.
+class SimSource {
+ public:
+  SimSource(size_t num_machines, MachineModel model, double target_rate,
+            uint32_t batch_records, SimStage* first_stage);
+  ~SimSource();
+
+  void Start();
+  /// Stops generation (for duration-bounded runs).
+  void Stop();
+  /// Generates until each machine produced `records_each`, then returns.
+  void RunToCount(uint64_t records_each);
+
+  std::vector<double> MachineRates() const;
+  std::vector<double> MachineTimeseries(size_t i) const;
+  uint64_t TotalRecords() const;
+
+ private:
+  struct Machine {
+    std::unique_ptr<TokenBucket> pace;    // target offered load
+    std::unique_ptr<TokenBucket> capacity;  // the machine's own limit
+    std::unique_ptr<ThroughputMeter> meter;
+    std::thread thread;
+  };
+
+  void MachineLoop(Machine* machine, uint64_t records_limit);
+
+  const uint32_t batch_records_;
+  SimStage* const first_stage_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace chariots::sim
+
+#endif  // CHARIOTS_SIM_PIPELINE_SIM_H_

@@ -1,0 +1,52 @@
+#include "storage/archive.h"
+
+#include <set>
+
+#include "common/result.h"
+#include "storage/file.h"
+#include "storage/format.h"
+
+namespace chariots::storage {
+
+Status ArchiveReader::Scan(const std::string& path, RecordFn fn) {
+  std::string contents;
+  CHARIOTS_RETURN_IF_ERROR(ReadFileToString(path, &contents));
+
+  // Pass 1: find tombstones (a tombstone always follows the data frame it
+  // kills, possibly from a later archived segment).
+  std::set<uint64_t> dead;
+  size_t offset = 0;
+  while (offset < contents.size()) {
+    format::Frame frame;
+    size_t consumed = 0;
+    CHARIOTS_RETURN_IF_ERROR(
+        format::ParseFrame(contents, offset, &frame, &consumed));
+    if (frame.type == format::kFrameTombstone) dead.insert(frame.lid);
+    offset += consumed;
+  }
+
+  // Pass 2: emit live records in archive order.
+  offset = 0;
+  while (offset < contents.size()) {
+    format::Frame frame;
+    size_t consumed = 0;
+    CHARIOTS_RETURN_IF_ERROR(
+        format::ParseFrame(contents, offset, &frame, &consumed));
+    if (frame.type == format::kFrameData && dead.count(frame.lid) == 0) {
+      if (!fn(frame.lid, frame.payload)) return Status::OK();
+    }
+    offset += consumed;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ArchiveReader::Count(const std::string& path) {
+  uint64_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(Scan(path, [&n](uint64_t, std::string_view) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace chariots::storage

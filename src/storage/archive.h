@@ -1,0 +1,35 @@
+#ifndef CHARIOTS_STORAGE_ARCHIVE_H_
+#define CHARIOTS_STORAGE_ARCHIVE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace chariots::storage {
+
+/// Reads a cold-storage archive file produced by LogStore::TruncateBelow
+/// (paper §6.1: users may archive garbage-collected records instead of
+/// discarding them). An archive is a concatenation of segment-file
+/// contents, i.e. a sequence of CRC-framed records.
+class ArchiveReader {
+ public:
+  /// Called for each archived record, in archive order. Return false to
+  /// stop the scan early.
+  using RecordFn =
+      std::function<bool(uint64_t lid, std::string_view payload)>;
+
+  /// Scans `path`, invoking `fn` per live record (tombstoned records are
+  /// skipped if a tombstone follows in the same archive). Corruption stops
+  /// the scan with an error; a clean end returns OK.
+  static Status Scan(const std::string& path, RecordFn fn);
+
+  /// Convenience: counts the live records in the archive.
+  static Result<uint64_t> Count(const std::string& path);
+};
+
+}  // namespace chariots::storage
+
+#endif  // CHARIOTS_STORAGE_ARCHIVE_H_

@@ -1,0 +1,77 @@
+#ifndef CHARIOTS_STORAGE_FORMAT_H_
+#define CHARIOTS_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/result.h"
+
+namespace chariots::storage::format {
+
+/// On-disk frame layout shared by segment files and cold-storage archives:
+///   u32 masked CRC32C (over everything after it)
+///   u8  frame type
+///   u32 payload length
+///   u64 lid
+///   payload bytes
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 8;
+
+inline constexpr uint8_t kFrameData = 0;
+inline constexpr uint8_t kFrameTombstone = 1;
+
+inline std::string EncodeFrame(uint8_t type, uint64_t lid,
+                               std::string_view payload) {
+  BinaryWriter body;
+  body.PutU8(type);
+  body.PutU32(static_cast<uint32_t>(payload.size()));
+  body.PutU64(lid);
+  body.PutRaw(payload);
+  uint32_t crc = crc32c::Mask(crc32c::Value(body.data()));
+  BinaryWriter frame;
+  frame.PutU32(crc);
+  frame.PutRaw(body.data());
+  return std::move(frame).data();
+}
+
+/// A parsed frame; `payload` aliases the input buffer.
+struct Frame {
+  uint8_t type = kFrameData;
+  uint64_t lid = 0;
+  std::string_view payload;
+};
+
+/// Parses the frame starting at `data[offset]`. On success fills `frame`
+/// and `consumed`. Fails with Corruption on a bad CRC / type / truncation.
+inline Status ParseFrame(std::string_view data, size_t offset, Frame* frame,
+                         size_t* consumed) {
+  if (offset + kFrameHeaderBytes > data.size()) {
+    return Status::Corruption("truncated frame header");
+  }
+  BinaryReader r(data.substr(offset));
+  uint32_t stored_crc = 0, len = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&stored_crc));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&frame->type));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&len));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&frame->lid));
+  if (frame->type > kFrameTombstone) {
+    return Status::Corruption("unknown frame type");
+  }
+  if (offset + kFrameHeaderBytes + len > data.size()) {
+    return Status::Corruption("truncated frame payload");
+  }
+  frame->payload = data.substr(offset + kFrameHeaderBytes, len);
+  uint32_t actual = crc32c::Value(
+      data.substr(offset + 4, 1 + 4 + 8 + len));
+  if (crc32c::Unmask(stored_crc) != actual) {
+    return Status::Corruption("frame checksum mismatch");
+  }
+  *consumed = kFrameHeaderBytes + len;
+  return Status::OK();
+}
+
+}  // namespace chariots::storage::format
+
+#endif  // CHARIOTS_STORAGE_FORMAT_H_

@@ -1,0 +1,360 @@
+#include "storage/log_store.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+#include "storage/format.h"
+
+namespace chariots::storage {
+
+namespace {
+using format::EncodeFrame;
+using format::kFrameData;
+using format::kFrameHeaderBytes;
+using format::kFrameTombstone;
+}  // namespace
+
+LogStore::LogStore(LogStoreOptions options) : options_(std::move(options)) {}
+
+LogStore::~LogStore() = default;
+
+std::string LogStore::SegmentPath(uint64_t segment_id) const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/seg-%08" PRIu64 ".log", segment_id);
+  return options_.dir + buf;
+}
+
+Status LogStore::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::FailedPrecondition("LogStore already open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    open_ = true;
+    return Status::OK();
+  }
+  if (options_.dir.empty()) {
+    return Status::InvalidArgument("LogStoreOptions.dir required");
+  }
+  CHARIOTS_RETURN_IF_ERROR(CreateDirIfMissing(options_.dir));
+
+  CHARIOTS_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            ListDir(options_.dir));
+  std::vector<uint64_t> ids;
+  for (const auto& name : names) {
+    uint64_t id = 0;
+    if (std::sscanf(name.c_str(), "seg-%08" PRIu64 ".log", &id) == 1) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    CHARIOTS_RETURN_IF_ERROR(RecoverSegment(ids[i], i + 1 == ids.size()));
+  }
+  next_segment_id_ = ids.empty() ? 0 : ids.back() + 1;
+
+  // Open a fresh active segment if there is none or the last is full.
+  if (segments_.empty() ||
+      segments_.rbegin()->second.file.size() >= options_.segment_bytes) {
+    Segment seg;
+    seg.path = SegmentPath(next_segment_id_);
+    CHARIOTS_ASSIGN_OR_RETURN(seg.file, File::OpenAppendable(seg.path));
+    segments_.emplace(next_segment_id_, std::move(seg));
+    ++next_segment_id_;
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
+  std::string path = SegmentPath(segment_id);
+  CHARIOTS_ASSIGN_OR_RETURN(File file, File::OpenAppendable(path));
+
+  Segment seg;
+  seg.path = path;
+  uint64_t offset = 0;
+  const uint64_t file_size = file.size();
+  std::string header;
+  std::string body;
+  while (offset + kFrameHeaderBytes <= file_size) {
+    CHARIOTS_RETURN_IF_ERROR(file.ReadAt(offset, kFrameHeaderBytes, &header));
+    BinaryReader hr(header);
+    uint32_t stored_crc = 0, len = 0;
+    uint64_t lid = 0;
+    uint8_t type = 0;
+    (void)hr.GetU32(&stored_crc);
+    (void)hr.GetU8(&type);
+    (void)hr.GetU32(&len);
+    (void)hr.GetU64(&lid);
+
+    uint64_t frame_end = offset + kFrameHeaderBytes + len;
+    bool bad = frame_end > file_size || type > kFrameTombstone;
+    if (!bad) {
+      CHARIOTS_RETURN_IF_ERROR(
+          file.ReadAt(offset + kFrameHeaderBytes, len, &body));
+      BinaryWriter check;
+      check.PutU8(type);
+      check.PutU32(len);
+      check.PutU64(lid);
+      check.PutRaw(body);
+      bad = crc32c::Unmask(stored_crc) != crc32c::Value(check.data());
+    }
+    if (bad) {
+      if (is_last) {
+        LOG_WARN << "truncating torn tail of " << path << " at offset "
+                 << offset;
+        CHARIOTS_RETURN_IF_ERROR(file.Truncate(offset));
+        break;
+      }
+      return Status::Corruption("bad frame in non-final segment " + path);
+    }
+
+    if (type == kFrameTombstone) {
+      // A later tombstone kills an earlier data frame for the same lid.
+      auto it = index_.find(lid);
+      if (it != index_.end()) {
+        index_.erase(it);
+        --count_;
+      }
+      seg.tombstones.push_back(lid);
+    } else {
+      // Later frames win (a lid may be rewritten after a tombstone whose
+      // segment was garbage collected).
+      auto [it, inserted] = index_.insert_or_assign(
+          lid, Location{segment_id, offset + kFrameHeaderBytes, len});
+      (void)it;
+      if (inserted) ++count_;
+      seg.min_lid = std::min(seg.min_lid, lid);
+      seg.max_lid = std::max(seg.max_lid, lid);
+      ++seg.records;
+      max_lid_ = std::max(max_lid_, lid);
+    }
+    offset = frame_end;
+  }
+  if (offset < file.size() && is_last) {
+    // Trailing partial header.
+    LOG_WARN << "truncating partial frame header of " << path;
+    CHARIOTS_RETURN_IF_ERROR(file.Truncate(offset));
+  } else if (offset < file.size()) {
+    return Status::Corruption("trailing garbage in non-final segment " + path);
+  }
+  seg.file = std::move(file);
+  segments_.emplace(segment_id, std::move(seg));
+  return Status::OK();
+}
+
+Status LogStore::RotateIfNeededLocked() {
+  Segment& active = segments_.rbegin()->second;
+  if (active.file.size() < options_.segment_bytes) return Status::OK();
+  Segment seg;
+  seg.path = SegmentPath(next_segment_id_);
+  CHARIOTS_ASSIGN_OR_RETURN(seg.file, File::OpenAppendable(seg.path));
+  segments_.emplace(next_segment_id_, std::move(seg));
+  ++next_segment_id_;
+  return Status::OK();
+}
+
+Status LogStore::Append(uint64_t lid, std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    auto [it, inserted] = mem_.try_emplace(lid, payload);
+    if (!inserted) return Status::AlreadyExists("lid already present");
+    mem_bytes_ += payload.size();
+    ++count_;
+    max_lid_ = std::max(max_lid_, lid);
+    return Status::OK();
+  }
+  if (index_.count(lid) != 0) {
+    return Status::AlreadyExists("lid already present");
+  }
+  CHARIOTS_RETURN_IF_ERROR(RotateIfNeededLocked());
+  uint64_t segment_id = segments_.rbegin()->first;
+  Segment& seg = segments_.rbegin()->second;
+  uint64_t payload_offset = seg.file.size() + kFrameHeaderBytes;
+  CHARIOTS_RETURN_IF_ERROR(
+      seg.file.Append(EncodeFrame(kFrameData, lid, payload)));
+  if (options_.mode == SyncMode::kFsyncEach) {
+    CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+  }
+  index_[lid] =
+      Location{segment_id, payload_offset, static_cast<uint32_t>(payload.size())};
+  seg.min_lid = std::min(seg.min_lid, lid);
+  seg.max_lid = std::max(seg.max_lid, lid);
+  ++seg.records;
+  ++count_;
+  max_lid_ = std::max(max_lid_, lid);
+  return Status::OK();
+}
+
+Status LogStore::Remove(uint64_t lid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    auto it = mem_.find(lid);
+    if (it == mem_.end()) return Status::NotFound("no record at lid");
+    mem_bytes_ -= it->second.size();
+    mem_.erase(it);
+    --count_;
+    return Status::OK();
+  }
+  auto it = index_.find(lid);
+  if (it == index_.end()) return Status::NotFound("no record at lid");
+  CHARIOTS_RETURN_IF_ERROR(RotateIfNeededLocked());
+  Segment& seg = segments_.rbegin()->second;
+  CHARIOTS_RETURN_IF_ERROR(
+      seg.file.Append(EncodeFrame(kFrameTombstone, lid, "")));
+  if (options_.mode == SyncMode::kFsyncEach) {
+    CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+  }
+  seg.tombstones.push_back(lid);
+  index_.erase(it);
+  --count_;
+  return Status::OK();
+}
+
+Result<std::string> LogStore::Get(uint64_t lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    auto it = mem_.find(lid);
+    if (it == mem_.end()) return Status::NotFound("no record at lid");
+    return it->second;
+  }
+  auto it = index_.find(lid);
+  if (it == index_.end()) return Status::NotFound("no record at lid");
+  const Location& loc = it->second;
+  auto seg_it = segments_.find(loc.segment_id);
+  if (seg_it == segments_.end()) {
+    return Status::Internal("index points at missing segment");
+  }
+  std::string payload;
+  CHARIOTS_RETURN_IF_ERROR(
+      seg_it->second.file.ReadAt(loc.offset, loc.length, &payload));
+  return payload;
+}
+
+bool LogStore::Contains(uint64_t lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.mode == SyncMode::kMemoryOnly) return mem_.count(lid) != 0;
+  return index_.count(lid) != 0;
+}
+
+Status LogStore::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) return Status::OK();
+  return segments_.rbegin()->second.file.Sync();
+}
+
+Status LogStore::TruncateBelow(uint64_t horizon,
+                               const std::string& archive_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    for (auto it = mem_.begin(); it != mem_.end();) {
+      if (it->first < horizon) {
+        mem_bytes_ -= it->second.size();
+        it = mem_.erase(it);
+        --count_;
+      } else {
+        ++it;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::unique_ptr<File> archive;
+  if (!archive_path.empty()) {
+    CHARIOTS_ASSIGN_OR_RETURN(File f, File::OpenAppendable(archive_path));
+    archive = std::make_unique<File>(std::move(f));
+  }
+
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    Segment& seg = it->second;
+    // Never drop the active (last) segment, and only whole segments whose
+    // every record is below the horizon.
+    bool is_active = std::next(it) == segments_.end();
+    if (is_active || seg.records == 0 || seg.max_lid >= horizon) {
+      ++it;
+      continue;
+    }
+    if (archive != nullptr) {
+      std::string contents;
+      CHARIOTS_RETURN_IF_ERROR(
+          seg.file.ReadAt(0, seg.file.size(), &contents));
+      CHARIOTS_RETURN_IF_ERROR(archive->Append(contents));
+    }
+    // Preserve this segment's tombstones whose lids are still dead: a
+    // dead data frame may survive in another (partially cold) segment and
+    // must not resurrect on recovery. Lids that were rewritten after the
+    // tombstone are live again and need no marker.
+    std::vector<uint64_t> keep_tombstones;
+    for (uint64_t t : seg.tombstones) {
+      if (index_.count(t) == 0) keep_tombstones.push_back(t);
+    }
+    // Drop index entries pointing into this segment. The lids become dead;
+    // an older (superseded) frame for one of them may survive in another
+    // segment, so they also need tombstones to stay dead across recovery.
+    for (auto idx = index_.begin(); idx != index_.end();) {
+      if (idx->second.segment_id == it->first) {
+        keep_tombstones.push_back(idx->first);
+        idx = index_.erase(idx);
+        --count_;
+      } else {
+        ++idx;
+      }
+    }
+    seg.file.Close();
+    CHARIOTS_RETURN_IF_ERROR(RemoveFile(seg.path));
+    it = segments_.erase(it);
+    if (!keep_tombstones.empty()) {
+      Segment& active = segments_.rbegin()->second;
+      for (uint64_t t : keep_tombstones) {
+        CHARIOTS_RETURN_IF_ERROR(
+            active.file.Append(EncodeFrame(kFrameTombstone, t, "")));
+        active.tombstones.push_back(t);
+      }
+    }
+  }
+  if (archive != nullptr) {
+    CHARIOTS_RETURN_IF_ERROR(archive->Sync());
+  }
+  return Status::OK();
+}
+
+uint64_t LogStore::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+uint64_t LogStore::max_lid() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_lid_;
+}
+
+std::vector<uint64_t> LogStore::ListLids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    out.reserve(mem_.size());
+    for (const auto& [lid, _] : mem_) out.push_back(lid);
+  } else {
+    out.reserve(index_.size());
+    for (const auto& [lid, _] : index_) out.push_back(lid);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t LogStore::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.mode == SyncMode::kMemoryOnly) return mem_bytes_;
+  uint64_t total = 0;
+  for (const auto& [_, seg] : segments_) total += seg.file.size();
+  return total;
+}
+
+}  // namespace chariots::storage

@@ -1,0 +1,140 @@
+#ifndef CHARIOTS_STORAGE_LOG_STORE_H_
+#define CHARIOTS_STORAGE_LOG_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace chariots::storage {
+
+/// Durability modes for a LogStore.
+enum class SyncMode {
+  /// No files at all — records live in memory only. Used by throughput
+  /// benches where the paper's machines buffered in RAM anyway.
+  kMemoryOnly,
+  /// Write to segment files through the OS page cache; Sync() on demand.
+  kBuffered,
+  /// fdatasync after every append (strongest, slowest).
+  kFsyncEach,
+};
+
+struct LogStoreOptions {
+  /// Directory for segment files. Required unless mode == kMemoryOnly.
+  std::string dir;
+  SyncMode mode = SyncMode::kBuffered;
+  /// Rotate the active segment once it exceeds this many bytes.
+  uint64_t segment_bytes = 64ull << 20;
+};
+
+/// Persistent map from log position (LId) to record payload, backed by
+/// append-only CRC-framed segment files.
+///
+/// This is the storage engine under a FLStore log maintainer. A maintainer
+/// owns non-contiguous LId ranges (round-robin striping), so the store keys
+/// frames by an explicit LId rather than by implicit sequence.
+///
+/// On-disk frame format (little endian):
+///   u32 masked CRC32C (over the rest of the frame)
+///   u8  frame type (0 = data, 1 = tombstone)
+///   u32 payload length (0 for tombstones)
+///   u64 lid
+///   payload bytes
+///
+/// Recovery scans segments in id order rebuilding the index; a damaged frame
+/// in the *last* segment is treated as a torn write and the tail is
+/// truncated; damage anywhere else is reported as Corruption.
+class LogStore {
+ public:
+  explicit LogStore(LogStoreOptions options);
+  ~LogStore();
+
+  LogStore(const LogStore&) = delete;
+  LogStore& operator=(const LogStore&) = delete;
+
+  /// Opens the store, creating the directory and recovering any existing
+  /// segments. Must be called before any other method.
+  Status Open();
+
+  /// Appends a record at position `lid`. Returns AlreadyExists if that lid
+  /// is present (idempotent-write guard).
+  Status Append(uint64_t lid, std::string_view payload);
+
+  /// Removes the record at `lid` by appending a tombstone frame (the log is
+  /// append-only; the data frame stays on disk but is dead after recovery).
+  /// Used by crash recovery to discard records beyond a hole. NotFound if
+  /// absent.
+  Status Remove(uint64_t lid);
+
+  /// Reads the record at `lid`; NotFound if absent (gap or GC'd).
+  Result<std::string> Get(uint64_t lid) const;
+
+  bool Contains(uint64_t lid) const;
+
+  /// Forces buffered data to stable storage.
+  Status Sync();
+
+  /// Garbage-collects whole segments whose records all have lid < `horizon`.
+  /// If `archive_path` is non-empty, eligible segments are first appended to
+  /// the cold-storage archive file (paper §6.1: users may archive rather
+  /// than discard). Records in partially-eligible segments are kept.
+  Status TruncateBelow(uint64_t horizon, const std::string& archive_path = "");
+
+  /// Number of live records.
+  uint64_t count() const;
+
+  /// Largest lid ever appended (0 if empty — check count() first).
+  uint64_t max_lid() const;
+
+  /// Sorted list of live lids (test/diagnostic helper; O(n log n)).
+  std::vector<uint64_t> ListLids() const;
+
+  /// Total bytes across live segment files (kMemoryOnly: payload bytes).
+  uint64_t SizeBytes() const;
+
+ private:
+  struct Location {
+    uint64_t segment_id;
+    uint64_t offset;  // offset of payload within the segment file
+    uint32_t length;
+  };
+  struct Segment {
+    File file;
+    std::string path;
+    uint64_t min_lid = UINT64_MAX;
+    uint64_t max_lid = 0;
+    uint64_t records = 0;
+    /// Lids tombstoned by frames in this segment. GC re-appends them to
+    /// the active segment before dropping this one, so a dead data frame
+    /// surviving in another segment can never resurrect on recovery.
+    std::vector<uint64_t> tombstones;
+  };
+
+  Status RecoverSegment(uint64_t segment_id, bool is_last);
+  Status RotateIfNeededLocked();
+  std::string SegmentPath(uint64_t segment_id) const;
+
+  const LogStoreOptions options_;
+
+  mutable std::mutex mu_;
+  bool open_ = false;
+  std::map<uint64_t, Segment> segments_;        // by segment id
+  std::unordered_map<uint64_t, Location> index_;  // lid -> location
+  std::unordered_map<uint64_t, std::string> mem_;  // kMemoryOnly payloads
+  uint64_t next_segment_id_ = 0;
+  uint64_t max_lid_ = 0;
+  uint64_t count_ = 0;
+  uint64_t mem_bytes_ = 0;
+};
+
+}  // namespace chariots::storage
+
+#endif  // CHARIOTS_STORAGE_LOG_STORE_H_

@@ -1,0 +1,125 @@
+// Tests for the Awareness Table (paper §6.1) and the Geo record codec.
+
+#include <gtest/gtest.h>
+
+#include "chariots/atable.h"
+#include "chariots/record.h"
+
+namespace chariots::geo {
+namespace {
+
+TEST(GeoRecordTest, CodecRoundTrip) {
+  GeoRecord r;
+  r.host = 2;
+  r.toid = 77;
+  r.deps = {5, 0, 76};
+  r.body = "payload \x01\x02";
+  r.tags = {{"k1", "v1"}, {"k2", ""}};
+  auto d = DecodeGeoRecord(EncodeGeoRecord(r));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->host, r.host);
+  EXPECT_EQ(d->toid, r.toid);
+  EXPECT_EQ(d->deps, r.deps);
+  EXPECT_EQ(d->body, r.body);
+  EXPECT_EQ(d->tags, r.tags);
+  EXPECT_EQ(d->lid, flstore::kInvalidLId);  // lid is not replicated
+}
+
+TEST(GeoRecordTest, ToFromLogRecord) {
+  GeoRecord r;
+  r.host = 1;
+  r.toid = 3;
+  r.lid = 42;
+  r.body = "b";
+  r.tags = {{"t", "v"}};
+  flstore::LogRecord lr = ToLogRecord(r);
+  EXPECT_EQ(lr.lid, 42u);
+  EXPECT_EQ(lr.tags, r.tags);  // tags visible to the indexers
+  auto back = FromLogRecord(lr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->lid, 42u);
+  EXPECT_EQ(back->toid, 3u);
+  EXPECT_EQ(back->body, "b");
+}
+
+TEST(GeoRecordTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeGeoRecord("garbage").ok());
+  EXPECT_FALSE(DecodeGeoRecord("").ok());
+}
+
+TEST(ATableTest, StartsAtZero) {
+  AwarenessTable t(3, 0);
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = 0; j < 3; ++j) EXPECT_EQ(t.Get(i, j), 0u);
+  }
+}
+
+TEST(ATableTest, AdvanceIsMonotone) {
+  AwarenessTable t(2, 0);
+  t.Advance(0, 1, 10);
+  t.Advance(0, 1, 5);  // regress attempt ignored
+  EXPECT_EQ(t.Get(0, 1), 10u);
+}
+
+TEST(ATableTest, KnowledgeVectorIsSelfRow) {
+  AwarenessTable t(3, 1);
+  t.Advance(1, 0, 4);
+  t.Advance(1, 2, 9);
+  EXPECT_EQ(t.KnowledgeVector(), (std::vector<TOId>{4, 0, 9}));
+}
+
+TEST(ATableTest, MergeTakesElementwiseMax) {
+  AwarenessTable a(2, 0), b(2, 1);
+  a.Advance(0, 0, 10);
+  a.Advance(1, 0, 2);
+  b.Advance(1, 0, 7);
+  b.Advance(0, 0, 3);
+  a.Merge(b);
+  EXPECT_EQ(a.Get(0, 0), 10u);  // kept own larger value
+  EXPECT_EQ(a.Get(1, 0), 7u);   // learned from b
+}
+
+TEST(ATableTest, MergeEncodedRoundTrip) {
+  AwarenessTable a(3, 0), b(3, 2);
+  b.Advance(2, 0, 5);
+  b.Advance(1, 1, 3);
+  ASSERT_TRUE(a.MergeEncoded(b.Encode()).ok());
+  EXPECT_EQ(a.Get(2, 0), 5u);
+  EXPECT_EQ(a.Get(1, 1), 3u);
+  EXPECT_FALSE(a.MergeEncoded("nonsense").ok());
+}
+
+TEST(ATableTest, GcEligibleRequiresUniversalKnowledge) {
+  // Paper §6.1: record r may be GC'd at i iff ∀j: T[j][host(r)] >= toid(r).
+  AwarenessTable t(3, 0);
+  t.Advance(0, 1, 10);
+  t.Advance(1, 1, 10);
+  EXPECT_FALSE(t.GcEligible(1, 10));  // DC2 not known to have it
+  t.Advance(2, 1, 9);
+  EXPECT_FALSE(t.GcEligible(1, 10));
+  t.Advance(2, 1, 10);
+  EXPECT_TRUE(t.GcEligible(1, 10));
+  EXPECT_TRUE(t.GcEligible(1, 3));   // anything older also eligible
+  EXPECT_FALSE(t.GcEligible(1, 11));
+}
+
+TEST(ATableTest, GlobalFloor) {
+  AwarenessTable t(3, 0);
+  t.Advance(0, 2, 8);
+  t.Advance(1, 2, 5);
+  t.Advance(2, 2, 20);
+  EXPECT_EQ(t.GlobalFloor(2), 5u);
+}
+
+TEST(ATableTest, DecodeValidates) {
+  EXPECT_FALSE(AwarenessTable::Decode("x").ok());
+  AwarenessTable t(2, 1);
+  t.Advance(1, 0, 3);
+  auto d = AwarenessTable::Decode(t.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->Get(1, 0), 3u);
+  EXPECT_EQ(d->self(), 1u);
+}
+
+}  // namespace
+}  // namespace chariots::geo

@@ -1,0 +1,133 @@
+// Tests for the CORFU-style baseline: pre-assignment via a centralized
+// sequencer, write-once storage units, hole filling.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "corfu/corfu.h"
+
+namespace chariots::corfu {
+namespace {
+
+TEST(SequencerTest, MonotoneDense) {
+  Sequencer seq;
+  EXPECT_EQ(seq.Next(), 0u);
+  EXPECT_EQ(seq.Next(), 1u);
+  EXPECT_EQ(seq.Next(5), 2u);  // batch reservation
+  EXPECT_EQ(seq.Next(), 7u);
+  EXPECT_EQ(seq.Tail(), 8u);
+}
+
+TEST(SequencerTest, ConcurrentClientsGetUniquePositions) {
+  Sequencer seq;
+  std::set<Position> positions;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        Position p = seq.Next();
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(positions.insert(p).second);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(positions.size(), 1600u);
+  EXPECT_EQ(seq.Tail(), 1600u);
+}
+
+TEST(SequencerTest, CapacityCapsRate) {
+  // 1000 positions/s: 50 requests should take roughly 50 ms.
+  Sequencer seq(1000);
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) seq.Next();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(StorageUnitTest, WriteOnce) {
+  StorageUnit unit;
+  ASSERT_TRUE(unit.Write(3, "data").ok());
+  EXPECT_EQ(unit.Write(3, "other").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*unit.Read(3), "data");
+  EXPECT_TRUE(unit.Read(4).status().IsNotFound());
+}
+
+TEST(StorageUnitTest, JunkFillSemantics) {
+  StorageUnit unit;
+  ASSERT_TRUE(unit.Fill(5).ok());        // fill a hole
+  EXPECT_TRUE(unit.Fill(5).ok());        // idempotent
+  EXPECT_TRUE(unit.Read(5).status().IsAborted());
+  EXPECT_EQ(unit.Write(5, "late").code(), StatusCode::kAlreadyExists);
+  ASSERT_TRUE(unit.Write(6, "real").ok());
+  EXPECT_EQ(unit.Fill(6).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CorfuLogTest, AppendReadRoundTrip) {
+  Sequencer seq;
+  StorageUnit u0, u1;
+  CorfuLog log(&seq, {&u0, &u1});
+  auto p0 = log.Append("first");
+  auto p1 = log.Append("second");
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(*log.Read(0), "first");
+  EXPECT_EQ(*log.Read(1), "second");
+}
+
+TEST(CorfuLogTest, StripesAcrossUnits) {
+  Sequencer seq;
+  StorageUnit u0, u1, u2;
+  CorfuLog log(&seq, {&u0, &u1, &u2});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(log.Append("x").ok());
+  }
+  EXPECT_EQ(u0.cells_written(), 10u);
+  EXPECT_EQ(u1.cells_written(), 10u);
+  EXPECT_EQ(u2.cells_written(), 10u);
+}
+
+TEST(CorfuLogTest, HoleFillAfterClientCrash) {
+  Sequencer seq;
+  StorageUnit u0;
+  CorfuLog log(&seq, {&u0});
+  // A "crashed" client reserved position 0 but never wrote it.
+  (void)seq.Next();
+  ASSERT_TRUE(log.Append("survivor").ok());  // position 1
+  EXPECT_TRUE(log.Read(0).status().IsNotFound());
+  // A reader repairs the hole so the log prefix becomes decidable.
+  ASSERT_TRUE(log.Fill(0).ok());
+  EXPECT_TRUE(log.Read(0).status().IsAborted());
+  EXPECT_EQ(*log.Read(1), "survivor");
+}
+
+TEST(CorfuLogTest, ConcurrentAppendsAllLand) {
+  Sequencer seq;
+  StorageUnit u0, u1, u2, u3;
+  CorfuLog log(&seq, {&u0, &u1, &u2, &u3});
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        auto p = log.Append("t" + std::to_string(t));
+        if (!p.ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(log.Tail(), 400u);
+  for (Position p = 0; p < 400; ++p) {
+    EXPECT_TRUE(log.Read(p).ok()) << p;
+  }
+}
+
+}  // namespace
+}  // namespace chariots::corfu

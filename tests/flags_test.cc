@@ -1,0 +1,72 @@
+// Tests for the deployment tools' command-line parsing.
+
+#include <gtest/gtest.h>
+
+#include "tools/flags.h"
+
+namespace chariots::tools {
+namespace {
+
+Flags Parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Flags(static_cast<int>(argv.size()),
+               const_cast<char**>(argv.data()));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = Parse({"--role=maintainer", "--index=3"});
+  EXPECT_EQ(f.Get("role"), "maintainer");
+  EXPECT_EQ(f.GetInt("index", -1), 3);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags f = Parse({"--listen", "7001", "--role", "indexer"});
+  EXPECT_EQ(f.GetInt("listen", 0), 7001);
+  EXPECT_EQ(f.Get("role"), "indexer");
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  Flags f = Parse({"--fsync", "--role=x"});
+  EXPECT_TRUE(f.GetBool("fsync"));
+  EXPECT_FALSE(f.GetBool("never-set"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = Parse({"--controller=1.2.3.4:7000", "append", "hello", "k=v"});
+  ASSERT_EQ(f.positional().size(), 3u);
+  EXPECT_EQ(f.positional()[0], "append");
+  EXPECT_EQ(f.positional()[1], "hello");
+  EXPECT_EQ(f.positional()[2], "k=v");
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = Parse({});
+  EXPECT_EQ(f.Get("missing", "fallback"), "fallback");
+  EXPECT_EQ(f.GetInt("missing", 42), 42);
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, SplitList) {
+  auto parts = Flags::Split("a:1,b:2,c:3");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a:1");
+  EXPECT_EQ(parts[2], "c:3");
+  EXPECT_TRUE(Flags::Split("").empty());
+  EXPECT_EQ(Flags::Split("solo").size(), 1u);
+  // Empty elements are skipped.
+  EXPECT_EQ(Flags::Split("a,,b").size(), 2u);
+}
+
+TEST(FlagsTest, SplitHostPort) {
+  std::string host;
+  int port = 0;
+  ASSERT_TRUE(Flags::SplitHostPort("127.0.0.1:7001", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 7001);
+  EXPECT_FALSE(Flags::SplitHostPort("no-port", &host, &port));
+  EXPECT_FALSE(Flags::SplitHostPort("host:", &host, &port));
+  EXPECT_FALSE(Flags::SplitHostPort("host:zero", &host, &port));
+}
+
+}  // namespace
+}  // namespace chariots::tools

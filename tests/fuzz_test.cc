@@ -1,0 +1,213 @@
+// Model-based randomized tests ("fuzz" in the property-testing sense):
+// random operation sequences run against both the real component and a
+// trivially correct in-memory model, with random reopen (recovery) points
+// and random corruption, across several seeds (TEST_P).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+
+#include "common/random.h"
+#include "flstore/indexer.h"
+#include "storage/log_store.h"
+
+namespace chariots {
+namespace {
+
+namespace fs = std::filesystem;
+using storage::LogStore;
+using storage::LogStoreOptions;
+using storage::SyncMode;
+
+class LogStoreFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("chariots_fuzz_" + std::to_string(GetParam()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  LogStoreOptions Options() {
+    LogStoreOptions o;
+    o.dir = dir_.string();
+    o.segment_bytes = 512;  // force frequent rotation
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+// Random interleavings of Append / Remove / Get / TruncateBelow / reopen
+// must always agree with a std::map model.
+TEST_P(LogStoreFuzzTest, MatchesModelAcrossReopens) {
+  Random rng(GetParam());
+  std::map<uint64_t, std::string> model;
+  auto store = std::make_unique<LogStore>(Options());
+  ASSERT_TRUE(store->Open().ok());
+  uint64_t truncate_horizon = 0;
+
+  for (int op = 0; op < 800; ++op) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      // Append at a random (possibly occupied) lid.
+      uint64_t lid = rng.Uniform(200);
+      std::string payload = rng.NextString(rng.Uniform(60) + 1);
+      Status s = store->Append(lid, payload);
+      if (model.count(lid)) {
+        EXPECT_EQ(s.code(), StatusCode::kAlreadyExists) << "lid " << lid;
+      } else {
+        ASSERT_TRUE(s.ok()) << s;
+        model[lid] = payload;
+      }
+    } else if (dice < 0.7) {
+      // Remove.
+      uint64_t lid = rng.Uniform(200);
+      Status s = store->Remove(lid);
+      if (model.count(lid)) {
+        ASSERT_TRUE(s.ok()) << s;
+        model.erase(lid);
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else if (dice < 0.9) {
+      // Point read.
+      uint64_t lid = rng.Uniform(200);
+      auto r = store->Get(lid);
+      if (model.count(lid)) {
+        ASSERT_TRUE(r.ok()) << "lid " << lid << ": " << r.status();
+        EXPECT_EQ(*r, model[lid]);
+      } else {
+        EXPECT_TRUE(r.status().IsNotFound()) << "lid " << lid;
+      }
+    } else if (dice < 0.95) {
+      // GC: only whole cold segments go, so the model can't predict the
+      // exact survivors — but everything at/above the horizon must stay,
+      // and nothing GC'd may reappear later. Track via re-sync of model.
+      truncate_horizon = rng.Uniform(200);
+      ASSERT_TRUE(store->TruncateBelow(truncate_horizon).ok());
+      for (auto it = model.begin(); it != model.end();) {
+        if (it->first < truncate_horizon && !store->Contains(it->first)) {
+          it = model.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      // Crash-free reopen (recovery path).
+      store = std::make_unique<LogStore>(Options());
+      ASSERT_TRUE(store->Open().ok()) << "op " << op;
+    }
+  }
+
+  // Final full comparison (also after one last reopen).
+  store = std::make_unique<LogStore>(Options());
+  ASSERT_TRUE(store->Open().ok());
+  EXPECT_EQ(store->count(), model.size());
+  for (const auto& [lid, payload] : model) {
+    auto r = store->Get(lid);
+    ASSERT_TRUE(r.ok()) << "lid " << lid;
+    EXPECT_EQ(*r, payload);
+  }
+}
+
+// Random single-byte corruption anywhere in a non-final segment must be
+// detected as corruption on reopen — never silently accepted.
+TEST_P(LogStoreFuzzTest, RandomCorruptionIsNeverSilent) {
+  Random rng(GetParam() * 31 + 7);
+  {
+    LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 60; ++lid) {
+      ASSERT_TRUE(store.Append(lid, rng.NextString(40)).ok());
+    }
+  }
+  std::vector<fs::path> segments;
+  for (auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().filename().string().rfind("seg-", 0) == 0) {
+      segments.push_back(e.path());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  ASSERT_GT(segments.size(), 2u);
+  // Corrupt a random byte in a random non-final segment.
+  fs::path victim = segments[rng.Uniform(segments.size() - 1)];
+  uintmax_t size = fs::file_size(victim);
+  uintmax_t pos = rng.Uniform(size);
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(pos));
+    char c = static_cast<char>(f.get());
+    f.seekp(static_cast<std::streamoff>(pos));
+    f.put(static_cast<char>(c ^ (1 << rng.Uniform(8))));
+  }
+  LogStore store(Options());
+  Status s = store.Open();
+  EXPECT_TRUE(s.IsCorruption()) << "flip at " << victim << "+" << pos
+                                << " -> " << s;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogStoreFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// Indexer vs model: random adds (with duplicates, out of order) and
+// truncations; queries must match a brute-force scan.
+class IndexerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexerFuzzTest, LookupMatchesBruteForce) {
+  Random rng(GetParam() * 97 + 3);
+  flstore::Indexer indexer;
+  // model: key -> (lid -> value)
+  std::map<std::string, std::map<uint64_t, std::string>> model;
+
+  for (int op = 0; op < 600; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(8));
+    if (rng.NextDouble() < 0.8) {
+      uint64_t lid = rng.Uniform(500);
+      std::string value = std::to_string(rng.Uniform(100));
+      indexer.Add(key, value, lid);
+      model[key].emplace(lid, value);  // idempotent like the indexer
+    } else {
+      uint64_t horizon = rng.Uniform(500);
+      indexer.TruncateBelow(horizon);
+      for (auto& [k, postings] : model) {
+        postings.erase(postings.begin(), postings.lower_bound(horizon));
+      }
+    }
+
+    // Random query, checked against the model.
+    flstore::IndexQuery query;
+    query.key = "k" + std::to_string(rng.Uniform(8));
+    query.limit = static_cast<uint32_t>(rng.Uniform(5)) + 1;
+    if (rng.OneIn(0.3)) query.before_lid = rng.Uniform(500);
+    if (rng.OneIn(0.3)) query.value_min = rng.Uniform(100);
+    auto got = indexer.Lookup(query);
+
+    std::vector<flstore::Posting> want;
+    auto it = model.find(query.key);
+    if (it != model.end()) {
+      for (auto rit = it->second.rbegin();
+           rit != it->second.rend() && want.size() < query.limit; ++rit) {
+        if (query.before_lid != flstore::kInvalidLId &&
+            rit->first >= query.before_lid) {
+          continue;
+        }
+        if (query.value_min &&
+            std::stoll(rit->second) < *query.value_min) {
+          continue;
+        }
+        want.push_back({rit->first, rit->second});
+      }
+    }
+    ASSERT_EQ(got, want) << "op " << op << " key " << query.key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexerFuzzTest,
+                         ::testing::Values(10, 20, 30, 40));
+
+}  // namespace
+}  // namespace chariots

@@ -1,0 +1,176 @@
+// Tests for the distributed indexing component (paper §5.3).
+
+#include <gtest/gtest.h>
+
+#include "flstore/indexer.h"
+
+namespace chariots::flstore {
+namespace {
+
+TEST(IndexerTest, MostRecentFirst) {
+  Indexer idx;
+  idx.Add("x", "1", 10);
+  idx.Add("x", "2", 20);
+  idx.Add("x", "3", 30);
+  IndexQuery q;
+  q.key = "x";
+  q.limit = 2;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].lid, 30u);
+  EXPECT_EQ(r[1].lid, 20u);
+}
+
+TEST(IndexerTest, BeforeLidSnapshots) {
+  Indexer idx;
+  idx.Add("x", "old", 10);
+  idx.Add("x", "new", 20);
+  IndexQuery q;
+  q.key = "x";
+  q.before_lid = 20;  // strictly below
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].value, "old");
+}
+
+TEST(IndexerTest, MissingKeyEmpty) {
+  Indexer idx;
+  IndexQuery q;
+  q.key = "nope";
+  EXPECT_TRUE(idx.Lookup(q).empty());
+}
+
+TEST(IndexerTest, ValueEqualsFilter) {
+  Indexer idx;
+  idx.Add("color", "red", 1);
+  idx.Add("color", "blue", 2);
+  idx.Add("color", "red", 3);
+  IndexQuery q;
+  q.key = "color";
+  q.value_equals = "red";
+  q.limit = 10;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].lid, 3u);
+  EXPECT_EQ(r[1].lid, 1u);
+}
+
+TEST(IndexerTest, NumericRangeFilter) {
+  // Paper §5.3: "look up records with a certain tag with values greater
+  // than i and return the most recent x records".
+  Indexer idx;
+  for (int i = 0; i < 10; ++i) {
+    idx.Add("score", std::to_string(i * 10), i);
+  }
+  IndexQuery q;
+  q.key = "score";
+  q.value_min = 55;
+  q.limit = 100;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 4u);  // 60, 70, 80, 90
+  EXPECT_EQ(r[0].value, "90");
+  q.value_max = 75;
+  r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 2u);  // 60, 70
+}
+
+TEST(IndexerTest, NonNumericValuesNeverMatchNumericBounds) {
+  Indexer idx;
+  idx.Add("k", "abc", 1);
+  idx.Add("k", "42", 2);
+  IndexQuery q;
+  q.key = "k";
+  q.value_min = 0;
+  q.limit = 10;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].value, "42");
+}
+
+TEST(IndexerTest, IdempotentAdd) {
+  Indexer idx;
+  idx.Add("k", "v", 5);
+  idx.Add("k", "v", 5);
+  EXPECT_EQ(idx.posting_count(), 1u);
+}
+
+TEST(IndexerTest, OutOfOrderInsertKeepsSorted) {
+  Indexer idx;
+  idx.Add("k", "c", 30);
+  idx.Add("k", "a", 10);
+  idx.Add("k", "b", 20);
+  IndexQuery q;
+  q.key = "k";
+  q.limit = 3;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].lid, 30u);
+  EXPECT_EQ(r[2].lid, 10u);
+}
+
+TEST(IndexerTest, AddRecordIndexesAllTags) {
+  Indexer idx;
+  LogRecord rec;
+  rec.body = "payload";
+  rec.tags = {Tag{"a", "1"}, Tag{"b", "2"}};
+  idx.AddRecord(rec, 7);
+  IndexQuery q;
+  q.key = "b";
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0].lid, 7u);
+}
+
+TEST(IndexerTest, TruncateBelowDropsOldPostings) {
+  Indexer idx;
+  for (LId lid = 0; lid < 10; ++lid) idx.Add("k", "v", lid);
+  idx.TruncateBelow(6);
+  EXPECT_EQ(idx.posting_count(), 4u);
+  IndexQuery q;
+  q.key = "k";
+  q.limit = 100;
+  auto r = idx.Lookup(q);
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r.back().lid, 6u);
+}
+
+TEST(IndexerTest, QueryCodecRoundTrip) {
+  IndexQuery q;
+  q.key = "user:123";
+  q.value_equals = "x";
+  q.value_min = -5;
+  q.value_max = 99;
+  q.before_lid = 1234;
+  q.limit = 17;
+  auto d = DecodeIndexQuery(EncodeIndexQuery(q));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->key, q.key);
+  EXPECT_EQ(d->value_equals, q.value_equals);
+  EXPECT_EQ(d->value_min, q.value_min);
+  EXPECT_EQ(d->value_max, q.value_max);
+  EXPECT_EQ(d->before_lid, q.before_lid);
+  EXPECT_EQ(d->limit, q.limit);
+}
+
+TEST(IndexerTest, PostingsCodecRoundTrip) {
+  std::vector<Posting> p = {{1, "a"}, {2, "b"}, {300, ""}};
+  auto d = DecodePostings(EncodePostings(p));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(*d, p);
+}
+
+TEST(IndexerTest, PartitionFunctionIsStableAndInRange) {
+  for (uint32_t n : {1u, 2u, 5u, 16u}) {
+    EXPECT_EQ(IndexerForKey("somekey", n), IndexerForKey("somekey", n));
+    EXPECT_LT(IndexerForKey("somekey", n), n);
+  }
+  // Different keys spread (not all to one indexer).
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    seen.insert(IndexerForKey("key" + std::to_string(i), 8));
+  }
+  EXPECT_GT(seen.size(), 4u);
+}
+
+}  // namespace
+}  // namespace chariots::flstore

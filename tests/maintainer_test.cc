@@ -1,0 +1,342 @@
+// Tests for the FLStore log maintainer: post-assignment, gap handling /
+// Head-of-the-Log gossip, ordered appends, recovery, and elasticity.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "flstore/maintainer.h"
+
+namespace chariots::flstore {
+namespace {
+
+namespace fs = std::filesystem;
+
+MaintainerOptions MemOptions(uint32_t index, uint32_t maintainers,
+                             uint64_t batch) {
+  MaintainerOptions o;
+  o.index = index;
+  o.journal = EpochJournal(maintainers, batch);
+  o.store.mode = storage::SyncMode::kMemoryOnly;
+  return o;
+}
+
+LogRecord Rec(const std::string& body) {
+  LogRecord r;
+  r.body = body;
+  return r;
+}
+
+TEST(MaintainerTest, PostAssignmentWalksOwnedRanges) {
+  LogMaintainer m(MemOptions(1, 3, 4));  // owns 4..7, 16..19, 28..31, ...
+  ASSERT_TRUE(m.Open().ok());
+  std::vector<LId> got;
+  for (int i = 0; i < 6; ++i) {
+    auto lid = m.Append(Rec("r" + std::to_string(i)));
+    ASSERT_TRUE(lid.ok());
+    got.push_back(*lid);
+  }
+  EXPECT_EQ(got, (std::vector<LId>{4, 5, 6, 7, 16, 17}));
+}
+
+TEST(MaintainerTest, MaintainerZeroStartsAtZero) {
+  LogMaintainer m(MemOptions(0, 3, 2));
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(*m.Append(Rec("a")), 0u);
+  EXPECT_EQ(*m.Append(Rec("b")), 1u);
+  EXPECT_EQ(*m.Append(Rec("c")), 6u);  // skips 2..5 owned by peers
+}
+
+TEST(MaintainerTest, ReadBackAssignedRecords) {
+  LogMaintainer m(MemOptions(0, 1, 100));
+  ASSERT_TRUE(m.Open().ok());
+  LogRecord rec = Rec("hello");
+  rec.tags.push_back(Tag{"k", "v"});
+  LId lid = *m.Append(rec);
+  auto read = m.Read(lid);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->body, "hello");
+  ASSERT_EQ(read->tags.size(), 1u);
+  EXPECT_EQ(read->tags[0].key, "k");
+  EXPECT_EQ(read->lid, lid);
+}
+
+TEST(MaintainerTest, ReadUnownedLidIsOutOfRange) {
+  LogMaintainer m(MemOptions(0, 2, 10));
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_TRUE(m.Read(15).status().IsOutOfRange());  // maintainer 1's range
+}
+
+TEST(MaintainerTest, SingleMaintainerHeadOfLogTracksAppends) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(m.HeadOfLog(), 0u);
+  m.Append(Rec("a"));
+  m.Append(Rec("b"));
+  EXPECT_EQ(m.HeadOfLog(), 2u);  // positions 0,1 filled
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 2u);
+}
+
+TEST(MaintainerTest, HeadOfLogIsMinOverGossip) {
+  // Two maintainers, batch 2. m0 appends 3 records (0,1,4), m1 appends 1 (2).
+  LogMaintainer m0(MemOptions(0, 2, 2));
+  LogMaintainer m1(MemOptions(1, 2, 2));
+  ASSERT_TRUE(m0.Open().ok());
+  ASSERT_TRUE(m1.Open().ok());
+  m0.Append(Rec("a"));  // lid 0
+  m0.Append(Rec("b"));  // lid 1
+  m0.Append(Rec("c"));  // lid 4
+  m1.Append(Rec("d"));  // lid 2
+
+  // Exchange gossip manually.
+  m0.OnGossip(1, m1.FirstUnfilledGlobal());
+  m1.OnGossip(0, m0.FirstUnfilledGlobal());
+
+  // m1 filled only lid 2; its first unfilled is 3 -> HL = min(5, 3) = 3.
+  EXPECT_EQ(m0.FirstUnfilledGlobal(), 5u);
+  EXPECT_EQ(m1.FirstUnfilledGlobal(), 3u);
+  EXPECT_EQ(m0.HeadOfLog(), 3u);
+  EXPECT_EQ(m1.HeadOfLog(), 3u);
+
+  // Positions below HL are readable gap-free; above is not.
+  EXPECT_TRUE(m0.ReadCommitted(0).ok());
+  EXPECT_TRUE(m1.ReadCommitted(2).ok());
+  EXPECT_TRUE(m0.ReadCommitted(4).status().IsUnavailable());
+}
+
+TEST(MaintainerTest, GossipIsMonotone) {
+  LogMaintainer m(MemOptions(0, 2, 2));
+  ASSERT_TRUE(m.Open().ok());
+  m.OnGossip(1, 10);
+  m.OnGossip(1, 5);  // stale update must not regress
+  m.Append(Rec("a"));
+  m.Append(Rec("b"));
+  // Self first-unfilled = 4 (slots 0,1 filled; next owned global is 4).
+  EXPECT_EQ(m.HeadOfLog(), 4u);
+}
+
+TEST(MaintainerTest, AppendAtOutOfOrderFillsContiguously) {
+  LogMaintainer m(MemOptions(0, 2, 3));  // owns 0,1,2, 6,7,8, ...
+  ASSERT_TRUE(m.Open().ok());
+  ASSERT_TRUE(m.AppendAt(2, Rec("c")).ok());  // arrives early
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 0u);
+  ASSERT_TRUE(m.AppendAt(0, Rec("a")).ok());
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 1u);
+  ASSERT_TRUE(m.AppendAt(1, Rec("b")).ok());
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 6u);  // 0..2 filled; next owned is 6
+}
+
+TEST(MaintainerTest, AppendAtRejectsUnownedAndDuplicate) {
+  LogMaintainer m(MemOptions(0, 2, 3));
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_TRUE(m.AppendAt(3, Rec("x")).IsOutOfRange());  // owned by m1
+  ASSERT_TRUE(m.AppendAt(0, Rec("x")).ok());
+  EXPECT_EQ(m.AppendAt(0, Rec("y")).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(MaintainerTest, AppendOrderedDefersUntilBoundPassed) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  // Next assignable is 0, bound is 2 -> must defer.
+  auto deferred = m.AppendOrdered(Rec("late"), 2);
+  ASSERT_TRUE(deferred.ok());
+  EXPECT_EQ(*deferred, kInvalidLId);
+  EXPECT_EQ(m.deferred_ordered(), 1u);
+
+  m.Append(Rec("a"));  // 0
+  m.Append(Rec("b"));  // 1
+  m.Append(Rec("c"));  // 2 -> next is 3 > bound, deferred record lands at 3
+  EXPECT_EQ(m.deferred_ordered(), 0u);
+  auto read = m.Read(3);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->body, "late");
+  EXPECT_EQ(m.count(), 4u);
+}
+
+TEST(MaintainerTest, AppendOrderedImmediateWhenBoundPassed) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  m.Append(Rec("a"));  // 0
+  auto lid = m.AppendOrdered(Rec("now"), 0);
+  ASSERT_TRUE(lid.ok());
+  EXPECT_EQ(*lid, 1u);
+}
+
+TEST(MaintainerTest, ObserverFiresForEveryLanding) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  std::vector<LId> seen;
+  m.SetAppendObserver([&](const LogRecord&, LId lid) { seen.push_back(lid); });
+  m.Append(Rec("a"));
+  m.AppendOrdered(Rec("deferred"), 1);  // waits for lid > 1
+  m.Append(Rec("b"));                   // lands at 1, releases deferred at 2
+  EXPECT_EQ(seen, (std::vector<LId>{0, 1, 2}));
+}
+
+TEST(MaintainerTest, PersistentRecoveryRestoresCursorAndFill) {
+  fs::path dir = fs::temp_directory_path() / "chariots_maintainer_recovery";
+  fs::remove_all(dir);
+  MaintainerOptions o;
+  o.index = 1;
+  o.journal = EpochJournal(2, 3);
+  o.store.mode = storage::SyncMode::kBuffered;
+  o.store.dir = (dir / "m1").string();
+  {
+    LogMaintainer m(o);
+    ASSERT_TRUE(m.Open().ok());
+    EXPECT_EQ(*m.Append(Rec("a")), 3u);
+    EXPECT_EQ(*m.Append(Rec("b")), 4u);
+    ASSERT_TRUE(m.Sync().ok());
+  }
+  {
+    LogMaintainer m(o);
+    ASSERT_TRUE(m.Open().ok());
+    EXPECT_EQ(m.count(), 2u);
+    // Cursor resumes after the recovered records.
+    EXPECT_EQ(*m.Append(Rec("c")), 5u);
+    EXPECT_EQ(m.FirstUnfilledGlobal(), 9u);
+    EXPECT_EQ(m.Read(3)->body, "a");
+  }
+  fs::remove_all(dir);
+}
+
+TEST(MaintainerTest, AddEpochRedirectsFutureAssignments) {
+  // Start with 1 maintainer; add a second at lid 4.
+  LogMaintainer m0(MemOptions(0, 1, 2));
+  ASSERT_TRUE(m0.Open().ok());
+  EXPECT_EQ(*m0.Append(Rec("a")), 0u);
+  ASSERT_TRUE(m0.AddEpoch({4, 2, 2}).ok());
+
+  // m0 finishes its epoch-0 slots (1,2,3), then jumps into epoch 1 where it
+  // owns relative 0,1 -> global 4,5, then 8,9.
+  EXPECT_EQ(*m0.Append(Rec("b")), 1u);
+  EXPECT_EQ(*m0.Append(Rec("c")), 2u);
+  EXPECT_EQ(*m0.Append(Rec("d")), 3u);
+  EXPECT_EQ(*m0.Append(Rec("e")), 4u);
+  EXPECT_EQ(*m0.Append(Rec("f")), 5u);
+  EXPECT_EQ(*m0.Append(Rec("g")), 8u);  // 6,7 belong to the new maintainer
+
+  // The new maintainer starts serving its epoch-1 slots.
+  MaintainerOptions o1 = MemOptions(1, 1, 2);
+  o1.journal = EpochJournal(1, 2);
+  LogMaintainer m1(o1);
+  ASSERT_TRUE(m1.Open().ok());
+  ASSERT_TRUE(m1.AddEpoch({4, 2, 2}).ok());
+  EXPECT_EQ(*m1.Append(Rec("h")), 6u);
+  EXPECT_EQ(*m1.Append(Rec("i")), 7u);
+}
+
+TEST(MaintainerTest, TruncateBelowGarbageCollects) {
+  MaintainerOptions o;
+  o.index = 0;
+  o.journal = EpochJournal(1, 10);
+  fs::path dir = fs::temp_directory_path() / "chariots_maintainer_gc";
+  fs::remove_all(dir);
+  o.store.mode = storage::SyncMode::kBuffered;
+  o.store.dir = (dir / "m0").string();
+  o.store.segment_bytes = 128;
+  LogMaintainer m(o);
+  ASSERT_TRUE(m.Open().ok());
+  for (int i = 0; i < 50; ++i) m.Append(Rec(std::string(40, 'x')));
+  uint64_t before = m.count();
+  ASSERT_TRUE(m.TruncateBelow(25).ok());
+  EXPECT_LT(m.count(), before);
+  EXPECT_TRUE(m.Read(49).ok());
+  fs::remove_all(dir);
+}
+
+// Property sweep: across maintainer counts and batch sizes, concurrent-ish
+// post-assignment from all maintainers yields disjoint, gap-free coverage
+// up to the HL.
+class MaintainerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t, int>> {};
+
+TEST_P(MaintainerPropertyTest, DisjointCoverageAndHonestHL) {
+  auto [num_maintainers, batch, appends_each] = GetParam();
+  std::vector<std::unique_ptr<LogMaintainer>> ms;
+  for (uint32_t i = 0; i < num_maintainers; ++i) {
+    ms.push_back(std::make_unique<LogMaintainer>(
+        MemOptions(i, num_maintainers, batch)));
+    ASSERT_TRUE(ms.back()->Open().ok());
+  }
+  std::set<LId> all;
+  for (uint32_t i = 0; i < num_maintainers; ++i) {
+    for (int k = 0; k < appends_each * (static_cast<int>(i) + 1); ++k) {
+      auto lid = ms[i]->Append(Rec("x"));
+      ASSERT_TRUE(lid.ok());
+      EXPECT_TRUE(all.insert(*lid).second) << "duplicate lid " << *lid;
+    }
+  }
+  // Full gossip exchange.
+  for (uint32_t i = 0; i < num_maintainers; ++i) {
+    for (uint32_t k = 0; k < num_maintainers; ++k) {
+      if (i != k) ms[i]->OnGossip(k, ms[k]->FirstUnfilledGlobal());
+    }
+  }
+  LId hl = ms[0]->HeadOfLog();
+  // All maintainers agree after full exchange.
+  for (auto& m : ms) EXPECT_EQ(m->HeadOfLog(), hl);
+  // Every position below HL is present exactly once.
+  for (LId lid = 0; lid < hl; ++lid) {
+    EXPECT_TRUE(all.count(lid)) << "gap below HL at " << lid;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MaintainerPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),
+                       ::testing::Values(1ull, 3ull, 100ull),
+                       ::testing::Values(5, 40)));
+
+// Safety under PARTIAL gossip: whatever subset of gossip messages arrives,
+// in whatever order (including stale ones), HL never exceeds the true
+// contiguous fill — a reader can never be shown a position with a gap
+// below it (paper §5.4's core requirement).
+class GossipSafetyPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(GossipSafetyPropertyTest, HlNeverExceedsTrueContiguousFill) {
+  chariots::Random rng(GetParam());
+  constexpr uint32_t kMaintainers = 4;
+  constexpr uint64_t kBatch = 5;
+  std::vector<std::unique_ptr<LogMaintainer>> ms;
+  for (uint32_t i = 0; i < kMaintainers; ++i) {
+    ms.push_back(std::make_unique<LogMaintainer>(
+        MemOptions(i, kMaintainers, kBatch)));
+    ASSERT_TRUE(ms.back()->Open().ok());
+  }
+  std::set<LId> all;
+  for (int step = 0; step < 400; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.6) {
+      // Skewed appends.
+      uint32_t m = static_cast<uint32_t>(rng.Skewed(kMaintainers, 0.7));
+      auto lid = ms[m]->Append(Rec("x"));
+      ASSERT_TRUE(lid.ok());
+      all.insert(*lid);
+    } else {
+      // One random (possibly stale — we re-read fresh each time, but
+      // delivery order across steps is arbitrary) gossip delivery.
+      uint32_t from = static_cast<uint32_t>(rng.Uniform(kMaintainers));
+      uint32_t to = static_cast<uint32_t>(rng.Uniform(kMaintainers));
+      if (from != to) {
+        ms[to]->OnGossip(from, ms[from]->FirstUnfilledGlobal());
+      }
+    }
+    // Invariant at every maintainer, at every step.
+    LId true_contig = 0;
+    while (all.count(true_contig)) ++true_contig;
+    for (auto& m : ms) {
+      ASSERT_LE(m->HeadOfLog(), true_contig) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipSafetyPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace chariots::flstore

@@ -1,0 +1,410 @@
+// Tests for the message/RPC substrate: in-process transport (latency,
+// bandwidth, partitions), RPC request/response, and the TCP transport.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "net/inproc_transport.h"
+#include "net/message.h"
+#include "net/rpc.h"
+#include "net/tcp_transport.h"
+
+namespace chariots::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(MessageCodecTest, RoundTrip) {
+  Message m;
+  m.from = "dc0/client/1";
+  m.to = "dc0/maintainer/2";
+  m.type = 17;
+  m.rpc_id = 0xfeed;
+  m.is_response = true;
+  m.error_code = 3;
+  m.payload = std::string("\x00\x01 binary \xff", 12);
+  auto decoded = DecodeMessage(EncodeMessage(m));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->from, m.from);
+  EXPECT_EQ(decoded->to, m.to);
+  EXPECT_EQ(decoded->type, m.type);
+  EXPECT_EQ(decoded->rpc_id, m.rpc_id);
+  EXPECT_EQ(decoded->is_response, m.is_response);
+  EXPECT_EQ(decoded->error_code, m.error_code);
+  EXPECT_EQ(decoded->payload, m.payload);
+}
+
+TEST(MessageCodecTest, GarbageIsRejected) {
+  EXPECT_FALSE(DecodeMessage("not a message").ok());
+  EXPECT_FALSE(DecodeMessage("").ok());
+}
+
+// --------------------------------------------------------- InProcTransport
+
+TEST(InProcTransportTest, DeliversToRegisteredNode) {
+  InProcTransport t;
+  CountDownLatch latch(1);
+  std::string got;
+  ASSERT_TRUE(t.Register("b", [&](Message m) {
+                 got = m.payload;
+                 latch.CountDown();
+               }).ok());
+  Message m;
+  m.from = "a";
+  m.to = "b";
+  m.payload = "hello";
+  ASSERT_TRUE(t.Send(m).ok());
+  latch.Wait();
+  EXPECT_EQ(got, "hello");
+  EXPECT_EQ(t.messages_delivered(), 1u);
+}
+
+TEST(InProcTransportTest, UnknownDestinationFails) {
+  InProcTransport t;
+  Message m;
+  m.to = "ghost";
+  EXPECT_TRUE(t.Send(m).IsNotFound());
+}
+
+TEST(InProcTransportTest, DuplicateRegistrationFails) {
+  InProcTransport t;
+  ASSERT_TRUE(t.Register("x", [](Message) {}).ok());
+  EXPECT_EQ(t.Register("x", [](Message) {}).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(InProcTransportTest, FifoPerSender) {
+  InProcTransport t;
+  std::vector<int> order;
+  std::mutex mu;
+  CountDownLatch latch(100);
+  ASSERT_TRUE(t.Register("sink", [&](Message m) {
+                 std::lock_guard<std::mutex> lock(mu);
+                 order.push_back(std::stoi(m.payload));
+                 latch.CountDown();
+               }).ok());
+  for (int i = 0; i < 100; ++i) {
+    Message m;
+    m.from = "src";
+    m.to = "sink";
+    m.payload = std::to_string(i);
+    ASSERT_TRUE(t.Send(m).ok());
+  }
+  latch.Wait();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(InProcTransportTest, LatencyDelaysDelivery) {
+  InProcTransport t;
+  CountDownLatch latch(1);
+  ASSERT_TRUE(t.Register("dc1/n", [&](Message) { latch.CountDown(); }).ok());
+  LinkOptions wan;
+  wan.latency_nanos = 50'000'000;  // 50ms
+  t.SetLink("dc0", "dc1", wan);
+  Message m;
+  m.from = "dc0/n";
+  m.to = "dc1/n";
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(t.Send(m).ok());
+  latch.Wait();
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, 40ms);
+}
+
+TEST(InProcTransportTest, MostSpecificLinkRuleWins) {
+  InProcTransport t;
+  CountDownLatch latch(1);
+  ASSERT_TRUE(t.Register("dc1/fast", [&](Message) { latch.CountDown(); }).ok());
+  LinkOptions slow;
+  slow.latency_nanos = 2'000'000'000;  // 2s — must NOT apply
+  t.SetLink("dc0", "dc1", slow);
+  t.SetLink("dc0", "dc1/fast", LinkOptions{});  // specific: no delay
+  Message m;
+  m.from = "dc0/n";
+  m.to = "dc1/fast";
+  ASSERT_TRUE(t.Send(m).ok());
+  EXPECT_TRUE(latch.WaitFor(500ms));
+}
+
+TEST(InProcTransportTest, PartitionDropsAndHealRestores) {
+  InProcTransport t;
+  std::atomic<int> received{0};
+  ASSERT_TRUE(t.Register("dc1/n", [&](Message) { ++received; }).ok());
+  t.Partition("dc0", "dc1");
+  Message m;
+  m.from = "dc0/n";
+  m.to = "dc1/n";
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.Send(m).ok());
+  EXPECT_EQ(t.messages_dropped(), 10u);
+  EXPECT_EQ(received.load(), 0);
+
+  t.Heal("dc0", "dc1");
+  CountDownLatch latch(1);
+  ASSERT_TRUE(t.Unregister("dc1/n").ok());
+  ASSERT_TRUE(t.Register("dc1/n", [&](Message) { latch.CountDown(); }).ok());
+  ASSERT_TRUE(t.Send(m).ok());
+  EXPECT_TRUE(latch.WaitFor(1s));
+}
+
+TEST(InProcTransportTest, UnregisterStopsDelivery) {
+  InProcTransport t;
+  ASSERT_TRUE(t.Register("n", [](Message) {}).ok());
+  ASSERT_TRUE(t.Unregister("n").ok());
+  Message m;
+  m.to = "n";
+  EXPECT_TRUE(t.Send(m).IsNotFound());
+  EXPECT_TRUE(t.Unregister("n").IsNotFound());
+}
+
+// -------------------------------------------------------------------- RPC
+
+class RpcTest : public ::testing::Test {
+ protected:
+  InProcTransport transport_;
+};
+
+TEST_F(RpcTest, CallRoundTrip) {
+  RpcEndpoint server(&transport_, "server");
+  server.Handle(1, [](const NodeId& from, const std::string& payload)
+                       -> Result<std::string> {
+    EXPECT_EQ(from, "client");
+    return "echo:" + payload;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("server", 1, "ping");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "echo:ping");
+}
+
+TEST_F(RpcTest, ErrorStatusTravelsBack) {
+  RpcEndpoint server(&transport_, "server");
+  server.Handle(1, [](const NodeId&, const std::string&)
+                       -> Result<std::string> {
+    return Status::NotFound("no such record");
+  });
+  ASSERT_TRUE(server.Start().ok());
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("server", 1, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "no such record");
+}
+
+TEST_F(RpcTest, UnknownOpcodeIsNotSupported) {
+  RpcEndpoint server(&transport_, "server");
+  ASSERT_TRUE(server.Start().ok());
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("server", 99, "");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(RpcTest, CallTimesOutThroughPartition) {
+  RpcEndpoint server(&transport_, "dc1/server");
+  server.Handle(1, [](const NodeId&, const std::string&)
+                       -> Result<std::string> { return std::string(); });
+  ASSERT_TRUE(server.Start().ok());
+  RpcEndpoint client(&transport_, "dc0/client");
+  ASSERT_TRUE(client.Start().ok());
+  transport_.Partition("dc0", "dc1");
+  auto r = client.Call("dc1/server", 1, "", 50ms);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimedOut());
+}
+
+TEST_F(RpcTest, OneWayNotify) {
+  CountDownLatch latch(3);
+  RpcEndpoint server(&transport_, "server");
+  server.HandleOneWay(2, [&](const NodeId&, std::string) {
+    latch.CountDown();
+  });
+  ASSERT_TRUE(server.Start().ok());
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(client.Notify("server", 2, "x").ok());
+  }
+  EXPECT_TRUE(latch.WaitFor(1s));
+}
+
+TEST_F(RpcTest, ConcurrentCallsCorrelate) {
+  RpcEndpoint server(&transport_, "server");
+  server.Handle(1, [](const NodeId&, const std::string& payload)
+                       -> Result<std::string> { return payload; });
+  ASSERT_TRUE(server.Start().ok());
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+
+  ThreadPool pool(8);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&, i] {
+      auto r = client.Call("server", 1, std::to_string(i));
+      if (r.ok() && *r == std::to_string(i)) ++ok;
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(ok.load(), 64);
+}
+
+TEST_F(RpcTest, StopFailsPendingCalls) {
+  RpcEndpoint client(&transport_, "client");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("nobody", 1, "");
+  EXPECT_FALSE(r.ok());  // NotFound from transport
+}
+
+// ---------------------------------------------------------- TcpTransport
+
+TEST(TcpTransportTest, LoopbackRoundTrip) {
+  TcpTransport server_side;
+  ASSERT_TRUE(server_side.Listen(0).ok());
+  CountDownLatch latch(1);
+  std::string got;
+  ASSERT_TRUE(server_side.Register("srv/node", [&](Message m) {
+                 got = m.payload;
+                 latch.CountDown();
+               }).ok());
+
+  TcpTransport client_side;
+  client_side.AddRoute("srv", "127.0.0.1", server_side.port());
+  Message m;
+  m.from = "cli/node";
+  m.to = "srv/node";
+  m.payload = "over tcp";
+  ASSERT_TRUE(client_side.Send(m).ok());
+  EXPECT_TRUE(latch.WaitFor(2s));
+  EXPECT_EQ(got, "over tcp");
+}
+
+TEST(TcpTransportTest, LocalDeliveryShortCircuits) {
+  TcpTransport t;
+  CountDownLatch latch(1);
+  ASSERT_TRUE(t.Register("local", [&](Message) { latch.CountDown(); }).ok());
+  Message m;
+  m.to = "local";
+  ASSERT_TRUE(t.Send(m).ok());
+  EXPECT_TRUE(latch.WaitFor(1s));
+}
+
+TEST(TcpTransportTest, NoRouteFails) {
+  TcpTransport t;
+  Message m;
+  m.to = "elsewhere/node";
+  EXPECT_TRUE(t.Send(m).IsNotFound());
+}
+
+TEST(TcpTransportTest, LearnsPeersFromInboundConnections) {
+  // A "server" with no static route back to the client must still be able
+  // to answer: the client's node id is learned from its connection.
+  TcpTransport server_side;
+  ASSERT_TRUE(server_side.Listen(0).ok());
+  RpcEndpoint server(&server_side, "srv/echo");
+  server.Handle(1, [](const NodeId&, const std::string& p)
+                       -> Result<std::string> { return "re:" + p; });
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpTransport client_side;
+  client_side.AddRoute("srv", "127.0.0.1", server_side.port());
+  RpcEndpoint client(&client_side, "ephemeral/client/1234");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("srv/echo", 1, "hello", 2000ms);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, "re:hello");
+}
+
+TEST(TcpTransportTest, SurvivesGarbageBytes) {
+  TcpTransport server_side;
+  ASSERT_TRUE(server_side.Listen(0).ok());
+  CountDownLatch latch(1);
+  ASSERT_TRUE(server_side.Register("srv/node", [&](Message) {
+                 latch.CountDown();
+               }).ok());
+
+  // Throw raw garbage at the port: the server must drop the connection
+  // without crashing or delivering anything.
+  {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(static_cast<uint16_t>(server_side.port()));
+    inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)),
+              0);
+    // A plausible-length header followed by junk that fails the decode.
+    std::string junk = "\x10\x00\x00\x00 this is not a message ";
+    ASSERT_GT(::send(fd, junk.data(), junk.size(), MSG_NOSIGNAL), 0);
+    ::close(fd);
+  }
+  std::this_thread::sleep_for(50ms);
+
+  // The transport still works for a well-formed client afterwards.
+  TcpTransport client_side;
+  client_side.AddRoute("srv", "127.0.0.1", server_side.port());
+  Message m;
+  m.from = "cli/x";
+  m.to = "srv/node";
+  m.payload = "real";
+  ASSERT_TRUE(client_side.Send(m).ok());
+  EXPECT_TRUE(latch.WaitFor(2s));
+}
+
+TEST(TcpTransportTest, OversizedFrameRejected) {
+  TcpTransport server_side;
+  ASSERT_TRUE(server_side.Listen(0).ok());
+  std::atomic<int> delivered{0};
+  ASSERT_TRUE(server_side.Register("srv/node", [&](Message) {
+                 ++delivered;
+               }).ok());
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(static_cast<uint16_t>(server_side.port()));
+  inet_pton(AF_INET, "127.0.0.1", &sa.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)), 0);
+  // Claim a 1 GiB frame: connection must be closed, not allocated.
+  uint32_t huge = 1u << 30;
+  char header[4];
+  for (int i = 0; i < 4; ++i) header[i] = static_cast<char>(huge >> (8 * i));
+  ASSERT_GT(::send(fd, header, 4, MSG_NOSIGNAL), 0);
+  std::this_thread::sleep_for(50ms);
+  ::close(fd);
+  EXPECT_EQ(delivered.load(), 0);
+}
+
+TEST(TcpTransportTest, RpcOverTcpBothDirections) {
+  TcpTransport a, b;
+  ASSERT_TRUE(a.Listen(0).ok());
+  ASSERT_TRUE(b.Listen(0).ok());
+  a.AddRoute("b", "127.0.0.1", b.port());
+  b.AddRoute("a", "127.0.0.1", a.port());
+
+  RpcEndpoint server(&b, "b/server");
+  server.Handle(1, [](const NodeId&, const std::string& p)
+                       -> Result<std::string> { return "tcp:" + p; });
+  ASSERT_TRUE(server.Start().ok());
+
+  RpcEndpoint client(&a, "a/client");
+  ASSERT_TRUE(client.Start().ok());
+  auto r = client.Call("b/server", 1, "hi", 2000ms);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "tcp:hi");
+}
+
+}  // namespace
+}  // namespace chariots::net

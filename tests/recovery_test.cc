@@ -1,0 +1,348 @@
+// Crash-recovery tests: storage tombstones, maintainer removal, and
+// whole-datacenter restart (paper §1: component and datacenter failures).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+
+#include "chariots/client.h"
+#include "chariots/datacenter.h"
+#include "chariots/fabric.h"
+#include "net/inproc_transport.h"
+#include "storage/log_store.h"
+
+namespace chariots {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+using namespace chariots::geo;
+
+// ------------------------------------------------------- storage tombstones
+
+class TombstoneTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("chariots_tombstone_" + std::string(::testing::UnitTest::
+                                                    GetInstance()
+                                                        ->current_test_info()
+                                                        ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  storage::LogStoreOptions Options() {
+    storage::LogStoreOptions o;
+    o.dir = dir_.string();
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TombstoneTest, RemoveHidesRecord) {
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(1, "doomed").ok());
+  ASSERT_TRUE(store.Append(2, "kept").ok());
+  ASSERT_TRUE(store.Remove(1).ok());
+  EXPECT_TRUE(store.Get(1).status().IsNotFound());
+  EXPECT_EQ(*store.Get(2), "kept");
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_TRUE(store.Remove(1).IsNotFound());  // already gone
+}
+
+TEST_F(TombstoneTest, TombstoneSurvivesRecovery) {
+  {
+    storage::LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Append(1, "doomed").ok());
+    ASSERT_TRUE(store.Append(2, "kept").ok());
+    ASSERT_TRUE(store.Remove(1).ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_TRUE(store.Get(1).status().IsNotFound());
+  EXPECT_EQ(*store.Get(2), "kept");
+  // The position is writable again after recovery.
+  ASSERT_TRUE(store.Append(1, "reborn").ok());
+  EXPECT_EQ(*store.Get(1), "reborn");
+}
+
+TEST_F(TombstoneTest, MemoryOnlyRemove) {
+  storage::LogStoreOptions o;
+  o.mode = storage::SyncMode::kMemoryOnly;
+  storage::LogStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(5, "x").ok());
+  ASSERT_TRUE(store.Remove(5).ok());
+  EXPECT_FALSE(store.Contains(5));
+}
+
+// ------------------------------------------------------ maintainer removal
+
+TEST(MaintainerRemoveTest, RemoveRewindsFillState) {
+  flstore::MaintainerOptions o;
+  o.index = 0;
+  o.journal = flstore::EpochJournal(1, 10);
+  o.store.mode = storage::SyncMode::kMemoryOnly;
+  flstore::LogMaintainer m(o);
+  ASSERT_TRUE(m.Open().ok());
+  flstore::LogRecord rec;
+  rec.body = "r";
+  ASSERT_TRUE(m.Append(rec).ok());  // lid 0
+  ASSERT_TRUE(m.Append(rec).ok());  // lid 1
+  ASSERT_TRUE(m.Append(rec).ok());  // lid 2
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 3u);
+  ASSERT_TRUE(m.Remove(2).ok());
+  EXPECT_EQ(m.FirstUnfilledGlobal(), 2u);
+  EXPECT_EQ(m.StoredLids(), (std::vector<flstore::LId>{0, 1}));
+  // The freed position is assigned again by the next append.
+  auto lid = m.Append(rec);
+  ASSERT_TRUE(lid.ok());
+  EXPECT_EQ(*lid, 2u);
+}
+
+// --------------------------------------------------- datacenter restart
+
+class DatacenterRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("chariots_dc_recovery_" + std::string(::testing::UnitTest::
+                                                      GetInstance()
+                                                          ->current_test_info()
+                                                          ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  ChariotsConfig Config(uint32_t dc_id, uint32_t n) {
+    ChariotsConfig config;
+    config.dc_id = dc_id;
+    config.num_datacenters = n;
+    config.num_maintainers = 2;
+    config.stripe_batch = 3;
+    config.store_mode = storage::SyncMode::kBuffered;
+    config.store_dir = (dir_ / ("dc" + std::to_string(dc_id))).string();
+    config.batcher_flush_nanos = 200'000;
+    return config;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DatacenterRecoveryTest, SingleDcRestartKeepsLogAndClocks) {
+  DirectFabric fabric;
+  TOId last_toid = 0;
+  {
+    Datacenter dc(Config(0, 1), &fabric);
+    ASSERT_TRUE(dc.Start().ok());
+    ChariotsClient client(&dc);
+    for (int i = 0; i < 10; ++i) {
+      auto r = client.Append("persisted-" + std::to_string(i),
+                             {{"k", std::to_string(i)}});
+      ASSERT_TRUE(r.ok());
+      last_toid = r->first;
+    }
+    dc.Stop();  // clean shutdown writes a checkpoint
+  }
+
+  Datacenter dc(Config(0, 1), &fabric);
+  ASSERT_TRUE(dc.Start().ok());
+  // The full log is back, in order.
+  EXPECT_EQ(dc.HeadLid(), 10u);
+  auto log = dc.ReadRange(0, 100);
+  ASSERT_EQ(log.size(), 10u);
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].toid, i + 1);
+    EXPECT_EQ(log[i].body, "persisted-" + std::to_string(i));
+  }
+  // The index is rebuilt.
+  flstore::IndexQuery q;
+  q.key = "k";
+  q.value_equals = "7";
+  auto postings = dc.Lookup(q);
+  ASSERT_EQ(postings.size(), 1u);
+  // The TOId clock resumes — no reuse.
+  ChariotsClient client(&dc);
+  auto r = client.Append("after-restart");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, last_toid + 1);
+  EXPECT_EQ(r->second, 10u);  // next lid too
+  dc.Stop();
+}
+
+TEST_F(DatacenterRecoveryTest, RestartedReplicaRejoinsGroup) {
+  net::InProcTransport transport;
+  TransportFabric fabric(&transport);
+  auto dc1 = std::make_unique<Datacenter>(Config(1, 2), &fabric);
+  ASSERT_TRUE(dc1->Start().ok());
+  {
+    Datacenter dc0(Config(0, 2), &fabric);
+    ASSERT_TRUE(dc0.Start().ok());
+    ChariotsClient client(&dc0);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(client.Append("from-dc0").ok());
+    }
+    ASSERT_TRUE(dc1->WaitForToid(0, 5, 5'000'000'000));
+    dc0.Stop();
+  }
+
+  // dc0 restarts; dc1 appends while dc0 is down... then they reconverge.
+  ChariotsClient remote(dc1.get());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(remote.Append("while-down").ok());
+  }
+  Datacenter dc0(Config(0, 2), &fabric);
+  ASSERT_TRUE(dc0.Start().ok());
+  EXPECT_EQ(dc0.HeadLid(), 5u);  // its own log recovered
+  // Replication catches dc0 up on what it missed.
+  ASSERT_TRUE(dc0.WaitForToid(1, 3, 10'000'000'000));
+  EXPECT_EQ(dc0.HeadLid(), 8u);
+  // And dc0's own clock continues without colliding.
+  ChariotsClient local(&dc0);
+  auto r = local.Append("back-online");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, 6u);
+  ASSERT_TRUE(dc1->WaitForToid(0, 6, 10'000'000'000));
+  dc0.Stop();
+  dc1->Stop();
+}
+
+TEST_F(DatacenterRecoveryTest, CheckpointPlusGcRecoversWithHorizon) {
+  net::InProcTransport transport;
+  TransportFabric fabric(&transport);
+  auto dc1 = std::make_unique<Datacenter>(Config(1, 2), &fabric);
+  ASSERT_TRUE(dc1->Start().ok());
+  {
+    Datacenter dc0(Config(0, 2), &fabric);
+    ASSERT_TRUE(dc0.Start().ok());
+    ChariotsClient client(&dc0);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(client.Append("r" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(dc1->WaitForToid(0, 10, 5'000'000'000));
+    // Wait for dc1's knowledge to round-trip, then GC at dc0.
+    int64_t deadline = SystemClock::Default()->NowNanos() + 5'000'000'000;
+    while (dc0.atable().Get(1, 0) < 10 &&
+           SystemClock::Default()->NowNanos() < deadline) {
+      std::this_thread::sleep_for(1ms);
+    }
+    ASSERT_TRUE(dc0.RunGcOnce().ok());
+    ASSERT_GT(dc0.gc_horizon(), 0u);
+    dc0.Stop();
+  }
+
+  Datacenter dc0(Config(0, 2), &fabric);
+  ASSERT_TRUE(dc0.Start().ok());
+  // Post-GC restart: the head and horizon survive; old lids stay gone.
+  EXPECT_EQ(dc0.HeadLid(), 10u);
+  EXPECT_GT(dc0.gc_horizon(), 0u);
+  // Appends continue with fresh TOIds.
+  ChariotsClient client(&dc0);
+  auto r = client.Append("post-gc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->first, 11u);
+  EXPECT_EQ(r->second, 10u);
+  dc0.Stop();
+  dc1->Stop();
+}
+
+TEST_F(DatacenterRecoveryTest, CrashRecoveryUnderLossyNetwork) {
+  // The full gauntlet: one replica restarts while the network is dropping
+  // 20% of messages; both sides keep writing; everything converges with
+  // exactly-once incorporation.
+  net::InProcTransport transport;
+  net::LinkOptions lossy;
+  lossy.drop_probability = 0.2;
+  transport.SetLink("geo/dc0", "geo/dc1", lossy);
+  transport.SetLink("geo/dc1", "geo/dc0", lossy);
+  TransportFabric fabric(&transport);
+
+  auto dc1 = std::make_unique<Datacenter>(Config(1, 2), &fabric);
+  ASSERT_TRUE(dc1->Start().ok());
+  {
+    Datacenter dc0(Config(0, 2), &fabric);
+    ASSERT_TRUE(dc0.Start().ok());
+    ChariotsClient client(&dc0);
+    for (int i = 0; i < 15; ++i) {
+      ASSERT_TRUE(client.Append("pre-crash").ok());
+    }
+    dc0.Stop();
+  }
+  ChariotsClient remote(dc1.get());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(remote.Append("while-down").ok());
+  }
+
+  Datacenter dc0(Config(0, 2), &fabric);
+  ASSERT_TRUE(dc0.Start().ok());
+  ChariotsClient local(&dc0);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(local.Append("post-restart").ok());
+  }
+  ASSERT_TRUE(dc0.WaitForToid(1, 10, 30'000'000'000));
+  ASSERT_TRUE(dc1->WaitForToid(0, 20, 30'000'000'000));
+
+  // Exactly-once: both replicas hold exactly 30 records, one per (host,
+  // toid) pair.
+  for (Datacenter* dc : {&dc0, dc1.get()}) {
+    auto log = dc->ReadRange(0, 100);
+    ASSERT_EQ(log.size(), 30u);
+    std::set<std::pair<DatacenterId, TOId>> ids;
+    for (const auto& r : log) {
+      EXPECT_TRUE(ids.insert({r.host, r.toid}).second);
+    }
+  }
+  dc0.Stop();
+  dc1->Stop();
+}
+
+TEST_F(DatacenterRecoveryTest, StragglerBeyondHoleIsDiscarded) {
+  // Simulate a crash that lost a buffered write: build a valid log, then
+  // remove a middle lid directly from the underlying store before restart.
+  DirectFabric fabric;
+  ChariotsConfig config = Config(0, 1);
+  {
+    Datacenter dc(config, &fabric);
+    ASSERT_TRUE(dc.Start().ok());
+    ChariotsClient client(&dc);
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(client.Append("r" + std::to_string(i)).ok());
+    }
+    dc.Stop();
+  }
+  // Delete the checkpoint (simulating a hard crash: the shutdown
+  // checkpoint never happened) and punch a hole at lid 3.
+  fs::remove(fs::path(config.store_dir) / "checkpoint");
+  {
+    storage::LogStoreOptions so;
+    // lid 3: journal (2 maintainers, batch 3) -> maintainer 1 owns 3,4,5.
+    so.dir = config.store_dir + "/maintainer-1";
+    storage::LogStore store(so);
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Remove(3).ok());
+  }
+
+  Datacenter dc(config, &fabric);
+  ASSERT_TRUE(dc.Start().ok());
+  // The contiguous prefix [0,3) survives; 4 and 5 were stragglers.
+  EXPECT_EQ(dc.HeadLid(), 3u);
+  auto log = dc.ReadRange(0, 100);
+  ASSERT_EQ(log.size(), 3u);
+  // New appends refill the discarded positions.
+  ChariotsClient client(&dc);
+  auto r = client.Append("refill");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->second, 3u);
+  EXPECT_EQ(r->first, 4u);  // toids 4..6 were lost with the hole
+  dc.Stop();
+}
+
+}  // namespace
+}  // namespace chariots

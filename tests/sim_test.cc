@@ -1,0 +1,230 @@
+// Tests for the cluster-simulation harness itself: the throughput meter,
+// machine models, and the stage pipeline behaviour the benches rely on.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include <map>
+
+#include "sim/chariots_pipeline.h"
+#include "sim/flstore_load.h"
+#include "sim/machine.h"
+#include "sim/meter.h"
+#include "sim/pipeline_sim.h"
+#include "sim/workload.h"
+
+namespace chariots::sim {
+namespace {
+
+TEST(ThroughputMeterTest, CountsAndRates) {
+  ManualClock clock;
+  ThroughputMeter meter(1'000'000'000, &clock);
+  meter.Start();
+  clock.Advance(500'000'000);
+  meter.Add(100);
+  clock.Advance(500'000'000);
+  meter.Add(100);
+  EXPECT_EQ(meter.count(), 200u);
+  // 200 records over 1 second.
+  EXPECT_NEAR(meter.Rate(), 200.0, 1.0);
+}
+
+TEST(ThroughputMeterTest, TimeseriesBuckets) {
+  ManualClock clock;
+  ThroughputMeter meter(1'000'000'000, &clock);
+  meter.Start();
+  meter.Add(10);                  // bucket 0
+  clock.Advance(1'500'000'000);
+  meter.Add(30);                  // bucket 1
+  auto series = meter.Timeseries();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0], 10.0);
+  EXPECT_DOUBLE_EQ(series[1], 30.0);
+}
+
+TEST(ThroughputMeterTest, NoAddsMeansZeroRate) {
+  ThroughputMeter meter;
+  meter.Start();
+  EXPECT_EQ(meter.Rate(), 0.0);
+  EXPECT_TRUE(meter.Timeseries().empty());
+}
+
+TEST(MachineModelTest, CalibrationsMatchPaperClasses) {
+  EXPECT_NEAR(PrivateCloudMachine().nominal_rate, 131'000, 1);
+  EXPECT_NEAR(PublicCloudMachine().nominal_rate, 150'000, 1);
+  EXPECT_NEAR(PublicCloudMachine().overload_rate, 120'000, 1);
+  // Pipeline-stage machines all land in the paper's 124-132K band.
+  for (const MachineModel& m :
+       {ClientMachine(), BatcherMachine(), FilterMachine(),
+        MaintainerMachine(), StoreMachine()}) {
+    EXPECT_GE(m.nominal_rate, 124'000);
+    EXPECT_LE(m.nominal_rate, 132'000);
+    EXPECT_LE(m.overload_rate, m.nominal_rate);
+  }
+}
+
+TEST(SimStageTest, ProcessesAtModeledRate) {
+  // One machine at 2000 rec/s (unscaled), fed 1000 records: ~0.5 s.
+  MachineModel model{2000, 2000, 0.9};
+  SimStage stage("test", 1, model, 1024);
+  stage.Start();
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) stage.Submit(SimBatch{100});
+  stage.StopAndDrain();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  EXPECT_EQ(stage.TotalRecords(), 1000u);
+  // Loose bounds: the property is "paced by the model, not instant and not
+  // stuck" — noisy single-core hosts can stretch the drain considerably.
+  EXPECT_GT(secs, 0.3);
+  EXPECT_LT(secs, 1.5);
+  ASSERT_EQ(stage.MachineRates().size(), 1u);
+  EXPECT_GT(stage.MachineRates()[0], 600);
+  EXPECT_LT(stage.MachineRates()[0], 3500);
+}
+
+TEST(SimStageTest, RoundRobinAcrossMachines) {
+  MachineModel fast{1e9, 1e9, 0.9};  // effectively unlimited
+  SimStage stage("test", 3, fast, 1024);
+  stage.Start();
+  for (int i = 0; i < 30; ++i) stage.Submit(SimBatch{1});
+  stage.StopAndDrain();
+  auto rates = stage.MachineRates();
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_EQ(stage.TotalRecords(), 30u);
+}
+
+TEST(SimStageTest, ForwardsToNextStage) {
+  MachineModel fast{1e9, 1e9, 0.9};
+  SimStage a("a", 1, fast, 64);
+  SimStage b("b", 1, fast, 64);
+  a.set_next(&b);
+  b.Start();
+  a.Start();
+  for (int i = 0; i < 5; ++i) a.Submit(SimBatch{10});
+  a.StopAndDrain();
+  b.StopAndDrain();
+  EXPECT_EQ(b.TotalRecords(), 50u);
+}
+
+TEST(PipelineSimTest, BottleneckGovernsStageRates) {
+  // Table-3 shape in miniature: 2 clients into 1 batcher — the batcher
+  // (or the slower downstream stages) caps each client near half speed.
+  PipelineShape shape;
+  shape.clients = 2;
+  ChariotsPipelineSim sim(shape, 0, 256, /*time_scale=*/10);
+  sim.RunToCount(100'000);
+  auto rows = sim.Results();
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].stage, "Client");
+  ASSERT_EQ(rows[0].machine_rates.size(), 2u);
+  // Each client well below its 129.5K solo capacity...
+  EXPECT_LT(rows[0].machine_rates[0], 95'000);
+  // ...and the batcher near its capacity.
+  EXPECT_GT(rows[1].machine_rates[0], 100'000);
+}
+
+TEST(WorkloadTest, MixFractionsRespected) {
+  WorkloadOptions options;
+  options.put_fraction = 0.3;
+  options.delete_fraction = 0.1;
+  options.get_txn_fraction = 0.1;
+  WorkloadGenerator gen(options);
+  std::map<OpType, int> counts;
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) ++counts[gen.Next().type];
+  EXPECT_NEAR(counts[OpType::kPut] / double(kOps), 0.3, 0.03);
+  EXPECT_NEAR(counts[OpType::kDelete] / double(kOps), 0.1, 0.02);
+  EXPECT_NEAR(counts[OpType::kGetTxn] / double(kOps), 0.1, 0.02);
+  EXPECT_NEAR(counts[OpType::kGet] / double(kOps), 0.5, 0.03);
+}
+
+TEST(WorkloadTest, ZipfianIsSkewedUniformIsNot) {
+  auto hottest_share = [](KeyDistribution dist) {
+    WorkloadOptions options;
+    options.num_keys = 100;
+    options.distribution = dist;
+    options.put_fraction = 1.0;
+    WorkloadGenerator gen(options);
+    std::map<std::string, int> counts;
+    for (int i = 0; i < 20000; ++i) ++counts[gen.Next().key];
+    int max = 0;
+    for (auto& [k, c] : counts) max = std::max(max, c);
+    return max / 20000.0;
+  };
+  double zipf = hottest_share(KeyDistribution::kZipfian);
+  double uniform = hottest_share(KeyDistribution::kUniform);
+  EXPECT_GT(zipf, 0.1);      // a genuinely hot key
+  EXPECT_LT(uniform, 0.03);  // ~1% each
+  EXPECT_GT(zipf, uniform * 3);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadOptions options;
+  WorkloadGenerator a(options), b(options);
+  for (int i = 0; i < 100; ++i) {
+    Op oa = a.Next();
+    Op ob = b.Next();
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+    EXPECT_EQ(oa.key, ob.key);
+  }
+}
+
+TEST(WorkloadTest, KeysInRange) {
+  WorkloadOptions options;
+  options.num_keys = 7;
+  options.distribution = KeyDistribution::kLatest;
+  WorkloadGenerator gen(options);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(gen.NextKeyIndex(), 7u);
+  }
+}
+
+TEST(FLStoreLoadTest, OpenLoopTracksTargetBelowCapacity) {
+  FLStoreLoadOptions options;
+  options.num_maintainers = 1;
+  options.maintainer_model = PublicCloudMachine();
+  options.target_per_maintainer = 50'000;
+  options.measure_nanos = 200'000'000;
+  FLStoreLoadResult result = RunFLStoreLoad(options);
+  EXPECT_NEAR(result.total_rate, 50'000, 5'000);
+}
+
+TEST(FLStoreLoadTest, OverloadDegradesBelowNominal) {
+  FLStoreLoadOptions options;
+  options.num_maintainers = 1;
+  options.maintainer_model = PublicCloudMachine();
+  options.target_per_maintainer = 300'000;  // far past the knee
+  options.warmup_nanos = 200'000'000;
+  options.measure_nanos = 400'000'000;
+  FLStoreLoadResult result = RunFLStoreLoad(options);
+  // The essential claim: overload degrades below the 150K nominal. The
+  // lower bound only guards against total collapse — kept loose because
+  // this runs on arbitrarily noisy (often single-core) CI hosts.
+  EXPECT_LT(result.total_rate, 140'000);
+  EXPECT_GT(result.total_rate, 40'000);
+}
+
+TEST(FLStoreLoadTest, ClosedLoopScalesWithMaintainers) {
+  double single = 0;
+  for (uint32_t n : {1u, 3u}) {
+    FLStoreLoadOptions options;
+    options.num_maintainers = n;
+    options.maintainer_model = PrivateCloudMachine();
+    options.target_per_maintainer = 0;
+    options.measure_nanos = 300'000'000;
+    double rate = RunFLStoreLoad(options).total_rate;
+    if (n == 1) {
+      single = rate;
+    } else {
+      // Generous bounds: single-core scheduling noise shows up here.
+      EXPECT_GT(rate, single * 2.0);
+      EXPECT_LT(rate, single * 4.5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chariots::sim

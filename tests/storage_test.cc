@@ -1,0 +1,370 @@
+// Unit tests for the persistence substrate (segment store + recovery).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/archive.h"
+#include "storage/log_store.h"
+
+namespace chariots::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LogStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("chariots_storage_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  LogStoreOptions Options(SyncMode mode = SyncMode::kBuffered,
+                          uint64_t segment_bytes = 64 << 20) {
+    LogStoreOptions o;
+    o.dir = dir_.string();
+    o.mode = mode;
+    o.segment_bytes = segment_bytes;
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LogStoreTest, MemoryOnlyRoundTrip) {
+  LogStoreOptions o;
+  o.mode = SyncMode::kMemoryOnly;
+  LogStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(5, "five").ok());
+  ASSERT_TRUE(store.Append(9, "nine").ok());
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.max_lid(), 9u);
+  auto r = store.Get(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "five");
+  EXPECT_TRUE(store.Get(6).status().IsNotFound());
+  EXPECT_TRUE(store.Contains(9));
+  EXPECT_FALSE(store.Contains(6));
+}
+
+TEST_F(LogStoreTest, PersistentRoundTrip) {
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 100; ++lid) {
+    ASSERT_TRUE(store.Append(lid, "payload-" + std::to_string(lid)).ok());
+  }
+  for (uint64_t lid = 0; lid < 100; ++lid) {
+    auto r = store.Get(lid);
+    ASSERT_TRUE(r.ok()) << lid;
+    EXPECT_EQ(*r, "payload-" + std::to_string(lid));
+  }
+  EXPECT_GT(store.SizeBytes(), 0u);
+}
+
+TEST_F(LogStoreTest, DuplicateAppendRejected) {
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(1, "a").ok());
+  EXPECT_EQ(store.Append(1, "b").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(*store.Get(1), "a");
+}
+
+TEST_F(LogStoreTest, OperationsBeforeOpenFail) {
+  LogStore store(Options());
+  EXPECT_EQ(store.Append(1, "x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store.Get(1).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LogStoreTest, RecoveryAfterReopen) {
+  {
+    LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 50; ++lid) {
+      ASSERT_TRUE(store.Append(lid * 3, std::string(lid + 1, 'z')).ok());
+    }
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 50u);
+  EXPECT_EQ(store.max_lid(), 49u * 3);
+  for (uint64_t lid = 0; lid < 50; ++lid) {
+    auto r = store.Get(lid * 3);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), lid + 1);
+  }
+  // Appends continue to work after recovery.
+  ASSERT_TRUE(store.Append(1000, "new").ok());
+  EXPECT_EQ(*store.Get(1000), "new");
+}
+
+TEST_F(LogStoreTest, SegmentRotation) {
+  // Tiny segments force rotation every few records.
+  LogStore store(Options(SyncMode::kBuffered, 256));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 100; ++lid) {
+    ASSERT_TRUE(store.Append(lid, std::string(64, 'a' + lid % 26)).ok());
+  }
+  size_t seg_files = 0;
+  for (auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().filename().string().rfind("seg-", 0) == 0) ++seg_files;
+  }
+  EXPECT_GT(seg_files, 10u);
+  // All still readable.
+  for (uint64_t lid = 0; lid < 100; ++lid) {
+    ASSERT_TRUE(store.Get(lid).ok()) << lid;
+  }
+}
+
+TEST_F(LogStoreTest, RecoveryAcrossManySegments) {
+  {
+    LogStore store(Options(SyncMode::kBuffered, 256));
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 200; ++lid) {
+      ASSERT_TRUE(store.Append(lid, "v" + std::to_string(lid)).ok());
+    }
+  }
+  LogStore store(Options(SyncMode::kBuffered, 256));
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 200u);
+  EXPECT_EQ(*store.Get(123), "v123");
+}
+
+TEST_F(LogStoreTest, TornTailIsTruncatedOnRecovery) {
+  {
+    LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.Append(0, "keep-me").ok());
+    ASSERT_TRUE(store.Append(1, "torn-victim").ok());
+  }
+  // Chop a few bytes off the (single) segment file, simulating a crash
+  // mid-write.
+  fs::path seg;
+  for (auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().filename().string().rfind("seg-", 0) == 0) seg = e.path();
+  }
+  ASSERT_FALSE(seg.empty());
+  fs::resize_file(seg, fs::file_size(seg) - 4);
+
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 1u);
+  EXPECT_EQ(*store.Get(0), "keep-me");
+  EXPECT_TRUE(store.Get(1).status().IsNotFound());
+  // The position is writable again.
+  EXPECT_TRUE(store.Append(1, "rewritten").ok());
+  EXPECT_EQ(*store.Get(1), "rewritten");
+}
+
+TEST_F(LogStoreTest, CorruptMiddleSegmentIsReported) {
+  {
+    LogStore store(Options(SyncMode::kBuffered, 128));
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 50; ++lid) {
+      ASSERT_TRUE(store.Append(lid, std::string(40, 'q')).ok());
+    }
+  }
+  // Flip a byte in the middle of the FIRST segment (not the last).
+  std::vector<fs::path> segs;
+  for (auto& e : fs::directory_iterator(dir_)) {
+    if (e.path().filename().string().rfind("seg-", 0) == 0) {
+      segs.push_back(e.path());
+    }
+  }
+  std::sort(segs.begin(), segs.end());
+  ASSERT_GT(segs.size(), 2u);
+  {
+    std::fstream f(segs.front(), std::ios::in | std::ios::out |
+                                     std::ios::binary);
+    f.seekp(20);
+    char c;
+    f.seekg(20);
+    f.get(c);
+    c ^= 0x5a;
+    f.seekp(20);
+    f.put(c);
+  }
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  EXPECT_TRUE(store.Open().IsCorruption());
+}
+
+TEST_F(LogStoreTest, FsyncEachModeWrites) {
+  LogStore store(Options(SyncMode::kFsyncEach));
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(0, "durable").ok());
+  EXPECT_EQ(*store.Get(0), "durable");
+}
+
+TEST_F(LogStoreTest, TruncateBelowDropsWholeColdSegments) {
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 100; ++lid) {
+    ASSERT_TRUE(store.Append(lid, std::string(40, 'g')).ok());
+  }
+  uint64_t before = store.count();
+  ASSERT_TRUE(store.TruncateBelow(50).ok());
+  EXPECT_LT(store.count(), before);
+  // Everything at/above the horizon survives.
+  for (uint64_t lid = 50; lid < 100; ++lid) {
+    EXPECT_TRUE(store.Contains(lid)) << lid;
+  }
+  // GC'd records read as NotFound.
+  EXPECT_FALSE(store.Contains(0));
+}
+
+TEST_F(LogStoreTest, TruncateBelowArchivesWhenAsked) {
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 60; ++lid) {
+    ASSERT_TRUE(store.Append(lid, std::string(40, 'h')).ok());
+  }
+  std::string archive = (dir_ / "cold.archive").string();
+  ASSERT_TRUE(store.TruncateBelow(40, archive).ok());
+  ASSERT_TRUE(fs::exists(archive));
+  EXPECT_GT(fs::file_size(archive), 0u);
+}
+
+TEST_F(LogStoreTest, ArchiveIsScannable) {
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 60; ++lid) {
+    ASSERT_TRUE(store.Append(lid, "payload-" + std::to_string(lid)).ok());
+  }
+  std::string archive = (dir_ / "cold.archive").string();
+  ASSERT_TRUE(store.TruncateBelow(40, archive).ok());
+
+  // Everything GC'd from the store is readable from the archive, in order,
+  // with intact payloads.
+  std::vector<uint64_t> lids;
+  ASSERT_TRUE(ArchiveReader::Scan(archive, [&](uint64_t lid,
+                                               std::string_view payload) {
+                EXPECT_EQ(payload, "payload-" + std::to_string(lid));
+                lids.push_back(lid);
+                return true;
+              }).ok());
+  EXPECT_FALSE(lids.empty());
+  EXPECT_TRUE(std::is_sorted(lids.begin(), lids.end()));
+  for (uint64_t lid : lids) {
+    EXPECT_LT(lid, 40u);
+    EXPECT_FALSE(store.Contains(lid));  // really gone from the store
+  }
+  auto count = ArchiveReader::Count(archive);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, lids.size());
+}
+
+TEST_F(LogStoreTest, ArchiveScanStopsEarlyOnFalse) {
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 40; ++lid) {
+    ASSERT_TRUE(store.Append(lid, "x").ok());
+  }
+  std::string archive = (dir_ / "cold.archive").string();
+  ASSERT_TRUE(store.TruncateBelow(30, archive).ok());
+  int seen = 0;
+  ASSERT_TRUE(ArchiveReader::Scan(archive, [&](uint64_t, std::string_view) {
+                return ++seen < 3;
+              }).ok());
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(LogStoreTest, ArchiveSkipsTombstonedRecords) {
+  LogStore store(Options(SyncMode::kBuffered, 16384));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 10; ++lid) {
+    ASSERT_TRUE(store.Append(lid, "v").ok());
+  }
+  ASSERT_TRUE(store.Remove(4).ok());
+  // Force everything (single segment is active) into a second segment so
+  // GC can archive the first: rotate by exceeding segment size.
+  // Simpler: archive via a tiny-segment store instead.
+  std::string archive = (dir_ / "cold2.archive").string();
+  // Re-open with tiny segments to force the data into GC-able segments.
+  // (This test uses a fresh store directory.)
+  fs::path dir2 = dir_ / "ts";
+  LogStoreOptions o;
+  o.dir = dir2.string();
+  o.segment_bytes = 64;
+  LogStore store2(o);
+  ASSERT_TRUE(store2.Open().ok());
+  for (uint64_t lid = 0; lid < 10; ++lid) {
+    ASSERT_TRUE(store2.Append(lid, "value").ok());
+  }
+  ASSERT_TRUE(store2.Remove(2).ok());
+  // Roll the log past the tombstone so its segment seals and gets
+  // archived together with the data frame it kills.
+  for (uint64_t lid = 10; lid < 20; ++lid) {
+    ASSERT_TRUE(store2.Append(lid, "value").ok());
+  }
+  ASSERT_TRUE(store2.TruncateBelow(100, archive).ok());
+  std::set<uint64_t> live;
+  ASSERT_TRUE(ArchiveReader::Scan(archive, [&](uint64_t lid,
+                                               std::string_view) {
+                live.insert(lid);
+                return true;
+              }).ok());
+  EXPECT_EQ(live.count(2), 0u);  // tombstoned record not resurrected
+  EXPECT_GT(live.size(), 0u);
+}
+
+TEST_F(LogStoreTest, ArchiveDetectsCorruption) {
+  LogStore store(Options(SyncMode::kBuffered, 128));
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 40; ++lid) {
+    ASSERT_TRUE(store.Append(lid, std::string(40, 'c')).ok());
+  }
+  std::string archive = (dir_ / "cold.archive").string();
+  ASSERT_TRUE(store.TruncateBelow(30, archive).ok());
+  {
+    std::fstream f(archive, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(10);
+    f.put('\x7f');
+  }
+  EXPECT_TRUE(ArchiveReader::Count(archive).status().IsCorruption());
+}
+
+TEST_F(LogStoreTest, TruncateBelowMemoryOnly) {
+  LogStoreOptions o;
+  o.mode = SyncMode::kMemoryOnly;
+  LogStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t lid = 0; lid < 10; ++lid) {
+    ASSERT_TRUE(store.Append(lid, "x").ok());
+  }
+  ASSERT_TRUE(store.TruncateBelow(5).ok());
+  EXPECT_EQ(store.count(), 5u);
+  EXPECT_FALSE(store.Contains(4));
+  EXPECT_TRUE(store.Contains(5));
+}
+
+TEST_F(LogStoreTest, ListLidsSorted) {
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(9, "a").ok());
+  ASSERT_TRUE(store.Append(3, "b").ok());
+  ASSERT_TRUE(store.Append(7, "c").ok());
+  EXPECT_EQ(store.ListLids(), (std::vector<uint64_t>{3, 7, 9}));
+}
+
+TEST_F(LogStoreTest, LargePayloadRoundTrip) {
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  std::string big(1 << 20, 'B');
+  ASSERT_TRUE(store.Append(0, big).ok());
+  auto r = store.Get(0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, big);
+}
+
+}  // namespace
+}  // namespace chariots::storage

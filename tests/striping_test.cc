@@ -1,0 +1,160 @@
+// Tests for the deterministic round-robin striping and the epoch journal,
+// including property-style sweeps over configurations.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/random.h"
+#include "flstore/striping.h"
+
+namespace chariots::flstore {
+namespace {
+
+TEST(StripingTest, Figure4Layout) {
+  // Paper Figure 4: three maintainers, batch 1000. Round 1: A owns 1..1000,
+  // B owns 1001..2000, C owns 2001..3000 (we are 0-based).
+  EpochJournal j(3, 1000);
+  EXPECT_EQ(j.MaintainerFor(0), 0u);
+  EXPECT_EQ(j.MaintainerFor(999), 0u);
+  EXPECT_EQ(j.MaintainerFor(1000), 1u);
+  EXPECT_EQ(j.MaintainerFor(1999), 1u);
+  EXPECT_EQ(j.MaintainerFor(2000), 2u);
+  EXPECT_EQ(j.MaintainerFor(2999), 2u);
+  // Round 2 wraps back to A.
+  EXPECT_EQ(j.MaintainerFor(3000), 0u);
+  EXPECT_EQ(j.MaintainerFor(5999), 2u);
+}
+
+TEST(StripingTest, GlobalForWalksOwnedSlots) {
+  EpochJournal j(3, 10);
+  // Maintainer 1's slots: 10..19 (round 0), 40..49 (round 1), ...
+  EXPECT_EQ(*j.GlobalFor(1, SlotRef{0, 0}), 10u);
+  EXPECT_EQ(*j.GlobalFor(1, SlotRef{0, 9}), 19u);
+  EXPECT_EQ(*j.GlobalFor(1, SlotRef{0, 10}), 40u);
+  EXPECT_EQ(*j.GlobalFor(1, SlotRef{0, 25}), 75u);
+}
+
+TEST(StripingTest, SlotForIsInverseOfGlobalFor) {
+  EpochJournal j(4, 7);
+  for (uint64_t lid = 0; lid < 1000; ++lid) {
+    SlotRef ref = j.SlotFor(lid);
+    uint32_t m = j.MaintainerFor(lid);
+    auto back = j.GlobalFor(m, ref);
+    ASSERT_TRUE(back.ok()) << lid;
+    EXPECT_EQ(*back, lid);
+  }
+}
+
+TEST(StripingTest, EveryLidOwnedByExactlyOneMaintainer) {
+  EpochJournal j(5, 3);
+  // Count coverage over two full rounds.
+  std::vector<int> owned(30, 0);
+  for (uint32_t m = 0; m < 5; ++m) {
+    for (uint64_t s = 0; s < 6; ++s) {
+      auto g = j.GlobalFor(m, SlotRef{0, s});
+      ASSERT_TRUE(g.ok());
+      if (*g < owned.size()) ++owned[*g];
+    }
+  }
+  for (size_t lid = 0; lid < owned.size(); ++lid) {
+    EXPECT_EQ(owned[lid], 1) << lid;
+  }
+}
+
+TEST(StripingTest, AddEpochValidation) {
+  EpochJournal j(2, 100);
+  EXPECT_FALSE(j.AddEpoch({0, 3, 100}).ok());    // not in the future
+  EXPECT_FALSE(j.AddEpoch({500, 0, 100}).ok());  // zero maintainers
+  EXPECT_FALSE(j.AddEpoch({500, 3, 0}).ok());    // zero batch
+  EXPECT_TRUE(j.AddEpoch({500, 3, 100}).ok());
+  EXPECT_EQ(j.num_epochs(), 2u);
+  EXPECT_FALSE(j.AddEpoch({400, 4, 100}).ok());  // before current epoch
+}
+
+TEST(StripingTest, EpochBoundaryRouting) {
+  EpochJournal j(2, 10);
+  ASSERT_TRUE(j.AddEpoch({100, 3, 10}).ok());
+  // Below 100: striped over 2 maintainers.
+  EXPECT_EQ(j.MaintainerFor(0), 0u);
+  EXPECT_EQ(j.MaintainerFor(10), 1u);
+  EXPECT_EQ(j.MaintainerFor(99), j.MaintainerFor(99));
+  EXPECT_EQ(j.EpochIndexFor(99), 0u);
+  // At/after 100: striped over 3, relative to the epoch start.
+  EXPECT_EQ(j.EpochIndexFor(100), 1u);
+  EXPECT_EQ(j.MaintainerFor(100), 0u);
+  EXPECT_EQ(j.MaintainerFor(110), 1u);
+  EXPECT_EQ(j.MaintainerFor(120), 2u);
+  EXPECT_EQ(j.MaintainerFor(130), 0u);
+}
+
+TEST(StripingTest, SlotCountInClosedEpoch) {
+  EpochJournal j(2, 10);
+  ASSERT_TRUE(j.AddEpoch({35, 3, 10}).ok());
+  // Epoch 0 spans lids [0, 35): m0 owns 0..9 and 20..29 (15 before cutoff?).
+  // Stripe = 20; full rounds = 1 (covers 0..19); tail = 15 covers m0's
+  // 20..29 fully (10) and m1's 30..34 partially (5).
+  EXPECT_EQ(j.SlotCount(0, 0), 20u);
+  EXPECT_EQ(j.SlotCount(1, 0), 15u);
+  EXPECT_EQ(j.SlotCount(2, 0), 0u);  // m2 not in epoch 0
+  EXPECT_EQ(j.SlotCount(2, 1), UINT64_MAX);  // open epoch
+}
+
+TEST(StripingTest, GlobalForRejectsBeyondEpochEnd) {
+  EpochJournal j(2, 10);
+  ASSERT_TRUE(j.AddEpoch({35, 3, 10}).ok());
+  // m1's slot 15 (global would be 30+5=35) crosses the boundary.
+  EXPECT_TRUE(j.GlobalFor(1, SlotRef{0, 15}).status().IsOutOfRange());
+  // Slot 14 (global 34) is fine.
+  EXPECT_EQ(*j.GlobalFor(1, SlotRef{0, 14}), 34u);
+}
+
+TEST(StripingTest, EncodeDecodeRoundTrip) {
+  EpochJournal j(2, 50);
+  ASSERT_TRUE(j.AddEpoch({1000, 4, 25}).ok());
+  ASSERT_TRUE(j.AddEpoch({5000, 5, 100}).ok());
+  auto decoded = EpochJournal::Decode(j.Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epochs(), j.epochs());
+  EXPECT_EQ(decoded->MaxMaintainers(), 5u);
+}
+
+TEST(StripingTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(EpochJournal::Decode("junk").ok());
+}
+
+// Property sweep: for random configurations (maintainers, batch, extra
+// epochs), SlotFor/GlobalFor stay inverse and ownership is consistent.
+class StripingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(StripingPropertyTest, InverseMappingAcrossEpochs) {
+  auto [maintainers, batch] = GetParam();
+  EpochJournal j(maintainers, batch);
+  // Grow twice: +1 maintainer at a future boundary, then change batch.
+  ASSERT_TRUE(j.AddEpoch({batch * maintainers * 3 + 1, maintainers + 1, batch})
+                  .ok());
+  ASSERT_TRUE(
+      j.AddEpoch({batch * maintainers * 10 + 7, maintainers + 1, batch * 2})
+          .ok());
+
+  Random rng(maintainers * 1000 + batch);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t lid = rng.Uniform(batch * maintainers * 40);
+    SlotRef ref = j.SlotFor(lid);
+    uint32_t m = j.MaintainerFor(lid);
+    ASSERT_LT(m, maintainers + 1);
+    auto back = j.GlobalFor(m, ref);
+    ASSERT_TRUE(back.ok()) << "lid=" << lid;
+    EXPECT_EQ(*back, lid);
+    EXPECT_EQ(ref.epoch_index, j.EpochIndexFor(lid));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, StripingPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u, 8u),
+                       ::testing::Values(1ull, 7ull, 100ull, 1000ull)));
+
+}  // namespace
+}  // namespace chariots::flstore

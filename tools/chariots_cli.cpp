@@ -1,0 +1,259 @@
+// chariots_cli — one-shot client commands against a chariots_node
+// deployment (see that tool's header for how to start one):
+//
+//   chariots_cli --controller=127.0.0.1:7000 append "hello" type=click
+//   chariots_cli --controller=127.0.0.1:7000 read 42
+//   chariots_cli --controller=127.0.0.1:7000 head
+//   chariots_cli --controller=127.0.0.1:7000 lookup type click 5
+//   chariots_cli --controller=127.0.0.1:7000 info
+//
+// The CLI also needs the maintainer/indexer address lists to route to them
+// directly (the controller only serves the logical layout):
+//   --maintainers=H:P,...  --indexers=H:P,...
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "chariots/geo_service.h"
+#include "flstore/client.h"
+#include "net/tcp_transport.h"
+#include "tools/flags.h"
+
+using namespace chariots;
+using namespace chariots::flstore;
+using chariots::tools::Flags;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: chariots_cli --controller=H:P --maintainers=H:P,... "
+               "[--indexers=H:P,...] COMMAND\n"
+               "   or: chariots_cli --geo=H:P --dc-id=N COMMAND   (against "
+               "a chariots_node --role=datacenter)\n"
+               "commands:\n"
+               "  append BODY [k=v ...]   append a record with tags\n"
+               "  read LID                read a record by position\n"
+               "  toid HOST TOID          read by replication identity "
+               "(geo mode)\n"
+               "  head                    print the head of the log\n"
+               "  lookup KEY [VALUE] [N]  most recent N records with tag\n"
+               "  info                    print the cluster layout\n");
+  return 2;
+}
+
+void PrintGeoRecord(const chariots::geo::GeoRecord& record) {
+  std::printf("lid %llu, host dc%u, toid %llu\nbody: %s\n",
+              static_cast<unsigned long long>(record.lid), record.host,
+              static_cast<unsigned long long>(record.toid),
+              record.body.c_str());
+  for (const chariots::flstore::Tag& tag : record.tags) {
+    std::printf("tag:  %s=%s\n", tag.key.c_str(), tag.value.c_str());
+  }
+}
+
+// Commands against a geo datacenter's API (chariots_node --role=datacenter).
+int RunGeo(const Flags& flags, const std::vector<std::string>& args) {
+  net::TcpTransport transport;
+  if (!transport.Listen(0).ok()) {
+    std::fprintf(stderr, "could not open a client port\n");
+    return 1;
+  }
+  std::string host;
+  int port = 0;
+  if (!Flags::SplitHostPort(flags.Get("geo"), &host, &port)) return Usage();
+  int dc_id = flags.GetInt("dc-id", 0);
+  std::string prefix = "geo/dc" + std::to_string(dc_id);
+  transport.AddRoute(prefix, host, port);
+
+  geo::GeoRpcClient client(&transport,
+                           "geocli/" + std::to_string(::getpid()),
+                           prefix + "/api");
+  Status s = client.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "client start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string& command = args[0];
+  if (command == "append") {
+    if (args.size() < 2) return Usage();
+    std::vector<flstore::Tag> tags;
+    for (size_t i = 2; i < args.size(); ++i) {
+      size_t eq = args[i].find('=');
+      if (eq == std::string::npos) return Usage();
+      tags.push_back({args[i].substr(0, eq), args[i].substr(eq + 1)});
+    }
+    auto r = client.Append(args[1], tags);
+    if (!r.ok()) {
+      std::fprintf(stderr, "append: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("appended: toid %llu, lid %llu\n",
+                static_cast<unsigned long long>(r->first),
+                static_cast<unsigned long long>(r->second));
+  } else if (command == "read") {
+    if (args.size() != 2) return Usage();
+    auto r = client.Read(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!r.ok()) {
+      std::fprintf(stderr, "read: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    PrintGeoRecord(*r);
+  } else if (command == "toid") {
+    if (args.size() != 3) return Usage();
+    auto r = client.ReadByToid(
+        static_cast<geo::DatacenterId>(std::atoi(args[1].c_str())),
+        std::strtoull(args[2].c_str(), nullptr, 10));
+    if (!r.ok()) {
+      std::fprintf(stderr, "toid: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    PrintGeoRecord(*r);
+  } else if (command == "head") {
+    auto r = client.Head();
+    if (!r.ok()) {
+      std::fprintf(stderr, "head: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("head of log: %llu\n",
+                static_cast<unsigned long long>(*r));
+  } else if (command == "lookup") {
+    if (args.size() < 2) return Usage();
+    flstore::IndexQuery query;
+    query.key = args[1];
+    if (args.size() >= 3) query.value_equals = args[2];
+    query.limit = args.size() >= 4
+                      ? static_cast<uint32_t>(std::atoi(args[3].c_str()))
+                      : 5;
+    auto postings = client.Lookup(query);
+    if (!postings.ok()) {
+      std::fprintf(stderr, "lookup: %s\n",
+                   postings.status().ToString().c_str());
+      return 1;
+    }
+    for (const flstore::Posting& p : *postings) {
+      std::printf("lid %llu: %s\n", static_cast<unsigned long long>(p.lid),
+                  p.value.c_str());
+    }
+  } else {
+    return Usage();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::vector<std::string>& args = flags.positional();
+  if (args.empty()) return Usage();
+  if (flags.Has("geo")) return RunGeo(flags, args);
+
+  net::TcpTransport transport;
+  if (!transport.Listen(0).ok()) {
+    std::fprintf(stderr, "could not open a client port\n");
+    return 1;
+  }
+  std::string host;
+  int port = 0;
+  if (!Flags::SplitHostPort(flags.Get("controller"), &host, &port)) {
+    return Usage();
+  }
+  transport.AddRoute("ctrl", host, port);
+  std::vector<std::string> maintainers =
+      Flags::Split(flags.Get("maintainers"));
+  for (size_t i = 0; i < maintainers.size(); ++i) {
+    if (!Flags::SplitHostPort(maintainers[i], &host, &port)) return Usage();
+    transport.AddRoute("m" + std::to_string(i), host, port);
+  }
+  std::vector<std::string> indexers = Flags::Split(flags.Get("indexers"));
+  for (size_t i = 0; i < indexers.size(); ++i) {
+    if (!Flags::SplitHostPort(indexers[i], &host, &port)) return Usage();
+    transport.AddRoute("idx" + std::to_string(i), host, port);
+  }
+
+  FLStoreClient client(&transport, "cli/" + std::to_string(::getpid()),
+                       "ctrl/0");
+  Status s = client.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "session bootstrap failed: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+
+  const std::string& command = args[0];
+  if (command == "append") {
+    if (args.size() < 2) return Usage();
+    LogRecord record;
+    record.body = args[1];
+    for (size_t i = 2; i < args.size(); ++i) {
+      size_t eq = args[i].find('=');
+      if (eq == std::string::npos) return Usage();
+      record.tags.push_back(
+          Tag{args[i].substr(0, eq), args[i].substr(eq + 1)});
+    }
+    auto lid = client.Append(record);
+    if (!lid.ok()) {
+      std::fprintf(stderr, "append: %s\n", lid.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("appended at LId %llu\n",
+                static_cast<unsigned long long>(*lid));
+  } else if (command == "read") {
+    if (args.size() != 2) return Usage();
+    auto record = client.Read(std::strtoull(args[1].c_str(), nullptr, 10));
+    if (!record.ok()) {
+      std::fprintf(stderr, "read: %s\n",
+                   record.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("body: %s\n", record->body.c_str());
+    for (const Tag& tag : record->tags) {
+      std::printf("tag:  %s=%s\n", tag.key.c_str(), tag.value.c_str());
+    }
+  } else if (command == "head") {
+    auto head = client.HeadOfLog();
+    if (!head.ok()) {
+      std::fprintf(stderr, "head: %s\n", head.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("head of log: %llu\n",
+                static_cast<unsigned long long>(*head));
+  } else if (command == "lookup") {
+    if (args.size() < 2) return Usage();
+    IndexQuery query;
+    query.key = args[1];
+    if (args.size() >= 3) query.value_equals = args[2];
+    query.limit = args.size() >= 4
+                      ? static_cast<uint32_t>(std::atoi(args[3].c_str()))
+                      : 5;
+    auto records = client.ReadByTag(query);
+    if (!records.ok()) {
+      std::fprintf(stderr, "lookup: %s\n",
+                   records.status().ToString().c_str());
+      return 1;
+    }
+    for (const LogRecord& record : *records) {
+      std::printf("LId %llu: %s\n",
+                  static_cast<unsigned long long>(record.lid),
+                  record.body.c_str());
+    }
+  } else if (command == "info") {
+    ClusterInfo info = client.cluster_info();
+    std::printf("maintainers: %zu, indexers: %zu\n",
+                info.maintainers.size(), info.indexers.size());
+    for (const auto& epoch : info.journal.epochs()) {
+      std::printf("epoch from LId %llu: %u maintainers, batch %llu\n",
+                  static_cast<unsigned long long>(epoch.start_lid),
+                  epoch.num_maintainers,
+                  static_cast<unsigned long long>(epoch.batch_size));
+    }
+  } else {
+    return Usage();
+  }
+  return 0;
+}

@@ -1,0 +1,284 @@
+// chariots_node — runs one FLStore server role (controller, log
+// maintainer, or indexer) as its own OS process, talking real TCP. A
+// minimal two-maintainer deployment on one host:
+//
+//   ./chariots_node --role=controller --listen=7000 \
+//       --maintainers=127.0.0.1:7001,127.0.0.1:7002 \
+//       --indexers=127.0.0.1:7003 --batch=1000
+//   ./chariots_node --role=maintainer --index=0 --listen=7001 \
+//       --maintainers=127.0.0.1:7001,127.0.0.1:7002 \
+//       --indexers=127.0.0.1:7003 --batch=1000 [--store-dir=/data/m0]
+//   ./chariots_node --role=maintainer --index=1 --listen=7002 ...
+//   ./chariots_node --role=indexer --index=0 --listen=7003 ...
+//
+// then drive it with chariots_cli (see that tool's header comment).
+//
+// Node-id convention (shared with chariots_cli): the controller is
+// "ctrl/0", maintainers are "m<i>/node", indexers are "idx<i>/node";
+// prefix routes are derived from the --maintainers/--indexers/--controller
+// lists, so every process can reach every other.
+
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chariots/datacenter.h"
+#include "chariots/fabric.h"
+#include "chariots/geo_service.h"
+#include "flstore/service.h"
+#include "net/tcp_transport.h"
+#include "tools/flags.h"
+
+using namespace chariots;
+using namespace chariots::flstore;
+using chariots::tools::Flags;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+struct Deployment {
+  std::vector<std::string> maintainer_addrs;
+  std::vector<std::string> indexer_addrs;
+  std::string controller_addr;
+  uint64_t batch = 1000;
+
+  std::vector<net::NodeId> MaintainerNodes() const {
+    std::vector<net::NodeId> out;
+    for (size_t i = 0; i < maintainer_addrs.size(); ++i) {
+      out.push_back("m" + std::to_string(i) + "/node");
+    }
+    return out;
+  }
+  std::vector<net::NodeId> IndexerNodes() const {
+    std::vector<net::NodeId> out;
+    for (size_t i = 0; i < indexer_addrs.size(); ++i) {
+      out.push_back("idx" + std::to_string(i) + "/node");
+    }
+    return out;
+  }
+};
+
+// Installs prefix routes for every known process.
+bool WireRoutes(net::TcpTransport* transport, const Deployment& d) {
+  std::string host;
+  int port = 0;
+  for (size_t i = 0; i < d.maintainer_addrs.size(); ++i) {
+    if (!Flags::SplitHostPort(d.maintainer_addrs[i], &host, &port)) {
+      return false;
+    }
+    transport->AddRoute("m" + std::to_string(i), host, port);
+  }
+  for (size_t i = 0; i < d.indexer_addrs.size(); ++i) {
+    if (!Flags::SplitHostPort(d.indexer_addrs[i], &host, &port)) {
+      return false;
+    }
+    transport->AddRoute("idx" + std::to_string(i), host, port);
+  }
+  if (!d.controller_addr.empty()) {
+    if (!Flags::SplitHostPort(d.controller_addr, &host, &port)) return false;
+    transport->AddRoute("ctrl", host, port);
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: chariots_node --role={controller|maintainer|indexer|"
+      "datacenter}\n"
+      "datacenter role (one whole geo replica per process):\n"
+      "  --dc-id=N --datacenters=H:P,H:P,...  (this process at index N)\n"
+      "  --listen=PORT --store-dir=PATH --batch=N\n"
+      "  --batchers/--filters/--queues/--maintainers=N  stage widths\n"
+      "FLStore roles:\n"
+      "  --listen=PORT              port to serve on\n"
+      "  --maintainers=H:P,H:P,...  all maintainer addresses (ordered)\n"
+      "  --indexers=H:P,...         all indexer addresses (ordered)\n"
+      "  --controller=H:P           controller address (for routing)\n"
+      "  --index=N                  this node's index (maintainer/indexer)\n"
+      "  --batch=N                  striping batch size (default 1000)\n"
+      "  --store-dir=PATH           persist records (default: memory)\n"
+      "  --fsync                    fsync every append\n"
+      "  --gossip-ms=N              HL gossip interval (default 2)\n");
+  return 2;
+}
+
+}  // namespace
+
+// Runs a whole geo-replicated datacenter (the §6 pipeline) as one process;
+// peers are the other datacenters' chariots_node processes.
+int RunDatacenter(const Flags& flags) {
+  std::vector<std::string> peers = Flags::Split(flags.Get("datacenters"));
+  if (peers.empty() || !flags.Has("dc-id")) return Usage();
+  uint32_t dc_id = flags.GetInt("dc-id", 0);
+  if (dc_id >= peers.size()) return Usage();
+
+  net::TcpTransport transport;
+  Status listen = transport.Listen(flags.GetInt("listen", 0));
+  if (!listen.ok()) {
+    std::fprintf(stderr, "listen: %s\n", listen.ToString().c_str());
+    return 1;
+  }
+  std::string host;
+  int port = 0;
+  for (size_t i = 0; i < peers.size(); ++i) {
+    if (i == dc_id) continue;
+    if (!Flags::SplitHostPort(peers[i], &host, &port)) return Usage();
+    transport.AddRoute("geo/dc" + std::to_string(i), host, port);
+  }
+
+  geo::TransportFabric fabric(&transport);
+  geo::ChariotsConfig config;
+  config.dc_id = dc_id;
+  config.num_datacenters = static_cast<uint32_t>(peers.size());
+  config.num_batchers = flags.GetInt("batchers", 1);
+  config.num_filters = flags.GetInt("filters", 1);
+  config.num_queues = flags.GetInt("queues", 1);
+  config.num_maintainers = flags.GetInt("maintainers-per-dc", 1);
+  config.stripe_batch = flags.GetInt("batch", 1000);
+  std::string store_dir = flags.Get("store-dir");
+  if (!store_dir.empty()) {
+    config.store_dir = store_dir;
+    config.store_mode = flags.GetBool("fsync")
+                            ? storage::SyncMode::kFsyncEach
+                            : storage::SyncMode::kBuffered;
+  }
+  geo::Datacenter dc(config, &fabric);
+  Status s = dc.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  geo::GeoServer api(&transport, "geo/dc" + std::to_string(dc_id) + "/api",
+                     &dc);
+  s = api.Start();
+  if (!s.ok()) {
+    std::fprintf(stderr, "api start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("datacenter %u serving on port %d (%zu-replica group%s)\n",
+              dc_id, transport.port(), peers.size(),
+              store_dir.empty() ? "" : ", persistent");
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  api.Stop();
+  dc.Stop();
+  return 0;
+}
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string role = flags.Get("role");
+  if (role.empty()) return Usage();
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  if (role == "datacenter") return RunDatacenter(flags);
+
+  Deployment d;
+  d.maintainer_addrs = Flags::Split(flags.Get("maintainers"));
+  d.indexer_addrs = Flags::Split(flags.Get("indexers"));
+  d.controller_addr = flags.Get("controller");
+  d.batch = flags.GetInt("batch", 1000);
+  if (d.maintainer_addrs.empty()) {
+    std::fprintf(stderr, "--maintainers required\n");
+    return Usage();
+  }
+
+  net::TcpTransport transport;
+  Status listen = transport.Listen(flags.GetInt("listen", 0));
+  if (!listen.ok()) {
+    std::fprintf(stderr, "listen: %s\n", listen.ToString().c_str());
+    return 1;
+  }
+  if (!WireRoutes(&transport, d)) {
+    std::fprintf(stderr, "malformed address list\n");
+    return Usage();
+  }
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  std::unique_ptr<ControllerServer> controller;
+  std::unique_ptr<MaintainerServer> maintainer;
+  std::unique_ptr<IndexerServer> indexer;
+
+  if (role == "controller") {
+    ClusterInfo info;
+    info.journal = EpochJournal(
+        static_cast<uint32_t>(d.maintainer_addrs.size()), d.batch);
+    info.maintainers = d.MaintainerNodes();
+    info.indexers = d.IndexerNodes();
+    controller = std::make_unique<ControllerServer>(&transport, "ctrl/0",
+                                                    info);
+    Status s = controller->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("controller serving on port %d (%zu maintainers, %zu "
+                "indexers, batch %llu)\n",
+                transport.port(), d.maintainer_addrs.size(),
+                d.indexer_addrs.size(),
+                static_cast<unsigned long long>(d.batch));
+  } else if (role == "maintainer") {
+    if (!flags.Has("index")) return Usage();
+    uint32_t index = flags.GetInt("index", 0);
+    MaintainerOptions mo;
+    mo.index = index;
+    mo.journal = EpochJournal(
+        static_cast<uint32_t>(d.maintainer_addrs.size()), d.batch);
+    std::string store_dir = flags.Get("store-dir");
+    if (store_dir.empty()) {
+      mo.store.mode = storage::SyncMode::kMemoryOnly;
+    } else {
+      mo.store.dir = store_dir;
+      mo.store.mode = flags.GetBool("fsync")
+                          ? storage::SyncMode::kFsyncEach
+                          : storage::SyncMode::kBuffered;
+    }
+    MaintainerServer::Options so;
+    so.node = "m" + std::to_string(index) + "/node";
+    so.peers = d.MaintainerNodes();
+    so.indexers = d.IndexerNodes();
+    so.gossip_interval_nanos =
+        static_cast<int64_t>(flags.GetInt("gossip-ms", 2)) * 1'000'000;
+    maintainer =
+        std::make_unique<MaintainerServer>(&transport, mo, so);
+    Status s = maintainer->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("maintainer %u serving on port %d (%s)\n", index,
+                transport.port(),
+                store_dir.empty() ? "memory" : store_dir.c_str());
+  } else if (role == "indexer") {
+    if (!flags.Has("index")) return Usage();
+    uint32_t index = flags.GetInt("index", 0);
+    indexer = std::make_unique<IndexerServer>(
+        &transport, "idx" + std::to_string(index) + "/node");
+    Status s = indexer->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("indexer %u serving on port %d\n", index, transport.port());
+  } else {
+    return Usage();
+  }
+
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  if (maintainer != nullptr) maintainer->Stop();
+  if (indexer != nullptr) indexer->Stop();
+  if (controller != nullptr) controller->Stop();
+  return 0;
+}

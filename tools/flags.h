@@ -1,0 +1,84 @@
+#ifndef CHARIOTS_TOOLS_FLAGS_H_
+#define CHARIOTS_TOOLS_FLAGS_H_
+
+// Minimal --flag=value / --flag value command-line parsing for the
+// deployment tools. Positional arguments are collected in order.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chariots::tools {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  std::string Get(const std::string& name,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name) const {
+    return Get(name) == "true";
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Splits "a,b,c" into {"a","b","c"}.
+  static std::vector<std::string> Split(const std::string& s, char sep = ',') {
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+      size_t end = s.find(sep, start);
+      if (end == std::string::npos) end = s.size();
+      if (end > start) out.push_back(s.substr(start, end - start));
+      start = end + 1;
+    }
+    return out;
+  }
+
+  /// Splits "host:port" -> (host, port). Returns false on malformed input.
+  static bool SplitHostPort(const std::string& s, std::string* host,
+                            int* port) {
+    size_t colon = s.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= s.size()) return false;
+    *host = s.substr(0, colon);
+    *port = std::atoi(s.c_str() + colon + 1);
+    return *port > 0;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace chariots::tools
+
+#endif  // CHARIOTS_TOOLS_FLAGS_H_
