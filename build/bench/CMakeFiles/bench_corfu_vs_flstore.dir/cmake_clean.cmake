@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_corfu_vs_flstore.dir/bench_corfu_vs_flstore.cpp.o"
+  "CMakeFiles/bench_corfu_vs_flstore.dir/bench_corfu_vs_flstore.cpp.o.d"
+  "bench_corfu_vs_flstore"
+  "bench_corfu_vs_flstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_corfu_vs_flstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

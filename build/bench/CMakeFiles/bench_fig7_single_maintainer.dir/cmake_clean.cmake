@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_single_maintainer.dir/bench_fig7_single_maintainer.cpp.o"
+  "CMakeFiles/bench_fig7_single_maintainer.dir/bench_fig7_single_maintainer.cpp.o.d"
+  "bench_fig7_single_maintainer"
+  "bench_fig7_single_maintainer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_single_maintainer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

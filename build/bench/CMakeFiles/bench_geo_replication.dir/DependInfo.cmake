@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_geo_replication.cpp" "bench/CMakeFiles/bench_geo_replication.dir/bench_geo_replication.cpp.o" "gcc" "bench/CMakeFiles/bench_geo_replication.dir/bench_geo_replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chariots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/flstore/CMakeFiles/chariots_flstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/corfu/CMakeFiles/chariots_corfu.dir/DependInfo.cmake"
+  "/root/repo/build/src/chariots/CMakeFiles/chariots_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/chariots_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chariots_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chariots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chariots_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geo_replication.dir/bench_geo_replication.cpp.o"
+  "CMakeFiles/bench_geo_replication.dir/bench_geo_replication.cpp.o.d"
+  "bench_geo_replication"
+  "bench_geo_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

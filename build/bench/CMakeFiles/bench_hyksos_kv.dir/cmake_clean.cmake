@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hyksos_kv.dir/bench_hyksos_kv.cpp.o"
+  "CMakeFiles/bench_hyksos_kv.dir/bench_hyksos_kv.cpp.o.d"
+  "bench_hyksos_kv"
+  "bench_hyksos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyksos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_msgfutures_latency.dir/bench_msgfutures_latency.cpp.o"
+  "CMakeFiles/bench_msgfutures_latency.dir/bench_msgfutures_latency.cpp.o.d"
+  "bench_msgfutures_latency"
+  "bench_msgfutures_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_msgfutures_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

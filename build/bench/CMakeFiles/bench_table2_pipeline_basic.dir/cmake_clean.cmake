@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pipeline_basic.dir/bench_table2_pipeline_basic.cpp.o"
+  "CMakeFiles/bench_table2_pipeline_basic.dir/bench_table2_pipeline_basic.cpp.o.d"
+  "bench_table2_pipeline_basic"
+  "bench_table2_pipeline_basic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pipeline_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_two_clients.dir/bench_table3_two_clients.cpp.o"
+  "CMakeFiles/bench_table3_two_clients.dir/bench_table3_two_clients.cpp.o.d"
+  "bench_table3_two_clients"
+  "bench_table3_two_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_two_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

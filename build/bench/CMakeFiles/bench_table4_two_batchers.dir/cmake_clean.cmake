@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_two_batchers.dir/bench_table4_two_batchers.cpp.o"
+  "CMakeFiles/bench_table4_two_batchers.dir/bench_table4_two_batchers.cpp.o.d"
+  "bench_table4_two_batchers"
+  "bench_table4_two_batchers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_two_batchers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_two_per_stage.dir/bench_table5_two_per_stage.cpp.o"
+  "CMakeFiles/bench_table5_two_per_stage.dir/bench_table5_two_per_stage.cpp.o.d"
+  "bench_table5_two_per_stage"
+  "bench_table5_two_per_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_two_per_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_transactions.dir/geo_transactions.cpp.o"
+  "CMakeFiles/geo_transactions.dir/geo_transactions.cpp.o.d"
+  "geo_transactions"
+  "geo_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyksos_kv.dir/hyksos_kv.cpp.o"
+  "CMakeFiles/hyksos_kv.dir/hyksos_kv.cpp.o.d"
+  "hyksos_kv"
+  "hyksos_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyksos_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_apps.dir/hyksos.cc.o"
+  "CMakeFiles/chariots_apps.dir/hyksos.cc.o.d"
+  "CMakeFiles/chariots_apps.dir/msgfutures.cc.o"
+  "CMakeFiles/chariots_apps.dir/msgfutures.cc.o.d"
+  "CMakeFiles/chariots_apps.dir/stream.cc.o"
+  "CMakeFiles/chariots_apps.dir/stream.cc.o.d"
+  "libchariots_apps.a"
+  "libchariots_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chariots/atable.cc" "src/chariots/CMakeFiles/chariots_geo.dir/atable.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/atable.cc.o.d"
+  "/root/repo/src/chariots/batcher.cc" "src/chariots/CMakeFiles/chariots_geo.dir/batcher.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/batcher.cc.o.d"
+  "/root/repo/src/chariots/client.cc" "src/chariots/CMakeFiles/chariots_geo.dir/client.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/client.cc.o.d"
+  "/root/repo/src/chariots/datacenter.cc" "src/chariots/CMakeFiles/chariots_geo.dir/datacenter.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/datacenter.cc.o.d"
+  "/root/repo/src/chariots/fabric.cc" "src/chariots/CMakeFiles/chariots_geo.dir/fabric.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/fabric.cc.o.d"
+  "/root/repo/src/chariots/filter.cc" "src/chariots/CMakeFiles/chariots_geo.dir/filter.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/filter.cc.o.d"
+  "/root/repo/src/chariots/filter_map.cc" "src/chariots/CMakeFiles/chariots_geo.dir/filter_map.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/filter_map.cc.o.d"
+  "/root/repo/src/chariots/geo_service.cc" "src/chariots/CMakeFiles/chariots_geo.dir/geo_service.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/geo_service.cc.o.d"
+  "/root/repo/src/chariots/queue.cc" "src/chariots/CMakeFiles/chariots_geo.dir/queue.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/queue.cc.o.d"
+  "/root/repo/src/chariots/read_rules.cc" "src/chariots/CMakeFiles/chariots_geo.dir/read_rules.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/read_rules.cc.o.d"
+  "/root/repo/src/chariots/record.cc" "src/chariots/CMakeFiles/chariots_geo.dir/record.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/record.cc.o.d"
+  "/root/repo/src/chariots/replication.cc" "src/chariots/CMakeFiles/chariots_geo.dir/replication.cc.o" "gcc" "src/chariots/CMakeFiles/chariots_geo.dir/replication.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chariots_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chariots_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chariots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/flstore/CMakeFiles/chariots_flstore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

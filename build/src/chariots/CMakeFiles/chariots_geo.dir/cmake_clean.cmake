@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_geo.dir/atable.cc.o"
+  "CMakeFiles/chariots_geo.dir/atable.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/batcher.cc.o"
+  "CMakeFiles/chariots_geo.dir/batcher.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/client.cc.o"
+  "CMakeFiles/chariots_geo.dir/client.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/datacenter.cc.o"
+  "CMakeFiles/chariots_geo.dir/datacenter.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/fabric.cc.o"
+  "CMakeFiles/chariots_geo.dir/fabric.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/filter.cc.o"
+  "CMakeFiles/chariots_geo.dir/filter.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/filter_map.cc.o"
+  "CMakeFiles/chariots_geo.dir/filter_map.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/geo_service.cc.o"
+  "CMakeFiles/chariots_geo.dir/geo_service.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/queue.cc.o"
+  "CMakeFiles/chariots_geo.dir/queue.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/read_rules.cc.o"
+  "CMakeFiles/chariots_geo.dir/read_rules.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/record.cc.o"
+  "CMakeFiles/chariots_geo.dir/record.cc.o.d"
+  "CMakeFiles/chariots_geo.dir/replication.cc.o"
+  "CMakeFiles/chariots_geo.dir/replication.cc.o.d"
+  "libchariots_geo.a"
+  "libchariots_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_common.dir/clock.cc.o"
+  "CMakeFiles/chariots_common.dir/clock.cc.o.d"
+  "CMakeFiles/chariots_common.dir/crc32c.cc.o"
+  "CMakeFiles/chariots_common.dir/crc32c.cc.o.d"
+  "CMakeFiles/chariots_common.dir/histogram.cc.o"
+  "CMakeFiles/chariots_common.dir/histogram.cc.o.d"
+  "CMakeFiles/chariots_common.dir/logging.cc.o"
+  "CMakeFiles/chariots_common.dir/logging.cc.o.d"
+  "CMakeFiles/chariots_common.dir/status.cc.o"
+  "CMakeFiles/chariots_common.dir/status.cc.o.d"
+  "CMakeFiles/chariots_common.dir/thread_pool.cc.o"
+  "CMakeFiles/chariots_common.dir/thread_pool.cc.o.d"
+  "libchariots_common.a"
+  "libchariots_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_corfu.dir/corfu.cc.o"
+  "CMakeFiles/chariots_corfu.dir/corfu.cc.o.d"
+  "libchariots_corfu.a"
+  "libchariots_corfu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_corfu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchariots_corfu.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flstore/client.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/client.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/client.cc.o.d"
+  "/root/repo/src/flstore/controller.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/controller.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/controller.cc.o.d"
+  "/root/repo/src/flstore/indexer.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/indexer.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/indexer.cc.o.d"
+  "/root/repo/src/flstore/maintainer.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/maintainer.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/maintainer.cc.o.d"
+  "/root/repo/src/flstore/service.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/service.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/service.cc.o.d"
+  "/root/repo/src/flstore/striping.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/striping.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/striping.cc.o.d"
+  "/root/repo/src/flstore/types.cc" "src/flstore/CMakeFiles/chariots_flstore.dir/types.cc.o" "gcc" "src/flstore/CMakeFiles/chariots_flstore.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chariots_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chariots_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chariots_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

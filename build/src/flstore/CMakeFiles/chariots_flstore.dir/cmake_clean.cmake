@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_flstore.dir/client.cc.o"
+  "CMakeFiles/chariots_flstore.dir/client.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/controller.cc.o"
+  "CMakeFiles/chariots_flstore.dir/controller.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/indexer.cc.o"
+  "CMakeFiles/chariots_flstore.dir/indexer.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/maintainer.cc.o"
+  "CMakeFiles/chariots_flstore.dir/maintainer.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/service.cc.o"
+  "CMakeFiles/chariots_flstore.dir/service.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/striping.cc.o"
+  "CMakeFiles/chariots_flstore.dir/striping.cc.o.d"
+  "CMakeFiles/chariots_flstore.dir/types.cc.o"
+  "CMakeFiles/chariots_flstore.dir/types.cc.o.d"
+  "libchariots_flstore.a"
+  "libchariots_flstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_flstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

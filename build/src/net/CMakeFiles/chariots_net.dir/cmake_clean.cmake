@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/chariots_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/chariots_net.dir/message.cc.o"
+  "CMakeFiles/chariots_net.dir/message.cc.o.d"
+  "CMakeFiles/chariots_net.dir/rpc.cc.o"
+  "CMakeFiles/chariots_net.dir/rpc.cc.o.d"
+  "CMakeFiles/chariots_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/chariots_net.dir/tcp_transport.cc.o.d"
+  "libchariots_net.a"
+  "libchariots_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chariots_pipeline.cc" "src/sim/CMakeFiles/chariots_sim.dir/chariots_pipeline.cc.o" "gcc" "src/sim/CMakeFiles/chariots_sim.dir/chariots_pipeline.cc.o.d"
+  "/root/repo/src/sim/flstore_load.cc" "src/sim/CMakeFiles/chariots_sim.dir/flstore_load.cc.o" "gcc" "src/sim/CMakeFiles/chariots_sim.dir/flstore_load.cc.o.d"
+  "/root/repo/src/sim/pipeline_sim.cc" "src/sim/CMakeFiles/chariots_sim.dir/pipeline_sim.cc.o" "gcc" "src/sim/CMakeFiles/chariots_sim.dir/pipeline_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chariots_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/flstore/CMakeFiles/chariots_flstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chariots_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chariots_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

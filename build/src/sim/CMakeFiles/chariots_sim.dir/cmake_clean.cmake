@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_sim.dir/chariots_pipeline.cc.o"
+  "CMakeFiles/chariots_sim.dir/chariots_pipeline.cc.o.d"
+  "CMakeFiles/chariots_sim.dir/flstore_load.cc.o"
+  "CMakeFiles/chariots_sim.dir/flstore_load.cc.o.d"
+  "CMakeFiles/chariots_sim.dir/pipeline_sim.cc.o"
+  "CMakeFiles/chariots_sim.dir/pipeline_sim.cc.o.d"
+  "libchariots_sim.a"
+  "libchariots_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_storage.dir/archive.cc.o"
+  "CMakeFiles/chariots_storage.dir/archive.cc.o.d"
+  "CMakeFiles/chariots_storage.dir/file.cc.o"
+  "CMakeFiles/chariots_storage.dir/file.cc.o.d"
+  "CMakeFiles/chariots_storage.dir/log_store.cc.o"
+  "CMakeFiles/chariots_storage.dir/log_store.cc.o.d"
+  "libchariots_storage.a"
+  "libchariots_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

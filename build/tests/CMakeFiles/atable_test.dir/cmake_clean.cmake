@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atable_test.dir/atable_test.cc.o"
+  "CMakeFiles/atable_test.dir/atable_test.cc.o.d"
+  "atable_test"
+  "atable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corfu_test.dir/corfu_test.cc.o"
+  "CMakeFiles/corfu_test.dir/corfu_test.cc.o.d"
+  "corfu_test"
+  "corfu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corfu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

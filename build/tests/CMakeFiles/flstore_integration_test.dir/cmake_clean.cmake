@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flstore_integration_test.dir/flstore_integration_test.cc.o"
+  "CMakeFiles/flstore_integration_test.dir/flstore_integration_test.cc.o.d"
+  "flstore_integration_test"
+  "flstore_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flstore_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

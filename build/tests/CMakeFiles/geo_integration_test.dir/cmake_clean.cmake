@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_integration_test.dir/geo_integration_test.cc.o"
+  "CMakeFiles/geo_integration_test.dir/geo_integration_test.cc.o.d"
+  "geo_integration_test"
+  "geo_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

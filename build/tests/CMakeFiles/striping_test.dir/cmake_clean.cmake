@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striping_test.dir/striping_test.cc.o"
+  "CMakeFiles/striping_test.dir/striping_test.cc.o.d"
+  "striping_test"
+  "striping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_cli.dir/chariots_cli.cpp.o"
+  "CMakeFiles/chariots_cli.dir/chariots_cli.cpp.o.d"
+  "chariots_cli"
+  "chariots_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

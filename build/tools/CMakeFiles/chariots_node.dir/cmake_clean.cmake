@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chariots_node.dir/chariots_node.cpp.o"
+  "CMakeFiles/chariots_node.dir/chariots_node.cpp.o.d"
+  "chariots_node"
+  "chariots_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chariots_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
