@@ -28,6 +28,15 @@ void BM_Crc32c(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32c)->Arg(64)->Arg(512)->Arg(4096);
 
+void BM_Crc32cPortable(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32c::ExtendPortable(0, data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_Crc32cPortable)->Arg(64)->Arg(512)->Arg(4096);
+
 void BM_GeoRecordEncode(benchmark::State& state) {
   geo::GeoRecord record;
   record.host = 2;
@@ -107,6 +116,56 @@ void BM_MaintainerPostAssignAppend(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MaintainerPostAssignAppend);
+
+void BM_LogStoreAppendBatchDisk(benchmark::State& state) {
+  auto dir = std::filesystem::temp_directory_path() / "chariots_bench_batch";
+  std::filesystem::remove_all(dir);
+  storage::LogStoreOptions options;
+  options.dir = dir.string();
+  options.mode = storage::SyncMode::kBuffered;
+  storage::LogStore store(options);
+  (void)store.Open();
+  std::string payload(512, 'p');
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<storage::AppendEntry> entries(batch);
+  uint64_t lid = 0;
+  // No periodic TruncateBelow here: dropping a full segment appends one
+  // tombstone frame per dropped record, and that storm (not the append
+  // path) would dominate the longer runs. Arg(1) is the per-record baseline
+  // under the identical harness; /tmp growth is bounded by run time and the
+  // directory is removed at the end.
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) entries[i] = {lid++, payload};
+    benchmark::DoNotOptimize(store.AppendBatch(entries));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_LogStoreAppendBatchDisk)->Arg(1)->Arg(32)->Arg(256);
+
+void BM_MaintainerAppendBatch(benchmark::State& state) {
+  flstore::MaintainerOptions options;
+  options.index = 0;
+  options.journal = flstore::EpochJournal(4, 1000);
+  options.store.mode = storage::SyncMode::kMemoryOnly;
+  flstore::LogMaintainer maintainer(options);
+  (void)maintainer.Open();
+  flstore::LogRecord record;
+  record.body.assign(512, 'r');
+  const size_t batch = static_cast<size_t>(state.range(0));
+  std::vector<flstore::LogRecord> records(batch, record);
+  uint64_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maintainer.AppendBatch(records));
+    n += batch;
+    if (n >= 0x10000) {
+      n = 0;
+      (void)maintainer.TruncateBelow(flstore::kInvalidLId - 1);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_MaintainerAppendBatch)->Arg(1)->Arg(32)->Arg(256);
 
 void BM_StripingMaintainerFor(benchmark::State& state) {
   flstore::EpochJournal journal(5, 1000);

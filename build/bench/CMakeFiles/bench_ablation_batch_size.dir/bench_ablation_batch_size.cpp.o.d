@@ -216,13 +216,24 @@ bench/CMakeFiles/bench_ablation_batch_size.dir/bench_ablation_batch_size.cpp.o: 
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/common/result.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/status.h \
  /root/repo/src/flstore/striping.h /root/repo/src/flstore/types.h \
  /root/repo/src/storage/log_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/file.h \
- /root/repo/src/sim/flstore_load.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/common/clock.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/storage/file.h /root/repo/src/sim/flstore_load.h \
  /root/repo/src/sim/machine.h

@@ -235,13 +235,14 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/storage/log_store.h /root/repo/src/storage/file.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/log_store.h \
+ /root/repo/src/common/clock.h /root/repo/src/storage/file.h \
  /root/repo/src/net/rpc.h /usr/include/c++/12/condition_variable \
  /root/repo/src/net/transport.h /root/repo/src/net/inproc_transport.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/common/clock.h /root/repo/src/common/random.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/random.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -235,7 +235,8 @@ examples/CMakeFiles/tcp_cluster.dir/tcp_cluster.cpp.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/storage/log_store.h /root/repo/src/storage/file.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/log_store.h \
+ /root/repo/src/common/clock.h /root/repo/src/storage/file.h \
  /root/repo/src/net/rpc.h /usr/include/c++/12/condition_variable \
  /root/repo/src/net/transport.h /root/repo/src/net/tcp_transport.h

@@ -236,11 +236,15 @@ src/apps/CMakeFiles/chariots_apps.dir/hyksos.cc.o: \
  /root/repo/src/flstore/types.h /root/repo/src/chariots/batcher.h \
  /root/repo/src/chariots/filter_map.h /root/repo/src/common/clock.h \
  /root/repo/src/chariots/config.h /root/repo/src/storage/log_store.h \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
  /root/repo/src/storage/file.h /root/repo/src/chariots/fabric.h \
  /root/repo/src/net/rpc.h /root/repo/src/net/transport.h \
  /root/repo/src/net/message.h /root/repo/src/chariots/filter.h \
  /root/repo/src/chariots/queue.h /root/repo/src/flstore/striping.h \
  /root/repo/src/chariots/replication.h /root/repo/src/common/queue.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/flstore/indexer.h /root/repo/src/flstore/maintainer.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \

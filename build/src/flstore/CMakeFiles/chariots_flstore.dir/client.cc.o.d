@@ -230,12 +230,12 @@ src/flstore/CMakeFiles/chariots_flstore.dir/client.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /root/repo/src/storage/log_store.h /root/repo/src/storage/file.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/log_store.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
- /usr/include/c++/12/condition_variable /root/repo/src/net/transport.h \
- /root/repo/src/common/codec.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/storage/file.h \
+ /root/repo/src/net/rpc.h /usr/include/c++/12/condition_variable \
+ /root/repo/src/net/transport.h /root/repo/src/common/codec.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

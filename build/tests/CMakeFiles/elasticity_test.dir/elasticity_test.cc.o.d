@@ -311,19 +311,21 @@ tests/CMakeFiles/elasticity_test.dir/elasticity_test.cc.o: \
  /root/repo/src/flstore/types.h /root/repo/src/chariots/batcher.h \
  /root/repo/src/chariots/filter_map.h /root/repo/src/common/clock.h \
  /root/repo/src/chariots/config.h /root/repo/src/storage/log_store.h \
- /root/repo/src/storage/file.h /root/repo/src/chariots/fabric.h \
- /root/repo/src/net/rpc.h /root/repo/src/net/transport.h \
- /root/repo/src/net/message.h /root/repo/src/chariots/filter.h \
- /root/repo/src/chariots/queue.h /root/repo/src/flstore/striping.h \
- /root/repo/src/chariots/replication.h /root/repo/src/common/queue.h \
+ /usr/include/c++/12/span /root/repo/src/storage/file.h \
+ /root/repo/src/chariots/fabric.h /root/repo/src/net/rpc.h \
+ /root/repo/src/net/transport.h /root/repo/src/net/message.h \
+ /root/repo/src/chariots/filter.h /root/repo/src/chariots/queue.h \
+ /root/repo/src/flstore/striping.h /root/repo/src/chariots/replication.h \
+ /root/repo/src/common/queue.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/flstore/indexer.h /root/repo/src/flstore/maintainer.h \
  /root/repo/src/chariots/read_rules.h \
  /root/repo/src/net/inproc_transport.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/random.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

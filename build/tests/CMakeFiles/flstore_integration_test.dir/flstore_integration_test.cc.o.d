@@ -309,13 +309,13 @@ tests/CMakeFiles/flstore_integration_test.dir/flstore_integration_test.cc.o: \
  /root/repo/src/flstore/indexer.h /root/repo/src/flstore/service.h \
  /root/repo/src/flstore/maintainer.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/storage/log_store.h /root/repo/src/storage/file.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/span /root/repo/src/storage/log_store.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /root/repo/src/storage/file.h /root/repo/src/net/rpc.h \
  /usr/include/c++/12/condition_variable /root/repo/src/net/transport.h \
  /root/repo/src/net/inproc_transport.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/clock.h \
- /root/repo/src/common/random.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/common/random.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \

@@ -325,6 +325,15 @@ tests/CMakeFiles/maintainer_test.dir/maintainer_test.cc.o: \
  /root/repo/src/flstore/maintainer.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/flstore/striping.h /root/repo/src/flstore/types.h \
- /root/repo/src/storage/log_store.h /root/repo/src/storage/file.h
+ /usr/include/c++/12/span /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/flstore/striping.h \
+ /root/repo/src/flstore/types.h /root/repo/src/storage/log_store.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/storage/file.h

@@ -293,22 +293,23 @@ tests/CMakeFiles/pipeline_test.dir/pipeline_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/chariots/batcher.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/chariots/filter_map.h /root/repo/src/chariots/record.h \
- /root/repo/src/common/result.h /root/repo/src/common/status.h \
- /root/repo/src/flstore/types.h /root/repo/src/common/clock.h \
- /usr/include/c++/12/chrono /root/repo/src/chariots/fabric.h \
- /root/repo/src/net/rpc.h /usr/include/c++/12/condition_variable \
- /root/repo/src/net/transport.h /root/repo/src/net/message.h \
- /root/repo/src/chariots/filter.h /root/repo/src/chariots/queue.h \
- /root/repo/src/flstore/striping.h /root/repo/src/chariots/replication.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/chariots/atable.h
+ /root/repo/src/chariots/batcher.h /root/repo/src/chariots/filter_map.h \
+ /root/repo/src/chariots/record.h /root/repo/src/common/result.h \
+ /root/repo/src/common/status.h /root/repo/src/flstore/types.h \
+ /root/repo/src/common/clock.h /usr/include/c++/12/chrono \
+ /root/repo/src/chariots/fabric.h /root/repo/src/net/rpc.h \
+ /usr/include/c++/12/condition_variable /root/repo/src/net/transport.h \
+ /root/repo/src/net/message.h /root/repo/src/chariots/filter.h \
+ /root/repo/src/chariots/queue.h /root/repo/src/flstore/striping.h \
+ /root/repo/src/chariots/replication.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/chariots/atable.h

@@ -302,14 +302,14 @@ tests/CMakeFiles/sim_test.dir/sim_test.cc.o: /root/repo/tests/sim_test.cc \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/sim/chariots_pipeline.h /root/repo/src/sim/pipeline_sim.h \
- /root/repo/src/common/queue.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/condition_variable \
+ /root/repo/src/common/queue.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/condition_variable \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/mutex /root/repo/src/common/rate_limiter.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/clock.h /root/repo/src/sim/machine.h \
  /root/repo/src/sim/meter.h /root/repo/src/sim/flstore_load.h \
  /root/repo/src/sim/workload.h /usr/include/c++/12/cmath \

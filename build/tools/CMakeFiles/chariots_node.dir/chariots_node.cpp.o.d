@@ -255,14 +255,18 @@ tools/CMakeFiles/chariots_node.dir/chariots_node.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/chariots/config.h \
  /root/repo/src/storage/log_store.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/file.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/storage/file.h \
  /root/repo/src/chariots/fabric.h /root/repo/src/net/rpc.h \
  /root/repo/src/net/transport.h /root/repo/src/net/message.h \
  /root/repo/src/chariots/filter.h /root/repo/src/chariots/queue.h \
  /root/repo/src/flstore/striping.h /root/repo/src/chariots/replication.h \
- /root/repo/src/common/queue.h /root/repo/src/flstore/indexer.h \
- /root/repo/src/flstore/maintainer.h /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
+ /root/repo/src/common/queue.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/flstore/indexer.h /root/repo/src/flstore/maintainer.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/chariots/geo_service.h /root/repo/src/flstore/service.h \
  /root/repo/src/flstore/controller.h /root/repo/src/net/tcp_transport.h \

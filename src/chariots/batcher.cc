@@ -28,16 +28,33 @@ void Batcher::Stop() {
 void Batcher::Submit(GeoRecord record) {
   records_in_.fetch_add(1, std::memory_order_relaxed);
   uint32_t filter_id = filter_map_->FilterFor(record.host, record.toid);
-  std::vector<GeoRecord> ready;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::vector<GeoRecord>& buf = buffers_[filter_id];
-    buf.push_back(std::move(record));
-    if (buf.size() < flush_records_) return;
-    ready.swap(buf);
+  // Flush EVERY buffer at/over threshold, not just this record's: a racing
+  // FlushAll (or a flush_ running outside the lock while other Submits keep
+  // pushing) can leave several buffers over flush_records_. Loop until this
+  // submit observes all buffers below threshold.
+  std::vector<std::pair<uint32_t, std::vector<GeoRecord>>> ready;
+  bool pushed = false;
+  for (;;) {
+    ready.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pushed) {
+        buffers_[filter_id].push_back(std::move(record));
+        pushed = true;
+      }
+      for (auto& [id, buf] : buffers_) {
+        if (buf.size() >= flush_records_) {
+          ready.emplace_back(id, std::move(buf));
+          buf.clear();
+        }
+      }
+    }
+    if (ready.empty()) return;
+    for (auto& [id, batch] : ready) {
+      batches_out_.fetch_add(1, std::memory_order_relaxed);
+      flush_(id, std::move(batch));
+    }
   }
-  batches_out_.fetch_add(1, std::memory_order_relaxed);
-  flush_(filter_id, std::move(ready));
 }
 
 void Batcher::FlushAll() {

@@ -327,8 +327,25 @@ Status Datacenter::RecoverFromStorage() {
 
 void Datacenter::FilterLoop(size_t filter_index) {
   FilterStage& stage = *filters_[filter_index];
-  while (auto batch = stage.inbox->Pop()) {
-    stage.filter->Accept(std::move(*batch));
+  // Drain the whole inbox under one lock acquisition and hand the filter a
+  // single merged batch — one wakeup and one Accept per backlog instead of
+  // one per enqueued batch.
+  std::vector<std::vector<GeoRecord>> batches;
+  while (stage.inbox->PopAll(&batches) > 0) {
+    if (batches.size() == 1) {
+      stage.filter->Accept(std::move(batches.front()));
+    } else {
+      size_t total = 0;
+      for (const auto& b : batches) total += b.size();
+      std::vector<GeoRecord> merged;
+      merged.reserve(total);
+      for (auto& b : batches) {
+        merged.insert(merged.end(), std::make_move_iterator(b.begin()),
+                      std::make_move_iterator(b.end()));
+      }
+      stage.filter->Accept(std::move(merged));
+    }
+    batches.clear();
   }
 }
 

@@ -8,8 +8,21 @@
 namespace chariots::crc32c {
 
 /// Extends `init_crc` with `data` using the CRC-32C (Castagnoli) polynomial.
-/// Software table-driven implementation (slicing-by-4).
+/// Dispatches at runtime to the SSE4.2 `crc32` instruction when the CPU
+/// supports it, and to the portable slicing-by-8 implementation otherwise.
+/// Both paths produce identical results.
 uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+/// Table-driven slicing-by-8 implementation. Always available; used directly
+/// by tests to cross-check the hardware path.
+uint32_t ExtendPortable(uint32_t init_crc, const char* data, size_t n);
+
+/// Hardware (SSE4.2) implementation. Falls back to ExtendPortable when the
+/// CPU lacks SSE4.2 — check HardwareAccelerated() to know which ran.
+uint32_t ExtendHardware(uint32_t init_crc, const char* data, size_t n);
+
+/// True if Extend() dispatches to the SSE4.2 hardware path on this CPU.
+bool HardwareAccelerated();
 
 /// CRC-32C of a whole buffer.
 inline uint32_t Value(std::string_view data) {

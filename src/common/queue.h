@@ -1,18 +1,25 @@
 #ifndef CHARIOTS_COMMON_QUEUE_H_
 #define CHARIOTS_COMMON_QUEUE_H_
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace chariots {
 
 /// Bounded multi-producer multi-consumer blocking queue. The backbone of
 /// every pipeline stage: bounded capacity gives backpressure, Close() gives
 /// clean shutdown (producers stop, consumers drain then observe end).
+///
+/// Condvar hygiene: every method signals AFTER releasing `mu_`, so woken
+/// threads never immediately block on a still-held mutex (hurry-up-and-wait).
 template <typename T>
 class BoundedQueue {
  public:
@@ -24,31 +31,77 @@ class BoundedQueue {
   /// Blocks until there is room (or the queue is closed). Returns false if
   /// the queue was closed, in which case the item was not enqueued.
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// Non-blocking push; returns false if full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
+    return true;
+  }
+
+  /// Moves every element of `*items` into the queue under one lock
+  /// acquisition per admitted chunk, blocking for space as needed. A batch
+  /// larger than the remaining capacity is admitted in capacity-sized chunks
+  /// so producers still see backpressure. On success `*items` is cleared.
+  /// Returns false if the queue closed before all items were admitted (items
+  /// not yet admitted are left in `*items`, already-admitted ones removed).
+  bool PushAll(std::vector<T>* items) {
+    size_t next = 0;
+    const size_t total = items->size();
+    while (next < total) {
+      size_t pushed;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock,
+                       [&] { return closed_ || items_.size() < capacity_; });
+        if (closed_) {
+          items->erase(items->begin(), items->begin() + next);
+          return false;
+        }
+        size_t room = capacity_ - items_.size();
+        pushed = std::min(room, total - next);
+        for (size_t i = 0; i < pushed; ++i) {
+          items_.push_back(std::move((*items)[next + i]));
+        }
+      }
+      // One wakeup per admitted chunk; notify_all so several consumers can
+      // start draining a multi-item chunk concurrently.
+      if (pushed == 1) {
+        not_empty_.notify_one();
+      } else {
+        not_empty_.notify_all();
+      }
+      next += pushed;
+    }
+    items->clear();
     return true;
   }
 
   /// Blocks until an item is available or the queue is closed and drained.
   /// Returns nullopt only at end-of-stream.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
@@ -56,31 +109,65 @@ class BoundedQueue {
   /// Pop with timeout; nullopt on timeout or end-of-stream. Use
   /// `closed()` to distinguish.
   std::optional<T> PopFor(std::chrono::nanoseconds timeout) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait_for(lock, timeout,
-                        [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait_for(lock, timeout,
+                          [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
+  }
+
+  /// Blocks until at least one item is available (or end-of-stream), then
+  /// drains up to `max_items` queued items into `*out` under one lock
+  /// acquisition. Returns the number of items appended; 0 only at
+  /// end-of-stream.
+  size_t PopAll(std::vector<T>* out,
+                size_t max_items = std::numeric_limits<size_t>::max()) {
+    size_t popped = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return 0;
+      popped = std::min(items_.size(), max_items);
+      out->reserve(out->size() + popped);
+      for (size_t i = 0; i < popped; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (popped == 1) {
+      not_full_.notify_one();
+    } else {
+      not_full_.notify_all();
+    }
+    return popped;
   }
 
   /// Marks the stream finished. Producers fail fast; consumers drain whatever
   /// is queued and then observe end-of-stream.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
     not_empty_.notify_all();
     not_full_.notify_all();
   }

@@ -80,14 +80,107 @@ LId LogMaintainer::FirstUnfilledGlobalLocked() const {
   return kInvalidLId;
 }
 
-Result<LId> LogMaintainer::AppendLocked(const LogRecord& record) {
-  CHARIOTS_ASSIGN_OR_RETURN(LId lid, NextAssignableGlobalLocked());
-  SlotRef ref = journal_.SlotFor(lid);
-  CHARIOTS_RETURN_IF_ERROR(store_.Append(lid, EncodeLogRecord(record)));
-  assign_next_[ref.epoch_index] = ref.slot + 1;
-  MarkFilledLocked(ref);
+Result<LogMaintainer::AssignRun> LogMaintainer::NextAssignableRunLocked(
+    uint64_t max_records) const {
+  for (size_t e = 0; e < journal_.num_epochs(); ++e) {
+    uint64_t slots = journal_.SlotCount(options_.index, e);
+    if (assign_next_[e] >= slots) continue;  // exhausted or not a member
+    uint64_t slot = assign_next_[e];
+    Result<LId> global = journal_.GlobalFor(options_.index, SlotRef{e, slot});
+    if (!global.ok()) continue;
+    // LIds are consecutive only within one stripe batch of the epoch, so
+    // clip the run at the stripe-batch boundary and the epoch's slot count.
+    uint64_t batch = journal_.epochs()[e].batch_size;
+    uint64_t run = std::min(max_records, batch - slot % batch);
+    run = std::min(run, slots - slot);
+    return AssignRun{*global, run, e, slot};
+  }
+  return Status::ResourceExhausted(
+      "maintainer owns no further positions in the current striping");
+}
+
+Status LogMaintainer::AppendBatchLocked(const LogRecord* records, size_t n,
+                                        std::vector<LId>* lids) {
+  lids->clear();
+  lids->reserve(n);
+
+  // Reserve runs of consecutive slots covering the whole batch, advancing
+  // the assignment cursor as we go so successive runs don't overlap.
+  std::vector<AssignRun> runs;
+  while (lids->size() < n) {
+    Result<AssignRun> run = NextAssignableRunLocked(n - lids->size());
+    if (!run.ok()) {
+      for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+        assign_next_[it->epoch_index] = it->first_slot;
+      }
+      lids->clear();
+      return run.status();
+    }
+    assign_next_[run->epoch_index] = run->first_slot + run->count;
+    for (uint64_t i = 0; i < run->count; ++i) {
+      lids->push_back(run->start_lid + i);
+    }
+    runs.push_back(*run);
+  }
+
+  // Encode outside the store, persist with one group-commit write. The
+  // reserve is load-bearing: AppendEntry views alias the encoded strings.
+  std::vector<std::string> encoded;
+  encoded.reserve(n);
+  std::vector<storage::AppendEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    encoded.push_back(EncodeLogRecord(records[i]));
+    entries.push_back(storage::AppendEntry{(*lids)[i], encoded.back()});
+  }
+  Status status = store_.AppendBatch(entries);
+  if (!status.ok()) {
+    for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
+      assign_next_[it->epoch_index] = it->first_slot;
+    }
+    lids->clear();
+    return status;
+  }
+
+  for (const AssignRun& run : runs) {
+    for (uint64_t i = 0; i < run.count; ++i) {
+      MarkFilledLocked(SlotRef{run.epoch_index, run.first_slot + i});
+    }
+  }
   gossip_[options_.index] = FirstUnfilledGlobalLocked();
-  return lid;
+  return Status::OK();
+}
+
+Result<LId> LogMaintainer::AppendLocked(const LogRecord& record) {
+  std::vector<LId> lids;
+  CHARIOTS_RETURN_IF_ERROR(AppendBatchLocked(&record, 1, &lids));
+  return lids[0];
+}
+
+Result<std::vector<LId>> LogMaintainer::AppendBatch(
+    std::span<const LogRecord> records) {
+  if (records.empty()) return std::vector<LId>{};
+  std::vector<std::pair<LogRecord, LId>> landed;
+  Result<std::vector<LId>> result = [&]() -> Result<std::vector<LId>> {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<LId> lids;
+    CHARIOTS_RETURN_IF_ERROR(
+        AppendBatchLocked(records.data(), records.size(), &lids));
+    if (observer_) {
+      landed.reserve(records.size());
+      for (size_t i = 0; i < records.size(); ++i) {
+        landed.emplace_back(records[i], lids[i]);
+      }
+    }
+    auto drained = DrainDeferredLocked();
+    landed.insert(landed.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+    return lids;
+  }();
+  if (observer_) {
+    for (auto& [rec, lid] : landed) observer_(rec, lid);
+  }
+  return result;
 }
 
 Result<LId> LogMaintainer::Append(const LogRecord& record) {

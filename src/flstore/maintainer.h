@@ -6,6 +6,7 @@
 #include <functional>
 #include <mutex>
 #include <set>
+#include <span>
 #include <vector>
 
 #include "common/result.h"
@@ -51,7 +52,17 @@ class LogMaintainer {
   Status Open();
 
   /// Post-assignment append: assigns the next free owned position.
+  /// Internally a batch of one — all assignment logic lives in the batch
+  /// path.
   Result<LId> Append(const LogRecord& record);
+
+  /// Batched post-assignment append: takes the lock once, reserves
+  /// contiguous runs of owned slots (a run never crosses a stripe-batch or
+  /// epoch boundary, so LIds within a run are consecutive), persists all
+  /// records with one group-commit store write, and updates fill state and
+  /// gossip once. Returns the assigned LIds in record order. All-or-nothing:
+  /// on failure no record is persisted and no slot stays reserved.
+  Result<std::vector<LId>> AppendBatch(std::span<const LogRecord> records);
 
   /// Explicit-order append (paper §5.4): the record is only assigned a
   /// position strictly greater than `min_lid`. If the next free position is
@@ -119,8 +130,26 @@ class LogMaintainer {
     LId min_lid;
   };
 
+  /// A reserved run of consecutive owned slots (and thus consecutive LIds:
+  /// runs never span a stripe-batch or epoch boundary).
+  struct AssignRun {
+    LId start_lid = kInvalidLId;
+    uint64_t count = 0;
+    size_t epoch_index = 0;
+    uint64_t first_slot = 0;
+  };
+
   // All Locked helpers require mu_ held.
   Result<LId> NextAssignableGlobalLocked() const;
+  /// Next run of up to `max_records` consecutive assignable slots, clipped
+  /// at the current stripe-batch and epoch boundaries. Does not advance the
+  /// assignment cursor.
+  Result<AssignRun> NextAssignableRunLocked(uint64_t max_records) const;
+  /// Shared assignment+persist core: reserves runs covering `n` records,
+  /// group-commits them to the store, marks fill state, and refreshes the
+  /// gossip entry once. Rolls back reservations if the store write fails.
+  Status AppendBatchLocked(const LogRecord* records, size_t n,
+                           std::vector<LId>* lids);
   void RebuildStateLocked();
   Result<LId> AppendLocked(const LogRecord& record);
   void MarkFilledLocked(SlotRef ref);

@@ -87,9 +87,7 @@ FLStoreLoadResult RunFLStoreLoad(const FLStoreLoadOptions& raw_options) {
           raw->overloaded = false;
         }
         raw->service->Acquire(static_cast<double>(batch->size()));
-        for (flstore::LogRecord& record : *batch) {
-          (void)raw->maintainer->Append(record);
-        }
+        (void)raw->maintainer->AppendBatch(*batch);
         appended += batch->size();
         if (measuring.load(std::memory_order_relaxed)) {
           raw->meter->Add(batch->size());

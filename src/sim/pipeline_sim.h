@@ -46,6 +46,11 @@ class SimStage {
   /// a saturated receiver NIC).
   void Submit(SimBatch batch);
 
+  /// Bulk submit: preserves round-robin placement but delivers each
+  /// destination machine's share with one PushAll (one lock, one wakeup)
+  /// instead of one Push per batch. Clears `*batches`.
+  void SubmitAll(std::vector<SimBatch>* batches);
+
   const std::string& name() const { return name_; }
   size_t num_machines() const { return machines_.size(); }
   /// Per-machine average throughput (records/s).

@@ -22,18 +22,39 @@ inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 4 + 8;
 inline constexpr uint8_t kFrameData = 0;
 inline constexpr uint8_t kFrameTombstone = 1;
 
+/// Appends one encoded frame to `*out` without intermediate allocations —
+/// the group-commit path encodes a whole batch into one reusable arena this
+/// way. The CRC is computed over the bytes already in place and patched into
+/// the four-byte slot reserved at the front of the frame.
+inline void AppendFrameTo(std::string* out, uint8_t type, uint64_t lid,
+                          std::string_view payload) {
+  const size_t base = out->size();
+  out->reserve(base + kFrameHeaderBytes + payload.size());
+  out->append(4, '\0');  // CRC slot, patched below.
+  out->push_back(static_cast<char>(type));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((lid >> (8 * i)) & 0xff));
+  }
+  out->append(payload);
+  // Data pointer must be re-read after the appends (they may reallocate).
+  const char* body = out->data() + base + 4;
+  const uint32_t crc =
+      crc32c::Mask(crc32c::Extend(0, body, out->size() - base - 4));
+  char* slot = out->data() + base;
+  for (int i = 0; i < 4; ++i) {
+    slot[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
 inline std::string EncodeFrame(uint8_t type, uint64_t lid,
                                std::string_view payload) {
-  BinaryWriter body;
-  body.PutU8(type);
-  body.PutU32(static_cast<uint32_t>(payload.size()));
-  body.PutU64(lid);
-  body.PutRaw(payload);
-  uint32_t crc = crc32c::Mask(crc32c::Value(body.data()));
-  BinaryWriter frame;
-  frame.PutU32(crc);
-  frame.PutRaw(body.data());
-  return std::move(frame).data();
+  std::string frame;
+  AppendFrameTo(&frame, type, lid, payload);
+  return frame;
 }
 
 /// A parsed frame; `payload` aliases the input buffer.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <unordered_set>
 
 #include "common/codec.h"
 #include "common/crc32c.h"
@@ -12,13 +13,17 @@
 namespace chariots::storage {
 
 namespace {
+using format::AppendFrameTo;
 using format::EncodeFrame;
 using format::kFrameData;
 using format::kFrameHeaderBytes;
 using format::kFrameTombstone;
 }  // namespace
 
-LogStore::LogStore(LogStoreOptions options) : options_(std::move(options)) {}
+LogStore::LogStore(LogStoreOptions options)
+    : options_(std::move(options)),
+      clock_(options_.clock != nullptr ? options_.clock
+                                       : SystemClock::Default()) {}
 
 LogStore::~LogStore() = default;
 
@@ -156,36 +161,106 @@ Status LogStore::RotateIfNeededLocked() {
   return Status::OK();
 }
 
+Status LogStore::MaybeSyncLocked(Segment& seg) {
+  bool want_sync = false;
+  if (options_.mode == SyncMode::kFsyncEach) {
+    want_sync = true;
+  } else {
+    switch (options_.sync_policy) {
+      case SyncPolicy::kEveryBatch:
+        want_sync = true;
+        break;
+      case SyncPolicy::kIntervalNanos: {
+        int64_t now = clock_->NowNanos();
+        want_sync = now - last_sync_nanos_ >= options_.sync_interval_nanos;
+        break;
+      }
+      case SyncPolicy::kNever:
+        break;
+    }
+  }
+  if (!want_sync) return Status::OK();
+  CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+  last_sync_nanos_ = clock_->NowNanos();
+  return Status::OK();
+}
+
 Status LogStore::Append(uint64_t lid, std::string_view payload) {
+  AppendEntry entry{lid, payload};
+  return AppendBatch({&entry, 1});
+}
+
+Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
+  if (entries.empty()) return Status::OK();
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
+
   if (options_.mode == SyncMode::kMemoryOnly) {
-    auto [it, inserted] = mem_.try_emplace(lid, payload);
-    if (!inserted) return Status::AlreadyExists("lid already present");
-    mem_bytes_ += payload.size();
-    ++count_;
-    max_lid_ = std::max(max_lid_, lid);
+    for (const AppendEntry& e : entries) {
+      if (mem_.count(e.lid) != 0) {
+        return Status::AlreadyExists("lid already present");
+      }
+    }
+    if (entries.size() > 1) {
+      std::unordered_set<uint64_t> seen;
+      seen.reserve(entries.size());
+      for (const AppendEntry& e : entries) {
+        if (!seen.insert(e.lid).second) {
+          return Status::AlreadyExists("duplicate lid within batch");
+        }
+      }
+    }
+    for (const AppendEntry& e : entries) {
+      mem_.emplace(e.lid, std::string(e.payload));
+      mem_bytes_ += e.payload.size();
+      ++count_;
+      max_lid_ = std::max(max_lid_, e.lid);
+    }
     return Status::OK();
   }
-  if (index_.count(lid) != 0) {
-    return Status::AlreadyExists("lid already present");
+
+  // Validate the whole batch before writing a single byte, so a rejected
+  // batch leaves the store untouched.
+  for (const AppendEntry& e : entries) {
+    if (index_.count(e.lid) != 0) {
+      return Status::AlreadyExists("lid already present");
+    }
   }
+  if (entries.size() > 1) {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(entries.size());
+    for (const AppendEntry& e : entries) {
+      if (!seen.insert(e.lid).second) {
+        return Status::AlreadyExists("duplicate lid within batch");
+      }
+    }
+  }
+
   CHARIOTS_RETURN_IF_ERROR(RotateIfNeededLocked());
   uint64_t segment_id = segments_.rbegin()->first;
   Segment& seg = segments_.rbegin()->second;
-  uint64_t payload_offset = seg.file.size() + kFrameHeaderBytes;
-  CHARIOTS_RETURN_IF_ERROR(
-      seg.file.Append(EncodeFrame(kFrameData, lid, payload)));
-  if (options_.mode == SyncMode::kFsyncEach) {
-    CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+
+  // Encode every frame into the reusable arena, then issue one write for
+  // the whole batch (group commit).
+  arena_.clear();
+  for (const AppendEntry& e : entries) {
+    AppendFrameTo(&arena_, kFrameData, e.lid, e.payload);
   }
-  index_[lid] =
-      Location{segment_id, payload_offset, static_cast<uint32_t>(payload.size())};
-  seg.min_lid = std::min(seg.min_lid, lid);
-  seg.max_lid = std::max(seg.max_lid, lid);
-  ++seg.records;
-  ++count_;
-  max_lid_ = std::max(max_lid_, lid);
+  uint64_t base = seg.file.size();
+  CHARIOTS_RETURN_IF_ERROR(seg.file.Append(arena_));
+  CHARIOTS_RETURN_IF_ERROR(MaybeSyncLocked(seg));
+
+  uint64_t offset = base;
+  for (const AppendEntry& e : entries) {
+    index_[e.lid] = Location{segment_id, offset + kFrameHeaderBytes,
+                             static_cast<uint32_t>(e.payload.size())};
+    offset += kFrameHeaderBytes + e.payload.size();
+    seg.min_lid = std::min(seg.min_lid, e.lid);
+    seg.max_lid = std::max(seg.max_lid, e.lid);
+    ++seg.records;
+    ++count_;
+    max_lid_ = std::max(max_lid_, e.lid);
+  }
   return Status::OK();
 }
 
@@ -246,7 +321,9 @@ Status LogStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) return Status::OK();
-  return segments_.rbegin()->second.file.Sync();
+  CHARIOTS_RETURN_IF_ERROR(segments_.rbegin()->second.file.Sync());
+  last_sync_nanos_ = clock_->NowNanos();
+  return Status::OK();
 }
 
 Status LogStore::TruncateBelow(uint64_t horizon,

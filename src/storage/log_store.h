@@ -5,11 +5,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/file.h"
@@ -27,12 +29,39 @@ enum class SyncMode {
   kFsyncEach,
 };
 
+/// Group-commit fsync policy, applied per *batch* (a single Append is a
+/// batch of one). Only meaningful for SyncMode::kBuffered; kFsyncEach is
+/// equivalent to kBuffered + kEveryBatch and kept for compatibility.
+enum class SyncPolicy {
+  /// fdatasync once after every batch write (group commit).
+  kEveryBatch,
+  /// fdatasync after a batch only if `sync_interval_nanos` have elapsed
+  /// since the last sync (bounded data loss, amortized fsyncs).
+  kIntervalNanos,
+  /// Never sync implicitly; callers use Sync() on demand.
+  kNever,
+};
+
 struct LogStoreOptions {
   /// Directory for segment files. Required unless mode == kMemoryOnly.
   std::string dir;
   SyncMode mode = SyncMode::kBuffered;
   /// Rotate the active segment once it exceeds this many bytes.
   uint64_t segment_bytes = 64ull << 20;
+  /// When to fsync after a batch append (see SyncPolicy).
+  SyncPolicy sync_policy = SyncPolicy::kNever;
+  /// Minimum nanoseconds between implicit fsyncs under kIntervalNanos.
+  int64_t sync_interval_nanos = 10'000'000;
+  /// Clock used for kIntervalNanos bookkeeping; defaults to the system
+  /// clock. Injectable for deterministic tests.
+  Clock* clock = nullptr;
+};
+
+/// One record of a batched append: position + payload. The payload view must
+/// stay valid for the duration of the AppendBatch call.
+struct AppendEntry {
+  uint64_t lid = 0;
+  std::string_view payload;
 };
 
 /// Persistent map from log position (LId) to record payload, backed by
@@ -65,8 +94,15 @@ class LogStore {
   Status Open();
 
   /// Appends a record at position `lid`. Returns AlreadyExists if that lid
-  /// is present (idempotent-write guard).
+  /// is present (idempotent-write guard). Implemented as AppendBatch of one.
   Status Append(uint64_t lid, std::string_view payload);
+
+  /// Group-commit append: validates every entry (AlreadyExists if any lid is
+  /// present or duplicated within the batch — nothing is written in that
+  /// case), encodes all frames into one reusable arena buffer, issues a
+  /// single file write, and applies the sync policy once for the whole
+  /// batch. Takes the store lock exactly once.
+  Status AppendBatch(std::span<const AppendEntry> entries);
 
   /// Removes the record at `lid` by appending a tombstone frame (the log is
   /// append-only; the data frame stays on disk but is dead after recovery).
@@ -120,9 +156,11 @@ class LogStore {
 
   Status RecoverSegment(uint64_t segment_id, bool is_last);
   Status RotateIfNeededLocked();
+  Status MaybeSyncLocked(Segment& seg);
   std::string SegmentPath(uint64_t segment_id) const;
 
   const LogStoreOptions options_;
+  Clock* const clock_;
 
   mutable std::mutex mu_;
   bool open_ = false;
@@ -133,6 +171,10 @@ class LogStore {
   uint64_t max_lid_ = 0;
   uint64_t count_ = 0;
   uint64_t mem_bytes_ = 0;
+  /// Reusable batch-encoding buffer; cleared (not shrunk) between batches so
+  /// steady-state appends do no allocation. Guarded by mu_.
+  std::string arena_;
+  int64_t last_sync_nanos_ = 0;
 };
 
 }  // namespace chariots::storage

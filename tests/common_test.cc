@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <random>
 #include <thread>
 #include <vector>
 
@@ -201,6 +203,78 @@ TEST(Crc32cTest, DetectsBitFlip) {
   EXPECT_NE(crc32c::Value(data), before);
 }
 
+TEST(Crc32cTest, Rfc3720KnownAnswerVectors) {
+  // RFC 3720 §B.4 test vectors, checked against BOTH implementations so a
+  // hardware/portable divergence cannot hide behind the runtime dispatch.
+  auto check = [](std::string_view data, uint32_t want) {
+    EXPECT_EQ(crc32c::ExtendPortable(0, data.data(), data.size()), want);
+    EXPECT_EQ(crc32c::ExtendHardware(0, data.data(), data.size()), want);
+    EXPECT_EQ(crc32c::Value(data), want);
+  };
+
+  std::string zeros(32, '\0');
+  check(zeros, 0x8a9136aau);
+
+  std::string ones(32, static_cast<char>(0xff));
+  check(ones, 0x62a8ab43u);
+
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  check(ascending, 0x46dd794eu);
+
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) descending[i] = static_cast<char>(31 - i);
+  check(descending, 0x113fdb5cu);
+
+  const uint8_t iscsi_read10[48] = {
+      0x01, 0xc0, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  //
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  //
+      0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x04, 0x00,  //
+      0x00, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x18,  //
+      0x28, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  //
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  check(std::string_view(reinterpret_cast<const char*>(iscsi_read10),
+                         sizeof(iscsi_read10)),
+        0xd9963a56u);
+}
+
+TEST(Crc32cTest, HardwareMatchesPortableOnRandomInputs) {
+  std::mt19937_64 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    // Cover sizes around the word/alignment boundaries both paths special-
+    // case, plus some larger buffers.
+    size_t size = round < 32 ? static_cast<size_t>(round)
+                             : static_cast<size_t>(rng() % 4096);
+    std::string data(size, '\0');
+    for (char& c : data) c = static_cast<char>(rng());
+    // Also vary alignment of the start pointer.
+    size_t shift = rng() % 8;
+    std::string padded(shift, 'x');
+    padded += data;
+    const char* p = padded.data() + shift;
+    uint32_t init = static_cast<uint32_t>(rng());
+    EXPECT_EQ(crc32c::ExtendPortable(init, p, size),
+              crc32c::ExtendHardware(init, p, size))
+        << "size=" << size << " shift=" << shift;
+  }
+}
+
+TEST(Crc32cTest, ExtendChunkingEquivalence) {
+  std::mt19937_64 rng(7);
+  std::string data(2048, '\0');
+  for (char& c : data) c = static_cast<char>(rng());
+  uint32_t whole = crc32c::Value(data);
+  for (size_t chunk : {1ul, 3ul, 7ul, 8ul, 64ul, 1000ul}) {
+    uint32_t crc = 0;
+    for (size_t off = 0; off < data.size(); off += chunk) {
+      crc = crc32c::Extend(crc, data.data() + off,
+                           std::min(chunk, data.size() - off));
+    }
+    EXPECT_EQ(crc, whole) << "chunk=" << chunk;
+  }
+}
+
 // ------------------------------------------------------------------ Clock
 
 TEST(ClockTest, SystemClockAdvances) {
@@ -306,6 +380,101 @@ TEST(BoundedQueueTest, PopForTimesOut) {
   auto elapsed = std::chrono::steady_clock::now() - start;
   EXPECT_GE(elapsed, std::chrono::milliseconds(15));
   EXPECT_FALSE(q.closed());
+}
+
+TEST(BoundedQueueTest, PushAllPopAllRoundTrip) {
+  BoundedQueue<int> q(16);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(q.PushAll(&in));
+  EXPECT_TRUE(in.empty());
+  EXPECT_EQ(q.size(), 5u);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopAll(&out), 5u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueueTest, PopAllRespectsMaxItems) {
+  BoundedQueue<int> q(16);
+  std::vector<int> in = {1, 2, 3, 4, 5};
+  EXPECT_TRUE(q.PushAll(&in));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopAll(&out, 2), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.PopAll(&out, 10), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BoundedQueueTest, PushAllLargerThanCapacityChunksWithBackpressure) {
+  BoundedQueue<int> q(4);
+  std::vector<int> in(100);
+  for (int i = 0; i < 100; ++i) in[i] = i;
+  std::vector<int> out;
+  std::thread consumer([&] {
+    std::vector<int> got;
+    while (q.PopAll(&got) > 0) {
+    }
+    out = std::move(got);
+  });
+  EXPECT_TRUE(q.PushAll(&in));  // must chunk: 100 items through capacity 4
+  q.Close();
+  consumer.join();
+  ASSERT_EQ(out.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+}
+
+TEST(BoundedQueueTest, PushAllFailsAfterClose) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  std::vector<int> in = {1, 2};
+  EXPECT_FALSE(q.PushAll(&in));
+  EXPECT_EQ(in.size(), 2u);  // nothing admitted, nothing lost
+}
+
+TEST(BoundedQueueTest, PopAllReturnsZeroAtEndOfStream) {
+  BoundedQueue<int> q(4);
+  q.Push(7);
+  q.Close();
+  std::vector<int> out;
+  EXPECT_EQ(q.PopAll(&out), 1u);
+  EXPECT_EQ(q.PopAll(&out), 0u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(BoundedQueueTest, BulkOpsConcurrentStress) {
+  BoundedQueue<int> q(8);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      std::vector<int> batch;
+      for (int i = 0; i < kPerProducer; i += 50) {
+        batch.clear();
+        for (int j = 0; j < 50; ++j) batch.push_back(p * kPerProducer + i + j);
+        ASSERT_TRUE(q.PushAll(&batch));
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 2; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<int> got;
+      while (q.PopAll(&got) > 0) {
+        for (int v : got) sum.fetch_add(v, std::memory_order_relaxed);
+        popped.fetch_add(static_cast<int>(got.size()),
+                         std::memory_order_relaxed);
+        got.clear();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  long long n = static_cast<long long>(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
 }
 
 // ------------------------------------------------------------- ThreadPool

@@ -42,6 +42,83 @@ TEST(MaintainerTest, PostAssignmentWalksOwnedRanges) {
   EXPECT_EQ(got, (std::vector<LId>{4, 5, 6, 7, 16, 17}));
 }
 
+TEST(MaintainerTest, AppendBatchEqualsSingles) {
+  // Twin maintainers, identical striping (owner 1 of 2, stripe batch 3):
+  // the batch path must assign the exact LIds the single path assigns, even
+  // when the batch spans several stripe-batch runs.
+  LogMaintainer batched(MemOptions(1, 2, 3));
+  LogMaintainer singly(MemOptions(1, 2, 3));
+  ASSERT_TRUE(batched.Open().ok());
+  ASSERT_TRUE(singly.Open().ok());
+
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 10; ++i) records.push_back(Rec("r" + std::to_string(i)));
+
+  auto batch_lids = batched.AppendBatch(records);
+  ASSERT_TRUE(batch_lids.ok());
+  ASSERT_EQ(batch_lids->size(), 10u);
+
+  std::vector<LId> single_lids;
+  for (const LogRecord& r : records) {
+    auto lid = singly.Append(r);
+    ASSERT_TRUE(lid.ok());
+    single_lids.push_back(*lid);
+  }
+  EXPECT_EQ(*batch_lids, single_lids);
+  EXPECT_EQ(batched.FirstUnfilledGlobal(), singly.FirstUnfilledGlobal());
+  EXPECT_EQ(batched.StoredLids(), singly.StoredLids());
+  for (size_t i = 0; i < records.size(); ++i) {
+    auto read = batched.Read((*batch_lids)[i]);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(read->body, records[i].body);
+  }
+}
+
+TEST(MaintainerTest, AppendBatchNotifiesObserverInOrder) {
+  LogMaintainer m(MemOptions(0, 3, 4));
+  ASSERT_TRUE(m.Open().ok());
+  std::vector<std::pair<std::string, LId>> seen;
+  m.SetAppendObserver([&](const LogRecord& r, LId lid) {
+    seen.emplace_back(r.body, lid);
+  });
+  std::vector<LogRecord> records = {Rec("a"), Rec("b"), Rec("c"), Rec("d"),
+                                    Rec("e")};
+  auto lids = m.AppendBatch(records);
+  ASSERT_TRUE(lids.ok());
+  ASSERT_EQ(seen.size(), 5u);
+  for (size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].first, records[i].body);
+    EXPECT_EQ(seen[i].second, (*lids)[i]);
+  }
+}
+
+TEST(MaintainerTest, AppendBatchDrainsDeferredOrderedAppends) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  std::vector<LId> landed;
+  m.SetAppendObserver([&](const LogRecord&, LId lid) { landed.push_back(lid); });
+  // Deferred: next assignable is 0, which is not > 2.
+  auto deferred = m.AppendOrdered(Rec("late"), 2);
+  ASSERT_TRUE(deferred.ok());
+  EXPECT_EQ(*deferred, kInvalidLId);
+  EXPECT_EQ(m.deferred_ordered(), 1u);
+  // A batch of three advances the cursor to 3 > 2; the deferred record
+  // lands right after the batch.
+  std::vector<LogRecord> records = {Rec("a"), Rec("b"), Rec("c")};
+  ASSERT_TRUE(m.AppendBatch(records).ok());
+  EXPECT_EQ(m.deferred_ordered(), 0u);
+  EXPECT_EQ(landed, (std::vector<LId>{0, 1, 2, 3}));
+}
+
+TEST(MaintainerTest, EmptyAppendBatchIsNoop) {
+  LogMaintainer m(MemOptions(0, 1, 10));
+  ASSERT_TRUE(m.Open().ok());
+  auto lids = m.AppendBatch({});
+  ASSERT_TRUE(lids.ok());
+  EXPECT_TRUE(lids->empty());
+  EXPECT_EQ(m.count(), 0u);
+}
+
 TEST(MaintainerTest, MaintainerZeroStartsAtZero) {
   LogMaintainer m(MemOptions(0, 3, 2));
   ASSERT_TRUE(m.Open().ok());

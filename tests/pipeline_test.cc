@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <map>
-#include <set>
-
 #include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "chariots/batcher.h"
 #include "chariots/fabric.h"
@@ -147,6 +150,47 @@ TEST(BatcherTest, RoutesByChampion) {
   batcher.Submit(Rec(0, 2));
   EXPECT_EQ(by_filter[0].size(), 2u);
   EXPECT_EQ(by_filter[1].size(), 1u);
+}
+
+TEST(BatcherTest, ConcurrentSubmitAndFlushAllDeliverExactlyOnce) {
+  // Regression for Submit flushing at most one filter per call: under a
+  // FlushAll race several buffers can sit at/over threshold; Submit now
+  // loops flushing every over-threshold buffer. Whatever the interleaving,
+  // each record must be delivered exactly once.
+  FilterMap map(4, 4);
+  std::mutex mu;
+  std::map<std::pair<uint32_t, TOId>, int> seen;
+  std::atomic<uint64_t> delivered{0};
+  Batcher batcher(&map, 8, 1'000'000'000,
+                  [&](uint32_t, std::vector<GeoRecord> b) {
+                    std::lock_guard<std::mutex> lock(mu);
+                    for (auto& r : b) ++seen[{r.host, r.toid}];
+                    delivered += b.size();
+                  });
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 3000;
+  std::atomic<bool> stop{false};
+  std::thread flusher([&] {
+    while (!stop.load(std::memory_order_relaxed)) batcher.FlushAll();
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (TOId t = 1; t <= kPerProducer; ++t) {
+        batcher.Submit(Rec(static_cast<DatacenterId>(p), t));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  stop.store(true);
+  flusher.join();
+  batcher.FlushAll();
+  EXPECT_EQ(batcher.records_in(), uint64_t{kProducers} * kPerProducer);
+  EXPECT_EQ(delivered.load(), uint64_t{kProducers} * kPerProducer);
+  EXPECT_EQ(seen.size(), size_t{kProducers} * kPerProducer);
+  for (const auto& [key, count] : seen) {
+    ASSERT_EQ(count, 1) << "host " << key.first << " toid " << key.second;
+  }
 }
 
 // ------------------------------------------------------------------- Filter

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "chariots/client.h"
 #include "chariots/datacenter.h"
@@ -81,6 +82,46 @@ TEST_F(TombstoneTest, MemoryOnlyRemove) {
   ASSERT_TRUE(store.Append(5, "x").ok());
   ASSERT_TRUE(store.Remove(5).ok());
   EXPECT_FALSE(store.Contains(5));
+}
+
+TEST_F(TombstoneTest, TornFinalFrameMidBatchRecovers) {
+  // A crash can tear the tail of a group-commit write: the batch's earlier
+  // frames are fully on disk, the final frame is cut mid-payload. Recovery
+  // must keep every complete frame and truncate only the torn tail.
+  std::vector<storage::AppendEntry> entries;
+  std::vector<std::string> payloads;
+  for (uint64_t lid = 0; lid < 8; ++lid) {
+    payloads.push_back("batch-record-" + std::to_string(lid) +
+                       std::string(100, 'x'));
+  }
+  for (uint64_t lid = 0; lid < 8; ++lid) {
+    entries.push_back({lid, payloads[lid]});
+  }
+  fs::path seg_path;
+  {
+    storage::LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.AppendBatch(entries).ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  for (const auto& e : fs::directory_iterator(dir_)) seg_path = e.path();
+  ASSERT_FALSE(seg_path.empty());
+  // Chop the last 40 bytes: rips into record 7's payload.
+  uint64_t size = fs::file_size(seg_path);
+  fs::resize_file(seg_path, size - 40);
+
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 7u);
+  for (uint64_t lid = 0; lid < 7; ++lid) {
+    auto r = store.Get(lid);
+    ASSERT_TRUE(r.ok()) << lid;
+    EXPECT_EQ(*r, payloads[lid]);
+  }
+  EXPECT_TRUE(store.Get(7).status().IsNotFound());
+  // The truncated position is writable again.
+  ASSERT_TRUE(store.Append(7, "rewritten").ok());
+  EXPECT_EQ(*store.Get(7), "rewritten");
 }
 
 // ------------------------------------------------------ maintainer removal

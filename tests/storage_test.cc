@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
+#include "common/clock.h"
 #include "storage/archive.h"
 #include "storage/log_store.h"
 
@@ -77,6 +79,107 @@ TEST_F(LogStoreTest, DuplicateAppendRejected) {
   ASSERT_TRUE(store.Append(1, "a").ok());
   EXPECT_EQ(store.Append(1, "b").code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(*store.Get(1), "a");
+}
+
+TEST_F(LogStoreTest, AppendBatchRoundTripAndRecovery) {
+  std::vector<std::string> payloads;
+  std::vector<AppendEntry> entries;
+  for (uint64_t lid = 0; lid < 64; ++lid) {
+    payloads.push_back("batched-" + std::to_string(lid));
+  }
+  for (uint64_t lid = 0; lid < 64; ++lid) {
+    entries.push_back({lid, payloads[lid]});
+  }
+  {
+    LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.AppendBatch(entries).ok());
+    EXPECT_EQ(store.count(), 64u);
+    for (uint64_t lid = 0; lid < 64; ++lid) {
+      EXPECT_EQ(*store.Get(lid), payloads[lid]) << lid;
+    }
+  }
+  // Reopen: index offsets written by the batch path must survive recovery.
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 64u);
+  for (uint64_t lid = 0; lid < 64; ++lid) {
+    EXPECT_EQ(*store.Get(lid), payloads[lid]) << lid;
+  }
+}
+
+TEST_F(LogStoreTest, AppendBatchRejectsExistingOrDuplicateLidAtomically) {
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(store.Append(5, "five").ok());
+  // Batch containing an existing lid: nothing from the batch is written.
+  std::vector<AppendEntry> overlap = {{4, "a"}, {5, "b"}, {6, "c"}};
+  EXPECT_EQ(store.AppendBatch(overlap).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(store.Contains(4));
+  EXPECT_FALSE(store.Contains(6));
+  EXPECT_EQ(*store.Get(5), "five");
+  // Batch with an internal duplicate: also rejected whole.
+  std::vector<AppendEntry> dup = {{7, "a"}, {8, "b"}, {7, "c"}};
+  EXPECT_EQ(store.AppendBatch(dup).code(), StatusCode::kAlreadyExists);
+  EXPECT_FALSE(store.Contains(7));
+  EXPECT_FALSE(store.Contains(8));
+  EXPECT_EQ(store.count(), 1u);
+}
+
+TEST_F(LogStoreTest, BatchEqualsSinglesOnDisk) {
+  std::string payload(64, 'p');
+  auto dir2 = dir_;
+  dir2 += "_singles";
+  LogStoreOptions o2;
+  o2.dir = dir2.string();
+  LogStore batched(Options());
+  LogStore singles(o2);
+  ASSERT_TRUE(batched.Open().ok());
+  ASSERT_TRUE(singles.Open().ok());
+  std::vector<AppendEntry> entries;
+  for (uint64_t lid = 0; lid < 10; ++lid) entries.push_back({lid, payload});
+  ASSERT_TRUE(batched.AppendBatch(entries).ok());
+  for (uint64_t lid = 0; lid < 10; ++lid) {
+    ASSERT_TRUE(singles.Append(lid, payload).ok());
+  }
+  EXPECT_EQ(batched.SizeBytes(), singles.SizeBytes());
+  EXPECT_EQ(batched.ListLids(), singles.ListLids());
+  std::filesystem::remove_all(dir2);
+}
+
+TEST_F(LogStoreTest, SyncPolicyIntervalNanosUsesClock) {
+  ManualClock clock(0);
+  LogStoreOptions o = Options();
+  o.sync_policy = SyncPolicy::kIntervalNanos;
+  o.sync_interval_nanos = 1'000'000;
+  o.clock = &clock;
+  LogStore store(o);
+  ASSERT_TRUE(store.Open().ok());
+  // First batch: interval elapsed since epoch 0... set clock so it hasn't.
+  clock.Set(1);
+  ASSERT_TRUE(store.Append(0, "a").ok());  // 1 - 0 < interval: no sync
+  clock.Set(2'000'000);
+  ASSERT_TRUE(store.Append(1, "b").ok());  // interval elapsed: syncs
+  ASSERT_TRUE(store.Append(2, "c").ok());  // just synced: no sync
+  clock.Set(4'000'000);
+  std::vector<AppendEntry> batch = {{3, "d"}, {4, "e"}};
+  ASSERT_TRUE(store.AppendBatch(batch).ok());  // one sync for the batch
+  EXPECT_EQ(store.count(), 5u);
+}
+
+TEST_F(LogStoreTest, SyncPolicyEveryBatchSurvivesReopen) {
+  LogStoreOptions o = Options();
+  o.sync_policy = SyncPolicy::kEveryBatch;
+  {
+    LogStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    std::vector<AppendEntry> batch = {{1, "one"}, {2, "two"}};
+    ASSERT_TRUE(store.AppendBatch(batch).ok());
+  }
+  LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(*store.Get(2), "two");
 }
 
 TEST_F(LogStoreTest, OperationsBeforeOpenFail) {

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 tests under a sanitizer (default: thread).
+#
+#   tools/run_tsan_tests.sh              # TSan, all tests
+#   tools/run_tsan_tests.sh address      # ASan, all tests
+#   tools/run_tsan_tests.sh thread common_test maintainer_test
+#
+# Uses a separate build dir (build-<sanitizer>) so the regular build is
+# untouched.
+set -euo pipefail
+
+SANITIZER="${1:-thread}"
+shift || true
+
+case "$SANITIZER" in
+  thread|address) ;;
+  *)
+    echo "usage: $0 [thread|address] [test-name ...]" >&2
+    exit 2
+    ;;
+esac
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build-$SANITIZER"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCHARIOTS_SANITIZE="$SANITIZER" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+if [ "$#" -gt 0 ]; then
+  cmake --build "$BUILD_DIR" -j --target "$@"
+  cd "$BUILD_DIR"
+  for t in "$@"; do
+    echo "=== $t ($SANITIZER) ==="
+    "./tests/$t"
+  done
+else
+  cmake --build "$BUILD_DIR" -j
+  cd "$BUILD_DIR"
+  ctest --output-on-failure -j
+fi
