@@ -41,6 +41,16 @@ struct ChariotsConfig {
   /// Sender batch size (records per replication message) and resend timer.
   size_t sender_batch_records = 256;
   int64_t sender_resend_nanos = 50'000'000;  // 50 ms
+  /// Cap for the sender's exponential retransmit backoff (the interval
+  /// doubles from sender_resend_nanos on every ack stall, resets on
+  /// progress).
+  int64_t sender_resend_max_nanos = 1'000'000'000;  // 1 s
+
+  /// Admission bound for the pipeline: once this many records sit in the
+  /// queues stage awaiting LId assignment, remote records are shed (the
+  /// sender retransmits them) and TryAppend refuses with kUnavailable.
+  /// Bounds memory during a partition instead of buffering without limit.
+  size_t max_pipeline_pending = 1 << 16;
 
   /// Garbage collection sweep interval; <= 0 disables the GC thread
   /// (the user may keep the log forever — paper §6.1).

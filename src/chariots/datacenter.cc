@@ -135,8 +135,14 @@ Status Datacenter::Start() {
   // Replication: receiver first, then senders (sharded by destination).
   if (config_.num_datacenters > 1) {
     receiver_ = std::make_unique<Receiver>(
-        config_.dc_id, &atable_,
-        [this](GeoRecord r) { SubmitToBatcher(std::move(r)); });
+        config_.dc_id, &atable_, [this](GeoRecord r) {
+          // Shed remote records while congested (a partitioned or slow
+          // peer's backlog must not grow the queues without bound): the
+          // origin's sender retransmits them once we make progress.
+          if (Congested()) return false;
+          SubmitToBatcher(std::move(r));
+          return true;
+        });
     CHARIOTS_RETURN_IF_ERROR(fabric_->RegisterReceiver(
         config_.dc_id, [this](DatacenterId from, std::string payload) {
           receiver_->OnMessage(from, std::move(payload));
@@ -154,6 +160,7 @@ Status Datacenter::Start() {
     Sender::Options so;
     so.batch_records = config_.sender_batch_records;
     so.resend_nanos = config_.sender_resend_nanos;
+    so.resend_max_nanos = config_.sender_resend_max_nanos;
     for (auto& shard : shards) {
       if (shard.empty()) continue;
       senders_.push_back(std::make_unique<Sender>(
@@ -357,6 +364,7 @@ void Datacenter::TokenLoop() {
       appended += queues_[q]->ProcessToken(&token_);
       head_lid_.store(token_.next_lid, std::memory_order_release);
     }
+    token_deferred_.store(token_.deferred.size(), std::memory_order_relaxed);
     if (appended == 0) {
       if (!running_.load(std::memory_order_relaxed)) {
         // Drain check: stop once no queue has pending input. Records still
@@ -416,6 +424,20 @@ void Datacenter::SubmitToBatcher(GeoRecord record) {
   batchers_[i % n]->Submit(std::move(record));
 }
 
+size_t Datacenter::PipelinePending() const {
+  // Backlog lives in two places: the queues' own buffers, and records the
+  // token deferred because their causal dependencies are not satisfied yet
+  // (during a partition that is where the pile-up happens).
+  size_t pending = token_deferred_.load(std::memory_order_relaxed);
+  size_t n = queue_count_.load(std::memory_order_acquire);
+  for (size_t q = 0; q < n; ++q) pending += queues_[q]->pending();
+  return pending;
+}
+
+bool Datacenter::Congested() const {
+  return PipelinePending() > config_.max_pipeline_pending;
+}
+
 TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
                         DepVector deps,
                         std::function<void(TOId, flstore::LId)> on_committed) {
@@ -430,6 +452,19 @@ TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
   TOId toid = record.toid;
   SubmitToBatcher(std::move(record));
   return toid;
+}
+
+Result<TOId> Datacenter::TryAppend(
+    std::string body, std::vector<flstore::Tag> tags, DepVector deps,
+    std::function<void(TOId, flstore::LId)> on_committed) {
+  // Check admission before consuming a TOId: a refused append must leave no
+  // trace, or the TOId sequence would grow holes that never fill.
+  if (Congested()) {
+    appends_refused_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("pipeline congested; retry with backoff");
+  }
+  return Append(std::move(body), std::move(tags), std::move(deps),
+                std::move(on_committed));
 }
 
 Result<GeoRecord> Datacenter::Read(flstore::LId lid) const {
@@ -514,10 +549,14 @@ Datacenter::Stats Datacenter::GetStats() const {
   for (const auto& s : senders_) {
     stats.records_sent += s->records_sent();
     stats.batches_sent += s->batches_sent();
+    stats.sender_rewinds += s->rewinds();
   }
   if (receiver_ != nullptr) {
     stats.records_received = receiver_->records_received();
+    stats.records_deduped = receiver_->records_deduped();
+    stats.records_shed = receiver_->records_shed();
   }
+  stats.appends_refused = appends_refused_.load(std::memory_order_relaxed);
   stats.index_postings = indexer_.posting_count();
   stats.head_lid = HeadLid();
   stats.gc_horizon = gc_horizon_.load();
@@ -545,7 +584,11 @@ std::string Datacenter::DebugString() const {
   row("queue_duplicates", s.queue_duplicates);
   row("records_sent", s.records_sent);
   row("batches_sent", s.batches_sent);
+  row("sender_rewinds", s.sender_rewinds);
   row("records_received", s.records_received);
+  row("records_deduped", s.records_deduped);
+  row("records_shed", s.records_shed);
+  row("appends_refused", s.appends_refused);
   row("index_postings", s.index_postings);
   row("head_lid", s.head_lid);
   row("gc_horizon", s.gc_horizon);

@@ -57,6 +57,16 @@ class Datacenter {
               DepVector deps,
               std::function<void(TOId, flstore::LId)> on_committed = {});
 
+  /// Admission-controlled Append: refuses with kUnavailable — without
+  /// consuming a TOId — when the pipeline is congested past
+  /// config.max_pipeline_pending (e.g. queue backlog piling up behind a
+  /// partition). kUnavailable is retryable: the caller backs off and tries
+  /// again; nothing was accepted.
+  Result<TOId> TryAppend(std::string body, std::vector<flstore::Tag> tags,
+                         DepVector deps,
+                         std::function<void(TOId, flstore::LId)> on_committed =
+                             {});
+
   /// Reads the record at local position `lid`. NotFound below the GC
   /// horizon or above the filled prefix.
   Result<GeoRecord> Read(flstore::LId lid) const;
@@ -105,7 +115,11 @@ class Datacenter {
     uint64_t queue_duplicates = 0;
     uint64_t records_sent = 0;
     uint64_t batches_sent = 0;
+    uint64_t sender_rewinds = 0;
     uint64_t records_received = 0;
+    uint64_t records_deduped = 0;
+    uint64_t records_shed = 0;
+    uint64_t appends_refused = 0;
     uint64_t index_postings = 0;
     flstore::LId head_lid = 0;
     flstore::LId gc_horizon = 0;
@@ -167,6 +181,9 @@ class Datacenter {
   void GcLoop();
   void RouteToMaintainer(uint32_t maintainer_index, GeoRecord record);
   void SubmitToBatcher(GeoRecord record);
+  /// Records buffered in the queues stage awaiting assignment.
+  size_t PipelinePending() const;
+  bool Congested() const;
 
   ChariotsConfig config_;
   ReplicationFabric* const fabric_;
@@ -220,6 +237,10 @@ class Datacenter {
 
   std::vector<std::function<void(const GeoRecord&)>> subscribers_;
   std::atomic<TOId> next_toid_{0};
+  std::atomic<uint64_t> appends_refused_{0};
+  /// Deferred-record count inside the token, mirrored after each
+  /// circulation so admission control can read it off-thread.
+  std::atomic<size_t> token_deferred_{0};
   std::atomic<flstore::LId> head_lid_{0};
   std::atomic<flstore::LId> gc_horizon_{0};
   std::atomic<uint64_t> incorporated_{0};

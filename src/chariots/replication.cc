@@ -90,7 +90,8 @@ Sender::Sender(DatacenterId self, std::vector<DatacenterId> destinations,
       options_(options),
       clock_(clock) {
   for (DatacenterId dc : destinations) {
-    dests_.push_back(DestState{dc, 0, 0, 0});
+    dests_.push_back(
+        DestState{dc, 0, 0, 0, 0, options_.resend_nanos});
   }
 }
 
@@ -122,12 +123,23 @@ size_t Sender::Tick() {
   for (DestState& dest : dests_) {
     // The peer's awareness of us doubles as the acknowledgement.
     TOId acked = atable_->Get(dest.dc, self_);
+    if (acked > dest.acked) {
+      // Ack progress: the destination is alive and absorbing — retransmit
+      // eagerly again.
+      dest.acked = acked;
+      dest.resend_interval_nanos = options_.resend_nanos;
+    }
     if (acked > dest.sent_upto) dest.sent_upto = acked;
-    // No ack progress for a while: rewind and retransmit (the filters at
-    // the destination absorb duplicates).
+    // No ack progress for the current backoff interval: rewind and
+    // retransmit (the receiver and filters at the destination absorb
+    // duplicates), then back the interval off exponentially so a dead or
+    // partitioned peer is probed, not flooded.
     if (acked < dest.sent_upto &&
-        now - dest.last_send_nanos > options_.resend_nanos) {
+        now - dest.last_send_nanos > dest.resend_interval_nanos) {
       dest.sent_upto = acked;
+      dest.resend_interval_nanos = std::min(dest.resend_interval_nanos * 2,
+                                            options_.resend_max_nanos);
+      rewinds_.fetch_add(1, std::memory_order_relaxed);
     }
 
     TOId max = buffer_->max_toid();
@@ -194,7 +206,18 @@ void Receiver::OnMessage(DatacenterId from, std::string payload) {
       continue;
     }
     records_received_.fetch_add(1, std::memory_order_relaxed);
-    submit_(std::move(record).value());
+    // Knowledge-vector dedup: row self only advances when a record is
+    // incorporated into the local log, so anything at or below it is a
+    // retransmitted duplicate — drop it before it costs pipeline work.
+    if (atable_->Get(self_, record->host) >= record->toid) {
+      records_deduped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!submit_(std::move(record).value())) {
+      // Pipeline congested: shed. The sender's rewind re-ships this record
+      // once the backlog (and our awareness row) stops advancing.
+      records_shed_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 

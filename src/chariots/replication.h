@@ -78,6 +78,11 @@ class Sender {
     size_t batch_records = 256;
     int64_t tick_nanos = 1'000'000;         ///< send-loop cadence (1 ms)
     int64_t resend_nanos = 50'000'000;      ///< rewind if unacked (50 ms)
+    /// Each consecutive rewind without ack progress doubles the rewind
+    /// interval up to this cap; progress resets it to resend_nanos. Keeps a
+    /// partitioned destination from being blasted with the same batch.
+    /// (resend_nanos == 0 disables backoff: rewind on every tick.)
+    int64_t resend_max_nanos = 1'000'000'000;
     int64_t heartbeat_nanos = 10'000'000;   ///< ATable-only message (10 ms)
   };
 
@@ -96,13 +101,17 @@ class Sender {
 
   uint64_t records_sent() const { return records_sent_.load(); }
   uint64_t batches_sent() const { return batches_sent_.load(); }
+  /// Retransmission rewinds performed (ack stalls detected).
+  uint64_t rewinds() const { return rewinds_.load(); }
 
  private:
   struct DestState {
     DatacenterId dc;
+    TOId acked = 0;              // peer's awareness of us, last observed
     TOId sent_upto = 0;          // optimistic high-water mark
     int64_t last_send_nanos = 0;
     int64_t last_heartbeat_nanos = 0;
+    int64_t resend_interval_nanos = 0;  // current backoff (0 = base)
   };
 
   void Loop();
@@ -120,14 +129,25 @@ class Sender {
   std::thread thread_;
   std::atomic<uint64_t> records_sent_{0};
   std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> rewinds_{0};
 };
 
 /// The receiving half: decodes replication batches from peers, merges the
 /// awareness table, and hands records to the local pipeline (batchers
-/// stage). Duplicate deliveries are fine — the filters drop them.
+/// stage).
+///
+/// Two duplicate/overload defenses before the pipeline sees a record:
+///  * records the local knowledge vector already covers (retransmitted
+///    after the ack was lost) are dropped here — no pipeline work at all;
+///    in-flight duplicates deeper in still get dropped by the filters;
+///  * the submit callback may *refuse* a record (return false) when the
+///    pipeline is congested. Shedding is safe precisely because the sender
+///    retransmits everything un-acked — awareness only advances on
+///    incorporation, so a shed record is delivered again later.
 class Receiver {
  public:
-  using SubmitFn = std::function<void(GeoRecord)>;
+  /// Returns false to shed the record (congestion); true if accepted.
+  using SubmitFn = std::function<bool(GeoRecord)>;
 
   Receiver(DatacenterId self, AwarenessTable* atable, SubmitFn submit);
 
@@ -136,6 +156,10 @@ class Receiver {
 
   uint64_t records_received() const { return records_received_.load(); }
   uint64_t batches_received() const { return batches_received_.load(); }
+  /// Records dropped because the knowledge vector already covered them.
+  uint64_t records_deduped() const { return records_deduped_.load(); }
+  /// Records refused by the pipeline under congestion.
+  uint64_t records_shed() const { return records_shed_.load(); }
 
  private:
   const DatacenterId self_;
@@ -143,6 +167,8 @@ class Receiver {
   SubmitFn submit_;
   std::atomic<uint64_t> records_received_{0};
   std::atomic<uint64_t> batches_received_{0};
+  std::atomic<uint64_t> records_deduped_{0};
+  std::atomic<uint64_t> records_shed_{0};
 };
 
 }  // namespace chariots::geo

@@ -1,0 +1,107 @@
+#ifndef CHARIOTS_COMMON_RETRY_H_
+#define CHARIOTS_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace chariots {
+
+/// Jittered-exponential-backoff parameters shared by every retry loop in the
+/// system (RPC channel, FLStore client, geo senders). All durations are
+/// nanoseconds.
+struct BackoffPolicy {
+  /// Delay before the first retry.
+  int64_t initial_nanos = 1'000'000;  // 1 ms
+  /// Ceiling the exponential growth saturates at.
+  int64_t max_nanos = 200'000'000;  // 200 ms
+  /// Growth factor per attempt.
+  double multiplier = 2.0;
+  /// Uniform jitter fraction: each delay is scaled by a factor drawn from
+  /// [1 - jitter, 1 + jitter] so synchronized retriers decorrelate. 0
+  /// disables jitter (fully deterministic backoff).
+  double jitter = 0.2;
+};
+
+/// One retry loop's backoff state. Seeded, so a run's exact delay sequence
+/// is reproducible; give each call site its own instance (not thread-safe).
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = BackoffPolicy{}, uint64_t seed = 1)
+      : policy_(policy), rng_(seed), next_nanos_(policy.initial_nanos) {}
+
+  /// Delay to sleep before the next attempt; advances the exponential state.
+  int64_t NextDelayNanos() {
+    int64_t base = next_nanos_;
+    double grown = static_cast<double>(base) * policy_.multiplier;
+    next_nanos_ = grown >= static_cast<double>(policy_.max_nanos)
+                      ? policy_.max_nanos
+                      : static_cast<int64_t>(grown);
+    ++attempts_;
+    if (policy_.jitter <= 0) return base;
+    double scale = 1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    int64_t jittered = static_cast<int64_t>(static_cast<double>(base) * scale);
+    return jittered > 0 ? jittered : 1;
+  }
+
+  /// Rewinds to the initial delay (call after a success so the next failure
+  /// burst starts gentle again). The jitter stream is not rewound.
+  void Reset() {
+    next_nanos_ = policy_.initial_nanos;
+    attempts_ = 0;
+  }
+
+  /// Retries handed out since construction or the last Reset().
+  uint32_t attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  Random rng_;
+  int64_t next_nanos_;
+  uint32_t attempts_ = 0;
+};
+
+/// An absolute point on a Clock by which an operation must finish. Threaded
+/// through call options so one budget covers a whole retry loop rather than
+/// each attempt getting a fresh timeout. Default-constructed deadlines are
+/// infinite. Copyable value type; the referenced clock must outlive it.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  Deadline() = default;
+
+  /// Expires `nanos` from now on `clock`.
+  static Deadline After(int64_t nanos, const Clock* clock) {
+    Deadline d;
+    d.clock_ = clock;
+    d.at_nanos_ = clock->NowNanos() + nanos;
+    return d;
+  }
+
+  bool IsInfinite() const { return clock_ == nullptr; }
+
+  /// Nanoseconds left (clamped at 0); int64 max when infinite.
+  int64_t RemainingNanos() const {
+    if (IsInfinite()) return std::numeric_limits<int64_t>::max();
+    int64_t left = at_nanos_ - clock_->NowNanos();
+    return left > 0 ? left : 0;
+  }
+
+  bool Expired() const { return !IsInfinite() && RemainingNanos() == 0; }
+
+  /// Status for an operation that ran out of budget at this deadline.
+  static Status ExceededError(const std::string& what) {
+    return Status::TimedOut("deadline exceeded: " + what);
+  }
+
+ private:
+  const Clock* clock_ = nullptr;  // null = infinite
+  int64_t at_nanos_ = 0;
+};
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_RETRY_H_

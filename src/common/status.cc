@@ -36,6 +36,10 @@ std::string_view StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable || code == StatusCode::kTimedOut;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "ok";
   std::string out(StatusCodeName(code_));

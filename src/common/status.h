@@ -31,6 +31,16 @@ enum class StatusCode {
 /// Returns the canonical lowercase name for `code`, e.g. "corruption".
 std::string_view StatusCodeName(StatusCode code);
 
+/// Retryability taxonomy: whether an operation failing with `code` may
+/// succeed if simply repeated against the same endpoint. kUnavailable (the
+/// destination is unreachable, overloaded, or shedding) and kTimedOut (the
+/// deadline passed with no answer — the call may or may not have executed)
+/// are the only transient codes; everything else reports a property of the
+/// request or of durable state and retrying verbatim cannot help. Retried
+/// calls must be idempotent (see net::RetryingChannel and the FLStore
+/// append dedup tokens) because a kTimedOut attempt may have executed.
+bool IsRetryable(StatusCode code);
+
 /// Value-type result of a fallible operation: a code plus an optional
 /// human-readable message. The OK status carries no allocation.
 class Status {
@@ -97,6 +107,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+
+  /// True if the failure is transient (see IsRetryable(StatusCode)).
+  bool IsRetryable() const { return chariots::IsRetryable(code_); }
 
   /// "<code name>: <message>" or "ok".
   std::string ToString() const;

@@ -5,8 +5,18 @@
 namespace chariots::flstore {
 
 FLStoreClient::FLStoreClient(net::Transport* transport, net::NodeId node,
-                             net::NodeId controller)
-    : endpoint_(transport, std::move(node)), controller_(std::move(controller)) {}
+                             net::NodeId controller, ClientOptions options)
+    : endpoint_(transport, std::move(node)),
+      controller_(std::move(controller)),
+      channel_(&endpoint_, options.retry,
+               options.clock != nullptr ? options.clock
+                                        : SystemClock::Default()) {}
+
+void FLStoreClient::PutToken(BinaryWriter* w) {
+  // The endpoint's fabric address is unique, so it doubles as the client id.
+  w->PutBytes(endpoint_.node());
+  w->PutU64(op_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
+}
 
 FLStoreClient::~FLStoreClient() { Stop(); }
 
@@ -30,7 +40,7 @@ void FLStoreClient::Stop() {
 
 Status FLStoreClient::RefreshClusterInfo() {
   CHARIOTS_ASSIGN_OR_RETURN(
-      std::string payload, endpoint_.Call(controller_, kGetClusterInfo, ""));
+      std::string payload, channel_.Call(controller_, kGetClusterInfo, ""));
   CHARIOTS_ASSIGN_OR_RETURN(ClusterInfo info, DecodeClusterInfo(payload));
   std::lock_guard<std::mutex> lock(mu_);
   info_ = std::move(info);
@@ -60,9 +70,14 @@ Result<net::NodeId> FLStoreClient::MaintainerForLId(LId lid) {
 }
 
 Result<LId> FLStoreClient::Append(const LogRecord& record) {
+  BinaryWriter w;
+  PutToken(&w);
+  w.PutBytes(EncodeLogRecord(record));
+  // Pick the maintainer once: retries must hit the same node, whose dedup
+  // window holds this token.
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(MaintainerForAppend(), kAppend, EncodeLogRecord(record)));
+      channel_.Call(MaintainerForAppend(), kAppend, std::move(w).data()));
   BinaryReader r(payload);
   LId lid = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -72,14 +87,15 @@ Result<LId> FLStoreClient::Append(const LogRecord& record) {
 Result<std::vector<LId>> FLStoreClient::AppendBatch(
     const std::vector<LogRecord>& records) {
   BinaryWriter w;
+  PutToken(&w);
   w.PutU32(static_cast<uint32_t>(records.size()));
   for (const LogRecord& record : records) {
     w.PutBytes(EncodeLogRecord(record));
   }
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(MaintainerForAppend(), kAppendBatch,
-                     std::move(w).data()));
+      channel_.Call(MaintainerForAppend(), kAppendBatch,
+                    std::move(w).data()));
   BinaryReader r(payload);
   uint32_t n = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
@@ -93,12 +109,13 @@ Result<std::vector<LId>> FLStoreClient::AppendBatch(
 Result<LId> FLStoreClient::AppendOrdered(const LogRecord& record,
                                          LId min_lid) {
   BinaryWriter w;
+  PutToken(&w);
   w.PutU64(min_lid);
   w.PutBytes(EncodeLogRecord(record));
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(MaintainerForAppend(), kAppendOrdered,
-                     std::move(w).data()));
+      channel_.Call(MaintainerForAppend(), kAppendOrdered,
+                    std::move(w).data()));
   BinaryReader r(payload);
   LId lid = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -110,7 +127,7 @@ Result<LogRecord> FLStoreClient::Read(LId lid) {
   BinaryWriter w;
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(std::string payload,
-                            endpoint_.Call(node, kRead, std::move(w).data()));
+                            channel_.Call(node, kRead, std::move(w).data()));
   return DecodeLogRecord(lid, payload);
 }
 
@@ -120,14 +137,14 @@ Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(node, kReadCommitted, std::move(w).data()));
+      channel_.Call(node, kReadCommitted, std::move(w).data()));
   return DecodeLogRecord(lid, payload);
 }
 
 Result<LId> FLStoreClient::HeadOfLog() {
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(MaintainerForAppend(), kHeadOfLog, ""));
+      channel_.Call(MaintainerForAppend(), kHeadOfLog, ""));
   BinaryReader r(payload);
   LId hl = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));
@@ -146,7 +163,7 @@ Result<std::vector<Posting>> FLStoreClient::Lookup(const IndexQuery& query) {
   }
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(indexer, kIndexLookup, EncodeIndexQuery(query)));
+      channel_.Call(indexer, kIndexLookup, EncodeIndexQuery(query)));
   return DecodePostings(payload);
 }
 

@@ -6,23 +6,40 @@
 #include <string>
 #include <vector>
 
+#include "common/codec.h"
 #include "flstore/controller.h"
 #include "flstore/indexer.h"
 #include "flstore/service.h"
 #include "flstore/types.h"
+#include "net/retrying_channel.h"
 #include "net/rpc.h"
 
 namespace chariots::flstore {
 
+/// Client-side robustness knobs.
+struct ClientOptions {
+  /// Retry policy for the client's calls. Reads are naturally idempotent;
+  /// appends carry a (client_id, seq) token the maintainer dedups on, so
+  /// they are safely retried too.
+  net::RetryingChannel::Options retry;
+  /// Clock used for backoff sleeps; null = system clock.
+  Clock* clock = nullptr;
+};
+
 /// The linked client library of the paper (§3, §5.1): an application client
 /// polls the controller once per session for the cluster layout, then talks
 /// to maintainers (appends/reads) and indexers (tag lookups) directly.
+///
+/// Every call retries transient failures (kUnavailable / kTimedOut) with
+/// jittered exponential backoff. An append picks its maintainer once and
+/// retries *sticky* to that node — the dedup window that absorbs the retry
+/// lives on the maintainer that executed the first attempt.
 class FLStoreClient {
  public:
   /// `node` is this client's own address on the fabric; `controller` is the
   /// controller's address.
   FLStoreClient(net::Transport* transport, net::NodeId node,
-                net::NodeId controller);
+                net::NodeId controller, ClientOptions options = {});
   ~FLStoreClient();
 
   /// Starts the session: binds the endpoint and fetches cluster info.
@@ -62,12 +79,19 @@ class FLStoreClient {
   /// The layout this client is currently operating with.
   ClusterInfo cluster_info() const;
 
+  /// Retries performed across all calls (observability/testing).
+  uint64_t retries() const { return channel_.retries(); }
+
  private:
   net::NodeId MaintainerForAppend();
   Result<net::NodeId> MaintainerForLId(LId lid);
+  /// Next (client_id, seq) append token; stamped into a BinaryWriter.
+  void PutToken(BinaryWriter* w);
 
   net::RpcEndpoint endpoint_;
   const net::NodeId controller_;
+  net::RetryingChannel channel_;
+  std::atomic<uint64_t> op_seq_{0};
 
   mutable std::mutex mu_;
   ClusterInfo info_;

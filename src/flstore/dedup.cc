@@ -1,0 +1,174 @@
+#include "flstore/dedup.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace chariots::flstore {
+
+namespace {
+
+// Sidecar frame: u32 masked CRC32C (over body) | u32 body length | body,
+// where body = PutBytes(client_id) PutU64(seq) PutBytes(response).
+constexpr size_t kFrameHeader = 8;
+
+std::string EncodeEntry(const std::string& client_id, uint64_t seq,
+                        const std::string& response) {
+  BinaryWriter body;
+  body.PutBytes(client_id);
+  body.PutU64(seq);
+  body.PutBytes(response);
+  std::string body_bytes = std::move(body).data();
+  BinaryWriter frame;
+  frame.PutU32(crc32c::Mask(crc32c::Value(body_bytes)));
+  frame.PutU32(static_cast<uint32_t>(body_bytes.size()));
+  frame.PutRaw(body_bytes);
+  return std::move(frame).data();
+}
+
+}  // namespace
+
+Status DedupWindow::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::FailedPrecondition("DedupWindow already open");
+  if (!options_.sidecar_path.empty()) {
+    CHARIOTS_ASSIGN_OR_RETURN(sidecar_,
+                              storage::File::OpenAppendable(
+                                  options_.sidecar_path));
+    CHARIOTS_RETURN_IF_ERROR(ReplaySidecarLocked());
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status DedupWindow::ReplaySidecarLocked() {
+  const uint64_t size = sidecar_.size();
+  uint64_t offset = 0;
+  std::string header, body;
+  while (offset + kFrameHeader <= size) {
+    CHARIOTS_RETURN_IF_ERROR(sidecar_.ReadAt(offset, kFrameHeader, &header));
+    BinaryReader hr(header);
+    uint32_t stored_crc = 0, len = 0;
+    (void)hr.GetU32(&stored_crc);
+    (void)hr.GetU32(&len);
+    bool bad = offset + kFrameHeader + len > size;
+    if (!bad) {
+      CHARIOTS_RETURN_IF_ERROR(
+          sidecar_.ReadAt(offset + kFrameHeader, len, &body));
+      bad = crc32c::Unmask(stored_crc) != crc32c::Value(body);
+    }
+    if (bad) {
+      // Torn tail from a crash mid-append: keep the intact prefix. The
+      // paired record write happens before the dedup append, so at worst
+      // the lost entry makes a retry fail AlreadyExists, never duplicate.
+      LOG_WARN << "truncating torn dedup sidecar " << options_.sidecar_path
+               << " at offset " << offset;
+      return sidecar_.Truncate(offset);
+    }
+    BinaryReader br(body);
+    std::string client_id, response;
+    uint64_t seq = 0;
+    CHARIOTS_RETURN_IF_ERROR(br.GetBytes(&client_id));
+    CHARIOTS_RETURN_IF_ERROR(br.GetU64(&seq));
+    CHARIOTS_RETURN_IF_ERROR(br.GetBytes(&response));
+    ClientWindow& window = clients_[client_id];
+    if (window.responses.emplace(seq, std::move(response)).second) {
+      ++entries_;
+    }
+    while (window.responses.size() > options_.window_per_client) {
+      auto oldest = window.responses.begin();
+      window.evicted_below = std::max(window.evicted_below, oldest->first);
+      window.responses.erase(oldest);
+      --entries_;
+    }
+    offset += kFrameHeader + len;
+  }
+  if (offset < size) return sidecar_.Truncate(offset);  // torn header
+  return Status::OK();
+}
+
+std::string DedupWindow::EncodeLiveLocked() const {
+  std::string out;
+  for (const auto& [client_id, window] : clients_) {
+    for (const auto& [seq, response] : window.responses) {
+      out += EncodeEntry(client_id, seq, response);
+    }
+  }
+  return out;
+}
+
+Status DedupWindow::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  open_ = false;
+  if (!options_.sidecar_path.empty()) {
+    // Compact: the append-only sidecar holds every response ever recorded;
+    // rewrite it down to the live window so it stays O(clients * window).
+    Status s = storage::WriteStringToFileAtomic(EncodeLiveLocked(),
+                                                options_.sidecar_path);
+    sidecar_ = storage::File();
+    CHARIOTS_RETURN_IF_ERROR(s);
+  }
+  clients_.clear();
+  entries_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<std::string>> DedupWindow::Lookup(
+    const std::string& client_id, uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("DedupWindow not open");
+  auto it = clients_.find(client_id);
+  if (it == clients_.end()) return std::optional<std::string>();
+  const ClientWindow& window = it->second;
+  auto found = window.responses.find(seq);
+  if (found != window.responses.end()) {
+    ++hits_;
+    return std::optional<std::string>(found->second);
+  }
+  if (seq <= window.evicted_below) {
+    // Too old to judge: the response was evicted, so re-executing could
+    // duplicate. Make the window undersizing visible instead.
+    return Status::FailedPrecondition(
+        "append token fell out of the dedup window");
+  }
+  return std::optional<std::string>();
+}
+
+Status DedupWindow::Record(const std::string& client_id, uint64_t seq,
+                           const std::string& response) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("DedupWindow not open");
+  ClientWindow& window = clients_[client_id];
+  if (window.responses.emplace(seq, response).second) ++entries_;
+  while (window.responses.size() > options_.window_per_client) {
+    auto oldest = window.responses.begin();
+    window.evicted_below = std::max(window.evicted_below, oldest->first);
+    window.responses.erase(oldest);
+    --entries_;
+  }
+  if (!options_.sidecar_path.empty()) {
+    CHARIOTS_RETURN_IF_ERROR(AppendSidecarLocked(client_id, seq, response));
+  }
+  return Status::OK();
+}
+
+Status DedupWindow::AppendSidecarLocked(const std::string& client_id,
+                                        uint64_t seq,
+                                        const std::string& response) {
+  return sidecar_.Append(EncodeEntry(client_id, seq, response));
+}
+
+uint64_t DedupWindow::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t DedupWindow::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,93 @@
+#ifndef CHARIOTS_FLSTORE_DEDUP_H_
+#define CHARIOTS_FLSTORE_DEDUP_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/file.h"
+
+namespace chariots::flstore {
+
+/// Exactly-once guard for retried appends (paper has at-most-once clients;
+/// our retrying clients need the server side to absorb duplicates).
+///
+/// Each client stamps appends with a (client_id, seq) token; the maintainer
+/// remembers the last `window_per_client` responses per client and replays
+/// the cached response for a token it has already executed, so a retry of a
+/// lost *response* returns the same LIds instead of appending twice.
+///
+/// Sizing: the window must cover the client's maximum number of in-flight
+/// operations plus any retries that can arrive after later operations
+/// completed — with one outstanding op per client thread and bounded retry
+/// counts, a window of ~128 is generous. A token older than the window is
+/// rejected with FailedPrecondition rather than re-executed, which turns a
+/// too-small window into a visible error instead of a silent duplicate.
+///
+/// With a sidecar path set, every recorded response is appended to a
+/// CRC-framed file that Open() replays, so the window survives a maintainer
+/// crash-restart (the record and its dedup entry are both durable before
+/// the client ever sees an ack). A torn tail is truncated, matching the
+/// LogStore recovery contract.
+class DedupWindow {
+ public:
+  struct Options {
+    size_t window_per_client = 128;
+    /// Optional persistence sidecar. Empty = in-memory only.
+    std::string sidecar_path;
+  };
+
+  explicit DedupWindow(Options options) : options_(std::move(options)) {}
+
+  /// Replays the sidecar (if configured). Must precede Lookup/Record.
+  Status Open();
+
+  /// Compacts the sidecar to the live window and releases it. A subsequent
+  /// Open() replays the compacted file.
+  Status Close();
+
+  /// The cached response for an already-executed token, or nullopt if this
+  /// token is new. FailedPrecondition if the token fell out of the window
+  /// (too old to judge — the caller must NOT re-execute it).
+  Result<std::optional<std::string>> Lookup(const std::string& client_id,
+                                            uint64_t seq);
+
+  /// Records the response for a freshly executed token, evicting the oldest
+  /// entries beyond the window and appending to the sidecar if configured.
+  Status Record(const std::string& client_id, uint64_t seq,
+                const std::string& response);
+
+  uint64_t hits() const;
+  size_t entries() const;
+
+ private:
+  struct ClientWindow {
+    std::map<uint64_t, std::string> responses;  // seq -> cached response
+    /// Tokens at or below this seq that are absent from `responses` were
+    /// evicted, not unseen.
+    uint64_t evicted_below = 0;
+  };
+
+  Status ReplaySidecarLocked();
+  Status AppendSidecarLocked(const std::string& client_id, uint64_t seq,
+                             const std::string& response);
+  std::string EncodeLiveLocked() const;
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  bool open_ = false;
+  std::unordered_map<std::string, ClientWindow> clients_;
+  storage::File sidecar_;
+  uint64_t hits_ = 0;
+  size_t entries_ = 0;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_DEDUP_H_

@@ -25,6 +25,17 @@ Status LogMaintainer::Open() {
   return Status::OK();
 }
 
+Status LogMaintainer::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHARIOTS_RETURN_IF_ERROR(store_.Close());
+  // Crash semantics: buffered ordered appends that never landed are lost
+  // (the client never got an LId for them, so it retries), and knowledge of
+  // peers is stale on restart — gossip repopulates it.
+  deferred_.clear();
+  std::fill(gossip_.begin(), gossip_.end(), 0);
+  return Status::OK();
+}
+
 void LogMaintainer::RebuildStateLocked() {
   std::fill(assign_next_.begin(), assign_next_.end(), 0);
   std::fill(filled_contig_.begin(), filled_contig_.end(), 0);

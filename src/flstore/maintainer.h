@@ -51,6 +51,12 @@ class LogMaintainer {
   /// also rebuilds the fill state).
   Status Open();
 
+  /// Closes the underlying store (without syncing — models a crash; call
+  /// Sync() first for a graceful shutdown). Open() afterwards re-runs
+  /// recovery from disk. Deferred ordered appends and peer gossip knowledge
+  /// are dropped, as a real restart would drop them.
+  Status Close();
+
   /// Post-assignment append: assigns the next free owned position.
   /// Internally a batch of one — all assignment logic lives in the batch
   /// path.

@@ -46,12 +46,15 @@ MaintainerServer::MaintainerServer(net::Transport* transport,
                                    Options options)
     : maintainer_(std::move(maintainer)),
       options_(std::move(options)),
-      endpoint_(transport, options_.node) {}
+      endpoint_(transport, options_.node),
+      dedup_(DedupWindow::Options{options_.dedup_window,
+                                  options_.dedup_sidecar}) {}
 
 MaintainerServer::~MaintainerServer() { Stop(); }
 
 Status MaintainerServer::Start() {
   CHARIOTS_RETURN_IF_ERROR(maintainer_.Open());
+  CHARIOTS_RETURN_IF_ERROR(dedup_.Open());
   if (!options_.indexers.empty()) {
     maintainer_.SetAppendObserver(
         [this](const LogRecord& record, LId lid) {
@@ -71,22 +74,53 @@ void MaintainerServer::Stop() {
   if (!stop_.compare_exchange_strong(expected, true)) return;
   if (gossip_thread_.joinable()) gossip_thread_.join();
   endpoint_.Stop();
+  (void)dedup_.Close();
+}
+
+Status MaintainerServer::Restart() {
+  Stop();
+  CHARIOTS_RETURN_IF_ERROR(maintainer_.Close());
+  stop_.store(false, std::memory_order_relaxed);
+  return Start();
 }
 
 void MaintainerServer::InstallHandlers() {
+  // All client-initiated appends open with a (client_id, seq) token. A
+  // token the dedup window has already executed short-circuits to the
+  // cached response, so a retry whose original *response* was lost returns
+  // the same LIds instead of appending twice.
   endpoint_.Handle(kAppend, [this](const net::NodeId&,
                                    const std::string& payload)
                                 -> Result<std::string> {
+    BinaryReader r(payload);
+    std::string client_id;
+    uint64_t seq = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&client_id));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
+    CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
+                              dedup_.Lookup(client_id, seq));
+    if (cached.has_value()) return *std::move(cached);
+    std::string rec_bytes;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
-                              DecodeLogRecord(kInvalidLId, payload));
+                              DecodeLogRecord(kInvalidLId, rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
-    return EncodeLId(lid);
+    std::string response = EncodeLId(lid);
+    CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
+    return response;
   });
 
   endpoint_.Handle(kAppendBatch, [this](const net::NodeId&,
                                         const std::string& payload)
                                      -> Result<std::string> {
     BinaryReader r(payload);
+    std::string client_id;
+    uint64_t seq = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&client_id));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
+    CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
+                              dedup_.Lookup(client_id, seq));
+    if (cached.has_value()) return *std::move(cached);
     uint32_t n = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
     BinaryWriter out;
@@ -99,7 +133,9 @@ void MaintainerServer::InstallHandlers() {
       CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
       out.PutU64(lid);
     }
-    return std::move(out).data();
+    std::string response = std::move(out).data();
+    CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
+    return response;
   });
 
   endpoint_.Handle(kAppendAt, [this](const net::NodeId&,
@@ -120,6 +156,13 @@ void MaintainerServer::InstallHandlers() {
                                           const std::string& payload)
                                        -> Result<std::string> {
     BinaryReader r(payload);
+    std::string client_id;
+    uint64_t seq = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&client_id));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
+    CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
+                              dedup_.Lookup(client_id, seq));
+    if (cached.has_value()) return *std::move(cached);
     LId min_lid = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&min_lid));
     std::string rec_bytes;
@@ -128,7 +171,11 @@ void MaintainerServer::InstallHandlers() {
                               DecodeLogRecord(kInvalidLId, rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LId lid,
                               maintainer_.AppendOrdered(record, min_lid));
-    return EncodeLId(lid);
+    // Caching a deferred (kInvalidLId) response is deliberate: a retry must
+    // not re-buffer the record — the first buffered copy will land.
+    std::string response = EncodeLId(lid);
+    CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
+    return response;
   });
 
   endpoint_.Handle(kRead, [this](const net::NodeId&,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "flstore/controller.h"
+#include "flstore/dedup.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
 #include "net/rpc.h"
@@ -44,6 +45,12 @@ class MaintainerServer {
     std::vector<net::NodeId> peers;      ///< all maintainer nodes (by index)
     std::vector<net::NodeId> indexers;   ///< indexer nodes for postings
     int64_t gossip_interval_nanos = 2'000'000;  ///< 2 ms default
+    /// Retried-append dedup: responses remembered per client (see
+    /// DedupWindow for sizing guidance).
+    size_t dedup_window = 128;
+    /// Optional dedup persistence sidecar (typically a file next to the
+    /// maintainer's segment dir). Empty = dedup state dies with the server.
+    std::string dedup_sidecar;
   };
 
   MaintainerServer(net::Transport* transport, MaintainerOptions maintainer,
@@ -54,7 +61,13 @@ class MaintainerServer {
   Status Start();
   void Stop();
 
+  /// Crash-and-restart: stops serving, closes the maintainer store and the
+  /// dedup window, and starts again — recovering both from disk. Clients
+  /// see the outage as kUnavailable/kTimedOut and retry through it.
+  Status Restart();
+
   LogMaintainer& maintainer() { return maintainer_; }
+  DedupWindow& dedup() { return dedup_; }
 
  private:
   void InstallHandlers();
@@ -64,6 +77,7 @@ class MaintainerServer {
   LogMaintainer maintainer_;
   Options options_;
   net::RpcEndpoint endpoint_;
+  DedupWindow dedup_;
   std::atomic<bool> stop_{false};
   std::thread gossip_thread_;
 };

@@ -1,0 +1,142 @@
+#include "net/fault_schedule.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace chariots::net {
+
+void FaultSchedule::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Random(seed);
+}
+
+void FaultSchedule::DropNth(Predicate pred, uint64_t nth, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.pred = std::move(pred);
+  rule.action = Action::kDrop;
+  rule.nth = nth;
+  rule.count = count;
+  rules_.push_back(std::move(rule));
+}
+
+void FaultSchedule::DuplicateNth(Predicate pred, uint64_t nth, uint64_t count,
+                                 int64_t dup_delay_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.pred = std::move(pred);
+  rule.action = Action::kDuplicate;
+  rule.nth = nth;
+  rule.count = count;
+  rule.delay_nanos = dup_delay_nanos;
+  rules_.push_back(std::move(rule));
+}
+
+void FaultSchedule::DelayNth(Predicate pred, uint64_t nth,
+                             int64_t delay_nanos, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.pred = std::move(pred);
+  rule.action = Action::kDelay;
+  rule.nth = nth;
+  rule.count = count;
+  rule.delay_nanos = delay_nanos;
+  rules_.push_back(std::move(rule));
+}
+
+void FaultSchedule::DropWithProbability(Predicate pred, double p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Rule rule;
+  rule.pred = std::move(pred);
+  rule.action = Action::kDropProb;
+  rule.probability = p;
+  rules_.push_back(std::move(rule));
+}
+
+void FaultSchedule::CrashWindow(const NodeId& node, int64_t from_nanos,
+                                int64_t to_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outages_.push_back(Outage{node, from_nanos, to_nanos});
+}
+
+bool FaultSchedule::InOutage(const NodeId& node, int64_t at_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Outage& o : outages_) {
+    if (o.node == node && at_nanos >= o.from_nanos && at_nanos < o.to_nanos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultDecision FaultSchedule::Inspect(const Message& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultDecision decision;
+  for (Rule& rule : rules_) {
+    if (!rule.pred(msg)) continue;
+    ++rule.matches;
+    bool fires;
+    if (rule.action == Action::kDropProb) {
+      fires = rng_.NextDouble() < rule.probability;
+    } else {
+      fires = rule.matches >= rule.nth && rule.matches < rule.nth + rule.count;
+    }
+    if (!fires) continue;
+    ++injected_;
+    switch (rule.action) {
+      case Action::kDrop:
+      case Action::kDropProb:
+        decision.drop = true;
+        break;
+      case Action::kDuplicate:
+        decision.duplicate = true;
+        decision.duplicate_delay_nanos =
+            std::max(decision.duplicate_delay_nanos, rule.delay_nanos);
+        break;
+      case Action::kDelay:
+        decision.delay_nanos += rule.delay_nanos;
+        break;
+    }
+  }
+  return decision;
+}
+
+uint64_t FaultSchedule::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_;
+}
+
+void FaultSchedule::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.clear();
+  outages_.clear();
+  injected_ = 0;
+}
+
+FaultSchedule::Predicate FaultSchedule::Any() {
+  return [](const Message&) { return true; };
+}
+
+FaultSchedule::Predicate FaultSchedule::ToPrefix(std::string prefix) {
+  return [prefix = std::move(prefix)](const Message& msg) {
+    return msg.to.rfind(prefix, 0) == 0;
+  };
+}
+
+FaultSchedule::Predicate FaultSchedule::FromPrefix(std::string prefix) {
+  return [prefix = std::move(prefix)](const Message& msg) {
+    return msg.from.rfind(prefix, 0) == 0;
+  };
+}
+
+FaultSchedule::Predicate FaultSchedule::TypeIs(uint16_t type) {
+  return [type](const Message& msg) { return msg.type == type; };
+}
+
+FaultSchedule::Predicate FaultSchedule::Both(Predicate a, Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const Message& msg) {
+    return a(msg) && b(msg);
+  };
+}
+
+}  // namespace chariots::net

@@ -73,6 +73,13 @@ Status InProcTransport::Unregister(const NodeId& node) {
     inbox->cv.notify_all();
   }
   if (inbox->thread.joinable()) inbox->thread.join();
+  // Messages still queued for the dead binding are lost, not delivered:
+  // account for them like any other network loss.
+  size_t undelivered = inbox->queue.size();
+  if (undelivered > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dropped_ += undelivered;
+  }
   return Status::OK();
 }
 
@@ -117,21 +124,39 @@ Status InProcTransport::Send(Message msg) {
       bandwidth = rule->bandwidth.get();
     }
   }
+  // The scripted fault plan sees every message that survived the link's
+  // probabilistic drop. A real network loses the message after the sender
+  // has paid to put it on the wire, so Send still returns OK on a drop.
+  FaultDecision decision = faults_.Inspect(msg);
+  if (decision.drop) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_;
+    return Status::OK();
+  }
+
   // Serialize onto the link outside the registry lock: this blocks the
   // sender, modeling NIC back-pressure.
   if (bandwidth != nullptr) bandwidth->Acquire(static_cast<double>(wire_size));
 
   DelayedMessage dm;
-  dm.deliver_at_nanos = clock_->NowNanos() + latency;
+  dm.deliver_at_nanos = clock_->NowNanos() + latency + decision.delay_nanos;
+  DelayedMessage dup;
+  if (decision.duplicate) {
+    dup.msg = msg;  // copy before the original is moved
+    dup.deliver_at_nanos =
+        dm.deliver_at_nanos + decision.duplicate_delay_nanos;
+  }
   dm.msg = std::move(msg);
   {
     std::lock_guard<std::mutex> lock(mu_);
     dm.seq = ++seq_;
+    if (decision.duplicate) dup.seq = ++seq_;
   }
   {
     std::lock_guard<std::mutex> il(inbox->mu);
     if (inbox->stopped) return Status::NotFound("destination stopped");
     inbox->queue.push(std::move(dm));
+    if (decision.duplicate) inbox->queue.push(std::move(dup));
     inbox->cv.notify_one();
   }
   return Status::OK();
@@ -156,6 +181,16 @@ void InProcTransport::InboxLoop(Inbox* inbox) {
     Message msg = std::move(const_cast<DelayedMessage&>(head).msg);
     inbox->queue.pop();
     lock.unlock();
+    // Crash model: a message arriving while the destination is inside an
+    // outage window vanishes, exactly as if the process were down.
+    if (faults_.InOutage(inbox->node, now)) {
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        ++dropped_;
+      }
+      lock.lock();
+      continue;
+    }
     inbox->handler(std::move(msg));
     {
       std::lock_guard<std::mutex> g(mu_);
@@ -205,6 +240,12 @@ void InProcTransport::Heal(const std::string& a_prefix,
                            const std::string& b_prefix) {
   SetLink(a_prefix, b_prefix, LinkOptions{});
   SetLink(b_prefix, a_prefix, LinkOptions{});
+}
+
+void InProcTransport::Seed(uint64_t seed) {
+  faults_.Seed(seed);
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_ = Random(seed);
 }
 
 uint64_t InProcTransport::messages_delivered() const {

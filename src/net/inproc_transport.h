@@ -15,6 +15,7 @@
 #include "common/clock.h"
 #include "common/random.h"
 #include "common/rate_limiter.h"
+#include "net/fault_schedule.h"
 #include "net/transport.h"
 
 namespace chariots::net {
@@ -58,6 +59,16 @@ class InProcTransport : public Transport {
   /// Removes the partition installed by Partition().
   void Heal(const std::string& a_prefix, const std::string& b_prefix);
 
+  /// The scripted fault plan consulted for every message: drop / duplicate /
+  /// delay / reorder the Nth message matching a predicate, plus
+  /// crash-restart outage windows per node. Mutate it any time; pair with
+  /// Seed() so a whole scenario replays from one seed.
+  FaultSchedule& faults() { return faults_; }
+
+  /// Re-seeds both the link-level drop PRNG and the fault schedule so a
+  /// probabilistic run is reproducible from a single printed seed.
+  void Seed(uint64_t seed);
+
   /// Counters for tests.
   uint64_t messages_delivered() const;
   uint64_t messages_dropped() const;
@@ -87,6 +98,7 @@ class InProcTransport : public Transport {
   void InboxLoop(Inbox* inbox);
 
   Clock* const clock_;
+  FaultSchedule faults_;
   mutable std::mutex mu_;
   std::unordered_map<NodeId, std::unique_ptr<Inbox>> inboxes_;
   std::vector<std::unique_ptr<LinkRule>> links_;

@@ -1,0 +1,35 @@
+#include "net/retrying_channel.h"
+
+#include <algorithm>
+
+namespace chariots::net {
+
+Result<std::string> RetryingChannel::Call(const NodeId& to, uint16_t type,
+                                          std::string payload,
+                                          bool idempotent,
+                                          Deadline deadline) {
+  Backoff backoff(options_.backoff,
+                  options_.seed +
+                      call_seq_.fetch_add(1, std::memory_order_relaxed));
+  CallOptions call_options;
+  call_options.timeout = options_.attempt_timeout;
+  call_options.deadline = deadline;
+  for (uint32_t attempt = 1;; ++attempt) {
+    Result<std::string> result =
+        endpoint_->Call(to, type, payload, call_options);
+    if (result.ok() || !result.status().IsRetryable() || !idempotent ||
+        attempt >= options_.max_attempts) {
+      return result;
+    }
+    int64_t delay = backoff.NextDelayNanos();
+    if (!deadline.IsInfinite()) {
+      int64_t remaining = deadline.RemainingNanos();
+      if (remaining == 0) return result;  // budget gone: report last failure
+      delay = std::min(delay, remaining);
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    clock_->SleepFor(delay);
+  }
+}
+
+}  // namespace chariots::net

@@ -1,0 +1,68 @@
+#ifndef CHARIOTS_NET_RETRYING_CHANNEL_H_
+#define CHARIOTS_NET_RETRYING_CHANNEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/retry.h"
+#include "net/rpc.h"
+
+namespace chariots::net {
+
+/// Retry wrapper over an RpcEndpoint: repeats a call while it fails with a
+/// retryable code (kUnavailable, kTimedOut — see IsRetryable), sleeping a
+/// seeded jittered-exponential backoff between attempts, until the attempt
+/// budget or the caller's Deadline runs out.
+///
+/// Only idempotent calls may be retried: a timed-out attempt can have
+/// executed on the server, so a retry is a *duplicate* there. Callers either
+/// mark the call non-idempotent (one attempt, no retry) or make it safe to
+/// repeat — reads are naturally safe; FLStore appends carry a (client_id,
+/// seq) token the maintainer dedups on.
+///
+/// Sleeps go through the injected Clock, so under a ManualClock a retry
+/// storm runs in zero wall time. Thread-safe; concurrent calls each get an
+/// independent backoff sequence derived from the channel seed.
+class RetryingChannel {
+ public:
+  struct Options {
+    BackoffPolicy backoff;
+    /// Total attempts (first try included). 1 disables retries.
+    uint32_t max_attempts = 4;
+    /// Per-attempt response timeout.
+    std::chrono::milliseconds attempt_timeout{1000};
+    /// Base seed for the per-call jitter streams.
+    uint64_t seed = 1;
+  };
+
+  RetryingChannel(RpcEndpoint* endpoint, Options options,
+                  Clock* clock = SystemClock::Default())
+      : endpoint_(endpoint), options_(options), clock_(clock) {}
+
+  /// Calls `to` and retries retryable failures iff `idempotent`. The
+  /// deadline bounds the whole loop, attempts and backoff sleeps included.
+  Result<std::string> Call(const NodeId& to, uint16_t type,
+                           std::string payload, bool idempotent = true,
+                           Deadline deadline = Deadline());
+
+  /// Retries performed (attempts beyond the first) across all calls.
+  uint64_t retries() const { return retries_.load(); }
+
+  RpcEndpoint* endpoint() { return endpoint_; }
+  const Options& options() const { return options_; }
+
+ private:
+  RpcEndpoint* const endpoint_;
+  const Options options_;
+  Clock* const clock_;
+  std::atomic<uint64_t> call_seq_{0};
+  std::atomic<uint64_t> retries_{0};
+};
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_RETRYING_CHANNEL_H_

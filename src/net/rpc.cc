@@ -1,5 +1,7 @@
 #include "net/rpc.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace chariots::net {
@@ -112,7 +114,10 @@ void RpcEndpoint::OnMessage(Message msg) {
 
 Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
                                       std::string payload,
-                                      std::chrono::milliseconds timeout) {
+                                      const CallOptions& options) {
+  if (options.deadline.Expired()) {
+    return Deadline::ExceededError("rpc to " + to);
+  }
   auto call = std::make_shared<PendingCall>();
   uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -129,16 +134,32 @@ Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
   msg.payload = std::move(payload);
   Status send_status = transport_->Send(std::move(msg));
   if (!send_status.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    pending_.erase(rpc_id);
-    return send_status;
-  }
-
-  std::unique_lock<std::mutex> cl(call->mu);
-  if (!call->cv.wait_for(cl, timeout, [&] { return call->done; })) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       pending_.erase(rpc_id);
+    }
+    if (send_status.IsNotFound()) {
+      // The destination has no binding right now (crashed, restarting, or
+      // not yet up). To the caller that is a transient reachability
+      // failure, not a data-level NotFound — report it retryable.
+      return Status::Unavailable("destination not reachable: " + to);
+    }
+    return send_status;
+  }
+
+  auto wait = std::chrono::nanoseconds(options.timeout);
+  if (!options.deadline.IsInfinite()) {
+    wait = std::min(
+        wait, std::chrono::nanoseconds(options.deadline.RemainingNanos()));
+  }
+  std::unique_lock<std::mutex> cl(call->mu);
+  if (!call->cv.wait_for(cl, wait, [&] { return call->done; })) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.erase(rpc_id);
+    }
+    if (options.deadline.Expired()) {
+      return Deadline::ExceededError("rpc to " + to);
     }
     return Status::TimedOut("rpc to " + to + " timed out");
   }

@@ -11,10 +11,19 @@
 #include <unordered_map>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "net/transport.h"
 
 namespace chariots::net {
+
+/// Per-call options: a per-attempt timeout plus an optional overall
+/// Deadline. The effective wait is the smaller of the two, so one Deadline
+/// can budget a whole retry loop across attempts (see RetryingChannel).
+struct CallOptions {
+  std::chrono::milliseconds timeout{5000};
+  Deadline deadline;  ///< infinite by default
+};
 
 /// Request/response layer over a Transport. One endpoint per logical node.
 ///
@@ -51,11 +60,21 @@ class RpcEndpoint {
   /// Unbinds; outstanding Calls fail with Unavailable.
   void Stop();
 
-  /// Sends a request and blocks for the response.
+  /// Sends a request and blocks for the response (bounded by the per-call
+  /// timeout and deadline). An unreachable destination surfaces as
+  /// kUnavailable and an expired budget as kTimedOut — both retryable; all
+  /// other codes come from the remote handler.
+  Result<std::string> Call(const NodeId& to, uint16_t type,
+                           std::string payload, const CallOptions& options);
+
   Result<std::string> Call(const NodeId& to, uint16_t type,
                            std::string payload,
                            std::chrono::milliseconds timeout =
-                               std::chrono::milliseconds(5000));
+                               std::chrono::milliseconds(5000)) {
+    CallOptions options;
+    options.timeout = timeout;
+    return Call(to, type, std::move(payload), options);
+  }
 
   /// Fire-and-forget notification.
   Status Notify(const NodeId& to, uint16_t type, std::string payload);

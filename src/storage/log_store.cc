@@ -73,6 +73,22 @@ Status LogStore::Open() {
   return Status::OK();
 }
 
+Status LogStore::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  segments_.clear();  // File destructors release the fds
+  index_.clear();
+  mem_.clear();
+  next_segment_id_ = 0;
+  max_lid_ = 0;
+  count_ = 0;
+  mem_bytes_ = 0;
+  arena_.clear();
+  last_sync_nanos_ = 0;
+  open_ = false;
+  return Status::OK();
+}
+
 Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
   std::string path = SegmentPath(segment_id);
   CHARIOTS_ASSIGN_OR_RETURN(File file, File::OpenAppendable(path));

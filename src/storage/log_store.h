@@ -93,6 +93,13 @@ class LogStore {
   /// segments. Must be called before any other method.
   Status Open();
 
+  /// Closes the store: releases segment file handles and clears the
+  /// in-memory index, so a subsequent Open() re-runs recovery from disk.
+  /// Does NOT sync — pair with Sync() for a graceful shutdown; Close()
+  /// alone models a crash (kMemoryOnly contents are simply lost). No-op if
+  /// not open.
+  Status Close();
+
   /// Appends a record at position `lid`. Returns AlreadyExists if that lid
   /// is present (idempotent-write guard). Implemented as AppendBatch of one.
   Status Append(uint64_t lid, std::string_view payload);

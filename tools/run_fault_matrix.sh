@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs the fault-injection suite across a matrix of seeds, then once under
+# ThreadSanitizer. Any lost or duplicated record fails the suite's
+# assertions, so a non-zero exit here means a real robustness regression;
+# the failing seed is printed so the run replays exactly.
+#
+#   tools/run_fault_matrix.sh                 # seeds 0..4 + one TSan pass
+#   tools/run_fault_matrix.sh 7 11 13         # explicit seed list
+#   CHARIOTS_FAULT_SKIP_TSAN=1 tools/run_fault_matrix.sh   # seeds only
+#
+# Each seed offsets every scenario's base seed (see ScenarioSeed in
+# tests/fault_injection_test.cc), changing the probabilistic drop traces
+# and jitter streams while keeping the run fully reproducible.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+TEST_BIN="$BUILD_DIR/tests/fault_injection_test"
+
+SEEDS=("$@")
+if [ "${#SEEDS[@]}" -eq 0 ]; then
+  SEEDS=(0 1 2 3 4)
+fi
+
+cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j --target fault_injection_test
+
+for seed in "${SEEDS[@]}"; do
+  echo "=== fault matrix: seed offset $seed ==="
+  if ! CHARIOTS_FAULT_SEED="$seed" "$TEST_BIN" --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED at seed offset $seed" >&2
+    echo "replay with: CHARIOTS_FAULT_SEED=$seed $TEST_BIN" >&2
+    exit 1
+  fi
+done
+
+if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
+  echo "=== fault matrix: ThreadSanitizer pass ==="
+  TSAN_BUILD="$ROOT/build-thread"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DCHARIOTS_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$TSAN_BUILD" -j --target fault_injection_test
+  if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/fault_injection_test" \
+       --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED under TSan (seed offset 0)" >&2
+    exit 1
+  fi
+fi
+
+echo "fault matrix: all passes green"
