@@ -1,0 +1,75 @@
+#ifndef CHARIOTS_COMMON_LEASE_H_
+#define CHARIOTS_COMMON_LEASE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace chariots {
+
+/// Lease-based failure detection: a table of keyed leases on an injected
+/// Clock. A holder renews its lease by heartbeating; a key whose lease
+/// passes its expiry without renewal is reported by Expired() and the
+/// failure handler (e.g. the FLStore controller's failover path) takes over.
+///
+/// A key has no lease until its first Renew() — an entity that never
+/// heartbeats is never suspected, which keeps deployments without failure
+/// detection (no heartbeat wiring) fully backward compatible.
+///
+/// All timing flows through the Clock, so a ManualClock drives expiry
+/// deterministically in tests; with the default lease duration and a
+/// SystemClock this is the paper's control-cluster failure detector.
+/// Thread-safe.
+class LeaseTable {
+ public:
+  LeaseTable(Clock* clock, int64_t lease_nanos)
+      : clock_(clock != nullptr ? clock : SystemClock::Default()),
+        lease_nanos_(lease_nanos) {}
+
+  /// Grants or extends the lease for `key` to now + lease duration.
+  void Renew(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    expiry_[key] = clock_->NowNanos() + lease_nanos_;
+  }
+
+  /// Drops the lease (the holder left, or failover replaced it; the new
+  /// holder re-arms detection with its first Renew()).
+  void Remove(uint64_t key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    expiry_.erase(key);
+  }
+
+  /// True while `key` holds an unexpired lease.
+  bool Held(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = expiry_.find(key);
+    return it != expiry_.end() && it->second > clock_->NowNanos();
+  }
+
+  /// Keys whose leases have expired (granted but not renewed in time).
+  std::vector<uint64_t> Expired() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<uint64_t> out;
+    int64_t now = clock_->NowNanos();
+    for (const auto& [key, at] : expiry_) {
+      if (at <= now) out.push_back(key);
+    }
+    return out;
+  }
+
+  int64_t lease_nanos() const { return lease_nanos_; }
+
+ private:
+  Clock* const clock_;
+  const int64_t lease_nanos_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, int64_t> expiry_;
+};
+
+}  // namespace chariots
+
+#endif  // CHARIOTS_COMMON_LEASE_H_

@@ -1,5 +1,9 @@
 #include "flstore/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/codec.h"
 
 namespace chariots::flstore {
@@ -8,9 +12,10 @@ FLStoreClient::FLStoreClient(net::Transport* transport, net::NodeId node,
                              net::NodeId controller, ClientOptions options)
     : endpoint_(transport, std::move(node)),
       controller_(std::move(controller)),
-      channel_(&endpoint_, options.retry,
-               options.clock != nullptr ? options.clock
-                                        : SystemClock::Default()) {}
+      options_(options),
+      channel_(&endpoint_, options_.retry,
+               options_.clock != nullptr ? options_.clock
+                                         : SystemClock::Default()) {}
 
 void FLStoreClient::PutToken(BinaryWriter* w) {
   // The endpoint's fabric address is unique, so it doubles as the client id.
@@ -52,32 +57,68 @@ ClusterInfo FLStoreClient::cluster_info() const {
   return info_;
 }
 
-net::NodeId FLStoreClient::MaintainerForAppend() {
+uint32_t FLStoreClient::IndexForAppend() {
   std::lock_guard<std::mutex> lock(mu_);
   // Appends may go to any maintainer (paper §5.2: "randomly or intelligibly
   // selected"); round-robin spreads load evenly.
   uint64_t i = rr_.fetch_add(1, std::memory_order_relaxed);
-  return info_.maintainers[i % info_.maintainers.size()];
+  return static_cast<uint32_t>(i % info_.maintainers.size());
 }
 
-Result<net::NodeId> FLStoreClient::MaintainerForLId(LId lid) {
+Result<uint32_t> FLStoreClient::IndexForLId(LId lid) {
   std::lock_guard<std::mutex> lock(mu_);
   uint32_t index = info_.journal.MaintainerFor(lid);
   if (index >= info_.maintainers.size()) {
     return Status::Unavailable("stale cluster info: unknown maintainer");
   }
-  return info_.maintainers[index];
+  return index;
+}
+
+Result<std::string> FLStoreClient::CallMaintainerIndex(
+    uint32_t index, uint16_t op, const std::string& payload) {
+  Status last = Status::Unavailable("no failover attempts budgeted");
+  for (int attempt = 0; attempt < std::max(1, options_.failover_attempts);
+       ++attempt) {
+    if (attempt > 0) {
+      // Give an in-flight failover time to promote the backup, then learn
+      // the new layout before re-resolving the stripe.
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options_.failover_backoff_nanos));
+      Status refreshed = RefreshClusterInfo();
+      if (!refreshed.ok()) {
+        last = refreshed;
+        continue;
+      }
+    }
+    net::NodeId node;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (index >= info_.maintainers.size()) {
+        return Status::Unavailable("stale cluster info: unknown maintainer");
+      }
+      node = info_.maintainers[index];
+    }
+    Result<std::string> result = channel_.Call(node, op, payload);
+    if (result.ok()) return result;
+    last = result.status();
+    // Only node loss (or fencing, which surfaces as kUnavailable) triggers
+    // failover; a genuine handler error is the caller's to see.
+    if (!IsRetryable(last.code())) return last;
+  }
+  return last;
 }
 
 Result<LId> FLStoreClient::Append(const LogRecord& record) {
   BinaryWriter w;
   PutToken(&w);
   w.PutBytes(EncodeLogRecord(record));
-  // Pick the maintainer once: retries must hit the same node, whose dedup
-  // window holds this token.
+  // Pick the stripe once: retries stay keyed to it, so the token reaches
+  // the dedup window that executed the first attempt — on the original
+  // primary, or on its promoted backup after failover (dedup state is
+  // replicated with every batch).
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      channel_.Call(MaintainerForAppend(), kAppend, std::move(w).data()));
+      CallMaintainerIndex(IndexForAppend(), kAppend, std::move(w).data()));
   BinaryReader r(payload);
   LId lid = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -94,8 +135,8 @@ Result<std::vector<LId>> FLStoreClient::AppendBatch(
   }
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      channel_.Call(MaintainerForAppend(), kAppendBatch,
-                    std::move(w).data()));
+      CallMaintainerIndex(IndexForAppend(), kAppendBatch,
+                          std::move(w).data()));
   BinaryReader r(payload);
   uint32_t n = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
@@ -114,8 +155,8 @@ Result<LId> FLStoreClient::AppendOrdered(const LogRecord& record,
   w.PutBytes(EncodeLogRecord(record));
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      channel_.Call(MaintainerForAppend(), kAppendOrdered,
-                    std::move(w).data()));
+      CallMaintainerIndex(IndexForAppend(), kAppendOrdered,
+                          std::move(w).data()));
   BinaryReader r(payload);
   LId lid = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -123,28 +164,29 @@ Result<LId> FLStoreClient::AppendOrdered(const LogRecord& record,
 }
 
 Result<LogRecord> FLStoreClient::Read(LId lid) {
-  CHARIOTS_ASSIGN_OR_RETURN(net::NodeId node, MaintainerForLId(lid));
-  BinaryWriter w;
-  w.PutU64(lid);
-  CHARIOTS_ASSIGN_OR_RETURN(std::string payload,
-                            channel_.Call(node, kRead, std::move(w).data()));
-  return DecodeLogRecord(lid, payload);
-}
-
-Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
-  CHARIOTS_ASSIGN_OR_RETURN(net::NodeId node, MaintainerForLId(lid));
+  CHARIOTS_ASSIGN_OR_RETURN(uint32_t index, IndexForLId(lid));
   BinaryWriter w;
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      channel_.Call(node, kReadCommitted, std::move(w).data()));
+      CallMaintainerIndex(index, kRead, std::move(w).data()));
+  return DecodeLogRecord(lid, payload);
+}
+
+Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
+  CHARIOTS_ASSIGN_OR_RETURN(uint32_t index, IndexForLId(lid));
+  BinaryWriter w;
+  w.PutU64(lid);
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallMaintainerIndex(index, kReadCommitted, std::move(w).data()));
   return DecodeLogRecord(lid, payload);
 }
 
 Result<LId> FLStoreClient::HeadOfLog() {
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      channel_.Call(MaintainerForAppend(), kHeadOfLog, ""));
+      CallMaintainerIndex(IndexForAppend(), kHeadOfLog, ""));
   BinaryReader r(payload);
   LId hl = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));

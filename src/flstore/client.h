@@ -24,6 +24,14 @@ struct ClientOptions {
   net::RetryingChannel::Options retry;
   /// Clock used for backoff sleeps; null = system clock.
   Clock* clock = nullptr;
+  /// Failover: how many times a maintainer call re-resolves the stripe's
+  /// primary from the controller after the channel exhausted its retries
+  /// against the node it was talking to. Bounds total unavailability to
+  /// roughly attempts * (channel retry budget + backoff).
+  int failover_attempts = 8;
+  /// Pause before each layout refresh, giving an in-flight failover time to
+  /// commit.
+  int64_t failover_backoff_nanos = 20'000'000;  // 20 ms
 };
 
 /// The linked client library of the paper (§3, §5.1): an application client
@@ -83,13 +91,23 @@ class FLStoreClient {
   uint64_t retries() const { return channel_.retries(); }
 
  private:
-  net::NodeId MaintainerForAppend();
-  Result<net::NodeId> MaintainerForLId(LId lid);
+  /// Stripe index an append goes to (round-robin). Calls are keyed by
+  /// *index*, not node: the index is stable across failover, so a retry
+  /// after a layout refresh lands on the stripe's new primary.
+  uint32_t IndexForAppend();
+  Result<uint32_t> IndexForLId(LId lid);
+  /// Calls the current primary of stripe `index`, refreshing the layout and
+  /// failing over when the node is unreachable or fenced (kUnavailable /
+  /// kTimedOut). The payload — including any dedup token — is reused
+  /// verbatim on every attempt, so retried appends stay exactly-once.
+  Result<std::string> CallMaintainerIndex(uint32_t index, uint16_t op,
+                                          const std::string& payload);
   /// Next (client_id, seq) append token; stamped into a BinaryWriter.
   void PutToken(BinaryWriter* w);
 
   net::RpcEndpoint endpoint_;
   const net::NodeId controller_;
+  const ClientOptions options_;
   net::RetryingChannel channel_;
   std::atomic<uint64_t> op_seq_{0};
 

@@ -1,6 +1,10 @@
 #include "flstore/controller.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/codec.h"
+#include "common/logging.h"
 
 namespace chariots::flstore {
 
@@ -12,6 +16,11 @@ std::string EncodeClusterInfo(const ClusterInfo& info) {
   w.PutU32(static_cast<uint32_t>(info.indexers.size()));
   for (const auto& i : info.indexers) w.PutBytes(i);
   w.PutU64(info.approx_records);
+  w.PutU64(info.version);
+  w.PutU32(static_cast<uint32_t>(info.backups.size()));
+  for (const auto& b : info.backups) w.PutBytes(b);
+  w.PutU32(static_cast<uint32_t>(info.fence_epochs.size()));
+  for (uint64_t e : info.fence_epochs) w.PutU64(e);
   return std::move(w).data();
 }
 
@@ -33,7 +42,149 @@ Result<ClusterInfo> DecodeClusterInfo(std::string_view data) {
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.indexers[i]));
   }
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.approx_records));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.version));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  info.backups.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.backups[i]));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  info.fence_epochs.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.fence_epochs[i]));
+  }
   return info;
+}
+
+Controller::Controller(ClusterInfo initial, ControllerOptions options)
+    : info_(std::move(initial)),
+      leases_(options.clock, options.lease_nanos) {
+  // Normalize the replica-set vectors so callers that build a ClusterInfo
+  // the pre-replication way (maintainers only) get sane defaults: no
+  // backups, every stripe at fencing epoch 1.
+  info_.backups.resize(info_.maintainers.size());
+  if (info_.fence_epochs.size() < info_.maintainers.size()) {
+    info_.fence_epochs.resize(info_.maintainers.size(), 1);
+  }
+  for (uint64_t& e : info_.fence_epochs) {
+    if (e == 0) e = 1;
+  }
+}
+
+ClusterInfo Controller::GetInfo() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return info_;
+}
+
+Status Controller::AddMaintainer(const net::NodeId& node,
+                                 const StripeEpoch& epoch,
+                                 uint64_t expected_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (expected_version != info_.version) {
+    return Status::Aborted(
+        "cluster layout moved (concurrent failover or membership change); "
+        "re-read and retry AddMaintainer");
+  }
+  if (epoch.num_maintainers != info_.maintainers.size() + 1) {
+    return Status::InvalidArgument(
+        "new epoch must reference the grown maintainer count");
+  }
+  CHARIOTS_RETURN_IF_ERROR(info_.journal.AddEpoch(epoch));
+  info_.maintainers.push_back(node);
+  info_.backups.emplace_back();
+  info_.fence_epochs.push_back(1);
+  ++info_.version;
+  return Status::OK();
+}
+
+Status Controller::SetBackup(uint32_t index, const net::NodeId& backup) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= info_.maintainers.size()) {
+    return Status::InvalidArgument("no such maintainer stripe");
+  }
+  info_.backups[index] = backup;
+  ++info_.version;
+  return Status::OK();
+}
+
+void Controller::SetApproxRecords(uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  info_.approx_records = n;
+}
+
+void Controller::Heartbeat(uint32_t index, const net::NodeId& from) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (index >= info_.maintainers.size()) return;
+    if (info_.maintainers[index] != from) return;  // fenced old primary
+  }
+  leases_.Renew(index);
+}
+
+std::vector<FailoverPlan> Controller::ExpiredLeases() {
+  std::vector<FailoverPlan> plans;
+  for (uint64_t key : leases_.Expired()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t index = static_cast<uint32_t>(key);
+    if (in_failover_.count(index) != 0) continue;
+    if (index >= info_.maintainers.size()) {
+      leases_.Remove(key);
+      continue;
+    }
+    if (info_.backups[index].empty()) {
+      // Nothing to promote; drop the lease so we don't report the stripe
+      // every tick (it re-arms if the primary comes back and heartbeats).
+      LOG_WARN << "maintainer " << index << " (" << info_.maintainers[index]
+               << ") lease expired but stripe has no backup";
+      leases_.Remove(key);
+      continue;
+    }
+    in_failover_.insert(index);
+    plans.push_back(FailoverPlan{
+        .index = index,
+        .new_epoch = info_.fence_epochs[index] + 1,
+        .backup = info_.backups[index],
+        .failed_primary = info_.maintainers[index],
+    });
+  }
+  return plans;
+}
+
+Status Controller::CommitFailover(const FailoverPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_failover_.count(plan.index) == 0) {
+    return Status::FailedPrecondition("no failover planned for this stripe");
+  }
+  if (plan.index >= info_.maintainers.size() ||
+      info_.backups[plan.index] != plan.backup) {
+    in_failover_.erase(plan.index);
+    return Status::Aborted("stripe layout changed under the failover plan");
+  }
+  LOG_INFO << "failing over maintainer " << plan.index << ": "
+           << plan.failed_primary << " -> " << plan.backup << " (epoch "
+           << plan.new_epoch << ")";
+  info_.maintainers[plan.index] = plan.backup;
+  info_.backups[plan.index].clear();
+  info_.fence_epochs[plan.index] = plan.new_epoch;
+  ++info_.version;
+  in_failover_.erase(plan.index);
+  // The old lease belonged to the dead primary; detection for this stripe
+  // re-arms when the promoted node first heartbeats.
+  leases_.Remove(plan.index);
+  return Status::OK();
+}
+
+void Controller::AbortFailover(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_failover_.erase(index);
+  // Re-arm so the monitor retries after another full lease period instead
+  // of hot-looping on a promotion RPC that just failed.
+  leases_.Renew(index);
+}
+
+uint64_t Controller::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return info_.version;
 }
 
 }  // namespace chariots::flstore

@@ -2,9 +2,12 @@
 #define CHARIOTS_FLSTORE_CONTROLLER_H_
 
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
+#include "common/lease.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "flstore/striping.h"
@@ -14,52 +17,104 @@ namespace chariots::flstore {
 
 /// Everything an application client needs to run a session (paper §5.1):
 /// addresses of the maintainers and indexers, the striping history, and an
-/// approximate record count.
+/// approximate record count — plus, since the replication layer, the
+/// per-stripe replica sets and fencing epochs.
 struct ClusterInfo {
   EpochJournal journal{1, 1000};
-  /// Maintainer node ids, position-aligned with maintainer indices.
+  /// Maintainer node ids, position-aligned with maintainer indices. With
+  /// replication these are the *primaries*.
   std::vector<net::NodeId> maintainers;
   std::vector<net::NodeId> indexers;
   uint64_t approx_records = 0;
+  /// Layout version, bumped by every membership change and failover. Writers
+  /// of layout (AddMaintainer) must present the version they read — a CAS
+  /// that rejects installs racing a concurrent failover promotion.
+  uint64_t version = 0;
+  /// Backup node per maintainer index; "" = that stripe is unreplicated.
+  std::vector<net::NodeId> backups;
+  /// Fencing epoch per maintainer index (starts at 1, bumped on every
+  /// failover promotion; see ReplicaGroup for the fencing rules).
+  std::vector<uint64_t> fence_epochs;
 };
 
 std::string EncodeClusterInfo(const ClusterInfo& info);
 Result<ClusterInfo> DecodeClusterInfo(std::string_view data);
 
-/// The highly-available stateless control cluster of the paper, realized as
-/// a single in-memory metadata service: an oracle application clients poll
-/// at session start for the locations and striping of the log maintainers.
-/// (The paper's controller holds no data-path state; neither does this one.)
+/// One failover the lease monitor decided on: promote `backup` to primary of
+/// stripe `index` under the bumped fencing epoch. Two-phase: the caller
+/// delivers the promotion RPC first, then commits (or aborts) the plan.
+struct FailoverPlan {
+  uint32_t index = 0;
+  uint64_t new_epoch = 0;
+  net::NodeId backup;
+  net::NodeId failed_primary;
+};
+
+/// Timing knobs for the controller's failure detector.
+struct ControllerOptions {
+  /// Clock the leases run on; null = system clock. A ManualClock makes
+  /// expiry (and thus failover) fully deterministic in tests.
+  Clock* clock = nullptr;
+  /// Lease duration: a primary missing heartbeats for this long is declared
+  /// dead and its backup promoted.
+  int64_t lease_nanos = 150'000'000;  // 150 ms
+};
+
+/// The highly-available control cluster of the paper (§5): an oracle
+/// application clients poll at session start for the locations and striping
+/// of the log maintainers, now also the failure detector — primaries
+/// heartbeat it, and an expired lease triggers promotion of the stripe's
+/// backup under a bumped fencing epoch (paper §5.3 reconfiguration).
 class Controller {
  public:
-  explicit Controller(ClusterInfo initial) : info_(std::move(initial)) {}
+  explicit Controller(ClusterInfo initial, ControllerOptions options = {});
 
-  ClusterInfo GetInfo() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return info_;
-  }
+  ClusterInfo GetInfo() const;
 
   /// Live elasticity: appends `node` as a new maintainer and installs the
   /// given future epoch (which must reference the grown maintainer count).
-  Status AddMaintainer(const net::NodeId& node, const StripeEpoch& epoch) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (epoch.num_maintainers != info_.maintainers.size() + 1) {
-      return Status::InvalidArgument(
-          "epoch maintainer count must equal current + 1");
-    }
-    CHARIOTS_RETURN_IF_ERROR(info_.journal.AddEpoch(epoch));
-    info_.maintainers.push_back(node);
-    return Status::OK();
-  }
+  /// CAS-fenced: `expected_version` must equal the current layout version
+  /// (the caller's read), else kAborted — an install racing a concurrent
+  /// failover promotion must re-read the layout and retry, not clobber it.
+  Status AddMaintainer(const net::NodeId& node, const StripeEpoch& epoch,
+                       uint64_t expected_version);
 
-  void SetApproxRecords(uint64_t n) {
-    std::lock_guard<std::mutex> lock(mu_);
-    info_.approx_records = n;
-  }
+  /// Declares `backup` the replica of stripe `index` (bumps the version).
+  Status SetBackup(uint32_t index, const net::NodeId& backup);
+
+  void SetApproxRecords(uint64_t n);
+
+  /// Heartbeat from the primary of stripe `index`; renews its lease iff
+  /// `from` is the node the layout names as that primary (a fenced old
+  /// primary's heartbeats no longer count).
+  void Heartbeat(uint32_t index, const net::NodeId& from);
+
+  /// Stripes whose primary lease expired and which have a backup to promote.
+  /// Marks each returned stripe in-failover so repeated calls don't plan the
+  /// same promotion twice; resolve with CommitFailover or AbortFailover.
+  std::vector<FailoverPlan> ExpiredLeases();
+
+  /// Applies a planned failover: the backup becomes the stripe's primary
+  /// under the new fencing epoch, the version bumps, and the stripe's lease
+  /// re-arms when the new primary first heartbeats.
+  Status CommitFailover(const FailoverPlan& plan);
+
+  /// Abandons a planned failover (promotion RPC failed); the lease re-arms
+  /// so the monitor retries after another lease period.
+  void AbortFailover(uint32_t index);
+
+  /// True while stripe `index`'s primary holds an unexpired lease.
+  bool LeaseHeld(uint32_t index) const { return leases_.Held(index); }
+
+  uint64_t version() const;
+  int64_t lease_nanos() const { return leases_.lease_nanos(); }
 
  private:
   mutable std::mutex mu_;
   ClusterInfo info_;
+  LeaseTable leases_;
+  /// Stripes with a planned, uncommitted promotion.
+  std::set<uint32_t> in_failover_;
 };
 
 }  // namespace chariots::flstore

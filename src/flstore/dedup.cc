@@ -35,9 +35,15 @@ Status DedupWindow::Open() {
   if (open_) return Status::FailedPrecondition("DedupWindow already open");
   if (!options_.sidecar_path.empty()) {
     CHARIOTS_ASSIGN_OR_RETURN(sidecar_,
-                              storage::File::OpenAppendable(
-                                  options_.sidecar_path));
+                              storage::FaultInjectingFile::OpenAppendable(
+                                  options_.sidecar_path,
+                                  options_.disk_faults));
+    sidecar_frames_ = 0;
     CHARIOTS_RETURN_IF_ERROR(ReplaySidecarLocked());
+    // A maintainer that crashed before it could compact leaves a mostly-dead
+    // sidecar behind; rewrite it now so the next recovery replays only the
+    // live window instead of the full append history.
+    CHARIOTS_RETURN_IF_ERROR(MaybeCompactSidecarLocked());
   }
   open_ = true;
   return Status::OK();
@@ -83,6 +89,7 @@ Status DedupWindow::ReplaySidecarLocked() {
       window.responses.erase(oldest);
       --entries_;
     }
+    ++sidecar_frames_;
     offset += kFrameHeader + len;
   }
   if (offset < size) return sidecar_.Truncate(offset);  // torn header
@@ -108,12 +115,32 @@ Status DedupWindow::Close() {
     // rewrite it down to the live window so it stays O(clients * window).
     Status s = storage::WriteStringToFileAtomic(EncodeLiveLocked(),
                                                 options_.sidecar_path);
-    sidecar_ = storage::File();
+    sidecar_ = storage::FaultInjectingFile();
     CHARIOTS_RETURN_IF_ERROR(s);
   }
   clients_.clear();
   entries_ = 0;
+  sidecar_frames_ = 0;
   return Status::OK();
+}
+
+Status DedupWindow::CompactSidecarLocked() {
+  sidecar_.Close();
+  CHARIOTS_RETURN_IF_ERROR(storage::WriteStringToFileAtomic(
+      EncodeLiveLocked(), options_.sidecar_path));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      sidecar_, storage::FaultInjectingFile::OpenAppendable(
+                    options_.sidecar_path, options_.disk_faults));
+  sidecar_frames_ = entries_;
+  ++compactions_;
+  return Status::OK();
+}
+
+Status DedupWindow::MaybeCompactSidecarLocked() {
+  if (options_.compact_min_frames == 0) return Status::OK();
+  if (sidecar_frames_ < options_.compact_min_frames) return Status::OK();
+  if (entries_ * 2 >= sidecar_frames_) return Status::OK();
+  return CompactSidecarLocked();
 }
 
 Result<std::optional<std::string>> DedupWindow::Lookup(
@@ -151,6 +178,7 @@ Status DedupWindow::Record(const std::string& client_id, uint64_t seq,
   }
   if (!options_.sidecar_path.empty()) {
     CHARIOTS_RETURN_IF_ERROR(AppendSidecarLocked(client_id, seq, response));
+    CHARIOTS_RETURN_IF_ERROR(MaybeCompactSidecarLocked());
   }
   return Status::OK();
 }
@@ -158,7 +186,10 @@ Status DedupWindow::Record(const std::string& client_id, uint64_t seq,
 Status DedupWindow::AppendSidecarLocked(const std::string& client_id,
                                         uint64_t seq,
                                         const std::string& response) {
-  return sidecar_.Append(EncodeEntry(client_id, seq, response));
+  CHARIOTS_RETURN_IF_ERROR(sidecar_.Append(EncodeEntry(client_id, seq,
+                                                       response)));
+  ++sidecar_frames_;
+  return Status::OK();
 }
 
 uint64_t DedupWindow::hits() const {
@@ -169,6 +200,16 @@ uint64_t DedupWindow::hits() const {
 size_t DedupWindow::entries() const {
   std::lock_guard<std::mutex> lock(mu_);
   return entries_;
+}
+
+uint64_t DedupWindow::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+uint64_t DedupWindow::sidecar_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sidecar_frames_;
 }
 
 }  // namespace chariots::flstore

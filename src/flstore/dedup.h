@@ -10,6 +10,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_injection.h"
 #include "storage/file.h"
 
 namespace chariots::flstore {
@@ -40,6 +41,13 @@ class DedupWindow {
     size_t window_per_client = 128;
     /// Optional persistence sidecar. Empty = in-memory only.
     std::string sidecar_path;
+    /// Compact the sidecar once it holds at least this many frames AND live
+    /// entries are fewer than half of them, so a long-lived maintainer never
+    /// replays an unbounded file on recovery. 0 disables auto-compaction
+    /// (Close() still compacts).
+    size_t compact_min_frames = 64;
+    /// Optional scripted disk-fault plan the sidecar writes route through.
+    storage::DiskFaultSchedule* disk_faults = nullptr;
   };
 
   explicit DedupWindow(Options options) : options_(std::move(options)) {}
@@ -64,6 +72,10 @@ class DedupWindow {
 
   uint64_t hits() const;
   size_t entries() const;
+  /// Sidecar rewrites performed since Open() (observability/testing).
+  uint64_t compactions() const;
+  /// Frames currently in the sidecar file, live and superseded.
+  uint64_t sidecar_frames() const;
 
  private:
   struct ClientWindow {
@@ -77,15 +89,21 @@ class DedupWindow {
   Status AppendSidecarLocked(const std::string& client_id, uint64_t seq,
                              const std::string& response);
   std::string EncodeLiveLocked() const;
+  /// Rewrites the sidecar down to the live window and reopens it.
+  Status CompactSidecarLocked();
+  /// Compacts when the file is at least half dead (and big enough to care).
+  Status MaybeCompactSidecarLocked();
 
   const Options options_;
 
   mutable std::mutex mu_;
   bool open_ = false;
   std::unordered_map<std::string, ClientWindow> clients_;
-  storage::File sidecar_;
+  storage::FaultInjectingFile sidecar_;
   uint64_t hits_ = 0;
   size_t entries_ = 0;
+  uint64_t sidecar_frames_ = 0;
+  uint64_t compactions_ = 0;
 };
 
 }  // namespace chariots::flstore

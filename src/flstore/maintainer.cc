@@ -276,6 +276,36 @@ Status LogMaintainer::AppendAt(LId lid, const LogRecord& record) {
   return status;
 }
 
+Result<std::vector<LId>> LogMaintainer::FillHoles(const LogRecord& junk) {
+  // Collect holes under the lock, then fill them through AppendAt so each
+  // junk record goes through the normal landing path (store write, fill
+  // state, gossip refresh, observer).
+  std::vector<LId> holes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t e = 0; e < journal_.num_epochs(); ++e) {
+      const std::set<uint64_t>& pending = filled_pending_[e];
+      for (uint64_t slot = filled_contig_[e]; slot < assign_next_[e];
+           ++slot) {
+        if (pending.count(slot) != 0) continue;
+        Result<LId> global =
+            journal_.GlobalFor(options_.index, SlotRef{e, slot});
+        if (global.ok()) holes.push_back(*global);
+      }
+    }
+  }
+  std::vector<LId> filled;
+  for (LId lid : holes) {
+    LogRecord record = junk;
+    record.lid = lid;
+    Status status = AppendAt(lid, record);
+    if (status.code() == StatusCode::kAlreadyExists) continue;  // late racer
+    CHARIOTS_RETURN_IF_ERROR(status);
+    filled.push_back(lid);
+  }
+  return filled;
+}
+
 Result<LogRecord> LogMaintainer::Read(LId lid) const {
   std::lock_guard<std::mutex> lock(mu_);
   if (journal_.MaintainerFor(lid) != options_.index) {

@@ -81,6 +81,15 @@ class LogMaintainer {
   /// this maintainer, AlreadyExists if occupied.
   Status AppendAt(LId lid, const LogRecord& record);
 
+  /// Fills every owned-but-unfilled position below this maintainer's
+  /// assignment cursor with a copy of `junk` (paper §5.3's invalid records).
+  /// Used at failover promotion: positions the failed primary assigned but
+  /// never replicated would wedge the Head of the Log forever; junk-filling
+  /// them lets HL advance, and readers skip records tagged as junk. Returns
+  /// the positions filled. The observer fires for each, so fills replicate
+  /// and index like any landed record.
+  Result<std::vector<LId>> FillHoles(const LogRecord& junk);
+
   /// Raw read: the record at `lid` regardless of gaps before it.
   Result<LogRecord> Read(LId lid) const;
 

@@ -1,0 +1,147 @@
+#include "flstore/replica_group.h"
+
+#include <utility>
+
+#include "common/codec.h"
+#include "common/logging.h"
+
+namespace chariots::flstore {
+
+std::string EncodeReplicateRequest(const ReplicateRequest& req) {
+  BinaryWriter w;
+  w.PutU64(req.epoch);
+  w.PutU32(static_cast<uint32_t>(req.entries.size()));
+  for (const ReplicatedEntry& e : req.entries) {
+    w.PutU64(e.lid);
+    w.PutBytes(e.record_bytes);
+  }
+  w.PutBytes(req.client_id);
+  w.PutU64(req.seq);
+  w.PutBytes(req.response);
+  return std::move(w).data();
+}
+
+Result<ReplicateRequest> DecodeReplicateRequest(std::string_view data) {
+  BinaryReader r(data);
+  ReplicateRequest req;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&req.epoch));
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  req.entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&req.entries[i].lid));
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&req.entries[i].record_bytes));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&req.client_id));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&req.seq));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&req.response));
+  return req;
+}
+
+ReplicaGroup::ReplicaGroup(net::RpcEndpoint* endpoint, ReplicaOptions options)
+    : endpoint_(endpoint),
+      role_(options.role),
+      epoch_(options.epoch),
+      backup_(std::move(options.backup)),
+      replicate_timeout_(options.replicate_timeout) {}
+
+ReplicaRole ReplicaGroup::role() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_;
+}
+
+uint64_t ReplicaGroup::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+bool ReplicaGroup::fenced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fenced_;
+}
+
+net::NodeId ReplicaGroup::backup() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return backup_;
+}
+
+bool ReplicaGroup::replicates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_ == ReplicaRole::kPrimary && !backup_.empty();
+}
+
+Status ReplicaGroup::Replicate(std::vector<ReplicatedEntry> entries,
+                               const std::string& client_id, uint64_t seq,
+                               const std::string& response) {
+  ReplicateRequest req;
+  net::NodeId backup;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fenced_) return Status::Unavailable("NOT_PRIMARY: fenced");
+    if (role_ != ReplicaRole::kPrimary || backup_.empty()) {
+      return Status::OK();  // nothing to replicate to
+    }
+    req.epoch = epoch_;
+    backup = backup_;
+  }
+  req.entries = std::move(entries);
+  req.client_id = client_id;
+  req.seq = seq;
+  req.response = response;
+  Result<std::string> result = endpoint_->Call(
+      backup, kReplicateRpc, EncodeReplicateRequest(req), replicate_timeout_);
+  if (!result.ok()) {
+    // Could not confirm backup durability — whether the hop failed or the
+    // backup rejected our epoch, this primary can no longer safely ack
+    // appends. Self-fence: the controller will promote the backup, and our
+    // unacked local tail dies with us.
+    LOG_WARN << "replicate to " << backup
+             << " failed, fencing: " << result.status().ToString();
+    Fence();
+    return Status::Unavailable("NOT_PRIMARY: replication failed (" +
+                               result.status().ToString() + ")");
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::CheckServing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fenced_) return Status::Unavailable("NOT_PRIMARY: fenced");
+  if (role_ == ReplicaRole::kBackup) {
+    return Status::Unavailable("NOT_PRIMARY: backup replica");
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::CheckReplicaEpoch(uint64_t remote_epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remote_epoch < epoch_) {
+    return Status::FailedPrecondition("stale replication epoch");
+  }
+  if (remote_epoch > epoch_) {
+    return Status::FailedPrecondition("replication epoch from the future");
+  }
+  return Status::OK();
+}
+
+Status ReplicaGroup::Promote(uint64_t new_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (role_ == ReplicaRole::kPrimary && epoch_ == new_epoch) {
+    return Status::OK();  // retried promotion
+  }
+  if (new_epoch <= epoch_) {
+    return Status::FailedPrecondition("promotion epoch must move forward");
+  }
+  if (fenced_) return Status::FailedPrecondition("cannot promote fenced node");
+  role_ = ReplicaRole::kPrimary;
+  epoch_ = new_epoch;
+  backup_.clear();  // the promoted node runs unreplicated until reconfigured
+  return Status::OK();
+}
+
+void ReplicaGroup::Fence() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fenced_ = true;
+}
+
+}  // namespace chariots::flstore

@@ -1,0 +1,136 @@
+#ifndef CHARIOTS_FLSTORE_REPLICA_GROUP_H_
+#define CHARIOTS_FLSTORE_REPLICA_GROUP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "flstore/types.h"
+#include "net/rpc.h"
+
+namespace chariots::flstore {
+
+/// This node's position in its stripe's replica set.
+enum class ReplicaRole : uint8_t {
+  kSolo = 0,     ///< unreplicated stripe (pre-replication deployments)
+  kPrimary = 1,  ///< serves clients, ships every landed record to the backup
+  kBackup = 2,   ///< applies replicated records, rejects client traffic
+};
+
+/// One landed record as shipped primary -> backup: its assigned position and
+/// its already-encoded bytes (the backup applies it with AppendAt, so both
+/// replicas hold byte-identical payloads at identical positions).
+struct ReplicatedEntry {
+  LId lid = kInvalidLId;
+  std::string record_bytes;
+};
+
+/// Payload of a kReplicate RPC. Carries the primary's fencing epoch (the
+/// backup rejects anything stale), the batch of landed records, and the
+/// dedup token + cached response of the client operation that produced them
+/// ("" client_id = none), so exactly-once state survives failover: a retry
+/// that lands on the promoted backup replays the cached response instead of
+/// appending twice.
+struct ReplicateRequest {
+  uint64_t epoch = 0;
+  std::vector<ReplicatedEntry> entries;
+  std::string client_id;
+  uint64_t seq = 0;
+  std::string response;
+};
+
+std::string EncodeReplicateRequest(const ReplicateRequest& req);
+Result<ReplicateRequest> DecodeReplicateRequest(std::string_view data);
+
+/// Opcode of the replicate RPC. service.h's Opcode enum aliases this value;
+/// it lives here so ReplicaGroup needn't depend on the service layer.
+inline constexpr uint16_t kReplicateRpc = 15;
+
+/// Options for one node's view of its stripe replica set.
+struct ReplicaOptions {
+  ReplicaRole role = ReplicaRole::kSolo;
+  /// The stripe's fencing epoch this node believes in. Starts at 1; every
+  /// failover promotion bumps it, and a node that learns of a higher epoch
+  /// (or fails to reach its backup) must stop serving.
+  uint64_t epoch = 1;
+  /// The backup node (primary role only; "" = primary with no backup).
+  net::NodeId backup;
+  /// Per-attempt budget for the synchronous replicate call. Appends ack only
+  /// after the backup durably framed the batch, so this bounds append
+  /// latency under a slow/partitioned backup before the primary self-fences.
+  std::chrono::milliseconds replicate_timeout{1000};
+};
+
+/// Epoch-fenced primary–backup replication for one maintainer stripe.
+///
+/// The protocol is deliberately minimal (one synchronous hop, no quorums):
+///  * The primary lands a batch locally, then ships it to the backup and
+///    acks the client only after the backup confirmed durability.
+///  * If the backup is unreachable or rejects the epoch, the primary
+///    *self-fences*: it stops serving (NOT_PRIMARY on every later request)
+///    and stops heartbeating, so the controller promotes the backup. The
+///    primary's unacked local tail may diverge, but a fenced node never
+///    serves it — the client retries against the promoted backup, and dedup
+///    state (replicated with each batch) keeps the retry exactly-once.
+///  * The backup rejects client traffic and any replicate/fill carrying an
+///    epoch other than its own, which makes a deposed primary's in-flight
+///    traffic harmless after promotion (split-brain safety).
+///
+/// Thread-safe; role/epoch transitions and the fenced latch share one lock.
+class ReplicaGroup {
+ public:
+  ReplicaGroup(net::RpcEndpoint* endpoint, ReplicaOptions options);
+
+  ReplicaRole role() const;
+  uint64_t epoch() const;
+  bool fenced() const;
+  net::NodeId backup() const;
+
+  /// True when this node must ship landed records to a backup.
+  bool replicates() const;
+
+  /// Primary: synchronously replicate a batch (with its dedup token) to the
+  /// backup. Any failure — transport, timeout, or epoch rejection — fences
+  /// this node before returning, so the caller must fail the client request
+  /// (kUnavailable) and never ack.
+  Status Replicate(std::vector<ReplicatedEntry> entries,
+                   const std::string& client_id, uint64_t seq,
+                   const std::string& response);
+
+  /// Guard for client-facing handlers: OK only when this node is an
+  /// unfenced primary (or solo). Backups and fenced nodes get kUnavailable
+  /// with a NOT_PRIMARY marker, which steers the client's failover loop to
+  /// refresh its controller view.
+  Status CheckServing() const;
+
+  /// Backup: validate the epoch of an incoming replicate/fill. A stale
+  /// epoch is rejected with kFailedPrecondition (the sender must fence); a
+  /// *newer* epoch also rejects — the backup only moves epochs via Promote.
+  Status CheckReplicaEpoch(uint64_t remote_epoch) const;
+
+  /// Backup -> primary under the bumped fencing epoch. Idempotent: a retry
+  /// of the same promotion (already primary at `new_epoch`) is OK; an
+  /// attempt to move backward fails.
+  Status Promote(uint64_t new_epoch);
+
+  /// Stop serving permanently (until a restart reconfigures the node).
+  void Fence();
+
+ private:
+  net::RpcEndpoint* const endpoint_;
+
+  mutable std::mutex mu_;
+  ReplicaRole role_;
+  uint64_t epoch_;
+  net::NodeId backup_;
+  bool fenced_ = false;
+  const std::chrono::milliseconds replicate_timeout_;
+};
+
+}  // namespace chariots::flstore
+
+#endif  // CHARIOTS_FLSTORE_REPLICA_GROUP_H_

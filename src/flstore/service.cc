@@ -20,6 +20,23 @@ Result<LId> DecodeLId(std::string_view data) {
   return lid;
 }
 
+/// Replication collector: while a handler runs a maintainer append, the
+/// observer appends every landed record here (handlers run on the transport
+/// delivery thread, so thread_local scoping keeps concurrent handlers from
+/// mixing batches). Null outside an append handler.
+thread_local std::vector<ReplicatedEntry>* g_replication_sink = nullptr;
+
+/// Arms the sink for the enclosing scope.
+class ReplicationScope {
+ public:
+  explicit ReplicationScope(std::vector<ReplicatedEntry>* sink) {
+    g_replication_sink = sink;
+  }
+  ~ReplicationScope() { g_replication_sink = nullptr; }
+  ReplicationScope(const ReplicationScope&) = delete;
+  ReplicationScope& operator=(const ReplicationScope&) = delete;
+};
+
 }  // namespace
 
 std::string EncodeEpoch(const StripeEpoch& epoch) {
@@ -47,24 +64,29 @@ MaintainerServer::MaintainerServer(net::Transport* transport,
     : maintainer_(std::move(maintainer)),
       options_(std::move(options)),
       endpoint_(transport, options_.node),
+      repl_endpoint_(transport, options_.node + "#repl"),
       dedup_(DedupWindow::Options{options_.dedup_window,
-                                  options_.dedup_sidecar}) {}
+                                  options_.dedup_sidecar,
+                                  options_.dedup_compact_min_frames,
+                                  options_.dedup_disk_faults}),
+      replica_(&repl_endpoint_, options_.replica),
+      peers_(options_.peers) {}
 
 MaintainerServer::~MaintainerServer() { Stop(); }
 
 Status MaintainerServer::Start() {
   CHARIOTS_RETURN_IF_ERROR(maintainer_.Open());
   CHARIOTS_RETURN_IF_ERROR(dedup_.Open());
-  if (!options_.indexers.empty()) {
-    maintainer_.SetAppendObserver(
-        [this](const LogRecord& record, LId lid) {
-          PublishPostings(record, lid);
-        });
-  }
+  maintainer_.SetAppendObserver(
+      [this](const LogRecord& record, LId lid) { OnLanded(record, lid); });
   InstallHandlers();
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  CHARIOTS_RETURN_IF_ERROR(repl_endpoint_.Start());
   if (options_.peers.size() > 1) {
     gossip_thread_ = std::thread([this] { GossipLoop(); });
+  }
+  if (!options_.controller.empty()) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
   }
   return Status::OK();
 }
@@ -73,7 +95,9 @@ void MaintainerServer::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
   if (gossip_thread_.joinable()) gossip_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
   endpoint_.Stop();
+  repl_endpoint_.Stop();
   (void)dedup_.Close();
 }
 
@@ -84,14 +108,33 @@ Status MaintainerServer::Restart() {
   return Start();
 }
 
+void MaintainerServer::OnLanded(const LogRecord& record, LId lid) {
+  if (g_replication_sink != nullptr) {
+    g_replication_sink->push_back(
+        ReplicatedEntry{lid, EncodeLogRecord(record)});
+  }
+  // Backups hold the postings back: the primary already published them, and
+  // the promoted node starts publishing the moment it begins serving.
+  if (!options_.indexers.empty() && replica_.CheckServing().ok()) {
+    PublishPostings(record, lid);
+  }
+}
+
 void MaintainerServer::InstallHandlers() {
   // All client-initiated appends open with a (client_id, seq) token. A
   // token the dedup window has already executed short-circuits to the
   // cached response, so a retry whose original *response* was lost returns
   // the same LIds instead of appending twice.
+  //
+  // Replicated stripes additionally ship each landed batch to the backup
+  // (with the token and cached response) before recording dedup state and
+  // acking — so an ack means both replicas hold the records, and a retry
+  // that lands on the promoted backup after failover replays the cached
+  // response instead of appending twice.
   endpoint_.Handle(kAppend, [this](const net::NodeId&,
                                    const std::string& payload)
                                 -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -104,8 +147,15 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               DecodeLogRecord(kInvalidLId, rec_bytes));
-    CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
+    std::vector<ReplicatedEntry> batch;
+    LId lid = kInvalidLId;
+    {
+      ReplicationScope scope(&batch);
+      CHARIOTS_ASSIGN_OR_RETURN(lid, maintainer_.Append(record));
+    }
     std::string response = EncodeLId(lid);
+    CHARIOTS_RETURN_IF_ERROR(
+        replica_.Replicate(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -113,6 +163,7 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppendBatch, [this](const net::NodeId&,
                                         const std::string& payload)
                                      -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -123,17 +174,23 @@ void MaintainerServer::InstallHandlers() {
     if (cached.has_value()) return *std::move(cached);
     uint32_t n = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    std::vector<ReplicatedEntry> batch;
     BinaryWriter out;
     out.PutU32(n);
-    for (uint32_t i = 0; i < n; ++i) {
-      std::string rec_bytes;
-      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
-      CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
-                                DecodeLogRecord(kInvalidLId, rec_bytes));
-      CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
-      out.PutU64(lid);
+    {
+      ReplicationScope scope(&batch);
+      for (uint32_t i = 0; i < n; ++i) {
+        std::string rec_bytes;
+        CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+        CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                                  DecodeLogRecord(kInvalidLId, rec_bytes));
+        CHARIOTS_ASSIGN_OR_RETURN(LId lid, maintainer_.Append(record));
+        out.PutU64(lid);
+      }
     }
     std::string response = std::move(out).data();
+    CHARIOTS_RETURN_IF_ERROR(
+        replica_.Replicate(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -141,6 +198,7 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppendAt, [this](const net::NodeId&,
                                      const std::string& payload)
                                   -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     LId lid = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -148,13 +206,19 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               DecodeLogRecord(lid, rec_bytes));
-    CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(lid, record));
+    std::vector<ReplicatedEntry> batch;
+    {
+      ReplicationScope scope(&batch);
+      CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(lid, record));
+    }
+    CHARIOTS_RETURN_IF_ERROR(replica_.Replicate(std::move(batch), "", 0, ""));
     return std::string();
   });
 
   endpoint_.Handle(kAppendOrdered, [this](const net::NodeId&,
                                           const std::string& payload)
                                        -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -169,11 +233,18 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               DecodeLogRecord(kInvalidLId, rec_bytes));
-    CHARIOTS_ASSIGN_OR_RETURN(LId lid,
-                              maintainer_.AppendOrdered(record, min_lid));
+    std::vector<ReplicatedEntry> batch;
+    LId lid = kInvalidLId;
+    {
+      ReplicationScope scope(&batch);
+      CHARIOTS_ASSIGN_OR_RETURN(lid,
+                                maintainer_.AppendOrdered(record, min_lid));
+    }
     // Caching a deferred (kInvalidLId) response is deliberate: a retry must
     // not re-buffer the record — the first buffered copy will land.
     std::string response = EncodeLId(lid);
+    CHARIOTS_RETURN_IF_ERROR(
+        replica_.Replicate(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -181,6 +252,7 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kRead, [this](const net::NodeId&,
                                  const std::string& payload)
                               -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, maintainer_.Read(lid));
     return EncodeLogRecord(record);
@@ -189,6 +261,7 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kReadCommitted, [this](const net::NodeId&,
                                           const std::string& payload)
                                        -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               maintainer_.ReadCommitted(lid));
@@ -197,6 +270,7 @@ void MaintainerServer::InstallHandlers() {
 
   endpoint_.Handle(kHeadOfLog, [this](const net::NodeId&, const std::string&)
                                    -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     return EncodeLId(maintainer_.HeadOfLog());
   });
 
@@ -217,6 +291,86 @@ void MaintainerServer::InstallHandlers() {
       maintainer_.OnGossip(index, first_unfilled);
     }
   });
+
+  // Backup side of the stripe replica set: apply a batch the primary shipped
+  // (epoch-fenced), then mirror its dedup state so exactly-once survives a
+  // failover. AlreadyExists is a retried batch — the records landed the
+  // first time.
+  endpoint_.Handle(kReplicate, [this](const net::NodeId&,
+                                      const std::string& payload)
+                                   -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(ReplicateRequest req,
+                              DecodeReplicateRequest(payload));
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReplicaEpoch(req.epoch));
+    for (const ReplicatedEntry& entry : req.entries) {
+      CHARIOTS_ASSIGN_OR_RETURN(
+          LogRecord record, DecodeLogRecord(entry.lid, entry.record_bytes));
+      Status status = maintainer_.AppendAt(entry.lid, record);
+      if (status.code() == StatusCode::kAlreadyExists) continue;
+      CHARIOTS_RETURN_IF_ERROR(status);
+    }
+    if (!req.client_id.empty()) {
+      CHARIOTS_RETURN_IF_ERROR(
+          dedup_.Record(req.client_id, req.seq, req.response));
+    }
+    return std::string();
+  });
+
+  // Failover promotion (controller -> backup): adopt the bumped fencing
+  // epoch, become primary, and junk-fill the positions the dead primary
+  // assigned but never replicated so the Head of the Log can advance past
+  // them. Responds with the filled positions. Idempotent under retry.
+  endpoint_.Handle(kPromote, [this](const net::NodeId&,
+                                    const std::string& payload)
+                                 -> Result<std::string> {
+    BinaryReader r(payload);
+    uint64_t new_epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
+    CHARIOTS_RETURN_IF_ERROR(replica_.Promote(new_epoch));
+    CHARIOTS_ASSIGN_OR_RETURN(std::vector<LId> filled,
+                              maintainer_.FillHoles(MakeJunkRecord()));
+    if (!filled.empty()) {
+      LOG_INFO << "promotion of maintainer " << maintainer_.index()
+               << " junk-filled " << filled.size() << " orphaned positions";
+    }
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(filled.size()));
+    for (LId lid : filled) w.PutU64(lid);
+    return std::move(w).data();
+  });
+
+  // Junk-fill one orphaned position (repair tooling / peers unwedging HL).
+  endpoint_.Handle(kFill, [this](const net::NodeId&,
+                                 const std::string& payload)
+                              -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
+    std::vector<ReplicatedEntry> batch;
+    Status status;
+    {
+      ReplicationScope scope(&batch);
+      status = maintainer_.AppendAt(lid, MakeJunkRecord(lid));
+    }
+    if (status.code() == StatusCode::kAlreadyExists) {
+      return std::string();  // position is occupied — nothing to repair
+    }
+    CHARIOTS_RETURN_IF_ERROR(status);
+    CHARIOTS_RETURN_IF_ERROR(replica_.Replicate(std::move(batch), "", 0, ""));
+    return std::string();
+  });
+
+  // Layout change from the controller: stripe `index` has a new primary.
+  endpoint_.HandleOneWay(kPeerUpdate, [this](const net::NodeId&,
+                                             std::string payload) {
+    BinaryReader r(payload);
+    uint32_t index = 0;
+    std::string node;
+    if (r.GetU32(&index).ok() && r.GetBytes(&node).ok()) {
+      std::lock_guard<std::mutex> lock(peers_mu_);
+      if (index >= peers_.size()) peers_.resize(index + 1);
+      peers_[index] = node;
+    }
+  });
 }
 
 void MaintainerServer::GossipLoop() {
@@ -225,12 +379,33 @@ void MaintainerServer::GossipLoop() {
     w.PutU32(maintainer_.index());
     w.PutU64(maintainer_.FirstUnfilledGlobal());
     std::string payload = std::move(w).data();
-    for (size_t i = 0; i < options_.peers.size(); ++i) {
+    std::vector<net::NodeId> peers;
+    {
+      std::lock_guard<std::mutex> lock(peers_mu_);
+      peers = peers_;
+    }
+    for (size_t i = 0; i < peers.size(); ++i) {
       if (i == maintainer_.index()) continue;
-      (void)endpoint_.Notify(options_.peers[i], kGossip, payload);
+      (void)endpoint_.Notify(peers[i], kGossip, payload);
     }
     std::this_thread::sleep_for(
         std::chrono::nanoseconds(options_.gossip_interval_nanos));
+  }
+}
+
+void MaintainerServer::HeartbeatLoop() {
+  BinaryWriter w;
+  w.PutU32(maintainer_.index());
+  const std::string payload = std::move(w).data();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Only the serving primary heartbeats: a backup must not keep its dead
+    // primary's lease alive, and a fenced primary must *let* its lease
+    // lapse so the controller promotes the backup.
+    if (replica_.CheckServing().ok()) {
+      (void)endpoint_.Notify(options_.controller, kHeartbeat, payload);
+    }
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.heartbeat_interval_nanos));
   }
 }
 
@@ -279,8 +454,11 @@ void IndexerServer::Stop() { endpoint_.Stop(); }
 // --------------------------------------------------------------- controller
 
 ControllerServer::ControllerServer(net::Transport* transport,
-                                   net::NodeId node, ClusterInfo initial)
-    : controller_(std::move(initial)), endpoint_(transport, std::move(node)) {}
+                                   net::NodeId node, ClusterInfo initial,
+                                   ControllerServerOptions options)
+    : controller_(std::move(initial), options.controller),
+      options_(options),
+      endpoint_(transport, std::move(node)) {}
 
 ControllerServer::~ControllerServer() { Stop(); }
 
@@ -300,13 +478,79 @@ Status ControllerServer::Start() {
                      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&epoch_bytes));
                      CHARIOTS_ASSIGN_OR_RETURN(StripeEpoch epoch,
                                                DecodeEpoch(epoch_bytes));
-                     CHARIOTS_RETURN_IF_ERROR(
-                         controller_.AddMaintainer(node, epoch));
+                     uint64_t expected_version = 0;
+                     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&expected_version));
+                     CHARIOTS_RETURN_IF_ERROR(controller_.AddMaintainer(
+                         node, epoch, expected_version));
                      return std::string();
                    });
-  return endpoint_.Start();
+  endpoint_.HandleOneWay(kHeartbeat, [this](const net::NodeId& from,
+                                            std::string payload) {
+    BinaryReader r(payload);
+    uint32_t index = 0;
+    if (r.GetU32(&index).ok()) controller_.Heartbeat(index, from);
+  });
+  CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  if (options_.monitor_interval_nanos > 0) {
+    monitor_thread_ = std::thread([this] { MonitorLoop(); });
+  }
+  return Status::OK();
 }
 
-void ControllerServer::Stop() { endpoint_.Stop(); }
+void ControllerServer::Stop() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    endpoint_.Stop();
+    return;
+  }
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  endpoint_.Stop();
+}
+
+int ControllerServer::TickLeases() {
+  int committed = 0;
+  for (const FailoverPlan& plan : controller_.ExpiredLeases()) {
+    // Two-phase: promote the backup over RPC first; only a confirmed
+    // promotion changes the layout. A lost response retries the (idempotent)
+    // promotion on the next tick via AbortFailover's re-armed lease.
+    BinaryWriter w;
+    w.PutU64(plan.new_epoch);
+    Result<std::string> promoted = endpoint_.Call(
+        plan.backup, kPromote, std::move(w).data(),
+        std::chrono::milliseconds(1000));
+    if (!promoted.ok()) {
+      LOG_WARN << "promotion of " << plan.backup << " for stripe "
+               << plan.index
+               << " failed: " << promoted.status().ToString();
+      controller_.AbortFailover(plan.index);
+      continue;
+    }
+    Status status = controller_.CommitFailover(plan);
+    if (!status.ok()) {
+      LOG_WARN << "failover commit for stripe " << plan.index
+               << " failed: " << status.ToString();
+      continue;
+    }
+    ++committed;
+    // Tell the surviving maintainers (including the promoted one) where the
+    // stripe now lives, so gossip keeps flowing to the right node.
+    BinaryWriter update;
+    update.PutU32(plan.index);
+    update.PutBytes(plan.backup);
+    std::string update_bytes = std::move(update).data();
+    for (const net::NodeId& peer : controller_.GetInfo().maintainers) {
+      (void)endpoint_.Notify(peer, kPeerUpdate, update_bytes);
+    }
+  }
+  return committed;
+}
+
+void ControllerServer::MonitorLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    TickLeases();
+    std::this_thread::sleep_for(
+        std::chrono::nanoseconds(options_.monitor_interval_nanos));
+  }
+}
 
 }  // namespace chariots::flstore

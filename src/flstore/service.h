@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "flstore/dedup.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
+#include "flstore/replica_group.h"
 #include "net/rpc.h"
 
 namespace chariots::flstore {
@@ -27,8 +29,13 @@ enum Opcode : uint16_t {
   kIndexLookup = 9,   ///< IndexQuery -> postings
   kIndexAdd = 10,     ///< one-way: key + value + u64 lid
   kGetClusterInfo = 11,  ///< () -> ClusterInfo
-  kControllerAddMaintainer = 12,  ///< node + epoch -> ()
+  kControllerAddMaintainer = 12,  ///< node + epoch + u64 version -> ()
   kAppendBatch = 13,  ///< u32 n + n records -> n u64 lids
+  kHeartbeat = 14,    ///< one-way to controller: u32 stripe index
+  kReplicate = kReplicateRpc,  ///< 15: ReplicateRequest -> () (to backup)
+  kPromote = 16,      ///< u64 new_epoch -> u32 n + n filled lids (to backup)
+  kFill = 17,         ///< u64 lid -> () (junk-fill one orphaned position)
+  kPeerUpdate = 18,   ///< one-way: u32 index + node (new stripe primary)
 };
 
 /// Wire encoding of a StripeEpoch (used by kAddEpoch /
@@ -37,7 +44,10 @@ std::string EncodeEpoch(const StripeEpoch& epoch);
 Result<StripeEpoch> DecodeEpoch(std::string_view data);
 
 /// Hosts a LogMaintainer on the RPC fabric: serves appends/reads, runs the
-/// HL gossip timer, and publishes tag postings to the indexers.
+/// HL gossip timer, publishes tag postings to the indexers, and — when the
+/// stripe is replicated — ships every landed record to its backup before
+/// acking, heartbeats the controller, and obeys epoch fencing (see
+/// ReplicaGroup for the protocol).
 class MaintainerServer {
  public:
   struct Options {
@@ -51,13 +61,26 @@ class MaintainerServer {
     /// Optional dedup persistence sidecar (typically a file next to the
     /// maintainer's segment dir). Empty = dedup state dies with the server.
     std::string dedup_sidecar;
+    /// Sidecar compaction threshold (see DedupWindow::Options).
+    size_t dedup_compact_min_frames = 64;
+    /// Optional scripted disk-fault plan for the dedup sidecar (the log
+    /// store takes its own via LogStoreOptions::disk_faults).
+    storage::DiskFaultSchedule* dedup_disk_faults = nullptr;
+    /// This node's position in its stripe replica set (solo by default, so
+    /// unreplicated deployments are unchanged).
+    ReplicaOptions replica;
+    /// Controller node to heartbeat ("" = no heartbeats; the controller
+    /// then never arms a lease for this stripe).
+    net::NodeId controller;
+    int64_t heartbeat_interval_nanos = 30'000'000;  ///< 30 ms default
   };
 
   MaintainerServer(net::Transport* transport, MaintainerOptions maintainer,
                    Options options);
   ~MaintainerServer();
 
-  /// Opens the maintainer and begins serving + gossiping.
+  /// Opens the maintainer and begins serving + gossiping (+ heartbeating
+  /// when a controller is configured and this node serves its stripe).
   Status Start();
   void Stop();
 
@@ -68,18 +91,32 @@ class MaintainerServer {
 
   LogMaintainer& maintainer() { return maintainer_; }
   DedupWindow& dedup() { return dedup_; }
+  ReplicaGroup& replica() { return replica_; }
 
  private:
   void InstallHandlers();
   void GossipLoop();
+  void HeartbeatLoop();
+  void OnLanded(const LogRecord& record, LId lid);
   void PublishPostings(const LogRecord& record, LId lid);
 
   LogMaintainer maintainer_;
   Options options_;
   net::RpcEndpoint endpoint_;
+  /// Dedicated endpoint for outbound replicate calls. The main endpoint's
+  /// inbox delivers one message at a time, and a replicate is issued from
+  /// *inside* an append handler — waiting for its response on the same
+  /// endpoint would deadlock behind the very handler that is waiting.
+  net::RpcEndpoint repl_endpoint_;
   DedupWindow dedup_;
+  ReplicaGroup replica_;
   std::atomic<bool> stop_{false};
   std::thread gossip_thread_;
+  std::thread heartbeat_thread_;
+  /// Maintainer nodes by stripe index; starts as options_.peers and is
+  /// updated by kPeerUpdate when the controller commits a failover.
+  std::mutex peers_mu_;
+  std::vector<net::NodeId> peers_;
 };
 
 /// Hosts an Indexer on the RPC fabric.
@@ -98,21 +135,43 @@ class IndexerServer {
   net::RpcEndpoint endpoint_;
 };
 
-/// Hosts the Controller on the RPC fabric.
+/// Knobs for the hosted controller.
+struct ControllerServerOptions {
+  ControllerOptions controller;
+  /// Interval of the background lease monitor; 0 disables the thread (tests
+  /// drive failover deterministically via TickLeases()).
+  int64_t monitor_interval_nanos = 0;
+};
+
+/// Hosts the Controller on the RPC fabric: serves cluster info and
+/// membership changes, collects primary heartbeats, and runs failover —
+/// promoting a stripe's backup when the primary's lease expires.
 class ControllerServer {
  public:
   ControllerServer(net::Transport* transport, net::NodeId node,
-                   ClusterInfo initial);
+                   ClusterInfo initial, ControllerServerOptions options = {});
   ~ControllerServer();
 
   Status Start();
   void Stop();
 
+  /// One failure-detection sweep: for every stripe whose primary lease
+  /// expired, deliver the promotion RPC to the backup and, on success,
+  /// commit the new layout and broadcast it to the surviving maintainers.
+  /// Returns the number of failovers committed. Public so tests (and the
+  /// disabled-monitor deployment) can drive failover deterministically.
+  int TickLeases();
+
   Controller& controller() { return controller_; }
 
  private:
+  void MonitorLoop();
+
   Controller controller_;
+  ControllerServerOptions options_;
   net::RpcEndpoint endpoint_;
+  std::atomic<bool> stop_{false};
+  std::thread monitor_thread_;
 };
 
 }  // namespace chariots::flstore

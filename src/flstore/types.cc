@@ -30,4 +30,18 @@ Result<LogRecord> DecodeLogRecord(LId lid, std::string_view data) {
   return record;
 }
 
+LogRecord MakeJunkRecord(LId lid) {
+  LogRecord record;
+  record.lid = lid;
+  record.tags.push_back(Tag{std::string(kJunkTagKey), "1"});
+  return record;
+}
+
+bool IsJunkRecord(const LogRecord& record) {
+  for (const Tag& tag : record.tags) {
+    if (tag.key == kJunkTagKey) return true;
+  }
+  return false;
+}
+
 }  // namespace chariots::flstore

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -44,6 +45,18 @@ std::string EncodeLogRecord(const LogRecord& record);
 
 /// Inverse of EncodeLogRecord; `lid` is filled from the argument.
 Result<LogRecord> DecodeLogRecord(LId lid, std::string_view data);
+
+/// Reserved tag key marking a junk (hole-fill) record. Positions orphaned by
+/// a crashed primary are filled with junk so the Head of the Log can advance
+/// past them (paper §5.3's invalid records); readers skip records carrying
+/// this tag. The NUL prefix keeps the key out of the application namespace.
+inline constexpr std::string_view kJunkTagKey{"\0chariots.fill", 14};
+
+/// A junk record for `lid`: empty body, single reserved tag.
+LogRecord MakeJunkRecord(LId lid = kInvalidLId);
+
+/// True if `record` is a hole-fill junk record.
+bool IsJunkRecord(const LogRecord& record);
 
 }  // namespace chariots::flstore
 

@@ -65,7 +65,9 @@ Status LogStore::Open() {
       segments_.rbegin()->second.file.size() >= options_.segment_bytes) {
     Segment seg;
     seg.path = SegmentPath(next_segment_id_);
-    CHARIOTS_ASSIGN_OR_RETURN(seg.file, File::OpenAppendable(seg.path));
+    CHARIOTS_ASSIGN_OR_RETURN(
+        seg.file,
+        FaultInjectingFile::OpenAppendable(seg.path, options_.disk_faults));
     segments_.emplace(next_segment_id_, std::move(seg));
     ++next_segment_id_;
   }
@@ -91,7 +93,9 @@ Status LogStore::Close() {
 
 Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
   std::string path = SegmentPath(segment_id);
-  CHARIOTS_ASSIGN_OR_RETURN(File file, File::OpenAppendable(path));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      FaultInjectingFile file,
+      FaultInjectingFile::OpenAppendable(path, options_.disk_faults));
 
   Segment seg;
   seg.path = path;
@@ -171,7 +175,9 @@ Status LogStore::RotateIfNeededLocked() {
   if (active.file.size() < options_.segment_bytes) return Status::OK();
   Segment seg;
   seg.path = SegmentPath(next_segment_id_);
-  CHARIOTS_ASSIGN_OR_RETURN(seg.file, File::OpenAppendable(seg.path));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      seg.file,
+      FaultInjectingFile::OpenAppendable(seg.path, options_.disk_faults));
   segments_.emplace(next_segment_id_, std::move(seg));
   ++next_segment_id_;
   return Status::OK();

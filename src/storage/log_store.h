@@ -14,6 +14,7 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/fault_injection.h"
 #include "storage/file.h"
 
 namespace chariots::storage {
@@ -55,6 +56,9 @@ struct LogStoreOptions {
   /// Clock used for kIntervalNanos bookkeeping; defaults to the system
   /// clock. Injectable for deterministic tests.
   Clock* clock = nullptr;
+  /// Optional scripted disk-fault plan every segment file routes its writes
+  /// and syncs through (crash-consistency tests). Null = real disk only.
+  DiskFaultSchedule* disk_faults = nullptr;
 };
 
 /// One record of a batched append: position + payload. The payload view must
@@ -150,7 +154,7 @@ class LogStore {
     uint32_t length;
   };
   struct Segment {
-    File file;
+    FaultInjectingFile file;
     std::string path;
     uint64_t min_lid = UINT64_MAX;
     uint64_t max_lid = 0;

@@ -251,9 +251,11 @@ TEST(FLStoreIntegrationTest, ElasticityAddMaintainerViaFutureEpoch) {
   for (auto& m : cluster.maintainers_) {
     ASSERT_TRUE(m->maintainer().AddEpoch(epoch).ok());
   }
-  // 3. Controller records the new layout for future sessions.
+  // 3. Controller records the new layout for future sessions (CAS on the
+  // version the installer read).
+  uint64_t version = cluster.controller_->controller().version();
   ASSERT_TRUE(cluster.controller_->controller()
-                  .AddMaintainer(so.node, epoch)
+                  .AddMaintainer(so.node, epoch, version)
                   .ok());
   ASSERT_TRUE(client->RefreshClusterInfo().ok());
   EXPECT_EQ(client->cluster_info().maintainers.size(), 3u);

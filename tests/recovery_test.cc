@@ -11,7 +11,9 @@
 #include "chariots/client.h"
 #include "chariots/datacenter.h"
 #include "chariots/fabric.h"
+#include "flstore/dedup.h"
 #include "net/inproc_transport.h"
+#include "storage/fault_injection.h"
 #include "storage/log_store.h"
 
 namespace chariots {
@@ -122,6 +124,127 @@ TEST_F(TombstoneTest, TornFinalFrameMidBatchRecovers) {
   // The truncated position is writable again.
   ASSERT_TRUE(store.Append(7, "rewritten").ok());
   EXPECT_EQ(*store.Get(7), "rewritten");
+}
+
+// --------------------------------------- scripted disk faults + recovery
+
+TEST_F(TombstoneTest, TornFrameDuringSegmentRotationRecovers) {
+  // Tiny segments force a rotation; the schedule tears the first write into
+  // the fresh segment mid-frame. Recovery must keep every record of the
+  // sealed segment and truncate the torn tail of the new one — exactly to
+  // the last durable record.
+  storage::DiskFaultSchedule faults;
+  faults.TornWriteNth("seg-00000001", 1, 9);
+  storage::LogStoreOptions o = Options();
+  o.segment_bytes = 256;  // ~2 records per segment
+  o.sync_policy = storage::SyncPolicy::kEveryBatch;
+  o.disk_faults = &faults;
+  std::vector<uint64_t> acked;
+  {
+    storage::LogStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 8; ++lid) {
+      if (store.Append(lid, "rec-" + std::to_string(lid) +
+                                std::string(100, 'r')).ok()) {
+        acked.push_back(lid);
+      }
+    }
+  }
+  ASSERT_TRUE(faults.crashed());
+  ASSERT_FALSE(acked.empty());
+  ASSERT_LT(acked.size(), 8u);
+
+  // No SimulateCrash: the torn bytes *did* reach the platter. Recovery has
+  // to find the short frame, fail its CRC, and truncate it away.
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.ListLids(), acked);
+  // The truncated position is writable again (hole repair relies on this).
+  uint64_t next = acked.back() + 1;
+  ASSERT_TRUE(store.Append(next, "rewritten").ok());
+  EXPECT_EQ(*store.Get(next), "rewritten");
+}
+
+TEST_F(TombstoneTest, FailedFsyncBeforeAckIsNotRecovered) {
+  // The frame reaches the page cache but fdatasync fails, so the append is
+  // never acked. Power loss drops the unsynced bytes; recovery must end at
+  // the last record whose group-commit sync succeeded.
+  storage::DiskFaultSchedule faults;
+  faults.FailSyncNth("seg-", 3);
+  storage::LogStoreOptions o = Options();
+  o.sync_policy = storage::SyncPolicy::kEveryBatch;
+  o.disk_faults = &faults;
+  std::vector<uint64_t> acked;
+  {
+    storage::LogStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 6; ++lid) {
+      if (store.Append(lid, "rec-" + std::to_string(lid)).ok()) {
+        acked.push_back(lid);
+      }
+    }
+  }
+  ASSERT_EQ(acked, (std::vector<uint64_t>{0, 1}));
+  ASSERT_TRUE(faults.SimulateCrash().ok());
+
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.ListLids(), acked);
+}
+
+TEST_F(TombstoneTest, TornDedupSidecarRecoversToLastDurableToken) {
+  fs::create_directories(dir_);
+  std::string sidecar = (dir_ / "dedup.sidecar").string();
+  storage::DiskFaultSchedule faults;
+  faults.TornWriteNth("dedup.sidecar", 4, 5);
+  {
+    flstore::DedupWindow dedup({16, sidecar, 0, &faults});
+    ASSERT_TRUE(dedup.Open().ok());
+    for (uint64_t seq = 1; seq <= 6; ++seq) {
+      Status st = dedup.Record("client-a", seq, "resp-" + std::to_string(seq));
+      // The 4th sidecar append tears: that token is never acked.
+      EXPECT_EQ(st.ok(), seq < 4) << seq;
+    }
+  }
+  // Reopen over the torn file (no schedule): replay must truncate the torn
+  // frame and keep every durable token.
+  flstore::DedupWindow dedup({16, sidecar, 0, nullptr});
+  ASSERT_TRUE(dedup.Open().ok());
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    auto hit = dedup.Lookup("client-a", seq);
+    ASSERT_TRUE(hit.ok()) << seq;
+    ASSERT_TRUE(hit->has_value()) << seq;
+    EXPECT_EQ(**hit, "resp-" + std::to_string(seq));
+  }
+  auto miss = dedup.Lookup("client-a", 4);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->has_value());  // safe to re-execute: never acked
+}
+
+TEST_F(TombstoneTest, DedupSidecarStaysBoundedAcrossRestarts) {
+  // A long-lived maintainer must not replay an unbounded sidecar: once the
+  // file is mostly superseded frames, it is compacted to the live window.
+  fs::create_directories(dir_);
+  std::string sidecar = (dir_ / "dedup.sidecar").string();
+  {
+    flstore::DedupWindow dedup({4, sidecar, 8, nullptr});
+    ASSERT_TRUE(dedup.Open().ok());
+    for (uint64_t seq = 1; seq <= 200; ++seq) {
+      ASSERT_TRUE(
+          dedup.Record("client-a", seq, "resp-" + std::to_string(seq)).ok());
+    }
+    EXPECT_GT(dedup.compactions(), 0u);
+    EXPECT_LE(dedup.sidecar_frames(), 16u);  // bounded, not 200
+  }
+  flstore::DedupWindow dedup({4, sidecar, 8, nullptr});
+  ASSERT_TRUE(dedup.Open().ok());
+  EXPECT_EQ(dedup.entries(), 4u);  // exactly the live window survived
+  auto hit = dedup.Lookup("client-a", 200);
+  ASSERT_TRUE(hit.ok());
+  ASSERT_TRUE(hit->has_value());
+  EXPECT_EQ(**hit, "resp-200");
+  // A token older than the window is rejected, not silently re-executed.
+  EXPECT_FALSE(dedup.Lookup("client-a", 1).ok());
 }
 
 // ------------------------------------------------------ maintainer removal

@@ -1,0 +1,487 @@
+// Replication & failover tests: epoch-fenced primary–backup maintainers,
+// lease-based failure detection, hole repair at promotion, and exactly-once
+// appends across failover (DESIGN.md §8).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "flstore/client.h"
+#include "flstore/replica_group.h"
+#include "flstore/service.h"
+#include "net/inproc_transport.h"
+
+namespace chariots::flstore {
+namespace {
+
+using namespace std::chrono_literals;
+
+/// Seed for a scenario: the test's base seed offset by CHARIOTS_FAULT_SEED
+/// (tools/run_crash_matrix.sh sweeps it). Printed so a failure replays by
+/// exporting the same value.
+uint64_t ScenarioSeed(uint64_t base) {
+  uint64_t offset = 0;
+  if (const char* env = std::getenv("CHARIOTS_FAULT_SEED")) {
+    offset = std::strtoull(env, nullptr, 10);
+  }
+  uint64_t seed = base + offset;
+  std::cerr << "[ scenario seed " << seed << " ]\n";
+  return seed;
+}
+
+constexpr char kController[] = "dc0/controller";
+constexpr char kPrimary[] = "dc0/maintainer/0";
+constexpr char kBackup[] = "dc0/maintainer/0-backup";
+
+/// Wiring knobs for a ReplicatedCluster.
+struct ClusterConfig {
+  /// Lease clock (null = system). Tests that drive failover by hand use a
+  /// ManualClock and TickLeases(); the end-to-end kill test uses wall
+  /// time with heartbeats and the monitor thread.
+  Clock* clock = nullptr;
+  int64_t lease_nanos = 100'000'000;  // 100 ms
+  /// 0 = no monitor thread (drive via TickLeases()).
+  int64_t monitor_interval_nanos = 0;
+  /// Wire maintainer heartbeat threads to the controller.
+  bool heartbeats = false;
+  int64_t heartbeat_interval_nanos = 5'000'000;  // 5 ms
+  uint64_t batch = 4;
+};
+
+/// One replicated stripe (primary + backup) plus a controller, wired over
+/// the in-process transport.
+class ReplicatedCluster {
+ public:
+  using Config = ClusterConfig;
+
+  explicit ReplicatedCluster(Config config = Config()) {
+    ClusterInfo info;
+    info.journal = EpochJournal(1, config.batch);
+    info.maintainers = {kPrimary};
+    info.backups = {kBackup};
+    info.fence_epochs = {1};
+    ControllerServerOptions cso;
+    cso.controller.clock = config.clock;
+    cso.controller.lease_nanos = config.lease_nanos;
+    cso.monitor_interval_nanos = config.monitor_interval_nanos;
+    controller_ = std::make_unique<ControllerServer>(&transport_, kController,
+                                                     info, cso);
+    EXPECT_TRUE(controller_->Start().ok());
+
+    backup_ = std::make_unique<MaintainerServer>(
+        &transport_, MaintainerOpts(config),
+        ServerOpts(config, kBackup, ReplicaRole::kBackup));
+    EXPECT_TRUE(backup_->Start().ok());
+    primary_ = std::make_unique<MaintainerServer>(
+        &transport_, MaintainerOpts(config),
+        ServerOpts(config, kPrimary, ReplicaRole::kPrimary));
+    EXPECT_TRUE(primary_->Start().ok());
+  }
+
+  std::unique_ptr<FLStoreClient> NewClient(const std::string& name,
+                                           ClientOptions options = {}) {
+    auto client = std::make_unique<FLStoreClient>(
+        &transport_, "dc0/client/" + name, kController, options);
+    EXPECT_TRUE(client->Start().ok());
+    return client;
+  }
+
+  net::InProcTransport transport_;
+  std::unique_ptr<ControllerServer> controller_;
+  std::unique_ptr<MaintainerServer> primary_;
+  std::unique_ptr<MaintainerServer> backup_;
+
+ private:
+  static MaintainerOptions MaintainerOpts(const Config& config) {
+    MaintainerOptions mo;
+    mo.index = 0;
+    mo.journal = EpochJournal(1, config.batch);
+    mo.store.mode = storage::SyncMode::kMemoryOnly;
+    return mo;
+  }
+
+  static MaintainerServer::Options ServerOpts(const Config& config,
+                                              net::NodeId node,
+                                              ReplicaRole role) {
+    MaintainerServer::Options so;
+    so.node = std::move(node);
+    so.peers = {kPrimary};
+    so.replica.role = role;
+    so.replica.epoch = 1;
+    if (role == ReplicaRole::kPrimary) so.replica.backup = kBackup;
+    if (config.heartbeats) {
+      so.controller = kController;
+      so.heartbeat_interval_nanos = config.heartbeat_interval_nanos;
+    }
+    return so;
+  }
+};
+
+/// Encodes a kAppend payload: (client_id, seq) token + record.
+std::string AppendPayload(const std::string& client_id, uint64_t seq,
+                          const LogRecord& record) {
+  BinaryWriter w;
+  w.PutBytes(client_id);
+  w.PutU64(seq);
+  w.PutBytes(EncodeLogRecord(record));
+  return std::move(w).data();
+}
+
+LogRecord Rec(const std::string& body) {
+  LogRecord rec;
+  rec.body = body;
+  return rec;
+}
+
+TEST(ReplicationTest, AppendAcksOnlyAfterBackupHoldsTheRecord) {
+  ReplicatedCluster cluster;
+  auto client = cluster.NewClient("a");
+  for (int i = 0; i < 10; ++i) {
+    auto lid = client->Append(Rec("r" + std::to_string(i)));
+    ASSERT_TRUE(lid.ok()) << lid.status();
+    // The ack means the backup already framed the record — no wait needed.
+    auto mirrored = cluster.backup_->maintainer().Read(*lid);
+    ASSERT_TRUE(mirrored.ok()) << mirrored.status();
+    EXPECT_EQ(mirrored->body, "r" + std::to_string(i));
+  }
+  EXPECT_EQ(cluster.backup_->maintainer().count(), 10u);
+}
+
+TEST(ReplicationTest, BackupRejectsClientTraffic) {
+  ReplicatedCluster cluster;
+  net::RpcEndpoint probe(&cluster.transport_, "dc0/probe");
+  ASSERT_TRUE(probe.Start().ok());
+  auto direct = probe.Call(kBackup, kAppend,
+                           AppendPayload("dc0/probe", 1, Rec("sneak")), 500ms);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kUnavailable);
+  auto read = probe.Call(kBackup, kRead, std::string(8, '\0'), 500ms);
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cluster.backup_->maintainer().count(), 0u);
+}
+
+TEST(ReplicationTest, BackupRejectsStaleEpochReplicate) {
+  ReplicatedCluster cluster;
+  net::RpcEndpoint probe(&cluster.transport_, "dc0/probe");
+  ASSERT_TRUE(probe.Start().ok());
+  ReplicateRequest req;
+  req.epoch = 0;  // below the backup's epoch 1
+  req.entries.push_back(ReplicatedEntry{0, EncodeLogRecord(Rec("stale"))});
+  auto result = probe.Call(kBackup, kReplicate, EncodeReplicateRequest(req),
+                           500ms);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.backup_->maintainer().count(), 0u);
+}
+
+TEST(ReplicationTest, LeaseExpiryPromotesBackupDeterministically) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  config.lease_nanos = 100'000'000;
+  ReplicatedCluster cluster(config);
+  Controller& ctl = cluster.controller_->controller();
+
+  // The primary heartbeats once, arming its lease; then goes silent.
+  ctl.Heartbeat(0, kPrimary);
+  EXPECT_TRUE(ctl.LeaseHeld(0));
+  EXPECT_EQ(cluster.controller_->TickLeases(), 0);  // lease still live
+
+  clock.Advance(150'000'000);
+  EXPECT_FALSE(ctl.LeaseHeld(0));
+  EXPECT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // Layout: the backup is the stripe's primary under the bumped epoch.
+  ClusterInfo info = ctl.GetInfo();
+  EXPECT_EQ(info.maintainers[0], kBackup);
+  EXPECT_TRUE(info.backups[0].empty());
+  EXPECT_EQ(info.fence_epochs[0], 2u);
+  EXPECT_EQ(cluster.backup_->replica().role(), ReplicaRole::kPrimary);
+  EXPECT_EQ(cluster.backup_->replica().epoch(), 2u);
+
+  // A second sweep is a no-op (the plan was consumed, the lease removed).
+  EXPECT_EQ(cluster.controller_->TickLeases(), 0);
+
+  // The promoted node serves appends.
+  auto client = cluster.NewClient("a");
+  auto lid = client->Append(Rec("served-by-backup"));
+  ASSERT_TRUE(lid.ok()) << lid.status();
+  EXPECT_EQ(cluster.backup_->maintainer().Read(*lid)->body, "served-by-backup")
+      << "promoted backup must hold the record";
+}
+
+TEST(ReplicationTest, NeverHeartbeatingStripeIsNeverSuspected) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  // No heartbeat ever arrives: the lease never arms, so no amount of time
+  // triggers failover (backward compatibility with unmonitored clusters).
+  clock.Advance(3'600'000'000'000);
+  EXPECT_EQ(cluster.controller_->TickLeases(), 0);
+  EXPECT_EQ(cluster.controller_->controller().GetInfo().maintainers[0],
+            kPrimary);
+}
+
+TEST(ReplicationTest, PromotionJunkFillsOrphanedPositions) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  auto client = cluster.NewClient("a");
+  ASSERT_TRUE(client->Append(Rec("r0")).ok());  // lid 0, replicated
+  // The primary lands lid 1 locally but "crashes" before replicating it —
+  // a direct maintainer append models the unreplicated tail.
+  ASSERT_TRUE(cluster.primary_->maintainer().Append(Rec("orphan")).ok());
+  // A later record does replicate, so the backup has a hole at lid 1.
+  ASSERT_TRUE(client->Append(Rec("r2")).ok());  // lid 2
+  EXPECT_EQ(cluster.backup_->maintainer().StoredLids(),
+            (std::vector<LId>{0, 2}));
+
+  cluster.primary_->Stop();
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // The hole is junk-filled; the Head of the Log can pass it.
+  auto filled = cluster.backup_->maintainer().Read(1);
+  ASSERT_TRUE(filled.ok()) << filled.status();
+  EXPECT_TRUE(IsJunkRecord(*filled));
+  EXPECT_EQ(cluster.backup_->maintainer().FirstUnfilledGlobal(), 3u);
+  EXPECT_EQ(cluster.backup_->maintainer().HeadOfLog(), 3u);
+}
+
+TEST(ReplicationTest, DeposedPrimarySelfFencesOnStaleEpoch) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  auto client = cluster.NewClient("a");
+  ASSERT_TRUE(client->Append(Rec("r0")).ok());
+
+  // Failover happens while the old primary is still alive (a partition the
+  // controller read as death).
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+  ASSERT_EQ(cluster.backup_->replica().epoch(), 2u);
+
+  // A client with a stale layout still hits the old primary. Its replicate
+  // carries epoch 1, the promoted backup rejects it, and the old primary
+  // fences itself — split-brain cannot ack.
+  net::RpcEndpoint probe(&cluster.transport_, "dc0/probe");
+  ASSERT_TRUE(probe.Start().ok());
+  auto stale = probe.Call(kPrimary, kAppend,
+                          AppendPayload("dc0/probe", 1, Rec("split")), 500ms);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(cluster.primary_->replica().fenced());
+  // Fenced is sticky: the node rejects everything from now on.
+  auto again = probe.Call(kPrimary, kRead, std::string(8, '\0'), 500ms);
+  EXPECT_EQ(again.status().code(), StatusCode::kUnavailable);
+  // The backup never saw the split append.
+  for (LId lid : cluster.backup_->maintainer().StoredLids()) {
+    EXPECT_NE(cluster.backup_->maintainer().Read(lid)->body, "split");
+  }
+}
+
+TEST(ReplicationTest, DedupStateSurvivesFailoverExactlyOnce) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  net::RpcEndpoint probe(&cluster.transport_, "dc0/probe");
+  ASSERT_TRUE(probe.Start().ok());
+
+  // First attempt executes on the primary and replicates (records + token).
+  std::string payload = AppendPayload("dc0/probe", 7, Rec("once"));
+  auto first = probe.Call(kPrimary, kAppend, payload, 500ms);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  cluster.primary_->Stop();
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // The retry (same token, response was "lost") lands on the promoted
+  // backup and replays the cached response — byte-identical, no new record.
+  uint64_t count_before = cluster.backup_->maintainer().count();
+  auto retry = probe.Call(kBackup, kAppend, payload, 500ms);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(*retry, *first);
+  EXPECT_EQ(cluster.backup_->maintainer().count(), count_before);
+  EXPECT_GE(cluster.backup_->dedup().hits(), 1u);
+}
+
+TEST(ReplicationTest, AddMaintainerCasRejectsConcurrentFailover) {
+  // Regression for the elasticity/failover interleaving: an installer reads
+  // the layout, a failover commits, then the install must abort instead of
+  // clobbering the promotion.
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  Controller& ctl = cluster.controller_->controller();
+
+  uint64_t read_version = ctl.version();
+  StripeEpoch epoch{100, 2, 4};
+
+  // Failover commits between the read and the install.
+  ctl.Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+  ASSERT_GT(ctl.version(), read_version);
+
+  Status stale = ctl.AddMaintainer("dc0/maintainer/1", epoch, read_version);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.code(), StatusCode::kAborted);
+
+  // Re-read and retry succeeds, and the committed failover is intact.
+  Status fresh = ctl.AddMaintainer("dc0/maintainer/1", epoch, ctl.version());
+  ASSERT_TRUE(fresh.ok()) << fresh;
+  ClusterInfo info = ctl.GetInfo();
+  ASSERT_EQ(info.maintainers.size(), 2u);
+  EXPECT_EQ(info.maintainers[0], kBackup);  // failover survived
+  EXPECT_EQ(info.maintainers[1], "dc0/maintainer/1");
+  EXPECT_EQ(info.fence_epochs[1], 1u);
+}
+
+TEST(ReplicationTest, ClusterInfoRoundTripsReplicaFields) {
+  ClusterInfo info;
+  info.journal = EpochJournal(2, 8);
+  info.maintainers = {"m0", "m1"};
+  info.indexers = {"i0"};
+  info.approx_records = 42;
+  info.version = 7;
+  info.backups = {"b0", ""};
+  info.fence_epochs = {3, 1};
+  auto decoded = DecodeClusterInfo(EncodeClusterInfo(info));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->maintainers, info.maintainers);
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->backups, info.backups);
+  EXPECT_EQ(decoded->fence_epochs, info.fence_epochs);
+}
+
+// The acceptance scenario: the primary dies mid-append under a seeded
+// schedule; the client completes its appends through the promoted backup
+// within a deadline; the surviving log holds every acked record exactly
+// once, byte-identical to a no-fault run, with orphaned positions filled as
+// junk; and no (client_id, seq) executed twice.
+TEST(ReplicationTest, KillPrimaryMidAppendFailsOverExactlyOnce) {
+  uint64_t seed = ScenarioSeed(9000);
+  Random rng(seed);
+  const int n_pre = 1 + static_cast<int>(rng.Uniform(6));
+  const int n_orphans = 1 + static_cast<int>(rng.Uniform(3));
+  const bool hole = rng.OneIn(0.5);  // orphan below a replicated record?
+  const int n_post = 2 + static_cast<int>(rng.Uniform(5));
+
+  ReplicatedCluster::Config config;
+  config.heartbeats = true;
+  config.lease_nanos = 60'000'000;          // 60 ms
+  config.monitor_interval_nanos = 10'000'000;  // 10 ms sweeps
+  ReplicatedCluster cluster(config);
+
+  ClientOptions copts;
+  copts.retry.seed = seed;
+  copts.retry.attempt_timeout = 200ms;
+  copts.failover_attempts = 30;
+  auto client = cluster.NewClient("a", copts);
+
+  std::vector<std::string> acked;  // bodies the client got an LId for
+  std::map<LId, std::string> acked_at;
+  for (int i = 0; i < n_pre; ++i) {
+    std::string body = "pre-" + std::to_string(i);
+    auto lid = client->Append(Rec(body));
+    ASSERT_TRUE(lid.ok()) << lid.status();
+    acked.push_back(body);
+    acked_at[*lid] = body;
+  }
+
+  // The crash: the primary lands `n_orphans` records it never replicates
+  // (the mid-append moment), optionally followed by one replicated record
+  // (making the orphans true holes), then goes dark — RPC and heartbeats.
+  std::set<LId> orphan_lids;
+  for (int i = 0; i < n_orphans; ++i) {
+    auto lid = cluster.primary_->maintainer().Append(Rec("orphan"));
+    ASSERT_TRUE(lid.ok());
+    orphan_lids.insert(*lid);
+  }
+  if (hole) {
+    std::string body = "pre-hole";
+    auto lid = client->Append(Rec(body));
+    ASSERT_TRUE(lid.ok()) << lid.status();
+    acked.push_back(body);
+    acked_at[*lid] = body;
+  }
+  int64_t killed_at = SystemClock::Default()->NowNanos();
+  cluster.primary_->Stop();
+
+  // The client, unaware, keeps appending; the first post-crash append must
+  // complete via the promoted backup within the deadline.
+  for (int i = 0; i < n_post; ++i) {
+    std::string body = "post-" + std::to_string(i);
+    auto lid = client->Append(Rec(body));
+    ASSERT_TRUE(lid.ok()) << "post-crash append " << i << ": "
+                          << lid.status();
+    if (i == 0) {
+      int64_t gap = SystemClock::Default()->NowNanos() - killed_at;
+      std::cerr << "[ append availability gap " << gap / 1'000'000
+                << " ms ]\n";
+      EXPECT_LT(gap, 5'000'000'000) << "failover exceeded the 5 s deadline";
+    }
+    acked.push_back(body);
+    acked_at[*lid] = body;
+  }
+  EXPECT_EQ(cluster.controller_->controller().GetInfo().maintainers[0],
+            kBackup);
+
+  // Survivor's log: every acked record at its acked position with its
+  // original payload (byte-identical via LogRecord equality), junk at
+  // orphaned holes, nothing else — i.e. the no-fault log with holes filled
+  // as junk, and no (client_id, seq) landed twice.
+  LogMaintainer& survivor = cluster.backup_->maintainer();
+  std::multiset<std::string> stored_bodies;
+  for (LId lid : survivor.StoredLids()) {
+    auto rec = survivor.Read(lid);
+    ASSERT_TRUE(rec.ok()) << rec.status();
+    if (IsJunkRecord(*rec)) {
+      EXPECT_TRUE(acked_at.find(lid) == acked_at.end())
+          << "junk overwrote acked lid " << lid;
+      continue;
+    }
+    auto expected = acked_at.find(lid);
+    if (expected != acked_at.end()) {
+      // Byte-identical payloads: the stored frame re-encodes to exactly the
+      // bytes the client submitted.
+      EXPECT_EQ(EncodeLogRecord(*rec), EncodeLogRecord(Rec(expected->second)))
+          << "payload diverged at " << lid;
+    }
+    stored_bodies.insert(rec->body);
+  }
+  for (const std::string& body : acked) {
+    EXPECT_EQ(stored_bodies.count(body), 1u)
+        << "acked record '" << body << "' must land exactly once";
+  }
+  // Any junk sits only where the dead primary orphaned positions.
+  for (LId lid : survivor.StoredLids()) {
+    auto rec = survivor.Read(lid);
+    if (IsJunkRecord(*rec)) {
+      EXPECT_TRUE(orphan_lids.count(lid) > 0 ||
+                  acked_at.find(lid) == acked_at.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chariots::flstore

@@ -103,7 +103,11 @@ int Usage() {
       "  --batch=N                  striping batch size (default 1000)\n"
       "  --store-dir=PATH           persist records (default: memory)\n"
       "  --fsync                    fsync every append\n"
-      "  --gossip-ms=N              HL gossip interval (default 2)\n");
+      "  --gossip-ms=N              HL gossip interval (default 2)\n"
+      "fault injection (maintainer role, for crash/recovery drills):\n"
+      "  --disk_fault_schedule=SPEC scripted disk faults, e.g.\n"
+      "                             torn_write@seg:3:10,fail_sync@dedup:?\n"
+      "  --fault_seed=N             seed resolving any '?' in the spec\n");
   return 2;
 }
 
@@ -204,6 +208,8 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
+  // Declared before the servers so it outlives them (stores keep a pointer).
+  std::unique_ptr<storage::DiskFaultSchedule> disk_faults;
   std::unique_ptr<ControllerServer> controller;
   std::unique_ptr<MaintainerServer> maintainer;
   std::unique_ptr<IndexerServer> indexer;
@@ -248,6 +254,24 @@ int main(int argc, char** argv) {
     so.indexers = d.IndexerNodes();
     so.gossip_interval_nanos =
         static_cast<int64_t>(flags.GetInt("gossip-ms", 2)) * 1'000'000;
+    std::string fault_spec = flags.Get("disk_fault_schedule",
+                                       flags.Get("disk-fault-schedule"));
+    if (!fault_spec.empty()) {
+      uint64_t fault_seed =
+          flags.GetUint64("fault_seed", flags.GetUint64("fault-seed", 1));
+      disk_faults = std::make_unique<storage::DiskFaultSchedule>(fault_seed);
+      Status parsed = disk_faults->AddFromSpec(fault_spec);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "bad --disk_fault_schedule: %s\n",
+                     parsed.ToString().c_str());
+        return Usage();
+      }
+      mo.store.disk_faults = disk_faults.get();
+      so.dedup_disk_faults = disk_faults.get();
+      std::printf("disk fault schedule armed (seed %llu): %s\n",
+                  static_cast<unsigned long long>(fault_seed),
+                  fault_spec.c_str());
+    }
     maintainer =
         std::make_unique<MaintainerServer>(&transport, mo, so);
     Status s = maintainer->Start();

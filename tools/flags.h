@@ -4,6 +4,7 @@
 // Minimal --flag=value / --flag value command-line parsing for the
 // deployment tools. Positional arguments are collected in order.
 
+#include <cstdint>
 #include <cstdlib>
 #include <map>
 #include <string>
@@ -41,6 +42,13 @@ class Flags {
   int GetInt(const std::string& name, int fallback) const {
     auto it = values_.find(name);
     return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  uint64_t GetUint64(const std::string& name, uint64_t fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end()
+               ? fallback
+               : std::strtoull(it->second.c_str(), nullptr, 10);
   }
 
   bool GetBool(const std::string& name) const {

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Sweeps the crash/failover suite across a seed matrix — {disk-fault
+# schedule x crash window x failover} — then runs one pass under
+# ThreadSanitizer. Every seeded scenario asserts exact recovery (no lost
+# acked record, no duplicate, holes junk-filled), so a non-zero exit is a
+# real divergence; the failing seed offset is printed for an exact replay.
+#
+#   tools/run_crash_matrix.sh                 # seeds 0..199 + one TSan pass
+#   tools/run_crash_matrix.sh 50              # seeds 0..49
+#   CHARIOTS_FAULT_SKIP_TSAN=1 tools/run_crash_matrix.sh   # seeds only
+#
+# Each seed offsets every scenario's base seed (see ScenarioSeed in
+# tests/replication_test.cc), varying the kill point, orphan count, and
+# disk-fault draws while keeping every run fully reproducible.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/build"
+
+NUM_SEEDS="${1:-200}"
+
+# Seed-sensitive scenarios only: the seeded kill-primary failover drill plus
+# the fault-injection recovery paths (torn frames, failed fsync, torn
+# sidecar). The deterministic promotion/fencing tests run once in ctest.
+SWEEP=(
+  "$BUILD_DIR/tests/replication_test --gtest_filter=*KillPrimaryMidAppend*"
+  "$BUILD_DIR/tests/recovery_test --gtest_filter=TombstoneTest.Torn*:TombstoneTest.Failed*:TombstoneTest.Dedup*"
+  "$BUILD_DIR/tests/storage_test --gtest_filter=*Seeded*:*Fault*:*Torn*:*Dropped*:*FailedWrite*:*FailedSync*"
+)
+
+cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
+cmake --build "$BUILD_DIR" -j --target replication_test recovery_test \
+  storage_test
+
+for ((seed = 0; seed < NUM_SEEDS; ++seed)); do
+  echo "=== crash matrix: seed offset $seed ==="
+  for cmd in "${SWEEP[@]}"; do
+    if ! CHARIOTS_FAULT_SEED="$seed" $cmd --gtest_brief=1; then
+      echo "CRASH MATRIX FAILED at seed offset $seed" >&2
+      echo "replay with: CHARIOTS_FAULT_SEED=$seed $cmd" >&2
+      exit 1
+    fi
+  done
+done
+
+if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
+  echo "=== crash matrix: ThreadSanitizer pass ==="
+  TSAN_BUILD="$ROOT/build-thread"
+  cmake -B "$TSAN_BUILD" -S "$ROOT" -DCHARIOTS_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$TSAN_BUILD" -j --target replication_test
+  if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/replication_test" \
+       --gtest_brief=1; then
+    echo "CRASH MATRIX FAILED under TSan (seed offset 0)" >&2
+    exit 1
+  fi
+fi
+
+echo "crash matrix: all passes green"
