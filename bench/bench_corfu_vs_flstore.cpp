@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/rate_limiter.h"
 #include "corfu/corfu.h"
 #include "sim/flstore_load.h"
@@ -86,7 +87,11 @@ int main() {
               "===\n");
   std::printf("%-16s %-26s %-26s\n", "Storage nodes",
               "CORFU (appends/s)", "FLStore (appends/s)");
-  for (uint32_t n : {1u, 2u, 4u, 6u, 8u, 10u}) {
+  std::vector<uint32_t> widths = {1u, 2u, 4u, 6u, 8u, 10u};
+  if (chariots::bench::SmokeMode()) widths = {1u, 4u};
+  chariots::bench::BenchReport report("corfu_vs_flstore");
+  double last_corfu = 0, last_flstore = 0;
+  for (uint32_t n : widths) {
     double corfu_rate =
         RunCorfu(n, kMachineRate / kTimeScale, kDuration) * kTimeScale;
 
@@ -97,8 +102,14 @@ int main() {
     double flstore_rate = RunFLStoreLoad(options).total_rate;
 
     std::printf("%-16u %-26.0f %-26.0f\n", n, corfu_rate, flstore_rate);
+    last_corfu = corfu_rate;
+    last_flstore = flstore_rate;
   }
   std::printf("\nExpected shape: CORFU flat at the sequencer's ~131K cap; "
               "FLStore scales linearly with maintainers.\n");
+  report.SetThroughput(last_flstore);
+  report.AddStage("corfu", last_corfu);
+  report.AddStage("flstore", last_flstore);
+  if (!report.Write()) return 1;
   return 0;
 }

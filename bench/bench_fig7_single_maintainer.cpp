@@ -4,8 +4,11 @@
 // Paper shape: achieved throughput tracks the target up to a knee near
 // 150K appends/s, then drops and plateaus around 120K under overload.
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "bench_report.h"
 #include "sim/flstore_load.h"
 
 int main() {
@@ -15,16 +18,26 @@ int main() {
               "(public cloud) ===\n");
   std::printf("%-22s %-22s\n", "Target (appends/s)", "Achieved (appends/s)");
 
-  for (double target : {25e3, 50e3, 75e3, 100e3, 125e3, 150e3, 175e3, 200e3,
-                        225e3, 250e3, 275e3, 300e3}) {
+  std::vector<double> targets = {25e3,  50e3,  75e3,  100e3, 125e3, 150e3,
+                                 175e3, 200e3, 225e3, 250e3, 275e3, 300e3};
+  if (chariots::bench::SmokeMode()) targets = {50e3, 150e3, 300e3};
+
+  chariots::bench::BenchReport report("fig7_single_maintainer");
+  double peak = 0;
+  for (double target : targets) {
     FLStoreLoadOptions options;
     options.num_maintainers = 1;
     options.maintainer_model = PublicCloudMachine();
     options.target_per_maintainer = target;
     FLStoreLoadResult result = RunFLStoreLoad(options);
     std::printf("%-22.0f %-22.0f\n", target, result.total_rate);
+    peak = std::max(peak, result.total_rate);
+    report.AddStage("target_" + std::to_string(static_cast<int>(target)),
+                    result.total_rate);
   }
   std::printf("\nExpected shape: rises with the target to a knee near "
               "150K, then drops to ~120K under overload and plateaus.\n");
+  report.SetThroughput(peak);
+  if (!report.Write()) return 1;
   return 0;
 }

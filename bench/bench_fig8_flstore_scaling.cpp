@@ -7,9 +7,11 @@
 // Paper shape: near-linear scaling for all three (99.3% of perfect at 10
 // maintainers on the private cloud).
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench_report.h"
 #include "sim/flstore_load.h"
 
 namespace {
@@ -33,12 +35,16 @@ int main() {
 
   std::printf("=== Figure 8: FLStore append throughput vs number of "
               "maintainers ===\n");
+  const uint32_t max_maintainers = chariots::bench::SmokeMode() ? 3 : 10;
+  chariots::bench::BenchReport report("fig8_flstore_scaling");
+  double peak = 0;
   for (const Series& s : series) {
     std::printf("\n--- %s ---\n", s.name);
     std::printf("%-13s %-22s %-20s %-10s\n", "Maintainers",
                 "Throughput (appends/s)", "Per maintainer", "Scaling");
     double base = 0;
-    for (uint32_t m = 1; m <= 10; ++m) {
+    double last = 0;
+    for (uint32_t m = 1; m <= max_maintainers; ++m) {
       FLStoreLoadOptions options;
       options.num_maintainers = m;
       options.maintainer_model = s.model;
@@ -48,10 +54,15 @@ int main() {
       double scaling = base > 0 ? result.total_rate / (base * m) : 0;
       std::printf("%-13u %-22.0f %-20.0f %.1f%%\n", m, result.total_rate,
                   result.total_rate / m, scaling * 100);
+      last = result.total_rate;
     }
+    peak = std::max(peak, last);
+    report.AddStage(s.name, last);
   }
   std::printf("\nExpected shape: throughput grows near-linearly with "
               "maintainers in every series (post-assignment has no "
               "cross-maintainer dependency).\n");
+  report.SetThroughput(peak);
+  if (!report.Write()) return 1;
   return 0;
 }

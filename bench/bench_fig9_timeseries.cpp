@@ -9,8 +9,10 @@
 // push its backlog to the later stages.
 
 #include <cstdio>
+#include <numeric>
 #include <vector>
 
+#include "bench_report.h"
 #include "sim/chariots_pipeline.h"
 
 int main() {
@@ -19,7 +21,7 @@ int main() {
   shape.clients = 2;
   shape.batchers = 2;
   ChariotsPipelineSim sim(shape);
-  sim.RunToCount(400'000);
+  sim.RunToCount(chariots::bench::SmokeMode() ? 40'000 : 400'000);
 
   std::printf("=== Figure 9: throughput timeseries (2 clients, 2 batchers, "
               "1 of each later stage) ===\n");
@@ -53,5 +55,15 @@ int main() {
   std::printf("\nExpected shape: clients/batchers finish first at ~126K/s; "
               "the filter and later stages last roughly twice as long at "
               "~120K/s and spike briefly once the batchers go idle.\n");
+
+  chariots::bench::BenchReport report("fig9_timeseries");
+  for (const auto& row : sim.Results()) {
+    double total = std::accumulate(row.machine_rates.begin(),
+                                   row.machine_rates.end(), 0.0);
+    report.AddStage(row.stage, total);
+    if (row.stage == "Client") report.SetThroughput(total);
+  }
+  report.AddExtra("timeseries_seconds", static_cast<double>(max_len));
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "apps/hyksos.h"
+#include "bench_report.h"
 #include "chariots/fabric.h"
 #include "common/histogram.h"
 #include "common/random.h"
@@ -20,7 +21,8 @@ using namespace chariots::apps;
 
 namespace {
 
-void RunMix(double put_fraction, const char* label) {
+void RunMix(double put_fraction, const char* label,
+            chariots::bench::BenchReport* report) {
   net::InProcTransport transport;
   TransportFabric fabric(&transport);
   std::vector<std::unique_ptr<Datacenter>> dcs;
@@ -47,22 +49,22 @@ void RunMix(double put_fraction, const char* label) {
   sim::WorkloadGenerator gen(wo);
 
   Histogram put_lat, get_lat;
-  constexpr int kOps = 4000;
+  const int kOps = chariots::bench::SmokeMode() ? 800 : 4000;
   auto bench_start = std::chrono::steady_clock::now();
   for (int i = 0; i < kOps; ++i) {
     sim::Op op = gen.Next();
     auto op_start = std::chrono::steady_clock::now();
     if (op.type == sim::OpType::kPut) {
       (void)kv.Put(op.key, op.value);
-      put_lat.Record(std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - op_start)
-                         .count());
     } else {
       (void)kv.Get(op.key);
-      get_lat.Record(std::chrono::duration<double, std::micro>(
-                         std::chrono::steady_clock::now() - op_start)
-                         .count());
     }
+    auto op_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - op_start)
+                        .count();
+    report->AddLatencyNanos(op_nanos);
+    (op.type == sim::OpType::kPut ? put_lat : get_lat)
+        .Record(op_nanos / 1e3);
   }
   double secs = std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - bench_start)
@@ -82,6 +84,12 @@ void RunMix(double put_fraction, const char* label) {
               label, kOps / secs, put_lat.Percentile(50),
               put_lat.Percentile(99), get_lat.Percentile(50),
               get_lat.Percentile(99), txn_us);
+  report->AddStage(label, kOps / secs);
+  if (put_fraction == 0.5) report->SetThroughput(kOps / secs);
+  report->AddExtra(std::string("put_p99_us_") + label,
+                   put_lat.Percentile(99));
+  report->AddExtra(std::string("get_p99_us_") + label,
+                   get_lat.Percentile(99));
   for (auto& dc : dcs) dc->Stop();
 }
 
@@ -91,11 +99,13 @@ int main() {
   std::printf("=== Hyksos key-value workloads (2 DCs, 100 keys, latencies "
               "in microseconds) ===\n");
   std::printf("%-14s %-12s\n", "Mix", "ops/s");
-  RunMix(0.05, "95% get");
-  RunMix(0.5, "50/50");
-  RunMix(0.95, "95% put");
+  chariots::bench::BenchReport report("hyksos_kv");
+  RunMix(0.05, "get_heavy", &report);
+  RunMix(0.5, "mixed_50_50", &report);
+  RunMix(0.95, "put_heavy", &report);
   std::printf("\nExpected shape: get-heavy mixes are faster (index lookup "
               "+ local read); puts pay the full pipeline (batcher flush + "
               "token) for durability.\n");
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -4,8 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <string>
+#include <vector>
 
+#include "bench_report.h"
 #include "chariots/queue.h"
 #include "chariots/record.h"
 #include "common/codec.h"
@@ -211,6 +215,58 @@ void BM_QueueTokenAdmission(benchmark::State& state) {
 }
 BENCHMARK(BM_QueueTokenAdmission);
 
+// Console output stays the familiar google-benchmark table; this reporter
+// additionally folds every iteration run into the uniform BENCH_micro.json
+// (stage rate = items/s when the benchmark sets it, else iterations/s).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(chariots::bench::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      double rate = 0;
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        rate = it->second.value;
+      } else if (run.real_accumulated_time > 0) {
+        rate = static_cast<double>(run.iterations) /
+               run.real_accumulated_time;
+      }
+      report_->AddStage(run.benchmark_name(), rate);
+      if (run.iterations > 0 && run.real_accumulated_time > 0) {
+        report_->AddExtra("ns_per_op_" + run.benchmark_name(),
+                          run.real_accumulated_time * 1e9 /
+                              static_cast<double>(run.iterations));
+      }
+      best_rate_ = std::max(best_rate_, rate);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double best_rate() const { return best_rate_; }
+
+ private:
+  chariots::bench::BenchReport* report_;
+  double best_rate_ = 0;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (chariots::bench::SmokeMode()) args.push_back(min_time.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+
+  chariots::bench::BenchReport report("micro");
+  JsonCaptureReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  report.SetThroughput(reporter.best_rate());
+  if (!report.Write()) return 1;
+  return 0;
+}

@@ -7,8 +7,11 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "apps/msgfutures.h"
+#include "bench_report.h"
 #include "chariots/fabric.h"
 #include "common/histogram.h"
 #include "net/inproc_transport.h"
@@ -19,7 +22,7 @@ using namespace chariots::apps;
 
 namespace {
 
-void RunRtt(int64_t one_way_nanos) {
+void RunRtt(int64_t one_way_nanos, chariots::bench::BenchReport* report) {
   net::InProcTransport transport;
   net::LinkOptions wan;
   wan.latency_nanos = one_way_nanos;
@@ -41,20 +44,34 @@ void RunRtt(int64_t one_way_nanos) {
   mf1.StartBackground(500'000);
 
   Histogram commit_lat;
-  for (int i = 0; i < 30; ++i) {
+  const int kTxns = chariots::bench::SmokeMode() ? 10 : 30;
+  int committed = 0;
+  auto bench_start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kTxns; ++i) {
     auto txn = mf0.Begin();
     txn.Put("k" + std::to_string(i), "v");
     auto start = std::chrono::steady_clock::now();
     auto outcome = mf0.Commit(txn);
     if (outcome.ok()) {
-      commit_lat.Record(std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - start)
-                            .count());
+      auto nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      commit_lat.Record(nanos / 1e6);
+      report->AddLatencyNanos(nanos);
+      ++committed;
     }
   }
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - bench_start)
+                    .count();
   std::printf("%-18.1f %-20.1f %-16.1f %-16.1f\n", one_way_nanos / 0.5e6,
               commit_lat.mean(), commit_lat.Percentile(50),
               commit_lat.Percentile(99));
+  std::string label = "rtt_ms_" + std::to_string(one_way_nanos / 500'000);
+  double rate = secs > 0 ? committed / secs : 0;
+  report->AddStage(label, rate);
+  if (one_way_nanos == 500'000) report->SetThroughput(rate);
+  report->AddExtra("commit_p50_ms_" + label, commit_lat.Percentile(50));
   for (auto& dc : dcs) dc->Stop();
 }
 
@@ -65,12 +82,17 @@ int main() {
               "===\n");
   std::printf("%-18s %-20s %-16s %-16s\n", "RTT (ms)",
               "commit mean (ms)", "p50 (ms)", "p99 (ms)");
-  for (int64_t one_way : {500'000ll, 2'500'000ll, 5'000'000ll,
-                          10'000'000ll}) {
-    RunRtt(one_way);
+  std::vector<int64_t> one_ways = {500'000ll, 2'500'000ll, 5'000'000ll,
+                                   10'000'000ll};
+  if (chariots::bench::SmokeMode()) one_ways = {500'000ll};
+  chariots::bench::BenchReport report("msgfutures_latency");
+  for (int64_t one_way : one_ways) {
+    RunRtt(one_way, &report);
   }
   std::printf("\nExpected shape: commit latency tracks the round-trip time "
               "(one crossing of histories in each direction), plus pipeline "
               "overhead — the Message Futures cost model the paper cites.\n");
+  // Throughput for an MF bench is commits/s at the lowest RTT point.
+  if (!report.Write()) return 1;
   return 0;
 }

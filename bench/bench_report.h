@@ -1,0 +1,146 @@
+#ifndef CHARIOTS_BENCH_BENCH_REPORT_H_
+#define CHARIOTS_BENCH_BENCH_REPORT_H_
+
+// Uniform machine-readable bench output: every bench binary writes a
+// BENCH_<name>.json next to its human-readable stdout, so CI (see
+// tools/run_bench_smoke.sh) can validate and trend results without parsing
+// prose. Schema (schema_version 1):
+//
+//   {
+//     "bench": "<name>",
+//     "schema_version": 1,
+//     "throughput_rps": <double>,
+//     "latency_ns": {"p50": <int>, "p99": <int>, "p999": <int>},
+//     "latency_samples": <int>,
+//     "stages": [{"name": "<stage>", "rate_rps": <double>}, ...],
+//     "extra": {"<key>": <double>, ...}
+//   }
+//
+// Latency fields are zero when a bench measures only throughput
+// (latency_samples says how trustworthy they are). The output directory is
+// $CHARIOTS_BENCH_DIR when set, else the working directory.
+//
+// Benches also honor $CHARIOTS_BENCH_SMOKE=1 (see SmokeMode()) by shrinking
+// sweeps/durations to a few seconds so the smoke script can exercise every
+// binary end to end.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace chariots::bench {
+
+/// True when the bench should run a shrunk (seconds, not minutes) workload.
+inline bool SmokeMode() {
+  const char* v = std::getenv("CHARIOTS_BENCH_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void SetThroughput(double rps) { throughput_rps_ = rps; }
+
+  /// One end-to-end latency observation, in nanoseconds.
+  void AddLatencyNanos(int64_t nanos) { samples_.push_back(nanos); }
+
+  void AddStage(std::string stage, double rate_rps) {
+    stages_.emplace_back(std::move(stage), rate_rps);
+  }
+
+  void AddExtra(std::string key, double value) {
+    extra_.emplace_back(std::move(key), value);
+  }
+
+  /// Writes BENCH_<name>.json. Returns false (with a message on stderr) on
+  /// I/O failure; benches treat that as a hard error so CI notices.
+  bool Write() {
+    std::string path = OutputPath();
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench report: cannot open %s\n", path.c_str());
+      return false;
+    }
+    std::string json = Render();
+    size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    int closed = std::fclose(f);
+    if (written != json.size() || closed != 0) {
+      std::fprintf(stderr, "bench report: short write to %s\n", path.c_str());
+      return false;
+    }
+    std::printf("bench report: %s\n", path.c_str());
+    return true;
+  }
+
+  std::string OutputPath() const {
+    const char* dir = std::getenv("CHARIOTS_BENCH_DIR");
+    std::string prefix = (dir != nullptr && dir[0] != '\0')
+                             ? std::string(dir) + "/"
+                             : std::string();
+    return prefix + "BENCH_" + name_ + ".json";
+  }
+
+  std::string Render() {
+    int64_t p50 = 0, p99 = 0, p999 = 0;
+    if (!samples_.empty()) {
+      std::sort(samples_.begin(), samples_.end());
+      p50 = Percentile(0.50);
+      p99 = Percentile(0.99);
+      p999 = Percentile(0.999);
+    }
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + name_ + "\",\n";
+    out += "  \"schema_version\": 1,\n";
+    out += "  \"throughput_rps\": " + Num(throughput_rps_) + ",\n";
+    out += "  \"latency_ns\": {\"p50\": " + std::to_string(p50) +
+           ", \"p99\": " + std::to_string(p99) +
+           ", \"p999\": " + std::to_string(p999) + "},\n";
+    out += "  \"latency_samples\": " + std::to_string(samples_.size()) +
+           ",\n";
+    out += "  \"stages\": [";
+    for (size_t i = 0; i < stages_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"name\": \"" + stages_[i].first +
+             "\", \"rate_rps\": " + Num(stages_[i].second) + "}";
+    }
+    out += "],\n";
+    out += "  \"extra\": {";
+    for (size_t i = 0; i < extra_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + extra_[i].first + "\": " + Num(extra_[i].second);
+    }
+    out += "}\n}\n";
+    return out;
+  }
+
+ private:
+  int64_t Percentile(double q) const {
+    size_t rank = static_cast<size_t>(q * (samples_.size() - 1));
+    return samples_[rank];
+  }
+
+  // JSON has no NaN/inf literals; a bench that divides by a zero elapsed
+  // time must not produce an unparseable report.
+  static std::string Num(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::string name_;
+  double throughput_rps_ = 0;
+  std::vector<int64_t> samples_;
+  std::vector<std::pair<std::string, double>> stages_;
+  std::vector<std::pair<std::string, double>> extra_;
+};
+
+}  // namespace chariots::bench
+
+#endif  // CHARIOTS_BENCH_BENCH_REPORT_H_

@@ -5,17 +5,28 @@
 // client-limited, so all machines run at roughly the client's rate.
 
 #include <cstdio>
+#include <numeric>
 
+#include "bench_report.h"
 #include "sim/chariots_pipeline.h"
 
 int main() {
   using namespace chariots::sim;
   PipelineShape shape;  // 1 machine per stage
   ChariotsPipelineSim sim(shape);
-  sim.RunToCount(500'000);
+  sim.RunToCount(chariots::bench::SmokeMode() ? 50'000 : 500'000);
   sim.PrintTable(
       "=== Table 2: Chariots basic deployment (1 machine per stage) ===");
   std::printf("\nExpected shape: all stages ~124-132 Kappends/s "
               "(client-limited pipeline).\n");
+
+  chariots::bench::BenchReport report("table2_pipeline_basic");
+  for (const auto& row : sim.Results()) {
+    double total = std::accumulate(row.machine_rates.begin(),
+                                   row.machine_rates.end(), 0.0);
+    report.AddStage(row.stage, total);
+    if (row.stage == "Client") report.SetThroughput(total);
+  }
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -6,7 +6,9 @@
 // the bottleneck, not the clients.
 
 #include <cstdio>
+#include <numeric>
 
+#include "bench_report.h"
 #include "sim/chariots_pipeline.h"
 
 int main() {
@@ -14,10 +16,19 @@ int main() {
   PipelineShape shape;
   shape.clients = 2;
   ChariotsPipelineSim sim(shape);
-  sim.RunToCount(400'000);
+  sim.RunToCount(chariots::bench::SmokeMode() ? 40'000 : 400'000);
   sim.PrintTable(
       "=== Table 3: two clients, one machine per remaining stage ===");
   std::printf("\nExpected shape: clients ~63-66K each (sum capped by the "
               "batcher); batcher ~126K and now the bottleneck.\n");
+
+  chariots::bench::BenchReport report("table3_two_clients");
+  for (const auto& row : sim.Results()) {
+    double total = std::accumulate(row.machine_rates.begin(),
+                                   row.machine_rates.end(), 0.0);
+    report.AddStage(row.stage, total);
+    if (row.stage == "Client") report.SetThroughput(total);
+  }
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -7,7 +7,9 @@
 // the stages after the filter run at about half the batcher stage's rate.
 
 #include <cstdio>
+#include <numeric>
 
+#include "bench_report.h"
 #include "sim/chariots_pipeline.h"
 
 int main() {
@@ -16,12 +18,21 @@ int main() {
   shape.clients = 2;
   shape.batchers = 2;
   ChariotsPipelineSim sim(shape);
-  sim.RunToCount(400'000);
+  sim.RunToCount(chariots::bench::SmokeMode() ? 40'000 : 400'000);
   sim.PrintTable(
       "=== Table 4: two clients, two batchers, one machine per remaining "
       "stage ===");
   std::printf("\nExpected shape: clients and batchers ~126-130K each "
               "(stage totals ~250K+); filter capped ~120K — the new "
               "bottleneck; later stages track the filter.\n");
+
+  chariots::bench::BenchReport report("table4_two_batchers");
+  for (const auto& row : sim.Results()) {
+    double total = std::accumulate(row.machine_rates.begin(),
+                                   row.machine_rates.end(), 0.0);
+    report.AddStage(row.stage, total);
+    if (row.stage == "Client") report.SetThroughput(total);
+  }
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -5,7 +5,9 @@
 // across the board.
 
 #include <cstdio>
+#include <numeric>
 
+#include "bench_report.h"
 #include "sim/chariots_pipeline.h"
 
 int main() {
@@ -17,9 +19,18 @@ int main() {
   shape.maintainers = 2;
   shape.stores = 2;
   ChariotsPipelineSim sim(shape);
-  sim.RunToCount(400'000);
+  sim.RunToCount(chariots::bench::SmokeMode() ? 40'000 : 400'000);
   sim.PrintTable("=== Table 5: two machines per stage ===");
   std::printf("\nExpected shape: every machine near its Table-2 rate "
               "(~120-132K): the whole pipeline's throughput doubled.\n");
+
+  chariots::bench::BenchReport report("table5_two_per_stage");
+  for (const auto& row : sim.Results()) {
+    double total = std::accumulate(row.machine_rates.begin(),
+                                   row.machine_rates.end(), 0.0);
+    report.AddStage(row.stage, total);
+    if (row.stage == "Client") report.SetThroughput(total);
+  }
+  if (!report.Write()) return 1;
   return 0;
 }

@@ -1,6 +1,39 @@
 #include "chariots/batcher.h"
 
+#include "common/metrics.h"
+
 namespace chariots::geo {
+
+namespace {
+
+// Stage instruments are process-global (shared by every batcher in every
+// in-process datacenter): counters are additive and histograms merge, so no
+// per-instance naming is needed. Per-dc gauges live in datacenter.cc.
+metrics::Counter* RecordsInCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.batcher.records_in");
+  return c;
+}
+
+metrics::Counter* BatchesOutCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.batcher.batches_out");
+  return c;
+}
+
+metrics::Histogram* BatchSizeHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("chariots.batcher.batch_size");
+  return h;
+}
+
+metrics::Histogram* FlushLatencyHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("chariots.batcher.flush_ns");
+  return h;
+}
+
+}  // namespace
 
 Batcher::Batcher(const FilterMap* filter_map, size_t flush_records,
                  int64_t flush_interval_nanos, FlushFn flush, Clock* clock)
@@ -27,6 +60,7 @@ void Batcher::Stop() {
 
 void Batcher::Submit(GeoRecord record) {
   records_in_.fetch_add(1, std::memory_order_relaxed);
+  RecordsInCounter()->Add();
   uint32_t filter_id = filter_map_->FilterFor(record.host, record.toid);
   // Flush EVERY buffer at/over threshold, not just this record's: a racing
   // FlushAll (or a flush_ running outside the lock while other Submits keep
@@ -52,6 +86,9 @@ void Batcher::Submit(GeoRecord record) {
     if (ready.empty()) return;
     for (auto& [id, batch] : ready) {
       batches_out_.fetch_add(1, std::memory_order_relaxed);
+      BatchesOutCounter()->Add();
+      BatchSizeHist()->Record(batch.size());
+      metrics::ScopedLatencyTimer timer(FlushLatencyHist());
       flush_(id, std::move(batch));
     }
   }
@@ -66,6 +103,9 @@ void Batcher::FlushAll() {
   for (auto& [filter_id, batch] : out) {
     if (batch.empty()) continue;
     batches_out_.fetch_add(1, std::memory_order_relaxed);
+    BatchesOutCounter()->Add();
+    BatchSizeHist()->Record(batch.size());
+    metrics::ScopedLatencyTimer timer(FlushLatencyHist());
     flush_(filter_id, std::move(batch));
   }
 }

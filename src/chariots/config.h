@@ -57,6 +57,12 @@ struct ChariotsConfig {
   int64_t gc_interval_nanos = 0;
   /// Optional cold-storage archive file for GC'd segments.
   std::string gc_archive_path;
+
+  /// Record-level trace sampling: sample one append whose TOId satisfies
+  /// `toid % trace_sample_every == 1` (so the first record is always
+  /// sampled). 0 disables tracing entirely. Sampled records carry their
+  /// hop timestamps on the wire; unsampled records pay nothing.
+  uint32_t trace_sample_every = 1024;
 };
 
 }  // namespace chariots::geo

@@ -27,7 +27,18 @@ Datacenter::Datacenter(ChariotsConfig config, ReplicationFabric* fabric)
       atable_(config.num_datacenters, config.dc_id),
       token_(config.num_datacenters),
       toid_to_lid_(config.num_datacenters),
-      toid_base_(config.num_datacenters, 1) {}
+      toid_base_(config.num_datacenters, 1) {
+  // Per-dc counters: several Datacenter instances can share one process (in
+  // tests and simulations), so these are namespaced by dc id; the per-stage
+  // process-global instruments live in the stage classes.
+  std::string prefix = "chariots.dc" + std::to_string(config_.dc_id) + ".";
+  metrics::Registry& registry = metrics::Registry::Default();
+  appends_counter_ = registry.GetCounter(prefix + "appends");
+  refused_counter_ = registry.GetCounter(prefix + "appends_refused");
+  incorporated_counter_ = registry.GetCounter(prefix + "records_incorporated");
+  maintainer_append_hist_ =
+      registry.GetHistogram("chariots.maintainer.append_ns");
+}
 
 Datacenter::~Datacenter() { Stop(); }
 
@@ -82,6 +93,7 @@ Status Datacenter::Start() {
     queues_.push_back(std::make_unique<GeoQueue>(
         q, &journal_,
         [this](uint32_t m, GeoRecord r) {
+          r.trace.AddHop("queue", config_.dc_id);
           RouteToMaintainer(m, std::move(r));
         }));
   }
@@ -95,6 +107,7 @@ Status Datacenter::Start() {
         config_.stage_queue_capacity);
     stage->filter = std::make_unique<Filter>(
         f, &filter_map_, [this](GeoRecord r) {
+          r.trace.AddHop("filter", config_.dc_id);
           uint64_t i = queue_rr_.fetch_add(1, std::memory_order_relaxed);
           size_t n = queue_count_.load(std::memory_order_acquire);
           queues_[i % n]->Enqueue(std::move(r));
@@ -140,6 +153,7 @@ Status Datacenter::Start() {
           // peer's backlog must not grow the queues without bound): the
           // origin's sender retransmits them once we make progress.
           if (Congested()) return false;
+          r.trace.AddHop("receiver", config_.dc_id);
           SubmitToBatcher(std::move(r));
           return true;
         });
@@ -172,11 +186,39 @@ Status Datacenter::Start() {
   if (config_.gc_interval_nanos > 0) {
     gc_thread_ = std::thread([this] { GcLoop(); });
   }
+
+  // Snapshot-time gauges for state owned by the pipeline. The lock-free
+  // readers (BoundedQueue::ApproxSize, atomics) make these safe to evaluate
+  // from any monitoring thread; Stop() releases them before teardown.
+  std::string prefix = "chariots.dc" + std::to_string(config_.dc_id) + ".";
+  callback_gauges_.emplace_back(prefix + "head_lid", [this] {
+    return static_cast<int64_t>(head_lid_.load(std::memory_order_relaxed));
+  });
+  callback_gauges_.emplace_back(prefix + "pipeline_pending", [this] {
+    return static_cast<int64_t>(PipelinePending());
+  });
+  callback_gauges_.emplace_back(prefix + "local_buffer_records", [this] {
+    return static_cast<int64_t>(local_buffer_.size());
+  });
+  size_t nf = filter_count_.load(std::memory_order_acquire);
+  for (size_t f = 0; f < nf; ++f) {
+    BoundedQueue<std::vector<GeoRecord>>* inbox = filters_[f]->inbox.get();
+    callback_gauges_.emplace_back(
+        prefix + "filter" + std::to_string(f) + ".inbox_depth",
+        [inbox] { return static_cast<int64_t>(inbox->ApproxSize()); });
+    callback_gauges_.emplace_back(
+        prefix + "filter" + std::to_string(f) + ".inbox_high_watermark",
+        [inbox] { return static_cast<int64_t>(inbox->high_watermark()); });
+  }
   return Status::OK();
 }
 
 void Datacenter::Stop() {
   if (!running_.exchange(false)) return;
+
+  // Release snapshot callbacks first: they read pipeline state that the
+  // teardown below starts dismantling.
+  callback_gauges_.clear();
 
   // Upstream first: batchers flush, filters drain, token drains queues.
   for (auto& b : batchers_) b->Stop();
@@ -384,12 +426,17 @@ void Datacenter::TokenLoop() {
 void Datacenter::RouteToMaintainer(uint32_t maintainer_index,
                                    GeoRecord record) {
   flstore::LogRecord log_record = ToLogRecord(record);
-  Status s = maintainers_[maintainer_index]->AppendAt(record.lid, log_record);
+  Status s;
+  {
+    metrics::ScopedLatencyTimer timer(maintainer_append_hist_);
+    s = maintainers_[maintainer_index]->AppendAt(record.lid, log_record);
+  }
   if (!s.ok()) {
     LOG_ERROR << "dc" << config_.dc_id << ": AppendAt(" << record.lid
               << ") failed: " << s.ToString();
     return;
   }
+  record.trace.AddHop("maintainer", config_.dc_id);
   indexer_.AddRecord(log_record, record.lid);
   {
     std::lock_guard<std::mutex> lock(meta_mu_);
@@ -404,12 +451,24 @@ void Datacenter::RouteToMaintainer(uint32_t maintainer_index,
   head_lid_.store(record.lid + 1, std::memory_order_release);
   atable_.Advance(config_.dc_id, record.host, record.toid);
   incorporated_.fetch_add(1, std::memory_order_relaxed);
+  incorporated_counter_->Add();
   // Subscribers run before the append acknowledgment, so "append returned"
   // implies every subscriber has seen the record.
   for (const auto& subscriber : subscribers_) subscriber(record);
   if (record.host == config_.dc_id) {
+    // The sender hop is stamped before encoding so the replicated copy
+    // carries the full local pipeline history to the remote datacenter.
+    record.trace.AddHop("sender", config_.dc_id);
     local_buffer_.Put(record.toid, EncodeGeoRecord(record));
+    if (record.trace.active()) {
+      trace::TraceSink::Default().Record(std::move(record.trace));
+    }
     if (record.on_committed) record.on_committed(record.toid, record.lid);
+  } else {
+    record.trace.AddHop("incorporated", config_.dc_id);
+    if (record.trace.active()) {
+      trace::TraceSink::Default().Record(std::move(record.trace));
+    }
   }
   {
     // Taking the lock orders this notify with the waiter's predicate check.
@@ -419,6 +478,7 @@ void Datacenter::RouteToMaintainer(uint32_t maintainer_index,
 }
 
 void Datacenter::SubmitToBatcher(GeoRecord record) {
+  record.trace.AddHop("batcher", config_.dc_id);
   uint64_t i = batcher_rr_.fetch_add(1, std::memory_order_relaxed);
   size_t n = batcher_count_.load(std::memory_order_acquire);
   batchers_[i % n]->Submit(std::move(record));
@@ -440,7 +500,8 @@ bool Datacenter::Congested() const {
 
 TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
                         DepVector deps,
-                        std::function<void(TOId, flstore::LId)> on_committed) {
+                        std::function<void(TOId, flstore::LId)> on_committed,
+                        trace::TraceContext client_trace) {
   GeoRecord record;
   record.host = config_.dc_id;
   record.toid = next_toid_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -449,6 +510,13 @@ TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
   record.deps = std::move(deps);
   record.deps.resize(config_.num_datacenters, 0);
   record.on_committed = std::move(on_committed);
+  record.trace = std::move(client_trace);
+  if (!record.trace.active() &&
+      trace::ShouldSample(record.toid, config_.trace_sample_every)) {
+    record.trace.trace_id = trace::MakeTraceId(config_.dc_id, record.toid);
+  }
+  record.trace.AddHop("client", config_.dc_id);
+  appends_counter_->Add();
   TOId toid = record.toid;
   SubmitToBatcher(std::move(record));
   return toid;
@@ -456,15 +524,17 @@ TOId Datacenter::Append(std::string body, std::vector<flstore::Tag> tags,
 
 Result<TOId> Datacenter::TryAppend(
     std::string body, std::vector<flstore::Tag> tags, DepVector deps,
-    std::function<void(TOId, flstore::LId)> on_committed) {
+    std::function<void(TOId, flstore::LId)> on_committed,
+    trace::TraceContext client_trace) {
   // Check admission before consuming a TOId: a refused append must leave no
   // trace, or the TOId sequence would grow holes that never fill.
   if (Congested()) {
     appends_refused_.fetch_add(1, std::memory_order_relaxed);
+    refused_counter_->Add();
     return Status::Unavailable("pipeline congested; retry with backoff");
   }
   return Append(std::move(body), std::move(tags), std::move(deps),
-                std::move(on_committed));
+                std::move(on_committed), std::move(client_trace));
 }
 
 Result<GeoRecord> Datacenter::Read(flstore::LId lid) const {
@@ -609,6 +679,7 @@ Status Datacenter::SplitFilterChampionship(DatacenterId host, TOId from_toid,
       uint32_t id = static_cast<uint32_t>(filters_.size());
       stage->filter = std::make_unique<Filter>(
           id, &filter_map_, [this](GeoRecord r) {
+            r.trace.AddHop("filter", config_.dc_id);
             uint64_t i = queue_rr_.fetch_add(1, std::memory_order_relaxed);
             queues_[i % queues_.size()]->Enqueue(std::move(r));
           });
@@ -646,6 +717,7 @@ Status Datacenter::AddQueue() {
   uint32_t id = static_cast<uint32_t>(queues_.size());
   queues_.push_back(std::make_unique<GeoQueue>(
       id, &journal_, [this](uint32_t m, GeoRecord r) {
+        r.trace.AddHop("queue", config_.dc_id);
         RouteToMaintainer(m, std::move(r));
       }));
   // Publishing the count both inserts the queue into the token circulation

@@ -19,7 +19,9 @@
 #include "chariots/queue.h"
 #include "chariots/record.h"
 #include "chariots/replication.h"
+#include "common/metrics.h"
 #include "common/queue.h"
+#include "common/trace.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
 
@@ -53,9 +55,13 @@ class Datacenter {
   /// TOId immediately; `on_committed` (optional, moved from `record`-style
   /// callers) fires with (toid, lid) once the record is persisted locally.
   /// `deps` is the caller's causal dependency vector (may be empty).
+  /// `client_trace` continues an already-sampled trace from the caller
+  /// (e.g. an RPC client); when inactive, the append is sampled locally per
+  /// config.trace_sample_every.
   TOId Append(std::string body, std::vector<flstore::Tag> tags,
               DepVector deps,
-              std::function<void(TOId, flstore::LId)> on_committed = {});
+              std::function<void(TOId, flstore::LId)> on_committed = {},
+              trace::TraceContext client_trace = {});
 
   /// Admission-controlled Append: refuses with kUnavailable — without
   /// consuming a TOId — when the pipeline is congested past
@@ -65,7 +71,8 @@ class Datacenter {
   Result<TOId> TryAppend(std::string body, std::vector<flstore::Tag> tags,
                          DepVector deps,
                          std::function<void(TOId, flstore::LId)> on_committed =
-                             {});
+                             {},
+                         trace::TraceContext client_trace = {});
 
   /// Reads the record at local position `lid`. NotFound below the GC
   /// horizon or above the filled prefix.
@@ -234,6 +241,16 @@ class Datacenter {
   std::vector<std::deque<flstore::LId>> toid_to_lid_;
   std::vector<TOId> toid_base_;
   std::thread gc_thread_;
+
+  /// Per-dc observability: lazily-resolved counters (named
+  /// chariots.dc<N>.*) plus callback gauges registered in Start() and
+  /// released in Stop() so a destroyed Datacenter leaves no dangling
+  /// snapshot callbacks behind.
+  metrics::Counter* appends_counter_ = nullptr;
+  metrics::Counter* refused_counter_ = nullptr;
+  metrics::Counter* incorporated_counter_ = nullptr;
+  metrics::Histogram* maintainer_append_hist_ = nullptr;
+  std::vector<metrics::ScopedCallbackGauge> callback_gauges_;
 
   std::vector<std::function<void(const GeoRecord&)>> subscribers_;
   std::atomic<TOId> next_toid_{0};

@@ -1,11 +1,36 @@
 #include "chariots/filter.h"
 
+#include "common/metrics.h"
+
 namespace chariots::geo {
+
+namespace {
+
+metrics::Counter* ForwardedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.filter.forwarded");
+  return c;
+}
+
+metrics::Counter* DuplicatesCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.filter.duplicates_dropped");
+  return c;
+}
+
+metrics::Histogram* AcceptLatencyHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("chariots.filter.accept_ns");
+  return h;
+}
+
+}  // namespace
 
 Filter::Filter(uint32_t id, const FilterMap* filter_map, ForwardFn forward)
     : id_(id), filter_map_(filter_map), forward_(std::move(forward)) {}
 
 void Filter::Accept(std::vector<GeoRecord> batch) {
+  metrics::ScopedLatencyTimer timer(AcceptLatencyHist());
   std::vector<GeoRecord> out;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -13,6 +38,7 @@ void Filter::Accept(std::vector<GeoRecord> batch) {
       ProcessLocked(std::move(record), &out);
     }
   }
+  ForwardedCounter()->Add(out.size());
   for (GeoRecord& record : out) {
     forwarded_.fetch_add(1, std::memory_order_relaxed);
     forward_(std::move(record));
@@ -37,6 +63,7 @@ void Filter::ProcessLocked(GeoRecord record, std::vector<GeoRecord>* out) {
 
   if (record.toid < state.next_expected) {
     duplicates_.fetch_add(1, std::memory_order_relaxed);
+    DuplicatesCounter()->Add();
     return;
   }
   if (record.toid > state.next_expected) {

@@ -3,10 +3,22 @@
 #include <condition_variable>
 
 #include "common/codec.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace chariots::geo {
 
 namespace {
+
+/// Client-side trace sampling rate: every 1024th append per client session
+/// (plus the first) originates a sampled trace, matching the server-side
+/// default in ChariotsConfig::trace_sample_every.
+constexpr uint32_t kClientTraceSampleEvery = 1024;
+
+/// "Datacenter id" stamped into trace ids originated by RPC clients, which
+/// do not know which datacenter they talk to. Distinct from any real dc id
+/// so client-originated ids cannot collide with server-originated ones.
+constexpr uint32_t kClientTraceDc = 0xFFFF;
 
 std::string EncodeRecordWithLid(const GeoRecord& record) {
   BinaryWriter w;
@@ -64,6 +76,8 @@ Status GeoServer::Start() {
       flstore::LId lid = flstore::kInvalidLId;
     };
     auto wait = std::make_shared<Wait>();
+    // Continue a trace the RPC client started (handlers run on the
+    // transport delivery thread, where the inbound trace is current).
     TOId toid = dc_->Append(std::move(body), std::move(tags),
                             std::move(deps),
                             [wait](TOId, flstore::LId lid) {
@@ -71,7 +85,8 @@ Status GeoServer::Start() {
                               wait->done = true;
                               wait->lid = lid;
                               wait->cv.notify_all();
-                            });
+                            },
+                            net::CurrentRpcTrace());
     std::unique_lock<std::mutex> lock(wait->mu);
     if (!wait->cv.wait_for(lock, std::chrono::seconds(5),
                            [&] { return wait->done; })) {
@@ -121,6 +136,16 @@ Status GeoServer::Start() {
     return EncodeRecordWithLid(record);
   });
 
+  endpoint_.Handle(kGeoMetrics, [](const net::NodeId&, const std::string&)
+                                    -> Result<std::string> {
+    return metrics::RenderJson(metrics::Registry::Default().Snapshot());
+  });
+
+  endpoint_.Handle(kGeoTrace, [](const net::NodeId&, const std::string&)
+                                  -> Result<std::string> {
+    return trace::RenderTracesJson(trace::TraceSink::Default().Traces());
+  });
+
   return endpoint_.Start();
 }
 
@@ -162,9 +187,17 @@ Result<std::pair<TOId, flstore::LId>> GeoRpcClient::Append(
     w.PutU32(static_cast<uint32_t>(deps_.size()));
     for (TOId d : deps_) w.PutU64(d);
   }
+  // A sampled append originates its trace here: only the id crosses the
+  // wire; all hop timestamps are stamped by the server process, keeping
+  // them on one clock (and therefore monotonic).
+  net::CallOptions options;
+  uint64_t seq = append_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (trace::ShouldSample(seq, kClientTraceSampleEvery)) {
+    options.trace.trace_id = trace::MakeTraceId(kClientTraceDc, seq);
+  }
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      endpoint_.Call(server_, kGeoAppend, std::move(w).data()));
+      endpoint_.Call(server_, kGeoAppend, std::move(w).data(), options));
   BinaryReader r(payload);
   TOId toid = 0;
   flstore::LId lid = 0;
@@ -203,6 +236,14 @@ Result<flstore::LId> GeoRpcClient::Head() {
   flstore::LId head = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&head));
   return head;
+}
+
+Result<std::string> GeoRpcClient::Metrics() {
+  return endpoint_.Call(server_, kGeoMetrics, "");
+}
+
+Result<std::string> GeoRpcClient::Trace() {
+  return endpoint_.Call(server_, kGeoTrace, "");
 }
 
 Result<std::vector<flstore::Posting>> GeoRpcClient::Lookup(

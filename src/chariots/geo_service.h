@@ -1,6 +1,7 @@
 #ifndef CHARIOTS_CHARIOTS_GEO_SERVICE_H_
 #define CHARIOTS_CHARIOTS_GEO_SERVICE_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,8 @@ enum GeoOpcode : uint16_t {
   kGeoHead = 52,       ///< () -> u64 head lid
   kGeoLookup = 53,     ///< IndexQuery -> postings
   kGeoReadByToid = 54, ///< u32 host + u64 toid -> encoded GeoRecord + lid
+  kGeoMetrics = 55,    ///< () -> process metrics snapshot as JSON
+  kGeoTrace = 56,      ///< () -> sampled record traces as JSON
 };
 
 /// Hosts a Datacenter's client API on the RPC fabric, so application
@@ -70,6 +73,12 @@ class GeoRpcClient {
                                    flstore::LId before_lid =
                                        flstore::kInvalidLId);
 
+  /// The server process's metrics snapshot, rendered as JSON.
+  Result<std::string> Metrics();
+
+  /// The server process's sampled record traces, rendered as JSON.
+  Result<std::string> Trace();
+
  private:
   void Absorb(const GeoRecord& record);
 
@@ -77,6 +86,9 @@ class GeoRpcClient {
   const net::NodeId server_;
   std::mutex mu_;
   DepVector deps_;
+  /// Client-side append sequence, used only to decide which appends start a
+  /// sampled trace (every 1024th, plus the first).
+  std::atomic<uint64_t> append_seq_{0};
 };
 
 }  // namespace chariots::geo

@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
+
 namespace chariots::geo {
+
+namespace {
+
+metrics::Counter* AppendedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.queue.appended");
+  return c;
+}
+
+metrics::Counter* DuplicatesCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.queue.duplicates_dropped");
+  return c;
+}
+
+metrics::Histogram* ProcessTokenHist() {
+  static metrics::Histogram* h = metrics::Registry::Default().GetHistogram(
+      "chariots.queue.process_token_ns");
+  return h;
+}
+
+}  // namespace
 
 GeoQueue::GeoQueue(uint32_t id, const flstore::EpochJournal* journal,
                    RouteFn route)
@@ -24,6 +48,7 @@ bool GeoQueue::Admissible(const Token& token, const GeoRecord& r) const {
 }
 
 size_t GeoQueue::ProcessToken(Token* token) {
+  metrics::ScopedLatencyTimer timer(ProcessTokenHist());
   // Collect work: newly filtered records plus the token's deferred ones.
   std::vector<GeoRecord> work;
   {
@@ -53,6 +78,7 @@ size_t GeoQueue::ProcessToken(Token* token) {
           r.toid <= token->max_toid[r.host]) {
         // Already in the log somewhere: retransmission duplicate.
         duplicates_.fetch_add(1, std::memory_order_relaxed);
+        DuplicatesCounter()->Add();
         continue;
       }
       if (!Admissible(*token, r)) {
@@ -71,6 +97,7 @@ size_t GeoQueue::ProcessToken(Token* token) {
 
   token->deferred = std::move(work);
   appended_.fetch_add(appended_now, std::memory_order_relaxed);
+  AppendedCounter()->Add(appended_now);
   return appended_now;
 }
 

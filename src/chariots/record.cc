@@ -16,6 +16,9 @@ std::string EncodeGeoRecord(const GeoRecord& record) {
     w.PutBytes(tag.value);
   }
   w.PutBytes(record.body);
+  // Optional trailing trace: absent entirely for unsampled records, and
+  // invisible to decoders that stop after body.
+  trace::EncodeTrace(record.trace, &w);
   return std::move(w).data();
 }
 
@@ -40,6 +43,9 @@ Result<GeoRecord> DecodeGeoRecord(std::string_view data) {
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&record.tags[i].value));
   }
   CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&record.body));
+  if (!trace::DecodeTrace(&r, &record.trace)) {
+    return Status::Corruption("bad trace trailer in record");
+  }
   return record;
 }
 

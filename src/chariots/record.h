@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "flstore/types.h"
 
 namespace chariots::geo {
@@ -37,6 +38,12 @@ struct GeoRecord {
   DepVector deps;
   std::string body;
   std::vector<flstore::Tag> tags;
+
+  /// Record-level trace (ISSUE 4): hop timestamps accumulated as the record
+  /// moves through the pipeline. Inactive (trace_id 0, zero wire bytes) for
+  /// all but sampled records; IS serialized, so the trace crosses
+  /// datacenters inside the replicated bytes.
+  trace::TraceContext trace;
 
   /// Completion hook for locally appended records: fires once the record is
   /// persisted locally, with its TOId and LId (paper §3: "The assigned TOId

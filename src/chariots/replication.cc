@@ -5,8 +5,61 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::geo {
+
+namespace {
+
+metrics::Counter* RecordsSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.sender.records_sent");
+  return c;
+}
+
+metrics::Counter* BatchesSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.sender.batches_sent");
+  return c;
+}
+
+metrics::Counter* RewindsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.sender.rewinds");
+  return c;
+}
+
+metrics::Histogram* SenderTickHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("chariots.sender.tick_ns");
+  return h;
+}
+
+metrics::Counter* RecordsReceivedCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.receiver.records_received");
+  return c;
+}
+
+metrics::Counter* RecordsDedupedCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.receiver.records_deduped");
+  return c;
+}
+
+metrics::Counter* RecordsShedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("chariots.receiver.records_shed");
+  return c;
+}
+
+metrics::Histogram* ReceiverOnMessageHist() {
+  static metrics::Histogram* h = metrics::Registry::Default().GetHistogram(
+      "chariots.receiver.on_message_ns");
+  return h;
+}
+
+}  // namespace
 
 std::string EncodeReplicationBatch(const ReplicationBatch& batch) {
   BinaryWriter w;
@@ -116,6 +169,7 @@ void Sender::Loop() {
 }
 
 size_t Sender::Tick() {
+  metrics::ScopedLatencyTimer timer(SenderTickHist());
   std::lock_guard<std::mutex> lock(mu_);
   int64_t now = clock_->NowNanos();
   size_t shipped = 0;
@@ -140,6 +194,7 @@ size_t Sender::Tick() {
       dest.resend_interval_nanos = std::min(dest.resend_interval_nanos * 2,
                                             options_.resend_max_nanos);
       rewinds_.fetch_add(1, std::memory_order_relaxed);
+      RewindsCounter()->Add();
     }
 
     TOId max = buffer_->max_toid();
@@ -159,6 +214,8 @@ size_t Sender::Tick() {
           shipped += n;
           records_sent_.fetch_add(n, std::memory_order_relaxed);
           batches_sent_.fetch_add(1, std::memory_order_relaxed);
+          RecordsSentCounter()->Add(n);
+          BatchesSentCounter()->Add();
         }
         continue;
       }
@@ -185,10 +242,12 @@ Receiver::Receiver(DatacenterId self, AwarenessTable* atable, SubmitFn submit)
 
 void Receiver::OnMessage(DatacenterId from, std::string payload) {
   (void)from;
+  metrics::ScopedLatencyTimer timer(ReceiverOnMessageHist());
   Result<ReplicationBatch> batch = DecodeReplicationBatch(payload);
   if (!batch.ok()) {
-    LOG_WARN << "dc" << self_ << ": undecodable replication batch: "
-             << batch.status().ToString();
+    LOG_EVERY_N_SEC(kWarn, 5)
+        << "dc" << self_
+        << ": undecodable replication batch: " << batch.status().ToString();
     return;
   }
   if (!batch->atable.empty()) {
@@ -202,21 +261,25 @@ void Receiver::OnMessage(DatacenterId from, std::string payload) {
   for (const std::string& encoded : batch->records) {
     Result<GeoRecord> record = DecodeGeoRecord(encoded);
     if (!record.ok()) {
-      LOG_WARN << "dc" << self_ << ": undecodable record in batch";
+      LOG_EVERY_N_SEC(kWarn, 5) << "dc" << self_
+                                << ": undecodable record in batch";
       continue;
     }
     records_received_.fetch_add(1, std::memory_order_relaxed);
+    RecordsReceivedCounter()->Add();
     // Knowledge-vector dedup: row self only advances when a record is
     // incorporated into the local log, so anything at or below it is a
     // retransmitted duplicate — drop it before it costs pipeline work.
     if (atable_->Get(self_, record->host) >= record->toid) {
       records_deduped_.fetch_add(1, std::memory_order_relaxed);
+      RecordsDedupedCounter()->Add();
       continue;
     }
     if (!submit_(std::move(record).value())) {
       // Pipeline congested: shed. The sender's rewind re-ships this record
       // once the backlog (and our awareness row) stops advancing.
       records_shed_.fetch_add(1, std::memory_order_relaxed);
+      RecordsShedCounter()->Add();
     }
   }
 }

@@ -51,6 +51,18 @@ void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
   }
 }
 
+bool ShouldLogEveryN(std::atomic<int64_t>* next_nanos, int interval_sec) {
+  int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  int64_t next = next_nanos->load(std::memory_order_relaxed);
+  if (now < next) return false;
+  int64_t interval = int64_t{interval_sec < 1 ? 1 : interval_sec} * 1000000000;
+  // One winner per interval: losers see the updated deadline and back off.
+  return next_nanos->compare_exchange_strong(next, now + interval,
+                                             std::memory_order_relaxed);
+}
+
 }  // namespace internal_logging
 
 void SetLogLevel(LogLevel level) {

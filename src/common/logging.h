@@ -17,6 +17,13 @@ extern std::atomic<int> g_min_level;
 
 void Emit(LogLevel level, const char* file, int line, const std::string& msg);
 
+/// Rate-limiter backing LOG_EVERY_N_SEC: returns true (and arms the next
+/// deadline, CAS so concurrent callers race to exactly one win) at most
+/// once per `interval_sec` per call site. `next_nanos` is the call site's
+/// static deadline slot. Intervals below one second are clamped to one so
+/// the driving for-loop always terminates.
+bool ShouldLogEveryN(std::atomic<int64_t>* next_nanos, int interval_sec);
+
 /// Stream-collecting helper; emits on destruction.
 class LogMessage {
  public:
@@ -52,6 +59,22 @@ void SetLogLevel(LogLevel level);
 #define LOG_WARN CHARIOTS_LOG(kWarn)
 #define LOG_ERROR CHARIOTS_LOG(kError)
 #define LOG_FATAL CHARIOTS_LOG(kFatal)
+
+/// Rate-limited logging for hot paths: emits at most one message per
+/// `n_sec` seconds per call site, dropping the rest. Usable exactly like
+/// the plain macros:
+///
+///   LOG_EVERY_N_SEC(kWarn, 5) << "replicate to " << peer << " failed";
+///
+/// The for-loop runs the streaming body at most once: after the body, the
+/// condition re-evaluates against the freshly armed deadline (>= 1s away)
+/// and terminates. Per-call-site state is a function-local static atomic,
+/// so distinct sites rate-limit independently.
+#define LOG_EVERY_N_SEC(level, n_sec)                                        \
+  for (static std::atomic<int64_t> chariots_log_next_nanos_{0};              \
+       ::chariots::internal_logging::ShouldLogEveryN(                        \
+           &chariots_log_next_nanos_, (n_sec));)                             \
+  CHARIOTS_LOG(level)
 
 }  // namespace chariots
 

@@ -2,6 +2,7 @@
 #define CHARIOTS_COMMON_QUEUE_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -37,6 +38,7 @@ class BoundedQueue {
                      [&] { return closed_ || items_.size() < capacity_; });
       if (closed_) return false;
       items_.push_back(std::move(item));
+      NoteSizeLocked();
     }
     not_empty_.notify_one();
     return true;
@@ -48,6 +50,7 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
+      NoteSizeLocked();
     }
     not_empty_.notify_one();
     return true;
@@ -77,6 +80,7 @@ class BoundedQueue {
         for (size_t i = 0; i < pushed; ++i) {
           items_.push_back(std::move((*items)[next + i]));
         }
+        NoteSizeLocked();
       }
       // One wakeup per admitted chunk; notify_all so several consumers can
       // start draining a multi-item chunk concurrently.
@@ -101,6 +105,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
+      NoteSizeLocked();
     }
     not_full_.notify_one();
     return item;
@@ -117,6 +122,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
+      NoteSizeLocked();
     }
     not_full_.notify_one();
     return item;
@@ -130,6 +136,7 @@ class BoundedQueue {
       if (items_.empty()) return std::nullopt;
       item.emplace(std::move(items_.front()));
       items_.pop_front();
+      NoteSizeLocked();
     }
     not_full_.notify_one();
     return item;
@@ -152,6 +159,7 @@ class BoundedQueue {
         out->push_back(std::move(items_.front()));
         items_.pop_front();
       }
+      NoteSizeLocked();
     }
     if (popped == 1) {
       not_full_.notify_one();
@@ -184,6 +192,18 @@ class BoundedQueue {
 
   size_t capacity() const { return capacity_; }
 
+  /// Current depth without taking the queue lock — safe to call from a
+  /// metrics snapshot or monitoring thread at any rate. May lag a mutation
+  /// in flight by one update (relaxed atomic), never by more.
+  size_t ApproxSize() const {
+    return approx_size_.load(std::memory_order_relaxed);
+  }
+
+  /// Highest depth ever observed after a push. Lock-free read.
+  size_t high_watermark() const {
+    return high_watermark_.load(std::memory_order_relaxed);
+  }
+
   /// Fraction of capacity in use, in [0,1]. Cheap load signal for the
   /// overload models in the simulation harness.
   double fill_fraction() const {
@@ -193,12 +213,27 @@ class BoundedQueue {
   }
 
  private:
+  // Called with mu_ held after every mutation of items_: mirrors the depth
+  // into a relaxed atomic (so gauges read it lock-free) and ratchets the
+  // high watermark. The stores are ordered by mu_, so the mirror is exact
+  // between critical sections.
+  void NoteSizeLocked() {
+    size_t n = items_.size();
+    approx_size_.store(n, std::memory_order_relaxed);
+    size_t seen = high_watermark_.load(std::memory_order_relaxed);
+    while (n > seen && !high_watermark_.compare_exchange_weak(
+                           seen, n, std::memory_order_relaxed)) {
+    }
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::atomic<size_t> approx_size_{0};
+  std::atomic<size_t> high_watermark_{0};
 };
 
 }  // namespace chariots

@@ -1,0 +1,140 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace chariots::trace {
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+void TraceContext::AddHop(std::string_view stage, uint32_t dc) {
+  if (!active()) return;
+  hops.push_back(TraceHop{std::string(stage), dc, NowNanos()});
+}
+
+bool ShouldSample(uint64_t seq, uint32_t every) {
+  if (every == 0) return false;
+  // every == 1 means "every record": seq % 1 is always 0, never 1, so it
+  // needs its own arm.
+  return every == 1 || seq % every == 1;
+}
+
+uint64_t MakeTraceId(uint32_t dc, uint64_t seq) {
+  uint64_t id = (static_cast<uint64_t>(dc + 1) << 48) ^ seq;
+  return id == 0 ? 1 : id;
+}
+
+void EncodeTrace(const TraceContext& ctx, BinaryWriter* writer) {
+  if (!ctx.active()) return;
+  writer->PutU64(ctx.trace_id);
+  writer->PutU32(static_cast<uint32_t>(ctx.hops.size()));
+  for (const TraceHop& hop : ctx.hops) {
+    writer->PutBytes(hop.stage);
+    writer->PutU32(hop.dc);
+    writer->PutI64(hop.nanos);
+  }
+}
+
+bool DecodeTrace(BinaryReader* reader, TraceContext* ctx) {
+  *ctx = TraceContext{};
+  // An exhausted reader means the encoder wrote no trace (unsampled record,
+  // or produced by an older encoder) — inactive, not an error.
+  if (reader->AtEnd()) return true;
+  if (!reader->GetU64(&ctx->trace_id).ok()) return false;
+  uint32_t count = 0;
+  if (!reader->GetU32(&count).ok()) return false;
+  // A hop is at least 4 (stage len) + 4 (dc) + 8 (nanos) bytes; reject
+  // counts that can't fit in what's left instead of allocating for them.
+  if (static_cast<uint64_t>(count) * 16 > reader->remaining()) return false;
+  ctx->hops.resize(count);
+  for (TraceHop& hop : ctx->hops) {
+    if (!reader->GetBytes(&hop.stage).ok()) return false;
+    if (!reader->GetU32(&hop.dc).ok()) return false;
+    if (!reader->GetI64(&hop.nanos).ok()) return false;
+  }
+  return true;
+}
+
+TraceSink& TraceSink::Default() {
+  static TraceSink* sink = new TraceSink();  // leaked: outlives teardown
+  return *sink;
+}
+
+void TraceSink::Record(TraceContext ctx) {
+  if (!ctx.active()) return;
+  // Feed per-hop latency histograms from consecutive-hop deltas, attributed
+  // to the later hop ("how long did it take to reach this stage").
+  for (size_t i = 1; i < ctx.hops.size(); ++i) {
+    int64_t delta = ctx.hops[i].nanos - ctx.hops[i - 1].nanos;
+    if (delta < 0) delta = 0;
+    metrics::Registry::Default()
+        .GetHistogram("chariots.trace.hop_ns." + ctx.hops[i].stage)
+        ->Record(static_cast<uint64_t>(delta));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.push_back(std::move(ctx));
+  while (traces_.size() > capacity_) traces_.pop_front();
+}
+
+std::vector<TraceContext> TraceSink::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {traces_.begin(), traces_.end()};
+}
+
+bool TraceSink::Find(uint64_t trace_id, TraceContext* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = traces_.rbegin(); it != traces_.rend(); ++it) {
+    if (it->trace_id == trace_id) {
+      *out = *it;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+}
+
+std::string RenderTracesJson(const std::vector<TraceContext>& traces) {
+  std::string out = "[";
+  bool first_trace = true;
+  for (const TraceContext& t : traces) {
+    if (!first_trace) out += ",";
+    first_trace = false;
+    out += "{\"trace_id\":" + std::to_string(t.trace_id) + ",\"hops\":[";
+    bool first_hop = true;
+    for (const TraceHop& hop : t.hops) {
+      if (!first_hop) out += ",";
+      first_hop = false;
+      out += "{\"stage\":";
+      AppendJsonString(&out, hop.stage);
+      out += ",\"dc\":" + std::to_string(hop.dc);
+      out += ",\"nanos\":" + std::to_string(hop.nanos) + "}";
+    }
+    out += "]}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace chariots::trace

@@ -1,0 +1,93 @@
+#ifndef CHARIOTS_COMMON_TRACE_H_
+#define CHARIOTS_COMMON_TRACE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+
+namespace chariots::trace {
+
+/// Record-level tracing (ISSUE 4 tentpole part 2). A sampled append carries
+/// a TraceContext — trace id plus per-hop timestamps — through the RPC
+/// message header and inside the encoded GeoRecord, so one record can be
+/// reconstructed hop-by-hop across the whole pipeline and across
+/// datacenters: client → batcher → filter → queue → maintainer → sender →
+/// remote receiver → remote ATable merge.
+///
+/// Unsampled records have trace_id == 0 and pay zero bytes on the wire and
+/// zero work on the hot path.
+
+struct TraceHop {
+  std::string stage;  // "client", "batcher", "filter", "queue", ...
+  uint32_t dc = 0;    // datacenter the hop was recorded in
+  int64_t nanos = 0;  // steady-clock timestamp (same epoch within a process)
+
+  bool operator==(const TraceHop& other) const {
+    return stage == other.stage && dc == other.dc && nanos == other.nanos;
+  }
+};
+
+struct TraceContext {
+  uint64_t trace_id = 0;
+  std::vector<TraceHop> hops;
+
+  bool active() const { return trace_id != 0; }
+
+  /// Appends a hop stamped with the current steady-clock time. No-op when
+  /// inactive, so call sites don't need their own sampling check.
+  void AddHop(std::string_view stage, uint32_t dc);
+};
+
+/// Deterministic sampling rule: sample when `every` > 0 and
+/// `seq % every == 1` (so sequence number 1 — the first real record — is
+/// always sampled, which keeps tests deterministic). `every` == 1 samples
+/// every record.
+bool ShouldSample(uint64_t seq, uint32_t every);
+
+/// Derives a nonzero trace id from (dc, seq). Deterministic so the same
+/// record gets the same id on an idempotent retry.
+uint64_t MakeTraceId(uint32_t dc, uint64_t seq);
+
+/// Wire format: [u64 trace_id][u32 hop_count]{[bytes stage][u32 dc]
+/// [i64 nanos]}*. EncodeTrace appends NOTHING when the context is inactive;
+/// DecodeTrace on an exhausted reader yields an inactive context. Both
+/// properties keep old encoders/decoders compatible and unsampled records
+/// free.
+void EncodeTrace(const TraceContext& ctx, BinaryWriter* writer);
+bool DecodeTrace(BinaryReader* reader, TraceContext* ctx);
+
+/// Global ring buffer of completed traces plus per-hop latency histograms
+/// (`chariots.trace.hop_ns.<stage>`, fed from consecutive-hop deltas when a
+/// trace is recorded). Mutex-guarded: only sampled traffic reaches it.
+class TraceSink {
+ public:
+  static TraceSink& Default();
+
+  explicit TraceSink(size_t capacity = 256) : capacity_(capacity) {}
+
+  void Record(TraceContext ctx);
+
+  std::vector<TraceContext> Traces() const;
+
+  /// Most recent trace whose id matches, if any.
+  bool Find(uint64_t trace_id, TraceContext* out) const;
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<TraceContext> traces_;
+};
+
+/// JSON array of trace objects:
+/// [{"trace_id":N,"hops":[{"stage":"client","dc":0,"nanos":T},...]},...]
+std::string RenderTracesJson(const std::vector<TraceContext>& traces);
+
+}  // namespace chariots::trace
+
+#endif  // CHARIOTS_COMMON_TRACE_H_

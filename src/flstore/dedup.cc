@@ -5,10 +5,23 @@
 #include "common/codec.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::flstore {
 
 namespace {
+
+metrics::Counter* DedupHitCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.dedup.hits");
+  return c;
+}
+
+metrics::Counter* DedupMissCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.dedup.misses");
+  return c;
+}
 
 // Sidecar frame: u32 masked CRC32C (over body) | u32 body length | body,
 // where body = PutBytes(client_id) PutU64(seq) PutBytes(response).
@@ -148,11 +161,15 @@ Result<std::optional<std::string>> DedupWindow::Lookup(
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("DedupWindow not open");
   auto it = clients_.find(client_id);
-  if (it == clients_.end()) return std::optional<std::string>();
+  if (it == clients_.end()) {
+    DedupMissCounter()->Add();
+    return std::optional<std::string>();
+  }
   const ClientWindow& window = it->second;
   auto found = window.responses.find(seq);
   if (found != window.responses.end()) {
     ++hits_;
+    DedupHitCounter()->Add();
     return std::optional<std::string>(found->second);
   }
   if (seq <= window.evicted_below) {
@@ -161,6 +178,7 @@ Result<std::optional<std::string>> DedupWindow::Lookup(
     return Status::FailedPrecondition(
         "append token fell out of the dedup window");
   }
+  DedupMissCounter()->Add();
   return std::optional<std::string>();
 }
 

@@ -4,8 +4,31 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::flstore {
+
+namespace {
+
+metrics::Counter* ReplicatedEntriesCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "flstore.replica.entries_replicated");
+  return c;
+}
+
+metrics::Histogram* ReplicationLagHist() {
+  static metrics::Histogram* h = metrics::Registry::Default().GetHistogram(
+      "flstore.replica.replication_lag_ns");
+  return h;
+}
+
+metrics::Counter* FenceCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.replica.fence_events");
+  return c;
+}
+
+}  // namespace
 
 std::string EncodeReplicateRequest(const ReplicateRequest& req) {
   BinaryWriter w;
@@ -88,6 +111,10 @@ Status ReplicaGroup::Replicate(std::vector<ReplicatedEntry> entries,
   req.client_id = client_id;
   req.seq = seq;
   req.response = response;
+  size_t entry_count = req.entries.size();
+  // Replication lag = how long the synchronous backup round-trip holds up
+  // the append ack.
+  metrics::ScopedLatencyTimer lag_timer(ReplicationLagHist());
   Result<std::string> result = endpoint_->Call(
       backup, kReplicateRpc, EncodeReplicateRequest(req), replicate_timeout_);
   if (!result.ok()) {
@@ -95,12 +122,14 @@ Status ReplicaGroup::Replicate(std::vector<ReplicatedEntry> entries,
     // backup rejected our epoch, this primary can no longer safely ack
     // appends. Self-fence: the controller will promote the backup, and our
     // unacked local tail dies with us.
-    LOG_WARN << "replicate to " << backup
-             << " failed, fencing: " << result.status().ToString();
+    LOG_EVERY_N_SEC(kWarn, 5)
+        << "replicate to " << backup
+        << " failed, fencing: " << result.status().ToString();
     Fence();
     return Status::Unavailable("NOT_PRIMARY: replication failed (" +
                                result.status().ToString() + ")");
   }
+  ReplicatedEntriesCounter()->Add(entry_count);
   return Status::OK();
 }
 
@@ -141,6 +170,7 @@ Status ReplicaGroup::Promote(uint64_t new_epoch) {
 
 void ReplicaGroup::Fence() {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!fenced_) FenceCounter()->Add();
   fenced_ = true;
 }
 

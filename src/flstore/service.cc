@@ -2,10 +2,71 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::flstore {
 
 namespace {
+
+metrics::Counter* AppendCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.appends");
+  return c;
+}
+
+metrics::Histogram* AppendHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("flstore.append_ns");
+  return h;
+}
+
+metrics::Counter* ReadCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.reads");
+  return c;
+}
+
+metrics::Histogram* ReadHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("flstore.read_ns");
+  return h;
+}
+
+metrics::Counter* FillCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.fills");
+  return c;
+}
+
+metrics::Histogram* FillHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("flstore.fill_ns");
+  return h;
+}
+
+metrics::Counter* PromotionsCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("flstore.promotions");
+  return c;
+}
+
+metrics::Counter* LeaseExpiryCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "flstore.controller.lease_expiries");
+  return c;
+}
+
+metrics::Counter* FailoverCommitCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "flstore.controller.failovers_committed");
+  return c;
+}
+
+metrics::Counter* FailoverAbortCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "flstore.controller.failovers_aborted");
+  return c;
+}
 
 std::string EncodeLId(LId lid) {
   BinaryWriter w;
@@ -134,6 +195,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppend, [this](const net::NodeId&,
                                    const std::string& payload)
                                 -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(AppendHist());
+    AppendCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
@@ -163,6 +226,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppendBatch, [this](const net::NodeId&,
                                         const std::string& payload)
                                      -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(AppendHist());
+    AppendCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
@@ -198,6 +263,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppendAt, [this](const net::NodeId&,
                                      const std::string& payload)
                                   -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(AppendHist());
+    AppendCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     LId lid = 0;
@@ -218,6 +285,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kAppendOrdered, [this](const net::NodeId&,
                                           const std::string& payload)
                                        -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(AppendHist());
+    AppendCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     BinaryReader r(payload);
     std::string client_id;
@@ -252,6 +321,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kRead, [this](const net::NodeId&,
                                  const std::string& payload)
                               -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(ReadHist());
+    ReadCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, maintainer_.Read(lid));
@@ -261,6 +332,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kReadCommitted, [this](const net::NodeId&,
                                           const std::string& payload)
                                        -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(ReadHist());
+    ReadCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
@@ -327,6 +400,7 @@ void MaintainerServer::InstallHandlers() {
     uint64_t new_epoch = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
     CHARIOTS_RETURN_IF_ERROR(replica_.Promote(new_epoch));
+    PromotionsCounter()->Add();
     CHARIOTS_ASSIGN_OR_RETURN(std::vector<LId> filled,
                               maintainer_.FillHoles(MakeJunkRecord()));
     if (!filled.empty()) {
@@ -343,6 +417,8 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.Handle(kFill, [this](const net::NodeId&,
                                  const std::string& payload)
                               -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(FillHist());
+    FillCounter()->Add();
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     std::vector<ReplicatedEntry> batch;
@@ -510,6 +586,7 @@ void ControllerServer::Stop() {
 int ControllerServer::TickLeases() {
   int committed = 0;
   for (const FailoverPlan& plan : controller_.ExpiredLeases()) {
+    LeaseExpiryCounter()->Add();
     // Two-phase: promote the backup over RPC first; only a confirmed
     // promotion changes the layout. A lost response retries the (idempotent)
     // promotion on the next tick via AbortFailover's re-armed lease.
@@ -522,6 +599,7 @@ int ControllerServer::TickLeases() {
       LOG_WARN << "promotion of " << plan.backup << " for stripe "
                << plan.index
                << " failed: " << promoted.status().ToString();
+      FailoverAbortCounter()->Add();
       controller_.AbortFailover(plan.index);
       continue;
     }
@@ -532,6 +610,7 @@ int ControllerServer::TickLeases() {
       continue;
     }
     ++committed;
+    FailoverCommitCounter()->Add();
     // Tell the surviving maintainers (including the promoted one) where the
     // stripe now lives, so gossip keeps flowing to the right node.
     BinaryWriter update;

@@ -3,8 +3,33 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::net {
+
+namespace {
+
+metrics::Counter* DeliveredCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.transport.delivered");
+  return c;
+}
+
+metrics::Counter* DroppedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.transport.dropped");
+  return c;
+}
+
+// Drops specifically caused by the scripted fault plan (as opposed to link
+// loss, outages, or dead bindings) — lets tests verify injection happened.
+metrics::Counter* FaultDropCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.transport.fault_drops");
+  return c;
+}
+
+}  // namespace
 
 /// Per-node delivery state: a priority queue ordered by delivery time,
 /// drained by a dedicated thread that sleeps until the head is due.
@@ -77,6 +102,7 @@ Status InProcTransport::Unregister(const NodeId& node) {
   // account for them like any other network loss.
   size_t undelivered = inbox->queue.size();
   if (undelivered > 0) {
+    DroppedCounter()->Add(undelivered);
     std::lock_guard<std::mutex> lock(mu_);
     dropped_ += undelivered;
   }
@@ -118,6 +144,7 @@ Status InProcTransport::Send(Message msg) {
       if (rule->options.drop_probability > 0 &&
           rng_.NextDouble() < rule->options.drop_probability) {
         ++dropped_;
+        DroppedCounter()->Add();
         return Status::OK();  // silent loss, like a real network
       }
       latency = rule->options.latency_nanos;
@@ -129,6 +156,8 @@ Status InProcTransport::Send(Message msg) {
   // has paid to put it on the wire, so Send still returns OK on a drop.
   FaultDecision decision = faults_.Inspect(msg);
   if (decision.drop) {
+    DroppedCounter()->Add();
+    FaultDropCounter()->Add();
     std::lock_guard<std::mutex> lock(mu_);
     ++dropped_;
     return Status::OK();
@@ -184,6 +213,8 @@ void InProcTransport::InboxLoop(Inbox* inbox) {
     // Crash model: a message arriving while the destination is inside an
     // outage window vanishes, exactly as if the process were down.
     if (faults_.InOutage(inbox->node, now)) {
+      DroppedCounter()->Add();
+      FaultDropCounter()->Add();
       {
         std::lock_guard<std::mutex> g(mu_);
         ++dropped_;
@@ -192,6 +223,7 @@ void InProcTransport::InboxLoop(Inbox* inbox) {
       continue;
     }
     inbox->handler(std::move(msg));
+    DeliveredCounter()->Add();
     {
       std::lock_guard<std::mutex> g(mu_);
       ++delivered_;

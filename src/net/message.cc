@@ -13,6 +13,9 @@ std::string EncodeMessage(const Message& msg) {
   w.PutU8(msg.is_response ? 1 : 0);
   w.PutU8(msg.error_code);
   w.PutBytes(msg.payload);
+  // Trace rides as an optional trailing field: absent entirely (zero bytes)
+  // for unsampled messages, and ignored by decoders that stop at payload.
+  trace::EncodeTrace(msg.trace, &w);
   return std::move(w).data();
 }
 
@@ -28,6 +31,9 @@ Result<Message> DecodeMessage(std::string_view data) {
   msg.is_response = is_response != 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU8(&msg.error_code));
   CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&msg.payload));
+  if (!trace::DecodeTrace(&r, &msg.trace)) {
+    return Status::Corruption("bad trace trailer in message");
+  }
   return msg;
 }
 

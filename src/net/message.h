@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace chariots::net {
 
@@ -25,10 +26,18 @@ struct Message {
   /// Non-zero on an error response: holds the StatusCode.
   uint8_t error_code = 0;
   std::string payload;
+  /// Record-level trace carried in the message header; inactive (and
+  /// zero-byte on the wire) for unsampled traffic.
+  trace::TraceContext trace;
 
   /// Approximate wire size in bytes, used by bandwidth simulation.
   size_t WireSize() const {
-    return from.size() + to.size() + payload.size() + 24;
+    size_t trace_bytes = 0;
+    if (trace.active()) {
+      trace_bytes = 12;
+      for (const auto& hop : trace.hops) trace_bytes += hop.stage.size() + 16;
+    }
+    return from.size() + to.size() + payload.size() + trace_bytes + 24;
   }
 };
 

@@ -1,0 +1,152 @@
+#include "net/metrics_http.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace chariots::net {
+
+namespace {
+
+void WriteResponse(int fd, const std::string& content_type,
+                   const std::string& body) {
+  std::string resp = "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n" + body;
+  const char* data = resp.data();
+  size_t n = resp.size();
+  while (n > 0) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return;
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WriteNotFound(int fd) {
+  static const char kResp[] =
+      "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
+      "close\r\n\r\n";
+  (void)::send(fd, kResp, sizeof(kResp) - 1, MSG_NOSIGNAL);
+}
+
+}  // namespace
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(int port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status s =
+        Status::IOError(std::string("bind metrics port: ") +
+                        std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    Status s =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void MetricsHttpServer::ServeLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int r = ::poll(&pfd, 1, 100);
+    if (r < 0 && errno != EINTR) return;
+    if (r <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // Read until the end of the request headers (or 4 KiB, whichever first);
+  // only the request line matters.
+  std::string req;
+  char buf[1024];
+  while (req.size() < 4096 && req.find("\r\n\r\n") == std::string::npos) {
+    ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      break;
+    }
+    req.append(buf, static_cast<size_t>(r));
+    if (req.find('\n') != std::string::npos) break;  // have the request line
+  }
+  size_t sp1 = req.find(' ');
+  size_t sp2 = req.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      req.substr(0, sp1) != "GET") {
+    WriteNotFound(fd);
+    return;
+  }
+  std::string path = req.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  if (path == "/metrics" || path == "/") {
+    WriteResponse(fd, "text/plain; version=0.0.4",
+                  metrics::RenderPrometheus(
+                      metrics::Registry::Default().Snapshot()));
+  } else if (path == "/metrics.json") {
+    WriteResponse(
+        fd, "application/json",
+        metrics::RenderJson(metrics::Registry::Default().Snapshot()));
+  } else if (path == "/traces.json") {
+    WriteResponse(fd, "application/json",
+                  trace::RenderTracesJson(trace::TraceSink::Default().Traces()));
+  } else {
+    WriteNotFound(fd);
+  }
+}
+
+}  // namespace chariots::net

@@ -1,0 +1,48 @@
+#ifndef CHARIOTS_NET_METRICS_HTTP_H_
+#define CHARIOTS_NET_METRICS_HTTP_H_
+
+#include <atomic>
+#include <thread>
+
+#include "common/status.h"
+
+namespace chariots::net {
+
+/// Minimal blocking HTTP/1.0 server exposing the process's observability
+/// surface (`chariots_node --metrics_port`). Three routes:
+///
+///   GET /metrics       Prometheus text exposition
+///   GET /metrics.json  JSON metrics snapshot
+///   GET /traces.json   JSON dump of the TraceSink ring buffer
+///
+/// One accept thread, one request per connection, connection closed after
+/// the response — monitoring-poll traffic only, deliberately not a general
+/// HTTP stack.
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and starts serving. Port 0 picks an ephemeral port (see port()).
+  Status Start(int port);
+
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  void ServeLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace chariots::net
+
+#endif  // CHARIOTS_NET_METRICS_HTTP_H_

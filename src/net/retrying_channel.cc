@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+#include "common/metrics.h"
+
 namespace chariots::net {
+
+namespace {
+
+metrics::Counter* RetryCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.retries");
+  return c;
+}
+
+metrics::Counter* ExhaustedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.retries_exhausted");
+  return c;
+}
+
+}  // namespace
 
 Result<std::string> RetryingChannel::Call(const NodeId& to, uint16_t type,
                                           std::string payload,
@@ -19,6 +38,12 @@ Result<std::string> RetryingChannel::Call(const NodeId& to, uint16_t type,
         endpoint_->Call(to, type, payload, call_options);
     if (result.ok() || !result.status().IsRetryable() || !idempotent ||
         attempt >= options_.max_attempts) {
+      if (!result.ok() && attempt >= options_.max_attempts) {
+        ExhaustedCounter()->Add();
+        LOG_EVERY_N_SEC(kWarn, 5)
+            << "rpc to " << to << " (type " << type << ") failed after "
+            << attempt << " attempts: " << result.status().ToString();
+      }
       return result;
     }
     int64_t delay = backoff.NextDelayNanos();
@@ -28,6 +53,10 @@ Result<std::string> RetryingChannel::Call(const NodeId& to, uint16_t type,
       delay = std::min(delay, remaining);
     }
     retries_.fetch_add(1, std::memory_order_relaxed);
+    RetryCounter()->Add();
+    LOG_EVERY_N_SEC(kWarn, 5)
+        << "rpc to " << to << " (type " << type << ") attempt " << attempt
+        << " failed, retrying: " << result.status().ToString();
     clock_->SleepFor(delay);
   }
 }

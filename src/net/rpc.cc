@@ -3,8 +3,65 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::net {
+
+namespace {
+
+thread_local trace::TraceContext t_current_rpc_trace;
+
+// Sets the delivery thread's current-request trace for the duration of a
+// handler invocation.
+class ScopedRpcTrace {
+ public:
+  explicit ScopedRpcTrace(trace::TraceContext ctx) {
+    t_current_rpc_trace = std::move(ctx);
+  }
+  ~ScopedRpcTrace() { t_current_rpc_trace = trace::TraceContext{}; }
+};
+
+// Channel label for per-channel RPC metrics: the first path component of
+// the destination node id ("geo/dc0/api" -> "geo", "m3" -> "m3" — flat ids
+// are their own channel).
+std::string ChannelOf(const NodeId& to) {
+  size_t slash = to.find('/');
+  return slash == std::string::npos ? to : to.substr(0, slash);
+}
+
+metrics::Counter* CallCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.calls");
+  return c;
+}
+
+metrics::Counter* CallErrorCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.call_errors");
+  return c;
+}
+
+metrics::Counter* CallTimeoutCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.call_timeouts");
+  return c;
+}
+
+metrics::Counter* HandledCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.requests_handled");
+  return c;
+}
+
+metrics::Counter* HandlerErrorCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.rpc.handler_errors");
+  return c;
+}
+
+}  // namespace
+
+const trace::TraceContext& CurrentRpcTrace() { return t_current_rpc_trace; }
 
 RpcEndpoint::RpcEndpoint(Transport* transport, NodeId node)
     : transport_(transport), node_(std::move(node)) {}
@@ -101,10 +158,13 @@ void RpcEndpoint::OnMessage(Message msg) {
     reply.error_code = static_cast<uint8_t>(StatusCode::kNotSupported);
     reply.payload = "no handler for opcode";
   } else {
+    HandledCounter()->Add();
+    ScopedRpcTrace scoped_trace(std::move(msg.trace));
     Result<std::string> result = handler(msg.from, msg.payload);
     if (result.ok()) {
       reply.payload = std::move(result).value();
     } else {
+      HandlerErrorCounter()->Add();
       reply.error_code = static_cast<uint8_t>(result.status().code());
       reply.payload = result.status().message();
     }
@@ -118,6 +178,9 @@ Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
   if (options.deadline.Expired()) {
     return Deadline::ExceededError("rpc to " + to);
   }
+  CallCounter()->Add();
+  metrics::ScopedLatencyTimer latency(metrics::Registry::Default().GetHistogram(
+      "net.rpc.call_latency_ns." + ChannelOf(to)));
   auto call = std::make_shared<PendingCall>();
   uint64_t rpc_id = next_rpc_id_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -132,8 +195,10 @@ Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
   msg.type = type;
   msg.rpc_id = rpc_id;
   msg.payload = std::move(payload);
+  msg.trace = options.trace;
   Status send_status = transport_->Send(std::move(msg));
   if (!send_status.ok()) {
+    CallErrorCounter()->Add();
     {
       std::lock_guard<std::mutex> lock(mu_);
       pending_.erase(rpc_id);
@@ -158,12 +223,16 @@ Result<std::string> RpcEndpoint::Call(const NodeId& to, uint16_t type,
       std::lock_guard<std::mutex> lock(mu_);
       pending_.erase(rpc_id);
     }
+    CallTimeoutCounter()->Add();
     if (options.deadline.Expired()) {
       return Deadline::ExceededError("rpc to " + to);
     }
     return Status::TimedOut("rpc to " + to + " timed out");
   }
-  if (!call->status.ok()) return call->status;
+  if (!call->status.ok()) {
+    CallErrorCounter()->Add();
+    return call->status;
+  }
   return std::move(call->response);
 }
 

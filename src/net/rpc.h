@@ -13,6 +13,7 @@
 #include "common/result.h"
 #include "common/retry.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "net/transport.h"
 
 namespace chariots::net {
@@ -23,7 +24,16 @@ namespace chariots::net {
 struct CallOptions {
   std::chrono::milliseconds timeout{5000};
   Deadline deadline;  ///< infinite by default
+  /// When active, rides in the request message header so the server can
+  /// continue the trace (see CurrentRpcTrace()).
+  trace::TraceContext trace;
 };
+
+/// Trace context of the RPC request currently being handled on this thread.
+/// Handlers run on the transport delivery thread, so a handler (or code it
+/// calls synchronously) reads the inbound trace here; inactive when the
+/// request carried none.
+const trace::TraceContext& CurrentRpcTrace();
 
 /// Request/response layer over a Transport. One endpoint per logical node.
 ///

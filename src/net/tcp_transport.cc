@@ -10,10 +10,35 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::net {
 
 namespace {
+
+metrics::Counter* BytesSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.tcp.bytes_sent");
+  return c;
+}
+
+metrics::Counter* BytesReceivedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.tcp.bytes_received");
+  return c;
+}
+
+metrics::Counter* FramesSentCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.tcp.frames_sent");
+  return c;
+}
+
+metrics::Counter* FramesReceivedCounter() {
+  static metrics::Counter* c =
+      metrics::Registry::Default().GetCounter("net.tcp.frames_received");
+  return c;
+}
 
 Status WriteAll(int fd, const char* data, size_t n) {
   while (n > 0) {
@@ -53,26 +78,25 @@ TcpTransport::TcpTransport() = default;
 TcpTransport::~TcpTransport() { Shutdown(); }
 
 Status TcpTransport::Listen(int port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
+  listen_fd_.store(fd, std::memory_order_relaxed);
   int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_ANY);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Status::IOError(std::string("bind: ") + std::strerror(errno));
   }
   socklen_t len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
-      0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
     port_ = ntohs(addr.sin_port);
   }
-  if (::listen(listen_fd_, 128) != 0) {
+  if (::listen(fd, 128) != 0) {
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -215,7 +239,10 @@ Status TcpTransport::WriteFrame(Connection* conn, const Message& msg) {
   for (int i = 0; i < 4; ++i) header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
   std::lock_guard<std::mutex> lock(conn->write_mu);
   CHARIOTS_RETURN_IF_ERROR(WriteAll(conn->fd, header, 4));
-  return WriteAll(conn->fd, body.data(), body.size());
+  CHARIOTS_RETURN_IF_ERROR(WriteAll(conn->fd, body.data(), body.size()));
+  FramesSentCounter()->Add();
+  BytesSentCounter()->Add(body.size() + 4);
+  return Status::OK();
 }
 
 void TcpTransport::ReaderLoop(std::shared_ptr<Connection> conn) {
@@ -234,6 +261,8 @@ void TcpTransport::ReaderLoop(std::shared_ptr<Connection> conn) {
     std::string body(len, '\0');
     got = ReadAll(conn->fd, body.data(), len);
     if (!got.ok() || !*got) break;
+    FramesReceivedCounter()->Add();
+    BytesReceivedCounter()->Add(len + 4);
     Result<Message> msg = DecodeMessage(body);
     if (!msg.ok()) {
       LOG_ERROR << "tcp: undecodable frame; closing: "
@@ -253,7 +282,8 @@ void TcpTransport::ReaderLoop(std::shared_ptr<Connection> conn) {
 
 void TcpTransport::AcceptLoop() {
   for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept(listen_fd_.load(std::memory_order_relaxed), nullptr,
+                      nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed

@@ -62,7 +62,9 @@ class TcpTransport : public Transport {
   void Deliver(Message msg);
 
   std::atomic<bool> shutdown_{false};
-  int listen_fd_ = -1;
+  // Written by Listen()/Shutdown(), read by AcceptLoop(): atomic so the
+  // shutdown-time reset doesn't race the accept thread's read.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread accept_thread_;
 

@@ -8,6 +8,7 @@
 #include "common/codec.h"
 #include "common/crc32c.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "storage/format.h"
 
 namespace chariots::storage {
@@ -18,6 +19,36 @@ using format::EncodeFrame;
 using format::kFrameData;
 using format::kFrameHeaderBytes;
 using format::kFrameTombstone;
+
+metrics::Counter* BytesWrittenCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "storage.log_store.bytes_written");
+  return c;
+}
+
+metrics::Counter* RotationsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "storage.log_store.segment_rotations");
+  return c;
+}
+
+metrics::Histogram* FsyncHist() {
+  static metrics::Histogram* h =
+      metrics::Registry::Default().GetHistogram("storage.log_store.fsync_ns");
+  return h;
+}
+
+metrics::Histogram* RecoveryScanHist() {
+  static metrics::Histogram* h = metrics::Registry::Default().GetHistogram(
+      "storage.log_store.recovery_scan_ns");
+  return h;
+}
+
+metrics::Counter* TornTailsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "storage.log_store.torn_tails_truncated");
+  return c;
+}
 }  // namespace
 
 LogStore::LogStore(LogStoreOptions options)
@@ -92,6 +123,7 @@ Status LogStore::Close() {
 }
 
 Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
+  metrics::ScopedLatencyTimer scan_timer(RecoveryScanHist());
   std::string path = SegmentPath(segment_id);
   CHARIOTS_ASSIGN_OR_RETURN(
       FaultInjectingFile file,
@@ -130,6 +162,7 @@ Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
       if (is_last) {
         LOG_WARN << "truncating torn tail of " << path << " at offset "
                  << offset;
+        TornTailsCounter()->Add();
         CHARIOTS_RETURN_IF_ERROR(file.Truncate(offset));
         break;
       }
@@ -173,6 +206,7 @@ Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
 Status LogStore::RotateIfNeededLocked() {
   Segment& active = segments_.rbegin()->second;
   if (active.file.size() < options_.segment_bytes) return Status::OK();
+  RotationsCounter()->Add();
   Segment seg;
   seg.path = SegmentPath(next_segment_id_);
   CHARIOTS_ASSIGN_OR_RETURN(
@@ -202,7 +236,10 @@ Status LogStore::MaybeSyncLocked(Segment& seg) {
     }
   }
   if (!want_sync) return Status::OK();
-  CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+  {
+    metrics::ScopedLatencyTimer timer(FsyncHist());
+    CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+  }
   last_sync_nanos_ = clock_->NowNanos();
   return Status::OK();
 }
@@ -270,6 +307,7 @@ Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
   }
   uint64_t base = seg.file.size();
   CHARIOTS_RETURN_IF_ERROR(seg.file.Append(arena_));
+  BytesWrittenCounter()->Add(arena_.size());
   CHARIOTS_RETURN_IF_ERROR(MaybeSyncLocked(seg));
 
   uint64_t offset = base;
@@ -343,7 +381,10 @@ Status LogStore::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) return Status::OK();
-  CHARIOTS_RETURN_IF_ERROR(segments_.rbegin()->second.file.Sync());
+  {
+    metrics::ScopedLatencyTimer timer(FsyncHist());
+    CHARIOTS_RETURN_IF_ERROR(segments_.rbegin()->second.file.Sync());
+  }
   last_sync_nanos_ = clock_->NowNanos();
   return Status::OK();
 }

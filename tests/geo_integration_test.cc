@@ -12,7 +12,9 @@
 #include "chariots/datacenter.h"
 #include "chariots/fabric.h"
 #include "chariots/geo_service.h"
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
 
@@ -434,6 +436,56 @@ TEST(GeoIntegrationTest, StatsReflectPipelineActivity) {
   EXPECT_NE(dump.find("head_lid"), std::string::npos);
 }
 
+TEST(GeoIntegrationTest, TracePropagatesAcrossPipelineAndWan) {
+  trace::TraceSink::Default().Clear();
+  ChariotsConfig base;
+  base.trace_sample_every = 1;  // sample every record
+  GeoCluster cluster(2, 0, base);
+  ChariotsClient client(&cluster.dc(0));
+  ASSERT_TRUE(client.Append("traced").ok());
+  ASSERT_TRUE(cluster.dc(1).WaitForToid(0, 1, kWaitNanos));
+
+  // Both the local copy (ends at "sender") and the remote copy (ends at
+  // "incorporated") land in the process-global sink; pick the remote one —
+  // it carries the full cross-datacenter hop history.
+  const uint64_t id = trace::MakeTraceId(0, 1);
+  trace::TraceContext remote;
+  bool found_remote = false;
+  for (const auto& t : trace::TraceSink::Default().Traces()) {
+    if (t.trace_id == id && !t.hops.empty() &&
+        t.hops.back().stage == "incorporated") {
+      remote = t;
+      found_remote = true;
+    }
+  }
+  ASSERT_TRUE(found_remote);
+
+  // The sampled append reconstructs end to end: all six local stages, then
+  // the remote receiver and the remote pipeline through ATable merge.
+  ASSERT_GE(remote.hops.size(), 7u);
+  std::vector<std::pair<std::string, uint32_t>> want = {
+      {"client", 0},   {"batcher", 0},  {"filter", 0},       {"queue", 0},
+      {"maintainer", 0}, {"sender", 0}, {"receiver", 1},
+      {"incorporated", 1}};
+  for (const auto& [stage, dc] : want) {
+    bool present = false;
+    for (const auto& hop : remote.hops) {
+      if (hop.stage == stage && hop.dc == dc) present = true;
+    }
+    EXPECT_TRUE(present) << "missing hop " << stage << "@dc" << dc;
+  }
+  // Hop timestamps are monotonic (all stamped by one steady clock here).
+  for (size_t i = 1; i < remote.hops.size(); ++i) {
+    EXPECT_LE(remote.hops[i - 1].nanos, remote.hops[i].nanos)
+        << remote.hops[i - 1].stage << " -> " << remote.hops[i].stage;
+  }
+  // The sink fed per-hop latency histograms for the stages it saw.
+  auto snapshot = metrics::Registry::Default().Snapshot();
+  EXPECT_GE(snapshot.histograms.at("chariots.trace.hop_ns.batcher").count, 1u);
+  EXPECT_GE(snapshot.histograms.at("chariots.trace.hop_ns.incorporated").count,
+            1u);
+}
+
 TEST(GeoIntegrationTest, GeoRpcServiceServesExternalClients) {
   GeoCluster cluster(2);
   GeoServer server0(&cluster.transport(), "geo/dc0/api", &cluster.dc(0));
@@ -475,6 +527,18 @@ TEST(GeoIntegrationTest, GeoRpcServiceServesExternalClients) {
   // Error propagation.
   EXPECT_FALSE(client.Read(999).ok());
   EXPECT_TRUE(client.ReadByToid(0, 999).status().IsNotFound());
+
+  // Observability endpoints (chariots_cli metrics / chariots_cli trace):
+  // JSON with per-stage counters and at least one latency histogram.
+  auto metrics_json = client.Metrics();
+  ASSERT_TRUE(metrics_json.ok()) << metrics_json.status();
+  EXPECT_NE(metrics_json->find("\"counters\""), std::string::npos);
+  EXPECT_NE(metrics_json->find("chariots.batcher.records_in"),
+            std::string::npos);
+  EXPECT_NE(metrics_json->find("\"histograms\""), std::string::npos);
+  auto traces_json = client.Trace();
+  ASSERT_TRUE(traces_json.ok()) << traces_json.status();
+  EXPECT_EQ(traces_json->front(), '[');
 }
 
 TEST(GeoIntegrationTest, ReplicationOverRealTcp) {

@@ -41,7 +41,10 @@ int Usage() {
                "(geo mode)\n"
                "  head                    print the head of the log\n"
                "  lookup KEY [VALUE] [N]  most recent N records with tag\n"
-               "  info                    print the cluster layout\n");
+               "  info                    print the cluster layout\n"
+               "  metrics                 server metrics as JSON (geo mode)\n"
+               "  trace                   sampled record traces as JSON "
+               "(geo mode)\n");
   return 2;
 }
 
@@ -139,6 +142,20 @@ int RunGeo(const Flags& flags, const std::vector<std::string>& args) {
       std::printf("lid %llu: %s\n", static_cast<unsigned long long>(p.lid),
                   p.value.c_str());
     }
+  } else if (command == "metrics") {
+    auto r = client.Metrics();
+    if (!r.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r->c_str());
+  } else if (command == "trace") {
+    auto r = client.Trace();
+    if (!r.ok()) {
+      std::fprintf(stderr, "trace: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r->c_str());
   } else {
     return Usage();
   }

@@ -28,6 +28,7 @@
 #include "chariots/fabric.h"
 #include "chariots/geo_service.h"
 #include "flstore/service.h"
+#include "net/metrics_http.h"
 #include "net/tcp_transport.h"
 #include "tools/flags.h"
 
@@ -85,6 +86,22 @@ bool WireRoutes(net::TcpTransport* transport, const Deployment& d) {
   return true;
 }
 
+// Starts the HTTP observability endpoint when --metrics_port is given.
+// Returns false on bind failure (fatal: the operator asked for it).
+bool MaybeStartMetrics(const Flags& flags, net::MetricsHttpServer* server) {
+  if (!flags.Has("metrics_port") && !flags.Has("metrics-port")) return true;
+  int port = flags.GetInt("metrics_port", flags.GetInt("metrics-port", 0));
+  Status s = server->Start(port);
+  if (!s.ok()) {
+    std::fprintf(stderr, "metrics endpoint: %s\n", s.ToString().c_str());
+    return false;
+  }
+  std::printf("metrics endpoint on port %d (/metrics, /metrics.json, "
+              "/traces.json)\n",
+              server->port());
+  return true;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -96,6 +113,9 @@ int Usage() {
       "  --batchers/--filters/--queues/--maintainers=N  stage widths\n"
       "FLStore roles:\n"
       "  --listen=PORT              port to serve on\n"
+      "  --metrics_port=PORT        HTTP observability endpoint (any role):\n"
+      "                             /metrics (Prometheus), /metrics.json,\n"
+      "                             /traces.json\n"
       "  --maintainers=H:P,H:P,...  all maintainer addresses (ordered)\n"
       "  --indexers=H:P,...         all indexer addresses (ordered)\n"
       "  --controller=H:P           controller address (for routing)\n"
@@ -151,6 +171,9 @@ int RunDatacenter(const Flags& flags) {
                             ? storage::SyncMode::kFsyncEach
                             : storage::SyncMode::kBuffered;
   }
+  net::MetricsHttpServer metrics_http;
+  if (!MaybeStartMetrics(flags, &metrics_http)) return 1;
+
   geo::Datacenter dc(config, &fabric);
   Status s = dc.Start();
   if (!s.ok()) {
@@ -174,6 +197,7 @@ int RunDatacenter(const Flags& flags) {
   std::printf("shutting down\n");
   api.Stop();
   dc.Stop();
+  metrics_http.Stop();
   return 0;
 }
 
@@ -207,6 +231,9 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+
+  net::MetricsHttpServer metrics_http;
+  if (!MaybeStartMetrics(flags, &metrics_http)) return 1;
 
   // Declared before the servers so it outlives them (stores keep a pointer).
   std::unique_ptr<storage::DiskFaultSchedule> disk_faults;
@@ -304,5 +331,6 @@ int main(int argc, char** argv) {
   if (maintainer != nullptr) maintainer->Stop();
   if (indexer != nullptr) indexer->Stop();
   if (controller != nullptr) controller->Stop();
+  metrics_http.Stop();
   return 0;
 }

@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Smoke-runs every bench binary with CHARIOTS_BENCH_SMOKE=1 (shrunk sweeps,
+# seconds not minutes) and validates each BENCH_<name>.json against the
+# schema in bench/bench_report.h: required fields present, numbers finite,
+# stages non-empty. Intended for CI and for the sanitizer flow:
+#
+#   tools/run_bench_smoke.sh                 # default build dir (./build)
+#   tools/run_bench_smoke.sh build-thread    # e.g. after run_tsan_tests.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="$ROOT/${1:-build}"
+
+cmake --build "$BUILD_DIR" -j --target \
+  bench_fig7_single_maintainer bench_fig8_flstore_scaling \
+  bench_fig9_timeseries bench_table2_pipeline_basic \
+  bench_table3_two_clients bench_table4_two_batchers \
+  bench_table5_two_per_stage bench_corfu_vs_flstore \
+  bench_ablation_batch_size bench_ablation_gossip \
+  bench_geo_replication bench_hyksos_kv bench_msgfutures_latency \
+  bench_micro
+
+OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/chariots_bench_smoke.XXXXXX")"
+trap 'rm -rf "$OUT_DIR"' EXIT
+
+export CHARIOTS_BENCH_SMOKE=1
+export CHARIOTS_BENCH_DIR="$OUT_DIR"
+
+FAILED=0
+for bin in "$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "=== smoke: $name ==="
+  if ! "$bin" > "$OUT_DIR/$name.stdout" 2>&1; then
+    echo "FAIL: $name exited non-zero" >&2
+    tail -5 "$OUT_DIR/$name.stdout" >&2
+    FAILED=1
+  fi
+done
+
+echo "=== validating BENCH_*.json in $OUT_DIR ==="
+STATUS=0
+python3 - "$OUT_DIR" <<'EOF' || STATUS=1
+import glob, json, math, sys
+
+out_dir = sys.argv[1]
+paths = sorted(glob.glob(out_dir + "/BENCH_*.json"))
+if not paths:
+    sys.exit("no BENCH_*.json files produced")
+
+REQUIRED = ["bench", "schema_version", "throughput_rps", "latency_ns",
+            "latency_samples", "stages", "extra"]
+failures = []
+
+def check_finite(path, key, value):
+    if isinstance(value, float) and not math.isfinite(value):
+        failures.append(f"{path}: {key} is not finite")
+
+for path in paths:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except json.JSONDecodeError as e:
+        failures.append(f"{path}: invalid JSON: {e}")
+        continue
+    for key in REQUIRED:
+        if key not in doc:
+            failures.append(f"{path}: missing field '{key}'")
+    if doc.get("schema_version") != 1:
+        failures.append(f"{path}: schema_version != 1")
+    check_finite(path, "throughput_rps", doc.get("throughput_rps"))
+    lat = doc.get("latency_ns", {})
+    for pct in ("p50", "p99", "p999"):
+        if pct not in lat:
+            failures.append(f"{path}: latency_ns missing '{pct}'")
+    stages = doc.get("stages", [])
+    if not stages:
+        failures.append(f"{path}: stages list is empty")
+    for stage in stages:
+        if "name" not in stage or "rate_rps" not in stage:
+            failures.append(f"{path}: malformed stage entry {stage}")
+        else:
+            check_finite(path, f"stage {stage['name']}", stage["rate_rps"])
+    for key, value in doc.get("extra", {}).items():
+        check_finite(path, f"extra {key}", value)
+    print(f"ok: {path.rsplit('/', 1)[-1]} "
+          f"(throughput {doc.get('throughput_rps'):.0f} rps, "
+          f"{len(stages)} stages, {doc.get('latency_samples')} samples)")
+
+if failures:
+    print("\n".join(failures), file=sys.stderr)
+    sys.exit(1)
+EOF
+
+if [ "$FAILED" -ne 0 ] || [ "$STATUS" -ne 0 ]; then
+  echo "bench smoke FAILED" >&2
+  exit 1
+fi
+echo "bench smoke OK: all reports schema-valid"

@@ -36,4 +36,10 @@ else
   cmake --build "$BUILD_DIR" -j
   cd "$BUILD_DIR"
   ctest --output-on-failure -j
+  # Bench binaries exercise the full pipeline (threads included) — smoke
+  # them under the sanitizer too so data races in the metrics/trace hot
+  # paths surface here. Set CHARIOTS_SKIP_BENCH_SMOKE=1 to opt out.
+  if [ "${CHARIOTS_SKIP_BENCH_SMOKE:-0}" != "1" ]; then
+    "$ROOT/tools/run_bench_smoke.sh" "build-$SANITIZER"
+  fi
 fi
