@@ -33,6 +33,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/executor.h"
+
 namespace chariots::bench {
 
 /// True when the bench should run a shrunk (seconds, not minutes) workload.
@@ -87,6 +89,18 @@ class BenchReport {
   }
 
   std::string Render() {
+    // Every report carries the runtime thread census so the smoke script
+    // (and trend tooling) can flag thread-budget regressions uniformly.
+    // The peak survives teardown, so it is meaningful even when the bench
+    // writes its report after stopping the topology.
+    bool has_census = false;
+    for (const auto& [key, _] : extra_) has_census |= key == "runtime_threads";
+    if (!has_census) {
+      extra_.emplace_back("runtime_threads",
+                          static_cast<double>(RuntimeThreadCount()));
+      extra_.emplace_back("runtime_threads_peak",
+                          static_cast<double>(RuntimeThreadPeak()));
+    }
     int64_t p50 = 0, p99 = 0, p999 = 0;
     if (!samples_.empty()) {
       std::sort(samples_.begin(), samples_.end());

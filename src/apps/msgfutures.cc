@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/codec.h"
+#include "common/executor.h"
 
 namespace chariots::apps {
 
@@ -57,6 +58,7 @@ MessageFutures::~MessageFutures() {
 
 void MessageFutures::StartBackground(int64_t interval_nanos) {
   background_ = std::thread([this, interval_nanos] {
+    ScopedRuntimeThread census("msgf/refresh");
     while (!stop_.load(std::memory_order_relaxed)) {
       Refresh();
       std::this_thread::sleep_for(std::chrono::nanoseconds(interval_nanos));

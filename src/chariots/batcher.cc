@@ -36,25 +36,29 @@ metrics::Histogram* FlushLatencyHist() {
 }  // namespace
 
 Batcher::Batcher(const FilterMap* filter_map, size_t flush_records,
-                 int64_t flush_interval_nanos, FlushFn flush, Clock* clock)
+                 int64_t flush_interval_nanos, FlushFn flush,
+                 Executor* executor)
     : filter_map_(filter_map),
       flush_records_(flush_records),
       flush_interval_nanos_(flush_interval_nanos),
       flush_(std::move(flush)),
-      clock_(clock) {}
+      executor_(executor != nullptr ? executor : Executor::Default()) {}
 
 Batcher::~Batcher() { Stop(); }
 
 void Batcher::Start() {
   bool expected = true;
   if (!stop_.compare_exchange_strong(expected, false)) return;
-  timer_ = std::thread([this] { TimerLoop(); });
+  // Cancel() in Stop() blocks until an in-flight flush returns, so `this`
+  // is safe to capture for the token's lifetime.
+  timer_token_ =
+      executor_->ScheduleEvery(flush_interval_nanos_, [this] { FlushAll(); });
 }
 
 void Batcher::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
-  if (timer_.joinable()) timer_.join();
+  timer_token_.Cancel();
   FlushAll();
 }
 
@@ -107,13 +111,6 @@ void Batcher::FlushAll() {
     BatchSizeHist()->Record(batch.size());
     metrics::ScopedLatencyTimer timer(FlushLatencyHist());
     flush_(filter_id, std::move(batch));
-  }
-}
-
-void Batcher::TimerLoop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    clock_->SleepFor(flush_interval_nanos_);
-    FlushAll();
   }
 }
 

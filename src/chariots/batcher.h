@@ -4,13 +4,13 @@
 #include <atomic>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "chariots/filter_map.h"
 #include "chariots/record.h"
 #include "common/clock.h"
+#include "common/executor.h"
 
 namespace chariots::geo {
 
@@ -18,7 +18,8 @@ namespace chariots::geo {
 /// datacenters, one buffer per destination filter, and flushes a buffer to
 /// its filter when it reaches the size threshold (or on a timer so sparse
 /// traffic is not delayed indefinitely). Batchers are completely independent
-/// of each other — adding one requires no coordination.
+/// of each other — adding one requires no coordination. The flush timer is a
+/// periodic task on the shared executor, not a dedicated thread.
 class Batcher {
  public:
   /// Delivers a flushed batch to filter `filter_id`.
@@ -27,7 +28,7 @@ class Batcher {
 
   Batcher(const FilterMap* filter_map, size_t flush_records,
           int64_t flush_interval_nanos, FlushFn flush,
-          Clock* clock = SystemClock::Default());
+          Executor* executor = nullptr);
   ~Batcher();
 
   Batcher(const Batcher&) = delete;
@@ -50,19 +51,18 @@ class Batcher {
   uint64_t batches_out() const { return batches_out_.load(); }
 
  private:
-  void TimerLoop();
   void FlushLocked(uint32_t filter_id);
 
   const FilterMap* const filter_map_;
   const size_t flush_records_;
   const int64_t flush_interval_nanos_;
   FlushFn flush_;
-  Clock* const clock_;
+  Executor* const executor_;
 
   std::mutex mu_;
   std::unordered_map<uint32_t, std::vector<GeoRecord>> buffers_;
   std::atomic<bool> stop_{true};
-  std::thread timer_;
+  Executor::TimerToken timer_token_;
   std::atomic<uint64_t> records_in_{0};
   std::atomic<uint64_t> batches_out_{0};
 };

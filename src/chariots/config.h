@@ -6,6 +6,10 @@
 
 #include "storage/log_store.h"
 
+namespace chariots {
+class Executor;
+}
+
 namespace chariots::geo {
 
 /// Deployment shape of one datacenter's Chariots pipeline (paper §6.2).
@@ -57,6 +61,12 @@ struct ChariotsConfig {
   int64_t gc_interval_nanos = 0;
   /// Optional cold-storage archive file for GC'd segments.
   std::string gc_archive_path;
+
+  /// Executor that runs every pipeline task (filter strands, token chain,
+  /// batcher/GC/sender timers). Null means the process-wide
+  /// Executor::Default(). Inject a virtual-time executor for deterministic
+  /// tests.
+  Executor* executor = nullptr;
 
   /// Record-level trace sampling: sample one append whose TOId satisfies
   /// `toid % trace_sample_every == 1` (so the first record is always

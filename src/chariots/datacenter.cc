@@ -22,6 +22,8 @@ std::vector<DatacenterId> OtherDatacenters(uint32_t self, uint32_t n) {
 Datacenter::Datacenter(ChariotsConfig config, ReplicationFabric* fabric)
     : config_(config),
       fabric_(fabric),
+      executor_(config.executor != nullptr ? config.executor
+                                           : Executor::Default()),
       journal_(config.num_maintainers, config.stripe_batch),
       filter_map_(config.num_filters, config.num_datacenters),
       atable_(config.num_datacenters, config.dc_id),
@@ -99,7 +101,7 @@ Status Datacenter::Start() {
   }
   queue_count_.store(queues_.size(), std::memory_order_release);
 
-  // Filters, each with a bounded inbox drained by its own thread.
+  // Filters, each with a bounded inbox drained on an executor strand.
   filters_.reserve(kMaxFilters);
   for (uint32_t f = 0; f < config_.num_filters; ++f) {
     auto stage = std::make_unique<FilterStage>();
@@ -122,9 +124,6 @@ Status Datacenter::Start() {
       if (incorporated[d] > 0) stage->filter->SeedHost(d, incorporated[d]);
     }
   }
-  for (size_t f = 0; f < filters_.size(); ++f) {
-    filters_[f]->thread = std::thread([this, f] { FilterLoop(f); });
-  }
   filter_count_.store(filters_.size(), std::memory_order_release);
 
   // Batchers.
@@ -134,16 +133,18 @@ Status Datacenter::Start() {
         &filter_map_, config_.batcher_flush_records,
         config_.batcher_flush_nanos,
         [this](uint32_t filter_id, std::vector<GeoRecord> batch) {
-          if (filter_id < filter_count_.load(std::memory_order_acquire)) {
-            filters_[filter_id]->inbox->Push(std::move(batch));
-          }
-        }));
+          DeliverToFilter(filter_id, std::move(batch));
+        },
+        executor_));
     batchers_.back()->Start();
   }
   batcher_count_.store(batchers_.size(), std::memory_order_release);
 
-  // Token circulation.
-  token_thread_ = std::thread([this] { TokenLoop(); });
+  // Token circulation: a self-rescheduling executor task.
+  token_done_ = std::make_unique<CountDownLatch>(1);
+  if (!executor_->Submit(token_gate_.Wrap([this] { TokenStep(); }))) {
+    token_done_->CountDown();
+  }
 
   // Replication: receiver first, then senders (sharded by destination).
   if (config_.num_datacenters > 1) {
@@ -175,6 +176,7 @@ Status Datacenter::Start() {
     so.batch_records = config_.sender_batch_records;
     so.resend_nanos = config_.sender_resend_nanos;
     so.resend_max_nanos = config_.sender_resend_max_nanos;
+    so.executor = executor_;
     for (auto& shard : shards) {
       if (shard.empty()) continue;
       senders_.push_back(std::make_unique<Sender>(
@@ -184,7 +186,12 @@ Status Datacenter::Start() {
   }
 
   if (config_.gc_interval_nanos > 0) {
-    gc_thread_ = std::thread([this] { GcLoop(); });
+    gc_token_ = executor_->ScheduleEvery(config_.gc_interval_nanos, [this] {
+      Status gc = RunGcOnce();
+      if (!gc.ok()) {
+        LOG_WARN << "dc" << config_.dc_id << ": gc failed: " << gc.ToString();
+      }
+    });
   }
 
   // Snapshot-time gauges for state owned by the pipeline. The lock-free
@@ -223,13 +230,24 @@ void Datacenter::Stop() {
   // Upstream first: batchers flush, filters drain, token drains queues.
   for (auto& b : batchers_) b->Stop();
   for (auto& f : filters_) f->inbox->Close();
+  // Final inline drain so nothing queued is lost, then seal each strand:
+  // after Close() no drain task can touch the stage again.
   for (auto& f : filters_) {
-    if (f->thread.joinable()) f->thread.join();
+    FilterStage* stage = f.get();
+    stage->gate.Run([this, stage] { DrainFilter(stage); });
+    stage->gate.Close();
   }
-  if (token_thread_.joinable()) token_thread_.join();
+  // The token chain observes running_ == false, drains the queues, counts
+  // the latch down, and stops rescheduling itself.
+  if (token_done_ != nullptr &&
+      !token_done_->WaitFor(std::chrono::seconds(30))) {
+    LOG_WARN << "dc" << config_.dc_id
+             << ": token drain timed out; records may be left in queues";
+  }
+  token_gate_.Close();
   for (auto& s : senders_) s->Stop();
   if (receiver_ != nullptr) (void)fabric_->Unregister(config_.dc_id);
-  if (gc_thread_.joinable()) gc_thread_.join();
+  gc_token_.Cancel();
   // Clean shutdown: sync the log and leave a fresh recovery point.
   Status s = WriteCheckpoint();
   if (!s.ok()) {
@@ -374,15 +392,43 @@ Status Datacenter::RecoverFromStorage() {
   return Status::OK();
 }
 
-void Datacenter::FilterLoop(size_t filter_index) {
-  FilterStage& stage = *filters_[filter_index];
+void Datacenter::DeliverToFilter(uint32_t filter_id,
+                                 std::vector<GeoRecord> batch) {
+  if (filter_id >= filter_count_.load(std::memory_order_acquire)) return;
+  FilterStage* stage = filters_[filter_id].get();
+  // Producer-helps-consumer backpressure: executor tasks must never block,
+  // so on a full inbox the producer drains the stage inline (serialized by
+  // the strand gate) instead of waiting for a worker. The backlog moves to
+  // the unbounded GeoQueues, where max_pipeline_pending admission control
+  // sheds load.
+  while (!stage->inbox->TryPush(&batch)) {
+    if (stage->inbox->closed()) return;
+    stage->gate.Run([this, stage] { DrainFilter(stage); });
+  }
+  ScheduleFilterDrain(stage);
+}
+
+void Datacenter::ScheduleFilterDrain(FilterStage* stage) {
+  // Collapse concurrent wakeups: one strand task drains everything queued.
+  if (stage->drain_scheduled.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  executor_->Submit(stage->gate.Wrap([this, stage] {
+    // Cleared before draining: a batch arriving mid-drain schedules a fresh
+    // task rather than being lost.
+    stage->drain_scheduled.store(false, std::memory_order_release);
+    DrainFilter(stage);
+  }));
+}
+
+void Datacenter::DrainFilter(FilterStage* stage) {
   // Drain the whole inbox under one lock acquisition and hand the filter a
   // single merged batch — one wakeup and one Accept per backlog instead of
   // one per enqueued batch.
   std::vector<std::vector<GeoRecord>> batches;
-  while (stage.inbox->PopAll(&batches) > 0) {
+  while (stage->inbox->TryPopAll(&batches) > 0) {
     if (batches.size() == 1) {
-      stage.filter->Accept(std::move(batches.front()));
+      stage->filter->Accept(std::move(batches.front()));
     } else {
       size_t total = 0;
       for (const auto& b : batches) total += b.size();
@@ -392,34 +438,43 @@ void Datacenter::FilterLoop(size_t filter_index) {
         merged.insert(merged.end(), std::make_move_iterator(b.begin()),
                       std::make_move_iterator(b.end()));
       }
-      stage.filter->Accept(std::move(merged));
+      stage->filter->Accept(std::move(merged));
     }
     batches.clear();
   }
 }
 
-void Datacenter::TokenLoop() {
-  while (true) {
-    size_t appended = 0;
-    size_t n = queue_count_.load(std::memory_order_acquire);
-    for (size_t q = 0; q < n; ++q) {
-      appended += queues_[q]->ProcessToken(&token_);
-      head_lid_.store(token_.next_lid, std::memory_order_release);
-    }
-    token_deferred_.store(token_.deferred.size(), std::memory_order_relaxed);
-    if (appended == 0) {
-      if (!running_.load(std::memory_order_relaxed)) {
-        // Drain check: stop once no queue has pending input. Records still
-        // deferred in the token have unsatisfiable dependencies (nothing new
-        // is coming) and are abandoned, matching a shutdown mid-replication.
-        bool idle = true;
-        for (size_t q = 0; q < n; ++q) {
-          idle = idle && queues_[q]->pending() == 0;
-        }
-        if (idle) return;
+void Datacenter::TokenStep() {
+  size_t appended = 0;
+  size_t n = queue_count_.load(std::memory_order_acquire);
+  for (size_t q = 0; q < n; ++q) {
+    appended += queues_[q]->ProcessToken(&token_);
+    head_lid_.store(token_.next_lid, std::memory_order_release);
+  }
+  token_deferred_.store(token_.deferred.size(), std::memory_order_relaxed);
+  if (appended == 0) {
+    if (!running_.load(std::memory_order_relaxed)) {
+      // Drain check: stop once no queue has pending input. Records still
+      // deferred in the token have unsatisfiable dependencies (nothing new
+      // is coming) and are abandoned, matching a shutdown mid-replication.
+      bool idle = true;
+      for (size_t q = 0; q < n; ++q) {
+        idle = idle && queues_[q]->pending() == 0;
       }
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      if (idle) {
+        token_done_->CountDown();
+        return;
+      }
     }
+    // Idle: poll again in 100µs instead of monopolizing a worker.
+    Executor::TimerToken t = executor_->ScheduleAfter(
+        100'000, token_gate_.Wrap([this] { TokenStep(); }));
+    if (!t.valid()) token_done_->CountDown();  // executor shutting down
+    return;
+  }
+  // Work is flowing: continue immediately (yield the worker between steps).
+  if (!executor_->Submit(token_gate_.Wrap([this] { TokenStep(); }))) {
+    token_done_->CountDown();
   }
 }
 
@@ -684,9 +739,8 @@ Status Datacenter::SplitFilterChampionship(DatacenterId host, TOId from_toid,
             queues_[i % queues_.size()]->Enqueue(std::move(r));
           });
       filters_.push_back(std::move(stage));
-      size_t index = filters_.size() - 1;
-      filters_[index]->thread =
-          std::thread([this, index] { FilterLoop(index); });
+      // No thread to start: the stage's drain strand is scheduled on demand
+      // when the first batch arrives.
       filter_count_.store(filters_.size(), std::memory_order_release);
     }
   }
@@ -701,10 +755,9 @@ Status Datacenter::AddBatcher() {
       &filter_map_, config_.batcher_flush_records,
       config_.batcher_flush_nanos,
       [this](uint32_t filter_id, std::vector<GeoRecord> batch) {
-        if (filter_id < filter_count_.load(std::memory_order_acquire)) {
-          filters_[filter_id]->inbox->Push(std::move(batch));
-        }
-      }));
+        DeliverToFilter(filter_id, std::move(batch));
+      },
+      executor_));
   batchers_.back()->Start();
   batcher_count_.store(batchers_.size(), std::memory_order_release);
   return Status::OK();
@@ -771,17 +824,6 @@ Status Datacenter::RunGcOnce() {
   // Local records everyone has can leave the send buffer.
   local_buffer_.TruncateBelow(atable_.GlobalFloor(config_.dc_id) + 1);
   return Status::OK();
-}
-
-void Datacenter::GcLoop() {
-  while (running_.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(config_.gc_interval_nanos));
-    Status s = RunGcOnce();
-    if (!s.ok()) {
-      LOG_WARN << "dc" << config_.dc_id << ": gc failed: " << s.ToString();
-    }
-  }
 }
 
 }  // namespace chariots::geo

@@ -7,7 +7,6 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "chariots/atable.h"
@@ -19,7 +18,9 @@
 #include "chariots/queue.h"
 #include "chariots/record.h"
 #include "chariots/replication.h"
+#include "common/executor.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/queue.h"
 #include "common/trace.h"
 #include "flstore/indexer.h"
@@ -32,12 +33,16 @@ namespace chariots::geo {
 /// log maintainers → senders — plus the awareness table, local indexing, and
 /// garbage collection.
 ///
-/// Thread model: batchers run their own flush timers; each filter drains a
-/// bounded inbox on its own thread; a token thread circulates the token
-/// round-robin over the queues (LId assignment serializes through the token
-/// exactly as in the paper; queues buffer in parallel); appends to the log
-/// maintainers happen on the token thread (in-process FLStore); senders run
-/// their own shipping loops.
+/// Execution model (DESIGN.md §10): every stage runs as tasks on the shared
+/// executor instead of owning threads. Batcher flush timers are periodic
+/// timer tasks; each filter drains its bounded inbox on a serialized strand
+/// (one drain task at a time, scheduled on demand when batches arrive); the
+/// token circulates as a self-rescheduling task (immediately while work is
+/// flowing, on a 100µs timer when idle) so LId assignment still serializes
+/// through the token exactly as in the paper; appends to the log maintainers
+/// happen inside the token task (in-process FLStore); senders and GC are
+/// periodic timer tasks. Thread count is therefore a function of cores, not
+/// of topology width.
 class Datacenter {
  public:
   Datacenter(ChariotsConfig config, ReplicationFabric* fabric);
@@ -183,9 +188,11 @@ class Datacenter {
   /// tolerance). Runs in Start() before the pipeline threads exist.
   Status RecoverFromStorage();
 
-  void FilterLoop(size_t filter_index);
-  void TokenLoop();
-  void GcLoop();
+  struct FilterStage;
+  void DeliverToFilter(uint32_t filter_id, std::vector<GeoRecord> batch);
+  void ScheduleFilterDrain(FilterStage* stage);
+  void DrainFilter(FilterStage* stage);
+  void TokenStep();
   void RouteToMaintainer(uint32_t maintainer_index, GeoRecord record);
   void SubmitToBatcher(GeoRecord record);
   /// Records buffered in the queues stage awaiting assignment.
@@ -194,6 +201,7 @@ class Datacenter {
 
   ChariotsConfig config_;
   ReplicationFabric* const fabric_;
+  Executor* const executor_;
 
   flstore::EpochJournal journal_;
   FilterMap filter_map_;
@@ -211,7 +219,10 @@ class Datacenter {
   struct FilterStage {
     std::unique_ptr<Filter> filter;
     std::unique_ptr<BoundedQueue<std::vector<GeoRecord>>> inbox;
-    std::thread thread;
+    /// Serializes drains (the stage's "strand") and fences them off after
+    /// Stop(); drain_scheduled collapses redundant wakeups to one task.
+    SerialGate gate;
+    std::atomic<bool> drain_scheduled{false};
   };
   /// Filter stages. Reserved to kMaxFilters at Start so elasticity can grow
   /// the stage without reallocating under concurrent readers; readers bound
@@ -224,7 +235,11 @@ class Datacenter {
   std::vector<std::unique_ptr<GeoQueue>> queues_;
   std::atomic<size_t> queue_count_{0};
   Token token_;
-  std::thread token_thread_;
+  /// The token circulation is a self-rescheduling executor task; the latch
+  /// lets Stop() wait for the shutdown drain (created when the chain is
+  /// first scheduled), and the gate fences the chain after Stop().
+  SerialGate token_gate_;
+  std::unique_ptr<CountDownLatch> token_done_;
 
   std::vector<std::unique_ptr<flstore::LogMaintainer>> maintainers_;
   flstore::Indexer indexer_;
@@ -240,7 +255,7 @@ class Datacenter {
   // TOId -> LId per host (dense, toids start at 1); bases advance with GC.
   std::vector<std::deque<flstore::LId>> toid_to_lid_;
   std::vector<TOId> toid_base_;
-  std::thread gc_thread_;
+  Executor::TimerToken gc_token_;
 
   /// Per-dc observability: lazily-resolved counters (named
   /// chariots.dc<N>.*) plus callback gauges registered in Start() and

@@ -141,7 +141,9 @@ Sender::Sender(DatacenterId self, std::vector<DatacenterId> destinations,
       atable_(atable),
       fabric_(fabric),
       options_(options),
-      clock_(clock) {
+      executor_(options.executor != nullptr ? options.executor
+                                            : Executor::Default()),
+      clock_(clock != nullptr ? clock : executor_->clock()) {
   for (DatacenterId dc : destinations) {
     dests_.push_back(
         DestState{dc, 0, 0, 0, 0, options_.resend_nanos});
@@ -153,19 +155,19 @@ Sender::~Sender() { Stop(); }
 void Sender::Start() {
   bool expected = true;
   if (!stop_.compare_exchange_strong(expected, false)) return;
-  thread_ = std::thread([this] { Loop(); });
+  // Each firing drains until a tick ships nothing, then waits out the
+  // cadence — the executor equivalent of the old spin-while-busy loop.
+  // Cancel() in Stop() fences the `this` capture.
+  tick_token_ = executor_->ScheduleEvery(options_.tick_nanos, [this] {
+    while (!stop_.load(std::memory_order_relaxed) && Tick() > 0) {
+    }
+  });
 }
 
 void Sender::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
-  if (thread_.joinable()) thread_.join();
-}
-
-void Sender::Loop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    if (Tick() == 0) clock_->SleepFor(options_.tick_nanos);
-  }
+  tick_token_.Cancel();
 }
 
 size_t Sender::Tick() {

@@ -5,13 +5,13 @@
 #include <deque>
 #include <functional>
 #include <mutex>
-#include <thread>
 #include <vector>
 
 #include "chariots/atable.h"
 #include "chariots/fabric.h"
 #include "chariots/record.h"
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/result.h"
 
 namespace chariots::geo {
@@ -84,19 +84,23 @@ class Sender {
     /// (resend_nanos == 0 disables backoff: rewind on every tick.)
     int64_t resend_max_nanos = 1'000'000'000;
     int64_t heartbeat_nanos = 10'000'000;   ///< ATable-only message (10 ms)
+    /// Executor running the periodic send task (null = Executor::Default()).
+    Executor* executor = nullptr;
   };
 
+  /// `clock` null means the executor's clock (so a virtual-time executor
+  /// automatically drives the backoff/heartbeat arithmetic too).
   Sender(DatacenterId self, std::vector<DatacenterId> destinations,
          const LocalRecordBuffer* buffer, const AwarenessTable* atable,
-         ReplicationFabric* fabric, Options options,
-         Clock* clock = SystemClock::Default());
+         ReplicationFabric* fabric, Options options, Clock* clock = nullptr);
   ~Sender();
 
   void Start();
   void Stop();
 
   /// One pass over all destinations; returns records shipped. Exposed for
-  /// deterministic tests (the background thread just calls this in a loop).
+  /// deterministic tests (the periodic executor task just calls this until
+  /// it reports idle).
   size_t Tick();
 
   uint64_t records_sent() const { return records_sent_.load(); }
@@ -114,19 +118,18 @@ class Sender {
     int64_t resend_interval_nanos = 0;  // current backoff (0 = base)
   };
 
-  void Loop();
-
   const DatacenterId self_;
   const LocalRecordBuffer* const buffer_;
   const AwarenessTable* const atable_;
   ReplicationFabric* const fabric_;
   const Options options_;
+  Executor* const executor_;
   Clock* const clock_;
 
   std::mutex mu_;
   std::vector<DestState> dests_;
   std::atomic<bool> stop_{true};
-  std::thread thread_;
+  Executor::TimerToken tick_token_;
   std::atomic<uint64_t> records_sent_{0};
   std::atomic<uint64_t> batches_sent_{0};
   std::atomic<uint64_t> rewinds_{0};

@@ -56,6 +56,20 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push that leaves `*item` intact on failure (the
+  /// by-value overload above consumes the item even when it returns false),
+  /// so producers can retry or redirect the same item.
+  bool TryPush(T* item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(*item));
+      NoteSizeLocked();
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Moves every element of `*items` into the queue under one lock
   /// acquisition per admitted chunk, blocking for space as needed. A batch
   /// larger than the remaining capacity is admitted in capacity-sized chunks
@@ -152,6 +166,32 @@ class BoundedQueue {
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return 0;
+      popped = std::min(items_.size(), max_items);
+      out->reserve(out->size() + popped);
+      for (size_t i = 0; i < popped; ++i) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      NoteSizeLocked();
+    }
+    if (popped == 1) {
+      not_full_.notify_one();
+    } else {
+      not_full_.notify_all();
+    }
+    return popped;
+  }
+
+  /// Non-blocking PopAll: drains everything queued right now into `*out`
+  /// under one lock acquisition without waiting. Returns the number of items
+  /// appended (0 when empty — check closed() to distinguish end-of-stream).
+  /// This is the drain primitive for executor tasks, which must never block.
+  size_t TryPopAll(std::vector<T>* out,
+                   size_t max_items = std::numeric_limits<size_t>::max()) {
+    size_t popped = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
       if (items_.empty()) return 0;
       popped = std::min(items_.size(), max_items);
       out->reserve(out->size() + popped);

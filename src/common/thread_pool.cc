@@ -1,18 +1,27 @@
 #include "common/thread_pool.h"
 
+#include "common/executor.h"
+#include "common/logging.h"
+
 namespace chariots {
 
-ThreadPool::ThreadPool(size_t num_threads, std::string name) {
-  (void)name;
+ThreadPool::ThreadPool(size_t num_threads, std::string name)
+    : name_(std::move(name)) {
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      ScopedRuntimeThread census(name_ + "/" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
     shutdown_ = true;
     task_ready_.notify_all();
   }
@@ -22,11 +31,17 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::Submit(std::function<void()> task) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (shutdown_) return false;
-  tasks_.push_back(std::move(task));
-  task_ready_.notify_one();
-  return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      tasks_.push_back(std::move(task));
+      task_ready_.notify_one();
+      return true;
+    }
+  }
+  LOG_EVERY_N_SEC(kWarn, 5) << "thread pool '" << name_
+                           << "': Submit after shutdown; task dropped";
+  return false;
 }
 
 void ThreadPool::Wait() {

@@ -21,17 +21,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task`; returns false if the pool is shutting down.
+  /// Enqueues `task`; returns false (with a rate-limited warning) if the
+  /// pool has shut down — the task is definitively dropped, never run.
   bool Submit(std::function<void()> task);
 
   /// Blocks until the queue is empty and all in-flight tasks finished.
   void Wait();
+
+  /// Drains queued tasks and joins all workers. Idempotent; also run by the
+  /// destructor. After Shutdown(), Submit() returns false.
+  void Shutdown();
 
   size_t num_threads() const { return workers_.size(); }
 
  private:
   void WorkerLoop();
 
+  const std::string name_;
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable idle_;

@@ -124,6 +124,8 @@ MaintainerServer::MaintainerServer(net::Transport* transport,
                                    Options options)
     : maintainer_(std::move(maintainer)),
       options_(std::move(options)),
+      executor_(options_.executor != nullptr ? options_.executor
+                                             : Executor::Default()),
       endpoint_(transport, options_.node),
       repl_endpoint_(transport, options_.node + "#repl"),
       dedup_(DedupWindow::Options{options_.dedup_window,
@@ -143,11 +145,18 @@ Status MaintainerServer::Start() {
   InstallHandlers();
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
   CHARIOTS_RETURN_IF_ERROR(repl_endpoint_.Start());
+  // Like the thread loops these replace, the first iteration runs now, not
+  // one period from now — a fresh primary's lease must be armed before a
+  // kill can be detected. Cancel() in Stop() fences the `this` captures.
   if (options_.peers.size() > 1) {
-    gossip_thread_ = std::thread([this] { GossipLoop(); });
+    GossipOnce();
+    gossip_token_ = executor_->ScheduleEvery(options_.gossip_interval_nanos,
+                                             [this] { GossipOnce(); });
   }
   if (!options_.controller.empty()) {
-    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+    HeartbeatOnce();
+    heartbeat_token_ = executor_->ScheduleEvery(
+        options_.heartbeat_interval_nanos, [this] { HeartbeatOnce(); });
   }
   return Status::OK();
 }
@@ -155,8 +164,8 @@ Status MaintainerServer::Start() {
 void MaintainerServer::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
-  if (gossip_thread_.joinable()) gossip_thread_.join();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  gossip_token_.Cancel();
+  heartbeat_token_.Cancel();
   endpoint_.Stop();
   repl_endpoint_.Stop();
   (void)dedup_.Close();
@@ -449,40 +458,33 @@ void MaintainerServer::InstallHandlers() {
   });
 }
 
-void MaintainerServer::GossipLoop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    BinaryWriter w;
-    w.PutU32(maintainer_.index());
-    w.PutU64(maintainer_.FirstUnfilledGlobal());
-    std::string payload = std::move(w).data();
-    std::vector<net::NodeId> peers;
-    {
-      std::lock_guard<std::mutex> lock(peers_mu_);
-      peers = peers_;
-    }
-    for (size_t i = 0; i < peers.size(); ++i) {
-      if (i == maintainer_.index()) continue;
-      (void)endpoint_.Notify(peers[i], kGossip, payload);
-    }
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(options_.gossip_interval_nanos));
+void MaintainerServer::GossipOnce() {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  BinaryWriter w;
+  w.PutU32(maintainer_.index());
+  w.PutU64(maintainer_.FirstUnfilledGlobal());
+  std::string payload = std::move(w).data();
+  std::vector<net::NodeId> peers;
+  {
+    std::lock_guard<std::mutex> lock(peers_mu_);
+    peers = peers_;
+  }
+  for (size_t i = 0; i < peers.size(); ++i) {
+    if (i == maintainer_.index()) continue;
+    (void)endpoint_.Notify(peers[i], kGossip, payload);
   }
 }
 
-void MaintainerServer::HeartbeatLoop() {
+void MaintainerServer::HeartbeatOnce() {
+  if (stop_.load(std::memory_order_relaxed)) return;
+  // Only the serving primary heartbeats: a backup must not keep its dead
+  // primary's lease alive, and a fenced primary must *let* its lease
+  // lapse so the controller promotes the backup.
+  if (!replica_.CheckServing().ok()) return;
   BinaryWriter w;
   w.PutU32(maintainer_.index());
-  const std::string payload = std::move(w).data();
-  while (!stop_.load(std::memory_order_relaxed)) {
-    // Only the serving primary heartbeats: a backup must not keep its dead
-    // primary's lease alive, and a fenced primary must *let* its lease
-    // lapse so the controller promotes the backup.
-    if (replica_.CheckServing().ok()) {
-      (void)endpoint_.Notify(options_.controller, kHeartbeat, payload);
-    }
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(options_.heartbeat_interval_nanos));
-  }
+  (void)endpoint_.Notify(options_.controller, kHeartbeat,
+                         std::move(w).data());
 }
 
 void MaintainerServer::PublishPostings(const LogRecord& record, LId lid) {
@@ -534,6 +536,8 @@ ControllerServer::ControllerServer(net::Transport* transport,
                                    ControllerServerOptions options)
     : controller_(std::move(initial), options.controller),
       options_(options),
+      executor_(options_.executor != nullptr ? options_.executor
+                                             : Executor::Default()),
       endpoint_(transport, std::move(node)) {}
 
 ControllerServer::~ControllerServer() { Stop(); }
@@ -568,7 +572,13 @@ Status ControllerServer::Start() {
   });
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
   if (options_.monitor_interval_nanos > 0) {
-    monitor_thread_ = std::thread([this] { MonitorLoop(); });
+    // TickLeases() issues a blocking promote Call() from a worker — safe
+    // because the transports deliver responses out-of-band (inline on the
+    // delivering thread), never through the worker pool.
+    monitor_token_ = executor_->ScheduleEvery(
+        options_.monitor_interval_nanos, [this] {
+          if (!stop_.load(std::memory_order_relaxed)) TickLeases();
+        });
   }
   return Status::OK();
 }
@@ -579,7 +589,7 @@ void ControllerServer::Stop() {
     endpoint_.Stop();
     return;
   }
-  if (monitor_thread_.joinable()) monitor_thread_.join();
+  monitor_token_.Cancel();
   endpoint_.Stop();
 }
 
@@ -622,14 +632,6 @@ int ControllerServer::TickLeases() {
     }
   }
   return committed;
-}
-
-void ControllerServer::MonitorLoop() {
-  while (!stop_.load(std::memory_order_relaxed)) {
-    TickLeases();
-    std::this_thread::sleep_for(
-        std::chrono::nanoseconds(options_.monitor_interval_nanos));
-  }
 }
 
 }  // namespace chariots::flstore

@@ -4,9 +4,9 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/executor.h"
 #include "flstore/controller.h"
 #include "flstore/dedup.h"
 #include "flstore/indexer.h"
@@ -73,6 +73,10 @@ class MaintainerServer {
     /// then never arms a lease for this stripe).
     net::NodeId controller;
     int64_t heartbeat_interval_nanos = 30'000'000;  ///< 30 ms default
+    /// Executor running the gossip/heartbeat timers (null =
+    /// Executor::Default()). A virtual-time executor makes both loops
+    /// test-drivable via AdvanceUntil().
+    Executor* executor = nullptr;
   };
 
   MaintainerServer(net::Transport* transport, MaintainerOptions maintainer,
@@ -95,13 +99,14 @@ class MaintainerServer {
 
  private:
   void InstallHandlers();
-  void GossipLoop();
-  void HeartbeatLoop();
+  void GossipOnce();
+  void HeartbeatOnce();
   void OnLanded(const LogRecord& record, LId lid);
   void PublishPostings(const LogRecord& record, LId lid);
 
   LogMaintainer maintainer_;
   Options options_;
+  Executor* const executor_;
   net::RpcEndpoint endpoint_;
   /// Dedicated endpoint for outbound replicate calls. The main endpoint's
   /// inbox delivers one message at a time, and a replicate is issued from
@@ -111,8 +116,8 @@ class MaintainerServer {
   DedupWindow dedup_;
   ReplicaGroup replica_;
   std::atomic<bool> stop_{false};
-  std::thread gossip_thread_;
-  std::thread heartbeat_thread_;
+  Executor::TimerToken gossip_token_;
+  Executor::TimerToken heartbeat_token_;
   /// Maintainer nodes by stripe index; starts as options_.peers and is
   /// updated by kPeerUpdate when the controller commits a failover.
   std::mutex peers_mu_;
@@ -138,9 +143,11 @@ class IndexerServer {
 /// Knobs for the hosted controller.
 struct ControllerServerOptions {
   ControllerOptions controller;
-  /// Interval of the background lease monitor; 0 disables the thread (tests
-  /// drive failover deterministically via TickLeases()).
+  /// Interval of the background lease monitor; 0 disables it (tests drive
+  /// failover deterministically via TickLeases()).
   int64_t monitor_interval_nanos = 0;
+  /// Executor running the lease monitor (null = Executor::Default()).
+  Executor* executor = nullptr;
 };
 
 /// Hosts the Controller on the RPC fabric: serves cluster info and
@@ -165,13 +172,12 @@ class ControllerServer {
   Controller& controller() { return controller_; }
 
  private:
-  void MonitorLoop();
-
   Controller controller_;
   ControllerServerOptions options_;
+  Executor* const executor_;
   net::RpcEndpoint endpoint_;
   std::atomic<bool> stop_{false};
-  std::thread monitor_thread_;
+  Executor::TimerToken monitor_token_;
 };
 
 }  // namespace chariots::flstore

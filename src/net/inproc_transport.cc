@@ -1,6 +1,7 @@
 #include "net/inproc_transport.h"
 
 #include <algorithm>
+#include <deque>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -31,41 +32,60 @@ metrics::Counter* FaultDropCounter() {
 
 }  // namespace
 
-/// Per-node delivery state: a priority queue ordered by delivery time,
-/// drained by a dedicated thread that sleeps until the head is due.
+/// Per-node delivery state. No thread: `ready` is drained by a strand task
+/// on the executor (one at a time, preserving per-node serial delivery for
+/// requests), `delayed` waits on the executor's timer service, and
+/// responses are delivered inline under `resp_gate` by whichever thread
+/// finds them due.
+///
+/// Two gates on purpose: requests serialize under `gate` (their handlers
+/// may block in nested Calls), responses under `resp_gate` (their handlers
+/// only complete pending calls and must never block). A reply therefore
+/// never waits behind the destination's request handler — which is what
+/// keeps two nodes that RPC each other simultaneously from deadlocking,
+/// and what lets the non-blocking timer lane deliver delayed responses.
+/// Both gates also fence the owning transport: Unregister/destruction
+/// closes them, after which no queued task or timer touches the transport.
 struct InProcTransport::Inbox {
   NodeId node;
   MessageHandler handler;
   std::mutex mu;
-  std::condition_variable cv;
   std::priority_queue<DelayedMessage, std::vector<DelayedMessage>,
                       std::greater<DelayedMessage>>
-      queue;
+      delayed;
+  std::deque<Message> ready;
+  bool drain_scheduled = false;
   bool stopped = false;
-  std::thread thread;
+  int64_t armed_nanos = -1;  // earliest pending timer deadline (-1 = none)
+  SerialGate gate;       // request strand
+  SerialGate resp_gate;  // inline response delivery
 };
 
-InProcTransport::InProcTransport(Clock* clock) : clock_(clock), rng_(42) {
+InProcTransport::InProcTransport(Clock* clock, Executor* executor)
+    : executor_(executor != nullptr ? executor : Executor::Default()),
+      rng_(42) {
+  clock_ = clock != nullptr ? clock : executor_->clock();
   // Default rule: everything connected, zero latency, unlimited bandwidth.
   SetLink("", "", LinkOptions{});
 }
 
 InProcTransport::~InProcTransport() {
-  std::vector<std::unique_ptr<Inbox>> to_join;
+  std::vector<std::shared_ptr<Inbox>> to_close;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& [_, inbox] : inboxes_) {
-      {
-        std::lock_guard<std::mutex> il(inbox->mu);
-        inbox->stopped = true;
-        inbox->cv.notify_all();
-      }
-      to_join.push_back(std::move(inbox));
-    }
+    for (auto& [_, inbox] : inboxes_) to_close.push_back(inbox);
     inboxes_.clear();
   }
-  for (auto& inbox : to_join) {
-    if (inbox->thread.joinable()) inbox->thread.join();
+  for (auto& inbox : to_close) {
+    {
+      std::lock_guard<std::mutex> il(inbox->mu);
+      inbox->stopped = true;
+    }
+    // Close() blocks until an in-flight body finishes, so after this loop
+    // no strand task or timer callback will ever touch `this` again (they
+    // hold the inbox by shared_ptr and no-op on the closed gates).
+    inbox->gate.Close();
+    inbox->resp_gate.Close();
   }
 }
 
@@ -74,17 +94,15 @@ Status InProcTransport::Register(const NodeId& node, MessageHandler handler) {
   if (inboxes_.count(node) != 0) {
     return Status::AlreadyExists("node already registered: " + node);
   }
-  auto inbox = std::make_unique<Inbox>();
+  auto inbox = std::make_shared<Inbox>();
   inbox->node = node;
   inbox->handler = std::move(handler);
-  Inbox* raw = inbox.get();
-  inbox->thread = std::thread([this, raw] { InboxLoop(raw); });
   inboxes_.emplace(node, std::move(inbox));
   return Status::OK();
 }
 
 Status InProcTransport::Unregister(const NodeId& node) {
-  std::unique_ptr<Inbox> inbox;
+  std::shared_ptr<Inbox> inbox;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = inboxes_.find(node);
@@ -92,15 +110,16 @@ Status InProcTransport::Unregister(const NodeId& node) {
     inbox = std::move(it->second);
     inboxes_.erase(it);
   }
+  size_t undelivered = 0;
   {
     std::lock_guard<std::mutex> il(inbox->mu);
     inbox->stopped = true;
-    inbox->cv.notify_all();
+    undelivered = inbox->delayed.size() + inbox->ready.size();
   }
-  if (inbox->thread.joinable()) inbox->thread.join();
+  inbox->gate.Close();
+  inbox->resp_gate.Close();
   // Messages still queued for the dead binding are lost, not delivered:
   // account for them like any other network loss.
-  size_t undelivered = inbox->queue.size();
   if (undelivered > 0) {
     DroppedCounter()->Add(undelivered);
     std::lock_guard<std::mutex> lock(mu_);
@@ -128,7 +147,7 @@ InProcTransport::LinkRule* InProcTransport::ResolveLink(const NodeId& from,
 }
 
 Status InProcTransport::Send(Message msg) {
-  Inbox* inbox = nullptr;
+  std::shared_ptr<Inbox> inbox;
   TokenBucket* bandwidth = nullptr;
   int64_t latency = 0;
   size_t wire_size = msg.WireSize();
@@ -138,7 +157,7 @@ Status InProcTransport::Send(Message msg) {
     if (it == inboxes_.end()) {
       return Status::NotFound("unknown destination: " + msg.to);
     }
-    inbox = it->second.get();
+    inbox = it->second;
     LinkRule* rule = ResolveLink(msg.from, msg.to);
     if (rule != nullptr) {
       if (rule->options.drop_probability > 0 &&
@@ -167,69 +186,143 @@ Status InProcTransport::Send(Message msg) {
   // sender, modeling NIC back-pressure.
   if (bandwidth != nullptr) bandwidth->Acquire(static_cast<double>(wire_size));
 
-  DelayedMessage dm;
-  dm.deliver_at_nanos = clock_->NowNanos() + latency + decision.delay_nanos;
-  DelayedMessage dup;
-  if (decision.duplicate) {
-    dup.msg = msg;  // copy before the original is moved
-    dup.deliver_at_nanos =
-        dm.deliver_at_nanos + decision.duplicate_delay_nanos;
-  }
-  dm.msg = std::move(msg);
+  int64_t deliver_at = clock_->NowNanos() + latency + decision.delay_nanos;
+  uint64_t seq = 0, dup_seq = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    dm.seq = ++seq_;
-    if (decision.duplicate) dup.seq = ++seq_;
+    seq = ++seq_;
+    if (decision.duplicate) dup_seq = ++seq_;
   }
-  {
-    std::lock_guard<std::mutex> il(inbox->mu);
-    if (inbox->stopped) return Status::NotFound("destination stopped");
-    inbox->queue.push(std::move(dm));
-    if (decision.duplicate) inbox->queue.push(std::move(dup));
-    inbox->cv.notify_one();
+  Message dup;
+  if (decision.duplicate) dup = msg;  // copy before the original is moved
+  if (!Enqueue(inbox, std::move(msg), deliver_at, seq)) {
+    return Status::NotFound("destination stopped");
+  }
+  if (decision.duplicate) {
+    (void)Enqueue(inbox, std::move(dup),
+                  deliver_at + decision.duplicate_delay_nanos, dup_seq);
   }
   return Status::OK();
 }
 
-void InProcTransport::InboxLoop(Inbox* inbox) {
-  std::unique_lock<std::mutex> lock(inbox->mu);
-  for (;;) {
-    if (inbox->stopped) return;
-    if (inbox->queue.empty()) {
-      inbox->cv.wait(lock,
-                     [&] { return inbox->stopped || !inbox->queue.empty(); });
-      continue;
-    }
-    int64_t now = clock_->NowNanos();
-    const DelayedMessage& head = inbox->queue.top();
-    if (head.deliver_at_nanos > now) {
-      inbox->cv.wait_for(
-          lock, std::chrono::nanoseconds(head.deliver_at_nanos - now));
-      continue;
-    }
-    Message msg = std::move(const_cast<DelayedMessage&>(head).msg);
-    inbox->queue.pop();
-    lock.unlock();
-    // Crash model: a message arriving while the destination is inside an
-    // outage window vanishes, exactly as if the process were down.
-    if (faults_.InOutage(inbox->node, now)) {
-      DroppedCounter()->Add();
-      FaultDropCounter()->Add();
-      {
-        std::lock_guard<std::mutex> g(mu_);
-        ++dropped_;
-      }
-      lock.lock();
-      continue;
-    }
-    inbox->handler(std::move(msg));
-    DeliveredCounter()->Add();
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      ++delivered_;
-    }
-    lock.lock();
+bool InProcTransport::Enqueue(const std::shared_ptr<Inbox>& inbox,
+                              Message msg, int64_t deliver_at_nanos,
+                              uint64_t seq) {
+  if (deliver_at_nanos > clock_->NowNanos()) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    if (inbox->stopped) return false;
+    inbox->delayed.push(DelayedMessage{deliver_at_nanos, seq, std::move(msg)});
+    ArmLocked(inbox);
+    return true;
   }
+  if (msg.is_response) {
+    // Inline on the sending thread: a response never queues behind the
+    // destination's (possibly blocked) request handlers.
+    return inbox->resp_gate.Run(
+        [&] { Deliver(inbox, std::move(msg)); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    if (inbox->stopped) return false;
+    inbox->ready.push_back(std::move(msg));
+  }
+  ScheduleDrain(inbox);
+  return true;
+}
+
+void InProcTransport::ScheduleDrain(const std::shared_ptr<Inbox>& inbox) {
+  {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    if (inbox->drain_scheduled || inbox->stopped) return;
+    inbox->drain_scheduled = true;
+  }
+  if (!executor_->Submit(
+          inbox->gate.Wrap([this, inbox] { DrainReady(inbox); }))) {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    inbox->drain_scheduled = false;
+  }
+}
+
+void InProcTransport::DrainReady(const std::shared_ptr<Inbox>& inbox) {
+  // Runs under inbox->gate (the strand). Re-checks emptiness under the lock
+  // before clearing the flag, so a concurrent Enqueue either sees the flag
+  // set (and its message is picked up by this loop) or schedules a new
+  // drain after the flag clears.
+  for (;;) {
+    Message msg;
+    {
+      std::lock_guard<std::mutex> lock(inbox->mu);
+      if (inbox->ready.empty()) {
+        inbox->drain_scheduled = false;
+        return;
+      }
+      msg = std::move(inbox->ready.front());
+      inbox->ready.pop_front();
+    }
+    Deliver(inbox, std::move(msg));
+  }
+}
+
+void InProcTransport::DrainDue(const std::shared_ptr<Inbox>& inbox) {
+  // Runs under inbox->resp_gate (timer lane or AdvanceUntil): moves due
+  // requests onto the strand and delivers due responses right here. Must
+  // not block — everything below is lock-bounded.
+  bool has_requests = false;
+  std::vector<Message> responses;
+  {
+    std::lock_guard<std::mutex> lock(inbox->mu);
+    inbox->armed_nanos = -1;
+    int64_t now = clock_->NowNanos();
+    while (!inbox->delayed.empty() &&
+           inbox->delayed.top().deliver_at_nanos <= now) {
+      Message m =
+          std::move(const_cast<DelayedMessage&>(inbox->delayed.top()).msg);
+      inbox->delayed.pop();
+      if (m.is_response) {
+        responses.push_back(std::move(m));
+      } else {
+        inbox->ready.push_back(std::move(m));
+        has_requests = true;
+      }
+    }
+    ArmLocked(inbox);
+  }
+  for (Message& m : responses) Deliver(inbox, std::move(m));
+  if (has_requests) ScheduleDrain(inbox);
+}
+
+void InProcTransport::ArmLocked(const std::shared_ptr<Inbox>& inbox) {
+  if (inbox->stopped || inbox->delayed.empty()) return;
+  int64_t due = inbox->delayed.top().deliver_at_nanos;
+  if (inbox->armed_nanos >= 0 && inbox->armed_nanos <= due) return;
+  inbox->armed_nanos = due;
+  // One-shot; never cancelled. A stale firing (head changed, inbox gone)
+  // finds nothing due and either re-arms or no-ops on the closed gate. The
+  // outer lambda only copies `this` — it is dereferenced solely inside the
+  // gate body, which the transport's destructor fences.
+  (void)executor_->ScheduleAt(
+      due,
+      [this, inbox] {
+        inbox->resp_gate.Run([this, &inbox] { DrainDue(inbox); });
+      },
+      Executor::Lane::kTimer);
+}
+
+void InProcTransport::Deliver(const std::shared_ptr<Inbox>& inbox,
+                              Message msg) {
+  // Crash model: a message arriving while the destination is inside an
+  // outage window vanishes, exactly as if the process were down.
+  if (faults_.InOutage(inbox->node, clock_->NowNanos())) {
+    DroppedCounter()->Add();
+    FaultDropCounter()->Add();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++dropped_;
+    return;
+  }
+  inbox->handler(std::move(msg));
+  DeliveredCounter()->Add();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++delivered_;
 }
 
 void InProcTransport::SetLink(const std::string& src_prefix,

@@ -1,18 +1,16 @@
 #ifndef CHARIOTS_NET_INPROC_TRANSPORT_H_
 #define CHARIOTS_NET_INPROC_TRANSPORT_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <queue>
 #include <string>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/random.h"
 #include "common/rate_limiter.h"
 #include "net/fault_schedule.h"
@@ -30,9 +28,18 @@ struct LinkOptions {
   double drop_probability = 0;
 };
 
-/// In-process transport that simulates a network: per-destination inbox
-/// threads, per-link latency, token-bucket bandwidth, and probabilistic drop
-/// for fault-injection tests.
+/// In-process transport that simulates a network: per-link latency,
+/// token-bucket bandwidth, and probabilistic drop for fault-injection tests.
+///
+/// Execution model (DESIGN.md §10): there are no per-node inbox threads.
+/// Each registered node has an inbox *strand* on the shared executor that
+/// delivers its due messages one at a time (preserving the historical
+/// one-message-at-a-time contract RpcEndpoint relies on). Delayed messages
+/// (link latency, fault delays) wait on the executor's timer service, so a
+/// virtual-time executor makes simulated WANs run with zero real sleeps.
+/// RPC *responses* are delivered inline on the sending/timer thread, never
+/// through the worker pool — a worker blocked inside a handler waiting on a
+/// Call() is always unblocked even when every worker is busy.
 ///
 /// Link resolution: the most specific matching rule wins. Rules are keyed by
 /// (src_prefix, dst_prefix) where a node matches a prefix if its id starts
@@ -41,7 +48,12 @@ struct LinkOptions {
 /// fast. Partitions are modeled with drop_probability = 1.
 class InProcTransport : public Transport {
  public:
-  explicit InProcTransport(Clock* clock = SystemClock::Default());
+  /// `clock` null means the executor's clock; `executor` null means
+  /// Executor::Default(). Passing a virtual-time executor (and leaving
+  /// `clock` null) puts both the latency arithmetic and the timers on the
+  /// same ManualClock.
+  explicit InProcTransport(Clock* clock = nullptr,
+                           Executor* executor = nullptr);
   ~InProcTransport() override;
 
   Status Register(const NodeId& node, MessageHandler handler) override;
@@ -95,12 +107,30 @@ class InProcTransport : public Transport {
   };
 
   LinkRule* ResolveLink(const NodeId& from, const NodeId& to);
-  void InboxLoop(Inbox* inbox);
+  /// Enqueues one already-inspected message on its inbox (immediate →
+  /// inline response delivery or ready queue + strand; future → timer).
+  /// Returns false if the destination stopped meanwhile.
+  bool Enqueue(const std::shared_ptr<Inbox>& inbox, Message msg,
+               int64_t deliver_at_nanos, uint64_t seq);
+  /// Inbox strand body: delivers ready messages one at a time.
+  void DrainReady(const std::shared_ptr<Inbox>& inbox);
+  /// Timer callback (timer lane): moves due delayed messages out — requests
+  /// to the ready queue/strand, responses delivered inline.
+  void DrainDue(const std::shared_ptr<Inbox>& inbox);
+  /// Schedules the strand if not already scheduled. Caller must not hold
+  /// inbox->mu.
+  void ScheduleDrain(const std::shared_ptr<Inbox>& inbox);
+  /// Arms the delayed-queue timer for the current head. Caller holds
+  /// inbox->mu.
+  void ArmLocked(const std::shared_ptr<Inbox>& inbox);
+  /// Runs the handler (outage check included) under the inbox gate.
+  void Deliver(const std::shared_ptr<Inbox>& inbox, Message msg);
 
-  Clock* const clock_;
+  Clock* clock_;
+  Executor* const executor_;
   FaultSchedule faults_;
   mutable std::mutex mu_;
-  std::unordered_map<NodeId, std::unique_ptr<Inbox>> inboxes_;
+  std::unordered_map<NodeId, std::shared_ptr<Inbox>> inboxes_;
   std::vector<std::unique_ptr<LinkRule>> links_;
   Random rng_;
   uint64_t seq_ = 0;

@@ -4,6 +4,20 @@
 
 namespace chariots::net {
 
+size_t Message::WireSize() const {
+  // Mirrors EncodeMessage below, field for field: three PutBytes carry a
+  // u32 length prefix each (3*4), plus u16 type + u64 rpc_id + u8
+  // is_response + u8 error_code = 24 fixed bytes. An active trace trailer
+  // adds u64 trace_id + u32 hop count (12) and, per hop, a length-prefixed
+  // stage + u32 dc + i64 nanos (stage + 16).
+  size_t trace_bytes = 0;
+  if (trace.active()) {
+    trace_bytes = 12;
+    for (const auto& hop : trace.hops) trace_bytes += hop.stage.size() + 16;
+  }
+  return from.size() + to.size() + payload.size() + trace_bytes + 24;
+}
+
 std::string EncodeMessage(const Message& msg) {
   BinaryWriter w;
   w.PutBytes(msg.from);

@@ -30,15 +30,10 @@ struct Message {
   /// zero-byte on the wire) for unsampled traffic.
   trace::TraceContext trace;
 
-  /// Approximate wire size in bytes, used by bandwidth simulation.
-  size_t WireSize() const {
-    size_t trace_bytes = 0;
-    if (trace.active()) {
-      trace_bytes = 12;
-      for (const auto& hop : trace.hops) trace_bytes += hop.stage.size() + 16;
-    }
-    return from.size() + to.size() + payload.size() + trace_bytes + 24;
-  }
+  /// Exact wire size in bytes — equals EncodeMessage(*this).size().
+  /// Used by the bandwidth simulation; defined next to the codec so the
+  /// two cannot drift apart silently (net_test asserts equality).
+  size_t WireSize() const;
 };
 
 /// Serializes a message to wire bytes (used by the TCP transport).

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -95,6 +96,7 @@ void MetricsHttpServer::Stop() {
 }
 
 void MetricsHttpServer::ServeLoop() {
+  ScopedRuntimeThread census("metrics/http");
   while (!stopping_.load(std::memory_order_relaxed)) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     int r = ::poll(&pfd, 1, 100);

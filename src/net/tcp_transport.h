@@ -2,6 +2,8 @@
 #define CHARIOTS_NET_TCP_TRANSPORT_H_
 
 #include <atomic>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,15 +11,25 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/status.h"
 #include "net/transport.h"
 
 namespace chariots::net {
 
 /// Transport over real TCP sockets. Messages are length-prefixed frames
-/// (u32 little-endian length + EncodeMessage bytes). Connection handling is
-/// blocking I/O with one reader thread per accepted/established connection —
-/// simple and robust; suitable for the scale of a reproduction deployment.
+/// (u32 little-endian length + EncodeMessage bytes).
+///
+/// Execution model (DESIGN.md §10): a nonblocking epoll reactor. One or a
+/// few I/O threads own every socket — the listener, all reads, and all
+/// queued writes — so the thread count is a constant, not one reader per
+/// connection. Inbound *requests* are dispatched to the shared executor on
+/// a per-connection strand (serial, like the old reader thread delivered
+/// them); inbound *responses* are delivered inline on the reactor thread,
+/// so a worker blocked inside a handler waiting on a Call() is unblocked
+/// even when every worker is busy. Sends try the socket inline on the
+/// caller's thread and fall back to a bounded per-connection write queue
+/// flushed by the reactor on EPOLLOUT.
 ///
 /// Routing: local nodes are registered handlers; remote nodes are reached via
 /// prefix routes installed with AddRoute("dc1", "127.0.0.1:7001"). Longest
@@ -28,7 +40,17 @@ namespace chariots::net {
 /// have no static route to (clients connect from ephemeral addresses).
 class TcpTransport : public Transport {
  public:
-  TcpTransport();
+  struct Options {
+    /// Reactor (event-loop) threads. One is right for almost everything;
+    /// raise it only when a single core cannot move the bytes.
+    size_t io_threads = 1;
+    /// Executor that runs inbound request handlers (null =
+    /// Executor::Default()).
+    Executor* executor = nullptr;
+  };
+
+  TcpTransport();  // default Options
+  explicit TcpTransport(Options options);
   ~TcpTransport() override;
 
   /// Starts accepting connections on `port` (all interfaces). Pass 0 to let
@@ -45,36 +67,55 @@ class TcpTransport : public Transport {
   Status Unregister(const NodeId& node) override;
   Status Send(Message msg) override;
 
-  /// Closes all sockets and joins all threads.
+  /// Closes all sockets and joins the reactor threads.
   void Shutdown();
 
  private:
-  struct Connection {
-    int fd = -1;
-    std::mutex write_mu;
-    std::thread reader;
-  };
+  struct Conn;
+  struct IoThread;
 
-  void AcceptLoop();
-  void ReaderLoop(std::shared_ptr<Connection> conn);
-  Status WriteFrame(Connection* conn, const Message& msg);
-  Result<std::shared_ptr<Connection>> GetOrConnect(const std::string& addr);
-  void Deliver(Message msg);
+  void ReactorLoop(size_t index);
+  /// Accept-ready on the listener (reactor thread 0 only).
+  void AcceptReady();
+  /// Drains the socket and dispatches every complete frame (reactor only).
+  void HandleReadable(IoThread* io, const std::shared_ptr<Conn>& conn);
+  /// Flushes the write queue; disarms EPOLLOUT when drained (reactor only).
+  void HandleWritable(IoThread* io, const std::shared_ptr<Conn>& conn);
+  /// One decoded inbound message: peer-learn + response-inline /
+  /// request-strand split.
+  void Dispatch(const std::shared_ptr<Conn>& conn, Message msg);
+  /// Per-connection strand body: delivers queued requests one at a time.
+  void DrainInbox(const std::shared_ptr<Conn>& conn);
+  void DeliverLocal(Message msg);
+  /// Encodes + writes (inline if the queue is empty, else queued, arming
+  /// EPOLLOUT). Thread-safe.
+  Status WriteFrame(const std::shared_ptr<Conn>& conn, const Message& msg);
+  /// Removes the connection from its reactor and the routing tables and
+  /// closes the socket.
+  void CloseConn(IoThread* io, const std::shared_ptr<Conn>& conn);
+  Result<std::shared_ptr<Conn>> GetOrConnect(const std::string& addr);
+  /// Registers a socket with a reactor thread (round-robin for accepted
+  /// and outbound connections alike).
+  void AdoptConn(const std::shared_ptr<Conn>& conn);
+  Status EnsureIoThreads();
 
+  const Options options_;
+  Executor* const executor_;
   std::atomic<bool> shutdown_{false};
-  // Written by Listen()/Shutdown(), read by AcceptLoop(): atomic so the
-  // shutdown-time reset doesn't race the accept thread's read.
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
-  std::thread accept_thread_;
+  std::atomic<uint64_t> next_io_{0};
+
+  std::mutex io_mu_;  // guards io_threads_ creation
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
 
   std::mutex mu_;
   std::unordered_map<NodeId, MessageHandler> local_;
   std::vector<std::pair<std::string, std::string>> routes_;  // prefix -> addr
-  std::unordered_map<std::string, std::shared_ptr<Connection>> conns_;
-  std::vector<std::shared_ptr<Connection>> accepted_;
+  std::unordered_map<std::string, std::shared_ptr<Conn>> conns_;
+  std::vector<std::shared_ptr<Conn>> accepted_;
   /// Peer learning: sender node id -> connection it was last seen on.
-  std::unordered_map<NodeId, std::weak_ptr<Connection>> learned_;
+  std::unordered_map<NodeId, std::weak_ptr<Conn>> learned_;
 };
 
 }  // namespace chariots::net

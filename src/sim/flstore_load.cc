@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/executor.h"
 #include "common/queue.h"
 #include "common/rate_limiter.h"
 #include "flstore/maintainer.h"
@@ -76,6 +77,7 @@ FLStoreLoadResult RunFLStoreLoad(const FLStoreLoadOptions& raw_options) {
   for (auto& machine : machines) {
     MaintainerBox* raw = machine.get();
     machine->thread = std::thread([raw, &model, &measuring] {
+      ScopedRuntimeThread census("sim/flmaint");
       uint64_t appended = 0;
       while (auto batch = raw->inbox->Pop()) {
         double fill = raw->inbox->fill_fraction();

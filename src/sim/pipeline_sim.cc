@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/executor.h"
+
 namespace chariots::sim {
 
 // -------------------------------------------------------------- SimStage
@@ -62,6 +64,9 @@ void SimStage::SubmitAll(std::vector<SimBatch>* batches) {
 }
 
 void SimStage::MachineLoop(Machine* machine) {
+  // Sim machines model dedicated hardware, so they keep their own thread
+  // each — but they still report to the runtime census.
+  ScopedRuntimeThread census("sim/" + name_);
   // Saturation threshold: the machine's receive buffering. A backlog beyond
   // it means the NIC/receive path is saturated, which costs extra per-record
   // contention (the paper's filter capped at ~120K by its network
@@ -140,6 +145,7 @@ SimSource::SimSource(size_t num_machines, MachineModel model,
 SimSource::~SimSource() { Stop(); }
 
 void SimSource::MachineLoop(Machine* machine, uint64_t records_limit) {
+  ScopedRuntimeThread census("sim/source");
   uint64_t produced = 0;
   while (!stop_.load(std::memory_order_relaxed) &&
          produced < records_limit) {

@@ -12,6 +12,7 @@
 #include "chariots/datacenter.h"
 #include "chariots/fabric.h"
 #include "chariots/geo_service.h"
+#include "common/executor.h"
 #include "common/metrics.h"
 #include "common/random.h"
 #include "common/trace.h"
@@ -88,6 +89,26 @@ TEST(GeoIntegrationTest, LocalAppendCommits) {
   ASSERT_TRUE(read.ok());
   EXPECT_EQ(read->body, "hello");
   EXPECT_EQ(cluster.dc(0).HeadLid(), 1u);
+}
+
+// Acceptance check for the executor runtime: a whole 3-DC geo topology runs
+// on a thread budget that is a function of cores, not of topology size.
+// Every runtime thread reports to the chariots.runtime.threads census
+// (executor workers, timer, TCP reactors, sim machines); an inproc 3-DC
+// cluster adds nothing beyond the shared pool.
+TEST(GeoIntegrationTest, ThreadBudgetIsOCoresNotOTopology) {
+  GeoCluster cluster(3);
+  ChariotsClient client(&cluster.dc(0));
+  ASSERT_TRUE(client.Append("warm").ok());
+  ASSERT_TRUE(cluster.AwaitConvergence());
+  uint64_t census = RuntimeThreadCount();
+  EXPECT_GT(census, 0u) << "executor workers must be census-registered";
+  // Budget (DESIGN.md §10): workers max(2, min(8, cores)) + 1 timer; the
+  // 2x-hardware-concurrency ceiling is floored at 2 cores so the bound is
+  // meaningful on single-core CI machines.
+  uint64_t cores = std::max(2u, std::thread::hardware_concurrency());
+  EXPECT_LE(census, 2 * cores)
+      << "a 3-DC topology must not grow the thread count past 2x cores";
 }
 
 TEST(GeoIntegrationTest, RecordsReplicateToAllDatacenters) {
@@ -348,11 +369,16 @@ TEST(GeoIntegrationTest, SubscribersSeeEveryRecordInLidOrder) {
     ASSERT_TRUE(dcs[d]->WaitForToid(0, 5, kWaitNanos));
     ASSERT_TRUE(dcs[d]->WaitForToid(1, 5, kWaitNanos));
   }
-  std::lock_guard<std::mutex> lock(mu);
-  for (uint32_t d = 0; d < 2; ++d) {
-    ASSERT_EQ(seen[d].size(), 10u) << "dc" << d;
-    for (size_t i = 0; i < seen[d].size(); ++i) {
-      EXPECT_EQ(seen[d][i].lid, i);  // push order == LId order
+  {
+    // Scoped: Stop() closes the pipeline strands' gates, and subscriber
+    // callbacks take `mu` while running under those gates — holding `mu`
+    // across Stop() would invert the lock order.
+    std::lock_guard<std::mutex> lock(mu);
+    for (uint32_t d = 0; d < 2; ++d) {
+      ASSERT_EQ(seen[d].size(), 10u) << "dc" << d;
+      for (size_t i = 0; i < seen[d].size(); ++i) {
+        EXPECT_EQ(seen[d][i].lid, i);  // push order == LId order
+      }
     }
   }
   for (auto& dc : dcs) dc->Stop();

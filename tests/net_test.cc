@@ -48,6 +48,27 @@ TEST(MessageCodecTest, GarbageIsRejected) {
   EXPECT_FALSE(DecodeMessage("").ok());
 }
 
+// WireSize() feeds the bandwidth simulation; it must not drift from what
+// the codec actually puts on the wire.
+TEST(MessageCodecTest, WireSizeMatchesEncodedSize) {
+  Message m;
+  EXPECT_EQ(m.WireSize(), EncodeMessage(m).size());
+
+  m.from = "dc0/client/1";
+  m.to = "dc1/maintainer/2";
+  m.type = 42;
+  m.rpc_id = 0x1234567890;
+  m.payload = std::string(1000, 'x');
+  EXPECT_EQ(m.WireSize(), EncodeMessage(m).size());
+
+  // Active multi-hop trace: the trailer bytes must be counted too.
+  m.trace.trace_id = 0xabcdef;
+  m.trace.hops.push_back({"client", 0, 123});
+  m.trace.hops.push_back({"batcher", 0, 456});
+  m.trace.hops.push_back({"remote-receiver", 1, 789});
+  EXPECT_EQ(m.WireSize(), EncodeMessage(m).size());
+}
+
 // --------------------------------------------------------- InProcTransport
 
 TEST(InProcTransportTest, DeliversToRegisteredNode) {

@@ -123,17 +123,21 @@ TEST(BatcherTest, FlushesAtThreshold) {
 }
 
 TEST(BatcherTest, TimerFlushesSparseTraffic) {
+  // Virtual time: the flush timer is a periodic executor task, so advancing
+  // the ManualClock fires it deterministically — no real sleeps, no polling.
+  ManualClock clock;
+  Executor exec({.num_threads = 2, .name = "bt-virt", .manual_clock = &clock});
   FilterMap map(1, 1);
   std::atomic<size_t> received{0};
-  Batcher batcher(&map, 1000, 2'000'000 /* 2 ms */,
-                  [&](uint32_t, std::vector<GeoRecord> b) {
-                    received += b.size();
-                  });
+  Batcher batcher(
+      &map, 1000, 2'000'000 /* 2 ms */,
+      [&](uint32_t, std::vector<GeoRecord> b) { received += b.size(); },
+      &exec);
   batcher.Start();
   batcher.Submit(Rec(0, 1));
-  for (int i = 0; i < 100 && received.load() == 0; ++i) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
-  }
+  exec.AdvanceBy(1'000'000);  // 1 ms: below the interval, nothing flushes
+  EXPECT_EQ(received.load(), 0u);
+  exec.AdvanceBy(1'500'000);  // past the 2 ms interval: timer fires inline
   EXPECT_EQ(received.load(), 1u);
   batcher.Stop();
 }

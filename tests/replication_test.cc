@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
 #include "common/random.h"
 #include "flstore/client.h"
 #include "flstore/replica_group.h"
@@ -56,6 +57,10 @@ struct ClusterConfig {
   bool heartbeats = false;
   int64_t heartbeat_interval_nanos = 5'000'000;  // 5 ms
   uint64_t batch = 4;
+  /// Executor for the transport and every server loop (null = the shared
+  /// default). A virtual-time executor makes the whole cluster — transport,
+  /// heartbeats, monitor sweeps — run on AdvanceBy with zero real sleeps.
+  Executor* executor = nullptr;
 };
 
 /// One replicated stripe (primary + backup) plus a controller, wired over
@@ -64,7 +69,8 @@ class ReplicatedCluster {
  public:
   using Config = ClusterConfig;
 
-  explicit ReplicatedCluster(Config config = Config()) {
+  explicit ReplicatedCluster(Config config = Config())
+      : transport_(config.clock, config.executor) {
     ClusterInfo info;
     info.journal = EpochJournal(1, config.batch);
     info.maintainers = {kPrimary};
@@ -74,6 +80,7 @@ class ReplicatedCluster {
     cso.controller.clock = config.clock;
     cso.controller.lease_nanos = config.lease_nanos;
     cso.monitor_interval_nanos = config.monitor_interval_nanos;
+    cso.executor = config.executor;
     controller_ = std::make_unique<ControllerServer>(&transport_, kController,
                                                      info, cso);
     EXPECT_TRUE(controller_->Start().ok());
@@ -115,6 +122,7 @@ class ReplicatedCluster {
                                               ReplicaRole role) {
     MaintainerServer::Options so;
     so.node = std::move(node);
+    so.executor = config.executor;
     so.peers = {kPrimary};
     so.replica.role = role;
     so.replica.epoch = 1;
@@ -371,6 +379,54 @@ TEST(ReplicationTest, ClusterInfoRoundTripsReplicaFields) {
   EXPECT_EQ(decoded->version, 7u);
   EXPECT_EQ(decoded->backups, info.backups);
   EXPECT_EQ(decoded->fence_epochs, info.fence_epochs);
+}
+
+// The lease-failover pipeline — heartbeat timers, monitor sweeps, and the
+// transport itself — on a virtual-time executor: the whole kill-and-promote
+// scenario runs on AdvanceBy with zero real sleeps (DESIGN.md §10).
+TEST(ReplicationTest, VirtualTimeFailoverRunsWithZeroRealSleeps) {
+  ManualClock clock;
+  Executor exec({.num_threads = 2, .name = "vt-repl", .manual_clock = &clock});
+
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  config.executor = &exec;
+  config.heartbeats = true;
+  config.lease_nanos = 60'000'000;             // 60 ms virtual
+  config.monitor_interval_nanos = 10'000'000;  // 10 ms virtual sweeps
+  ReplicatedCluster cluster(config);
+
+  // Client startup round-trips through the controller's inbox strand, which
+  // is FIFO — so the primary's initial heartbeat (sent inline in Start())
+  // has been processed by the time Append returns, and the lease is armed.
+  auto client = cluster.NewClient("a");
+  auto pre = client->Append(Rec("pre"));
+  ASSERT_TRUE(pre.ok()) << pre.status();
+
+  // Nothing ages while the primary heartbeats: 50 ms of virtual time (five
+  // monitor sweeps, ten heartbeats) changes no layout.
+  exec.AdvanceBy(50'000'000);
+  EXPECT_EQ(cluster.controller_->controller().GetInfo().maintainers[0],
+            kPrimary);
+
+  // Kill the primary (its heartbeat timer dies with it) and advance past
+  // lease expiry: a monitor sweep fires inline and promotes the backup.
+  cluster.primary_->Stop();
+  exec.AdvanceBy(200'000'000);
+  EXPECT_EQ(cluster.controller_->controller().GetInfo().maintainers[0],
+            kBackup);
+  EXPECT_EQ(cluster.backup_->replica().role(), ReplicaRole::kPrimary);
+
+  // A fresh client picks up the new layout and appends through the
+  // promoted backup — still without a single real sleep.
+  auto client2 = cluster.NewClient("b");
+  auto post = client2->Append(Rec("post"));
+  ASSERT_TRUE(post.ok()) << post.status();
+  EXPECT_EQ(cluster.backup_->maintainer().Read(*post)->body, "post");
+
+  cluster.backup_->Stop();
+  cluster.controller_->Stop();
+  exec.Shutdown();
 }
 
 // The acceptance scenario: the primary dies mid-append under a seeded

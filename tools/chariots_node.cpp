@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chariots/datacenter.h"
+#include "common/executor.h"
 #include "chariots/fabric.h"
 #include "chariots/geo_service.h"
 #include "flstore/service.h"
@@ -102,11 +103,32 @@ bool MaybeStartMetrics(const Flags& flags, net::MetricsHttpServer* server) {
   return true;
 }
 
+// Applies the runtime-sizing flags (any role). --executor_threads sizes
+// the process-wide shared executor (0 = O(cores) default); --io_threads
+// sizes the TCP reactor. Must run before the first Executor::Default().
+net::TcpTransport::Options RuntimeOptions(const Flags& flags) {
+  if (flags.Has("executor_threads") || flags.Has("executor-threads")) {
+    Executor::Options eo;
+    eo.num_threads = static_cast<size_t>(flags.GetInt(
+        "executor_threads", flags.GetInt("executor-threads", 0)));
+    Executor::ConfigureDefault(eo);
+  }
+  net::TcpTransport::Options to;
+  to.io_threads = static_cast<size_t>(
+      flags.GetInt("io_threads", flags.GetInt("io-threads", 1)));
+  if (to.io_threads == 0) to.io_threads = 1;
+  return to;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
       "usage: chariots_node --role={controller|maintainer|indexer|"
       "datacenter}\n"
+      "runtime (any role):\n"
+      "  --executor_threads=N       shared executor workers (default:\n"
+      "                             O(cores); see DESIGN.md §10)\n"
+      "  --io_threads=N             TCP reactor threads (default 1)\n"
       "datacenter role (one whole geo replica per process):\n"
       "  --dc-id=N --datacenters=H:P,H:P,...  (this process at index N)\n"
       "  --listen=PORT --store-dir=PATH --batch=N\n"
@@ -141,7 +163,7 @@ int RunDatacenter(const Flags& flags) {
   uint32_t dc_id = flags.GetInt("dc-id", 0);
   if (dc_id >= peers.size()) return Usage();
 
-  net::TcpTransport transport;
+  net::TcpTransport transport(RuntimeOptions(flags));
   Status listen = transport.Listen(flags.GetInt("listen", 0));
   if (!listen.ok()) {
     std::fprintf(stderr, "listen: %s\n", listen.ToString().c_str());
@@ -219,7 +241,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
-  net::TcpTransport transport;
+  net::TcpTransport transport(RuntimeOptions(flags));
   Status listen = transport.Listen(flags.GetInt("listen", 0));
   if (!listen.ok()) {
     std::fprintf(stderr, "listen: %s\n", listen.ToString().c_str());

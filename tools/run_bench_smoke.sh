@@ -2,7 +2,8 @@
 # Smoke-runs every bench binary with CHARIOTS_BENCH_SMOKE=1 (shrunk sweeps,
 # seconds not minutes) and validates each BENCH_<name>.json against the
 # schema in bench/bench_report.h: required fields present, numbers finite,
-# stages non-empty. Intended for CI and for the sanitizer flow:
+# stages non-empty, and the runtime thread census within the smoke budget
+# (see below). Intended for CI and for the sanitizer flow:
 #
 #   tools/run_bench_smoke.sh                 # default build dir (./build)
 #   tools/run_bench_smoke.sh build-thread    # e.g. after run_tsan_tests.sh
@@ -41,9 +42,19 @@ done
 echo "=== validating BENCH_*.json in $OUT_DIR ==="
 STATUS=0
 python3 - "$OUT_DIR" <<'EOF' || STATUS=1
-import glob, json, math, sys
+import glob, json, math, os, sys
 
 out_dir = sys.argv[1]
+
+# Thread-budget check (DESIGN.md §10): every report carries the
+# chariots.runtime.threads census (current + peak). The smoke-topology
+# budget is the shared executor pool — max(2, min(8, cores)) workers plus
+# one timer, bounded by 2x cores (floored at 2) — plus up to 16 sim machine
+# threads (sim stages model dedicated hardware, one real thread each).
+# A bench whose peak exceeds this has regressed to thread-per-loop.
+cores = max(2, os.cpu_count() or 1)
+thread_budget = int(os.environ.get("CHARIOTS_SMOKE_THREAD_BUDGET",
+                                   2 * cores + 16))
 paths = sorted(glob.glob(out_dir + "/BENCH_*.json"))
 if not paths:
     sys.exit("no BENCH_*.json files produced")
@@ -83,9 +94,18 @@ for path in paths:
             check_finite(path, f"stage {stage['name']}", stage["rate_rps"])
     for key, value in doc.get("extra", {}).items():
         check_finite(path, f"extra {key}", value)
+    extra = doc.get("extra", {})
+    peak = extra.get("runtime_threads_peak")
+    if peak is None:
+        failures.append(f"{path}: extra missing 'runtime_threads_peak'")
+    elif peak > thread_budget:
+        failures.append(
+            f"{path}: runtime_threads_peak {peak:.0f} exceeds the smoke "
+            f"budget {thread_budget} (thread-per-loop regression?)")
     print(f"ok: {path.rsplit('/', 1)[-1]} "
           f"(throughput {doc.get('throughput_rps'):.0f} rps, "
-          f"{len(stages)} stages, {doc.get('latency_samples')} samples)")
+          f"{len(stages)} stages, {doc.get('latency_samples')} samples, "
+          f"peak threads {peak if peak is not None else '?'})")
 
 if failures:
     print("\n".join(failures), file=sys.stderr)

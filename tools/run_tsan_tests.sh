@@ -4,6 +4,12 @@
 #   tools/run_tsan_tests.sh              # TSan, all tests
 #   tools/run_tsan_tests.sh address      # ASan, all tests
 #   tools/run_tsan_tests.sh thread common_test maintainer_test
+#   tools/run_tsan_tests.sh thread executor_test net_test  # runtime focus
+#
+# The full run covers the executor runtime end to end: executor_test
+# (scheduler, timers, shutdown races) and net_test (epoll TCP reactor +
+# threadless inproc transport) run under the sanitizer along with every
+# consumer of the shared pool.
 #
 # Uses a separate build dir (build-<sanitizer>) so the regular build is
 # untouched.
