@@ -1,0 +1,256 @@
+// Read-path scaling (ISSUE 6): read throughput of a real FLStore cluster
+// under mixed read:write workloads and growing reader counts, comparing
+//
+//   * baseline  — client read-through cache disabled: every read is an RPC
+//     into the maintainer (the pre-read-path behaviour), and
+//   * cached    — the memory-speed read path: client read-through cache
+//     with epoch invalidation, serving the hot tail locally.
+//
+// The working set is the hot tail (the most recently appended records), so
+// the cached series should beat the RPC-per-read baseline by well over an
+// order of magnitude — the acceptance bar is 10×.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_report.h"
+#include "common/metrics.h"
+#include "flstore/client.h"
+#include "flstore/service.h"
+#include "net/inproc_transport.h"
+
+namespace {
+
+using namespace chariots;
+using namespace chariots::flstore;
+
+/// Deterministic per-thread mixer (benches avoid rand() for repeatability).
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// One in-proc FLStore deployment: controller + maintainers, memory store.
+struct Cluster {
+  explicit Cluster(uint32_t num_maintainers, uint64_t batch)
+      : journal(num_maintainers, batch) {
+    ClusterInfo info;
+    info.journal = journal;
+    for (uint32_t i = 0; i < num_maintainers; ++i) {
+      info.maintainers.push_back("dc0/maintainer/" + std::to_string(i));
+    }
+    controller = std::make_unique<ControllerServer>(&transport,
+                                                    "dc0/controller", info);
+    if (!controller->Start().ok()) std::abort();
+    for (uint32_t i = 0; i < num_maintainers; ++i) {
+      MaintainerOptions mo;
+      mo.index = i;
+      mo.journal = journal;
+      mo.store.mode = storage::SyncMode::kMemoryOnly;
+      MaintainerServer::Options so;
+      so.node = info.maintainers[i];
+      so.peers = info.maintainers;
+      so.gossip_interval_nanos = 500'000;
+      maintainers.push_back(
+          std::make_unique<MaintainerServer>(&transport, mo, so));
+      if (!maintainers.back()->Start().ok()) std::abort();
+    }
+  }
+
+  std::unique_ptr<FLStoreClient> NewClient(const std::string& name,
+                                           uint64_t cache_bytes) {
+    ClientOptions options;
+    options.read_cache_bytes = cache_bytes;
+    auto client = std::make_unique<FLStoreClient>(
+        &transport, "dc0/client/" + name, "dc0/controller", options);
+    if (!client->Start().ok()) std::abort();
+    return client;
+  }
+
+  net::InProcTransport transport;
+  EpochJournal journal;
+  std::unique_ptr<ControllerServer> controller;
+  std::vector<std::unique_ptr<MaintainerServer>> maintainers;
+};
+
+struct MixResult {
+  double reads_per_sec = 0;
+  double total_per_sec = 0;
+};
+
+/// Drives `readers` closed-loop threads against a preloaded hot tail for
+/// `ops_per_thread` operations each at the given read share (percent).
+MixResult RunMix(Cluster& cluster, const std::vector<LId>& hot,
+                 int readers, int read_pct, uint64_t ops_per_thread,
+                 uint64_t cache_bytes) {
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
+  std::vector<std::unique_ptr<FLStoreClient>> clients;
+  for (int t = 0; t < readers; ++t) {
+    clients.push_back(cluster.NewClient(
+        "mix" + std::to_string(read_pct) + "x" + std::to_string(readers) +
+            "b" + std::to_string(cache_bytes) + "t" + std::to_string(t),
+        cache_bytes));
+  }
+  if (cache_bytes > 0) {
+    // Warm each session's cache (one coalesced sweep of the working set)
+    // so the timed region measures the steady-state hot tail, not the
+    // one-time cold fill.
+    for (auto& client : clients) {
+      if (!client->ReadMany(hot).ok()) std::abort();
+    }
+  }
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < readers; ++t) {
+    threads.emplace_back([&, t] {
+      FLStoreClient* client = clients[t].get();
+      uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (uint64_t i = 0; i < ops_per_thread; ++i) {
+        rng = Mix(rng + i);
+        if (static_cast<int>(rng % 100) < read_pct) {
+          LId lid = hot[rng % hot.size()];
+          if (client->Read(lid).ok()) {
+            reads.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          LogRecord rec;
+          rec.body = "w" + std::to_string(i);
+          if (client->Append(rec).ok()) {
+            writes.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  MixResult out;
+  if (secs > 0) {
+    out.reads_per_sec = static_cast<double>(reads.load()) / secs;
+    out.total_per_sec =
+        static_cast<double>(reads.load() + writes.load()) / secs;
+  }
+  return out;
+}
+
+metrics::Counter* HitCounter() {
+  return metrics::Registry::Default().GetCounter(
+      "chariots.flstore.read_cache.hits");
+}
+metrics::Counter* MissCounter() {
+  return metrics::Registry::Default().GetCounter(
+      "chariots.flstore.read_cache.misses");
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = chariots::bench::SmokeMode();
+  const uint64_t kCacheBytes = 4ull << 20;
+  const uint64_t kHotRecords = smoke ? 512 : 4096;
+  const uint64_t kOpsPerThread = smoke ? 2'000 : 50'000;
+
+  Cluster cluster(2, 64);
+
+  // Preload the hot tail.
+  auto loader = cluster.NewClient("loader", 0);
+  std::vector<LId> hot;
+  hot.reserve(kHotRecords);
+  for (uint64_t i = 0; i < kHotRecords; ++i) {
+    LogRecord rec;
+    rec.body = "hot-record-payload-" + std::to_string(i);
+    auto lid = loader->Append(rec);
+    if (!lid.ok()) std::abort();
+    hot.push_back(*lid);
+  }
+
+  chariots::bench::BenchReport report("read_scaling");
+  std::printf("=== Read-path scaling: hot-tail reads, cached vs "
+              "RPC-per-read ===\n");
+  std::printf("%-10s %-8s %-24s %-24s %-8s\n", "read:write", "readers",
+              "baseline (reads/s)", "cached (reads/s)", "speedup");
+
+  const std::vector<int> read_pcts = smoke ? std::vector<int>{50, 100}
+                                           : std::vector<int>{50, 90, 100};
+  const std::vector<int> reader_counts =
+      smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4};
+
+  uint64_t hits0 = HitCounter()->Value();
+  uint64_t misses0 = MissCounter()->Value();
+  double speedup_hot_tail = 0;
+  double peak = 0;
+  for (int read_pct : read_pcts) {
+    for (int readers : reader_counts) {
+      MixResult baseline = RunMix(cluster, hot, readers, read_pct,
+                                  kOpsPerThread, /*cache_bytes=*/0);
+      MixResult cached = RunMix(cluster, hot, readers, read_pct,
+                                kOpsPerThread, kCacheBytes);
+      double speedup = baseline.reads_per_sec > 0
+                           ? cached.reads_per_sec / baseline.reads_per_sec
+                           : 0;
+      std::printf("%3d:%-6d %-8d %-24.0f %-24.0f %.1fx\n", read_pct,
+                  100 - read_pct, readers, baseline.reads_per_sec,
+                  cached.reads_per_sec, speedup);
+      std::string label = "r" + std::to_string(read_pct) + "/readers" +
+                          std::to_string(readers);
+      report.AddStage(label + "/baseline", baseline.reads_per_sec);
+      report.AddStage(label + "/cached", cached.reads_per_sec);
+      peak = std::max(peak, cached.reads_per_sec);
+      // The acceptance metric: pure hot-tail reads, max parallelism.
+      if (read_pct == 100 && readers == reader_counts.back()) {
+        speedup_hot_tail = speedup;
+      }
+    }
+  }
+
+  // Coalesced multi-get: the whole hot tail in ReadRange batches through a
+  // cold-cache client, vs one RPC per record.
+  {
+    auto batch_client = cluster.NewClient("batcher", kCacheBytes);
+    auto t0 = std::chrono::steady_clock::now();
+    constexpr size_t kBatch = 128;
+    for (size_t i = 0; i < hot.size(); i += kBatch) {
+      std::vector<LId> lids(
+          hot.begin() + i,
+          hot.begin() + std::min(hot.size(), i + kBatch));
+      if (!batch_client->ReadMany(lids).ok()) std::abort();
+    }
+    double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    double rate = secs > 0 ? static_cast<double>(hot.size()) / secs : 0;
+    std::printf("\ncoalesced ReadMany cold sweep: %.0f reads/s\n", rate);
+    report.AddStage("readmany_cold_sweep", rate);
+  }
+
+  uint64_t hits = HitCounter()->Value() - hits0;
+  uint64_t misses = MissCounter()->Value() - misses0;
+  double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0;
+  std::printf("\nread cache: %llu hits, %llu misses (%.1f%% hit rate); "
+              "hot-tail speedup %.1fx (acceptance bar: 10x)\n",
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(misses), hit_rate * 100,
+              speedup_hot_tail);
+
+  report.SetThroughput(peak);
+  report.AddExtra("read_cache_hits", static_cast<double>(hits));
+  report.AddExtra("read_cache_misses", static_cast<double>(misses));
+  report.AddExtra("read_cache_hit_rate", hit_rate);
+  report.AddExtra("speedup_hot_tail", speedup_hot_tail);
+  if (!report.Write()) return 1;
+  return 0;
+}

@@ -2,6 +2,13 @@
 
 namespace chariots::apps {
 
+namespace {
+/// Records replayed per ReadRange batch. One round of replay work between
+/// head checks; idempotent application makes the exact value a latency
+/// knob, not a correctness one.
+constexpr size_t kReplayBatch = 256;
+}  // namespace
+
 Hyksos::Hyksos(geo::Datacenter* dc) : dc_(dc), client_(dc) {}
 
 Status Hyksos::Put(const std::string& key, const std::string& value) {
@@ -16,33 +23,82 @@ Status Hyksos::Del(const std::string& key) {
   return r.ok() ? Status::OK() : r.status();
 }
 
-Result<geo::GeoRecord> Hyksos::MostRecent(const std::string& key,
-                                          flstore::LId before_lid) {
-  return client_.ReadMostRecent(TagFor(key), before_lid);
+Status Hyksos::RefreshIndex() {
+  std::lock_guard<std::mutex> lock(replay_mu_);
+  while (true) {
+    flstore::LId head = dc_->HeadLid();
+    if (replayed_through_ >= head) return Status::OK();
+    std::vector<geo::GeoRecord> batch =
+        dc_->ReadRange(replayed_through_, kReplayBatch);
+    for (const geo::GeoRecord& record : batch) {
+      bool indexed = false;
+      for (const flstore::Tag& tag : record.tags) {
+        if (tag.key.rfind("kv:", 0) != 0) continue;
+        versions_.Apply(tag.key, tag.value, record.lid);
+        indexed = true;
+      }
+      if (indexed) {
+        meta_[record.lid] =
+            VersionMeta{record.host, record.toid, record.deps};
+      }
+    }
+    if (batch.size() < kReplayBatch) {
+      // The scan reached the head it sampled (skipped positions are junk
+      // fills); anything newer is caught on the next refresh.
+      replayed_through_ = head;
+    } else {
+      replayed_through_ = batch.back().lid + 1;
+    }
+  }
+}
+
+Result<std::string> Hyksos::GetAsOf(const std::string& key,
+                                    flstore::LId snapshot) {
+  std::optional<flstore::Posting> version =
+      versions_.Get(TagFor(key), snapshot);
+  if (!version.has_value()) {
+    return Status::NotFound("no record with tag " + TagFor(key));
+  }
+  // A version-index hit must move the session's causal vector exactly as a
+  // log read of that record would.
+  VersionMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(replay_mu_);
+    auto it = meta_.find(version->lid);
+    if (it != meta_.end()) meta = it->second;
+  }
+  geo::GeoRecord record;
+  record.host = meta.host;
+  record.toid = meta.toid;
+  record.deps = meta.deps;
+  client_.Absorb(record);
+  if (version->value == kDeleted) {
+    return Status::NotFound("key deleted: " + key);
+  }
+  return version->value;
 }
 
 Result<std::string> Hyksos::Get(const std::string& key) {
-  CHARIOTS_ASSIGN_OR_RETURN(geo::GeoRecord record,
-                            client_.ReadMostRecent(TagFor(key)));
-  if (record.body == kDeleted) {
-    return Status::NotFound("key deleted: " + key);
-  }
-  return record.body;
+  flstore::LId snapshot = client_.Head();
+  CHARIOTS_RETURN_IF_ERROR(RefreshIndex());
+  return GetAsOf(key, snapshot);
 }
 
 Result<std::map<std::string, std::string>> Hyksos::GetTxn(
     const std::vector<std::string>& keys) {
   // Algorithm 1: pin the head-of-log position (no gaps below it — the
   // queues assign LIds consecutively), then read each key as of that
-  // position.
+  // position. All lookups hit the version index, so the whole transaction
+  // costs one replay catch-up plus K memory lookups.
   flstore::LId snapshot = client_.Head();
+  CHARIOTS_RETURN_IF_ERROR(RefreshIndex());
   std::map<std::string, std::string> out;
   for (const std::string& key : keys) {
-    Result<geo::GeoRecord> record = MostRecent(key, snapshot);
-    if (record.ok()) {
-      if (record->body != kDeleted) out[key] = record->body;
-    } else if (!record.status().IsNotFound()) {
-      return record.status();
+    Result<std::string> value = GetAsOf(key, snapshot);
+    if (value.ok()) {
+      out[key] = *std::move(value);
+    } else if (!value.status().IsNotFound()) {
+      return value.status();
     }
   }
   return out;

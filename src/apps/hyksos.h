@@ -2,11 +2,14 @@
 #define CHARIOTS_APPS_HYKSOS_H_
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "chariots/client.h"
+#include "flstore/indexer.h"
 
 namespace chariots::apps {
 
@@ -16,6 +19,12 @@ namespace chariots::apps {
 /// carrying a put for it. Get transactions return a consistent snapshot by
 /// pinning a head-of-log position and reading every key as of that
 /// position (paper Algorithm 1).
+///
+/// Reads are served from a key → version-chain index built by replaying the
+/// local log (LogBase-style, DESIGN.md §11): a get is a memory lookup, not
+/// an indexer round trip plus a log read. The log remains the only durable
+/// store — the index is rebuilt by replay and session causality is still
+/// honored by absorbing the causal metadata recorded for each version.
 class Hyksos {
  public:
   /// One Hyksos session on one datacenter. Causal dependencies of what the
@@ -26,7 +35,7 @@ class Hyksos {
   Status Put(const std::string& key, const std::string& value);
 
   /// Reads the most recent value of `key`; NotFound if never written or
-  /// deleted.
+  /// deleted. Served from the replayed version index.
   Result<std::string> Get(const std::string& key);
 
   /// Deletes `key` (appends a tombstone record — the log stays immutable;
@@ -37,6 +46,14 @@ class Hyksos {
   /// requested keys. Keys never written are absent from the result.
   Result<std::map<std::string, std::string>> GetTxn(
       const std::vector<std::string>& keys);
+
+  /// Replays newly committed local-log records into the version index.
+  /// Called implicitly by every get; public so callers can prepay the
+  /// replay cost or tests can assert index state.
+  Status RefreshIndex();
+
+  /// Versions currently held by the replayed index (observability/tests).
+  uint64_t IndexedVersions() const { return versions_.version_count(); }
 
   /// The snapshot position a get transaction would pin right now.
   flstore::LId SnapshotPosition() const { return client_.Head(); }
@@ -50,11 +67,27 @@ class Hyksos {
   /// would collide).
   static constexpr char kDeleted[] = "\x01__deleted__";
 
-  Result<geo::GeoRecord> MostRecent(const std::string& key,
-                                    flstore::LId before_lid);
+  /// Causal metadata of one indexed version, absorbed into the session on
+  /// a version-index hit so causality tracking matches a real log read.
+  struct VersionMeta {
+    geo::DatacenterId host = 0;
+    geo::TOId toid = 0;
+    geo::DepVector deps;
+  };
+
+  /// Version-index read of `key` as of `snapshot` (exclusive). NotFound if
+  /// the key has no version below the snapshot or its latest is a delete.
+  Result<std::string> GetAsOf(const std::string& key, flstore::LId snapshot);
 
   geo::Datacenter* const dc_;
   geo::ChariotsClient client_;
+
+  /// Serializes replay so concurrent gets don't duplicate scan work;
+  /// guards replayed_through_ and meta_ (versions_ has its own lock).
+  mutable std::mutex replay_mu_;
+  flstore::VersionIndex versions_;
+  flstore::LId replayed_through_ = 0;
+  std::unordered_map<flstore::LId, VersionMeta> meta_;
 };
 
 }  // namespace chariots::apps

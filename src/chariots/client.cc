@@ -75,6 +75,11 @@ Result<GeoRecord> ChariotsClient::Read(flstore::LId lid) {
   return record;
 }
 
+void ChariotsClient::Absorb(const GeoRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AbsorbLocked(record);
+}
+
 DepVector ChariotsClient::deps() const {
   std::lock_guard<std::mutex> lock(mu_);
   return deps_;

@@ -45,6 +45,12 @@ class ChariotsClient {
   /// The local log's gap-free head.
   flstore::LId Head() const { return dc_->HeadLid(); }
 
+  /// Folds a record's causal information (host/toid + dependency vector)
+  /// into the session without re-reading it from the log. Used by layers
+  /// that serve reads from their own replay-built indexes (e.g. Hyksos'
+  /// version index) and must still honor session causality.
+  void Absorb(const GeoRecord& record);
+
   /// Snapshot of the session's causal dependency vector (deps()[d] = max
   /// TOId of datacenter d this session has observed).
   DepVector deps() const;

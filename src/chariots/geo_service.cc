@@ -108,6 +108,27 @@ Status GeoServer::Start() {
     return EncodeRecordWithLid(record);
   });
 
+  endpoint_.Handle(kGeoReadRange, [this](const net::NodeId&,
+                                         const std::string& payload)
+                                      -> Result<std::string> {
+    BinaryReader r(payload);
+    flstore::LId from = 0;
+    uint32_t limit = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&from));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&limit));
+    // Bound the response: a huge limit must not turn into an unbounded
+    // payload. Clients loop on the truncated result.
+    constexpr uint32_t kMaxRangeRecords = 4096;
+    std::vector<GeoRecord> records =
+        dc_->ReadRange(from, std::min(limit, kMaxRangeRecords));
+    BinaryWriter out;
+    out.PutU32(static_cast<uint32_t>(records.size()));
+    for (const GeoRecord& record : records) {
+      out.PutBytes(EncodeRecordWithLid(record));
+    }
+    return std::move(out).data();
+  });
+
   endpoint_.Handle(kGeoHead, [this](const net::NodeId&, const std::string&)
                                  -> Result<std::string> {
     BinaryWriter out;
@@ -244,6 +265,29 @@ Result<std::string> GeoRpcClient::Metrics() {
 
 Result<std::string> GeoRpcClient::Trace() {
   return endpoint_.Call(server_, kGeoTrace, "");
+}
+
+Result<std::vector<GeoRecord>> GeoRpcClient::ReadRange(flstore::LId from,
+                                                       size_t limit) {
+  BinaryWriter w;
+  w.PutU64(from);
+  w.PutU32(static_cast<uint32_t>(limit));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      endpoint_.Call(server_, kGeoReadRange, std::move(w).data()));
+  BinaryReader r(payload);
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  std::vector<GeoRecord> records;
+  records.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string bytes;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&bytes));
+    CHARIOTS_ASSIGN_OR_RETURN(GeoRecord record, DecodeRecordWithLid(bytes));
+    Absorb(record);
+    records.push_back(std::move(record));
+  }
+  return records;
 }
 
 Result<std::vector<flstore::Posting>> GeoRpcClient::Lookup(

@@ -21,6 +21,9 @@ enum GeoOpcode : uint16_t {
   kGeoReadByToid = 54, ///< u32 host + u64 toid -> encoded GeoRecord + lid
   kGeoMetrics = 55,    ///< () -> process metrics snapshot as JSON
   kGeoTrace = 56,      ///< () -> sampled record traces as JSON
+  /// Batched range read: u64 from + u32 limit -> u32 n + n × (record +
+  /// lid). N sequential reads cost one round trip instead of N.
+  kGeoReadRange = 57,
 };
 
 /// Hosts a Datacenter's client API on the RPC fabric, so application
@@ -66,6 +69,10 @@ class GeoRpcClient {
 
   Result<std::vector<flstore::Posting>> Lookup(
       const flstore::IndexQuery& query);
+
+  /// Batched range read: up to `limit` records in [from, head), in one
+  /// round trip, absorbing causal dependencies from every record returned.
+  Result<std::vector<GeoRecord>> ReadRange(flstore::LId from, size_t limit);
 
   /// Most recent record with `tag_key` as of `before_lid` (kInvalidLId =
   /// current head), absorbing causal dependencies.

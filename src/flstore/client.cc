@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
+#include <optional>
 #include <thread>
 
 #include "common/codec.h"
@@ -15,7 +17,8 @@ FLStoreClient::FLStoreClient(net::Transport* transport, net::NodeId node,
       options_(options),
       channel_(&endpoint_, options_.retry,
                options_.clock != nullptr ? options_.clock
-                                         : SystemClock::Default()) {}
+                                         : SystemClock::Default()),
+      read_cache_(options_.read_cache_bytes) {}
 
 void FLStoreClient::PutToken(BinaryWriter* w) {
   // The endpoint's fabric address is unique, so it doubles as the client id.
@@ -163,24 +166,103 @@ Result<LId> FLStoreClient::AppendOrdered(const LogRecord& record,
   return lid;
 }
 
+void FLStoreClient::CacheReadResponse(LId lid, uint32_t stripe,
+                                      uint64_t epoch, uint64_t hl,
+                                      const std::string& rec_bytes) {
+  // Observe the epoch BEFORE inserting: if this response reveals a
+  // failover, stale tail entries for the stripe are purged first and the
+  // fresh record is cached under the new epoch.
+  read_cache_.ObserveEpoch(stripe, epoch);
+  read_cache_.Put(lid, rec_bytes, stripe, epoch, /*permanent=*/lid < hl);
+}
+
 Result<LogRecord> FLStoreClient::Read(LId lid) {
+  if (std::optional<std::string> cached = read_cache_.Get(lid)) {
+    return DecodeLogRecord(lid, *cached);
+  }
   CHARIOTS_ASSIGN_OR_RETURN(uint32_t index, IndexForLId(lid));
   BinaryWriter w;
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
       CallMaintainerIndex(index, kRead, std::move(w).data()));
-  return DecodeLogRecord(lid, payload);
+  BinaryReader r(payload);
+  uint64_t epoch = 0, hl = 0;
+  std::string rec_bytes;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+  CacheReadResponse(lid, index, epoch, hl, rec_bytes);
+  return DecodeLogRecord(lid, rec_bytes);
 }
 
 Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
+  if (std::optional<std::string> cached = read_cache_.Get(lid)) {
+    return DecodeLogRecord(lid, *cached);
+  }
   CHARIOTS_ASSIGN_OR_RETURN(uint32_t index, IndexForLId(lid));
   BinaryWriter w;
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
       CallMaintainerIndex(index, kReadCommitted, std::move(w).data()));
-  return DecodeLogRecord(lid, payload);
+  BinaryReader r(payload);
+  uint64_t epoch = 0, hl = 0;
+  std::string rec_bytes;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+  CacheReadResponse(lid, index, epoch, hl, rec_bytes);
+  return DecodeLogRecord(lid, rec_bytes);
+}
+
+Result<std::vector<LogRecord>> FLStoreClient::ReadMany(
+    const std::vector<LId>& lids) {
+  std::vector<LogRecord> records(lids.size());
+  // Cache pass first; group the misses by stripe for coalesced fetches.
+  std::map<uint32_t, std::vector<size_t>> misses_by_stripe;
+  for (size_t i = 0; i < lids.size(); ++i) {
+    if (std::optional<std::string> cached = read_cache_.Get(lids[i])) {
+      CHARIOTS_ASSIGN_OR_RETURN(records[i],
+                                DecodeLogRecord(lids[i], *cached));
+      continue;
+    }
+    CHARIOTS_ASSIGN_OR_RETURN(uint32_t index, IndexForLId(lids[i]));
+    misses_by_stripe[index].push_back(i);
+  }
+  // One kReadRange round trip per stripe covers every miss.
+  for (const auto& [index, positions] : misses_by_stripe) {
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(positions.size()));
+    for (size_t pos : positions) w.PutU64(lids[pos]);
+    CHARIOTS_ASSIGN_OR_RETURN(
+        std::string payload,
+        CallMaintainerIndex(index, kReadRange, std::move(w).data()));
+    BinaryReader r(payload);
+    uint64_t epoch = 0, hl = 0;
+    uint32_t n = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    if (n != positions.size()) {
+      return Status::Internal("kReadRange response count mismatch");
+    }
+    for (size_t pos : positions) {
+      LId lid = 0;
+      uint8_t found = 0;
+      CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+      CHARIOTS_RETURN_IF_ERROR(r.GetU8(&found));
+      if (found == 0) {
+        return Status::NotFound("no record at lid");
+      }
+      std::string rec_bytes;
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
+      CacheReadResponse(lid, index, epoch, hl, rec_bytes);
+      CHARIOTS_ASSIGN_OR_RETURN(records[pos],
+                                DecodeLogRecord(lid, rec_bytes));
+    }
+  }
+  return records;
 }
 
 Result<LId> FLStoreClient::HeadOfLog() {
@@ -212,13 +294,10 @@ Result<std::vector<Posting>> FLStoreClient::Lookup(const IndexQuery& query) {
 Result<std::vector<LogRecord>> FLStoreClient::ReadByTag(
     const IndexQuery& query) {
   CHARIOTS_ASSIGN_OR_RETURN(std::vector<Posting> postings, Lookup(query));
-  std::vector<LogRecord> records;
-  records.reserve(postings.size());
-  for (const Posting& p : postings) {
-    CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, Read(p.lid));
-    records.push_back(std::move(record));
-  }
-  return records;
+  std::vector<LId> lids;
+  lids.reserve(postings.size());
+  for (const Posting& p : postings) lids.push_back(p.lid);
+  return ReadMany(lids);
 }
 
 }  // namespace chariots::flstore

@@ -8,6 +8,7 @@
 
 #include "common/codec.h"
 #include "flstore/controller.h"
+#include "flstore/read_cache.h"
 #include "flstore/indexer.h"
 #include "flstore/service.h"
 #include "flstore/types.h"
@@ -32,6 +33,11 @@ struct ClientOptions {
   /// Pause before each layout refresh, giving an in-flight failover time to
   /// commit.
   int64_t failover_backoff_nanos = 20'000'000;  // 20 ms
+  /// Byte budget of the client-side read-through cache (0 disables it).
+  /// Entries below the head of the log are immutable and served locally
+  /// forever; tail entries are purged when their stripe's fence epoch
+  /// advances (piggybacked on every read response — see read_cache.h).
+  uint64_t read_cache_bytes = 4ull << 20;
 };
 
 /// The linked client library of the paper (§3, §5.1): an application client
@@ -66,11 +72,18 @@ class FLStoreClient {
   /// `min_lid` (paper §5.4). Returns the LId, or kInvalidLId if deferred.
   Result<LId> AppendOrdered(const LogRecord& record, LId min_lid);
 
-  /// Reads a record by its LId, routing via the striping journal.
+  /// Reads a record by its LId, routing via the striping journal. Served
+  /// from the local read-through cache when possible.
   Result<LogRecord> Read(LId lid);
 
   /// Gap-safe read: only positions below the Head of the Log.
   Result<LogRecord> ReadCommitted(LId lid);
+
+  /// Batched read: coalesces the (cache-missing) lids into one kReadRange
+  /// call per stripe, so N reads cost at most one round trip per stripe
+  /// instead of N. Results come back in input order; NotFound if any lid
+  /// has no record.
+  Result<std::vector<LogRecord>> ReadMany(const std::vector<LId>& lids);
 
   /// Current Head of the Log (asks a maintainer).
   Result<LId> HeadOfLog();
@@ -90,6 +103,10 @@ class FLStoreClient {
   /// Retries performed across all calls (observability/testing).
   uint64_t retries() const { return channel_.retries(); }
 
+  /// Read-through cache occupancy (observability/testing).
+  uint64_t read_cache_entries() const { return read_cache_.entries(); }
+  uint64_t read_cache_bytes() const { return read_cache_.bytes(); }
+
  private:
   /// Stripe index an append goes to (round-robin). Calls are keyed by
   /// *index*, not node: the index is stable across failover, so a retry
@@ -104,12 +121,18 @@ class FLStoreClient {
                                           const std::string& payload);
   /// Next (client_id, seq) append token; stamped into a BinaryWriter.
   void PutToken(BinaryWriter* w);
+  /// Folds one read response's piggybacked (epoch, hl) into the cache and
+  /// stores the record bytes under `lid`.
+  void CacheReadResponse(LId lid, uint32_t stripe, uint64_t epoch,
+                         uint64_t hl, const std::string& rec_bytes);
 
   net::RpcEndpoint endpoint_;
   const net::NodeId controller_;
   const ClientOptions options_;
   net::RetryingChannel channel_;
   std::atomic<uint64_t> op_seq_{0};
+  /// LId-keyed read-through cache (own internal lock; see read_cache.h).
+  ClientReadCache read_cache_;
 
   mutable std::mutex mu_;
   ClusterInfo info_;

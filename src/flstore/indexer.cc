@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/codec.h"
+#include "common/metrics.h"
 
 namespace chariots::flstore {
 
@@ -146,6 +147,73 @@ void Indexer::TruncateBelow(LId horizon) {
 }
 
 uint64_t Indexer::posting_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+namespace {
+metrics::Gauge* VersionIndexGauge() {
+  static metrics::Gauge* g = metrics::Registry::Default().GetGauge(
+      "chariots.flstore.version_index.versions");
+  return g;
+}
+}  // namespace
+
+void VersionIndex::Apply(const std::string& key, const std::string& value,
+                         LId lid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Posting>& chain = chains_[key];
+  // Common case: replay visits the log in increasing lid order.
+  if (chain.empty() || chain.back().lid < lid) {
+    chain.push_back(Posting{lid, value});
+    ++count_;
+    VersionIndexGauge()->Add(1);
+    return;
+  }
+  auto it = std::lower_bound(
+      chain.begin(), chain.end(), lid,
+      [](const Posting& p, LId l) { return p.lid < l; });
+  if (it != chain.end() && it->lid == lid) return;  // idempotent
+  chain.insert(it, Posting{lid, value});
+  ++count_;
+  VersionIndexGauge()->Add(1);
+}
+
+std::optional<Posting> VersionIndex::Get(const std::string& key,
+                                         LId before_lid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return std::nullopt;
+  const std::vector<Posting>& chain = it->second;
+  auto end = before_lid == kInvalidLId
+                 ? chain.end()
+                 : std::lower_bound(
+                       chain.begin(), chain.end(), before_lid,
+                       [](const Posting& p, LId l) { return p.lid < l; });
+  if (end == chain.begin()) return std::nullopt;
+  return *std::prev(end);
+}
+
+void VersionIndex::TruncateBelow(LId horizon) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    std::vector<Posting>& chain = it->second;
+    auto keep = std::lower_bound(
+        chain.begin(), chain.end(), horizon,
+        [](const Posting& p, LId l) { return p.lid < l; });
+    uint64_t dropped = static_cast<uint64_t>(keep - chain.begin());
+    count_ -= dropped;
+    VersionIndexGauge()->Add(-static_cast<int64_t>(dropped));
+    chain.erase(chain.begin(), keep);
+    if (chain.empty()) {
+      it = chains_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t VersionIndex::version_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return count_;
 }

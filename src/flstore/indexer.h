@@ -73,6 +73,39 @@ class Indexer {
   uint64_t count_ = 0;
 };
 
+/// Multiversion key → version-chain index (LogBase-style, DESIGN.md §11):
+/// the log stays the only durable store; this index is rebuilt by log
+/// replay and turns point reads into memory lookups. Each key's versions
+/// are kept sorted ascending by LId, so "current value as of snapshot X"
+/// is a binary search — exactly the shape Hyksos get-transactions need.
+class VersionIndex {
+ public:
+  VersionIndex() = default;
+
+  VersionIndex(const VersionIndex&) = delete;
+  VersionIndex& operator=(const VersionIndex&) = delete;
+
+  /// Records that `key` took `value` at log position `lid`. Idempotent per
+  /// (key, lid) — replay may revisit records.
+  void Apply(const std::string& key, const std::string& value, LId lid);
+
+  /// Most recent version of `key` strictly below `before_lid`
+  /// (kInvalidLId = no bound). nullopt if the key has no such version.
+  std::optional<Posting> Get(const std::string& key,
+                             LId before_lid = kInvalidLId) const;
+
+  /// Drops versions with lid < horizon (GC alongside the log).
+  void TruncateBelow(LId horizon);
+
+  uint64_t version_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  // key -> versions sorted ascending by lid.
+  std::map<std::string, std::vector<Posting>> chains_;
+  uint64_t count_ = 0;
+};
+
 /// The partition function: which of `num_indexers` indexers champions `key`.
 uint32_t IndexerForKey(const std::string& key, uint32_t num_indexers);
 

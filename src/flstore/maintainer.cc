@@ -1,15 +1,29 @@
 #include "flstore/maintainer.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace chariots::flstore {
+
+namespace {
+
+metrics::Gauge* ReadIndexEntriesGauge() {
+  static metrics::Gauge* g = metrics::Registry::Default().GetGauge(
+      "chariots.flstore.read_index.entries");
+  return g;
+}
+
+}  // namespace
 
 LogMaintainer::LogMaintainer(MaintainerOptions options)
     : options_(options),
       journal_(options.journal),
-      store_(options.store) {
+      store_(HookedStoreOptions(std::move(options.store))),
+      tail_cache_(TailCacheOptions{options.tail_cache_bytes,
+                                   options.tail_cache_records}) {
   size_t epochs = journal_.num_epochs();
   assign_next_.assign(epochs, 0);
   filled_contig_.assign(epochs, 0);
@@ -18,21 +32,57 @@ LogMaintainer::LogMaintainer(MaintainerOptions options)
       std::max<size_t>(journal_.MaxMaintainers(), options.index + 1), 0);
 }
 
+storage::LogStoreOptions LogMaintainer::HookedStoreOptions(
+    storage::LogStoreOptions store) {
+  // The hooks run under the store lock while Open() holds mu_ exclusively,
+  // so plain read_index_ mutation is safe. They must not call back into the
+  // store (see LogStoreOptions).
+  store.on_recovered_record = [this](uint64_t lid,
+                                     const storage::RecordLocation& loc) {
+    IndexPutLocked(lid, loc);
+  };
+  store.on_recovered_tombstone = [this](uint64_t lid) {
+    IndexEraseLocked(lid);
+  };
+  return store;
+}
+
+void LogMaintainer::IndexPutLocked(LId lid,
+                                   const storage::RecordLocation& loc) {
+  auto [it, inserted] = read_index_.insert_or_assign(lid, loc);
+  (void)it;
+  if (inserted) ReadIndexEntriesGauge()->Add(1);
+}
+
+void LogMaintainer::IndexEraseLocked(LId lid) {
+  if (read_index_.erase(lid) != 0) ReadIndexEntriesGauge()->Add(-1);
+}
+
+void LogMaintainer::IndexClearLocked() {
+  ReadIndexEntriesGauge()->Add(-static_cast<int64_t>(read_index_.size()));
+  read_index_.clear();
+}
+
 Status LogMaintainer::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  IndexClearLocked();  // the recovery-scan hooks repopulate it
   CHARIOTS_RETURN_IF_ERROR(store_.Open());
   RebuildStateLocked();
   return Status::OK();
 }
 
 Status LogMaintainer::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   CHARIOTS_RETURN_IF_ERROR(store_.Close());
   // Crash semantics: buffered ordered appends that never landed are lost
   // (the client never got an LId for them, so it retries), and knowledge of
-  // peers is stale on restart — gossip repopulates it.
+  // peers is stale on restart — gossip repopulates it. The read index and
+  // tail cache die with the process image.
   deferred_.clear();
+  IndexClearLocked();
+  tail_cache_.Clear();
   std::fill(gossip_.begin(), gossip_.end(), 0);
+  RefreshHlLocked();
   return Status::OK();
 }
 
@@ -40,14 +90,22 @@ void LogMaintainer::RebuildStateLocked() {
   std::fill(assign_next_.begin(), assign_next_.end(), 0);
   std::fill(filled_contig_.begin(), filled_contig_.end(), 0);
   for (auto& pending : filled_pending_) pending.clear();
-  // Rebuild fill/assignment state from the stored records.
-  for (LId lid : store_.ListLids()) {
+  // Rebuild fill/assignment state from the read index, which mirrors the
+  // store exactly (populated by the recovery-scan hooks or the append
+  // path) — no second pass over the store.
+  for (const auto& [lid, loc] : read_index_) {
     SlotRef ref = journal_.SlotFor(lid);
     MarkFilledLocked(ref);
     assign_next_[ref.epoch_index] =
         std::max(assign_next_[ref.epoch_index], ref.slot + 1);
   }
   gossip_[options_.index] = FirstUnfilledGlobalLocked();
+  RefreshHlLocked();
+}
+
+void LogMaintainer::RefreshHlLocked() {
+  hl_cache_.store(*std::min_element(gossip_.begin(), gossip_.end()),
+                  std::memory_order_release);
 }
 
 Result<LId> LogMaintainer::NextAssignableGlobalLocked() const {
@@ -144,13 +202,18 @@ Status LogMaintainer::AppendBatchLocked(const LogRecord* records, size_t n,
     encoded.push_back(EncodeLogRecord(records[i]));
     entries.push_back(storage::AppendEntry{(*lids)[i], encoded.back()});
   }
-  Status status = store_.AppendBatch(entries);
+  std::vector<storage::RecordLocation> locations;
+  Status status = store_.AppendBatch(entries, &locations);
   if (!status.ok()) {
     for (auto it = runs.rbegin(); it != runs.rend(); ++it) {
       assign_next_[it->epoch_index] = it->first_slot;
     }
     lids->clear();
     return status;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    IndexPutLocked((*lids)[i], locations[i]);
+    tail_cache_.Put((*lids)[i], std::move(encoded[i]));
   }
 
   for (const AssignRun& run : runs) {
@@ -159,6 +222,7 @@ Status LogMaintainer::AppendBatchLocked(const LogRecord* records, size_t n,
     }
   }
   gossip_[options_.index] = FirstUnfilledGlobalLocked();
+  RefreshHlLocked();
   return Status::OK();
 }
 
@@ -173,7 +237,7 @@ Result<std::vector<LId>> LogMaintainer::AppendBatch(
   if (records.empty()) return std::vector<LId>{};
   std::vector<std::pair<LogRecord, LId>> landed;
   Result<std::vector<LId>> result = [&]() -> Result<std::vector<LId>> {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     std::vector<LId> lids;
     CHARIOTS_RETURN_IF_ERROR(
         AppendBatchLocked(records.data(), records.size(), &lids));
@@ -197,7 +261,7 @@ Result<std::vector<LId>> LogMaintainer::AppendBatch(
 Result<LId> LogMaintainer::Append(const LogRecord& record) {
   std::vector<std::pair<LogRecord, LId>> landed;
   Result<LId> result = [&]() -> Result<LId> {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, AppendLocked(record));
     landed.emplace_back(record, lid);
     auto drained = DrainDeferredLocked();
@@ -215,7 +279,7 @@ Result<LId> LogMaintainer::AppendOrdered(const LogRecord& record,
                                          LId min_lid) {
   std::vector<std::pair<LogRecord, LId>> landed;
   Result<LId> result = [&]() -> Result<LId> {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     CHARIOTS_ASSIGN_OR_RETURN(LId next, NextAssignableGlobalLocked());
     if (next > min_lid) {
       CHARIOTS_ASSIGN_OR_RETURN(LId lid, AppendLocked(record));
@@ -257,16 +321,22 @@ std::vector<std::pair<LogRecord, LId>> LogMaintainer::DrainDeferredLocked() {
 Status LogMaintainer::AppendAt(LId lid, const LogRecord& record) {
   std::vector<std::pair<LogRecord, LId>> landed;
   Status status = [&]() -> Status {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     if (journal_.MaintainerFor(lid) != options_.index) {
       return Status::OutOfRange("lid not owned by this maintainer");
     }
-    CHARIOTS_RETURN_IF_ERROR(store_.Append(lid, EncodeLogRecord(record)));
+    std::string encoded = EncodeLogRecord(record);
+    storage::AppendEntry entry{lid, encoded};
+    std::vector<storage::RecordLocation> locations;
+    CHARIOTS_RETURN_IF_ERROR(store_.AppendBatch({&entry, 1}, &locations));
+    IndexPutLocked(lid, locations[0]);
+    tail_cache_.Put(lid, std::move(encoded));
     SlotRef ref = journal_.SlotFor(lid);
     MarkFilledLocked(ref);
     assign_next_[ref.epoch_index] =
         std::max(assign_next_[ref.epoch_index], ref.slot + 1);
     gossip_[options_.index] = FirstUnfilledGlobalLocked();
+    RefreshHlLocked();
     landed.emplace_back(record, lid);
     return Status::OK();
   }();
@@ -282,7 +352,7 @@ Result<std::vector<LId>> LogMaintainer::FillHoles(const LogRecord& junk) {
   // state, gossip refresh, observer).
   std::vector<LId> holes;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::shared_mutex> lock(mu_);
     for (size_t e = 0; e < journal_.num_epochs(); ++e) {
       const std::set<uint64_t>& pending = filled_pending_[e];
       for (uint64_t slot = filled_contig_[e]; slot < assign_next_[e];
@@ -307,47 +377,55 @@ Result<std::vector<LId>> LogMaintainer::FillHoles(const LogRecord& junk) {
 }
 
 Result<LogRecord> LogMaintainer::Read(LId lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (journal_.MaintainerFor(lid) != options_.index) {
-    return Status::OutOfRange("lid not owned by this maintainer");
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (journal_.MaintainerFor(lid) != options_.index) {
+      return Status::OutOfRange("lid not owned by this maintainer");
+    }
+    if (read_index_.find(lid) == read_index_.end()) {
+      return Status::NotFound("no record at lid");
+    }
   }
+  // Lock released: the hot path below never holds mu_, so readers contend
+  // with neither appends nor each other.
+  if (std::optional<std::string> cached = tail_cache_.Get(lid)) {
+    return DecodeLogRecord(lid, *cached);
+  }
+  // Cold read straight off the store (pread under its shared lock). A
+  // concurrent Remove may have won the race — surface its NotFound.
   CHARIOTS_ASSIGN_OR_RETURN(std::string payload, store_.Get(lid));
   return DecodeLogRecord(lid, payload);
 }
 
 Result<LogRecord> LogMaintainer::ReadCommitted(LId lid) const {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    LId hl = *std::min_element(gossip_.begin(), gossip_.end());
-    if (lid >= hl) {
-      return Status::Unavailable(
-          "lid is at or beyond the head of the log (possible gaps)");
-    }
+  if (lid >= hl_cache_.load(std::memory_order_acquire)) {
+    return Status::Unavailable(
+        "lid is at or beyond the head of the log (possible gaps)");
   }
   return Read(lid);
 }
 
 LId LogMaintainer::FirstUnfilledGlobal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return FirstUnfilledGlobalLocked();
 }
 
 void LogMaintainer::OnGossip(uint32_t peer_index, LId peer_first_unfilled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (peer_index >= gossip_.size()) {
     gossip_.resize(peer_index + 1, 0);
   }
   // Monotone: gossip may arrive out of order.
   gossip_[peer_index] = std::max(gossip_[peer_index], peer_first_unfilled);
+  RefreshHlLocked();
 }
 
 LId LogMaintainer::HeadOfLog() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return *std::min_element(gossip_.begin(), gossip_.end());
+  return hl_cache_.load(std::memory_order_acquire);
 }
 
 Status LogMaintainer::AddEpoch(const StripeEpoch& epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   CHARIOTS_RETURN_IF_ERROR(journal_.AddEpoch(epoch));
   assign_next_.push_back(0);
   filled_contig_.push_back(0);
@@ -356,6 +434,7 @@ Status LogMaintainer::AddEpoch(const StripeEpoch& epoch) {
     gossip_.resize(journal_.MaxMaintainers(), 0);
   }
   gossip_[options_.index] = FirstUnfilledGlobalLocked();
+  RefreshHlLocked();
   return Status::OK();
 }
 
@@ -365,40 +444,79 @@ void LogMaintainer::SetAppendObserver(
 }
 
 Status LogMaintainer::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   return store_.Sync();
 }
 
 Status LogMaintainer::TruncateBelow(LId horizon,
                                     const std::string& archive_path) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return store_.TruncateBelow(horizon, archive_path);
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  CHARIOTS_RETURN_IF_ERROR(store_.TruncateBelow(horizon, archive_path));
+  // GC drops whole segments; prune index entries the store no longer has.
+  for (auto it = read_index_.begin(); it != read_index_.end();) {
+    if (it->first < horizon && !store_.Contains(it->first)) {
+      tail_cache_.Invalidate(it->first);
+      ReadIndexEntriesGauge()->Add(-1);
+      it = read_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<LId> LogMaintainer::StoredLids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return store_.ListLids();
 }
 
 Status LogMaintainer::Remove(LId lid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   CHARIOTS_RETURN_IF_ERROR(store_.Remove(lid));
+  IndexEraseLocked(lid);
+  tail_cache_.Invalidate(lid);
   RebuildStateLocked();
   return Status::OK();
 }
 
+void LogMaintainer::InvalidateTailCache() { tail_cache_.Clear(); }
+
+Status LogMaintainer::VerifyReadIndex() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<LId> lids = store_.ListLids();
+  if (lids.size() != read_index_.size()) {
+    return Status::Internal("read index / store size mismatch");
+  }
+  for (LId lid : lids) {
+    auto it = read_index_.find(lid);
+    if (it == read_index_.end()) {
+      return Status::Internal("stored lid missing from read index");
+    }
+    CHARIOTS_ASSIGN_OR_RETURN(storage::RecordLocation loc, store_.Locate(lid));
+    if (!(loc == it->second)) {
+      return Status::Internal("read index location disagrees with store");
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t LogMaintainer::ReadIndexEntries() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return read_index_.size();
+}
+
 uint64_t LogMaintainer::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return store_.count();
 }
 
 EpochJournal LogMaintainer::journal() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return journal_;
 }
 
 size_t LogMaintainer::deferred_ordered() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return deferred_.size();
 }
 

@@ -1,16 +1,20 @@
 #ifndef CHARIOTS_FLSTORE_MAINTAINER_H_
 #define CHARIOTS_FLSTORE_MAINTAINER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "flstore/read_cache.h"
 #include "flstore/striping.h"
 #include "flstore/types.h"
 #include "storage/log_store.h"
@@ -25,6 +29,10 @@ struct MaintainerOptions {
   EpochJournal journal{1, 1000};
   /// Storage engine configuration (in-memory or persistent).
   storage::LogStoreOptions store;
+  /// Tail-cache bounds (read path, DESIGN.md §11). Zero disables the cache
+  /// (the bench baseline); defaults keep the hot tail of a stripe in RAM.
+  uint64_t tail_cache_bytes = 4ull << 20;
+  uint64_t tail_cache_records = 4096;
 };
 
 /// A log maintainer (paper §5.2): owns the deterministic round-robin ranges
@@ -90,7 +98,13 @@ class LogMaintainer {
   /// and index like any landed record.
   Result<std::vector<LId>> FillHoles(const LogRecord& junk);
 
-  /// Raw read: the record at `lid` regardless of gaps before it.
+  /// Raw read: the record at `lid` regardless of gaps before it. Memory
+  /// speed on the hot tail: ownership + presence are answered from the
+  /// in-memory read index under a shared lock (concurrent readers never
+  /// serialize against each other), the payload comes from the tail cache
+  /// when present, and only a cold read falls through to the segment store
+  /// (pread under the store's own shared lock — the maintainer lock is NOT
+  /// held across disk I/O).
   Result<LogRecord> Read(LId lid) const;
 
   /// Gap-safe read (paper §5.4): fails with Unavailable if `lid >=
@@ -109,7 +123,8 @@ class LogMaintainer {
 
   /// The Head of the Log: every position < HL is filled somewhere in the
   /// cluster (min over the gossip vector). Records below HL are safe to
-  /// read in log order with no gaps.
+  /// read in log order with no gaps. Lock-free: served from an atomic
+  /// refreshed on every gossip/fill-state change.
   LId HeadOfLog() const;
 
   /// Installs a future striping epoch (live elasticity, §6.3).
@@ -132,6 +147,22 @@ class LogMaintainer {
   /// state. Used by datacenter crash recovery to discard records beyond a
   /// hole in the recovered prefix.
   Status Remove(LId lid);
+
+  /// Drops every tail-cache entry. Called at epoch-fence transitions
+  /// (promotion/demotion) so a node changing roles re-reads through the
+  /// store instead of serving a possibly-superseded tail.
+  void InvalidateTailCache();
+
+  /// Asserts the read index and the segment store agree exactly (same lid
+  /// set, same locations). Recovery/diagnostic check; O(n).
+  Status VerifyReadIndex() const;
+
+  /// Read-index size (test/diagnostic helper).
+  uint64_t ReadIndexEntries() const;
+
+  /// Tail-cache occupancy (test/diagnostic helpers).
+  uint64_t TailCacheBytes() const { return tail_cache_.bytes(); }
+  uint64_t TailCacheEntries() const { return tail_cache_.entries(); }
 
   uint64_t count() const;
   uint32_t index() const { return options_.index; }
@@ -166,6 +197,15 @@ class LogMaintainer {
   Status AppendBatchLocked(const LogRecord* records, size_t n,
                            std::vector<LId>* lids);
   void RebuildStateLocked();
+  /// Re-derives the lock-free HL snapshot from gossip_. Must be called
+  /// after every mutation of gossip_.
+  void RefreshHlLocked();
+  void IndexPutLocked(LId lid, const storage::RecordLocation& loc);
+  void IndexEraseLocked(LId lid);
+  void IndexClearLocked();
+  /// Store options with recovery observers attached, so the read index is
+  /// rebuilt in the same single pass as segment recovery (no second scan).
+  storage::LogStoreOptions HookedStoreOptions(storage::LogStoreOptions store);
   Result<LId> AppendLocked(const LogRecord& record);
   void MarkFilledLocked(SlotRef ref);
   LId FirstUnfilledGlobalLocked() const;
@@ -175,9 +215,22 @@ class LogMaintainer {
 
   MaintainerOptions options_;
 
-  mutable std::mutex mu_;
+  /// Reader–writer lock: Read/ReadCommitted and the metadata accessors take
+  /// it shared; appends, gossip ingestion, and recovery take it exclusive.
+  mutable std::shared_mutex mu_;
   EpochJournal journal_;
   storage::LogStore store_;
+  /// LId → payload location, in lockstep with the store: populated by the
+  /// append path, rebuilt by the recovery-scan hooks, pruned by Remove and
+  /// TruncateBelow. Guarded by mu_. Answers presence/ownership without
+  /// touching the store and feeds RebuildStateLocked without a ListLids
+  /// pass.
+  std::unordered_map<LId, storage::RecordLocation> read_index_;
+  /// Recently appended payloads (own internal lock; see read_cache.h).
+  TailCache tail_cache_;
+  /// Lock-free HL snapshot (min over gossip_), kept fresh by
+  /// RefreshHlLocked so ReadCommitted/HeadOfLog never take mu_.
+  std::atomic<LId> hl_cache_{0};
   // Post-assignment cursor: for each epoch, the next slot to hand out.
   std::vector<uint64_t> assign_next_;
   // Fill tracking: contiguous filled slot count per epoch + out-of-order

@@ -1,5 +1,7 @@
 #include "flstore/service.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -119,6 +121,16 @@ Result<StripeEpoch> DecodeEpoch(std::string_view data) {
 
 // ---------------------------------------------------------------- maintainer
 
+
+/// Highest position in a replicated batch (kInvalidLId when empty).
+LId BatchTop(const std::vector<ReplicatedEntry>& batch) {
+  LId top = kInvalidLId;
+  for (const ReplicatedEntry& entry : batch) {
+    if (top == kInvalidLId || entry.lid > top) top = entry.lid;
+  }
+  return top;
+}
+
 MaintainerServer::MaintainerServer(net::Transport* transport,
                                    MaintainerOptions maintainer,
                                    Options options)
@@ -226,8 +238,10 @@ void MaintainerServer::InstallHandlers() {
       CHARIOTS_ASSIGN_OR_RETURN(lid, maintainer_.Append(record));
     }
     std::string response = EncodeLId(lid);
+    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
         replica_.Replicate(std::move(batch), client_id, seq, response));
+    NoteReplicated(repl_top);
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -263,8 +277,10 @@ void MaintainerServer::InstallHandlers() {
       }
     }
     std::string response = std::move(out).data();
+    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
         replica_.Replicate(std::move(batch), client_id, seq, response));
+    NoteReplicated(repl_top);
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -287,7 +303,9 @@ void MaintainerServer::InstallHandlers() {
       ReplicationScope scope(&batch);
       CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(lid, record));
     }
+    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(replica_.Replicate(std::move(batch), "", 0, ""));
+    NoteReplicated(repl_top);
     return std::string();
   });
 
@@ -321,12 +339,18 @@ void MaintainerServer::InstallHandlers() {
     // Caching a deferred (kInvalidLId) response is deliberate: a retry must
     // not re-buffer the record — the first buffered copy will land.
     std::string response = EncodeLId(lid);
+    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
         replica_.Replicate(std::move(batch), client_id, seq, response));
+    NoteReplicated(repl_top);
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
 
+  // Read responses open with (fence epoch, head of log): the client's
+  // read-through cache keys its invalidation off them — an epoch bump for
+  // the stripe purges cached tail entries, and lids below the piggybacked
+  // HL are immutable and cacheable forever (DESIGN.md §11).
   endpoint_.Handle(kRead, [this](const net::NodeId&,
                                  const std::string& payload)
                               -> Result<std::string> {
@@ -335,7 +359,11 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, maintainer_.Read(lid));
-    return EncodeLogRecord(record);
+    BinaryWriter w;
+    w.PutU64(replica_.epoch());
+    w.PutU64(CacheableHl());
+    w.PutBytes(EncodeLogRecord(record));
+    return std::move(w).data();
   });
 
   endpoint_.Handle(kReadCommitted, [this](const net::NodeId&,
@@ -347,7 +375,46 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               maintainer_.ReadCommitted(lid));
-    return EncodeLogRecord(record);
+    BinaryWriter w;
+    w.PutU64(replica_.epoch());
+    w.PutU64(CacheableHl());
+    w.PutBytes(EncodeLogRecord(record));
+    return std::move(w).data();
+  });
+
+  // Batched multi-get: the whole batch costs one round trip. Per-lid
+  // presence flags let the client distinguish a miss (gap/GC) from an
+  // error; OutOfRange (wrong stripe) is also reported as not-found so a
+  // coalesced batch straddling a stale striping view degrades softly.
+  endpoint_.Handle(kReadRange, [this](const net::NodeId&,
+                                      const std::string& payload)
+                                   -> Result<std::string> {
+    metrics::ScopedLatencyTimer timer(ReadHist());
+    ReadCounter()->Add();
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    BinaryReader r(payload);
+    uint32_t n = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    BinaryWriter w;
+    w.PutU64(replica_.epoch());
+    w.PutU64(CacheableHl());
+    w.PutU32(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      LId lid = 0;
+      CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+      Result<LogRecord> record = maintainer_.Read(lid);
+      w.PutU64(lid);
+      if (record.ok()) {
+        w.PutU8(1);
+        w.PutBytes(EncodeLogRecord(*record));
+      } else if (record.status().code() == StatusCode::kNotFound ||
+                 record.status().code() == StatusCode::kOutOfRange) {
+        w.PutU8(0);
+      } else {
+        return record.status();
+      }
+    }
+    return std::move(w).data();
   });
 
   endpoint_.Handle(kHeadOfLog, [this](const net::NodeId&, const std::string&)
@@ -410,6 +477,9 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
     CHARIOTS_RETURN_IF_ERROR(replica_.Promote(new_epoch));
     PromotionsCounter()->Add();
+    // Role change: drop the cached tail so nothing assembled under the old
+    // epoch can be served by the new primary.
+    maintainer_.InvalidateTailCache();
     CHARIOTS_ASSIGN_OR_RETURN(std::vector<LId> filled,
                               maintainer_.FillHoles(MakeJunkRecord()));
     if (!filled.empty()) {
@@ -456,6 +526,24 @@ void MaintainerServer::InstallHandlers() {
       peers_[index] = node;
     }
   });
+}
+
+void MaintainerServer::NoteReplicated(LId top_lid) {
+  if (top_lid == kInvalidLId) return;
+  LId floor = replicated_floor_.load(std::memory_order_relaxed);
+  while (floor < top_lid + 1 &&
+         !replicated_floor_.compare_exchange_weak(
+             floor, top_lid + 1, std::memory_order_release,
+             std::memory_order_relaxed)) {
+  }
+}
+
+LId MaintainerServer::CacheableHl() const {
+  LId hl = maintainer_.HeadOfLog();
+  if (replica_.replicates()) {
+    hl = std::min(hl, replicated_floor_.load(std::memory_order_acquire));
+  }
+  return hl;
 }
 
 void MaintainerServer::GossipOnce() {

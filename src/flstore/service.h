@@ -21,8 +21,8 @@ enum Opcode : uint16_t {
   kAppend = 1,        ///< record -> u64 lid (post-assignment)
   kAppendAt = 2,      ///< u64 lid + record -> ()
   kAppendOrdered = 3, ///< u64 min_lid + record -> u64 lid (or kInvalidLId)
-  kRead = 4,          ///< u64 lid -> record
-  kReadCommitted = 5, ///< u64 lid -> record (gap-safe)
+  kRead = 4,          ///< u64 lid -> u64 epoch + u64 hl + record
+  kReadCommitted = 5, ///< u64 lid -> u64 epoch + u64 hl + record (gap-safe)
   kHeadOfLog = 6,     ///< () -> u64 HL
   kAddEpoch = 7,      ///< epoch -> ()
   kGossip = 8,        ///< one-way: u32 index + u64 first_unfilled
@@ -36,6 +36,10 @@ enum Opcode : uint16_t {
   kPromote = 16,      ///< u64 new_epoch -> u32 n + n filled lids (to backup)
   kFill = 17,         ///< u64 lid -> () (junk-fill one orphaned position)
   kPeerUpdate = 18,   ///< one-way: u32 index + node (new stripe primary)
+  /// Batched multi-get: u32 n + n u64 lids -> u64 epoch + u64 hl + u32 n +
+  /// n × (u64 lid, u8 found, record if found). One round trip for a whole
+  /// coalesced read batch (the client's ReadMany).
+  kReadRange = 19,
 };
 
 /// Wire encoding of a StripeEpoch (used by kAddEpoch /
@@ -103,6 +107,14 @@ class MaintainerServer {
   void HeartbeatOnce();
   void OnLanded(const LogRecord& record, LId lid);
   void PublishPostings(const LogRecord& record, LId lid);
+  /// Advances the replicated floor past `top_lid` (the highest position of
+  /// a batch the backup just acked; kInvalidLId = empty batch, no-op).
+  void NoteReplicated(LId top_lid);
+  /// The HL value piggybacked on read responses for cacheability. On a
+  /// replicating primary it is capped at the replicated floor: a record the
+  /// backup has not acked yet can still be junk-filled by a promoted
+  /// backup, so clients must not cache it as permanent (read_cache.h).
+  LId CacheableHl() const;
 
   LogMaintainer maintainer_;
   Options options_;
@@ -115,6 +127,9 @@ class MaintainerServer {
   net::RpcEndpoint repl_endpoint_;
   DedupWindow dedup_;
   ReplicaGroup replica_;
+  /// One past the highest position the backup has acked (monotonic). Only
+  /// meaningful while replica_.replicates(); see CacheableHl().
+  std::atomic<LId> replicated_floor_{0};
   std::atomic<bool> stop_{false};
   Executor::TimerToken gossip_token_;
   Executor::TimerToken heartbeat_token_;

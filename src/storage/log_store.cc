@@ -65,7 +65,7 @@ std::string LogStore::SegmentPath(uint64_t segment_id) const {
 }
 
 Status LogStore::Open() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (open_) return Status::FailedPrecondition("LogStore already open");
   if (options_.mode == SyncMode::kMemoryOnly) {
     open_ = true;
@@ -107,7 +107,7 @@ Status LogStore::Open() {
 }
 
 Status LogStore::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!open_) return Status::OK();
   segments_.clear();  // File destructors release the fds
   index_.clear();
@@ -177,13 +177,15 @@ Status LogStore::RecoverSegment(uint64_t segment_id, bool is_last) {
         --count_;
       }
       seg.tombstones.push_back(lid);
+      if (options_.on_recovered_tombstone) options_.on_recovered_tombstone(lid);
     } else {
       // Later frames win (a lid may be rewritten after a tombstone whose
       // segment was garbage collected).
-      auto [it, inserted] = index_.insert_or_assign(
-          lid, Location{segment_id, offset + kFrameHeaderBytes, len});
+      RecordLocation loc{segment_id, offset + kFrameHeaderBytes, len};
+      auto [it, inserted] = index_.insert_or_assign(lid, loc);
       (void)it;
       if (inserted) ++count_;
+      if (options_.on_recovered_record) options_.on_recovered_record(lid, loc);
       seg.min_lid = std::min(seg.min_lid, lid);
       seg.max_lid = std::max(seg.max_lid, lid);
       ++seg.records;
@@ -249,9 +251,11 @@ Status LogStore::Append(uint64_t lid, std::string_view payload) {
   return AppendBatch({&entry, 1});
 }
 
-Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
+Status LogStore::AppendBatch(std::span<const AppendEntry> entries,
+                             std::vector<RecordLocation>* locations) {
+  if (locations != nullptr) locations->clear();
   if (entries.empty()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
 
   if (options_.mode == SyncMode::kMemoryOnly) {
@@ -274,6 +278,10 @@ Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
       mem_bytes_ += e.payload.size();
       ++count_;
       max_lid_ = std::max(max_lid_, e.lid);
+      if (locations != nullptr) {
+        locations->push_back(
+            RecordLocation{0, 0, static_cast<uint32_t>(e.payload.size())});
+      }
     }
     return Status::OK();
   }
@@ -312,8 +320,10 @@ Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
 
   uint64_t offset = base;
   for (const AppendEntry& e : entries) {
-    index_[e.lid] = Location{segment_id, offset + kFrameHeaderBytes,
-                             static_cast<uint32_t>(e.payload.size())};
+    RecordLocation loc{segment_id, offset + kFrameHeaderBytes,
+                       static_cast<uint32_t>(e.payload.size())};
+    index_[e.lid] = loc;
+    if (locations != nullptr) locations->push_back(loc);
     offset += kFrameHeaderBytes + e.payload.size();
     seg.min_lid = std::min(seg.min_lid, e.lid);
     seg.max_lid = std::max(seg.max_lid, e.lid);
@@ -325,7 +335,7 @@ Status LogStore::AppendBatch(std::span<const AppendEntry> entries) {
 }
 
 Status LogStore::Remove(uint64_t lid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) {
     auto it = mem_.find(lid);
@@ -351,7 +361,7 @@ Status LogStore::Remove(uint64_t lid) {
 }
 
 Result<std::string> LogStore::Get(uint64_t lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) {
     auto it = mem_.find(lid);
@@ -360,7 +370,7 @@ Result<std::string> LogStore::Get(uint64_t lid) const {
   }
   auto it = index_.find(lid);
   if (it == index_.end()) return Status::NotFound("no record at lid");
-  const Location& loc = it->second;
+  const RecordLocation& loc = it->second;
   auto seg_it = segments_.find(loc.segment_id);
   if (seg_it == segments_.end()) {
     return Status::Internal("index points at missing segment");
@@ -371,14 +381,27 @@ Result<std::string> LogStore::Get(uint64_t lid) const {
   return payload;
 }
 
+Result<RecordLocation> LogStore::Locate(uint64_t lid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("LogStore not open");
+  if (options_.mode == SyncMode::kMemoryOnly) {
+    auto it = mem_.find(lid);
+    if (it == mem_.end()) return Status::NotFound("no record at lid");
+    return RecordLocation{0, 0, static_cast<uint32_t>(it->second.size())};
+  }
+  auto it = index_.find(lid);
+  if (it == index_.end()) return Status::NotFound("no record at lid");
+  return it->second;
+}
+
 bool LogStore::Contains(uint64_t lid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (options_.mode == SyncMode::kMemoryOnly) return mem_.count(lid) != 0;
   return index_.count(lid) != 0;
 }
 
 Status LogStore::Sync() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) return Status::OK();
   {
@@ -391,7 +414,7 @@ Status LogStore::Sync() {
 
 Status LogStore::TruncateBelow(uint64_t horizon,
                                const std::string& archive_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("LogStore not open");
   if (options_.mode == SyncMode::kMemoryOnly) {
     for (auto it = mem_.begin(); it != mem_.end();) {
@@ -466,17 +489,17 @@ Status LogStore::TruncateBelow(uint64_t horizon,
 }
 
 uint64_t LogStore::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return count_;
 }
 
 uint64_t LogStore::max_lid() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return max_lid_;
 }
 
 std::vector<uint64_t> LogStore::ListLids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<uint64_t> out;
   if (options_.mode == SyncMode::kMemoryOnly) {
     out.reserve(mem_.size());
@@ -490,7 +513,7 @@ std::vector<uint64_t> LogStore::ListLids() const {
 }
 
 uint64_t LogStore::SizeBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   if (options_.mode == SyncMode::kMemoryOnly) return mem_bytes_;
   uint64_t total = 0;
   for (const auto& [_, seg] : segments_) total += seg.file.size();

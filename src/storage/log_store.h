@@ -2,9 +2,11 @@
 #define CHARIOTS_STORAGE_LOG_STORE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -43,6 +45,20 @@ enum class SyncPolicy {
   kNever,
 };
 
+/// Where a record's payload lives: segment id + payload offset + length.
+/// Exposed so the layer above (the log maintainer) can keep its own
+/// in-memory LId → location index in lockstep with the store — populated by
+/// the append path and rebuilt during the recovery scan, never by a second
+/// pass over the store.
+struct RecordLocation {
+  uint64_t segment_id = 0;
+  uint64_t offset = 0;  ///< payload offset within the segment file
+  uint32_t length = 0;
+
+  friend bool operator==(const RecordLocation&,
+                         const RecordLocation&) = default;
+};
+
 struct LogStoreOptions {
   /// Directory for segment files. Required unless mode == kMemoryOnly.
   std::string dir;
@@ -59,6 +75,13 @@ struct LogStoreOptions {
   /// Optional scripted disk-fault plan every segment file routes its writes
   /// and syncs through (crash-consistency tests). Null = real disk only.
   DiskFaultSchedule* disk_faults = nullptr;
+  /// Recovery observers, fired frame-by-frame during Open()'s segment scan
+  /// (in scan order, so a later tombstone/rewrite for a lid supersedes an
+  /// earlier observation). Both run under the store lock: they must not
+  /// call back into the store. Used by the maintainer to rebuild its read
+  /// index in the same single pass as segment recovery.
+  std::function<void(uint64_t lid, const RecordLocation&)> on_recovered_record;
+  std::function<void(uint64_t lid)> on_recovered_tombstone;
 };
 
 /// One record of a batched append: position + payload. The payload view must
@@ -112,8 +135,13 @@ class LogStore {
   /// present or duplicated within the batch — nothing is written in that
   /// case), encodes all frames into one reusable arena buffer, issues a
   /// single file write, and applies the sync policy once for the whole
-  /// batch. Takes the store lock exactly once.
-  Status AppendBatch(std::span<const AppendEntry> entries);
+  /// batch. Takes the store lock exactly once. When `locations` is
+  /// non-null it receives one entry per record, in batch order, describing
+  /// where the payload landed (kMemoryOnly: a synthesized location whose
+  /// length is the payload size) — the maintainer feeds these straight into
+  /// its read index.
+  Status AppendBatch(std::span<const AppendEntry> entries,
+                     std::vector<RecordLocation>* locations = nullptr);
 
   /// Removes the record at `lid` by appending a tombstone frame (the log is
   /// append-only; the data frame stays on disk but is dead after recovery).
@@ -123,6 +151,11 @@ class LogStore {
 
   /// Reads the record at `lid`; NotFound if absent (gap or GC'd).
   Result<std::string> Get(uint64_t lid) const;
+
+  /// Where the record at `lid` lives; NotFound if absent. kMemoryOnly
+  /// stores synthesize {0, 0, payload size}. Used to assert agreement
+  /// between the maintainer's read index and the store.
+  Result<RecordLocation> Locate(uint64_t lid) const;
 
   bool Contains(uint64_t lid) const;
 
@@ -148,11 +181,6 @@ class LogStore {
   uint64_t SizeBytes() const;
 
  private:
-  struct Location {
-    uint64_t segment_id;
-    uint64_t offset;  // offset of payload within the segment file
-    uint32_t length;
-  };
   struct Segment {
     FaultInjectingFile file;
     std::string path;
@@ -173,10 +201,13 @@ class LogStore {
   const LogStoreOptions options_;
   Clock* const clock_;
 
-  mutable std::mutex mu_;
+  /// Reader–writer lock: Get/Locate/Contains and the metadata accessors
+  /// take it shared (record reads are pread-based, so concurrent readers
+  /// proceed in parallel); every mutation takes it exclusive.
+  mutable std::shared_mutex mu_;
   bool open_ = false;
   std::map<uint64_t, Segment> segments_;        // by segment id
-  std::unordered_map<uint64_t, Location> index_;  // lid -> location
+  std::unordered_map<uint64_t, RecordLocation> index_;  // lid -> location
   std::unordered_map<uint64_t, std::string> mem_;  // kMemoryOnly payloads
   uint64_t next_segment_id_ = 0;
   uint64_t max_lid_ = 0;

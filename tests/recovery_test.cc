@@ -271,6 +271,41 @@ TEST(MaintainerRemoveTest, RemoveRewindsFillState) {
   EXPECT_EQ(*lid, 2u);
 }
 
+// The in-memory read index is rebuilt by the same recovery scan that
+// replays the segments (no second pass over the store): after a reopen the
+// index agrees with the store exactly, and tombstones keep them in
+// lockstep.
+TEST(MaintainerRemoveTest, ReadIndexRebuiltInRecoveryScan) {
+  fs::path dir = fs::temp_directory_path() / "chariots_read_index_recovery";
+  fs::remove_all(dir);
+  flstore::MaintainerOptions o;
+  o.index = 0;
+  o.journal = flstore::EpochJournal(1, 10);
+  o.store.dir = dir.string();
+  flstore::LogRecord rec;
+  rec.body = "durable";
+  {
+    flstore::LogMaintainer m(o);
+    ASSERT_TRUE(m.Open().ok());
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(m.Append(rec).ok());
+    ASSERT_TRUE(m.Remove(7).ok());  // tombstone: the index must follow
+    EXPECT_EQ(m.ReadIndexEntries(), 7u);
+    EXPECT_TRUE(m.VerifyReadIndex().ok());
+    ASSERT_TRUE(m.Close().ok());
+  }
+  flstore::LogMaintainer m(o);
+  ASSERT_TRUE(m.Open().ok());
+  EXPECT_EQ(m.count(), 7u);
+  EXPECT_EQ(m.ReadIndexEntries(), 7u);
+  EXPECT_TRUE(m.VerifyReadIndex().ok());
+  for (flstore::LId lid = 0; lid < 7; ++lid) {
+    auto read = m.Read(lid);
+    ASSERT_TRUE(read.ok()) << lid << ": " << read.status();
+    EXPECT_EQ(read->body, "durable");
+  }
+  fs::remove_all(dir);
+}
+
 // --------------------------------------------------- datacenter restart
 
 class DatacenterRecoveryTest : public ::testing::Test {

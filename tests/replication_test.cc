@@ -61,6 +61,9 @@ struct ClusterConfig {
   /// default). A virtual-time executor makes the whole cluster — transport,
   /// heartbeats, monitor sweeps — run on AdvanceBy with zero real sleeps.
   Executor* executor = nullptr;
+  /// Maintainer tail-cache bounds (read path, DESIGN.md §11).
+  uint64_t tail_cache_bytes = 4ull << 20;
+  uint64_t tail_cache_records = 4096;
 };
 
 /// One replicated stripe (primary + backup) plus a controller, wired over
@@ -114,6 +117,8 @@ class ReplicatedCluster {
     mo.index = 0;
     mo.journal = EpochJournal(1, config.batch);
     mo.store.mode = storage::SyncMode::kMemoryOnly;
+    mo.tail_cache_bytes = config.tail_cache_bytes;
+    mo.tail_cache_records = config.tail_cache_records;
     return mo;
   }
 
@@ -149,6 +154,13 @@ LogRecord Rec(const std::string& body) {
   LogRecord rec;
   rec.body = body;
   return rec;
+}
+
+/// kRead payload for one lid.
+std::string LidPayload(LId lid) {
+  BinaryWriter w;
+  w.PutU64(lid);
+  return std::move(w).data();
 }
 
 TEST(ReplicationTest, AppendAcksOnlyAfterBackupHoldsTheRecord) {
@@ -424,6 +436,155 @@ TEST(ReplicationTest, VirtualTimeFailoverRunsWithZeroRealSleeps) {
   ASSERT_TRUE(post.ok()) << post.status();
   EXPECT_EQ(cluster.backup_->maintainer().Read(*post)->body, "post");
 
+  cluster.backup_->Stop();
+  cluster.controller_->Stop();
+  exec.Shutdown();
+}
+
+// ----------------------------------------------- read path across failover
+
+// A promoted backup serves the whole post-fence log through the normal
+// client read path: surviving records byte-identical, orphaned positions as
+// junk — and once fetched, the committed tail reads from the client cache
+// even with every server gone.
+TEST(ReplicationTest, PromotedBackupServesPostFenceReads) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  auto writer = cluster.NewClient("w");
+  ASSERT_TRUE(writer->Append(Rec("r0")).ok());  // lid 0, replicated
+  // Orphan: landed on the primary, never replicated (crash mid-append).
+  ASSERT_TRUE(cluster.primary_->maintainer().Append(Rec("orphan")).ok());
+  ASSERT_TRUE(writer->Append(Rec("r2")).ok());  // lid 2 -> backup hole at 1
+
+  cluster.primary_->Stop();
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // A fresh client resolves the promoted backup and reads everything.
+  auto reader = cluster.NewClient("r");
+  EXPECT_EQ(reader->Read(0)->body, "r0");
+  auto filled = reader->Read(1);
+  ASSERT_TRUE(filled.ok()) << filled.status();
+  EXPECT_TRUE(IsJunkRecord(*filled)) << "orphaned hole must read as junk";
+  EXPECT_EQ(reader->Read(2)->body, "r2");
+
+  // All three are below the promoted log's HL, so they were cached as
+  // permanent — the committed tail outlives the servers.
+  cluster.backup_->Stop();
+  EXPECT_EQ(reader->Read(0)->body, "r0");
+  EXPECT_EQ(reader->Read(2)->body, "r2");
+}
+
+// A fenced ex-primary rejects reads even though its tail cache still holds
+// the records — a warm cache must never bypass the fence.
+TEST(ReplicationTest, FencedExPrimaryRejectsReadsDespiteWarmTailCache) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  auto client = cluster.NewClient("a");
+  ASSERT_TRUE(client->Append(Rec("r0")).ok());
+  ASSERT_GT(cluster.primary_->maintainer().TailCacheEntries(), 0u);
+
+  net::RpcEndpoint probe(&cluster.transport_, "dc0/probe");
+  ASSERT_TRUE(probe.Start().ok());
+  // The warm cache serves the pre-failover read.
+  ASSERT_TRUE(probe.Call(kPrimary, kRead, LidPayload(0), 500ms).ok());
+
+  // Failover while the old primary is alive and unaware.
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // Its next replicate self-fences it...
+  auto stale = probe.Call(kPrimary, kAppend,
+                          AppendPayload("dc0/probe", 1, Rec("split")), 500ms);
+  EXPECT_EQ(stale.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(cluster.primary_->replica().fenced());
+  // ...and the still-cached record is no longer served.
+  ASSERT_GT(cluster.primary_->maintainer().TailCacheEntries(), 0u);
+  auto read = probe.Call(kPrimary, kRead, LidPayload(0), 500ms);
+  EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+}
+
+// Client read-cache coherence across failover: a record read from the
+// primary before its replication was acked must not be cached as permanent
+// — after failover junk-fills its position, the epoch bump piggybacked on
+// the next response purges it, and a re-read returns the junk fill, not
+// the stale orphan body.
+TEST(ReplicationTest, ClientCachePurgedOnEpochBumpAcrossFailover) {
+  ManualClock clock;
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  ReplicatedCluster cluster(config);
+  ClientOptions copts;
+  copts.retry.attempt_timeout = 200ms;
+  copts.failover_attempts = 30;
+  auto client = cluster.NewClient("a", copts);
+
+  ASSERT_TRUE(client->Append(Rec("r0")).ok());  // lid 0, replicated
+  // The orphan lands locally but is never replicated; a concurrent reader
+  // can still observe it on the primary.
+  ASSERT_TRUE(cluster.primary_->maintainer().Append(Rec("orphan")).ok());
+  auto stale = client->Read(1);
+  ASSERT_TRUE(stale.ok()) << stale.status();
+  EXPECT_EQ(stale->body, "orphan");
+  EXPECT_EQ(client->read_cache_entries(), 1u);
+  // A later replicated append leaves the backup with a hole at lid 1.
+  ASSERT_TRUE(client->Append(Rec("r2")).ok());
+
+  cluster.primary_->Stop();
+  cluster.controller_->controller().Heartbeat(0, kPrimary);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(cluster.controller_->TickLeases(), 1);
+
+  // The next read fails over to the promoted backup; its epoch-2 response
+  // purges the stripe's cached tail (the piggybacked HL had marked lid 1
+  // non-permanent precisely because its replication was never acked).
+  EXPECT_EQ(client->Read(0)->body, "r0");
+  auto filled = client->Read(1);
+  ASSERT_TRUE(filled.ok()) << filled.status();
+  EXPECT_TRUE(IsJunkRecord(*filled))
+      << "stale cached orphan served after failover";
+  EXPECT_NE(filled->body, "orphan");
+}
+
+// Tail-cache eviction respects its byte/record bounds while the whole
+// replicated cluster — appends, replication, gossip, heartbeats — runs on
+// virtual time with zero real sleeps.
+TEST(ReplicationTest, VirtualTimeTailCacheRespectsByteBound) {
+  ManualClock clock;
+  Executor exec({.num_threads = 2, .name = "vt-tail", .manual_clock = &clock});
+
+  ReplicatedCluster::Config config;
+  config.clock = &clock;
+  config.executor = &exec;
+  config.heartbeats = true;
+  config.lease_nanos = 60'000'000;
+  config.monitor_interval_nanos = 10'000'000;
+  config.tail_cache_bytes = 512;
+  config.tail_cache_records = 16;
+  ReplicatedCluster cluster(config);
+
+  auto client = cluster.NewClient("a");
+  for (int i = 0; i < 60; ++i) {
+    ASSERT_TRUE(client->Append(Rec("payload-" + std::to_string(i))).ok());
+    EXPECT_LE(cluster.primary_->maintainer().TailCacheBytes(), 512u);
+    EXPECT_LE(cluster.primary_->maintainer().TailCacheEntries(), 16u);
+    EXPECT_LE(cluster.backup_->maintainer().TailCacheBytes(), 512u);
+    EXPECT_LE(cluster.backup_->maintainer().TailCacheEntries(), 16u);
+    if (i % 20 == 0) exec.AdvanceBy(10'000'000);
+  }
+  EXPECT_GT(cluster.primary_->maintainer().TailCacheEntries(), 0u);
+  // The newest record is in cache on both replicas; the oldest was evicted
+  // but still reads through the store.
+  EXPECT_EQ(cluster.primary_->maintainer().Read(59)->body, "payload-59");
+  EXPECT_EQ(cluster.primary_->maintainer().Read(0)->body, "payload-0");
+
+  cluster.primary_->Stop();
   cluster.backup_->Stop();
   cluster.controller_->Stop();
   exec.Shutdown();

@@ -146,6 +146,10 @@ int Usage() {
       "  --store-dir=PATH           persist records (default: memory)\n"
       "  --fsync                    fsync every append\n"
       "  --gossip-ms=N              HL gossip interval (default 2)\n"
+      "  --read_cache_bytes=N       maintainer tail-cache byte budget\n"
+      "                             (default 4194304; 0 disables)\n"
+      "  --tail_cache_records=N     maintainer tail-cache entry budget\n"
+      "                             (default 4096; 0 disables)\n"
       "fault injection (maintainer role, for crash/recovery drills):\n"
       "  --disk_fault_schedule=SPEC scripted disk faults, e.g.\n"
       "                             torn_write@seg:3:10,fail_sync@dedup:?\n"
@@ -303,6 +307,12 @@ int main(int argc, char** argv) {
     so.indexers = d.IndexerNodes();
     so.gossip_interval_nanos =
         static_cast<int64_t>(flags.GetInt("gossip-ms", 2)) * 1'000'000;
+    mo.tail_cache_bytes = flags.GetUint64(
+        "read_cache_bytes",
+        flags.GetUint64("read-cache-bytes", mo.tail_cache_bytes));
+    mo.tail_cache_records = flags.GetUint64(
+        "tail_cache_records",
+        flags.GetUint64("tail-cache-records", mo.tail_cache_records));
     std::string fault_spec = flags.Get("disk_fault_schedule",
                                        flags.Get("disk-fault-schedule"));
     if (!fault_spec.empty()) {

@@ -19,7 +19,7 @@ cmake --build "$BUILD_DIR" -j --target \
   bench_table5_two_per_stage bench_corfu_vs_flstore \
   bench_ablation_batch_size bench_ablation_gossip \
   bench_geo_replication bench_hyksos_kv bench_msgfutures_latency \
-  bench_micro
+  bench_read_scaling bench_micro
 
 OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/chariots_bench_smoke.XXXXXX")"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -102,6 +102,17 @@ for path in paths:
         failures.append(
             f"{path}: runtime_threads_peak {peak:.0f} exceeds the smoke "
             f"budget {thread_budget} (thread-per-loop regression?)")
+    # The read-scaling bench must report cache efficiency (DESIGN.md §11):
+    # a run without hit-rate metrics means the read cache was silently
+    # disabled or the metric names drifted.
+    if path.endswith("BENCH_read_scaling.json"):
+        for key in ("read_cache_hits", "read_cache_misses",
+                    "read_cache_hit_rate", "speedup_hot_tail"):
+            if key not in extra:
+                failures.append(f"{path}: extra missing '{key}'")
+        if extra.get("read_cache_hit_rate", 0) <= 0:
+            failures.append(f"{path}: read cache hit rate is zero — the "
+                            "client read-through cache is not engaging")
     print(f"ok: {path.rsplit('/', 1)[-1]} "
           f"(throughput {doc.get('throughput_rps'):.0f} rps, "
           f"{len(stages)} stages, {doc.get('latency_samples')} samples, "

@@ -9,7 +9,11 @@
 # The full run covers the executor runtime end to end: executor_test
 # (scheduler, timers, shutdown races) and net_test (epoll TCP reactor +
 # threadless inproc transport) run under the sanitizer along with every
-# consumer of the shared pool.
+# consumer of the shared pool. It also covers the memory-speed read path:
+# read_path_test (tail cache / client read-through cache / version index)
+# and the failover cache-invalidation scenarios in replication_test, whose
+# lock-free HL reads and shared-lock read paths are exactly the code TSan
+# is for.
 #
 # Uses a separate build dir (build-<sanitizer>) so the regular build is
 # untouched.
