@@ -5,6 +5,7 @@
 #include "common/codec.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "flstore/service.h"
 
 namespace chariots::geo {
 
@@ -47,6 +48,11 @@ GeoServer::GeoServer(net::Transport* transport, net::NodeId node,
 GeoServer::~GeoServer() { Stop(); }
 
 Status GeoServer::Start() {
+  // Keep the metric family set identical across roles: a datacenter's
+  // metrics dump carries the chariots.flstore.repl.* families at zero even
+  // though replication runs in MaintainerServer, so the same dashboards
+  // and `chariots_cli metrics` prefixes work against every node.
+  flstore::RegisterReplicationMetrics();
   endpoint_.Handle(kGeoAppend, [this](const net::NodeId&,
                                       const std::string& payload)
                                    -> Result<std::string> {

@@ -77,13 +77,41 @@ Result<uint32_t> FLStoreClient::IndexForLId(LId lid) {
   return index;
 }
 
+bool FLStoreClient::ReportSuspect(uint32_t index, const net::NodeId& node) {
+  BinaryWriter w;
+  w.PutU32(index);
+  w.PutBytes(node);
+  // Generous timeout: a confirmed-dead report runs the whole failover
+  // (promote + replay) inside this call.
+  Result<std::string> verdict =
+      endpoint_.Call(controller_, kSuspect, std::move(w).data(),
+                     std::chrono::milliseconds(2000));
+  if (verdict.ok() && !verdict->empty() && (*verdict)[0] == '\x01') {
+    (void)RefreshClusterInfo();
+    return true;
+  }
+  return false;
+}
+
+void FLStoreClient::NoteRead(const net::NodeId& node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++reads_by_node_[node];
+}
+
+std::map<net::NodeId, uint64_t> FLStoreClient::reads_by_node() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reads_by_node_;
+}
+
 Result<std::string> FLStoreClient::CallMaintainerIndex(
     uint32_t index, uint16_t op, const std::string& payload) {
   Status last = Status::Unavailable("no failover attempts budgeted");
+  bool skip_backoff = false;
   for (int attempt = 0; attempt < std::max(1, options_.failover_attempts);
        ++attempt) {
-    if (attempt > 0) {
-      // Give an in-flight failover time to promote the backup, then learn
+    if (attempt > 0) outer_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0 && !skip_backoff) {
+      // Give an in-flight failover time to promote a replica, then learn
       // the new layout before re-resolving the stripe.
       std::this_thread::sleep_for(
           std::chrono::nanoseconds(options_.failover_backoff_nanos));
@@ -93,6 +121,7 @@ Result<std::string> FLStoreClient::CallMaintainerIndex(
         continue;
       }
     }
+    skip_backoff = false;
     net::NodeId node;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -101,12 +130,78 @@ Result<std::string> FLStoreClient::CallMaintainerIndex(
       }
       node = info_.maintainers[index];
     }
-    Result<std::string> result = channel_.Call(node, op, payload);
+    // First attempt is a single shot (no channel backoff): a dead node
+    // fails it fast, and the synchronous suspect report below repairs the
+    // layout — detection + failover well under one lease.
+    Result<std::string> result =
+        attempt == 0
+            ? endpoint_.Call(node, op, payload, options_.retry.attempt_timeout)
+            : channel_.Call(node, op, payload);
     if (result.ok()) return result;
     last = result.status();
     // Only node loss (or fencing, which surfaces as kUnavailable) triggers
     // failover; a genuine handler error is the caller's to see.
     if (!IsRetryable(last.code())) return last;
+    if (ReportSuspect(index, node)) skip_backoff = true;
+  }
+  return last;
+}
+
+Result<std::string> FLStoreClient::CallStripeRead(uint32_t index, uint16_t op,
+                                                  const std::string& payload) {
+  Status last = Status::Unavailable("no failover attempts budgeted");
+  bool skip_backoff = false;
+  for (int attempt = 0; attempt < std::max(1, options_.failover_attempts);
+       ++attempt) {
+    if (attempt > 0) outer_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (attempt > 0 && !skip_backoff) {
+      std::this_thread::sleep_for(
+          std::chrono::nanoseconds(options_.failover_backoff_nanos));
+      Status refreshed = RefreshClusterInfo();
+      if (!refreshed.ok()) {
+        last = refreshed;
+        continue;
+      }
+    }
+    skip_backoff = false;
+    std::vector<net::NodeId> members;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (index >= info_.maintainers.size()) {
+        return Status::Unavailable("stale cluster info: unknown maintainer");
+      }
+      members.push_back(info_.maintainers[index]);
+      if (index < info_.replicas.size()) {
+        members.insert(members.end(), info_.replicas[index].begin(),
+                       info_.replicas[index].end());
+      }
+    }
+    const uint64_t start = read_rr_.fetch_add(1, std::memory_order_relaxed);
+    bool all_not_found = true;
+    net::NodeId first_down;
+    for (size_t k = 0; k < members.size(); ++k) {
+      const net::NodeId& node = members[(start + k) % members.size()];
+      Result<std::string> result =
+          endpoint_.Call(node, op, payload, options_.retry.attempt_timeout);
+      if (result.ok()) {
+        NoteRead(node);
+        return result;
+      }
+      last = result.status();
+      if (last.code() == StatusCode::kNotFound) continue;
+      all_not_found = false;
+      // A genuine handler error is final; kUnavailable/kTimedOut (down,
+      // fenced, or INVALID_LID — not validated there yet) cycles on.
+      if (!IsRetryable(last.code())) return last;
+      if (first_down.empty()) first_down = node;
+    }
+    if (all_not_found) return last;  // every member agrees: no such record
+    // Whole cycle failed. Let the controller probe the first dead-looking
+    // member — if it really is down, the layout is repaired inside this
+    // call and the next cycle reads from the survivors.
+    if (!first_down.empty() && ReportSuspect(index, first_down)) {
+      skip_backoff = true;
+    }
   }
   return last;
 }
@@ -185,7 +280,7 @@ Result<LogRecord> FLStoreClient::Read(LId lid) {
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      CallMaintainerIndex(index, kRead, std::move(w).data()));
+      CallStripeRead(index, kRead, std::move(w).data()));
   BinaryReader r(payload);
   uint64_t epoch = 0, hl = 0;
   std::string rec_bytes;
@@ -205,7 +300,7 @@ Result<LogRecord> FLStoreClient::ReadCommitted(LId lid) {
   w.PutU64(lid);
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      CallMaintainerIndex(index, kReadCommitted, std::move(w).data()));
+      CallStripeRead(index, kReadCommitted, std::move(w).data()));
   BinaryReader r(payload);
   uint64_t epoch = 0, hl = 0;
   std::string rec_bytes;
@@ -237,7 +332,7 @@ Result<std::vector<LogRecord>> FLStoreClient::ReadMany(
     for (size_t pos : positions) w.PutU64(lids[pos]);
     CHARIOTS_ASSIGN_OR_RETURN(
         std::string payload,
-        CallMaintainerIndex(index, kReadRange, std::move(w).data()));
+        CallStripeRead(index, kReadRange, std::move(w).data()));
     BinaryReader r(payload);
     uint64_t epoch = 0, hl = 0;
     uint32_t n = 0;
@@ -268,7 +363,7 @@ Result<std::vector<LogRecord>> FLStoreClient::ReadMany(
 Result<LId> FLStoreClient::HeadOfLog() {
   CHARIOTS_ASSIGN_OR_RETURN(
       std::string payload,
-      CallMaintainerIndex(IndexForAppend(), kHeadOfLog, ""));
+      CallStripeRead(IndexForAppend(), kHeadOfLog, ""));
   BinaryReader r(payload);
   LId hl = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&hl));

@@ -2,6 +2,7 @@
 #define CHARIOTS_FLSTORE_CLIENT_H_
 
 #include <atomic>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -46,8 +47,20 @@ struct ClientOptions {
 ///
 /// Every call retries transient failures (kUnavailable / kTimedOut) with
 /// jittered exponential backoff. An append picks its maintainer once and
-/// retries *sticky* to that node — the dedup window that absorbs the retry
-/// lives on the maintainer that executed the first attempt.
+/// retries *sticky* to that stripe — the dedup window that absorbs the retry
+/// is replicated with the batch, so a retry is answered by the original
+/// coordinator or by whichever replica got promoted after a failover.
+///
+/// Reads of a replicated stripe spread round-robin across the coordinator
+/// AND its replicas — every replica serves linearizable reads of validated
+/// positions — and cycle to the next replica when one is down or answers
+/// INVALID_LID (position not validated there yet).
+///
+/// When a node stops answering, the client reports it to the controller
+/// (kSuspect) *synchronously*: the controller probes the node and, if it is
+/// really dead, promotes a replica (or evicts the dead replica) inside that
+/// call. That is the sub-lease failover path — the client's next attempt
+/// lands on the repaired layout without waiting out the lease.
 class FLStoreClient {
  public:
   /// `node` is this client's own address on the fabric; `controller` is the
@@ -100,12 +113,21 @@ class FLStoreClient {
   /// The layout this client is currently operating with.
   ClusterInfo cluster_info() const;
 
-  /// Retries performed across all calls (observability/testing).
-  uint64_t retries() const { return channel_.retries(); }
+  /// Retries performed across all calls (observability/testing): channel
+  /// retries plus outer failover-loop retries (the suspect fast path skips
+  /// the channel, so its retries are counted here).
+  uint64_t retries() const {
+    return channel_.retries() +
+           outer_retries_.load(std::memory_order_relaxed);
+  }
 
   /// Read-through cache occupancy (observability/testing).
   uint64_t read_cache_entries() const { return read_cache_.entries(); }
   uint64_t read_cache_bytes() const { return read_cache_.bytes(); }
+
+  /// Successful remote reads per serving node (observability: shows how
+  /// read load spread across a stripe's coordinator and replicas).
+  std::map<net::NodeId, uint64_t> reads_by_node() const;
 
  private:
   /// Stripe index an append goes to (round-robin). Calls are keyed by
@@ -119,6 +141,21 @@ class FLStoreClient {
   /// verbatim on every attempt, so retried appends stay exactly-once.
   Result<std::string> CallMaintainerIndex(uint32_t index, uint16_t op,
                                           const std::string& payload);
+  /// Read-path variant: fans a read over stripe `index`'s replica set
+  /// (coordinator + replicas, rotated per call), cycling to the next member
+  /// on kUnavailable/kTimedOut — a down node, a fenced node, or a position
+  /// not yet validated there. NotFound is final only when *every* member
+  /// reports it. When a whole cycle fails, reports the first dead-looking
+  /// member to the controller and retries on the repaired layout.
+  Result<std::string> CallStripeRead(uint32_t index, uint16_t op,
+                                     const std::string& payload);
+  /// Synchronous suspect report: asks the controller to probe `node` (of
+  /// stripe `index`) and repair the layout if it really is dead. Returns
+  /// true when the controller says the layout changed (the client refreshed
+  /// and should retry immediately, no backoff).
+  bool ReportSuspect(uint32_t index, const net::NodeId& node);
+  /// Counts a successful remote read against the node that served it.
+  void NoteRead(const net::NodeId& node);
   /// Next (client_id, seq) append token; stamped into a BinaryWriter.
   void PutToken(BinaryWriter* w);
   /// Folds one read response's piggybacked (epoch, hl) into the cache and
@@ -137,7 +174,14 @@ class FLStoreClient {
   mutable std::mutex mu_;
   ClusterInfo info_;
   std::atomic<uint64_t> rr_{0};
+  /// Rotates the starting member of each read fan-out so read load spreads
+  /// across a stripe's coordinator and replicas.
+  std::atomic<uint64_t> read_rr_{0};
+  /// Outer failover-loop retries (attempt > 0 in CallMaintainerIndex /
+  /// CallStripeRead); see retries().
+  std::atomic<uint64_t> outer_retries_{0};
   bool started_ = false;
+  std::map<net::NodeId, uint64_t> reads_by_node_;
 };
 
 }  // namespace chariots::flstore

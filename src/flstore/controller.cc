@@ -17,8 +17,11 @@ std::string EncodeClusterInfo(const ClusterInfo& info) {
   for (const auto& i : info.indexers) w.PutBytes(i);
   w.PutU64(info.approx_records);
   w.PutU64(info.version);
-  w.PutU32(static_cast<uint32_t>(info.backups.size()));
-  for (const auto& b : info.backups) w.PutBytes(b);
+  w.PutU32(static_cast<uint32_t>(info.replicas.size()));
+  for (const auto& set : info.replicas) {
+    w.PutU32(static_cast<uint32_t>(set.size()));
+    for (const auto& node : set) w.PutBytes(node);
+  }
   w.PutU32(static_cast<uint32_t>(info.fence_epochs.size()));
   for (uint64_t e : info.fence_epochs) w.PutU64(e);
   return std::move(w).data();
@@ -44,9 +47,14 @@ Result<ClusterInfo> DecodeClusterInfo(std::string_view data) {
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.approx_records));
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&info.version));
   CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
-  info.backups.resize(n);
+  info.replicas.resize(n);
   for (uint32_t i = 0; i < n; ++i) {
-    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.backups[i]));
+    uint32_t m = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&m));
+    info.replicas[i].resize(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&info.replicas[i][j]));
+    }
   }
   CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
   info.fence_epochs.resize(n);
@@ -61,8 +69,8 @@ Controller::Controller(ClusterInfo initial, ControllerOptions options)
       leases_(options.clock, options.lease_nanos) {
   // Normalize the replica-set vectors so callers that build a ClusterInfo
   // the pre-replication way (maintainers only) get sane defaults: no
-  // backups, every stripe at fencing epoch 1.
-  info_.backups.resize(info_.maintainers.size());
+  // replicas, every stripe at fencing epoch 1.
+  info_.replicas.resize(info_.maintainers.size());
   if (info_.fence_epochs.size() < info_.maintainers.size()) {
     info_.fence_epochs.resize(info_.maintainers.size(), 1);
   }
@@ -91,18 +99,18 @@ Status Controller::AddMaintainer(const net::NodeId& node,
   }
   CHARIOTS_RETURN_IF_ERROR(info_.journal.AddEpoch(epoch));
   info_.maintainers.push_back(node);
-  info_.backups.emplace_back();
+  info_.replicas.emplace_back();
   info_.fence_epochs.push_back(1);
   ++info_.version;
   return Status::OK();
 }
 
-Status Controller::SetBackup(uint32_t index, const net::NodeId& backup) {
+Status Controller::AddReplica(uint32_t index, const net::NodeId& replica) {
   std::lock_guard<std::mutex> lock(mu_);
   if (index >= info_.maintainers.size()) {
     return Status::InvalidArgument("no such maintainer stripe");
   }
-  info_.backups[index] = backup;
+  info_.replicas[index].push_back(replica);
   ++info_.version;
   return Status::OK();
 }
@@ -116,7 +124,7 @@ void Controller::Heartbeat(uint32_t index, const net::NodeId& from) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (index >= info_.maintainers.size()) return;
-    if (info_.maintainers[index] != from) return;  // fenced old primary
+    if (info_.maintainers[index] != from) return;  // fenced old coordinator
   }
   leases_.Renew(index);
 }
@@ -131,11 +139,12 @@ std::vector<FailoverPlan> Controller::ExpiredLeases() {
       leases_.Remove(key);
       continue;
     }
-    if (info_.backups[index].empty()) {
+    if (info_.replicas[index].empty()) {
       // Nothing to promote; drop the lease so we don't report the stripe
-      // every tick (it re-arms if the primary comes back and heartbeats).
+      // every tick (it re-arms if the coordinator comes back and
+      // heartbeats).
       LOG_WARN << "maintainer " << index << " (" << info_.maintainers[index]
-               << ") lease expired but stripe has no backup";
+               << ") lease expired but stripe has no replicas";
       leases_.Remove(key);
       continue;
     }
@@ -143,11 +152,35 @@ std::vector<FailoverPlan> Controller::ExpiredLeases() {
     plans.push_back(FailoverPlan{
         .index = index,
         .new_epoch = info_.fence_epochs[index] + 1,
-        .backup = info_.backups[index],
+        .candidate = info_.replicas[index].front(),
+        .survivors = {info_.replicas[index].begin() + 1,
+                      info_.replicas[index].end()},
         .failed_primary = info_.maintainers[index],
     });
   }
   return plans;
+}
+
+Result<FailoverPlan> Controller::PlanFailover(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= info_.maintainers.size()) {
+    return Status::InvalidArgument("no such maintainer stripe");
+  }
+  if (in_failover_.count(index) != 0) {
+    return Status::Aborted("failover already in flight for this stripe");
+  }
+  if (info_.replicas[index].empty()) {
+    return Status::FailedPrecondition("stripe has no replicas to promote");
+  }
+  in_failover_.insert(index);
+  return FailoverPlan{
+      .index = index,
+      .new_epoch = info_.fence_epochs[index] + 1,
+      .candidate = info_.replicas[index].front(),
+      .survivors = {info_.replicas[index].begin() + 1,
+                    info_.replicas[index].end()},
+      .failed_primary = info_.maintainers[index],
+  };
 }
 
 Status Controller::CommitFailover(const FailoverPlan& plan) {
@@ -156,20 +189,21 @@ Status Controller::CommitFailover(const FailoverPlan& plan) {
     return Status::FailedPrecondition("no failover planned for this stripe");
   }
   if (plan.index >= info_.maintainers.size() ||
-      info_.backups[plan.index] != plan.backup) {
+      info_.replicas[plan.index].empty() ||
+      info_.replicas[plan.index].front() != plan.candidate) {
     in_failover_.erase(plan.index);
     return Status::Aborted("stripe layout changed under the failover plan");
   }
   LOG_INFO << "failing over maintainer " << plan.index << ": "
-           << plan.failed_primary << " -> " << plan.backup << " (epoch "
+           << plan.failed_primary << " -> " << plan.candidate << " (epoch "
            << plan.new_epoch << ")";
-  info_.maintainers[plan.index] = plan.backup;
-  info_.backups[plan.index].clear();
+  info_.maintainers[plan.index] = plan.candidate;
+  info_.replicas[plan.index] = plan.survivors;
   info_.fence_epochs[plan.index] = plan.new_epoch;
   ++info_.version;
   in_failover_.erase(plan.index);
-  // The old lease belonged to the dead primary; detection for this stripe
-  // re-arms when the promoted node first heartbeats.
+  // The old lease belonged to the dead coordinator; detection for this
+  // stripe re-arms when the promoted node first heartbeats.
   leases_.Remove(plan.index);
   return Status::OK();
 }
@@ -180,6 +214,54 @@ void Controller::AbortFailover(uint32_t index) {
   // Re-arm so the monitor retries after another full lease period instead
   // of hot-looping on a promotion RPC that just failed.
   leases_.Renew(index);
+}
+
+Result<ReplicaRemoval> Controller::PlanReplicaRemoval(
+    uint32_t index, const net::NodeId& suspect) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index >= info_.maintainers.size()) {
+    return Status::InvalidArgument("no such maintainer stripe");
+  }
+  if (in_failover_.count(index) != 0) {
+    return Status::Aborted("reconfiguration already in flight for stripe");
+  }
+  const std::vector<net::NodeId>& set = info_.replicas[index];
+  if (std::find(set.begin(), set.end(), suspect) == set.end()) {
+    return Status::FailedPrecondition("suspect is not a replica of stripe");
+  }
+  in_failover_.insert(index);
+  ReplicaRemoval removal;
+  removal.index = index;
+  removal.new_epoch = info_.fence_epochs[index] + 1;
+  removal.removed = suspect;
+  removal.coordinator = info_.maintainers[index];
+  for (const net::NodeId& node : set) {
+    if (node != suspect) removal.survivors.push_back(node);
+  }
+  return removal;
+}
+
+Status Controller::CommitReplicaRemoval(const ReplicaRemoval& removal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_failover_.count(removal.index) == 0) {
+    return Status::FailedPrecondition("no eviction planned for this stripe");
+  }
+  in_failover_.erase(removal.index);
+  if (removal.index >= info_.maintainers.size() ||
+      info_.maintainers[removal.index] != removal.coordinator) {
+    return Status::Aborted("stripe layout changed under the eviction plan");
+  }
+  LOG_INFO << "evicting replica " << removal.removed << " from maintainer "
+           << removal.index << " (epoch " << removal.new_epoch << ")";
+  info_.replicas[removal.index] = removal.survivors;
+  info_.fence_epochs[removal.index] = removal.new_epoch;
+  ++info_.version;
+  return Status::OK();
+}
+
+void Controller::AbortReplicaRemoval(uint32_t index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  in_failover_.erase(index);
 }
 
 uint64_t Controller::version() const {

@@ -22,7 +22,7 @@ namespace chariots::flstore {
 struct ClusterInfo {
   EpochJournal journal{1, 1000};
   /// Maintainer node ids, position-aligned with maintainer indices. With
-  /// replication these are the *primaries*.
+  /// replication these are the stripe *coordinators*.
   std::vector<net::NodeId> maintainers;
   std::vector<net::NodeId> indexers;
   uint64_t approx_records = 0;
@@ -30,24 +30,41 @@ struct ClusterInfo {
   /// of layout (AddMaintainer) must present the version they read — a CAS
   /// that rejects installs racing a concurrent failover promotion.
   uint64_t version = 0;
-  /// Backup node per maintainer index; "" = that stripe is unreplicated.
-  std::vector<net::NodeId> backups;
+  /// Replica nodes per maintainer index (the stripe's replica set minus its
+  /// coordinator); empty = that stripe is unreplicated. Every replica serves
+  /// linearizable reads, so clients spread reads across coordinator +
+  /// replicas.
+  std::vector<std::vector<net::NodeId>> replicas;
   /// Fencing epoch per maintainer index (starts at 1, bumped on every
-  /// failover promotion; see ReplicaGroup for the fencing rules).
+  /// failover promotion or replica-set change; see ReplicaGroup).
   std::vector<uint64_t> fence_epochs;
 };
 
 std::string EncodeClusterInfo(const ClusterInfo& info);
 Result<ClusterInfo> DecodeClusterInfo(std::string_view data);
 
-/// One failover the lease monitor decided on: promote `backup` to primary of
-/// stripe `index` under the bumped fencing epoch. Two-phase: the caller
-/// delivers the promotion RPC first, then commits (or aborts) the plan.
+/// One failover the failure detector decided on: promote `candidate` to
+/// coordinator of stripe `index` under the bumped fencing epoch, with
+/// `survivors` as its new replica set. Two-phase: the caller delivers the
+/// promotion RPC first, then commits (or aborts) the plan.
 struct FailoverPlan {
   uint32_t index = 0;
   uint64_t new_epoch = 0;
-  net::NodeId backup;
+  net::NodeId candidate;
+  std::vector<net::NodeId> survivors;
   net::NodeId failed_primary;
+};
+
+/// One replica eviction: drop `removed` from stripe `index`'s replica set
+/// under a bumped epoch, so the surviving coordinator's writes stop waiting
+/// on a dead peer. Two-phase like FailoverPlan: the caller reconfigures the
+/// coordinator first, then commits.
+struct ReplicaRemoval {
+  uint32_t index = 0;
+  uint64_t new_epoch = 0;
+  net::NodeId removed;
+  net::NodeId coordinator;
+  std::vector<net::NodeId> survivors;
 };
 
 /// Timing knobs for the controller's failure detector.
@@ -55,16 +72,19 @@ struct ControllerOptions {
   /// Clock the leases run on; null = system clock. A ManualClock makes
   /// expiry (and thus failover) fully deterministic in tests.
   Clock* clock = nullptr;
-  /// Lease duration: a primary missing heartbeats for this long is declared
-  /// dead and its backup promoted.
+  /// Lease duration: a coordinator missing heartbeats for this long is
+  /// declared dead and a replica promoted. With the suspect fast path this
+  /// is the *backstop* detector, not the expected MTTR.
   int64_t lease_nanos = 150'000'000;  // 150 ms
 };
 
 /// The highly-available control cluster of the paper (§5): an oracle
 /// application clients poll at session start for the locations and striping
-/// of the log maintainers, now also the failure detector — primaries
-/// heartbeat it, and an expired lease triggers promotion of the stripe's
-/// backup under a bumped fencing epoch (paper §5.3 reconfiguration).
+/// of the log maintainers, now also the failure detector — coordinators
+/// heartbeat it, an expired lease triggers promotion of a stripe replica
+/// under a bumped fencing epoch (paper §5.3 reconfiguration), and suspect
+/// reports from clients or coordinators trigger the same reconfigurations
+/// without waiting out the lease.
 class Controller {
  public:
   explicit Controller(ClusterInfo initial, ControllerOptions options = {});
@@ -79,31 +99,53 @@ class Controller {
   Status AddMaintainer(const net::NodeId& node, const StripeEpoch& epoch,
                        uint64_t expected_version);
 
-  /// Declares `backup` the replica of stripe `index` (bumps the version).
-  Status SetBackup(uint32_t index, const net::NodeId& backup);
+  /// Adds `replica` to stripe `index`'s replica set (bumps the version).
+  Status AddReplica(uint32_t index, const net::NodeId& replica);
 
   void SetApproxRecords(uint64_t n);
 
-  /// Heartbeat from the primary of stripe `index`; renews its lease iff
-  /// `from` is the node the layout names as that primary (a fenced old
-  /// primary's heartbeats no longer count).
+  /// Heartbeat from the coordinator of stripe `index`; renews its lease iff
+  /// `from` is the node the layout names as that coordinator (a fenced old
+  /// coordinator's heartbeats no longer count).
   void Heartbeat(uint32_t index, const net::NodeId& from);
 
-  /// Stripes whose primary lease expired and which have a backup to promote.
-  /// Marks each returned stripe in-failover so repeated calls don't plan the
-  /// same promotion twice; resolve with CommitFailover or AbortFailover.
+  /// Stripes whose coordinator lease expired and which have a replica to
+  /// promote. Marks each returned stripe in-failover so repeated calls don't
+  /// plan the same promotion twice; resolve with CommitFailover or
+  /// AbortFailover.
   std::vector<FailoverPlan> ExpiredLeases();
 
-  /// Applies a planned failover: the backup becomes the stripe's primary
-  /// under the new fencing epoch, the version bumps, and the stripe's lease
-  /// re-arms when the new primary first heartbeats.
+  /// Plans a failover for stripe `index` right now (the suspect fast path —
+  /// a client or peer reported the coordinator dead and a probe agreed).
+  /// kAborted if a failover is already in flight for the stripe;
+  /// kFailedPrecondition if there is no replica to promote.
+  Result<FailoverPlan> PlanFailover(uint32_t index);
+
+  /// Applies a planned failover: the candidate becomes the stripe's
+  /// coordinator under the new fencing epoch with the surviving replicas,
+  /// the version bumps, and the stripe's lease re-arms when the new
+  /// coordinator first heartbeats.
   Status CommitFailover(const FailoverPlan& plan);
 
   /// Abandons a planned failover (promotion RPC failed); the lease re-arms
   /// so the monitor retries after another lease period.
   void AbortFailover(uint32_t index);
 
-  /// True while stripe `index`'s primary holds an unexpired lease.
+  /// Plans the eviction of `suspect` from stripe `index`'s replica set (the
+  /// coordinator reported it unreachable and a probe agreed). Same
+  /// in-flight guard as PlanFailover.
+  Result<ReplicaRemoval> PlanReplicaRemoval(uint32_t index,
+                                            const net::NodeId& suspect);
+
+  /// Applies a planned eviction: the survivors become the replica set under
+  /// the bumped epoch and the version bumps. The coordinator is unchanged,
+  /// so its lease keeps running.
+  Status CommitReplicaRemoval(const ReplicaRemoval& removal);
+
+  /// Abandons a planned eviction.
+  void AbortReplicaRemoval(uint32_t index);
+
+  /// True while stripe `index`'s coordinator holds an unexpired lease.
   bool LeaseHeld(uint32_t index) const { return leases_.Held(index); }
 
   uint64_t version() const;
@@ -113,7 +155,7 @@ class Controller {
   mutable std::mutex mu_;
   ClusterInfo info_;
   LeaseTable leases_;
-  /// Stripes with a planned, uncommitted promotion.
+  /// Stripes with a planned, uncommitted promotion or eviction.
   std::set<uint32_t> in_failover_;
 };
 

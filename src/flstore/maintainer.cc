@@ -81,6 +81,7 @@ Status LogMaintainer::Close() {
   deferred_.clear();
   IndexClearLocked();
   tail_cache_.Clear();
+  invalid_.clear();
   std::fill(gossip_.begin(), gossip_.end(), 0);
   RefreshHlLocked();
   return Status::OK();
@@ -475,11 +476,56 @@ Status LogMaintainer::Remove(LId lid) {
   CHARIOTS_RETURN_IF_ERROR(store_.Remove(lid));
   IndexEraseLocked(lid);
   tail_cache_.Invalidate(lid);
+  invalid_.erase(lid);
   RebuildStateLocked();
   return Status::OK();
 }
 
 void LogMaintainer::InvalidateTailCache() { tail_cache_.Clear(); }
+
+void LogMaintainer::MarkInvalid(LId lid) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  invalid_.insert(lid);
+}
+
+void LogMaintainer::MarkValid(LId lid) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  invalid_.erase(lid);
+}
+
+void LogMaintainer::MarkAllValid() {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  invalid_.clear();
+}
+
+bool LogMaintainer::IsInvalid(LId lid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return invalid_.count(lid) > 0;
+}
+
+uint64_t LogMaintainer::InvalidCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return invalid_.size();
+}
+
+std::vector<std::pair<LId, std::string>> LogMaintainer::InvalidEntries()
+    const {
+  std::vector<LId> lids;
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    lids.assign(invalid_.begin(), invalid_.end());
+  }
+  // Payloads are fetched outside mu_ (Read never holds it across I/O). A
+  // position whose record vanished concurrently is simply not replayable.
+  std::vector<std::pair<LId, std::string>> entries;
+  entries.reserve(lids.size());
+  for (LId lid : lids) {
+    Result<LogRecord> record = Read(lid);
+    if (!record.ok()) continue;
+    entries.emplace_back(lid, EncodeLogRecord(*record));
+  }
+  return entries;
+}
 
 Status LogMaintainer::VerifyReadIndex() const {
   std::shared_lock<std::shared_mutex> lock(mu_);

@@ -153,6 +153,38 @@ class LogMaintainer {
   /// store instead of serving a possibly-superseded tail.
   void InvalidateTailCache();
 
+  // Hermes write-state tracking (DESIGN.md §12). A position is *invalid*
+  // from the moment its record lands under the replication protocol until
+  // the validate leg covers it; the service layer refuses to serve reads of
+  // invalid positions (they are not yet known durable everywhere). Absent =
+  // valid, so records landed outside the protocol (solo stripes, recovery,
+  // direct test appends) stay readable. Storage is not consulted: validity
+  // is protocol state, not payload state, and it dies with the process —
+  // a restarted replica rejoins via reconfiguration, not by trusting a
+  // stale validity map.
+
+  /// Marks `lid` invalid (INV received / landed but not yet all-acked).
+  void MarkInvalid(LId lid);
+
+  /// Marks `lid` valid again (VAL received / all peers acked).
+  void MarkValid(LId lid);
+
+  /// Flips every invalid position valid — promotion replay: once the new
+  /// coordinator has re-broadcast the surviving invalid entries, everything
+  /// it stores is the authoritative copy.
+  void MarkAllValid();
+
+  /// True while `lid` is in the invalid window.
+  bool IsInvalid(LId lid) const;
+
+  /// Number of positions currently invalid.
+  uint64_t InvalidCount() const;
+
+  /// Snapshot of every invalid position with its encoded record bytes — the
+  /// replay set a promoted coordinator re-broadcasts. Positions whose
+  /// payload cannot be read back are skipped (they never landed here).
+  std::vector<std::pair<LId, std::string>> InvalidEntries() const;
+
   /// Asserts the read index and the segment store agree exactly (same lid
   /// set, same locations). Recovery/diagnostic check; O(n).
   Status VerifyReadIndex() const;
@@ -240,6 +272,9 @@ class LogMaintainer {
   // Gossip vector: first-unfilled global per maintainer (self kept fresh).
   std::vector<LId> gossip_;
   std::deque<DeferredAppend> deferred_;
+  /// Positions in the Hermes invalid window (see MarkInvalid). Guarded by
+  /// mu_; tiny in steady state (only the in-flight write tail).
+  std::set<LId> invalid_;
   std::function<void(const LogRecord&, LId)> observer_;
 };
 

@@ -30,7 +30,7 @@ metrics::Counter* FenceCounter() {
 
 }  // namespace
 
-std::string EncodeReplicateRequest(const ReplicateRequest& req) {
+std::string EncodeInvalidateRequest(const InvalidateRequest& req) {
   BinaryWriter w;
   w.PutU64(req.epoch);
   w.PutU32(static_cast<uint32_t>(req.entries.size()));
@@ -44,9 +44,9 @@ std::string EncodeReplicateRequest(const ReplicateRequest& req) {
   return std::move(w).data();
 }
 
-Result<ReplicateRequest> DecodeReplicateRequest(std::string_view data) {
+Result<InvalidateRequest> DecodeInvalidateRequest(std::string_view data) {
   BinaryReader r(data);
-  ReplicateRequest req;
+  InvalidateRequest req;
   CHARIOTS_RETURN_IF_ERROR(r.GetU64(&req.epoch));
   uint32_t n = 0;
   CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
@@ -61,12 +61,35 @@ Result<ReplicateRequest> DecodeReplicateRequest(std::string_view data) {
   return req;
 }
 
+std::string EncodeValidateNotice(const ValidateNotice& notice) {
+  BinaryWriter w;
+  w.PutU64(notice.epoch);
+  w.PutU32(static_cast<uint32_t>(notice.lids.size()));
+  for (LId lid : notice.lids) w.PutU64(lid);
+  w.PutU64(notice.floor);
+  return std::move(w).data();
+}
+
+Result<ValidateNotice> DecodeValidateNotice(std::string_view data) {
+  BinaryReader r(data);
+  ValidateNotice notice;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&notice.epoch));
+  uint32_t n = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+  notice.lids.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&notice.lids[i]));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&notice.floor));
+  return notice;
+}
+
 ReplicaGroup::ReplicaGroup(net::RpcEndpoint* endpoint, ReplicaOptions options)
     : endpoint_(endpoint),
       role_(options.role),
       epoch_(options.epoch),
-      backup_(std::move(options.backup)),
-      replicate_timeout_(options.replicate_timeout) {}
+      peers_(std::move(options.peers)),
+      invalidate_timeout_(options.invalidate_timeout) {}
 
 ReplicaRole ReplicaGroup::role() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -83,88 +106,159 @@ bool ReplicaGroup::fenced() const {
   return fenced_;
 }
 
-net::NodeId ReplicaGroup::backup() const {
+std::vector<net::NodeId> ReplicaGroup::peers() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return backup_;
+  return peers_;
 }
 
 bool ReplicaGroup::replicates() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return role_ == ReplicaRole::kPrimary && !backup_.empty();
+  return role_ == ReplicaRole::kCoordinator && !peers_.empty();
 }
 
-Status ReplicaGroup::Replicate(std::vector<ReplicatedEntry> entries,
-                               const std::string& client_id, uint64_t seq,
-                               const std::string& response) {
-  ReplicateRequest req;
-  net::NodeId backup;
+bool ReplicaGroup::in_replica_set() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return role_ == ReplicaRole::kReplica ||
+         (role_ == ReplicaRole::kCoordinator && !peers_.empty());
+}
+
+Status ReplicaGroup::InvalidateBroadcast(std::vector<ReplicatedEntry> entries,
+                                         const std::string& client_id,
+                                         uint64_t seq,
+                                         const std::string& response,
+                                         net::NodeId* unreachable) {
+  InvalidateRequest req;
+  std::vector<net::NodeId> peers;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (fenced_) return Status::Unavailable("NOT_PRIMARY: fenced");
-    if (role_ != ReplicaRole::kPrimary || backup_.empty()) {
-      return Status::OK();  // nothing to replicate to
+    if (fenced_) return Status::Unavailable("NOT_COORDINATOR: fenced");
+    if (role_ == ReplicaRole::kReplica) {
+      return Status::Unavailable("NOT_COORDINATOR: replica");
     }
+    if (peers_.empty()) return Status::OK();  // nothing to replicate to
     req.epoch = epoch_;
-    backup = backup_;
+    peers = peers_;
   }
   req.entries = std::move(entries);
   req.client_id = client_id;
   req.seq = seq;
   req.response = response;
   size_t entry_count = req.entries.size();
-  // Replication lag = how long the synchronous backup round-trip holds up
-  // the append ack.
+  std::string wire = EncodeInvalidateRequest(req);
+  // Replication lag = how long the synchronous INV round holds up the
+  // append ack.
   metrics::ScopedLatencyTimer lag_timer(ReplicationLagHist());
-  Result<std::string> result = endpoint_->Call(
-      backup, kReplicateRpc, EncodeReplicateRequest(req), replicate_timeout_);
-  if (!result.ok()) {
-    // Could not confirm backup durability — whether the hop failed or the
-    // backup rejected our epoch, this primary can no longer safely ack
-    // appends. Self-fence: the controller will promote the backup, and our
-    // unacked local tail dies with us.
+  for (const net::NodeId& peer : peers) {
+    Result<std::string> result =
+        endpoint_->Call(peer, kInvalidateRpc, wire, invalidate_timeout_);
+    if (result.ok()) continue;
+    if (result.status().code() == StatusCode::kFailedPrecondition) {
+      // Epoch rejection: a higher epoch exists somewhere, so this node was
+      // deposed. Self-fence — our unacked invalid tail dies with us.
+      LOG_EVERY_N_SEC(kWarn, 5)
+          << "invalidate to " << peer
+          << " rejected, fencing: " << result.status().ToString();
+      Fence();
+      return Status::Unavailable("NOT_COORDINATOR: deposed (" +
+                                 result.status().ToString() + ")");
+    }
+    // Transport failure: the peer is suspect, but we may still be the live
+    // coordinator. The batch stays applied-but-invalid locally; the caller
+    // reports the suspect so the controller can drop the peer, after which
+    // a replay revalidates the batch.
     LOG_EVERY_N_SEC(kWarn, 5)
-        << "replicate to " << backup
-        << " failed, fencing: " << result.status().ToString();
-    Fence();
-    return Status::Unavailable("NOT_PRIMARY: replication failed (" +
+        << "invalidate to " << peer
+        << " unreachable: " << result.status().ToString();
+    if (unreachable != nullptr) *unreachable = peer;
+    return Status::Unavailable("REPLICA_UNREACHABLE: " + peer + " (" +
                                result.status().ToString() + ")");
   }
   ReplicatedEntriesCounter()->Add(entry_count);
   return Status::OK();
 }
 
-Status ReplicaGroup::CheckServing() const {
+void ReplicaGroup::ValidateBroadcast(const std::vector<LId>& lids, LId floor) {
+  ValidateNotice notice;
+  std::vector<net::NodeId> peers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fenced_ || role_ == ReplicaRole::kReplica || peers_.empty()) return;
+    notice.epoch = epoch_;
+    peers = peers_;
+  }
+  notice.lids = lids;
+  notice.floor = floor;
+  std::string wire = EncodeValidateNotice(notice);
+  for (const net::NodeId& peer : peers) {
+    endpoint_->Notify(peer, kValidateRpc, wire);
+  }
+}
+
+Status ReplicaGroup::CheckAppendServing() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (fenced_) return Status::Unavailable("NOT_PRIMARY: fenced");
-  if (role_ == ReplicaRole::kBackup) {
-    return Status::Unavailable("NOT_PRIMARY: backup replica");
+  if (fenced_) return Status::Unavailable("NOT_COORDINATOR: fenced");
+  if (role_ == ReplicaRole::kReplica) {
+    return Status::Unavailable("NOT_COORDINATOR: replica serves reads only");
   }
   return Status::OK();
 }
 
-Status ReplicaGroup::CheckReplicaEpoch(uint64_t remote_epoch) const {
+Status ReplicaGroup::CheckReadServing() const {
   std::lock_guard<std::mutex> lock(mu_);
+  if (fenced_) return Status::Unavailable("FENCED: not serving");
+  return Status::OK();
+}
+
+Status ReplicaGroup::AcceptRemoteEpoch(uint64_t remote_epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fenced_) return Status::Unavailable("FENCED: not serving");
   if (remote_epoch < epoch_) {
     return Status::FailedPrecondition("stale replication epoch");
   }
   if (remote_epoch > epoch_) {
-    return Status::FailedPrecondition("replication epoch from the future");
+    // A higher epoch means a committed reconfiguration we missed. Adopt it;
+    // a coordinator seeing this was deposed and rejoins as a replica (the
+    // sender is the new coordinator replaying into us).
+    epoch_ = remote_epoch;
+    if (role_ == ReplicaRole::kCoordinator) {
+      role_ = ReplicaRole::kReplica;
+      peers_.clear();
+    }
   }
   return Status::OK();
 }
 
-Status ReplicaGroup::Promote(uint64_t new_epoch) {
+Status ReplicaGroup::Promote(uint64_t new_epoch,
+                             std::vector<net::NodeId> peers) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (role_ == ReplicaRole::kPrimary && epoch_ == new_epoch) {
+  if (role_ == ReplicaRole::kCoordinator && epoch_ == new_epoch) {
     return Status::OK();  // retried promotion
   }
   if (new_epoch <= epoch_) {
     return Status::FailedPrecondition("promotion epoch must move forward");
   }
   if (fenced_) return Status::FailedPrecondition("cannot promote fenced node");
-  role_ = ReplicaRole::kPrimary;
+  role_ = ReplicaRole::kCoordinator;
   epoch_ = new_epoch;
-  backup_.clear();  // the promoted node runs unreplicated until reconfigured
+  peers_ = std::move(peers);
+  return Status::OK();
+}
+
+Status ReplicaGroup::Reconfigure(uint64_t new_epoch,
+                                 std::vector<net::NodeId> peers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fenced_) return Status::FailedPrecondition("cannot reconfigure fenced node");
+  if (role_ == ReplicaRole::kReplica) {
+    return Status::FailedPrecondition("only the coordinator reconfigures");
+  }
+  if (new_epoch < epoch_) {
+    return Status::FailedPrecondition("reconfigure epoch must not move back");
+  }
+  epoch_ = new_epoch;
+  peers_ = std::move(peers);
+  if (role_ == ReplicaRole::kSolo && !peers_.empty()) {
+    role_ = ReplicaRole::kCoordinator;
+  }
   return Status::OK();
 }
 

@@ -16,26 +16,27 @@ namespace chariots::flstore {
 
 /// This node's position in its stripe's replica set.
 enum class ReplicaRole : uint8_t {
-  kSolo = 0,     ///< unreplicated stripe (pre-replication deployments)
-  kPrimary = 1,  ///< serves clients, ships every landed record to the backup
-  kBackup = 2,   ///< applies replicated records, rejects client traffic
+  kSolo = 0,         ///< unreplicated stripe (pre-replication deployments)
+  kCoordinator = 1,  ///< assigns positions, drives invalidate/validate rounds
+  kReplica = 2,      ///< applies invalidations, serves reads of valid positions
 };
 
-/// One landed record as shipped primary -> backup: its assigned position and
-/// its already-encoded bytes (the backup applies it with AppendAt, so both
-/// replicas hold byte-identical payloads at identical positions).
+/// One landed record as shipped coordinator -> replica: its assigned position
+/// and its already-encoded bytes (replicas apply it with AppendAt, so every
+/// replica holds byte-identical payloads at identical positions).
 struct ReplicatedEntry {
   LId lid = kInvalidLId;
   std::string record_bytes;
 };
 
-/// Payload of a kReplicate RPC. Carries the primary's fencing epoch (the
-/// backup rejects anything stale), the batch of landed records, and the
-/// dedup token + cached response of the client operation that produced them
-/// ("" client_id = none), so exactly-once state survives failover: a retry
-/// that lands on the promoted backup replays the cached response instead of
-/// appending twice.
-struct ReplicateRequest {
+/// Payload of a kInvalidate RPC — the INV leg of the Hermes round. Carries
+/// the coordinator's fencing epoch (replicas reject anything stale), the
+/// batch of landed records (INVs carry the value, so the ack implies the
+/// replica holds it durably), and the dedup token + cached response of the
+/// client operation that produced them ("" client_id = none), so
+/// exactly-once state survives failover: a retry that lands on a promoted
+/// replica replays the cached response instead of appending twice.
+struct InvalidateRequest {
   uint64_t epoch = 0;
   std::vector<ReplicatedEntry> entries;
   std::string client_id;
@@ -43,44 +44,65 @@ struct ReplicateRequest {
   std::string response;
 };
 
-std::string EncodeReplicateRequest(const ReplicateRequest& req);
-Result<ReplicateRequest> DecodeReplicateRequest(std::string_view data);
+std::string EncodeInvalidateRequest(const InvalidateRequest& req);
+Result<InvalidateRequest> DecodeInvalidateRequest(std::string_view data);
 
-/// Opcode of the replicate RPC. service.h's Opcode enum aliases this value;
-/// it lives here so ReplicaGroup needn't depend on the service layer.
-inline constexpr uint16_t kReplicateRpc = 15;
+/// Payload of the one-way kValidate notify — the VAL leg. Sent after every
+/// peer acked the INV, it flips the listed positions readable and carries
+/// the coordinator's validated floor (one past the highest all-acked
+/// position), which replicas fold into their own cacheable-HL bound.
+struct ValidateNotice {
+  uint64_t epoch = 0;
+  std::vector<LId> lids;
+  LId floor = 0;
+};
+
+std::string EncodeValidateNotice(const ValidateNotice& notice);
+Result<ValidateNotice> DecodeValidateNotice(std::string_view data);
+
+/// Opcodes of the replication RPCs. service.h's Opcode enum aliases these;
+/// they live here so ReplicaGroup needn't depend on the service layer.
+inline constexpr uint16_t kInvalidateRpc = 15;
+inline constexpr uint16_t kValidateRpc = 20;
 
 /// Options for one node's view of its stripe replica set.
 struct ReplicaOptions {
   ReplicaRole role = ReplicaRole::kSolo;
   /// The stripe's fencing epoch this node believes in. Starts at 1; every
-  /// failover promotion bumps it, and a node that learns of a higher epoch
-  /// (or fails to reach its backup) must stop serving.
+  /// failover promotion or replica-set change bumps it, and a node whose
+  /// epoch is rejected as stale must stop serving.
   uint64_t epoch = 1;
-  /// The backup node (primary role only; "" = primary with no backup).
-  net::NodeId backup;
-  /// Per-attempt budget for the synchronous replicate call. Appends ack only
-  /// after the backup durably framed the batch, so this bounds append
-  /// latency under a slow/partitioned backup before the primary self-fences.
-  std::chrono::milliseconds replicate_timeout{1000};
+  /// The other replicas of this stripe (coordinator role only; replicas
+  /// learn the membership when they are promoted or reconfigured).
+  std::vector<net::NodeId> peers;
+  /// Per-peer budget for one synchronous invalidate call. Appends ack only
+  /// after every replica durably framed the batch, so this bounds append
+  /// latency under a slow peer before the write parks as invalid.
+  std::chrono::milliseconds invalidate_timeout{1000};
 };
 
-/// Epoch-fenced primary–backup replication for one maintainer stripe.
+/// Hermes-style epoch-fenced broadcast replication for one maintainer
+/// stripe (DESIGN.md §12).
 ///
-/// The protocol is deliberately minimal (one synchronous hop, no quorums):
-///  * The primary lands a batch locally, then ships it to the backup and
-///    acks the client only after the backup confirmed durability.
-///  * If the backup is unreachable or rejects the epoch, the primary
-///    *self-fences*: it stops serving (NOT_PRIMARY on every later request)
-///    and stops heartbeating, so the controller promotes the backup. The
-///    primary's unacked local tail may diverge, but a fenced node never
-///    serves it — the client retries against the promoted backup, and dedup
-///    state (replicated with each batch) keeps the retry exactly-once.
-///  * The backup rejects client traffic and any replicate/fill carrying an
-///    epoch other than its own, which makes a deposed primary's in-flight
-///    traffic harmless after promotion (split-brain safety).
+///  * The coordinator lands a batch locally (marked invalid), then sends an
+///    INV carrying the payload to every peer. Each ack means "applied and
+///    durable here". Once all peers acked, the coordinator validates the
+///    positions (local mark + one-way VAL broadcast) and acks the client.
+///  * Every replica serves reads — but only of *valid* positions, which is
+///    what makes the reads linearizable: a valid position is durable on all
+///    replicas and can never be junk-filled by a failover.
+///  * An epoch rejection from any peer means a higher epoch exists: this
+///    node is deposed and self-fences (split-brain safety, unchanged from
+///    the primary–backup scheme). A mere transport failure does NOT fence —
+///    the write parks as invalid, the caller reports the suspect peer, and
+///    the write completes via replay once the controller removes the dead
+///    peer (or, if we are the partitioned side, a later epoch rejection or
+///    lease expiry fences us).
+///  * A replica that sees a *higher* epoch adopts it: promotion replay
+///    re-invalidates surviving replicas under the new coordinator's epoch.
 ///
-/// Thread-safe; role/epoch transitions and the fenced latch share one lock.
+/// Thread-safe; role/epoch/peer transitions and the fenced latch share one
+/// lock.
 class ReplicaGroup {
  public:
   ReplicaGroup(net::RpcEndpoint* endpoint, ReplicaOptions options);
@@ -88,34 +110,56 @@ class ReplicaGroup {
   ReplicaRole role() const;
   uint64_t epoch() const;
   bool fenced() const;
-  net::NodeId backup() const;
+  std::vector<net::NodeId> peers() const;
 
-  /// True when this node must ship landed records to a backup.
+  /// True when this node must broadcast landed records to peers.
   bool replicates() const;
 
-  /// Primary: synchronously replicate a batch (with its dedup token) to the
-  /// backup. Any failure — transport, timeout, or epoch rejection — fences
-  /// this node before returning, so the caller must fail the client request
-  /// (kUnavailable) and never ack.
-  Status Replicate(std::vector<ReplicatedEntry> entries,
-                   const std::string& client_id, uint64_t seq,
-                   const std::string& response);
+  /// True when this node is part of a multi-node replica set (broadcasting
+  /// coordinator or replica) — i.e. when the cacheable HL must be capped at
+  /// the validated floor.
+  bool in_replica_set() const;
 
-  /// Guard for client-facing handlers: OK only when this node is an
-  /// unfenced primary (or solo). Backups and fenced nodes get kUnavailable
-  /// with a NOT_PRIMARY marker, which steers the client's failover loop to
-  /// refresh its controller view.
-  Status CheckServing() const;
+  /// Coordinator: synchronously invalidate a batch (with its dedup token)
+  /// on every peer. On an epoch rejection this node fences before
+  /// returning. On a transport failure it does NOT fence: `unreachable` (if
+  /// non-null) names the suspect peer and the caller must fail the client
+  /// request (kUnavailable) without acking — the landed entries stay
+  /// invalid until a replay revalidates them.
+  Status InvalidateBroadcast(std::vector<ReplicatedEntry> entries,
+                             const std::string& client_id, uint64_t seq,
+                             const std::string& response,
+                             net::NodeId* unreachable);
 
-  /// Backup: validate the epoch of an incoming replicate/fill. A stale
-  /// epoch is rejected with kFailedPrecondition (the sender must fence); a
-  /// *newer* epoch also rejects — the backup only moves epochs via Promote.
-  Status CheckReplicaEpoch(uint64_t remote_epoch) const;
+  /// Coordinator: fire-and-forget VAL broadcast flipping `lids` readable on
+  /// every peer, piggybacking the validated floor. Losing one is harmless —
+  /// the positions stay invalid (unreadable) on that replica until a later
+  /// VAL or a promotion replay covers them.
+  void ValidateBroadcast(const std::vector<LId>& lids, LId floor);
 
-  /// Backup -> primary under the bumped fencing epoch. Idempotent: a retry
-  /// of the same promotion (already primary at `new_epoch`) is OK; an
-  /// attempt to move backward fails.
-  Status Promote(uint64_t new_epoch);
+  /// Guard for append-side handlers: OK only when this node is an unfenced
+  /// coordinator (or solo). Replicas and fenced nodes get kUnavailable with
+  /// a NOT_COORDINATOR marker, which steers the client's failover loop.
+  Status CheckAppendServing() const;
+
+  /// Guard for read-side handlers: every unfenced role serves reads (of
+  /// valid positions — validity is enforced per-LId by the service layer).
+  Status CheckReadServing() const;
+
+  /// Folds the epoch of an incoming invalidate/fetch into this node. Stale
+  /// epochs are rejected with kFailedPrecondition (the sender must fence).
+  /// A *newer* epoch is adopted — a coordinator demotes itself to replica
+  /// (it was deposed; the new coordinator's replay is re-invalidating us).
+  Status AcceptRemoteEpoch(uint64_t remote_epoch);
+
+  /// Replica -> coordinator of `peers` under the bumped fencing epoch.
+  /// Idempotent: a retry of the same promotion (already coordinator at
+  /// `new_epoch`) is OK; an attempt to move backward fails.
+  Status Promote(uint64_t new_epoch, std::vector<net::NodeId> peers);
+
+  /// Coordinator: adopt a new replica set under a bumped epoch (the
+  /// controller removing a dead peer). Replicas cannot reconfigure.
+  Status Reconfigure(uint64_t new_epoch, std::vector<net::NodeId> peers);
 
   /// Stop serving permanently (until a restart reconfigures the node).
   void Fence();
@@ -126,9 +170,9 @@ class ReplicaGroup {
   mutable std::mutex mu_;
   ReplicaRole role_;
   uint64_t epoch_;
-  net::NodeId backup_;
+  std::vector<net::NodeId> peers_;
   bool fenced_ = false;
-  const std::chrono::milliseconds replicate_timeout_;
+  const std::chrono::milliseconds invalidate_timeout_;
 };
 
 }  // namespace chariots::flstore

@@ -1,6 +1,7 @@
 #include "flstore/service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/codec.h"
 #include "common/logging.h"
@@ -70,6 +71,33 @@ metrics::Counter* FailoverAbortCounter() {
   return c;
 }
 
+// Hermes replication families (ISSUE 7): the INV/VAL/replay volume and the
+// controller-observed repair time, CLI-visible via `chariots_cli metrics`.
+
+metrics::Counter* InvalidationsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.repl.invalidations");
+  return c;
+}
+
+metrics::Counter* ValidationsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.repl.validations");
+  return c;
+}
+
+metrics::Counter* ReplaysCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.repl.replays");
+  return c;
+}
+
+metrics::Histogram* MttrHist() {
+  static metrics::Histogram* h = metrics::Registry::Default().GetHistogram(
+      "chariots.flstore.repl.mttr_ns");
+  return h;
+}
+
 std::string EncodeLId(LId lid) {
   BinaryWriter w;
   w.PutU64(lid);
@@ -100,7 +128,30 @@ class ReplicationScope {
   ReplicationScope& operator=(const ReplicationScope&) = delete;
 };
 
+std::vector<LId> BatchLids(const std::vector<ReplicatedEntry>& batch) {
+  std::vector<LId> lids;
+  lids.reserve(batch.size());
+  for (const ReplicatedEntry& entry : batch) lids.push_back(entry.lid);
+  return lids;
+}
+
+/// Highest position in a replicated batch (kInvalidLId when empty).
+LId BatchTop(const std::vector<ReplicatedEntry>& batch) {
+  LId top = kInvalidLId;
+  for (const ReplicatedEntry& entry : batch) {
+    if (top == kInvalidLId || entry.lid > top) top = entry.lid;
+  }
+  return top;
+}
+
 }  // namespace
+
+void RegisterReplicationMetrics() {
+  InvalidationsCounter();
+  ValidationsCounter();
+  ReplaysCounter();
+  MttrHist();
+}
 
 std::string EncodeEpoch(const StripeEpoch& epoch) {
   BinaryWriter w;
@@ -120,16 +171,6 @@ Result<StripeEpoch> DecodeEpoch(std::string_view data) {
 }
 
 // ---------------------------------------------------------------- maintainer
-
-
-/// Highest position in a replicated batch (kInvalidLId when empty).
-LId BatchTop(const std::vector<ReplicatedEntry>& batch) {
-  LId top = kInvalidLId;
-  for (const ReplicatedEntry& entry : batch) {
-    if (top == kInvalidLId || entry.lid > top) top = entry.lid;
-  }
-  return top;
-}
 
 MaintainerServer::MaintainerServer(net::Transport* transport,
                                    MaintainerOptions maintainer,
@@ -152,14 +193,15 @@ MaintainerServer::~MaintainerServer() { Stop(); }
 Status MaintainerServer::Start() {
   CHARIOTS_RETURN_IF_ERROR(maintainer_.Open());
   CHARIOTS_RETURN_IF_ERROR(dedup_.Open());
+  RegisterReplicationMetrics();
   maintainer_.SetAppendObserver(
       [this](const LogRecord& record, LId lid) { OnLanded(record, lid); });
   InstallHandlers();
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
   CHARIOTS_RETURN_IF_ERROR(repl_endpoint_.Start());
   // Like the thread loops these replace, the first iteration runs now, not
-  // one period from now — a fresh primary's lease must be armed before a
-  // kill can be detected. Cancel() in Stop() fences the `this` captures.
+  // one period from now — a fresh coordinator's lease must be armed before
+  // a kill can be detected. Cancel() in Stop() fences the `this` captures.
   if (options_.peers.size() > 1) {
     GossipOnce();
     gossip_token_ = executor_->ScheduleEvery(options_.gossip_interval_nanos,
@@ -194,10 +236,15 @@ void MaintainerServer::OnLanded(const LogRecord& record, LId lid) {
   if (g_replication_sink != nullptr) {
     g_replication_sink->push_back(
         ReplicatedEntry{lid, EncodeLogRecord(record)});
+    // Records landing under the replication protocol open invalid (Hermes):
+    // unreadable until every peer acked the INV. Records landed outside the
+    // protocol (solo stripes, recovery) stay valid.
+    if (replica_.replicates()) maintainer_.MarkInvalid(lid);
   }
-  // Backups hold the postings back: the primary already published them, and
-  // the promoted node starts publishing the moment it begins serving.
-  if (!options_.indexers.empty() && replica_.CheckServing().ok()) {
+  // Replicas hold the postings back: the coordinator already published
+  // them, and a promoted node starts publishing the moment it begins
+  // serving appends.
+  if (!options_.indexers.empty() && replica_.CheckAppendServing().ok()) {
     PublishPostings(record, lid);
   }
 }
@@ -206,19 +253,22 @@ void MaintainerServer::InstallHandlers() {
   // All client-initiated appends open with a (client_id, seq) token. A
   // token the dedup window has already executed short-circuits to the
   // cached response, so a retry whose original *response* was lost returns
-  // the same LIds instead of appending twice.
+  // the same LIds instead of appending twice. Under replication the
+  // short-circuit first drives a replay of any parked (invalid) writes:
+  // an append whose INV round failed recorded its dedup state but never
+  // acked, and its retry is what completes the round.
   //
-  // Replicated stripes additionally ship each landed batch to the backup
-  // (with the token and cached response) before recording dedup state and
-  // acking — so an ack means both replicas hold the records, and a retry
-  // that lands on the promoted backup after failover replays the cached
-  // response instead of appending twice.
+  // Replicated stripes run the Hermes round per landed batch: the batch
+  // lands locally marked invalid, an INV carrying the payload (and the
+  // dedup token) goes to every peer, and only when all peers acked does
+  // the coordinator validate (local mark + one-way VAL) and ack. An ack
+  // therefore means every replica holds the records durably.
   endpoint_.Handle(kAppend, [this](const net::NodeId&,
                                    const std::string& payload)
                                 -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(AppendHist());
     AppendCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckAppendServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -226,7 +276,10 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
     CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
                               dedup_.Lookup(client_id, seq));
-    if (cached.has_value()) return *std::move(cached);
+    if (cached.has_value()) {
+      CHARIOTS_RETURN_IF_ERROR(DriveReplication());
+      return *std::move(cached);
+    }
     std::string rec_bytes;
     CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&rec_bytes));
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
@@ -238,10 +291,8 @@ void MaintainerServer::InstallHandlers() {
       CHARIOTS_ASSIGN_OR_RETURN(lid, maintainer_.Append(record));
     }
     std::string response = EncodeLId(lid);
-    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
-        replica_.Replicate(std::move(batch), client_id, seq, response));
-    NoteReplicated(repl_top);
+        RunReplicationRound(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -251,7 +302,7 @@ void MaintainerServer::InstallHandlers() {
                                      -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(AppendHist());
     AppendCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckAppendServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -259,7 +310,10 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
     CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
                               dedup_.Lookup(client_id, seq));
-    if (cached.has_value()) return *std::move(cached);
+    if (cached.has_value()) {
+      CHARIOTS_RETURN_IF_ERROR(DriveReplication());
+      return *std::move(cached);
+    }
     uint32_t n = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
     std::vector<ReplicatedEntry> batch;
@@ -277,10 +331,8 @@ void MaintainerServer::InstallHandlers() {
       }
     }
     std::string response = std::move(out).data();
-    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
-        replica_.Replicate(std::move(batch), client_id, seq, response));
-    NoteReplicated(repl_top);
+        RunReplicationRound(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -290,7 +342,7 @@ void MaintainerServer::InstallHandlers() {
                                   -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(AppendHist());
     AppendCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckAppendServing());
     BinaryReader r(payload);
     LId lid = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
@@ -303,9 +355,7 @@ void MaintainerServer::InstallHandlers() {
       ReplicationScope scope(&batch);
       CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(lid, record));
     }
-    LId repl_top = BatchTop(batch);
-    CHARIOTS_RETURN_IF_ERROR(replica_.Replicate(std::move(batch), "", 0, ""));
-    NoteReplicated(repl_top);
+    CHARIOTS_RETURN_IF_ERROR(RunReplicationRound(std::move(batch), "", 0, ""));
     return std::string();
   });
 
@@ -314,7 +364,7 @@ void MaintainerServer::InstallHandlers() {
                                        -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(AppendHist());
     AppendCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckAppendServing());
     BinaryReader r(payload);
     std::string client_id;
     uint64_t seq = 0;
@@ -322,7 +372,10 @@ void MaintainerServer::InstallHandlers() {
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&seq));
     CHARIOTS_ASSIGN_OR_RETURN(std::optional<std::string> cached,
                               dedup_.Lookup(client_id, seq));
-    if (cached.has_value()) return *std::move(cached);
+    if (cached.has_value()) {
+      CHARIOTS_RETURN_IF_ERROR(DriveReplication());
+      return *std::move(cached);
+    }
     LId min_lid = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&min_lid));
     std::string rec_bytes;
@@ -339,10 +392,8 @@ void MaintainerServer::InstallHandlers() {
     // Caching a deferred (kInvalidLId) response is deliberate: a retry must
     // not re-buffer the record — the first buffered copy will land.
     std::string response = EncodeLId(lid);
-    LId repl_top = BatchTop(batch);
     CHARIOTS_RETURN_IF_ERROR(
-        replica_.Replicate(std::move(batch), client_id, seq, response));
-    NoteReplicated(repl_top);
+        RunReplicationRound(std::move(batch), client_id, seq, response));
     CHARIOTS_RETURN_IF_ERROR(dedup_.Record(client_id, seq, response));
     return response;
   });
@@ -350,14 +401,21 @@ void MaintainerServer::InstallHandlers() {
   // Read responses open with (fence epoch, head of log): the client's
   // read-through cache keys its invalidation off them — an epoch bump for
   // the stripe purges cached tail entries, and lids below the piggybacked
-  // HL are immutable and cacheable forever (DESIGN.md §11).
+  // HL are immutable and cacheable forever (DESIGN.md §11). Every unfenced
+  // role serves reads, but only of *valid* positions: an invalid position
+  // is not yet known durable everywhere, so serving it could expose a
+  // value a failover later junk-fills. Clients retry invalid positions
+  // against another replica (the coordinator validates first).
   endpoint_.Handle(kRead, [this](const net::NodeId&,
                                  const std::string& payload)
                               -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(ReadHist());
     ReadCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReadServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
+    if (maintainer_.IsInvalid(lid)) {
+      return Status::Unavailable("INVALID_LID: position not yet validated");
+    }
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record, maintainer_.Read(lid));
     BinaryWriter w;
     w.PutU64(replica_.epoch());
@@ -371,8 +429,11 @@ void MaintainerServer::InstallHandlers() {
                                        -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(ReadHist());
     ReadCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReadServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
+    if (maintainer_.IsInvalid(lid)) {
+      return Status::Unavailable("INVALID_LID: position not yet validated");
+    }
     CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
                               maintainer_.ReadCommitted(lid));
     BinaryWriter w;
@@ -385,13 +446,15 @@ void MaintainerServer::InstallHandlers() {
   // Batched multi-get: the whole batch costs one round trip. Per-lid
   // presence flags let the client distinguish a miss (gap/GC) from an
   // error; OutOfRange (wrong stripe) is also reported as not-found so a
-  // coalesced batch straddling a stale striping view degrades softly.
+  // coalesced batch straddling a stale striping view degrades softly. An
+  // invalid position fails the whole batch (retryable) — flagging it
+  // not-found would let a coalescing client conclude the record is gone.
   endpoint_.Handle(kReadRange, [this](const net::NodeId&,
                                       const std::string& payload)
                                    -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(ReadHist());
     ReadCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReadServing());
     BinaryReader r(payload);
     uint32_t n = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
@@ -402,6 +465,9 @@ void MaintainerServer::InstallHandlers() {
     for (uint32_t i = 0; i < n; ++i) {
       LId lid = 0;
       CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lid));
+      if (maintainer_.IsInvalid(lid)) {
+        return Status::Unavailable("INVALID_LID: position not yet validated");
+      }
       Result<LogRecord> record = maintainer_.Read(lid);
       w.PutU64(lid);
       if (record.ok()) {
@@ -419,7 +485,7 @@ void MaintainerServer::InstallHandlers() {
 
   endpoint_.Handle(kHeadOfLog, [this](const net::NodeId&, const std::string&)
                                    -> Result<std::string> {
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReadServing());
     return EncodeLId(maintainer_.HeadOfLog());
   });
 
@@ -441,22 +507,35 @@ void MaintainerServer::InstallHandlers() {
     }
   });
 
-  // Backup side of the stripe replica set: apply a batch the primary shipped
-  // (epoch-fenced), then mirror its dedup state so exactly-once survives a
-  // failover. AlreadyExists is a retried batch — the records landed the
-  // first time.
-  endpoint_.Handle(kReplicate, [this](const net::NodeId&,
-                                      const std::string& payload)
-                                   -> Result<std::string> {
-    CHARIOTS_ASSIGN_OR_RETURN(ReplicateRequest req,
-                              DecodeReplicateRequest(payload));
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReplicaEpoch(req.epoch));
+  // Replica side of the INV leg: adopt the sender's epoch (stale rejects,
+  // newer demotes a deposed coordinator back to replica), apply the batch
+  // marked invalid, then mirror its dedup state so exactly-once survives a
+  // failover. AlreadyExists with identical bytes is a retried/replayed
+  // batch; with different bytes it is a cross-epoch replay overwriting a
+  // divergent position (e.g. junk filled under an older view), which the
+  // new coordinator's copy wins.
+  endpoint_.Handle(kInvalidate, [this](const net::NodeId&,
+                                       const std::string& payload)
+                                    -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(InvalidateRequest req,
+                              DecodeInvalidateRequest(payload));
+    CHARIOTS_RETURN_IF_ERROR(replica_.AcceptRemoteEpoch(req.epoch));
+    InvalidationsCounter()->Add(req.entries.size());
     for (const ReplicatedEntry& entry : req.entries) {
       CHARIOTS_ASSIGN_OR_RETURN(
           LogRecord record, DecodeLogRecord(entry.lid, entry.record_bytes));
       Status status = maintainer_.AppendAt(entry.lid, record);
-      if (status.code() == StatusCode::kAlreadyExists) continue;
-      CHARIOTS_RETURN_IF_ERROR(status);
+      if (status.code() == StatusCode::kAlreadyExists) {
+        Result<LogRecord> existing = maintainer_.Read(entry.lid);
+        if (existing.ok() &&
+            EncodeLogRecord(*existing) != entry.record_bytes) {
+          CHARIOTS_RETURN_IF_ERROR(maintainer_.Remove(entry.lid));
+          CHARIOTS_RETURN_IF_ERROR(maintainer_.AppendAt(entry.lid, record));
+        }
+      } else {
+        CHARIOTS_RETURN_IF_ERROR(status);
+      }
+      maintainer_.MarkInvalid(entry.lid);
     }
     if (!req.client_id.empty()) {
       CHARIOTS_RETURN_IF_ERROR(
@@ -465,27 +544,146 @@ void MaintainerServer::InstallHandlers() {
     return std::string();
   });
 
-  // Failover promotion (controller -> backup): adopt the bumped fencing
-  // epoch, become primary, and junk-fill the positions the dead primary
-  // assigned but never replicated so the Head of the Log can advance past
-  // them. Responds with the filled positions. Idempotent under retry.
+  // Replica side of the VAL leg: flip the listed positions readable and
+  // fold in the coordinator's validated floor. Only the exact current
+  // epoch counts — a deposed coordinator's stray VAL must not validate
+  // positions its successor may junk-fill.
+  endpoint_.HandleOneWay(kValidate, [this](const net::NodeId&,
+                                           std::string payload) {
+    Result<ValidateNotice> notice = DecodeValidateNotice(payload);
+    if (!notice.ok()) return;
+    if (replica_.fenced() || notice->epoch != replica_.epoch()) return;
+    ValidationsCounter()->Add(notice->lids.size());
+    for (LId lid : notice->lids) maintainer_.MarkValid(lid);
+    AdvanceReplicatedFloor(notice->floor);
+  });
+
+  // Promotion-replay source: a candidate coordinator pulling this node's
+  // invalid window (positions applied here whose VAL never arrived —
+  // exactly the writes the dead coordinator may have acked). Adopting the
+  // caller's epoch is the point: it fences the dead coordinator out of
+  // this replica for good.
+  endpoint_.Handle(kFetchInvalid, [this](const net::NodeId&,
+                                         const std::string& payload)
+                                      -> Result<std::string> {
+    BinaryReader r(payload);
+    uint64_t epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+    CHARIOTS_RETURN_IF_ERROR(replica_.AcceptRemoteEpoch(epoch));
+    std::vector<std::pair<LId, std::string>> entries =
+        maintainer_.InvalidEntries();
+    BinaryWriter w;
+    w.PutU32(static_cast<uint32_t>(entries.size()));
+    for (const auto& [lid, bytes] : entries) {
+      w.PutU64(lid);
+      w.PutBytes(bytes);
+    }
+    return std::move(w).data();
+  });
+
+  // Replica-set change from the controller (dead replica evicted): adopt
+  // the bumped epoch and surviving peers, then replay any parked writes —
+  // they were waiting on the dead peer and can complete now.
+  endpoint_.Handle(kReconfigure, [this](const net::NodeId&,
+                                        const std::string& payload)
+                                     -> Result<std::string> {
+    BinaryReader r(payload);
+    uint64_t new_epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
+    uint32_t n = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    std::vector<net::NodeId> peers(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&peers[i]));
+    }
+    CHARIOTS_RETURN_IF_ERROR(replica_.Reconfigure(new_epoch,
+                                                  std::move(peers)));
+    Status replay = DriveReplication();
+    if (!replay.ok()) {
+      // Another peer died meanwhile; the next suspect round handles it.
+      LOG_WARN << "post-reconfigure replay incomplete: " << replay.ToString();
+    }
+    return std::string();
+  });
+
+  // Liveness probe for the controller's suspect verification. Fenced nodes
+  // answer Unavailable on purpose: a fenced ex-coordinator is as good as
+  // dead and should be failed over without waiting out its lease.
+  endpoint_.Handle(kPing, [this](const net::NodeId&, const std::string&)
+                              -> Result<std::string> {
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckReadServing());
+    return std::string();
+  });
+
+  // Failover promotion (controller -> candidate): adopt the bumped fencing
+  // epoch and the surviving peers, replay the in-flight writes (pull every
+  // survivor's invalid window, merge, re-broadcast under the new epoch),
+  // and junk-fill the true holes — positions the dead coordinator assigned
+  // but never invalidated anywhere — so the Head of the Log can advance
+  // past them. Responds with the filled positions. Idempotent under retry.
   endpoint_.Handle(kPromote, [this](const net::NodeId&,
                                     const std::string& payload)
                                  -> Result<std::string> {
     BinaryReader r(payload);
     uint64_t new_epoch = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
-    CHARIOTS_RETURN_IF_ERROR(replica_.Promote(new_epoch));
+    uint32_t n = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&n));
+    std::vector<net::NodeId> peers(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&peers[i]));
+    }
+    CHARIOTS_RETURN_IF_ERROR(replica_.Promote(new_epoch, peers));
     PromotionsCounter()->Add();
     // Role change: drop the cached tail so nothing assembled under the old
-    // epoch can be served by the new primary.
+    // epoch can be served by the new coordinator.
     maintainer_.InvalidateTailCache();
-    CHARIOTS_ASSIGN_OR_RETURN(std::vector<LId> filled,
-                              maintainer_.FillHoles(MakeJunkRecord()));
+    // Merge every surviving peer's invalid window into ours: a write the
+    // dead coordinator acked is applied (invalid) on ALL replicas, so any
+    // survivor — us included — holds it. Fetched positions are marked
+    // invalid here too, putting them in the replay set below.
+    for (const net::NodeId& peer : peers) {
+      BinaryWriter fw;
+      fw.PutU64(new_epoch);
+      CHARIOTS_ASSIGN_OR_RETURN(
+          std::string fetched,
+          repl_endpoint_.Call(peer, kFetchInvalid, std::move(fw).data(),
+                              std::chrono::milliseconds(1000)));
+      BinaryReader fr(fetched);
+      uint32_t m = 0;
+      CHARIOTS_RETURN_IF_ERROR(fr.GetU32(&m));
+      for (uint32_t i = 0; i < m; ++i) {
+        LId lid = 0;
+        std::string bytes;
+        CHARIOTS_RETURN_IF_ERROR(fr.GetU64(&lid));
+        CHARIOTS_RETURN_IF_ERROR(fr.GetBytes(&bytes));
+        CHARIOTS_ASSIGN_OR_RETURN(LogRecord record,
+                                  DecodeLogRecord(lid, bytes));
+        Status status = maintainer_.AppendAt(lid, record);
+        if (status.code() != StatusCode::kAlreadyExists) {
+          CHARIOTS_RETURN_IF_ERROR(status);
+        }
+        maintainer_.MarkInvalid(lid);
+      }
+    }
+    // Junk-fill the true holes (nothing above covered them), replicating
+    // the fills like any landed record.
+    std::vector<ReplicatedEntry> fills;
+    std::vector<LId> filled;
+    {
+      ReplicationScope scope(&fills);
+      CHARIOTS_ASSIGN_OR_RETURN(filled,
+                                maintainer_.FillHoles(MakeJunkRecord()));
+    }
     if (!filled.empty()) {
       LOG_INFO << "promotion of maintainer " << maintainer_.index()
                << " junk-filled " << filled.size() << " orphaned positions";
     }
+    // Replay: everything invalid here (own parked writes + merged windows +
+    // fills) is now the authoritative copy. Re-broadcast it under the new
+    // epoch and validate everywhere.
+    CHARIOTS_RETURN_IF_ERROR(DriveReplication());
+    maintainer_.MarkAllValid();
     BinaryWriter w;
     w.PutU32(static_cast<uint32_t>(filled.size()));
     for (LId lid : filled) w.PutU64(lid);
@@ -498,7 +696,7 @@ void MaintainerServer::InstallHandlers() {
                               -> Result<std::string> {
     metrics::ScopedLatencyTimer timer(FillHist());
     FillCounter()->Add();
-    CHARIOTS_RETURN_IF_ERROR(replica_.CheckServing());
+    CHARIOTS_RETURN_IF_ERROR(replica_.CheckAppendServing());
     CHARIOTS_ASSIGN_OR_RETURN(LId lid, DecodeLId(payload));
     std::vector<ReplicatedEntry> batch;
     Status status;
@@ -510,11 +708,12 @@ void MaintainerServer::InstallHandlers() {
       return std::string();  // position is occupied — nothing to repair
     }
     CHARIOTS_RETURN_IF_ERROR(status);
-    CHARIOTS_RETURN_IF_ERROR(replica_.Replicate(std::move(batch), "", 0, ""));
+    CHARIOTS_RETURN_IF_ERROR(RunReplicationRound(std::move(batch), "", 0, ""));
     return std::string();
   });
 
-  // Layout change from the controller: stripe `index` has a new primary.
+  // Layout change from the controller: stripe `index` has a new
+  // coordinator.
   endpoint_.HandleOneWay(kPeerUpdate, [this](const net::NodeId&,
                                              std::string payload) {
     BinaryReader r(payload);
@@ -528,19 +727,97 @@ void MaintainerServer::InstallHandlers() {
   });
 }
 
+Status MaintainerServer::RunReplicationRound(
+    std::vector<ReplicatedEntry> batch, const std::string& client_id,
+    uint64_t seq, const std::string& response) {
+  std::vector<LId> lids = BatchLids(batch);
+  LId top = BatchTop(batch);
+  net::NodeId unreachable;
+  Status status = replica_.InvalidateBroadcast(std::move(batch), client_id,
+                                               seq, response, &unreachable);
+  if (!status.ok()) {
+    if (!unreachable.empty()) {
+      // Park the write: the batch stays applied-but-invalid, the dedup
+      // token remembers its response, and the suspect report lets the
+      // controller evict the dead peer — after which a retry of the same
+      // token (or the reconfigure itself) replays the round and acks with
+      // the same LIds. No fencing: a dead *replica* must not take the
+      // coordinator down with it.
+      if (!client_id.empty()) {
+        (void)dedup_.Record(client_id, seq, response);
+      }
+      SuspectPeer(unreachable);
+    }
+    return status;
+  }
+  // Every peer acked: the batch is durable everywhere. Validate it locally,
+  // advance the floor, and flip it readable on the peers.
+  for (LId lid : lids) maintainer_.MarkValid(lid);
+  NoteReplicated(top);
+  if (!lids.empty() && replica_.replicates()) {
+    replica_.ValidateBroadcast(
+        lids, replicated_floor_.load(std::memory_order_acquire));
+  }
+  return Status::OK();
+}
+
+Status MaintainerServer::DriveReplication() {
+  if (!replica_.replicates()) {
+    // No peers to replicate to. A coordinator whose last replica was just
+    // evicted (or a solo node) validates its parked positions locally — the
+    // local copy is authoritative now. A replica never gets here (every
+    // caller sits behind CheckAppendServing or a promotion).
+    if (replica_.role() != ReplicaRole::kReplica &&
+        maintainer_.InvalidCount() > 0) {
+      maintainer_.MarkAllValid();
+    }
+    return Status::OK();
+  }
+  if (maintainer_.InvalidCount() == 0) return Status::OK();
+  std::vector<std::pair<LId, std::string>> invalid =
+      maintainer_.InvalidEntries();
+  if (invalid.empty()) return Status::OK();
+  std::vector<ReplicatedEntry> entries;
+  entries.reserve(invalid.size());
+  for (auto& [lid, bytes] : invalid) {
+    entries.push_back(ReplicatedEntry{lid, std::move(bytes)});
+  }
+  size_t count = entries.size();
+  CHARIOTS_RETURN_IF_ERROR(
+      RunReplicationRound(std::move(entries), "", 0, ""));
+  ReplaysCounter()->Add(count);
+  return Status::OK();
+}
+
+void MaintainerServer::SuspectPeer(const net::NodeId& suspect) {
+  if (options_.controller.empty()) return;
+  BinaryWriter w;
+  w.PutU32(maintainer_.index());
+  w.PutBytes(suspect);
+  // One-way on the repl endpoint: the main endpoint's inbox is busy running
+  // the append handler this report originates from, and the controller's
+  // follow-up (kReconfigure) must be able to reach us.
+  (void)repl_endpoint_.Notify(options_.controller, kSuspect,
+                              std::move(w).data());
+}
+
 void MaintainerServer::NoteReplicated(LId top_lid) {
   if (top_lid == kInvalidLId) return;
-  LId floor = replicated_floor_.load(std::memory_order_relaxed);
-  while (floor < top_lid + 1 &&
+  AdvanceReplicatedFloor(top_lid + 1);
+}
+
+void MaintainerServer::AdvanceReplicatedFloor(LId floor) {
+  LId current = replicated_floor_.load(std::memory_order_relaxed);
+  while (current < floor &&
          !replicated_floor_.compare_exchange_weak(
-             floor, top_lid + 1, std::memory_order_release,
+             current, floor, std::memory_order_release,
              std::memory_order_relaxed)) {
   }
 }
 
 LId MaintainerServer::CacheableHl() const {
   LId hl = maintainer_.HeadOfLog();
-  if (replica_.replicates()) {
+  if (replica_.in_replica_set()) {
     hl = std::min(hl, replicated_floor_.load(std::memory_order_acquire));
   }
   return hl;
@@ -565,10 +842,10 @@ void MaintainerServer::GossipOnce() {
 
 void MaintainerServer::HeartbeatOnce() {
   if (stop_.load(std::memory_order_relaxed)) return;
-  // Only the serving primary heartbeats: a backup must not keep its dead
-  // primary's lease alive, and a fenced primary must *let* its lease
-  // lapse so the controller promotes the backup.
-  if (!replica_.CheckServing().ok()) return;
+  // Only the serving coordinator heartbeats: a replica must not keep its
+  // dead coordinator's lease alive, and a fenced coordinator must *let*
+  // its lease lapse so the controller promotes a replica.
+  if (!replica_.CheckAppendServing().ok()) return;
   BinaryWriter w;
   w.PutU32(maintainer_.index());
   (void)endpoint_.Notify(options_.controller, kHeartbeat,
@@ -658,6 +935,23 @@ Status ControllerServer::Start() {
     uint32_t index = 0;
     if (r.GetU32(&index).ok()) controller_.Heartbeat(index, from);
   });
+  // The suspect fast path, registered twice on purpose: clients Call it
+  // synchronously when a coordinator stops answering (the failover runs
+  // inside the call — that is the sub-lease MTTR path), and coordinators
+  // Notify it one-way when a replica stops acking INVs.
+  endpoint_.Handle(kSuspect, [this](const net::NodeId&,
+                                    const std::string& payload)
+                                 -> Result<std::string> {
+    return HandleSuspect(payload);
+  });
+  endpoint_.HandleOneWay(kSuspect, [this](const net::NodeId&,
+                                          std::string payload) {
+    Result<std::string> result = HandleSuspect(payload);
+    if (!result.ok()) {
+      LOG_EVERY_N_SEC(kWarn, 5)
+          << "suspect report not actionable: " << result.status().ToString();
+    }
+  });
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
   if (options_.monitor_interval_nanos > 0) {
     // TickLeases() issues a blocking promote Call() from a worker — safe
@@ -681,42 +975,124 @@ void ControllerServer::Stop() {
   endpoint_.Stop();
 }
 
+Status ControllerServer::ExecuteFailover(const FailoverPlan& plan) {
+  // Two-phase: promote the candidate over RPC first; only a confirmed
+  // promotion changes the layout. A lost response retries the (idempotent)
+  // promotion later via AbortFailover's re-armed lease.
+  BinaryWriter w;
+  w.PutU64(plan.new_epoch);
+  w.PutU32(static_cast<uint32_t>(plan.survivors.size()));
+  for (const net::NodeId& peer : plan.survivors) w.PutBytes(peer);
+  Result<std::string> promoted = endpoint_.Call(
+      plan.candidate, kPromote, std::move(w).data(),
+      std::chrono::milliseconds(1000));
+  if (!promoted.ok()) {
+    LOG_WARN << "promotion of " << plan.candidate << " for stripe "
+             << plan.index << " failed: " << promoted.status().ToString();
+    FailoverAbortCounter()->Add();
+    controller_.AbortFailover(plan.index);
+    return promoted.status();
+  }
+  Status status = controller_.CommitFailover(plan);
+  if (!status.ok()) {
+    LOG_WARN << "failover commit for stripe " << plan.index
+             << " failed: " << status.ToString();
+    return status;
+  }
+  FailoverCommitCounter()->Add();
+  // Tell the surviving maintainers (including the promoted one) where the
+  // stripe now lives, so gossip keeps flowing to the right node.
+  BinaryWriter update;
+  update.PutU32(plan.index);
+  update.PutBytes(plan.candidate);
+  std::string update_bytes = std::move(update).data();
+  for (const net::NodeId& peer : controller_.GetInfo().maintainers) {
+    (void)endpoint_.Notify(peer, kPeerUpdate, update_bytes);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ControllerServer::HandleSuspect(
+    const std::string& payload) {
+  BinaryReader r(payload);
+  uint32_t index = 0;
+  std::string suspect;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&index));
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&suspect));
+  auto detect_start = std::chrono::steady_clock::now();
+  ClusterInfo info = controller_.GetInfo();
+  if (index >= info.maintainers.size()) {
+    return Status::InvalidArgument("no such maintainer stripe");
+  }
+  const bool is_coordinator = info.maintainers[index] == suspect;
+  const std::vector<net::NodeId>& replicas = info.replicas[index];
+  const bool is_replica =
+      std::find(replicas.begin(), replicas.end(), suspect) != replicas.end();
+  if (!is_coordinator && !is_replica) {
+    // Stale report: the layout already moved past this node — the reporter
+    // just needs to refresh.
+    return std::string(1, '\x01');
+  }
+  // Trust but verify: one cheap probe before touching the layout. A dead
+  // or stopped node fails this in microseconds (unreachable destinations
+  // fail fast); a fenced one answers Unavailable, which is just as
+  // disqualifying.
+  Result<std::string> pong = endpoint_.Call(
+      suspect, kPing, std::string(), std::chrono::milliseconds(100));
+  if (pong.ok()) {
+    // False alarm. Count it as a heartbeat so one slow reply doesn't let
+    // the lease lapse right after.
+    if (is_coordinator) controller_.Heartbeat(index, suspect);
+    return std::string(1, '\x00');
+  }
+  if (is_coordinator) {
+    CHARIOTS_ASSIGN_OR_RETURN(FailoverPlan plan,
+                              controller_.PlanFailover(index));
+    CHARIOTS_RETURN_IF_ERROR(ExecuteFailover(plan));
+    MttrHist()->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - detect_start)
+            .count()));
+    return std::string(1, '\x01');
+  }
+  // Dead replica: evict it so the coordinator's writes stop waiting on it.
+  CHARIOTS_ASSIGN_OR_RETURN(ReplicaRemoval removal,
+                            controller_.PlanReplicaRemoval(index, suspect));
+  BinaryWriter w;
+  w.PutU64(removal.new_epoch);
+  w.PutU32(static_cast<uint32_t>(removal.survivors.size()));
+  for (const net::NodeId& peer : removal.survivors) w.PutBytes(peer);
+  Result<std::string> reconfigured = endpoint_.Call(
+      removal.coordinator, kReconfigure, std::move(w).data(),
+      std::chrono::milliseconds(1000));
+  if (!reconfigured.ok()) {
+    controller_.AbortReplicaRemoval(index);
+    return reconfigured.status();
+  }
+  CHARIOTS_RETURN_IF_ERROR(controller_.CommitReplicaRemoval(removal));
+  MttrHist()->Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detect_start)
+          .count()));
+  return std::string(1, '\x01');
+}
+
 int ControllerServer::TickLeases() {
   int committed = 0;
   for (const FailoverPlan& plan : controller_.ExpiredLeases()) {
     LeaseExpiryCounter()->Add();
-    // Two-phase: promote the backup over RPC first; only a confirmed
-    // promotion changes the layout. A lost response retries the (idempotent)
-    // promotion on the next tick via AbortFailover's re-armed lease.
-    BinaryWriter w;
-    w.PutU64(plan.new_epoch);
-    Result<std::string> promoted = endpoint_.Call(
-        plan.backup, kPromote, std::move(w).data(),
-        std::chrono::milliseconds(1000));
-    if (!promoted.ok()) {
-      LOG_WARN << "promotion of " << plan.backup << " for stripe "
-               << plan.index
-               << " failed: " << promoted.status().ToString();
-      FailoverAbortCounter()->Add();
-      controller_.AbortFailover(plan.index);
-      continue;
-    }
-    Status status = controller_.CommitFailover(plan);
-    if (!status.ok()) {
-      LOG_WARN << "failover commit for stripe " << plan.index
-               << " failed: " << status.ToString();
-      continue;
-    }
-    ++committed;
-    FailoverCommitCounter()->Add();
-    // Tell the surviving maintainers (including the promoted one) where the
-    // stripe now lives, so gossip keeps flowing to the right node.
-    BinaryWriter update;
-    update.PutU32(plan.index);
-    update.PutBytes(plan.backup);
-    std::string update_bytes = std::move(update).data();
-    for (const net::NodeId& peer : controller_.GetInfo().maintainers) {
-      (void)endpoint_.Notify(peer, kPeerUpdate, update_bytes);
+    auto sweep_start = std::chrono::steady_clock::now();
+    if (ExecuteFailover(plan).ok()) {
+      ++committed;
+      // Lease-path MTTR includes the lease the stripe had to wait out
+      // before this sweep could even see the expiry — that is what a
+      // client experienced when no suspect report short-circuited it.
+      MttrHist()->Record(
+          static_cast<uint64_t>(controller_.lease_nanos()) +
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - sweep_start)
+                  .count()));
     }
   }
   return committed;

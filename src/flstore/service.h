@@ -16,6 +16,14 @@
 
 namespace chariots::flstore {
 
+/// Registers the chariots.flstore.repl.* metric families (invalidations,
+/// validations, replays, mttr_ns) with the default registry so they appear
+/// — at zero — in every metrics dump. The registry registers lazily on
+/// first use; calling this at server start keeps the family set stable
+/// across roles, so dashboards and `chariots_cli metrics PREFIX` behave
+/// identically whether or not a node has replicated anything yet.
+void RegisterReplicationMetrics();
+
 /// RPC opcodes of the FLStore fabric.
 enum Opcode : uint16_t {
   kAppend = 1,        ///< record -> u64 lid (post-assignment)
@@ -32,14 +40,39 @@ enum Opcode : uint16_t {
   kControllerAddMaintainer = 12,  ///< node + epoch + u64 version -> ()
   kAppendBatch = 13,  ///< u32 n + n records -> n u64 lids
   kHeartbeat = 14,    ///< one-way to controller: u32 stripe index
-  kReplicate = kReplicateRpc,  ///< 15: ReplicateRequest -> () (to backup)
-  kPromote = 16,      ///< u64 new_epoch -> u32 n + n filled lids (to backup)
+  /// 15: InvalidateRequest -> () — the INV leg of the Hermes round,
+  /// coordinator -> replica (carries the payload; the ack means applied +
+  /// durable at the replica).
+  kInvalidate = kInvalidateRpc,
+  /// u64 new_epoch + u32 n + n peer nodes -> u32 n + n junk-filled lids
+  /// (controller -> promotion candidate). The candidate replays the
+  /// surviving invalid writes before junk-filling true holes.
+  kPromote = 16,
   kFill = 17,         ///< u64 lid -> () (junk-fill one orphaned position)
-  kPeerUpdate = 18,   ///< one-way: u32 index + node (new stripe primary)
+  kPeerUpdate = 18,   ///< one-way: u32 index + node (new stripe coordinator)
   /// Batched multi-get: u32 n + n u64 lids -> u64 epoch + u64 hl + u32 n +
   /// n × (u64 lid, u8 found, record if found). One round trip for a whole
   /// coalesced read batch (the client's ReadMany).
   kReadRange = 19,
+  /// 20: one-way ValidateNotice — the VAL leg, flipping positions readable
+  /// on replicas and piggybacking the coordinator's validated floor.
+  kValidate = kValidateRpc,
+  /// u64 epoch -> u32 n + n × (u64 lid, record bytes): a promotion
+  /// candidate pulling a surviving replica's invalid window (the replay
+  /// set). The replica adopts the new epoch as a side effect.
+  kFetchInvalid = 21,
+  /// u64 new_epoch + u32 n + n peer nodes -> (): controller telling a
+  /// coordinator its replica set changed (dead replica evicted).
+  kReconfigure = 22,
+  /// u32 index + suspect node -> u8 (0 = suspect alive / nothing changed,
+  /// 1 = layout changed — refresh). Registered both as a request handler
+  /// (clients confirm a dead coordinator synchronously: the failover runs
+  /// *inside* the call, which is what makes MTTR sub-lease) and one-way
+  /// (coordinators fire-and-forget dead-replica reports mid-append).
+  kSuspect = 23,
+  /// () -> (): liveness probe; a fenced node answers Unavailable so the
+  /// controller treats it as dead.
+  kPing = 24,
 };
 
 /// Wire encoding of a StripeEpoch (used by kAddEpoch /
@@ -49,9 +82,10 @@ Result<StripeEpoch> DecodeEpoch(std::string_view data);
 
 /// Hosts a LogMaintainer on the RPC fabric: serves appends/reads, runs the
 /// HL gossip timer, publishes tag postings to the indexers, and — when the
-/// stripe is replicated — ships every landed record to its backup before
-/// acking, heartbeats the controller, and obeys epoch fencing (see
-/// ReplicaGroup for the protocol).
+/// stripe is replicated — runs the Hermes invalidate/validate broadcast for
+/// every landed record before acking, serves linearizable reads of valid
+/// positions from any role, heartbeats the controller, and obeys epoch
+/// fencing (see ReplicaGroup for the protocol).
 class MaintainerServer {
  public:
   struct Options {
@@ -74,7 +108,8 @@ class MaintainerServer {
     /// unreplicated deployments are unchanged).
     ReplicaOptions replica;
     /// Controller node to heartbeat ("" = no heartbeats; the controller
-    /// then never arms a lease for this stripe).
+    /// then never arms a lease for this stripe, and suspect reports have
+    /// nowhere to go).
     net::NodeId controller;
     int64_t heartbeat_interval_nanos = 30'000'000;  ///< 30 ms default
     /// Executor running the gossip/heartbeat timers (null =
@@ -108,27 +143,49 @@ class MaintainerServer {
   void OnLanded(const LogRecord& record, LId lid);
   void PublishPostings(const LogRecord& record, LId lid);
   /// Advances the replicated floor past `top_lid` (the highest position of
-  /// a batch the backup just acked; kInvalidLId = empty batch, no-op).
+  /// a batch every peer just acked; kInvalidLId = empty batch, no-op).
   void NoteReplicated(LId top_lid);
-  /// The HL value piggybacked on read responses for cacheability. On a
-  /// replicating primary it is capped at the replicated floor: a record the
-  /// backup has not acked yet can still be junk-filled by a promoted
-  /// backup, so clients must not cache it as permanent (read_cache.h).
+  /// Folds a floor learned from a VAL piggyback (replica side).
+  void AdvanceReplicatedFloor(LId floor);
+  /// The HL value piggybacked on read responses for cacheability. On any
+  /// member of a replicated stripe it is capped at the validated floor: a
+  /// record not yet validated everywhere can still be junk-filled by a
+  /// failover, so clients must not cache it as permanent (read_cache.h).
   LId CacheableHl() const;
+  /// One Hermes write round for a landed batch: INV-broadcast it (carrying
+  /// the dedup token so a replica can answer a retry after failover), and on
+  /// all-acks validate locally, advance the floor, and VAL-broadcast. On a
+  /// transport failure the batch stays parked (applied-but-invalid), the
+  /// dedup token is recorded so a retry completes the round instead of
+  /// re-appending, and the dead peer is reported to the controller.
+  Status RunReplicationRound(std::vector<ReplicatedEntry> batch,
+                             const std::string& client_id, uint64_t seq,
+                             const std::string& response);
+  /// Re-broadcasts every invalid (parked) position to the current peers and
+  /// validates on success — the write replay that completes in-flight
+  /// writes after a replica eviction (called from kReconfigure and from
+  /// retried appends that hit the dedup window).
+  Status DriveReplication();
+  /// Fire-and-forget dead-peer report to the controller ("" = no
+  /// controller configured; no-op). Sent on the repl endpoint: the main
+  /// endpoint's inbox may be busy running the very append that failed.
+  void SuspectPeer(const net::NodeId& suspect);
 
   LogMaintainer maintainer_;
   Options options_;
   Executor* const executor_;
   net::RpcEndpoint endpoint_;
-  /// Dedicated endpoint for outbound replicate calls. The main endpoint's
-  /// inbox delivers one message at a time, and a replicate is issued from
+  /// Dedicated endpoint for outbound replication calls. The main endpoint's
+  /// inbox delivers one message at a time, and an invalidate is issued from
   /// *inside* an append handler — waiting for its response on the same
   /// endpoint would deadlock behind the very handler that is waiting.
   net::RpcEndpoint repl_endpoint_;
   DedupWindow dedup_;
   ReplicaGroup replica_;
-  /// One past the highest position the backup has acked (monotonic). Only
-  /// meaningful while replica_.replicates(); see CacheableHl().
+  /// One past the highest position validated everywhere (monotonic). On the
+  /// coordinator it advances when every peer acks an INV; on replicas it
+  /// follows the VAL piggyback. Only meaningful while
+  /// replica_.in_replica_set(); see CacheableHl().
   std::atomic<LId> replicated_floor_{0};
   std::atomic<bool> stop_{false};
   Executor::TimerToken gossip_token_;
@@ -166,8 +223,10 @@ struct ControllerServerOptions {
 };
 
 /// Hosts the Controller on the RPC fabric: serves cluster info and
-/// membership changes, collects primary heartbeats, and runs failover —
-/// promoting a stripe's backup when the primary's lease expires.
+/// membership changes, collects coordinator heartbeats, and runs failover
+/// two ways — the lease monitor as backstop, and the kSuspect fast path
+/// (probe the reported node, then promote a replica or evict a dead one
+/// inside the call), which is what gets MTTR under the lease.
 class ControllerServer {
  public:
   ControllerServer(net::Transport* transport, net::NodeId node,
@@ -177,16 +236,23 @@ class ControllerServer {
   Status Start();
   void Stop();
 
-  /// One failure-detection sweep: for every stripe whose primary lease
-  /// expired, deliver the promotion RPC to the backup and, on success,
-  /// commit the new layout and broadcast it to the surviving maintainers.
-  /// Returns the number of failovers committed. Public so tests (and the
-  /// disabled-monitor deployment) can drive failover deterministically.
+  /// One failure-detection sweep: for every stripe whose coordinator lease
+  /// expired, deliver the promotion RPC to the first replica and, on
+  /// success, commit the new layout and broadcast it to the surviving
+  /// maintainers. Returns the number of failovers committed. Public so
+  /// tests (and the disabled-monitor deployment) can drive failover
+  /// deterministically.
   int TickLeases();
 
   Controller& controller() { return controller_; }
 
  private:
+  /// Delivers a planned promotion and commits it (aborting on failure);
+  /// broadcasts the new layout on success.
+  Status ExecuteFailover(const FailoverPlan& plan);
+  /// The kSuspect body, shared by the request and one-way registrations.
+  Result<std::string> HandleSuspect(const std::string& payload);
+
   Controller controller_;
   ControllerServerOptions options_;
   Executor* const executor_;

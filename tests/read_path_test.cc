@@ -11,11 +11,13 @@
 
 #include "apps/hyksos.h"
 #include "chariots/fabric.h"
+#include "common/clock.h"
 #include "common/metrics.h"
 #include "flstore/client.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
 #include "flstore/read_cache.h"
+#include "flstore/replica_group.h"
 #include "flstore/service.h"
 #include "net/inproc_transport.h"
 
@@ -316,6 +318,94 @@ TEST(ClusterReadPathTest, DisabledClientCacheStillReads) {
   ASSERT_TRUE(lid.ok());
   EXPECT_EQ(client->Read(*lid)->body, "plain");
   EXPECT_EQ(client->read_cache_entries(), 0u);
+}
+
+// ------------------------------ replicated stripe × client cache coherence
+
+// A record not yet validated everywhere reads back with a cacheable-HL
+// capped at the validated floor, so the client must not pin it as permanent:
+// after a failover junk-fills its position, the epoch piggyback on the next
+// remote read purges it — while validated-below-floor entries keep serving
+// from cache across the failover, byte-identical.
+TEST(ClusterReadPathTest, ReplicatedStripeCachesPermanentOnlyBelowFloor) {
+  ManualClock clock;
+  net::InProcTransport transport(&clock, nullptr);
+  const net::NodeId kCtl = "dc0/controller";
+  const net::NodeId kCoord = "dc0/maintainer/0";
+  const net::NodeId kReplica = "dc0/maintainer/0-replica";
+
+  ClusterInfo info;
+  info.journal = EpochJournal(1, 4);
+  info.maintainers = {kCoord};
+  info.replicas = {{kReplica}};
+  info.fence_epochs = {1};
+  ControllerServerOptions cso;
+  cso.controller.clock = &clock;
+  cso.controller.lease_nanos = 100'000'000;
+  ControllerServer controller(&transport, kCtl, info, cso);
+  ASSERT_TRUE(controller.Start().ok());
+
+  auto make_server = [&](const net::NodeId& node, ReplicaRole role) {
+    MaintainerOptions mo;
+    mo.index = 0;
+    mo.journal = EpochJournal(1, 4);
+    mo.store.mode = storage::SyncMode::kMemoryOnly;
+    MaintainerServer::Options so;
+    so.node = node;
+    so.peers = {kCoord};
+    so.replica.role = role;
+    so.replica.epoch = 1;
+    if (role == ReplicaRole::kCoordinator) so.replica.peers = {kReplica};
+    return std::make_unique<MaintainerServer>(&transport, mo, so);
+  };
+  auto replica = make_server(kReplica, ReplicaRole::kReplica);
+  ASSERT_TRUE(replica->Start().ok());
+  auto coordinator = make_server(kCoord, ReplicaRole::kCoordinator);
+  ASSERT_TRUE(coordinator->Start().ok());
+
+  FLStoreClient client(&transport, "dc0/client/a", kCtl);
+  ASSERT_TRUE(client.Start().ok());
+
+  // Two replicated records (validated floor = 2), then an orphan the
+  // coordinator landed but never replicated (floor stays at 2, HL = 3).
+  ASSERT_TRUE(client.Append(Rec("r0")).ok());
+  ASSERT_TRUE(client.Append(Rec("r1")).ok());
+  ASSERT_TRUE(coordinator->maintainer().Append(Rec("orphan")).ok());
+
+  // The sweep caches all three; lid 2's piggybacked HL was capped at the
+  // floor, so only lids 0-1 were pinned as permanent.
+  for (LId lid = 0; lid < 3; ++lid) {
+    ASSERT_TRUE(client.Read(lid).ok()) << "lid " << lid;
+  }
+  ASSERT_EQ(client.read_cache_entries(), 3u);
+
+  // A later replicated record makes the orphan a true hole on the replica.
+  ASSERT_TRUE(client.Append(Rec("r3")).ok());  // lid 3
+
+  // Coordinator dies; the lease backstop promotes the replica, which
+  // junk-fills the orphaned position under epoch 2.
+  coordinator->Stop();
+  controller.controller().Heartbeat(0, kCoord);
+  clock.Advance(150'000'000);
+  ASSERT_EQ(controller.TickLeases(), 1);
+
+  // Permanent below-floor entries keep serving from cache — replay
+  // preserved those records byte-identical, so this is still linearizable.
+  EXPECT_EQ(client.Read(0)->body, "r0");
+  EXPECT_EQ(client.Read(1)->body, "r1");
+
+  // The next *remote* read piggybacks epoch 2 and purges the stripe's
+  // non-permanent tail: the orphan entry goes, the permanent ones stay.
+  ASSERT_TRUE(client.Read(3).ok());
+  EXPECT_EQ(client.read_cache_entries(), 3u)  // r0, r1, r3 — orphan purged
+      << "non-permanent entry above the validated floor survived the fence";
+
+  // Re-reading the orphaned position now returns the junk fill, not the
+  // stale orphan body.
+  auto filled = client.Read(2);
+  ASSERT_TRUE(filled.ok()) << filled.status();
+  EXPECT_TRUE(IsJunkRecord(*filled));
+  EXPECT_NE(filled->body, "orphan");
 }
 
 // --------------------------------------------------- Hyksos replay + index

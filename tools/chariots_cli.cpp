@@ -42,10 +42,57 @@ int Usage() {
                "  head                    print the head of the log\n"
                "  lookup KEY [VALUE] [N]  most recent N records with tag\n"
                "  info                    print the cluster layout\n"
-               "  metrics                 server metrics as JSON (geo mode)\n"
+               "  metrics [PREFIX]        server metrics as JSON (geo mode);\n"
+               "                          with PREFIX, prints one 'name "
+               "value'\n"
+               "                          line per matching family, e.g.\n"
+               "                          chariots.flstore.repl.\n"
                "  trace                   sampled record traces as JSON "
                "(geo mode)\n");
   return 2;
+}
+
+// Filters a metrics dump ({"counters":{...},"gauges":{...},
+// "histograms":{...}}, see metrics::RenderJson) down to the families whose
+// name starts with `prefix`, one "name value" line per match. Metric names
+// are dotted identifiers — never quotes or braces — so a linear scan with a
+// brace-depth counter is enough; no JSON parser needed. Histogram values
+// print as their full stats object.
+void PrintFilteredMetrics(const std::string& json,
+                          const std::string& prefix) {
+  size_t i = 0;
+  int depth = 0;
+  while (i < json.size()) {
+    char c = json[i];
+    if (c == '"') {
+      size_t end = json.find('"', i + 1);
+      if (end == std::string::npos) return;
+      std::string key = json.substr(i + 1, end - i - 1);
+      i = end + 1;
+      if (i < json.size() && json[i] == ':' && depth == 2) {
+        ++i;
+        size_t start = i;
+        if (json[i] == '{') {  // histogram stats object: skip balanced
+          int braces = 0;
+          do {
+            if (json[i] == '{') ++braces;
+            if (json[i] == '}') --braces;
+            ++i;
+          } while (i < json.size() && braces > 0);
+        } else {  // counter/gauge: bare number
+          while (i < json.size() && json[i] != ',' && json[i] != '}') ++i;
+        }
+        if (key.compare(0, prefix.size(), prefix) == 0) {
+          std::printf("%s %s\n", key.c_str(),
+                      json.substr(start, i - start).c_str());
+        }
+      }
+      continue;
+    }
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ++i;
+  }
 }
 
 void PrintGeoRecord(const chariots::geo::GeoRecord& record) {
@@ -143,12 +190,17 @@ int RunGeo(const Flags& flags, const std::vector<std::string>& args) {
                   p.value.c_str());
     }
   } else if (command == "metrics") {
+    if (args.size() > 2) return Usage();
     auto r = client.Metrics();
     if (!r.ok()) {
       std::fprintf(stderr, "metrics: %s\n", r.status().ToString().c_str());
       return 1;
     }
-    std::printf("%s\n", r->c_str());
+    if (args.size() == 2) {
+      PrintFilteredMetrics(*r, args[1]);
+    } else {
+      std::printf("%s\n", r->c_str());
+    }
   } else if (command == "trace") {
     auto r = client.Trace();
     if (!r.ok()) {

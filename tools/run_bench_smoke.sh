@@ -19,7 +19,7 @@ cmake --build "$BUILD_DIR" -j --target \
   bench_table5_two_per_stage bench_corfu_vs_flstore \
   bench_ablation_batch_size bench_ablation_gossip \
   bench_geo_replication bench_hyksos_kv bench_msgfutures_latency \
-  bench_read_scaling bench_micro
+  bench_read_scaling bench_replicated_reads bench_micro
 
 OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/chariots_bench_smoke.XXXXXX")"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -113,6 +113,26 @@ for path in paths:
         if extra.get("read_cache_hit_rate", 0) <= 0:
             failures.append(f"{path}: read cache hit rate is zero — the "
                             "client read-through cache is not engaging")
+    # The replicated-reads bench must show reads actually spreading across
+    # the replica set (DESIGN.md §12): every RF=3 member serving a share,
+    # an aggregate speedup over primary-only, and a sub-lease failover MTTR.
+    if path.endswith("BENCH_replicated_reads.json"):
+        for key in ("rf3_vs_rf1", "failover_mttr_ms", "rf3_share_member0",
+                    "rf3_share_member1", "rf3_share_member2"):
+            if key not in extra:
+                failures.append(f"{path}: extra missing '{key}'")
+        if extra.get("rf3_vs_rf1", 0) < 2.0:
+            failures.append(
+                f"{path}: rf3_vs_rf1 {extra.get('rf3_vs_rf1', 0):.2f} below "
+                "the 2x acceptance bar — replica reads are not spreading")
+        for i in range(3):
+            if extra.get(f"rf3_share_member{i}", 0) <= 0:
+                failures.append(f"{path}: rf3 member {i} served no reads")
+        if not 0 < extra.get("failover_mttr_ms", 0) < 86:
+            failures.append(
+                f"{path}: failover_mttr_ms "
+                f"{extra.get('failover_mttr_ms', 0):.2f} not under the "
+                "86 ms lease baseline — the suspect fast path regressed")
     print(f"ok: {path.rsplit('/', 1)[-1]} "
           f"(throughput {doc.get('throughput_rps'):.0f} rps, "
           f"{len(stages)} stages, {doc.get('latency_samples')} samples, "

@@ -1,21 +1,31 @@
 #!/usr/bin/env bash
-# Runs the fault-injection suite across a matrix of seeds, then once under
-# ThreadSanitizer. Any lost or duplicated record fails the suite's
-# assertions, so a non-zero exit here means a real robustness regression;
-# the failing seed is printed so the run replays exactly.
+# Runs the fault-injection suite across a matrix of seeds, plus the seeded
+# kill-coordinator-mid-invalidate replay drill (a coordinator dies after
+# acking a write whose VAL broadcast was lost; the promoted replica must
+# replay it — see replication_test.cc), then once under ThreadSanitizer.
+# Any lost or duplicated record fails the suite's assertions, so a
+# non-zero exit here means a real robustness regression; the failing seed
+# is printed so the run replays exactly.
 #
 #   tools/run_fault_matrix.sh                 # seeds 0..4 + one TSan pass
 #   tools/run_fault_matrix.sh 7 11 13         # explicit seed list
 #   CHARIOTS_FAULT_SKIP_TSAN=1 tools/run_fault_matrix.sh   # seeds only
 #
 # Each seed offsets every scenario's base seed (see ScenarioSeed in
-# tests/fault_injection_test.cc), changing the probabilistic drop traces
-# and jitter streams while keeping the run fully reproducible.
+# tests/fault_injection_test.cc and tests/replication_test.cc), changing
+# the probabilistic drop traces, jitter streams, kill points, and the
+# position of the dropped VAL while keeping the run fully reproducible.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="$ROOT/build"
 TEST_BIN="$BUILD_DIR/tests/fault_injection_test"
+REPL_BIN="$BUILD_DIR/tests/replication_test"
+# The coordinator-kill drill: an acked write parks invalid (its VAL was
+# dropped), the coordinator is killed, and the promoted replica must
+# replay it before serving. The seed varies which write loses its VAL and
+# how much committed history surrounds it.
+REPL_FILTER="--gtest_filter=*KillCoordinatorMidInvalidate*"
 
 SEEDS=("$@")
 if [ "${#SEEDS[@]}" -eq 0 ]; then
@@ -23,13 +33,20 @@ if [ "${#SEEDS[@]}" -eq 0 ]; then
 fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j --target fault_injection_test
+cmake --build "$BUILD_DIR" -j --target fault_injection_test replication_test
 
 for seed in "${SEEDS[@]}"; do
   echo "=== fault matrix: seed offset $seed ==="
   if ! CHARIOTS_FAULT_SEED="$seed" "$TEST_BIN" --gtest_brief=1; then
     echo "FAULT MATRIX FAILED at seed offset $seed" >&2
     echo "replay with: CHARIOTS_FAULT_SEED=$seed $TEST_BIN" >&2
+    exit 1
+  fi
+  if ! CHARIOTS_FAULT_SEED="$seed" "$REPL_BIN" "$REPL_FILTER" \
+       --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED at seed offset $seed (coordinator-kill" \
+         "replay drill)" >&2
+    echo "replay with: CHARIOTS_FAULT_SEED=$seed $REPL_BIN $REPL_FILTER" >&2
     exit 1
   fi
 done
@@ -39,10 +56,17 @@ if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="$ROOT/build-thread"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCHARIOTS_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-  cmake --build "$TSAN_BUILD" -j --target fault_injection_test
+  cmake --build "$TSAN_BUILD" -j --target fault_injection_test \
+    replication_test
   if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/fault_injection_test" \
        --gtest_brief=1; then
     echo "FAULT MATRIX FAILED under TSan (seed offset 0)" >&2
+    exit 1
+  fi
+  if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/replication_test" \
+       "$REPL_FILTER" --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED under TSan (coordinator-kill replay" \
+         "drill, seed offset 0)" >&2
     exit 1
   fi
 fi

@@ -11,9 +11,13 @@
 # threadless inproc transport) run under the sanitizer along with every
 # consumer of the shared pool. It also covers the memory-speed read path:
 # read_path_test (tail cache / client read-through cache / version index)
-# and the failover cache-invalidation scenarios in replication_test, whose
-# lock-free HL reads and shared-lock read paths are exactly the code TSan
-# is for.
+# and the Hermes replication suite in replication_test — the INV/VAL
+# broadcast (per-position valid/invalid bits read under shared locks on
+# every read), read-spreading across coordinator and replicas, the
+# synchronous kSuspect fast-path failover, and the seeded
+# kill-coordinator/kill-primary drills — whose lock-free HL reads,
+# shared-lock read paths, and cross-node promotion races are exactly the
+# code TSan is for.
 #
 # Uses a separate build dir (build-<sanitizer>) so the regular build is
 # untouched.
