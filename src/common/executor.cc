@@ -211,8 +211,16 @@ void Executor::WorkerLoop(size_t index) {
     std::function<void()> task;
     if (PopTask(index, &task)) {
       pending_.fetch_sub(1, std::memory_order_acq_rel);
+      running_.fetch_add(1, std::memory_order_acq_rel);
       task();
+      running_.fetch_sub(1, std::memory_order_acq_rel);
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      if (idle_waiters_.load(std::memory_order_acquire) > 0) {
+        // Taking the mutex (even empty) closes the race with a waiter that
+        // checked the counters and is about to wait.
+        { std::lock_guard<std::mutex> lock(sleep_mu_); }
+        idle_cv_.notify_all();
+      }
       continue;
     }
     std::unique_lock<std::mutex> lock(sleep_mu_);
@@ -359,6 +367,19 @@ void Executor::AdvanceBy(int64_t delta_nanos) {
   AdvanceUntil(manual_->NowNanos() + delta_nanos);
 }
 
+void Executor::WaitIdle() {
+  idle_waiters_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    idle_cv_.wait(lock, [&] {
+      return (pending_.load(std::memory_order_acquire) == 0 &&
+              running_.load(std::memory_order_acquire) == 0) ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+  }
+  idle_waiters_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
 // ---------------------------------------------------------------------------
 // Shutdown
 // ---------------------------------------------------------------------------
@@ -380,6 +401,7 @@ void Executor::Shutdown() {
     std::lock_guard<std::mutex> lock(sleep_mu_);
   }
   sleep_cv_.notify_all();
+  idle_cv_.notify_all();
   if (timer_thread_.joinable()) timer_thread_.join();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();

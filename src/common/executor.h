@@ -206,6 +206,16 @@ class Executor {
   /// Virtual time only: AdvanceUntil(now + delta_nanos).
   void AdvanceBy(int64_t delta_nanos);
 
+  /// Blocks until the worker lane is quiescent: no queued and no running
+  /// task. The complement of AdvanceBy for deterministic virtual-time
+  /// tests — timers fire inline on the advancing thread, but the work they
+  /// Submit (message deliveries, handler bodies) runs on worker threads
+  /// asynchronously; stepping `AdvanceBy(step); WaitIdle();` guarantees
+  /// every side effect of one window has landed before the next window's
+  /// timers observe state. A task submitted concurrently with the return
+  /// is not waited for. Returns immediately after Shutdown.
+  void WaitIdle();
+
   /// Stops accepting work, runs every already-queued worker task, drops
   /// pending timers, and joins all threads. Idempotent; also run by the
   /// destructor.
@@ -237,9 +247,15 @@ class Executor {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> submit_rr_{0};
   std::atomic<size_t> pending_{0};
+  /// Tasks currently executing on a worker (pending_ counts only queued
+  /// ones — it is decremented before the task body runs).
+  std::atomic<size_t> running_{0};
+  /// Number of WaitIdle callers; workers skip the completion notify when 0.
+  std::atomic<size_t> idle_waiters_{0};
   std::atomic<uint64_t> tasks_run_{0};
   std::mutex sleep_mu_;
   std::condition_variable sleep_cv_;
+  std::condition_variable idle_cv_;
 
   std::mutex timer_mu_;
   std::condition_variable timer_cv_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,17 @@ class LeaseTable {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = expiry_.find(key);
     return it != expiry_.end() && it->second > clock_->NowNanos();
+  }
+
+  /// Nanos until `key`'s lease expires — negative means it expired that
+  /// long ago; nullopt when the key holds no lease at all. Observability
+  /// surface (e.g. kCtrlStatus lease ages), not a liveness check: use
+  /// Held()/Expired() for decisions.
+  std::optional<int64_t> RemainingNanos(uint64_t key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = expiry_.find(key);
+    if (it == expiry_.end()) return std::nullopt;
+    return it->second - clock_->NowNanos();
   }
 
   /// Keys whose leases have expired (granted but not renewed in time).

@@ -5,16 +5,27 @@
 #include <map>
 #include <optional>
 #include <thread>
+#include <tuple>
 
 #include "common/codec.h"
 
 namespace chariots::flstore {
 
+namespace {
+
+std::vector<net::NodeId> ControllerList(const net::NodeId& controller,
+                                        const ClientOptions& options) {
+  if (!options.controllers.empty()) return options.controllers;
+  return {controller};
+}
+
+}  // namespace
+
 FLStoreClient::FLStoreClient(net::Transport* transport, net::NodeId node,
                              net::NodeId controller, ClientOptions options)
     : endpoint_(transport, std::move(node)),
-      controller_(std::move(controller)),
-      options_(options),
+      controllers_(ControllerList(controller, options)),
+      options_(std::move(options)),
       channel_(&endpoint_, options_.retry,
                options_.clock != nullptr ? options_.clock
                                          : SystemClock::Default()),
@@ -46,13 +57,94 @@ void FLStoreClient::Stop() {
   endpoint_.Stop();
 }
 
+Result<std::string> FLStoreClient::CallController(
+    uint16_t op, const std::string& payload,
+    std::chrono::milliseconds timeout) {
+  Status last = Status::Unavailable("no controller replicas configured");
+  const size_t n = controllers_.size();
+  const uint64_t start = ctrl_rr_.load(std::memory_order_relaxed);
+  // Fast cycle: one single-shot per replica. A follower's NOT_LEADER
+  // answer and a dead replica both surface as retryable — rotate on.
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (start + k) % n;
+    Result<std::string> result =
+        endpoint_.Call(controllers_[i], op, payload, timeout);
+    if (result.ok()) {
+      ctrl_rr_.store(i, std::memory_order_relaxed);  // sticky on the leader
+      return result;
+    }
+    last = result.status();
+    if (!IsRetryable(last.code())) return last;
+  }
+  // Slow cycle: the retrying channel (with backoff) per replica, covering
+  // a leader election in progress.
+  for (size_t k = 0; k < n; ++k) {
+    const size_t i = (start + k) % n;
+    Result<std::string> result = channel_.Call(controllers_[i], op, payload);
+    if (result.ok()) {
+      ctrl_rr_.store(i, std::memory_order_relaxed);
+      return result;
+    }
+    last = result.status();
+    if (!IsRetryable(last.code())) return last;
+  }
+  return last;
+}
+
 Status FLStoreClient::RefreshClusterInfo() {
   CHARIOTS_ASSIGN_OR_RETURN(
-      std::string payload, channel_.Call(controller_, kGetClusterInfo, ""));
+      std::string payload,
+      CallController(kGetClusterInfo, "",
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         options_.retry.attempt_timeout)));
   CHARIOTS_ASSIGN_OR_RETURN(ClusterInfo info, DecodeClusterInfo(payload));
   std::lock_guard<std::mutex> lock(mu_);
+  if (std::tie(info.ctrl_epoch, info.version) <
+      std::tie(info_.ctrl_epoch, info_.version)) {
+    // A deposed or lagging controller replica answered with an older
+    // layout; moving backwards could resurrect a fenced coordinator. Keep
+    // what we have.
+    return Status::OK();
+  }
   info_ = std::move(info);
   return Status::OK();
+}
+
+Result<ControlPlaneStatus> FLStoreClient::ControllerStatus() {
+  CHARIOTS_ASSIGN_OR_RETURN(
+      std::string payload,
+      CallController(kCtrlStatus, "",
+                     std::chrono::duration_cast<std::chrono::milliseconds>(
+                         options_.retry.attempt_timeout)));
+  BinaryReader r(payload);
+  ControlPlaneStatus out;
+  uint8_t is_leader = 0;
+  uint64_t lease = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&out.ctrl_epoch));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&out.version));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU8(&is_leader));
+  out.is_leader = is_leader != 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&out.leader));
+  CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lease));
+  out.leader_lease_nanos = static_cast<int64_t>(lease);
+  uint32_t num_stripes = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&num_stripes));
+  for (uint32_t i = 0; i < num_stripes; ++i) {
+    ControlPlaneStatus::Stripe stripe;
+    CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&stripe.coordinator));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&stripe.fence_epoch));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&lease));
+    stripe.lease_nanos = static_cast<int64_t>(lease);
+    uint32_t num_replicas = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&num_replicas));
+    for (uint32_t j = 0; j < num_replicas; ++j) {
+      std::string node;
+      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&node));
+      stripe.replicas.push_back(std::move(node));
+    }
+    out.stripes.push_back(std::move(stripe));
+  }
+  return out;
 }
 
 ClusterInfo FLStoreClient::cluster_info() const {
@@ -84,7 +176,7 @@ bool FLStoreClient::ReportSuspect(uint32_t index, const net::NodeId& node) {
   // Generous timeout: a confirmed-dead report runs the whole failover
   // (promote + replay) inside this call.
   Result<std::string> verdict =
-      endpoint_.Call(controller_, kSuspect, std::move(w).data(),
+      CallController(kSuspect, std::move(w).data(),
                      std::chrono::milliseconds(2000));
   if (verdict.ok() && !verdict->empty() && (*verdict)[0] == '\x01') {
     (void)RefreshClusterInfo();

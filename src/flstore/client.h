@@ -2,6 +2,8 @@
 #define CHARIOTS_FLSTORE_CLIENT_H_
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -39,6 +41,37 @@ struct ClientOptions {
   /// forever; tail entries are purged when their stripe's fence epoch
   /// advances (piggybacked on every read response — see read_cache.h).
   uint64_t read_cache_bytes = 4ull << 20;
+  /// Replicated control plane: ALL controller replicas. When non-empty it
+  /// supersedes the constructor's single `controller` argument; the client
+  /// fails its controller channel over across these exactly like it fails
+  /// stripe calls over across replicas — a follower's NOT_LEADER redirect
+  /// (kUnavailable) rotates to the next replica, and the leader that
+  /// answers becomes sticky.
+  std::vector<net::NodeId> controllers;
+};
+
+/// One controller replica's view of the control plane (the kCtrlStatus
+/// dump behind `chariots_cli status`). Any replica answers from its own
+/// state, so a follower reports is_leader=false plus whoever it last heard
+/// a beat from.
+struct ControlPlaneStatus {
+  /// Sentinel for "no lease armed" (a lease that exists but already lapsed
+  /// reports a negative remaining time instead).
+  static constexpr int64_t kNoLease = INT64_MIN;
+
+  uint64_t ctrl_epoch = 0;   ///< controller (fencing) epoch
+  uint64_t version = 0;      ///< layout version
+  bool is_leader = false;    ///< whether the answering replica leads
+  net::NodeId leader;        ///< last known leader ("" = unknown)
+  int64_t leader_lease_nanos = kNoLease;  ///< follower's leader-lease age
+
+  struct Stripe {
+    net::NodeId coordinator;
+    uint64_t fence_epoch = 0;
+    int64_t lease_nanos = kNoLease;  ///< coordinator heartbeat lease
+    std::vector<net::NodeId> replicas;
+  };
+  std::vector<Stripe> stripes;  ///< one per maintainer index
 };
 
 /// The linked client library of the paper (§3, §5.1): an application client
@@ -110,6 +143,11 @@ class FLStoreClient {
   /// Re-polls the controller (e.g. after elasticity changed the layout).
   Status RefreshClusterInfo();
 
+  /// Control-plane status as seen by whichever controller replica answers
+  /// (sticky leader first; see CallController). Powers `chariots_cli
+  /// status`.
+  Result<ControlPlaneStatus> ControllerStatus();
+
   /// The layout this client is currently operating with.
   ClusterInfo cluster_info() const;
 
@@ -154,6 +192,13 @@ class FLStoreClient {
   /// true when the controller says the layout changed (the client refreshed
   /// and should retry immediately, no backoff).
   bool ReportSuspect(uint32_t index, const net::NodeId& node);
+  /// Calls the controller, rotating across replicas on kUnavailable /
+  /// kTimedOut (a dead replica or a follower's NOT_LEADER redirect) and
+  /// staying sticky on whichever replica answered — normally the leader.
+  /// One fast single-shot cycle first, then a cycle through the retrying
+  /// channel (backoff) before giving up.
+  Result<std::string> CallController(uint16_t op, const std::string& payload,
+                                     std::chrono::milliseconds timeout);
   /// Counts a successful remote read against the node that served it.
   void NoteRead(const net::NodeId& node);
   /// Next (client_id, seq) append token; stamped into a BinaryWriter.
@@ -164,7 +209,11 @@ class FLStoreClient {
                          uint64_t hl, const std::string& rec_bytes);
 
   net::RpcEndpoint endpoint_;
-  const net::NodeId controller_;
+  /// Controller replicas to rotate across (a single-element vector in the
+  /// unreplicated deployment).
+  const std::vector<net::NodeId> controllers_;
+  /// Index of the controller replica that last answered (sticky leader).
+  std::atomic<uint64_t> ctrl_rr_{0};
   const ClientOptions options_;
   net::RetryingChannel channel_;
   std::atomic<uint64_t> op_seq_{0};

@@ -1,8 +1,9 @@
 #ifndef CHARIOTS_FLSTORE_CONTROLLER_H_
 #define CHARIOTS_FLSTORE_CONTROLLER_H_
 
+#include <map>
 #include <mutex>
-#include <set>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "common/status.h"
 #include "flstore/striping.h"
 #include "net/message.h"
+#include "storage/meta_wal.h"
 
 namespace chariots::flstore {
 
@@ -38,6 +40,12 @@ struct ClusterInfo {
   /// Fencing epoch per maintainer index (starts at 1, bumped on every
   /// failover promotion or replica-set change; see ReplicaGroup).
   std::vector<uint64_t> fence_epochs;
+  /// Controller (leadership) epoch, bumped by every leader election of the
+  /// replicated control plane. Stamped into every layout/promotion RPC so
+  /// maintainers reject commands from a deposed leader, and carried in the
+  /// layout so clients reject a stale leader's view: layouts are ordered by
+  /// (ctrl_epoch, version) lexicographically.
+  uint64_t ctrl_epoch = 1;
 };
 
 std::string EncodeClusterInfo(const ClusterInfo& info);
@@ -67,6 +75,23 @@ struct ReplicaRemoval {
   std::vector<net::NodeId> survivors;
 };
 
+/// Everything the controller must not forget across a crash: the layout
+/// (with its epochs), the highest election epoch it ever voted for, and any
+/// two-phase plan that was in flight. One encoded ControllerState is one
+/// meta-WAL frame; recovery decodes the last intact frame and *resumes* the
+/// in-flight plans (complete or abort) instead of forgetting them.
+struct ControllerState {
+  ClusterInfo info;
+  /// Highest controller epoch this replica granted a vote for (durable so a
+  /// restart cannot double-vote in the same epoch).
+  uint64_t max_granted_epoch = 0;
+  std::vector<FailoverPlan> inflight_failovers;
+  std::vector<ReplicaRemoval> inflight_removals;
+};
+
+std::string EncodeControllerState(const ControllerState& state);
+Result<ControllerState> DecodeControllerState(std::string_view data);
+
 /// Timing knobs for the controller's failure detector.
 struct ControllerOptions {
   /// Clock the leases run on; null = system clock. A ManualClock makes
@@ -76,6 +101,15 @@ struct ControllerOptions {
   /// declared dead and a replica promoted. With the suspect fast path this
   /// is the *backstop* detector, not the expected MTTR.
   int64_t lease_nanos = 150'000'000;  // 150 ms
+  /// Metadata WAL path ("" = in-memory only, the pre-durability behavior).
+  /// When set, every layout change, epoch bump, vote, and in-flight plan is
+  /// framed to this file before the mutation is acknowledged, and Open()
+  /// recovers the exact pre-crash state from it.
+  std::string meta_wal_path;
+  /// Optional scripted disk-fault plan for the meta WAL (crash matrix).
+  storage::DiskFaultSchedule* disk_faults = nullptr;
+  /// Meta-WAL compaction threshold (see storage::MetaWal::Options).
+  size_t meta_wal_compact_min_frames = 16;
 };
 
 /// The highly-available control cluster of the paper (§5): an oracle
@@ -88,6 +122,15 @@ struct ControllerOptions {
 class Controller {
  public:
   explicit Controller(ClusterInfo initial, ControllerOptions options = {});
+  ~Controller();
+
+  /// Opens the metadata WAL (when configured) and recovers from it: a
+  /// non-empty WAL *replaces* the constructor's initial info with the exact
+  /// pre-crash state — layout, fence epochs, controller epoch, granted
+  /// votes, and in-flight plans. An empty WAL persists the initial state as
+  /// its first frame. No-op without a WAL path. Call before serving.
+  Status Open();
+  Status Close();
 
   ClusterInfo GetInfo() const;
 
@@ -148,15 +191,68 @@ class Controller {
   /// True while stripe `index`'s coordinator holds an unexpired lease.
   bool LeaseHeld(uint32_t index) const { return leases_.Held(index); }
 
+  /// Nanos left on stripe `index`'s coordinator lease (kCtrlStatus).
+  std::optional<int64_t> LeaseRemainingNanos(uint32_t index) const {
+    return leases_.RemainingNanos(index);
+  }
+
   uint64_t version() const;
   int64_t lease_nanos() const { return leases_.lease_nanos(); }
 
+  // ------------------------------------------------ replicated control plane
+
+  /// Current controller (leadership) epoch.
+  uint64_t ctrl_epoch() const;
+
+  /// Highest election epoch this replica granted a vote for.
+  uint64_t max_granted_epoch() const;
+
+  /// Adopts `epoch` as the controller epoch if it is higher (durable). A
+  /// follower calls this when a leader announces itself; a candidate calls
+  /// it after winning an election.
+  Status AdoptCtrlEpoch(uint64_t epoch);
+
+  /// Leader-election vote: grants iff `epoch` is strictly higher than both
+  /// the current controller epoch and every previously granted epoch. The
+  /// grant is persisted before it is returned, so a replica that crashes
+  /// and restarts can never hand the same epoch to two candidates.
+  Result<bool> GrantVote(uint64_t epoch);
+
+  /// Installs a leader's replicated layout if it is at least as recent as
+  /// the local one — layouts are ordered by (ctrl_epoch, version) — and
+  /// drops any locally planned (now moot) two-phase plans. kAborted when
+  /// the offered layout is older (the sender is the deposed one).
+  Status InstallReplicatedState(const ClusterInfo& info);
+
+  /// In-flight (planned, uncommitted) two-phase plans — what a restarted
+  /// or newly elected leader must complete or abort before serving.
+  std::vector<FailoverPlan> InflightFailovers() const;
+  std::vector<ReplicaRemoval> InflightRemovals() const;
+
  private:
+  /// Frames the full durable state to the meta WAL (no-op when not
+  /// configured). Call with mu_ held after every durable mutation.
+  Status PersistLocked();
+  /// Copies the durable state, applies `fn` (which returns Status), and
+  /// persists; a persist failure rolls the copy back so memory never runs
+  /// ahead of a disk that refused the frame.
+  template <typename Fn>
+  Status MutateLocked(Fn&& fn);
+  bool InFailoverLocked(uint32_t index) const {
+    return inflight_failovers_.count(index) != 0 ||
+           inflight_removals_.count(index) != 0;
+  }
+
+  const ControllerOptions options_;
   mutable std::mutex mu_;
   ClusterInfo info_;
   LeaseTable leases_;
-  /// Stripes with a planned, uncommitted promotion or eviction.
-  std::set<uint32_t> in_failover_;
+  /// Planned, uncommitted two-phase plans by stripe (durable).
+  std::map<uint32_t, FailoverPlan> inflight_failovers_;
+  std::map<uint32_t, ReplicaRemoval> inflight_removals_;
+  uint64_t max_granted_epoch_ = 0;
+  storage::MetaWal wal_;
+  bool wal_open_ = false;
 };
 
 }  // namespace chariots::flstore

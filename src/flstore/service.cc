@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <tuple>
 
 #include "common/codec.h"
 #include "common/logging.h"
@@ -98,6 +100,33 @@ metrics::Histogram* MttrHist() {
   return h;
 }
 
+// Control-plane families (this ISSUE): election churn, meta-WAL write
+// volume, probe-refuted suspicions, and recovered-plan replays.
+
+metrics::Counter* ElectionsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.ctrl.elections");
+  return c;
+}
+
+metrics::Counter* CtrlMetaWalAppendsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.ctrl.meta_wal_appends");
+  return c;
+}
+
+metrics::Counter* FalseSuspectsCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.ctrl.false_suspects");
+  return c;
+}
+
+metrics::Counter* PlanReplaysCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flstore.ctrl.plan_replays");
+  return c;
+}
+
 std::string EncodeLId(LId lid) {
   BinaryWriter w;
   w.PutU64(lid);
@@ -151,6 +180,13 @@ void RegisterReplicationMetrics() {
   ValidationsCounter();
   ReplaysCounter();
   MttrHist();
+}
+
+void RegisterControllerMetrics() {
+  ElectionsCounter();
+  CtrlMetaWalAppendsCounter();
+  FalseSuspectsCounter();
+  PlanReplaysCounter();
 }
 
 std::string EncodeEpoch(const StripeEpoch& epoch) {
@@ -207,10 +243,28 @@ Status MaintainerServer::Start() {
     gossip_token_ = executor_->ScheduleEvery(options_.gossip_interval_nanos,
                                              [this] { GossipOnce(); });
   }
-  if (!options_.controller.empty()) {
+  if (!ControllerTargets().empty()) {
     HeartbeatOnce();
     heartbeat_token_ = executor_->ScheduleEvery(
         options_.heartbeat_interval_nanos, [this] { HeartbeatOnce(); });
+  }
+  return Status::OK();
+}
+
+std::vector<net::NodeId> MaintainerServer::ControllerTargets() const {
+  if (!options_.controllers.empty()) return options_.controllers;
+  if (!options_.controller.empty()) return {options_.controller};
+  return {};
+}
+
+Status MaintainerServer::CheckCtrlEpoch(uint64_t epoch) {
+  uint64_t seen = ctrl_epoch_seen_.load(std::memory_order_relaxed);
+  while (epoch > seen && !ctrl_epoch_seen_.compare_exchange_weak(
+                             seen, epoch, std::memory_order_relaxed)) {
+  }
+  if (epoch < seen) {
+    return Status::Unavailable(
+        "STALE_CTRL_EPOCH: command from a deposed controller leader");
   }
   return Status::OK();
 }
@@ -588,6 +642,9 @@ void MaintainerServer::InstallHandlers() {
                                         const std::string& payload)
                                      -> Result<std::string> {
     BinaryReader r(payload);
+    uint64_t ctrl_epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&ctrl_epoch));
+    CHARIOTS_RETURN_IF_ERROR(CheckCtrlEpoch(ctrl_epoch));
     uint64_t new_epoch = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
     uint32_t n = 0;
@@ -601,7 +658,9 @@ void MaintainerServer::InstallHandlers() {
     Status replay = DriveReplication();
     if (!replay.ok()) {
       // Another peer died meanwhile; the next suspect round handles it.
-      LOG_WARN << "post-reconfigure replay incomplete: " << replay.ToString();
+      // Rate-limited: every retried append replays again until it heals.
+      LOG_EVERY_N_SEC(kWarn, 5)
+          << "post-reconfigure replay incomplete: " << replay.ToString();
     }
     return std::string();
   });
@@ -625,6 +684,9 @@ void MaintainerServer::InstallHandlers() {
                                     const std::string& payload)
                                  -> Result<std::string> {
     BinaryReader r(payload);
+    uint64_t ctrl_epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&ctrl_epoch));
+    CHARIOTS_RETURN_IF_ERROR(CheckCtrlEpoch(ctrl_epoch));
     uint64_t new_epoch = 0;
     CHARIOTS_RETURN_IF_ERROR(r.GetU64(&new_epoch));
     uint32_t n = 0;
@@ -717,9 +779,11 @@ void MaintainerServer::InstallHandlers() {
   endpoint_.HandleOneWay(kPeerUpdate, [this](const net::NodeId&,
                                              std::string payload) {
     BinaryReader r(payload);
+    uint64_t ctrl_epoch = 0;
     uint32_t index = 0;
     std::string node;
-    if (r.GetU32(&index).ok() && r.GetBytes(&node).ok()) {
+    if (r.GetU64(&ctrl_epoch).ok() && r.GetU32(&index).ok() &&
+        r.GetBytes(&node).ok() && CheckCtrlEpoch(ctrl_epoch).ok()) {
       std::lock_guard<std::mutex> lock(peers_mu_);
       if (index >= peers_.size()) peers_.resize(index + 1);
       peers_[index] = node;
@@ -790,15 +854,17 @@ Status MaintainerServer::DriveReplication() {
 }
 
 void MaintainerServer::SuspectPeer(const net::NodeId& suspect) {
-  if (options_.controller.empty()) return;
   BinaryWriter w;
   w.PutU32(maintainer_.index());
   w.PutBytes(suspect);
+  std::string payload = std::move(w).data();
   // One-way on the repl endpoint: the main endpoint's inbox is busy running
   // the append handler this report originates from, and the controller's
-  // follow-up (kReconfigure) must be able to reach us.
-  (void)repl_endpoint_.Notify(options_.controller, kSuspect,
-                              std::move(w).data());
+  // follow-up (kReconfigure) must be able to reach us. Every controller
+  // replica gets the report; only the leader acts on it.
+  for (const net::NodeId& ctrl : ControllerTargets()) {
+    (void)repl_endpoint_.Notify(ctrl, kSuspect, payload);
+  }
 }
 
 void MaintainerServer::NoteReplicated(LId top_lid) {
@@ -848,8 +914,12 @@ void MaintainerServer::HeartbeatOnce() {
   if (!replica_.CheckAppendServing().ok()) return;
   BinaryWriter w;
   w.PutU32(maintainer_.index());
-  (void)endpoint_.Notify(options_.controller, kHeartbeat,
-                         std::move(w).data());
+  std::string payload = std::move(w).data();
+  // All controller replicas track leases, so whoever wins the next
+  // election already has a live picture of this stripe.
+  for (const net::NodeId& ctrl : ControllerTargets()) {
+    (void)endpoint_.Notify(ctrl, kHeartbeat, payload);
+  }
 }
 
 void MaintainerServer::PublishPostings(const LogRecord& record, LId lid) {
@@ -903,11 +973,15 @@ ControllerServer::ControllerServer(net::Transport* transport,
       options_(options),
       executor_(options_.executor != nullptr ? options_.executor
                                              : Executor::Default()),
-      endpoint_(transport, std::move(node)) {}
+      node_(node),
+      endpoint_(transport, std::move(node)),
+      leader_lease_(options_.controller.clock, options_.leader_lease_nanos) {}
 
 ControllerServer::~ControllerServer() { Stop(); }
 
 Status ControllerServer::Start() {
+  CHARIOTS_RETURN_IF_ERROR(controller_.Open());
+  RegisterControllerMetrics();
   endpoint_.Handle(kGetClusterInfo, [this](const net::NodeId&,
                                            const std::string&)
                                         -> Result<std::string> {
@@ -916,6 +990,8 @@ Status ControllerServer::Start() {
   endpoint_.Handle(kControllerAddMaintainer,
                    [this](const net::NodeId&, const std::string& payload)
                        -> Result<std::string> {
+                     CHARIOTS_RETURN_IF_ERROR(RequireLeader());
+                     CHARIOTS_RETURN_IF_ERROR(ConfirmLeadership());
                      BinaryReader r(payload);
                      std::string node;
                      CHARIOTS_RETURN_IF_ERROR(r.GetBytes(&node));
@@ -927,6 +1003,7 @@ Status ControllerServer::Start() {
                      CHARIOTS_RETURN_IF_ERROR(r.GetU64(&expected_version));
                      CHARIOTS_RETURN_IF_ERROR(controller_.AddMaintainer(
                          node, epoch, expected_version));
+                     ReplicateState();
                      return std::string();
                    });
   endpoint_.HandleOneWay(kHeartbeat, [this](const net::NodeId& from,
@@ -952,14 +1029,99 @@ Status ControllerServer::Start() {
           << "suspect report not actionable: " << result.status().ToString();
     }
   });
+  // -------------------------------------------------- replicated control plane
+  endpoint_.Handle(kCtrlStatus, [this](const net::NodeId&, const std::string&)
+                                    -> Result<std::string> {
+    ClusterInfo info = controller_.GetInfo();
+    BinaryWriter w;
+    w.PutU64(info.ctrl_epoch);
+    w.PutU64(info.version);
+    w.PutU8(IsLeader() ? 1 : 0);
+    w.PutBytes(leader());
+    std::optional<int64_t> lease = leader_lease_.RemainingNanos(0);
+    w.PutU64(static_cast<uint64_t>(lease.value_or(INT64_MIN)));
+    w.PutU32(static_cast<uint32_t>(info.maintainers.size()));
+    for (uint32_t i = 0; i < info.maintainers.size(); ++i) {
+      w.PutBytes(info.maintainers[i]);
+      w.PutU64(info.fence_epochs[i]);
+      std::optional<int64_t> stripe = controller_.LeaseRemainingNanos(i);
+      w.PutU64(static_cast<uint64_t>(stripe.value_or(INT64_MIN)));
+      w.PutU32(static_cast<uint32_t>(info.replicas[i].size()));
+      for (const net::NodeId& node : info.replicas[i]) w.PutBytes(node);
+    }
+    return std::move(w).data();
+  });
+  endpoint_.HandleOneWay(kCtrlLeaderBeat, [this](const net::NodeId&,
+                                                 std::string payload) {
+    BinaryReader r(payload);
+    uint64_t epoch = 0;
+    std::string from;
+    if (r.GetU64(&epoch).ok() && r.GetBytes(&from).ok()) {
+      OnLeaderBeat(epoch, from);
+    }
+  });
+  endpoint_.Handle(kCtrlVote, [this](const net::NodeId&,
+                                     const std::string& payload)
+                                  -> Result<std::string> {
+    BinaryReader r(payload);
+    uint64_t epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+    CHARIOTS_ASSIGN_OR_RETURN(bool granted, controller_.GrantVote(epoch));
+    if (granted) {
+      // Someone is campaigning with our blessing; hold our own ambitions
+      // for a full period so the election can finish.
+      leader_lease_.Renew(0);
+    }
+    BinaryWriter w;
+    w.PutU8(granted ? 1 : 0);
+    w.PutU64(controller_.ctrl_epoch());
+    w.PutU64(controller_.version());
+    return std::move(w).data();
+  });
+  endpoint_.Handle(kCtrlConfirm, [this](const net::NodeId&,
+                                        const std::string& payload)
+                                     -> Result<std::string> {
+    BinaryReader r(payload);
+    uint64_t epoch = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU64(&epoch));
+    if (epoch < controller_.ctrl_epoch() ||
+        epoch < controller_.max_granted_epoch()) {
+      return Status::Aborted("a higher controller epoch exists");
+    }
+    leader_lease_.Renew(0);  // the confirming leader is evidently alive
+    return std::string();
+  });
+  endpoint_.Handle(kCtrlReplicateState, [this](const net::NodeId& from,
+                                               const std::string& payload)
+                                            -> Result<std::string> {
+    CHARIOTS_ASSIGN_OR_RETURN(ClusterInfo info, DecodeClusterInfo(payload));
+    CHARIOTS_RETURN_IF_ERROR(controller_.InstallReplicatedState(info));
+    OnLeaderBeat(info.ctrl_epoch, from);
+    return std::string();
+  });
   CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  if (options_.peers.empty()) {
+    // Single-controller deployment: leader by construction (pre-HA
+    // behavior), but still complete anything the meta WAL recovered.
+    {
+      std::lock_guard<std::mutex> lock(lead_mu_);
+      is_leader_ = true;
+      leader_ = node_;
+    }
+    CompleteRecoveredPlans();
+  } else {
+    // Replicated: everyone starts as a follower with an armed leader
+    // lease, so a cluster whose leader never shows up elects one within a
+    // lease period — including at first boot.
+    leader_lease_.Renew(0);
+  }
   if (options_.monitor_interval_nanos > 0) {
-    // TickLeases() issues a blocking promote Call() from a worker — safe
-    // because the transports deliver responses out-of-band (inline on the
+    // TickControl() issues blocking Call()s from a worker — safe because
+    // the transports deliver responses out-of-band (inline on the
     // delivering thread), never through the worker pool.
     monitor_token_ = executor_->ScheduleEvery(
         options_.monitor_interval_nanos, [this] {
-          if (!stop_.load(std::memory_order_relaxed)) TickLeases();
+          if (!stop_.load(std::memory_order_relaxed)) TickControl();
         });
   }
   return Status::OK();
@@ -973,13 +1135,235 @@ void ControllerServer::Stop() {
   }
   monitor_token_.Cancel();
   endpoint_.Stop();
+  (void)controller_.Close();
 }
 
-Status ControllerServer::ExecuteFailover(const FailoverPlan& plan) {
+bool ControllerServer::IsLeader() const {
+  std::lock_guard<std::mutex> lock(lead_mu_);
+  return is_leader_;
+}
+
+net::NodeId ControllerServer::leader() const {
+  std::lock_guard<std::mutex> lock(lead_mu_);
+  return leader_;
+}
+
+Status ControllerServer::RequireLeader() const {
+  std::lock_guard<std::mutex> lock(lead_mu_);
+  if (is_leader_) return Status::OK();
+  return Status::Unavailable(
+      "NOT_LEADER: controller leader is " +
+      (leader_.empty() ? std::string("unknown") : leader_));
+}
+
+void ControllerServer::OnLeaderBeat(uint64_t epoch, const net::NodeId& from) {
+  if (from == node_) return;
+  if (epoch < controller_.ctrl_epoch()) return;  // a deposed leader's stray
+  (void)controller_.AdoptCtrlEpoch(epoch);
+  leader_lease_.Renew(0);
+  std::lock_guard<std::mutex> lock(lead_mu_);
+  leader_ = from;
+  if (is_leader_) {
+    // Two leaders just met (healed partition); the higher epoch wins, and
+    // it is not us. Converging on one layout starts with stepping down.
+    LOG_INFO << "controller " << node_ << " deposed by " << from
+             << " (epoch " << epoch << ")";
+    is_leader_ = false;
+  }
+}
+
+Status ControllerServer::Campaign() {
+  const size_t cluster = options_.peers.size() + 1;
+  uint64_t cur = std::max(controller_.ctrl_epoch(),
+                          controller_.max_granted_epoch());
+  uint64_t next = cur + 1;
+  while (next % cluster != options_.replica_index) ++next;
+  // Vote for ourselves first, durably: a crash between here and winning
+  // must not let this replica hand `next` to someone else later.
+  CHARIOTS_ASSIGN_OR_RETURN(bool self_granted, controller_.GrantVote(next));
+  if (!self_granted) {
+    return Status::Aborted("already granted a vote past this epoch");
+  }
+  size_t votes = 1;
+  uint64_t best_ce = controller_.ctrl_epoch();
+  uint64_t best_v = controller_.version();
+  net::NodeId best_peer;
+  BinaryWriter w;
+  w.PutU64(next);
+  std::string request = std::move(w).data();
+  for (const net::NodeId& peer : options_.peers) {
+    Result<std::string> rsp = endpoint_.Call(
+        peer, kCtrlVote, request, std::chrono::milliseconds(500));
+    if (!rsp.ok()) continue;
+    BinaryReader r(*rsp);
+    uint8_t granted = 0;
+    uint64_t ce = 0, v = 0;
+    if (!r.GetU8(&granted).ok() || !r.GetU64(&ce).ok() || !r.GetU64(&v).ok()) {
+      continue;
+    }
+    if (granted == 0) continue;
+    ++votes;
+    if (std::tie(ce, v) > std::tie(best_ce, best_v)) {
+      best_ce = ce;
+      best_v = v;
+      best_peer = peer;
+    }
+  }
+  if (2 * votes <= cluster) {
+    // Lost (or partitioned from the majority). Re-arm the leader lease so
+    // we back off a full period instead of spinning elections.
+    leader_lease_.Renew(0);
+    return Status::Aborted("lost election (no majority)");
+  }
+  if (!best_peer.empty()) {
+    // A voter acknowledged a commit we never saw (we missed the previous
+    // leader's last ReplicateState). Pull it before serving anything.
+    Result<std::string> newer = endpoint_.Call(
+        best_peer, kGetClusterInfo, std::string(),
+        std::chrono::milliseconds(500));
+    if (newer.ok()) {
+      Result<ClusterInfo> info = DecodeClusterInfo(*newer);
+      if (info.ok()) (void)controller_.InstallReplicatedState(*info);
+    }
+  }
+  CHARIOTS_RETURN_IF_ERROR(controller_.AdoptCtrlEpoch(next));
+  {
+    std::lock_guard<std::mutex> lock(lead_mu_);
+    is_leader_ = true;
+    leader_ = node_;
+  }
+  ElectionsCounter()->Add();
+  LOG_INFO << "controller " << node_ << " won election for epoch " << next;
+  BroadcastBeat();
+  ReplicateState();
+  CompleteRecoveredPlans();
+  return Status::OK();
+}
+
+Status ControllerServer::ConfirmLeadership() {
+  if (options_.peers.empty()) return Status::OK();
+  const size_t cluster = options_.peers.size() + 1;
+  BinaryWriter w;
+  w.PutU64(controller_.ctrl_epoch());
+  std::string request = std::move(w).data();
+  size_t acks = 1;  // self
+  for (const net::NodeId& peer : options_.peers) {
+    if (endpoint_
+            .Call(peer, kCtrlConfirm, request, std::chrono::milliseconds(200))
+            .ok()) {
+      ++acks;
+    }
+  }
+  if (2 * acks <= cluster) {
+    return Status::Unavailable(
+        "NOT_LEADER: lost contact with the controller majority");
+  }
+  return Status::OK();
+}
+
+void ControllerServer::ReplicateState() {
+  if (options_.peers.empty()) return;
+  std::string payload = EncodeClusterInfo(controller_.GetInfo());
+  for (const net::NodeId& peer : options_.peers) {
+    Result<std::string> pushed = endpoint_.Call(
+        peer, kCtrlReplicateState, payload, std::chrono::milliseconds(500));
+    if (!pushed.ok()) {
+      // Best-effort: a follower that missed this catches up from a voter
+      // at its next election, or from our next push.
+      LOG_EVERY_N_SEC(kWarn, 5) << "layout replication to " << peer
+                                << " failed: " << pushed.status().ToString();
+    }
+  }
+}
+
+void ControllerServer::BroadcastBeat() {
+  if (options_.peers.empty()) return;
+  // Renew our own copy of the leader lease too: the leader branch never
+  // consults it, but kCtrlStatus reports it, and letting it lapse would
+  // show operators a negative countdown on the leader itself. It also
+  // buys a full back-off period before re-campaigning if we are deposed.
+  leader_lease_.Renew(0);
+  BinaryWriter w;
+  w.PutU64(controller_.ctrl_epoch());
+  w.PutBytes(node_);
+  std::string payload = std::move(w).data();
+  for (const net::NodeId& peer : options_.peers) {
+    (void)endpoint_.Notify(peer, kCtrlLeaderBeat, payload);
+  }
+}
+
+int ControllerServer::CompleteRecoveredPlans() {
+  int resolved = 0;
+  for (const FailoverPlan& plan : controller_.InflightFailovers()) {
+    PlanReplaysCounter()->Add();
+    LOG_INFO << "re-driving recovered failover plan for stripe "
+             << plan.index << " (candidate " << plan.candidate << ")";
+    (void)ExecuteFailover(plan, /*recheck_lease=*/true);  // resolves either way
+    ++resolved;
+  }
+  for (const ReplicaRemoval& removal : controller_.InflightRemovals()) {
+    PlanReplaysCounter()->Add();
+    LOG_INFO << "re-driving recovered eviction plan for stripe "
+             << removal.index << " (replica " << removal.removed << ")";
+    (void)ExecuteRemoval(removal);
+    ++resolved;
+  }
+  return resolved;
+}
+
+int ControllerServer::TickControl() {
+  if (stop_.load(std::memory_order_relaxed)) return 0;
+  if (IsLeader()) {
+    BroadcastBeat();
+    return TickLeases();
+  }
+  if (!options_.peers.empty() && !leader_lease_.Held(0)) {
+    (void)Campaign();
+  }
+  return 0;
+}
+
+Status ControllerServer::ExecuteFailover(const FailoverPlan& plan,
+                                         bool recheck_lease) {
+  if (recheck_lease) {
+    if (controller_.LeaseHeld(plan.index)) {
+      // A heartbeat slipped in between planning and acting (a healed
+      // partition, a late heartbeat): the coordinator is alive, the plan's
+      // premise is gone.
+      FailoverAbortCounter()->Add();
+      controller_.AbortFailover(plan.index);
+      return Status::Aborted(
+          "coordinator heartbeat resumed; failover aborted");
+    }
+    if (options_.probe_before_failover) {
+      Result<std::string> pong =
+          endpoint_.Call(plan.failed_primary, kPing, "",
+                         std::chrono::milliseconds(100));
+      if (pong.ok()) {
+        // Probe-reachable means alive: only its heartbeats are cut (an
+        // asymmetric partition, a gray link). Evicting it would trade a
+        // healthy coordinator for churn.
+        FalseSuspectsCounter()->Add();
+        FailoverAbortCounter()->Add();
+        controller_.AbortFailover(plan.index);
+        return Status::Aborted(
+            "coordinator answered liveness probe; failover aborted");
+      }
+    }
+  }
+  // A minority-partitioned (or deposed) leader must not move a stripe:
+  // majority-confirm the leadership immediately before acting.
+  Status confirmed = ConfirmLeadership();
+  if (!confirmed.ok()) {
+    FailoverAbortCounter()->Add();
+    controller_.AbortFailover(plan.index);
+    return confirmed;
+  }
   // Two-phase: promote the candidate over RPC first; only a confirmed
   // promotion changes the layout. A lost response retries the (idempotent)
   // promotion later via AbortFailover's re-armed lease.
   BinaryWriter w;
+  w.PutU64(controller_.ctrl_epoch());
   w.PutU64(plan.new_epoch);
   w.PutU32(static_cast<uint32_t>(plan.survivors.size()));
   for (const net::NodeId& peer : plan.survivors) w.PutBytes(peer);
@@ -987,22 +1371,27 @@ Status ControllerServer::ExecuteFailover(const FailoverPlan& plan) {
       plan.candidate, kPromote, std::move(w).data(),
       std::chrono::milliseconds(1000));
   if (!promoted.ok()) {
-    LOG_WARN << "promotion of " << plan.candidate << " for stripe "
-             << plan.index << " failed: " << promoted.status().ToString();
+    // Rate-limited: the lease monitor retries this every period while the
+    // candidate stays unreachable.
+    LOG_EVERY_N_SEC(kWarn, 5)
+        << "promotion of " << plan.candidate << " for stripe " << plan.index
+        << " failed: " << promoted.status().ToString();
     FailoverAbortCounter()->Add();
     controller_.AbortFailover(plan.index);
     return promoted.status();
   }
   Status status = controller_.CommitFailover(plan);
   if (!status.ok()) {
-    LOG_WARN << "failover commit for stripe " << plan.index
-             << " failed: " << status.ToString();
+    LOG_EVERY_N_SEC(kWarn, 5) << "failover commit for stripe " << plan.index
+                              << " failed: " << status.ToString();
     return status;
   }
   FailoverCommitCounter()->Add();
+  ReplicateState();
   // Tell the surviving maintainers (including the promoted one) where the
   // stripe now lives, so gossip keeps flowing to the right node.
   BinaryWriter update;
+  update.PutU64(controller_.ctrl_epoch());
   update.PutU32(plan.index);
   update.PutBytes(plan.candidate);
   std::string update_bytes = std::move(update).data();
@@ -1012,8 +1401,34 @@ Status ControllerServer::ExecuteFailover(const FailoverPlan& plan) {
   return Status::OK();
 }
 
+Status ControllerServer::ExecuteRemoval(const ReplicaRemoval& removal) {
+  Status confirmed = ConfirmLeadership();
+  if (!confirmed.ok()) {
+    controller_.AbortReplicaRemoval(removal.index);
+    return confirmed;
+  }
+  BinaryWriter w;
+  w.PutU64(controller_.ctrl_epoch());
+  w.PutU64(removal.new_epoch);
+  w.PutU32(static_cast<uint32_t>(removal.survivors.size()));
+  for (const net::NodeId& peer : removal.survivors) w.PutBytes(peer);
+  Result<std::string> reconfigured = endpoint_.Call(
+      removal.coordinator, kReconfigure, std::move(w).data(),
+      std::chrono::milliseconds(1000));
+  if (!reconfigured.ok()) {
+    controller_.AbortReplicaRemoval(removal.index);
+    return reconfigured.status();
+  }
+  CHARIOTS_RETURN_IF_ERROR(controller_.CommitReplicaRemoval(removal));
+  ReplicateState();
+  return Status::OK();
+}
+
 Result<std::string> ControllerServer::HandleSuspect(
     const std::string& payload) {
+  // Followers redirect: only the leader reconfigures. The reporter's
+  // controller channel rotates on kUnavailable until it finds the leader.
+  CHARIOTS_RETURN_IF_ERROR(RequireLeader());
   BinaryReader r(payload);
   uint32_t index = 0;
   std::string suspect;
@@ -1040,15 +1455,17 @@ Result<std::string> ControllerServer::HandleSuspect(
   Result<std::string> pong = endpoint_.Call(
       suspect, kPing, std::string(), std::chrono::milliseconds(100));
   if (pong.ok()) {
-    // False alarm. Count it as a heartbeat so one slow reply doesn't let
-    // the lease lapse right after.
+    // False alarm — probe-reachable means alive, however slow (gray
+    // failure): never evict on a report alone. Count it as a heartbeat so
+    // one slow reply doesn't let the lease lapse right after.
+    FalseSuspectsCounter()->Add();
     if (is_coordinator) controller_.Heartbeat(index, suspect);
     return std::string(1, '\x00');
   }
   if (is_coordinator) {
     CHARIOTS_ASSIGN_OR_RETURN(FailoverPlan plan,
                               controller_.PlanFailover(index));
-    CHARIOTS_RETURN_IF_ERROR(ExecuteFailover(plan));
+    CHARIOTS_RETURN_IF_ERROR(ExecuteFailover(plan, /*recheck_lease=*/false));
     MttrHist()->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - detect_start)
@@ -1058,18 +1475,7 @@ Result<std::string> ControllerServer::HandleSuspect(
   // Dead replica: evict it so the coordinator's writes stop waiting on it.
   CHARIOTS_ASSIGN_OR_RETURN(ReplicaRemoval removal,
                             controller_.PlanReplicaRemoval(index, suspect));
-  BinaryWriter w;
-  w.PutU64(removal.new_epoch);
-  w.PutU32(static_cast<uint32_t>(removal.survivors.size()));
-  for (const net::NodeId& peer : removal.survivors) w.PutBytes(peer);
-  Result<std::string> reconfigured = endpoint_.Call(
-      removal.coordinator, kReconfigure, std::move(w).data(),
-      std::chrono::milliseconds(1000));
-  if (!reconfigured.ok()) {
-    controller_.AbortReplicaRemoval(index);
-    return reconfigured.status();
-  }
-  CHARIOTS_RETURN_IF_ERROR(controller_.CommitReplicaRemoval(removal));
+  CHARIOTS_RETURN_IF_ERROR(ExecuteRemoval(removal));
   MttrHist()->Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - detect_start)
@@ -1078,11 +1484,12 @@ Result<std::string> ControllerServer::HandleSuspect(
 }
 
 int ControllerServer::TickLeases() {
+  if (!IsLeader()) return 0;
   int committed = 0;
   for (const FailoverPlan& plan : controller_.ExpiredLeases()) {
     LeaseExpiryCounter()->Add();
     auto sweep_start = std::chrono::steady_clock::now();
-    if (ExecuteFailover(plan).ok()) {
+    if (ExecuteFailover(plan, /*recheck_lease=*/true).ok()) {
       ++committed;
       // Lease-path MTTR includes the lease the stripe had to wait out
       // before this sweep could even see the expiry — that is what a

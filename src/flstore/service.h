@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/executor.h"
+#include "common/lease.h"
 #include "flstore/controller.h"
 #include "flstore/dedup.h"
 #include "flstore/indexer.h"
@@ -23,6 +24,11 @@ namespace chariots::flstore {
 /// across roles, so dashboards and `chariots_cli metrics PREFIX` behave
 /// identically whether or not a node has replicated anything yet.
 void RegisterReplicationMetrics();
+
+/// Same, for the chariots.flstore.ctrl.* control-plane families (elections,
+/// meta_wal_appends, false_suspects, plan_replays): force-registered at
+/// server start so they export at zero before the first election or crash.
+void RegisterControllerMetrics();
 
 /// RPC opcodes of the FLStore fabric.
 enum Opcode : uint16_t {
@@ -73,6 +79,28 @@ enum Opcode : uint16_t {
   /// () -> (): liveness probe; a fenced node answers Unavailable so the
   /// controller treats it as dead.
   kPing = 24,
+  /// () -> control-plane status dump: controller epoch + leader + leader
+  /// lease age, then per-stripe coordinator/replicas/fence epoch/lease age.
+  /// Served by ANY controller replica (each answers from its own view).
+  kCtrlStatus = 25,
+  /// one-way controller-replica heartbeat: u64 ctrl_epoch + leader node.
+  /// Renews the follower's leader lease; a follower whose leader lease
+  /// lapses campaigns for the next (striped) epoch.
+  kCtrlLeaderBeat = 26,
+  /// u64 epoch -> u8 granted + u64 voter ctrl_epoch + u64 voter layout
+  /// version. The vote is durable at the voter before the response leaves,
+  /// so a crash-restart can never hand one epoch to two candidates; the
+  /// piggybacked (ctrl_epoch, version) lets the winner pull a newer layout
+  /// it may have missed before serving.
+  kCtrlVote = 27,
+  /// u64 epoch -> (): leadership confirmation, acked iff the peer knows no
+  /// higher epoch (adopted or granted). The leader collects a majority of
+  /// acks immediately before every layout commit — which is exactly what
+  /// makes a partitioned minority leader unable to promote anything.
+  kCtrlConfirm = 28,
+  /// ClusterInfo bytes -> (): leader pushing a committed layout to a
+  /// follower replica (rejected when older than the follower's view).
+  kCtrlReplicateState = 29,
 };
 
 /// Wire encoding of a StripeEpoch (used by kAddEpoch /
@@ -111,6 +139,11 @@ class MaintainerServer {
     /// then never arms a lease for this stripe, and suspect reports have
     /// nowhere to go).
     net::NodeId controller;
+    /// Replicated control plane: ALL controller replicas. When non-empty it
+    /// supersedes `controller` — heartbeats and suspect reports go to every
+    /// replica (followers track leases too, so whoever wins the next
+    /// election already knows who is alive; only the leader acts).
+    std::vector<net::NodeId> controllers;
     int64_t heartbeat_interval_nanos = 30'000'000;  ///< 30 ms default
     /// Executor running the gossip/heartbeat timers (null =
     /// Executor::Default()). A virtual-time executor makes both loops
@@ -166,10 +199,18 @@ class MaintainerServer {
   /// writes after a replica eviction (called from kReconfigure and from
   /// retried appends that hit the dedup window).
   Status DriveReplication();
-  /// Fire-and-forget dead-peer report to the controller ("" = no
-  /// controller configured; no-op). Sent on the repl endpoint: the main
+  /// Fire-and-forget dead-peer report to every controller replica (no-op
+  /// when none is configured). Sent on the repl endpoint: the main
   /// endpoint's inbox may be busy running the very append that failed.
   void SuspectPeer(const net::NodeId& suspect);
+  /// The controller replicas this node talks to (options_.controllers, or
+  /// the single legacy options_.controller).
+  std::vector<net::NodeId> ControllerTargets() const;
+  /// Controller-epoch fence (PR 3 idiom, lifted to the control plane):
+  /// folds `epoch` into the highest controller epoch this node has ever
+  /// seen and rejects commands below it — a deposed controller leader's
+  /// promotion or reconfiguration must not move a stripe.
+  Status CheckCtrlEpoch(uint64_t epoch);
 
   LogMaintainer maintainer_;
   Options options_;
@@ -194,6 +235,8 @@ class MaintainerServer {
   /// updated by kPeerUpdate when the controller commits a failover.
   std::mutex peers_mu_;
   std::vector<net::NodeId> peers_;
+  /// Highest controller epoch observed in any layout/promotion RPC.
+  std::atomic<uint64_t> ctrl_epoch_seen_{0};
 };
 
 /// Hosts an Indexer on the RPC fabric.
@@ -216,10 +259,28 @@ class IndexerServer {
 struct ControllerServerOptions {
   ControllerOptions controller;
   /// Interval of the background lease monitor; 0 disables it (tests drive
-  /// failover deterministically via TickLeases()).
+  /// failover deterministically via TickLeases() / TickControl()).
   int64_t monitor_interval_nanos = 0;
   /// Executor running the lease monitor (null = Executor::Default()).
   Executor* executor = nullptr;
+  /// The OTHER controller replicas (empty = single-controller deployment,
+  /// which starts as leader immediately — the pre-HA behavior).
+  std::vector<net::NodeId> peers;
+  /// This replica's index in the controller cluster (0..N-1, where N =
+  /// peers.size() + 1). Election epochs are striped by this index — replica
+  /// i only ever campaigns with epochs e where e % N == i — so two
+  /// simultaneous candidates can never collide on one epoch number.
+  uint32_t replica_index = 0;
+  /// How long a follower waits without hearing a leader beat before it
+  /// campaigns. Runs on the controller's injected clock.
+  int64_t leader_lease_nanos = 300'000'000;  // 300 ms
+  /// Probe (kPing) a coordinator whose lease expired before evicting it:
+  /// a node that still answers is alive — its heartbeats are partitioned
+  /// away (one-way cut) or merely late — and promoting over it would be a
+  /// false eviction. Default off: the classic lease contract treats a full
+  /// lease of silence as death, and some deployments prefer that MTTR over
+  /// gray-failure tolerance. The kSuspect fast path always probes.
+  bool probe_before_failover = false;
 };
 
 /// Hosts the Controller on the RPC fabric: serves cluster info and
@@ -239,24 +300,76 @@ class ControllerServer {
   /// One failure-detection sweep: for every stripe whose coordinator lease
   /// expired, deliver the promotion RPC to the first replica and, on
   /// success, commit the new layout and broadcast it to the surviving
-  /// maintainers. Returns the number of failovers committed. Public so
-  /// tests (and the disabled-monitor deployment) can drive failover
-  /// deterministically.
+  /// maintainers. Returns the number of failovers committed. Leader-only
+  /// (a follower sweep returns 0 without acting). Public so tests (and the
+  /// disabled-monitor deployment) can drive failover deterministically.
   int TickLeases();
+
+  /// One control-plane tick: a leader broadcasts its beat and sweeps
+  /// leases; a follower whose leader lease lapsed campaigns. This is what
+  /// the background monitor runs. Returns committed failovers.
+  int TickControl();
+
+  /// Runs one election for the next epoch striped to this replica: the
+  /// self-vote is persisted, peers vote (durably) over kCtrlVote, and a
+  /// majority — counting self — makes this replica leader: it adopts the
+  /// epoch, pulls any newer layout a voter advertised, announces itself,
+  /// and completes plans recovered from the meta WAL. kAborted on a lost
+  /// election (the leader lease re-arms to back off a full period).
+  Status Campaign();
+
+  bool IsLeader() const;
+  /// Last known leader ("" when unknown).
+  net::NodeId leader() const;
 
   Controller& controller() { return controller_; }
 
  private:
+  /// kUnavailable("NOT_LEADER...") unless this replica is leader — the
+  /// redirect non-leader replicas give every mutating RPC; clients treat it
+  /// as retryable and rotate their controller channel.
+  Status RequireLeader() const;
+  /// Majority confirmation that no peer knows a higher epoch, collected
+  /// immediately before every layout commit. A minority-partitioned leader
+  /// fails here and commits nothing.
+  Status ConfirmLeadership();
+  /// Best-effort push of the committed layout to every follower.
+  void ReplicateState();
+  /// One-way leader announcement to every peer.
+  void BroadcastBeat();
+  /// Follower side of kCtrlLeaderBeat.
+  void OnLeaderBeat(uint64_t epoch, const net::NodeId& from);
+  /// Re-drives every in-flight two-phase plan recovered from the meta WAL
+  /// (or inherited at election) to completion or abort. Returns how many
+  /// plans were resolved.
+  int CompleteRecoveredPlans();
   /// Delivers a planned promotion and commits it (aborting on failure);
-  /// broadcasts the new layout on success.
-  Status ExecuteFailover(const FailoverPlan& plan);
+  /// broadcasts the new layout on success. With `recheck_lease` set (the
+  /// lease-expiry and recovered-plan paths), a stripe lease renewed between
+  /// planning and acting aborts the plan — the coordinator is demonstrably
+  /// alive again (a healed partition), so evicting it would be wrong. The
+  /// suspect fast path passes false: its premise is a liveness probe that
+  /// just failed, and the lease may well still be held (that is what makes
+  /// it sub-lease).
+  Status ExecuteFailover(const FailoverPlan& plan, bool recheck_lease);
+  /// Delivers a planned replica eviction and commits it (same two-phase
+  /// shape as ExecuteFailover).
+  Status ExecuteRemoval(const ReplicaRemoval& removal);
   /// The kSuspect body, shared by the request and one-way registrations.
   Result<std::string> HandleSuspect(const std::string& payload);
 
   Controller controller_;
   ControllerServerOptions options_;
   Executor* const executor_;
+  const net::NodeId node_;
   net::RpcEndpoint endpoint_;
+  /// Follower's view of leader liveness: key 0, renewed by every beat (and
+  /// by granting a vote), armed at Start so a dead initial leader is
+  /// detected. Runs on the controller's injected clock.
+  LeaseTable leader_lease_;
+  mutable std::mutex lead_mu_;
+  net::NodeId leader_;
+  bool is_leader_ = false;
   std::atomic<bool> stop_{false};
   Executor::TimerToken monitor_token_;
 };

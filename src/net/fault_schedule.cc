@@ -69,9 +69,74 @@ bool FaultSchedule::InOutage(const NodeId& node, int64_t at_nanos) const {
   return false;
 }
 
-FaultDecision FaultSchedule::Inspect(const Message& msg) {
+void FaultSchedule::PartitionWindow(std::vector<std::string> side_a,
+                                    std::vector<std::string> side_b,
+                                    int64_t from_nanos, int64_t to_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.push_back(Partition{std::move(side_a), std::move(side_b),
+                                  from_nanos, to_nanos,
+                                  /*symmetric=*/true});
+}
+
+void FaultSchedule::AsymmetricPartitionWindow(std::vector<std::string> from_side,
+                                              std::vector<std::string> to_side,
+                                              int64_t from_nanos,
+                                              int64_t to_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.push_back(Partition{std::move(from_side), std::move(to_side),
+                                  from_nanos, to_nanos,
+                                  /*symmetric=*/false});
+}
+
+void FaultSchedule::SlowNodeWindow(std::string prefix, int64_t delay_nanos,
+                                   int64_t from_nanos, int64_t to_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_nodes_.push_back(
+      SlowNode{std::move(prefix), delay_nanos, from_nanos, to_nanos});
+}
+
+bool FaultSchedule::OnSide(const NodeId& node,
+                           const std::vector<std::string>& side) {
+  for (const std::string& prefix : side) {
+    if (node.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+bool FaultSchedule::PartitionedLocked(const NodeId& from, const NodeId& to,
+                                      int64_t at_nanos) const {
+  for (const Partition& p : partitions_) {
+    if (at_nanos < p.from_nanos || at_nanos >= p.to_nanos) continue;
+    if (OnSide(from, p.side_a) && OnSide(to, p.side_b)) return true;
+    if (p.symmetric && OnSide(from, p.side_b) && OnSide(to, p.side_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultSchedule::Partitioned(const NodeId& from, const NodeId& to,
+                                int64_t at_nanos) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PartitionedLocked(from, to, at_nanos);
+}
+
+FaultDecision FaultSchedule::Inspect(const Message& msg, int64_t now_nanos) {
   std::lock_guard<std::mutex> lock(mu_);
   FaultDecision decision;
+  if (PartitionedLocked(msg.from, msg.to, now_nanos)) {
+    ++injected_;
+    decision.drop = true;
+    return decision;  // the cut wins; no point evaluating scripted rules
+  }
+  for (const SlowNode& s : slow_nodes_) {
+    if (now_nanos < s.from_nanos || now_nanos >= s.to_nanos) continue;
+    if (msg.to.rfind(s.prefix, 0) == 0 || msg.from.rfind(s.prefix, 0) == 0) {
+      ++injected_;
+      decision.delay_nanos += s.delay_nanos;
+      break;  // one gray node on the path is enough; don't stack windows
+    }
+  }
   for (Rule& rule : rules_) {
     if (!rule.pred(msg)) continue;
     ++rule.matches;
@@ -110,6 +175,8 @@ void FaultSchedule::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   rules_.clear();
   outages_.clear();
+  partitions_.clear();
+  slow_nodes_.clear();
   injected_ = 0;
 }
 

@@ -75,11 +75,47 @@ class FaultSchedule {
   /// True if `node` is inside an outage window at `at_nanos`.
   bool InOutage(const NodeId& node, int64_t at_nanos) const;
 
+  // ------------------------------------------------------ partition model
+
+  /// Symmetric network partition in virtual time: messages sent in
+  /// [from, to) between any node whose id starts with a prefix in `side_a`
+  /// and any node whose id starts with a prefix in `side_b` are dropped, in
+  /// BOTH directions. Prefix matching covers derived endpoints (a replica's
+  /// "dc0/maintainer/1#repl" partitions with "dc0/maintainer/1"). Nodes on
+  /// neither side are unaffected — so a minority side keeps talking to
+  /// itself but not across the cut.
+  void PartitionWindow(std::vector<std::string> side_a,
+                       std::vector<std::string> side_b, int64_t from_nanos,
+                       int64_t to_nanos);
+
+  /// Asymmetric (one-way) partition: only messages FROM `from_side` TO
+  /// `to_side` vanish in the window; the reverse direction still flows.
+  /// This is the gray link the symmetric model can't express — A hears B
+  /// but B never hears A.
+  void AsymmetricPartitionWindow(std::vector<std::string> from_side,
+                                 std::vector<std::string> to_side,
+                                 int64_t from_nanos, int64_t to_nanos);
+
+  /// Gray failure: every message to or from a node matching `prefix` sent
+  /// in [from, to) is delayed by `delay_nanos` — the node is up and
+  /// answering, just pathologically slow. Probes must not mistake this for
+  /// death (and the controller must not evict a slow-but-reachable node).
+  void SlowNodeWindow(std::string prefix, int64_t delay_nanos,
+                      int64_t from_nanos, int64_t to_nanos);
+
+  /// True if a partition window (symmetric or asymmetric) would drop a
+  /// message from `from` to `to` sent at `at_nanos`.
+  bool Partitioned(const NodeId& from, const NodeId& to,
+                   int64_t at_nanos) const;
+
   // -------------------------------------------------------------- queries
 
   /// Evaluates every rule against `msg` (advancing match counters) and
-  /// returns the combined decision. Called by the transport on Send.
-  FaultDecision Inspect(const Message& msg);
+  /// returns the combined decision. Called by the transport on Send with
+  /// the virtual send time, which gates the partition / slow-node windows
+  /// (callers without a clock can leave `now_nanos` at 0; the scripted
+  /// per-message rules don't need it).
+  FaultDecision Inspect(const Message& msg, int64_t now_nanos = 0);
 
   /// Total messages a rule dropped, duplicated, or delayed so far.
   uint64_t faults_injected() const;
@@ -115,9 +151,30 @@ class FaultSchedule {
     int64_t to_nanos;
   };
 
+  struct Partition {
+    std::vector<std::string> side_a;
+    std::vector<std::string> side_b;
+    int64_t from_nanos;
+    int64_t to_nanos;
+    bool symmetric;  // false: drop only side_a -> side_b
+  };
+
+  struct SlowNode {
+    std::string prefix;
+    int64_t delay_nanos;
+    int64_t from_nanos;
+    int64_t to_nanos;
+  };
+
+  static bool OnSide(const NodeId& node, const std::vector<std::string>& side);
+  bool PartitionedLocked(const NodeId& from, const NodeId& to,
+                         int64_t at_nanos) const;
+
   mutable std::mutex mu_;
   std::vector<Rule> rules_;
   std::vector<Outage> outages_;
+  std::vector<Partition> partitions_;
+  std::vector<SlowNode> slow_nodes_;
   Random rng_;
   uint64_t injected_ = 0;
 };

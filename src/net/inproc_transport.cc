@@ -173,7 +173,7 @@ Status InProcTransport::Send(Message msg) {
   // The scripted fault plan sees every message that survived the link's
   // probabilistic drop. A real network loses the message after the sender
   // has paid to put it on the wire, so Send still returns OK on a drop.
-  FaultDecision decision = faults_.Inspect(msg);
+  FaultDecision decision = faults_.Inspect(msg, clock_->NowNanos());
   if (decision.drop) {
     DroppedCounter()->Add();
     FaultDropCounter()->Add();

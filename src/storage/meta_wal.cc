@@ -1,0 +1,125 @@
+#include "storage/meta_wal.h"
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/logging.h"
+
+namespace chariots::storage {
+
+namespace {
+constexpr size_t kFrameHeader = 8;  // u32 masked CRC + u32 body length
+}  // namespace
+
+std::string MetaWal::EncodeFrame(std::string_view body) {
+  BinaryWriter frame;
+  frame.PutU32(crc32c::Mask(crc32c::Value(body)));
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutRaw(body);
+  return std::move(frame).data();
+}
+
+Result<std::optional<std::string>> MetaWal::ScanLastFrame(
+    std::string_view image, size_t* valid_prefix, size_t* frame_count) {
+  std::optional<std::string> last;
+  size_t offset = 0;
+  size_t frames = 0;
+  while (image.size() - offset >= kFrameHeader) {
+    BinaryReader header(image.substr(offset, kFrameHeader));
+    uint32_t stored_crc = 0, len = 0;
+    (void)header.GetU32(&stored_crc);
+    (void)header.GetU32(&len);
+    if (len > image.size() - offset - kFrameHeader) break;  // torn body
+    std::string_view body = image.substr(offset + kFrameHeader, len);
+    if (crc32c::Unmask(stored_crc) != crc32c::Value(body)) break;
+    last = std::string(body);
+    offset += kFrameHeader + len;
+    ++frames;
+  }
+  if (valid_prefix != nullptr) *valid_prefix = offset;
+  if (frame_count != nullptr) *frame_count = frames;
+  return last;
+}
+
+Status MetaWal::Open() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (open_) return Status::FailedPrecondition("MetaWal already open");
+  if (options_.path.empty()) {
+    return Status::InvalidArgument("MetaWal needs a path");
+  }
+  CHARIOTS_ASSIGN_OR_RETURN(
+      file_, FaultInjectingFile::OpenAppendable(options_.path,
+                                                options_.disk_faults));
+  std::string image;
+  CHARIOTS_RETURN_IF_ERROR(file_.ReadAt(0, file_.size(), &image));
+  size_t valid_prefix = 0;
+  CHARIOTS_ASSIGN_OR_RETURN(
+      recovered_, ScanLastFrame(image, &valid_prefix, &frames_));
+  if (valid_prefix < image.size()) {
+    // A crash mid-append left a torn frame; drop it so the next append
+    // starts on a clean boundary.
+    LOG_EVERY_N_SEC(kWarn, 5)
+        << "meta WAL " << options_.path << " truncating torn tail ("
+        << image.size() - valid_prefix << " bytes)";
+    CHARIOTS_RETURN_IF_ERROR(file_.Truncate(valid_prefix));
+  }
+  open_ = true;
+  // A controller that crashed before compacting leaves the whole frame
+  // history behind; rewrite it now so replay stays bounded.
+  if (frames_ > options_.compact_min_frames && recovered_.has_value()) {
+    CHARIOTS_RETURN_IF_ERROR(CompactLocked());
+  }
+  return Status::OK();
+}
+
+Status MetaWal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::OK();
+  open_ = false;
+  file_.Close();
+  return Status::OK();
+}
+
+Status MetaWal::Append(std::string_view state) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("MetaWal not open");
+  CHARIOTS_RETURN_IF_ERROR(file_.Append(EncodeFrame(state)));
+  CHARIOTS_RETURN_IF_ERROR(file_.Sync());
+  recovered_ = std::string(state);
+  ++frames_;
+  if (frames_ > options_.compact_min_frames) {
+    CHARIOTS_RETURN_IF_ERROR(CompactLocked());
+  }
+  return Status::OK();
+}
+
+Status MetaWal::CompactLocked() {
+  // One atomic rewrite holding just the latest frame, then reopen for
+  // appends. The temp-file rename means a crash mid-compaction leaves
+  // either the old multi-frame file or the new single-frame one — never a
+  // half-written image.
+  file_.Close();
+  CHARIOTS_RETURN_IF_ERROR(
+      WriteStringToFileAtomic(EncodeFrame(*recovered_), options_.path));
+  CHARIOTS_ASSIGN_OR_RETURN(
+      file_, FaultInjectingFile::OpenAppendable(options_.path,
+                                                options_.disk_faults));
+  frames_ = 1;
+  return Status::OK();
+}
+
+std::optional<std::string> MetaWal::recovered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recovered_;
+}
+
+size_t MetaWal::frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return frames_;
+}
+
+bool MetaWal::is_open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return open_;
+}
+
+}  // namespace chariots::storage

@@ -1,0 +1,92 @@
+#ifndef CHARIOTS_STORAGE_META_WAL_H_
+#define CHARIOTS_STORAGE_META_WAL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/fault_injection.h"
+
+namespace chariots::storage {
+
+/// Append-only metadata WAL of full-state snapshot frames, for control-plane
+/// state that is small but must survive crashes exactly (the FLStore
+/// controller's ClusterInfo/epoch journal and its in-flight two-phase
+/// plans). Each frame is one complete encoding of the owner's durable
+/// state, so replay is simply "last intact frame wins" and a frame torn by
+/// a crash truncates away — the same framing and torn-tail discipline as
+/// the dedup sidecar:
+///
+///   frame := u32 masked CRC32C (over body) | u32 body length | body
+///
+/// Appends sync before returning: a metadata frame is tiny and a controller
+/// must never ack a layout change that a restart forgets. When the file
+/// accumulates more than `compact_min_frames` frames it is atomically
+/// rewritten down to the latest one, bounding replay work across restarts.
+///
+/// Disk faults are injectable through the shared DiskFaultSchedule, so the
+/// crash matrix can tear or fail metadata writes like any other file.
+/// Thread-safe.
+class MetaWal {
+ public:
+  struct Options {
+    std::string path;
+    DiskFaultSchedule* disk_faults = nullptr;
+    /// Compaction threshold: rewrite down to one frame past this many.
+    size_t compact_min_frames = 16;
+  };
+
+  explicit MetaWal(Options options) : options_(std::move(options)) {}
+  ~MetaWal() { (void)Close(); }
+
+  MetaWal(const MetaWal&) = delete;
+  MetaWal& operator=(const MetaWal&) = delete;
+
+  /// Opens (creating if missing) and replays the file: truncates any torn
+  /// tail and remembers the last intact frame for recovered().
+  Status Open();
+  Status Close();
+
+  /// Appends one full-state frame and syncs it durable.
+  Status Append(std::string_view state);
+
+  /// Payload of the last intact frame found by Open() (nullopt when the
+  /// file was empty or fully torn). Updated by successful Appends.
+  std::optional<std::string> recovered() const;
+
+  /// Frames currently on disk (replay length of the next Open).
+  size_t frames() const;
+  bool is_open() const;
+
+  /// Scans a raw WAL image and returns the payload of the last intact
+  /// frame (nullopt for an empty or fully-torn image). Structural damage —
+  /// a short header, an impossible length, a CRC mismatch — ends the scan
+  /// there, exactly like recovery truncation; hostile input never crashes.
+  /// `valid_prefix`/`frame_count` (optional) report how many bytes/frames
+  /// scanned clean.
+  static Result<std::optional<std::string>> ScanLastFrame(
+      std::string_view image, size_t* valid_prefix = nullptr,
+      size_t* frame_count = nullptr);
+
+  /// Encodes one frame (CRC | length | body) — the unit ScanLastFrame
+  /// consumes. Exposed for tests that build corrupted images.
+  static std::string EncodeFrame(std::string_view body);
+
+ private:
+  Status CompactLocked();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  FaultInjectingFile file_;
+  std::optional<std::string> recovered_;
+  size_t frames_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace chariots::storage
+
+#endif  // CHARIOTS_STORAGE_META_WAL_H_

@@ -5,14 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/random.h"
+#include "flstore/controller.h"
 #include "flstore/indexer.h"
 #include "storage/log_store.h"
+#include "storage/meta_wal.h"
 
 namespace chariots {
 namespace {
@@ -208,6 +215,185 @@ TEST_P(IndexerFuzzTest, LookupMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IndexerFuzzTest,
                          ::testing::Values(10, 20, 30, 40));
+
+// Control-plane codecs under hostile input: every truncation and random
+// bitflip of an encoded ControllerState / ClusterInfo must come back as a
+// Status (or decode to garbage), never crash or over-allocate — these bytes
+// cross the wire (kCtrlReplicateState) and live in the meta WAL.
+class ControlPlaneFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+flstore::ControllerState RandomControllerState(Random& rng) {
+  flstore::ControllerState state;
+  uint32_t stripes = 1 + static_cast<uint32_t>(rng.Uniform(4));
+  state.info.journal =
+      flstore::EpochJournal(stripes, 1 + rng.Uniform(1000));
+  for (uint32_t i = 0; i < stripes; ++i) {
+    state.info.maintainers.push_back("m" + std::to_string(i) + "/" +
+                                     rng.NextString(1 + rng.Uniform(12)));
+    std::vector<net::NodeId> replicas;
+    for (uint64_t r = rng.Uniform(3); r > 0; --r) {
+      replicas.push_back(rng.NextString(1 + rng.Uniform(10)));
+    }
+    state.info.replicas.push_back(std::move(replicas));
+    state.info.fence_epochs.push_back(1 + rng.Uniform(50));
+  }
+  for (uint64_t i = rng.Uniform(3); i > 0; --i) {
+    state.info.indexers.push_back("idx" + rng.NextString(4));
+  }
+  state.info.version = rng.Uniform(1000);
+  state.info.ctrl_epoch = 1 + rng.Uniform(100);
+  state.max_granted_epoch = rng.Uniform(200);
+  if (rng.OneIn(0.7)) {
+    flstore::FailoverPlan plan;
+    plan.index = rng.Uniform(stripes);
+    plan.new_epoch = 2 + rng.Uniform(50);
+    plan.candidate = rng.NextString(6);
+    plan.failed_primary = rng.NextString(6);
+    for (uint64_t r = rng.Uniform(3); r > 0; --r) {
+      plan.survivors.push_back(rng.NextString(5));
+    }
+    state.inflight_failovers.push_back(std::move(plan));
+  }
+  if (rng.OneIn(0.5)) {
+    flstore::ReplicaRemoval removal;
+    removal.index = rng.Uniform(stripes);
+    removal.new_epoch = 2 + rng.Uniform(50);
+    removal.removed = rng.NextString(6);
+    removal.coordinator = rng.NextString(6);
+    state.inflight_removals.push_back(std::move(removal));
+  }
+  return state;
+}
+
+TEST_P(ControlPlaneFuzzTest, StateDecodersNeverCrash) {
+  Random rng(GetParam() * 131 + 7);
+  flstore::ControllerState state = RandomControllerState(rng);
+  std::string bytes = flstore::EncodeControllerState(state);
+
+  // Canonical round trip: decode(encode(x)) re-encodes byte-identically.
+  auto decoded = flstore::DecodeControllerState(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(flstore::EncodeControllerState(*decoded), bytes);
+  auto info = flstore::DecodeClusterInfo(flstore::EncodeClusterInfo(state.info));
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(flstore::EncodeClusterInfo(*info),
+            flstore::EncodeClusterInfo(state.info));
+
+  // Every truncation point: a Status or a benign partial decode — no crash,
+  // no unbounded allocation (count guards cap vectors by remaining bytes).
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::string_view prefix(bytes.data(), cut);
+    (void)flstore::DecodeControllerState(prefix);
+    (void)flstore::DecodeClusterInfo(prefix);
+  }
+  // Random single-bit corruption.
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = bytes;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<char>(1u << rng.Uniform(8));
+    (void)flstore::DecodeControllerState(mutated);
+    (void)flstore::DecodeClusterInfo(mutated);
+  }
+}
+
+// Meta-WAL frame scan under truncation and bitflips: the scan must never
+// crash, and whatever payload it recovers must be byte-identical to one of
+// the frames actually written (CRC32C catches every single-bit flip, so a
+// damaged frame ends the scan at the previous intact one).
+TEST_P(ControlPlaneFuzzTest, MetaWalFrameScanNeverCrashes) {
+  Random rng(GetParam() * 19 + 5);
+  std::vector<std::string> bodies;
+  std::string image;
+  int frames = 1 + static_cast<int>(rng.Uniform(6));
+  for (int i = 0; i < frames; ++i) {
+    bodies.push_back(rng.NextString(1 + rng.Uniform(120)));
+    image += storage::MetaWal::EncodeFrame(bodies.back());
+  }
+
+  auto whole = storage::MetaWal::ScanLastFrame(image);
+  ASSERT_TRUE(whole.ok()) << whole.status();
+  ASSERT_TRUE(whole->has_value());
+  EXPECT_EQ(**whole, bodies.back());
+
+  auto is_known_body = [&](const std::string& body) {
+    return std::find(bodies.begin(), bodies.end(), body) != bodies.end();
+  };
+
+  // Every truncation: the scan keeps the longest intact frame prefix.
+  for (size_t cut = 0; cut <= image.size(); ++cut) {
+    size_t valid = 0, count = 0;
+    auto r = storage::MetaWal::ScanLastFrame(
+        std::string_view(image.data(), cut), &valid, &count);
+    ASSERT_TRUE(r.ok()) << "cut " << cut << ": " << r.status();
+    EXPECT_LE(valid, cut);
+    EXPECT_LE(count, bodies.size());
+    if (r->has_value()) EXPECT_TRUE(is_known_body(**r)) << "cut " << cut;
+  }
+  // Random single-bit corruption anywhere in the image.
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = image;
+    size_t pos = rng.Uniform(mutated.size());
+    mutated[pos] ^= static_cast<char>(1u << rng.Uniform(8));
+    auto r = storage::MetaWal::ScanLastFrame(mutated);
+    ASSERT_TRUE(r.ok()) << "flip at " << pos << ": " << r.status();
+    if (r->has_value()) EXPECT_TRUE(is_known_body(**r)) << "flip at " << pos;
+  }
+}
+
+// File-level torn tail: truncating a meta WAL at any point must reopen
+// cleanly and recover a state that was actually appended (or none at all).
+TEST_P(ControlPlaneFuzzTest, MetaWalTornTailRecovery) {
+  Random rng(GetParam() * 311 + 13);
+  fs::path dir = fs::temp_directory_path() /
+                 ("chariots_fuzz_metawal_" + std::to_string(GetParam()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  std::string path = (dir / "meta.wal").string();
+
+  std::vector<std::string> appended;
+  {
+    storage::MetaWal::Options o;
+    o.path = path;
+    storage::MetaWal wal(o);
+    ASSERT_TRUE(wal.Open().ok());
+    int n = 2 + static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < n; ++i) {
+      appended.push_back(rng.NextString(1 + rng.Uniform(200)));
+      ASSERT_TRUE(wal.Append(appended.back()).ok());
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(bytes.empty());
+
+  for (int i = 0; i < 8; ++i) {
+    size_t cut = rng.Uniform(bytes.size() + 1);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    storage::MetaWal::Options o;
+    o.path = path;
+    storage::MetaWal wal(o);
+    ASSERT_TRUE(wal.Open().ok()) << "cut " << cut;
+    if (wal.recovered().has_value()) {
+      EXPECT_NE(std::find(appended.begin(), appended.end(),
+                          *wal.recovered()),
+                appended.end())
+          << "cut " << cut;
+    }
+    ASSERT_TRUE(wal.Close().ok());
+  }
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ControlPlaneFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
 
 }  // namespace
 }  // namespace chariots

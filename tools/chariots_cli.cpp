@@ -32,6 +32,9 @@ int Usage() {
   std::fprintf(stderr,
                "usage: chariots_cli --controller=H:P --maintainers=H:P,... "
                "[--indexers=H:P,...] COMMAND\n"
+               "   or: chariots_cli --controllers=H:P,... ...   (replicated "
+               "control plane;\n"
+               "       rotates to the leader on NOT_LEADER redirects)\n"
                "   or: chariots_cli --geo=H:P --dc-id=N COMMAND   (against "
                "a chariots_node --role=datacenter)\n"
                "commands:\n"
@@ -42,6 +45,12 @@ int Usage() {
                "  head                    print the head of the log\n"
                "  lookup KEY [VALUE] [N]  most recent N records with tag\n"
                "  info                    print the cluster layout\n"
+               "  status                  control-plane status: layout "
+               "version,\n"
+               "                          controller leader + lease age, "
+               "per-stripe\n"
+               "                          coordinator/replicas/fence epochs "
+               "+ leases\n"
                "  metrics [PREFIX]        server metrics as JSON (geo mode);\n"
                "                          with PREFIX, prints one 'name "
                "value'\n"
@@ -229,10 +238,25 @@ int main(int argc, char** argv) {
   }
   std::string host;
   int port = 0;
-  if (!Flags::SplitHostPort(flags.Get("controller"), &host, &port)) {
-    return Usage();
+  ClientOptions copts;
+  std::vector<std::string> controllers =
+      Flags::Split(flags.Get("controllers"));
+  if (!controllers.empty()) {
+    // Replicated control plane: route every replica and let the client
+    // rotate across them (followers redirect with NOT_LEADER).
+    for (size_t i = 0; i < controllers.size(); ++i) {
+      if (!Flags::SplitHostPort(controllers[i], &host, &port)) {
+        return Usage();
+      }
+      transport.AddRoute("ctrl" + std::to_string(i), host, port);
+      copts.controllers.push_back("ctrl" + std::to_string(i) + "/node");
+    }
+  } else {
+    if (!Flags::SplitHostPort(flags.Get("controller"), &host, &port)) {
+      return Usage();
+    }
+    transport.AddRoute("ctrl", host, port);
   }
-  transport.AddRoute("ctrl", host, port);
   std::vector<std::string> maintainers =
       Flags::Split(flags.Get("maintainers"));
   for (size_t i = 0; i < maintainers.size(); ++i) {
@@ -246,7 +270,7 @@ int main(int argc, char** argv) {
   }
 
   FLStoreClient client(&transport, "cli/" + std::to_string(::getpid()),
-                       "ctrl/0");
+                       "ctrl/0", copts);
   Status s = client.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "session bootstrap failed: %s\n",
@@ -310,6 +334,46 @@ int main(int argc, char** argv) {
       std::printf("LId %llu: %s\n",
                   static_cast<unsigned long long>(record.lid),
                   record.body.c_str());
+    }
+  } else if (command == "status") {
+    auto status = client.ControllerStatus();
+    if (!status.ok()) {
+      std::fprintf(stderr, "status: %s\n",
+                   status.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("controller epoch %llu, layout version %llu\n",
+                static_cast<unsigned long long>(status->ctrl_epoch),
+                static_cast<unsigned long long>(status->version));
+    std::printf("leader: %s (answering replica is %s)\n",
+                status->leader.empty() ? "<unknown>"
+                                       : status->leader.c_str(),
+                status->is_leader ? "the leader" : "a follower");
+    if (status->leader_lease_nanos == ControlPlaneStatus::kNoLease) {
+      std::printf("leader lease: not armed\n");
+    } else {
+      std::printf("leader lease: %.1f ms remaining\n",
+                  status->leader_lease_nanos / 1e6);
+    }
+    for (size_t i = 0; i < status->stripes.size(); ++i) {
+      const ControlPlaneStatus::Stripe& stripe = status->stripes[i];
+      std::printf("stripe %zu: coordinator %s, fence epoch %llu, ", i,
+                  stripe.coordinator.c_str(),
+                  static_cast<unsigned long long>(stripe.fence_epoch));
+      if (stripe.lease_nanos == ControlPlaneStatus::kNoLease) {
+        std::printf("lease not armed");
+      } else {
+        std::printf("lease %.1f ms", stripe.lease_nanos / 1e6);
+      }
+      if (stripe.replicas.empty()) {
+        std::printf(", unreplicated\n");
+      } else {
+        std::printf(", replicas:");
+        for (const net::NodeId& node : stripe.replicas) {
+          std::printf(" %s", node.c_str());
+        }
+        std::printf("\n");
+      }
     }
   } else if (command == "info") {
     ClusterInfo info = client.cluster_info();

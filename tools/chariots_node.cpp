@@ -31,6 +31,7 @@
 #include "flstore/service.h"
 #include "net/metrics_http.h"
 #include "net/tcp_transport.h"
+#include "storage/file.h"
 #include "tools/flags.h"
 
 using namespace chariots;
@@ -46,6 +47,10 @@ struct Deployment {
   std::vector<std::string> maintainer_addrs;
   std::vector<std::string> indexer_addrs;
   std::string controller_addr;
+  /// All controller replica addresses (--controller_replicas). Non-empty
+  /// supersedes the single --controller: replica i is "ctrl<i>/node" and
+  /// every process heartbeats / redirects across the whole set.
+  std::vector<std::string> controller_addrs;
   uint64_t batch = 1000;
 
   std::vector<net::NodeId> MaintainerNodes() const {
@@ -60,6 +65,14 @@ struct Deployment {
     for (size_t i = 0; i < indexer_addrs.size(); ++i) {
       out.push_back("idx" + std::to_string(i) + "/node");
     }
+    return out;
+  }
+  std::vector<net::NodeId> ControllerNodes() const {
+    std::vector<net::NodeId> out;
+    for (size_t i = 0; i < controller_addrs.size(); ++i) {
+      out.push_back("ctrl" + std::to_string(i) + "/node");
+    }
+    if (out.empty() && !controller_addr.empty()) out.push_back("ctrl/0");
     return out;
   }
 };
@@ -83,6 +96,14 @@ bool WireRoutes(net::TcpTransport* transport, const Deployment& d) {
   if (!d.controller_addr.empty()) {
     if (!Flags::SplitHostPort(d.controller_addr, &host, &port)) return false;
     transport->AddRoute("ctrl", host, port);
+  }
+  // Replica routes ("ctrl0", "ctrl1", ...) coexist with the legacy "ctrl"
+  // route: resolution is longest-prefix-wins.
+  for (size_t i = 0; i < d.controller_addrs.size(); ++i) {
+    if (!Flags::SplitHostPort(d.controller_addrs[i], &host, &port)) {
+      return false;
+    }
+    transport->AddRoute("ctrl" + std::to_string(i), host, port);
   }
   return true;
 }
@@ -141,6 +162,18 @@ int Usage() {
       "  --maintainers=H:P,H:P,...  all maintainer addresses (ordered)\n"
       "  --indexers=H:P,...         all indexer addresses (ordered)\n"
       "  --controller=H:P           controller address (for routing)\n"
+      "  --controller_replicas=H:P,...  ALL controller replicas (ordered);\n"
+      "                             supersedes --controller and enables\n"
+      "                             lease-based leader election\n"
+      "  --ctrl_index=N             this controller's index in\n"
+      "                             --controller_replicas (controller role)\n"
+      "  --meta_wal_dir=PATH        controller metadata WAL directory: the\n"
+      "                             layout, epochs and in-flight failover\n"
+      "                             plans survive a controller restart\n"
+      "                             (default: memory only)\n"
+      "  --ctrl_tick_ms=N           controller lease/election monitor\n"
+      "                             interval (default 50 when replicated,\n"
+      "                             else 0 = suspect fast path only)\n"
       "  --index=N                  this node's index (maintainer/indexer)\n"
       "  --batch=N                  striping batch size (default 1000)\n"
       "  --store-dir=PATH           persist records (default: memory)\n"
@@ -239,6 +272,8 @@ int main(int argc, char** argv) {
   d.maintainer_addrs = Flags::Split(flags.Get("maintainers"));
   d.indexer_addrs = Flags::Split(flags.Get("indexers"));
   d.controller_addr = flags.Get("controller");
+  d.controller_addrs = Flags::Split(flags.Get(
+      "controller_replicas", flags.Get("controller-replicas")));
   d.batch = flags.GetInt("batch", 1000);
   if (d.maintainer_addrs.empty()) {
     std::fprintf(stderr, "--maintainers required\n");
@@ -273,18 +308,62 @@ int main(int argc, char** argv) {
         static_cast<uint32_t>(d.maintainer_addrs.size()), d.batch);
     info.maintainers = d.MaintainerNodes();
     info.indexers = d.IndexerNodes();
-    controller = std::make_unique<ControllerServer>(&transport, "ctrl/0",
-                                                    info);
+
+    ControllerServerOptions co;
+    net::NodeId ctrl_node = "ctrl/0";
+    if (!d.controller_addrs.empty()) {
+      uint32_t ctrl_index = static_cast<uint32_t>(
+          flags.GetInt("ctrl_index", flags.GetInt("ctrl-index", 0)));
+      if (ctrl_index >= d.controller_addrs.size()) {
+        std::fprintf(stderr, "--ctrl_index out of range\n");
+        return Usage();
+      }
+      std::vector<net::NodeId> replicas = d.ControllerNodes();
+      ctrl_node = replicas[ctrl_index];
+      co.replica_index = ctrl_index;
+      for (size_t i = 0; i < replicas.size(); ++i) {
+        if (i != ctrl_index) co.peers.push_back(replicas[i]);
+      }
+      // The HA deployment tolerates gray failures: a coordinator that
+      // still answers the liveness probe is never evicted on lease expiry
+      // alone (its heartbeats may be partitioned away one-way).
+      co.probe_before_failover = true;
+    }
+    // Replicated controllers need the monitor ticking to elect and to beat;
+    // a single controller keeps the pre-HA default (suspect fast path only)
+    // unless asked.
+    int tick_ms = flags.GetInt(
+        "ctrl_tick_ms",
+        flags.GetInt("ctrl-tick-ms", d.controller_addrs.empty() ? 0 : 50));
+    co.monitor_interval_nanos = static_cast<int64_t>(tick_ms) * 1'000'000;
+    std::string meta_wal_dir =
+        flags.Get("meta_wal_dir", flags.Get("meta-wal-dir"));
+    if (!meta_wal_dir.empty()) {
+      Status made = storage::CreateDirIfMissing(meta_wal_dir);
+      if (!made.ok()) {
+        std::fprintf(stderr, "--meta_wal_dir: %s\n",
+                     made.ToString().c_str());
+        return 1;
+      }
+      co.controller.meta_wal_path = meta_wal_dir + "/ctrl" +
+                                    std::to_string(co.replica_index) +
+                                    ".wal";
+    }
+
+    controller = std::make_unique<ControllerServer>(&transport, ctrl_node,
+                                                    info, co);
     Status s = controller->Start();
     if (!s.ok()) {
       std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
       return 1;
     }
-    std::printf("controller serving on port %d (%zu maintainers, %zu "
-                "indexers, batch %llu)\n",
-                transport.port(), d.maintainer_addrs.size(),
-                d.indexer_addrs.size(),
-                static_cast<unsigned long long>(d.batch));
+    std::printf("controller %s serving on port %d (%zu maintainers, %zu "
+                "indexers, batch %llu%s%s)\n",
+                ctrl_node.c_str(), transport.port(),
+                d.maintainer_addrs.size(), d.indexer_addrs.size(),
+                static_cast<unsigned long long>(d.batch),
+                d.controller_addrs.empty() ? "" : ", replicated",
+                meta_wal_dir.empty() ? "" : ", durable");
   } else if (role == "maintainer") {
     if (!flags.Has("index")) return Usage();
     uint32_t index = flags.GetInt("index", 0);
@@ -305,6 +384,9 @@ int main(int argc, char** argv) {
     so.node = "m" + std::to_string(index) + "/node";
     so.peers = d.MaintainerNodes();
     so.indexers = d.IndexerNodes();
+    // Heartbeat every configured controller replica; followers track the
+    // leases too, so an elected follower already knows who is alive.
+    so.controllers = d.ControllerNodes();
     so.gossip_interval_nanos =
         static_cast<int64_t>(flags.GetInt("gossip-ms", 2)) * 1'000'000;
     mo.tail_cache_bytes = flags.GetUint64(

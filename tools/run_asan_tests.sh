@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 tests under AddressSanitizer.
+#
+#   tools/run_asan_tests.sh                       # ASan, all tests
+#   tools/run_asan_tests.sh controller_ha_test    # ASan, one binary
+#
+# Thin wrapper over run_tsan_tests.sh's sanitizer dispatch: uses the
+# build-address tree (-DCHARIOTS_SANITIZE=address) so neither the regular
+# build nor the TSan build is disturbed. Run this alongside the TSan leg
+# before shipping control-plane or storage changes — ASan catches the
+# use-after-free / heap-overflow class (e.g. a controller incarnation
+# torn down while a late RPC response is still in flight) that TSan's
+# race detection does not.
+set -euo pipefail
+
+exec "$(dirname "$0")/run_tsan_tests.sh" address "$@"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Sweeps the crash/failover suite across a seed matrix — {disk-fault
-# schedule x crash window x failover x dropped-VAL replay} — then runs one
-# pass under ThreadSanitizer. Every seeded scenario asserts exact recovery
+# schedule x crash window x failover x dropped-VAL replay x controller
+# kill x partition window} — then runs one pass under ThreadSanitizer. Every seeded scenario asserts exact recovery
 # (no lost acked record, no duplicate, holes junk-filled, acked-but-
 # unvalidated writes replayed), so a failure is a real divergence.
 #
@@ -28,18 +28,23 @@ NUM_SEEDS="${1:-200}"
 JOBS="${CHARIOTS_MATRIX_JOBS:-$(nproc 2>/dev/null || echo 2)}"
 
 # Seed-sensitive scenarios only: the seeded kill-coordinator failover and
-# mid-invalidate replay drills plus the fault-injection recovery paths
-# (torn frames, failed fsync, torn sidecar). The deterministic
-# promotion/fencing tests run once in ctest.
+# mid-invalidate replay drills, the fault-injection recovery paths (torn
+# frames, failed fsync, torn sidecar), and the control-plane drills — the
+# controller-kill class (leader dies mid-plan; restart/follower resumes
+# from the meta WAL) and the partition class (seeded symmetric and
+# asymmetric windows: a minority leader must never promote, a healed
+# partition converges to one layout). The deterministic promotion/fencing
+# tests run once in ctest.
 SWEEP=(
   "$BUILD_DIR/tests/replication_test --gtest_filter=*KillPrimaryMidAppend*:*KillCoordinatorMidInvalidate*"
   "$BUILD_DIR/tests/recovery_test --gtest_filter=TombstoneTest.Torn*:TombstoneTest.Failed*:TombstoneTest.Dedup*"
   "$BUILD_DIR/tests/storage_test --gtest_filter=*Seeded*:*Fault*:*Torn*:*Dropped*:*FailedWrite*:*FailedSync*"
+  "$BUILD_DIR/tests/controller_ha_test --gtest_filter=*Durability*:*Partition*"
 )
 
 cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null || exit 1
 cmake --build "$BUILD_DIR" -j --target replication_test recovery_test \
-  storage_test || exit 1
+  storage_test controller_ha_test || exit 1
 
 LOG_DIR="$(mktemp -d "${TMPDIR:-/tmp}/chariots_crash_matrix.XXXXXX")"
 trap 'rm -rf "$LOG_DIR"' EXIT
@@ -103,10 +108,17 @@ if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
   TSAN_BUILD="$ROOT/build-thread"
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCHARIOTS_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null || exit 1
-  cmake --build "$TSAN_BUILD" -j --target replication_test || exit 1
+  cmake --build "$TSAN_BUILD" -j --target replication_test \
+    controller_ha_test || exit 1
   if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/replication_test" \
        --gtest_brief=1; then
     echo "CRASH MATRIX FAILED under TSan (seed offset 0)" >&2
+    exit 1
+  fi
+  if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/controller_ha_test" \
+       --gtest_brief=1; then
+    echo "CRASH MATRIX FAILED under TSan (control-plane drills," \
+         "seed offset 0)" >&2
     exit 1
   fi
 fi

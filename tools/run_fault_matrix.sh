@@ -2,7 +2,11 @@
 # Runs the fault-injection suite across a matrix of seeds, plus the seeded
 # kill-coordinator-mid-invalidate replay drill (a coordinator dies after
 # acking a write whose VAL broadcast was lost; the promoted replica must
-# replay it — see replication_test.cc), then once under ThreadSanitizer.
+# replay it — see replication_test.cc) and the seeded partition drills
+# (symmetric and asymmetric windows against the replicated control plane;
+# a minority-partitioned leader must never promote and a healed partition
+# must converge — see controller_ha_test.cc), then once under
+# ThreadSanitizer.
 # Any lost or duplicated record fails the suite's assertions, so a
 # non-zero exit here means a real robustness regression; the failing seed
 # is printed so the run replays exactly.
@@ -26,6 +30,12 @@ REPL_BIN="$BUILD_DIR/tests/replication_test"
 # replay it before serving. The seed varies which write loses its VAL and
 # how much committed history surrounds it.
 REPL_FILTER="--gtest_filter=*KillCoordinatorMidInvalidate*"
+# The partition drills: seeded symmetric/asymmetric windows cutting the
+# controller leader off; safety = one coordinator per stripe, always, and
+# a single leader + agreed layout after heal. The seed varies the window
+# length (and the fault plan's jitter draws).
+CTRL_BIN="$BUILD_DIR/tests/controller_ha_test"
+CTRL_FILTER="--gtest_filter=*Partition*"
 
 SEEDS=("$@")
 if [ "${#SEEDS[@]}" -eq 0 ]; then
@@ -33,7 +43,8 @@ if [ "${#SEEDS[@]}" -eq 0 ]; then
 fi
 
 cmake -B "$BUILD_DIR" -S "$ROOT" >/dev/null
-cmake --build "$BUILD_DIR" -j --target fault_injection_test replication_test
+cmake --build "$BUILD_DIR" -j --target fault_injection_test \
+  replication_test controller_ha_test
 
 for seed in "${SEEDS[@]}"; do
   echo "=== fault matrix: seed offset $seed ==="
@@ -49,6 +60,12 @@ for seed in "${SEEDS[@]}"; do
     echo "replay with: CHARIOTS_FAULT_SEED=$seed $REPL_BIN $REPL_FILTER" >&2
     exit 1
   fi
+  if ! CHARIOTS_FAULT_SEED="$seed" "$CTRL_BIN" "$CTRL_FILTER" \
+       --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED at seed offset $seed (partition drills)" >&2
+    echo "replay with: CHARIOTS_FAULT_SEED=$seed $CTRL_BIN $CTRL_FILTER" >&2
+    exit 1
+  fi
 done
 
 if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
@@ -57,7 +74,7 @@ if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
   cmake -B "$TSAN_BUILD" -S "$ROOT" -DCHARIOTS_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   cmake --build "$TSAN_BUILD" -j --target fault_injection_test \
-    replication_test
+    replication_test controller_ha_test
   if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/fault_injection_test" \
        --gtest_brief=1; then
     echo "FAULT MATRIX FAILED under TSan (seed offset 0)" >&2
@@ -67,6 +84,12 @@ if [ "${CHARIOTS_FAULT_SKIP_TSAN:-0}" != "1" ]; then
        "$REPL_FILTER" --gtest_brief=1; then
     echo "FAULT MATRIX FAILED under TSan (coordinator-kill replay" \
          "drill, seed offset 0)" >&2
+    exit 1
+  fi
+  if ! CHARIOTS_FAULT_SEED=0 "$TSAN_BUILD/tests/controller_ha_test" \
+       "$CTRL_FILTER" --gtest_brief=1; then
+    echo "FAULT MATRIX FAILED under TSan (partition drills," \
+         "seed offset 0)" >&2
     exit 1
   fi
 fi
