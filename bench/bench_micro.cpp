@@ -14,6 +14,7 @@
 #include "chariots/record.h"
 #include "common/codec.h"
 #include "common/crc32c.h"
+#include "common/flight_recorder.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
 #include "flstore/striping.h"
@@ -195,6 +196,19 @@ void BM_IndexerLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IndexerLookup);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  // One structured event into the per-thread seqlock ring — the cost every
+  // instrumented hot-path call site pays. Compiles to nothing under
+  // -DCHARIOTS_DISABLE_FLIGHTREC (tools/check_flightrec_overhead.sh
+  // compares the two builds).
+  uint64_t n = 0;
+  for (auto _ : state) {
+    flightrec::Record(flightrec::EventType::kAppend, 0, 0, n++, 512);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecord);
 
 void BM_QueueTokenAdmission(benchmark::State& state) {
   flstore::EpochJournal journal(4, 1000);

@@ -107,6 +107,22 @@ class BenchReport {
       p50 = Percentile(0.50);
       p99 = Percentile(0.99);
       p999 = Percentile(0.999);
+      // Fuller quantile spread in extras (regression tooling wants the
+      // middle of the distribution, not just the canonical three).
+      bool has_quantiles = false;
+      for (const auto& [key, _] : extra_) {
+        has_quantiles |= key == "latency_p90_ns";
+      }
+      if (!has_quantiles) {
+        extra_.emplace_back("latency_p10_ns",
+                            static_cast<double>(Percentile(0.10)));
+        extra_.emplace_back("latency_p90_ns",
+                            static_cast<double>(Percentile(0.90)));
+        double sum = 0;
+        for (int64_t s : samples_) sum += static_cast<double>(s);
+        extra_.emplace_back("latency_mean_ns",
+                            sum / static_cast<double>(samples_.size()));
+      }
     }
     std::string out = "{\n";
     out += "  \"bench\": \"" + name_ + "\",\n";

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/codec.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "storage/file.h"
 
@@ -401,10 +402,14 @@ void Datacenter::DeliverToFilter(uint32_t filter_id,
   // the strand gate) instead of waiting for a worker. The backlog moves to
   // the unbounded GeoQueues, where max_pipeline_pending admission control
   // sheds load.
+  const size_t batch_records = batch.size();
   while (!stage->inbox->TryPush(&batch)) {
     if (stage->inbox->closed()) return;
     stage->gate.Run([this, stage] { DrainFilter(stage); });
   }
+  flightrec::Record(flightrec::EventType::kQueueEnq,
+                    static_cast<uint16_t>(filter_id), config_.dc_id,
+                    stage->inbox->ApproxSize(), batch_records);
   ScheduleFilterDrain(stage);
 }
 
@@ -427,11 +432,15 @@ void Datacenter::DrainFilter(FilterStage* stage) {
   // one per enqueued batch.
   std::vector<std::vector<GeoRecord>> batches;
   while (stage->inbox->TryPopAll(&batches) > 0) {
+    size_t popped = 0;
+    for (const auto& b : batches) popped += b.size();
+    flightrec::Record(flightrec::EventType::kQueueDeq,
+                      static_cast<uint16_t>(stage->filter->id()),
+                      config_.dc_id, stage->inbox->ApproxSize(), popped);
     if (batches.size() == 1) {
       stage->filter->Accept(std::move(batches.front()));
     } else {
-      size_t total = 0;
-      for (const auto& b : batches) total += b.size();
+      size_t total = popped;
       std::vector<GeoRecord> merged;
       merged.reserve(total);
       for (auto& b : batches) {
@@ -718,6 +727,22 @@ std::string Datacenter::DebugString() const {
   row("head_lid", s.head_lid);
   row("gc_horizon", s.gc_horizon);
   return out;
+}
+
+void Datacenter::RegisterWatchdogProbes(Watchdog* wd) {
+  std::string prefix = "dc" + std::to_string(config_.dc_id) + ".";
+  size_t n = filter_count_.load(std::memory_order_acquire);
+  for (size_t f = 0; f < n; ++f) {
+    BoundedQueue<std::vector<GeoRecord>>* inbox = filters_[f]->inbox.get();
+    // Depth is measured in batches (what the queue holds), matching the
+    // inbox_depth gauge.
+    wd->AddQueueProbe(prefix + "filter" + std::to_string(f) + ".inbox",
+                      [inbox] { return inbox->ApproxSize(); },
+                      config_.stage_queue_capacity);
+  }
+  wd->AddQueueProbe(prefix + "pipeline_pending",
+                    [this] { return static_cast<uint64_t>(PipelinePending()); },
+                    config_.max_pipeline_pending);
 }
 
 Status Datacenter::SplitFilterChampionship(DatacenterId host, TOId from_toid,

@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "common/queue.h"
 #include "common/trace.h"
+#include "common/watchdog.h"
 #include "flstore/indexer.h"
 #include "flstore/maintainer.h"
 
@@ -140,6 +141,13 @@ class Datacenter {
 
   /// Multi-line human-readable stats dump (ops/diagnostics).
   std::string DebugString() const;
+
+  /// Registers this datacenter's pipeline saturation probes on `wd`: one
+  /// queue probe per filter inbox plus the pipeline-pending backlog vs the
+  /// admission-control ceiling. Saturation probes are idle-safe (an empty
+  /// pipeline never breaches), unlike progress probes. Covers the filters
+  /// present at call time; call again after elastic growth.
+  void RegisterWatchdogProbes(Watchdog* wd);
 
   // ------------------------------------------------------------ elasticity
 

@@ -3,6 +3,7 @@
 #include <condition_variable>
 
 #include "common/codec.h"
+#include "common/flight_recorder.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "flstore/service.h"
@@ -42,8 +43,40 @@ Result<GeoRecord> DecodeRecordWithLid(std::string_view data) {
 }  // namespace
 
 GeoServer::GeoServer(net::Transport* transport, net::NodeId node,
-                     Datacenter* dc)
-    : dc_(dc), endpoint_(transport, std::move(node)) {}
+                     Datacenter* dc, GeoServerOptions options)
+    : dc_(dc),
+      options_(std::move(options)),
+      endpoint_(transport, node),
+      watchdog_(WatchdogConfig(node)) {}
+
+Watchdog::Options GeoServer::WatchdogConfig(const net::NodeId& node) {
+  Watchdog::Options wd;
+  wd.node = node;
+  wd.clock = options_.clock;
+  if (options_.watchdog_interval_nanos > 0) {
+    wd.tick_interval_nanos = options_.watchdog_interval_nanos;
+  }
+  wd.on_breach = [this](const HealthReport& report) {
+    OnWatchdogBreach(report);
+  };
+  return wd;
+}
+
+void GeoServer::OnWatchdogBreach(const HealthReport&) {
+  std::string dump = flightrec::Recorder::Default().Dump();
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_breach_dump_ = std::move(dump);
+  }
+  if (!options_.breach_dump_path.empty()) {
+    (void)flightrec::Recorder::Default().DumpToFile(options_.breach_dump_path);
+  }
+}
+
+std::string GeoServer::LastBreachDump() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_breach_dump_;
+}
 
 GeoServer::~GeoServer() { Stop(); }
 
@@ -53,6 +86,9 @@ Status GeoServer::Start() {
   // though replication runs in MaintainerServer, so the same dashboards
   // and `chariots_cli metrics` prefixes work against every node.
   flstore::RegisterReplicationMetrics();
+  RegisterHealthMetrics();
+  flightrec::RegisterFlightRecorderMetrics();
+  dc_->RegisterWatchdogProbes(&watchdog_);
   endpoint_.Handle(kGeoAppend, [this](const net::NodeId&,
                                       const std::string& payload)
                                    -> Result<std::string> {
@@ -168,15 +204,64 @@ Status GeoServer::Start() {
     return metrics::RenderJson(metrics::Registry::Default().Snapshot());
   });
 
-  endpoint_.Handle(kGeoTrace, [](const net::NodeId&, const std::string&)
+  endpoint_.Handle(kGeoTrace, [](const net::NodeId&,
+                                 const std::string& payload)
                                   -> Result<std::string> {
-    return trace::RenderTracesJson(trace::TraceSink::Default().Traces());
+    uint8_t mode = 0;
+    if (!payload.empty()) {
+      BinaryReader r(payload);
+      CHARIOTS_RETURN_IF_ERROR(r.GetU8(&mode));
+    }
+    std::vector<trace::TraceContext> traces =
+        trace::TraceSink::Default().Traces();
+    if (mode == 1) {
+      // Critical-path mode: render the per-stage breakdown server-side so
+      // the CLI needs no access to the span wire format.
+      std::string out;
+      for (const trace::TraceContext& ctx : traces) {
+        out += trace::RenderCriticalPath(ctx);
+        out += '\n';
+      }
+      if (out.empty()) out = "no sampled traces recorded yet\n";
+      return out;
+    }
+    return trace::RenderTracesJson(traces);
   });
 
-  return endpoint_.Start();
+  endpoint_.Handle(kGeoHealth, [this](const net::NodeId&, const std::string&)
+                                   -> Result<std::string> {
+    return RenderHealthJson(watchdog_.TickOnce());
+  });
+
+  endpoint_.Handle(kGeoFlightRec, [this](const net::NodeId&,
+                                         const std::string& payload)
+                                      -> Result<std::string> {
+    uint8_t mode = 0;
+    if (!payload.empty()) {
+      BinaryReader r(payload);
+      CHARIOTS_RETURN_IF_ERROR(r.GetU8(&mode));
+    }
+    if (mode == 1) {
+      std::string dump = LastBreachDump();
+      if (dump.empty()) {
+        return Status::NotFound("no watchdog breach has fired yet");
+      }
+      return dump;
+    }
+    return flightrec::Recorder::Default().Dump();
+  });
+
+  CHARIOTS_RETURN_IF_ERROR(endpoint_.Start());
+  if (options_.watchdog_interval_nanos > 0) {
+    watchdog_.Start(options_.executor);
+  }
+  return Status::OK();
 }
 
-void GeoServer::Stop() { endpoint_.Stop(); }
+void GeoServer::Stop() {
+  watchdog_.Stop();
+  endpoint_.Stop();
+}
 
 // ------------------------------------------------------------ GeoRpcClient
 
@@ -271,6 +356,22 @@ Result<std::string> GeoRpcClient::Metrics() {
 
 Result<std::string> GeoRpcClient::Trace() {
   return endpoint_.Call(server_, kGeoTrace, "");
+}
+
+Result<std::string> GeoRpcClient::TraceCriticalPath() {
+  BinaryWriter w;
+  w.PutU8(1);
+  return endpoint_.Call(server_, kGeoTrace, std::move(w).data());
+}
+
+Result<std::string> GeoRpcClient::Health() {
+  return endpoint_.Call(server_, kGeoHealth, "");
+}
+
+Result<std::string> GeoRpcClient::FlightRec(uint8_t mode) {
+  BinaryWriter w;
+  w.PutU8(mode);
+  return endpoint_.Call(server_, kGeoFlightRec, std::move(w).data());
 }
 
 Result<std::vector<GeoRecord>> GeoRpcClient::ReadRange(flstore::LId from,

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "chariots/datacenter.h"
+#include "common/watchdog.h"
 #include "net/rpc.h"
 
 namespace chariots::geo {
@@ -20,10 +21,30 @@ enum GeoOpcode : uint16_t {
   kGeoLookup = 53,     ///< IndexQuery -> postings
   kGeoReadByToid = 54, ///< u32 host + u64 toid -> encoded GeoRecord + lid
   kGeoMetrics = 55,    ///< () -> process metrics snapshot as JSON
-  kGeoTrace = 56,      ///< () -> sampled record traces as JSON
+  kGeoTrace = 56,      ///< optional u8 mode -> traces (0/empty = JSON,
+                       ///< 1 = per-record critical-path text)
   /// Batched range read: u64 from + u32 limit -> u32 n + n × (record +
   /// lid). N sequential reads cost one round trip instead of N.
   kGeoReadRange = 57,
+  /// () -> health-report JSON: one on-demand watchdog tick over the
+  /// datacenter's pipeline probes (filter inboxes, pending backlog).
+  kGeoHealth = 58,
+  /// u8 mode -> raw flight-recorder dump (0/empty = live snapshot, 1 = the
+  /// snapshot taken at the last watchdog breach; kNotFound if none).
+  kGeoFlightRec = 59,
+};
+
+/// Observability knobs for GeoServer (all default-off, preserving existing
+/// deployments byte for byte).
+struct GeoServerOptions {
+  /// Health-watchdog tick period (0 = on-demand via kGeoHealth only).
+  int64_t watchdog_interval_nanos = 0;
+  /// Executor for the periodic watchdog tick (null = Executor::Default()).
+  Executor* executor = nullptr;
+  /// Clock for health-report timestamps (null = system).
+  Clock* clock = nullptr;
+  /// Breach-hook dump destination ("" = in-memory snapshot only).
+  std::string breach_dump_path;
 };
 
 /// Hosts a Datacenter's client API on the RPC fabric, so application
@@ -32,15 +53,29 @@ enum GeoOpcode : uint16_t {
 class GeoServer {
  public:
   /// `node` is this server's address (e.g. "geo/dc0/api").
-  GeoServer(net::Transport* transport, net::NodeId node, Datacenter* dc);
+  GeoServer(net::Transport* transport, net::NodeId node, Datacenter* dc,
+            GeoServerOptions options = {});
   ~GeoServer();
 
   Status Start();
   void Stop();
 
+  Watchdog& watchdog() { return watchdog_; }
+
+  /// Flight-recorder snapshot taken at the last watchdog breach ("" if no
+  /// breach has fired).
+  std::string LastBreachDump() const;
+
  private:
+  Watchdog::Options WatchdogConfig(const net::NodeId& node);
+  void OnWatchdogBreach(const HealthReport& report);
+
   Datacenter* const dc_;
+  GeoServerOptions options_;
   net::RpcEndpoint endpoint_;
+  Watchdog watchdog_;
+  mutable std::mutex dump_mu_;
+  std::string last_breach_dump_;
 };
 
 /// Remote-process counterpart of ChariotsClient: the same append/read
@@ -85,6 +120,18 @@ class GeoRpcClient {
 
   /// The server process's sampled record traces, rendered as JSON.
   Result<std::string> Trace();
+
+  /// The server process's sampled traces as per-record critical-path
+  /// breakdowns (one RenderCriticalPath block per trace).
+  Result<std::string> TraceCriticalPath();
+
+  /// One on-demand watchdog tick at the server, as health-report JSON.
+  Result<std::string> Health();
+
+  /// Raw flight-recorder dump bytes from the server process (decode with
+  /// flightrec::Recorder::Decode). Mode 1 asks for the snapshot taken at
+  /// the last watchdog breach instead of a live one.
+  Result<std::string> FlightRec(uint8_t mode = 0);
 
  private:
   void Absorb(const GeoRecord& record);

@@ -93,6 +93,17 @@ class BinaryReader {
     return Status::OK();
   }
 
+  /// Reads exactly `len` raw bytes (no length prefix) as a view aliasing the
+  /// input buffer — for framed formats whose length came from elsewhere.
+  Status GetRawView(size_t len, std::string_view* out) {
+    if (pos_ + len > data_.size() || pos_ + len < pos_) {
+      return Underflow("raw bytes");
+    }
+    *out = data_.substr(pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
   size_t remaining() const { return data_.size() - pos_; }
   size_t position() const { return pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }

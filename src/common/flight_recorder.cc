@@ -1,0 +1,424 @@
+#include "common/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+
+#include "common/codec.h"
+#include "common/crc32c.h"
+#include "common/metrics.h"
+
+namespace chariots::flightrec {
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr char kMagic[4] = {'C', 'H', 'F', 'R'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kEncodedEventBytes = 32;  // i64 + u16 + u16 + u32 + 2*u64
+
+metrics::Counter* DumpBytesCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.flightrec.dump_bytes");
+  return c;
+}
+
+/// Per-thread ring cache: a recorder is identified by a process-unique id
+/// (never reused), so a recorder destroyed and another allocated at the same
+/// address cannot alias a stale cache entry. The list is tiny (one entry per
+/// recorder this thread has ever written to), scanned linearly.
+struct TlsRingRef {
+  uint64_t recorder_id;
+  void* ring;
+};
+thread_local std::vector<TlsRingRef> t_rings;
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kNone:
+      return "none";
+    case EventType::kRpcStart:
+      return "rpc_start";
+    case EventType::kRpcEnd:
+      return "rpc_end";
+    case EventType::kQueueEnq:
+      return "queue_enq";
+    case EventType::kQueueDeq:
+      return "queue_deq";
+    case EventType::kFsync:
+      return "fsync";
+    case EventType::kReplInv:
+      return "repl_inv";
+    case EventType::kReplVal:
+      return "repl_val";
+    case EventType::kLeaseTick:
+      return "lease_tick";
+    case EventType::kElection:
+      return "election";
+    case EventType::kFaultFire:
+      return "fault_fire";
+    case EventType::kWatchdogBreach:
+      return "watchdog_breach";
+    case EventType::kAppend:
+      return "append";
+    case EventType::kDumpMark:
+      return "dump_mark";
+  }
+  return "unknown";
+}
+
+/// One thread's ring. Single writer (the owning thread), any number of
+/// concurrent dump readers. Every shared word is an atomic accessed relaxed
+/// on the write path; a per-slot seqlock word (2*index+1 while the slot is
+/// being written, 2*index+2 once complete) lets a reader detect both "not
+/// yet written" and "overwritten underneath me" without ever blocking the
+/// writer.
+struct Recorder::Ring {
+  Ring(size_t slots, uint32_t ordinal)
+      : ordinal(ordinal), seqs(slots), words(slots * 4) {
+    for (auto& s : seqs) s.store(0, std::memory_order_relaxed);
+    for (auto& w : words) w.store(0, std::memory_order_relaxed);
+  }
+
+  const uint32_t ordinal;
+  std::atomic<uint64_t> head{0};  // events ever written by this ring
+  std::vector<std::atomic<uint64_t>> seqs;
+  std::vector<std::atomic<uint64_t>> words;  // 4 words per slot
+};
+
+Recorder& Recorder::Default() {
+  static Recorder* recorder = new Recorder();  // leaked: outlives teardown
+  return *recorder;
+}
+
+Recorder::Recorder(size_t slots_per_ring)
+    : slots_per_ring_(std::max<size_t>(slots_per_ring, 8)),
+      id_(NextRecorderId()) {}
+
+Recorder::~Recorder() = default;
+
+void Recorder::SetClock(Clock* clock) {
+  clock_.store(clock, std::memory_order_relaxed);
+}
+
+void Recorder::SetEnabled(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+Recorder::Ring* Recorder::RingForThisThread() {
+  for (const TlsRingRef& ref : t_rings) {
+    if (ref.recorder_id == id_) return static_cast<Ring*>(ref.ring);
+  }
+  Ring* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        slots_per_ring_, static_cast<uint32_t>(rings_.size())));
+    ring = rings_.back().get();
+  }
+  // Bound the cache for long-lived threads that outlive many test-local
+  // recorders; evicting an entry only costs one fresh ring on re-use.
+  if (t_rings.size() >= 16) t_rings.erase(t_rings.begin());
+  t_rings.push_back(TlsRingRef{id_, ring});
+  return ring;
+}
+
+void Recorder::Record(EventType type, uint16_t code, uint32_t arg, uint64_t a,
+                      uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = RingForThisThread();
+  Clock* clock = clock_.load(std::memory_order_relaxed);
+  int64_t now = clock != nullptr ? clock->NowNanos() : SteadyNowNanos();
+  uint64_t idx = ring->head.load(std::memory_order_relaxed);  // single writer
+  size_t slot = idx % slots_per_ring_;
+  std::atomic<uint64_t>* w = &ring->words[slot * 4];
+  ring->seqs[slot].store(2 * idx + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  w[0].store(static_cast<uint64_t>(now), std::memory_order_relaxed);
+  w[1].store((static_cast<uint64_t>(type) << 48) |
+                 (static_cast<uint64_t>(code) << 32) | arg,
+             std::memory_order_relaxed);
+  w[2].store(a, std::memory_order_relaxed);
+  w[3].store(b, std::memory_order_relaxed);
+  ring->seqs[slot].store(2 * idx + 2, std::memory_order_release);
+  ring->head.store(idx + 1, std::memory_order_release);
+}
+
+std::string Recorder::Dump() const {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings.reserve(rings_.size());
+    for (const auto& r : rings_) rings.push_back(r.get());
+  }
+  Clock* clock = clock_.load(std::memory_order_relaxed);
+
+  BinaryWriter out;
+  out.PutRaw(std::string_view(kMagic, sizeof(kMagic)));
+  out.PutU32(kFormatVersion);
+  out.PutI64(clock != nullptr ? clock->NowNanos() : SteadyNowNanos());
+  out.PutU32(static_cast<uint32_t>(rings.size()));
+
+  const uint64_t slots = slots_per_ring_;
+  for (Ring* ring : rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t lo = head > slots ? head - slots : 0;
+    uint64_t wrapped = lo;
+    uint64_t torn = 0;
+
+    BinaryWriter events;
+    uint32_t count = 0;
+    for (uint64_t idx = lo; idx < head; ++idx) {
+      size_t slot = idx % slots;
+      uint64_t seq1 = ring->seqs[slot].load(std::memory_order_acquire);
+      if (seq1 != 2 * idx + 2) {
+        ++torn;  // being overwritten right now (or lapped since `head` read)
+        continue;
+      }
+      const std::atomic<uint64_t>* w = &ring->words[slot * 4];
+      uint64_t w0 = w[0].load(std::memory_order_relaxed);
+      uint64_t w1 = w[1].load(std::memory_order_relaxed);
+      uint64_t w2 = w[2].load(std::memory_order_relaxed);
+      uint64_t w3 = w[3].load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (ring->seqs[slot].load(std::memory_order_relaxed) != seq1) {
+        ++torn;
+        continue;
+      }
+      events.PutI64(static_cast<int64_t>(w0));
+      events.PutU16(static_cast<uint16_t>(w1 >> 48));
+      events.PutU16(static_cast<uint16_t>(w1 >> 32));
+      events.PutU32(static_cast<uint32_t>(w1));
+      events.PutU64(w2);
+      events.PutU64(w3);
+      ++count;
+    }
+
+    BinaryWriter payload;
+    payload.PutU32(ring->ordinal);
+    payload.PutU64(head);
+    payload.PutU64(slots);
+    payload.PutU64(wrapped + torn);
+    payload.PutU32(count);
+    payload.PutRaw(events.data());
+
+    out.PutU32(static_cast<uint32_t>(payload.size()));
+    out.PutU32(crc32c::Mask(crc32c::Value(payload.data())));
+    out.PutRaw(payload.data());
+  }
+
+  DumpBytesCounter()->Add(out.size());
+  return std::move(out).data();
+}
+
+Status Recorder::DumpToFile(const std::string& path) const {
+  std::string dump = Dump();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("flight recorder: cannot open " + path);
+  }
+  size_t written = std::fwrite(dump.data(), 1, dump.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != dump.size() || close_rc != 0) {
+    return Status::IOError("flight recorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+Status Recorder::Decode(std::string_view data, DecodedDump* out) {
+  *out = DecodedDump{};
+  if (data.size() < sizeof(kMagic) ||
+      data.substr(0, sizeof(kMagic)) !=
+          std::string_view(kMagic, sizeof(kMagic))) {
+    return Status::Corruption("flight recorder dump: bad magic");
+  }
+  BinaryReader r(data.substr(sizeof(kMagic)));
+  uint32_t version = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&version));
+  if (version != kFormatVersion) {
+    return Status::Corruption("flight recorder dump: unknown version " +
+                              std::to_string(version));
+  }
+  CHARIOTS_RETURN_IF_ERROR(r.GetI64(&out->dumped_at_nanos));
+  uint32_t ring_count = 0;
+  CHARIOTS_RETURN_IF_ERROR(r.GetU32(&ring_count));
+  // Each ring frame is at least 8 bytes of framing; reject counts that
+  // cannot fit in what's left instead of looping on them.
+  if (static_cast<uint64_t>(ring_count) * 8 > r.remaining()) {
+    return Status::Corruption("flight recorder dump: ring count implausible");
+  }
+  out->rings = ring_count;
+
+  for (uint32_t i = 0; i < ring_count; ++i) {
+    uint32_t len = 0;
+    uint32_t masked_crc = 0;
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&len));
+    CHARIOTS_RETURN_IF_ERROR(r.GetU32(&masked_crc));
+    std::string_view payload;
+    CHARIOTS_RETURN_IF_ERROR(r.GetRawView(len, &payload));
+    if (crc32c::Value(payload) != crc32c::Unmask(masked_crc)) {
+      return Status::Corruption("flight recorder dump: ring " +
+                                std::to_string(i) + " CRC mismatch");
+    }
+    BinaryReader p(payload);
+    uint32_t ordinal = 0;
+    uint64_t head = 0, slots = 0, dropped = 0;
+    uint32_t count = 0;
+    CHARIOTS_RETURN_IF_ERROR(p.GetU32(&ordinal));
+    CHARIOTS_RETURN_IF_ERROR(p.GetU64(&head));
+    CHARIOTS_RETURN_IF_ERROR(p.GetU64(&slots));
+    CHARIOTS_RETURN_IF_ERROR(p.GetU64(&dropped));
+    CHARIOTS_RETURN_IF_ERROR(p.GetU32(&count));
+    if (static_cast<uint64_t>(count) * kEncodedEventBytes > p.remaining()) {
+      return Status::Corruption("flight recorder dump: ring " +
+                                std::to_string(i) + " event count truncated");
+    }
+    out->recorded += head;
+    out->dropped += dropped;
+    out->events.reserve(out->events.size() + count);
+    for (uint32_t e = 0; e < count; ++e) {
+      Event ev;
+      uint16_t type = 0;
+      CHARIOTS_RETURN_IF_ERROR(p.GetI64(&ev.nanos));
+      CHARIOTS_RETURN_IF_ERROR(p.GetU16(&type));
+      CHARIOTS_RETURN_IF_ERROR(p.GetU16(&ev.code));
+      CHARIOTS_RETURN_IF_ERROR(p.GetU32(&ev.arg));
+      CHARIOTS_RETURN_IF_ERROR(p.GetU64(&ev.a));
+      CHARIOTS_RETURN_IF_ERROR(p.GetU64(&ev.b));
+      ev.type = static_cast<EventType>(type);
+      ev.ring = ordinal;
+      out->events.push_back(ev);
+    }
+  }
+
+  std::stable_sort(
+      out->events.begin(), out->events.end(),
+      [](const Event& a, const Event& b) { return a.nanos < b.nanos; });
+  return Status::OK();
+}
+
+uint64_t Recorder::recorded() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rings_) {
+    total += r->head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t Recorder::dropped() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& r : rings_) {
+    uint64_t head = r->head.load(std::memory_order_relaxed);
+    if (head > slots_per_ring_) total += head - slots_per_ring_;
+  }
+  return total;
+}
+
+size_t Recorder::rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+void Recorder::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& r : rings_) {
+    for (auto& s : r->seqs) s.store(0, std::memory_order_relaxed);
+    r->head.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string RenderDumpText(const DecodedDump& dump, size_t max_events) {
+  std::string out;
+  out += "flight recorder dump: " + std::to_string(dump.events.size()) +
+         " events across " + std::to_string(dump.rings) + " rings (" +
+         std::to_string(dump.recorded) + " recorded, " +
+         std::to_string(dump.dropped) + " dropped), dumped_at=" +
+         std::to_string(dump.dumped_at_nanos) + "\n";
+  size_t start =
+      dump.events.size() > max_events ? dump.events.size() - max_events : 0;
+  if (start > 0) {
+    out += "  ... " + std::to_string(start) + " older events elided ...\n";
+  }
+  for (size_t i = start; i < dump.events.size(); ++i) {
+    const Event& e = dump.events[i];
+    out += "  t=" + std::to_string(e.nanos) + " ring=" +
+           std::to_string(e.ring) + " " + EventTypeName(e.type) +
+           " code=" + std::to_string(e.code) + " arg=" +
+           std::to_string(e.arg) + " a=" + std::to_string(e.a) +
+           " b=" + std::to_string(e.b) + "\n";
+  }
+  return out;
+}
+
+void RegisterFlightRecorderMetrics() {
+  metrics::Registry& reg = metrics::Registry::Default();
+  DumpBytesCounter();
+  reg.RegisterCallback("chariots.flightrec.events", [] {
+    return static_cast<int64_t>(Recorder::Default().recorded());
+  });
+  reg.RegisterCallback("chariots.flightrec.drops", [] {
+    return static_cast<int64_t>(Recorder::Default().dropped());
+  });
+}
+
+namespace {
+
+std::mutex g_crash_mu;
+std::string* g_crash_path = nullptr;  // leaked: read from the signal handler
+
+extern "C" void FlightRecCrashHandler(int sig) {
+  // Restore default disposition first so the re-raise below terminates even
+  // if dumping crashes again.
+  std::signal(sig, SIG_DFL);
+  const char* path = nullptr;
+  if (g_crash_path != nullptr) path = g_crash_path->c_str();
+  if (path != nullptr) {
+    // Best-effort: Dump() allocates, which is not async-signal-safe, but a
+    // crash artifact of last resort is worth the attempt.
+    std::string dump = Recorder::Default().Dump();
+    int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      size_t off = 0;
+      while (off < dump.size()) {
+        ssize_t n = ::write(fd, dump.data() + off, dump.size() - off);
+        if (n <= 0) break;
+        off += static_cast<size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+  ::raise(sig);
+}
+
+}  // namespace
+
+void InstallCrashDump(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_crash_mu);
+  if (g_crash_path == nullptr) {
+    g_crash_path = new std::string(path);
+    std::signal(SIGSEGV, &FlightRecCrashHandler);
+    std::signal(SIGBUS, &FlightRecCrashHandler);
+    std::signal(SIGABRT, &FlightRecCrashHandler);
+  } else {
+    *g_crash_path = path;
+  }
+}
+
+}  // namespace chariots::flightrec

@@ -109,6 +109,12 @@ HistogramStats Histogram::Stats() const {
   uint64_t mn = min_.load(std::memory_order_relaxed);
   out.min = (mn == ~uint64_t{0}) ? 0 : mn;
   out.max = max_.load(std::memory_order_relaxed);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    cumulative += counts[i];
+    out.buckets.emplace_back(BucketUpper(i), cumulative);
+  }
 
   auto quantile = [&](double q) -> double {
     uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
@@ -231,13 +237,21 @@ std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
   }
   for (const auto& [name, stats] : snapshot.histograms) {
     std::string p = PromName(name);
-    out += "# TYPE " + p + " summary\n";
+    out += "# TYPE " + p + " histogram\n";
+    for (const auto& [upper, cumulative] : stats.buckets) {
+      out += p + "_bucket{le=\"" + std::to_string(upper) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += p + "_bucket{le=\"+Inf\"} " + std::to_string(stats.count) + "\n";
+    out += p + "_sum " + JsonNumber(stats.sum) + "\n";
+    out += p + "_count " + std::to_string(stats.count) + "\n";
+    // Precomputed quantiles alongside the buckets, so dashboards get tails
+    // without a histogram_quantile() query (and without its interpolation
+    // error — these come from the same log-bucket estimate as RenderJson).
     out += p + "{quantile=\"0.5\"} " + JsonNumber(stats.p50) + "\n";
     out += p + "{quantile=\"0.9\"} " + JsonNumber(stats.p90) + "\n";
     out += p + "{quantile=\"0.99\"} " + JsonNumber(stats.p99) + "\n";
     out += p + "{quantile=\"0.999\"} " + JsonNumber(stats.p999) + "\n";
-    out += p + "_sum " + JsonNumber(stats.sum) + "\n";
-    out += p + "_count " + std::to_string(stats.count) + "\n";
   }
   return out;
 }
@@ -276,7 +290,13 @@ std::string RenderJson(const MetricsSnapshot& snapshot) {
     out += ",\"p90\":" + JsonNumber(stats.p90);
     out += ",\"p99\":" + JsonNumber(stats.p99);
     out += ",\"p999\":" + JsonNumber(stats.p999);
-    out += "}";
+    out += ",\"buckets\":[";
+    for (size_t i = 0; i < stats.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "[" + std::to_string(stats.buckets[i].first) + "," +
+             std::to_string(stats.buckets[i].second) + "]";
+    }
+    out += "]}";
   }
   out += "}}";
   return out;

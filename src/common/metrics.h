@@ -135,6 +135,10 @@ struct HistogramStats {
   double p90 = 0;
   double p99 = 0;
   double p999 = 0;
+  /// Occupied buckets as (upper bound, cumulative count ≤ bound) pairs, in
+  /// increasing bound order — exactly the shape of a Prometheus
+  /// `_bucket{le="..."}` series; empty buckets are elided.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
   double mean() const { return count == 0 ? 0 : sum / double(count); }
 };
 
@@ -285,7 +289,9 @@ class ScopedLatencyTimer {
 };
 
 /// Prometheus text exposition (one `# TYPE` line + value per instrument;
-/// histograms become <name>_count/_sum plus quantile-labeled samples).
+/// histograms become real Prometheus histograms: cumulative
+/// `<name>_bucket{le="..."}` samples from the occupied log-buckets, a
+/// closing `le="+Inf"` bucket, then <name>_sum and <name>_count).
 std::string RenderPrometheus(const MetricsSnapshot& snapshot);
 
 /// JSON object {"counters":{...},"gauges":{...},"histograms":{...}}.

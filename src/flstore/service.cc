@@ -6,8 +6,10 @@
 #include <tuple>
 
 #include "common/codec.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/watchdog.h"
 
 namespace chariots::flstore {
 
@@ -222,7 +224,39 @@ MaintainerServer::MaintainerServer(net::Transport* transport,
                                   options_.dedup_compact_min_frames,
                                   options_.dedup_disk_faults}),
       replica_(&repl_endpoint_, options_.replica),
-      peers_(options_.peers) {}
+      peers_(options_.peers),
+      watchdog_(WatchdogConfig()) {}
+
+Watchdog::Options MaintainerServer::WatchdogConfig() {
+  Watchdog::Options wd;
+  wd.node = options_.node;
+  wd.clock = options_.clock;
+  if (options_.watchdog_interval_nanos > 0) {
+    wd.tick_interval_nanos = options_.watchdog_interval_nanos;
+  }
+  wd.on_breach = [this](const HealthReport& report) {
+    OnWatchdogBreach(report);
+  };
+  return wd;
+}
+
+void MaintainerServer::OnWatchdogBreach(const HealthReport&) {
+  // Snapshot first: the breach window is still in the rings right now, and
+  // anything else we do (logging, file IO) records more events over it.
+  std::string dump = flightrec::Recorder::Default().Dump();
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_breach_dump_ = std::move(dump);
+  }
+  if (!options_.breach_dump_path.empty()) {
+    (void)flightrec::Recorder::Default().DumpToFile(options_.breach_dump_path);
+  }
+}
+
+std::string MaintainerServer::LastBreachDump() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_breach_dump_;
+}
 
 MaintainerServer::~MaintainerServer() { Stop(); }
 
@@ -230,6 +264,17 @@ Status MaintainerServer::Start() {
   CHARIOTS_RETURN_IF_ERROR(maintainer_.Open());
   CHARIOTS_RETURN_IF_ERROR(dedup_.Open());
   RegisterReplicationMetrics();
+  RegisterHealthMetrics();
+  flightrec::RegisterFlightRecorderMetrics();
+  // Probe names embed the node id, so a /healthz report in a multi-stripe
+  // deployment names the slow stripe, not just "a latency breach".
+  watchdog_.AddLatencyProbe(
+      options_.node + ".repl_round", &repl_round_ns_,
+      static_cast<uint64_t>(options_.repl_round_slo_nanos));
+  if (options_.read_slo_nanos > 0) {
+    watchdog_.AddLatencyProbe(options_.node + ".read", ReadHist(),
+                              static_cast<uint64_t>(options_.read_slo_nanos));
+  }
   maintainer_.SetAppendObserver(
       [this](const LogRecord& record, LId lid) { OnLanded(record, lid); });
   InstallHandlers();
@@ -247,6 +292,19 @@ Status MaintainerServer::Start() {
     HeartbeatOnce();
     heartbeat_token_ = executor_->ScheduleEvery(
         options_.heartbeat_interval_nanos, [this] { HeartbeatOnce(); });
+  }
+  if (options_.watchdog_interval_nanos > 0) {
+    // The gossip progress probe only makes sense against a steady tick
+    // cadence slower than the gossip period — on-demand kHealth ticks can
+    // land closer together than one gossip interval and would false-alarm.
+    if (options_.peers.size() > 1 &&
+        options_.watchdog_interval_nanos >= options_.gossip_interval_nanos) {
+      watchdog_.AddProgressProbe(
+          options_.node + ".gossip",
+          [this] { return gossip_rounds_.load(std::memory_order_relaxed); },
+          [this] { return !stop_.load(std::memory_order_relaxed); });
+    }
+    watchdog_.Start(executor_);
   }
   return Status::OK();
 }
@@ -272,6 +330,7 @@ Status MaintainerServer::CheckCtrlEpoch(uint64_t epoch) {
 void MaintainerServer::Stop() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
+  watchdog_.Stop();
   gossip_token_.Cancel();
   heartbeat_token_.Cancel();
   endpoint_.Stop();
@@ -287,6 +346,8 @@ Status MaintainerServer::Restart() {
 }
 
 void MaintainerServer::OnLanded(const LogRecord& record, LId lid) {
+  flightrec::Record(flightrec::EventType::kAppend, 0, maintainer_.index(),
+                    lid, record.body.size());
   if (g_replication_sink != nullptr) {
     g_replication_sink->push_back(
         ReplicatedEntry{lid, EncodeLogRecord(record)});
@@ -774,6 +835,32 @@ void MaintainerServer::InstallHandlers() {
     return std::string();
   });
 
+  // On-demand health: one watchdog tick, served as JSON. Works on
+  // deployments that never armed the periodic tick (watchdog_interval 0).
+  endpoint_.Handle(kHealth, [this](const net::NodeId&, const std::string&)
+                               -> Result<std::string> {
+    return RenderHealthJson(watchdog_.TickOnce());
+  });
+  // Flight-recorder snapshot: mode 0 / empty = dump the rings now, mode 1 =
+  // the snapshot the watchdog took at the last breach (kNotFound if none).
+  endpoint_.Handle(kFlightRec, [this](const net::NodeId&,
+                                      const std::string& payload)
+                                   -> Result<std::string> {
+    uint8_t mode = 0;
+    if (!payload.empty()) {
+      BinaryReader r(payload);
+      CHARIOTS_RETURN_IF_ERROR(r.GetU8(&mode));
+    }
+    if (mode == 1) {
+      std::string dump = LastBreachDump();
+      if (dump.empty()) {
+        return Status::NotFound("no watchdog breach has fired yet");
+      }
+      return dump;
+    }
+    return flightrec::Recorder::Default().Dump();
+  });
+
   // Layout change from the controller: stripe `index` has a new
   // coordinator.
   endpoint_.HandleOneWay(kPeerUpdate, [this](const net::NodeId&,
@@ -794,11 +881,20 @@ void MaintainerServer::InstallHandlers() {
 Status MaintainerServer::RunReplicationRound(
     std::vector<ReplicatedEntry> batch, const std::string& client_id,
     uint64_t seq, const std::string& response) {
+  Clock* clock =
+      options_.clock != nullptr ? options_.clock : SystemClock::Default();
+  const int64_t round_start = clock->NowNanos();
   std::vector<LId> lids = BatchLids(batch);
   LId top = BatchTop(batch);
+  flightrec::Record(flightrec::EventType::kReplInv, 0, maintainer_.index(),
+                    top == kInvalidLId ? 0 : top, batch.size());
   net::NodeId unreachable;
   Status status = replica_.InvalidateBroadcast(std::move(batch), client_id,
                                                seq, response, &unreachable);
+  // Failed rounds count toward the SLO too: a round that times out against
+  // a gray peer is exactly the latency the watchdog exists to catch.
+  repl_round_ns_.Record(
+      static_cast<uint64_t>(clock->NowNanos() - round_start));
   if (!status.ok()) {
     if (!unreachable.empty()) {
       // Park the write: the batch stays applied-but-invalid, the dedup
@@ -822,6 +918,9 @@ Status MaintainerServer::RunReplicationRound(
     replica_.ValidateBroadcast(
         lids, replicated_floor_.load(std::memory_order_acquire));
   }
+  flightrec::Record(flightrec::EventType::kReplVal, 0, maintainer_.index(),
+                    top == kInvalidLId ? 0 : top,
+                    static_cast<uint64_t>(clock->NowNanos() - round_start));
   return Status::OK();
 }
 
@@ -904,6 +1003,7 @@ void MaintainerServer::GossipOnce() {
     if (i == maintainer_.index()) continue;
     (void)endpoint_.Notify(peers[i], kGossip, payload);
   }
+  gossip_rounds_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void MaintainerServer::HeartbeatOnce() {
@@ -975,13 +1075,71 @@ ControllerServer::ControllerServer(net::Transport* transport,
                                              : Executor::Default()),
       node_(node),
       endpoint_(transport, std::move(node)),
-      leader_lease_(options_.controller.clock, options_.leader_lease_nanos) {}
+      leader_lease_(options_.controller.clock, options_.leader_lease_nanos),
+      watchdog_(WatchdogConfig()) {}
+
+Watchdog::Options ControllerServer::WatchdogConfig() {
+  Watchdog::Options wd;
+  wd.node = node_;
+  wd.clock = options_.controller.clock;
+  if (options_.watchdog_interval_nanos > 0) {
+    wd.tick_interval_nanos = options_.watchdog_interval_nanos;
+  }
+  wd.on_breach = [this](const HealthReport& report) {
+    OnWatchdogBreach(report);
+  };
+  return wd;
+}
+
+void ControllerServer::OnWatchdogBreach(const HealthReport&) {
+  std::string dump = flightrec::Recorder::Default().Dump();
+  {
+    std::lock_guard<std::mutex> lock(dump_mu_);
+    last_breach_dump_ = std::move(dump);
+  }
+  if (!options_.breach_dump_path.empty()) {
+    (void)flightrec::Recorder::Default().DumpToFile(options_.breach_dump_path);
+  }
+}
+
+std::string ControllerServer::LastBreachDump() const {
+  std::lock_guard<std::mutex> lock(dump_mu_);
+  return last_breach_dump_;
+}
 
 ControllerServer::~ControllerServer() { Stop(); }
 
 Status ControllerServer::Start() {
   CHARIOTS_RETURN_IF_ERROR(controller_.Open());
   RegisterControllerMetrics();
+  RegisterHealthMetrics();
+  flightrec::RegisterFlightRecorderMetrics();
+  // Election churn: a healthy cluster elects rarely; a flapping leader (or
+  // dueling candidates on a lossy link) elects every lease period.
+  watchdog_.AddRateProbe(
+      node_ + ".elections", [] { return ElectionsCounter()->Value(); },
+      options_.max_elections_per_tick);
+  endpoint_.Handle(kHealth, [this](const net::NodeId&, const std::string&)
+                               -> Result<std::string> {
+    return RenderHealthJson(watchdog_.TickOnce());
+  });
+  endpoint_.Handle(kFlightRec, [this](const net::NodeId&,
+                                      const std::string& payload)
+                                   -> Result<std::string> {
+    uint8_t mode = 0;
+    if (!payload.empty()) {
+      BinaryReader r(payload);
+      CHARIOTS_RETURN_IF_ERROR(r.GetU8(&mode));
+    }
+    if (mode == 1) {
+      std::string dump = LastBreachDump();
+      if (dump.empty()) {
+        return Status::NotFound("no watchdog breach has fired yet");
+      }
+      return dump;
+    }
+    return flightrec::Recorder::Default().Dump();
+  });
   endpoint_.Handle(kGetClusterInfo, [this](const net::NodeId&,
                                            const std::string&)
                                         -> Result<std::string> {
@@ -1124,6 +1282,7 @@ Status ControllerServer::Start() {
           if (!stop_.load(std::memory_order_relaxed)) TickControl();
         });
   }
+  if (options_.watchdog_interval_nanos > 0) watchdog_.Start(executor_);
   return Status::OK();
 }
 
@@ -1133,6 +1292,7 @@ void ControllerServer::Stop() {
     endpoint_.Stop();
     return;
   }
+  watchdog_.Stop();
   monitor_token_.Cancel();
   endpoint_.Stop();
   (void)controller_.Close();
@@ -1213,6 +1373,8 @@ Status ControllerServer::Campaign() {
     // Lost (or partitioned from the majority). Re-arm the leader lease so
     // we back off a full period instead of spinning elections.
     leader_lease_.Renew(0);
+    flightrec::Record(flightrec::EventType::kElection, 0,
+                      options_.replica_index, next, 0);
     return Status::Aborted("lost election (no majority)");
   }
   if (!best_peer.empty()) {
@@ -1233,6 +1395,8 @@ Status ControllerServer::Campaign() {
     leader_ = node_;
   }
   ElectionsCounter()->Add();
+  flightrec::Record(flightrec::EventType::kElection, 0,
+                    options_.replica_index, next, 1);
   LOG_INFO << "controller " << node_ << " won election for epoch " << next;
   BroadcastBeat();
   ReplicateState();
@@ -1313,6 +1477,11 @@ int ControllerServer::CompleteRecoveredPlans() {
 
 int ControllerServer::TickControl() {
   if (stop_.load(std::memory_order_relaxed)) return 0;
+  std::optional<int64_t> lease = leader_lease_.RemainingNanos(0);
+  flightrec::Record(flightrec::EventType::kLeaseTick, IsLeader() ? 1 : 0,
+                    options_.replica_index, controller_.ctrl_epoch(),
+                    static_cast<uint64_t>(std::max<int64_t>(
+                        0, lease.value_or(0))));
   if (IsLeader()) {
     BroadcastBeat();
     return TickLeases();

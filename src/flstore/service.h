@@ -8,6 +8,8 @@
 
 #include "common/executor.h"
 #include "common/lease.h"
+#include "common/metrics.h"
+#include "common/watchdog.h"
 #include "flstore/controller.h"
 #include "flstore/dedup.h"
 #include "flstore/indexer.h"
@@ -101,6 +103,15 @@ enum Opcode : uint16_t {
   /// ClusterInfo bytes -> (): leader pushing a committed layout to a
   /// follower replica (rejected when older than the follower's view).
   kCtrlReplicateState = 29,
+  /// () -> health-report JSON (RenderHealthJson). Served by maintainers and
+  /// controllers alike: runs one watchdog tick on demand and returns the
+  /// report, so `chariots_cli health` works even on deployments that never
+  /// armed the periodic tick.
+  kHealth = 30,
+  /// u8 mode -> raw flight-recorder dump bytes (Recorder::Dump framing).
+  /// Mode 0 (or empty payload) snapshots the rings now; mode 1 returns the
+  /// snapshot taken at the last watchdog breach (empty if none fired).
+  kFlightRec = 31,
 };
 
 /// Wire encoding of a StripeEpoch (used by kAddEpoch /
@@ -149,6 +160,24 @@ class MaintainerServer {
     /// Executor::Default()). A virtual-time executor makes both loops
     /// test-drivable via AdvanceUntil().
     Executor* executor = nullptr;
+    /// Clock for the health watchdog and replication-round timing (null =
+    /// SystemClock::Default()). Inject a ManualClock to drive SLO drills in
+    /// virtual time.
+    Clock* clock = nullptr;
+    /// Health-watchdog tick period. 0 (default) leaves the periodic tick
+    /// unarmed — the kHealth RPC still evaluates every probe on demand, so
+    /// existing deployments and tests are unperturbed.
+    int64_t watchdog_interval_nanos = 0;
+    /// Replication-round latency SLO: the watchdog breaches when the
+    /// windowed mean of this server's INV/VAL round time exceeds it.
+    int64_t repl_round_slo_nanos = 50'000'000;  ///< 50 ms
+    /// Read-latency SLO over the process-wide flstore.read_ns histogram
+    /// (0 = probe not registered; the family is shared across in-process
+    /// servers, so only enable it where one server owns the process).
+    int64_t read_slo_nanos = 0;
+    /// Where the watchdog's breach hook writes a flight-recorder dump
+    /// ("" = keep the snapshot in memory only; kFlightRec mode 1 serves it).
+    std::string breach_dump_path;
   };
 
   MaintainerServer(net::Transport* transport, MaintainerOptions maintainer,
@@ -168,9 +197,20 @@ class MaintainerServer {
   LogMaintainer& maintainer() { return maintainer_; }
   DedupWindow& dedup() { return dedup_; }
   ReplicaGroup& replica() { return replica_; }
+  Watchdog& watchdog() { return watchdog_; }
+
+  /// Flight-recorder snapshot taken by the watchdog's breach hook ("" if no
+  /// breach has fired). What kFlightRec mode 1 serves.
+  std::string LastBreachDump() const;
 
  private:
   void InstallHandlers();
+  /// Watchdog configuration for this server (node label, injected clock,
+  /// tick period, breach hook).
+  Watchdog::Options WatchdogConfig();
+  /// Breach hook: snapshots the flight recorder so the events leading up to
+  /// the breach survive ring wrap, and optionally writes them to disk.
+  void OnWatchdogBreach(const HealthReport& report);
   void GossipOnce();
   void HeartbeatOnce();
   void OnLanded(const LogRecord& record, LId lid);
@@ -237,6 +277,15 @@ class MaintainerServer {
   std::vector<net::NodeId> peers_;
   /// Highest controller epoch observed in any layout/promotion RPC.
   std::atomic<uint64_t> ctrl_epoch_seen_{0};
+  /// This server's own replication-round latency (server-local, unlike the
+  /// registry's process-wide families): feeds the watchdog's SLO probe, so
+  /// a breach names THIS stripe even with many servers in one process.
+  metrics::Histogram repl_round_ns_;
+  /// Gossip rounds completed — the progress probe's counter.
+  std::atomic<uint64_t> gossip_rounds_{0};
+  Watchdog watchdog_;
+  mutable std::mutex dump_mu_;
+  std::string last_breach_dump_;
 };
 
 /// Hosts an Indexer on the RPC fabric.
@@ -281,6 +330,14 @@ struct ControllerServerOptions {
   /// lease of silence as death, and some deployments prefer that MTTR over
   /// gray-failure tolerance. The kSuspect fast path always probes.
   bool probe_before_failover = false;
+  /// Health-watchdog tick period (0 = on-demand via kHealth only, the
+  /// default — same contract as MaintainerServer::Options).
+  int64_t watchdog_interval_nanos = 0;
+  /// Election-churn budget: the watchdog breaches when more than this many
+  /// elections are won in one tick (a flapping leader, dueling candidates).
+  uint64_t max_elections_per_tick = 2;
+  /// Breach-hook dump destination ("" = in-memory snapshot only).
+  std::string breach_dump_path;
 };
 
 /// Hosts the Controller on the RPC fabric: serves cluster info and
@@ -323,6 +380,10 @@ class ControllerServer {
   net::NodeId leader() const;
 
   Controller& controller() { return controller_; }
+  Watchdog& watchdog() { return watchdog_; }
+
+  /// Breach-time flight-recorder snapshot ("" if none fired yet).
+  std::string LastBreachDump() const;
 
  private:
   /// kUnavailable("NOT_LEADER...") unless this replica is leader — the
@@ -357,6 +418,8 @@ class ControllerServer {
   Status ExecuteRemoval(const ReplicaRemoval& removal);
   /// The kSuspect body, shared by the request and one-way registrations.
   Result<std::string> HandleSuspect(const std::string& payload);
+  Watchdog::Options WatchdogConfig();
+  void OnWatchdogBreach(const HealthReport& report);
 
   Controller controller_;
   ControllerServerOptions options_;
@@ -372,6 +435,9 @@ class ControllerServer {
   bool is_leader_ = false;
   std::atomic<bool> stop_{false};
   Executor::TimerToken monitor_token_;
+  Watchdog watchdog_;
+  mutable std::mutex dump_mu_;
+  std::string last_breach_dump_;
 };
 
 }  // namespace chariots::flstore

@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/flight_recorder.h"
+
 namespace chariots::net {
+
+namespace {
+// kFaultFire `code` values: which injection mechanism fired.
+enum FaultKind : uint16_t {
+  kFaultPartition = 1,
+  kFaultSlowNode = 2,
+  kFaultDrop = 3,
+  kFaultDuplicate = 4,
+  kFaultDelay = 5,
+};
+}  // namespace
 
 void FaultSchedule::Seed(uint64_t seed) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +139,8 @@ FaultDecision FaultSchedule::Inspect(const Message& msg, int64_t now_nanos) {
   FaultDecision decision;
   if (PartitionedLocked(msg.from, msg.to, now_nanos)) {
     ++injected_;
+    flightrec::Record(flightrec::EventType::kFaultFire, kFaultPartition,
+                      msg.type);
     decision.drop = true;
     return decision;  // the cut wins; no point evaluating scripted rules
   }
@@ -133,6 +148,8 @@ FaultDecision FaultSchedule::Inspect(const Message& msg, int64_t now_nanos) {
     if (now_nanos < s.from_nanos || now_nanos >= s.to_nanos) continue;
     if (msg.to.rfind(s.prefix, 0) == 0 || msg.from.rfind(s.prefix, 0) == 0) {
       ++injected_;
+      flightrec::Record(flightrec::EventType::kFaultFire, kFaultSlowNode,
+                        msg.type, static_cast<uint64_t>(s.delay_nanos));
       decision.delay_nanos += s.delay_nanos;
       break;  // one gray node on the path is enough; don't stack windows
     }
@@ -151,14 +168,20 @@ FaultDecision FaultSchedule::Inspect(const Message& msg, int64_t now_nanos) {
     switch (rule.action) {
       case Action::kDrop:
       case Action::kDropProb:
+        flightrec::Record(flightrec::EventType::kFaultFire, kFaultDrop,
+                          msg.type);
         decision.drop = true;
         break;
       case Action::kDuplicate:
+        flightrec::Record(flightrec::EventType::kFaultFire, kFaultDuplicate,
+                          msg.type, static_cast<uint64_t>(rule.delay_nanos));
         decision.duplicate = true;
         decision.duplicate_delay_nanos =
             std::max(decision.duplicate_delay_nanos, rule.delay_nanos);
         break;
       case Action::kDelay:
+        flightrec::Record(flightrec::EventType::kFaultFire, kFaultDelay,
+                          msg.type, static_cast<uint64_t>(rule.delay_nanos));
         decision.delay_nanos += rule.delay_nanos;
         break;
     }

@@ -8,12 +8,17 @@ size_t Message::WireSize() const {
   // Mirrors EncodeMessage below, field for field: three PutBytes carry a
   // u32 length prefix each (3*4), plus u16 type + u64 rpc_id + u8
   // is_response + u8 error_code = 24 fixed bytes. An active trace trailer
-  // adds u64 trace_id + u32 hop count (12) and, per hop, a length-prefixed
-  // stage + u32 dc + i64 nanos (stage + 16).
+  // adds u64 trace_id + u32 hop count (12), per hop a length-prefixed stage
+  // + u32 dc + i64 nanos (stage + 16), then u32 span count + u32 chain (8)
+  // and, per span, u32 id + u32 parent + length-prefixed stage + u32 dc +
+  // i64 start + i64 end (stage + 32).
   size_t trace_bytes = 0;
   if (trace.active()) {
-    trace_bytes = 12;
+    trace_bytes = 12 + 8;
     for (const auto& hop : trace.hops) trace_bytes += hop.stage.size() + 16;
+    for (const auto& span : trace.spans) {
+      trace_bytes += span.stage.size() + 32;
+    }
   }
   return from.size() + to.size() + payload.size() + trace_bytes + 24;
 }

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/executor.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -42,6 +43,14 @@ void WriteNotFound(int fd) {
       "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\nConnection: "
       "close\r\n\r\n";
   (void)::send(fd, kResp, sizeof(kResp) - 1, MSG_NOSIGNAL);
+}
+
+void WriteUnavailable(int fd, const std::string& body) {
+  std::string resp =
+      "HTTP/1.0 503 Service Unavailable\r\nContent-Type: "
+      "application/json\r\nContent-Length: " +
+      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  (void)::send(fd, resp.data(), resp.size(), MSG_NOSIGNAL);
 }
 
 }  // namespace
@@ -146,9 +155,28 @@ void MetricsHttpServer::HandleConnection(int fd) {
   } else if (path == "/traces.json") {
     WriteResponse(fd, "application/json",
                   trace::RenderTracesJson(trace::TraceSink::Default().Traces()));
+  } else if (path == "/healthz") {
+    std::function<std::string()> source;
+    {
+      std::lock_guard<std::mutex> lock(health_mu_);
+      source = health_source_;
+    }
+    if (source == nullptr) {
+      WriteUnavailable(fd, "{\"error\":\"no health source installed\"}");
+    } else {
+      WriteResponse(fd, "application/json", source());
+    }
+  } else if (path == "/debug/flightrecorder") {
+    WriteResponse(fd, "application/octet-stream",
+                  flightrec::Recorder::Default().Dump());
   } else {
     WriteNotFound(fd);
   }
+}
+
+void MetricsHttpServer::SetHealthSource(std::function<std::string()> source) {
+  std::lock_guard<std::mutex> lock(health_mu_);
+  health_source_ = std::move(source);
 }
 
 }  // namespace chariots::net

@@ -2,6 +2,9 @@
 #define CHARIOTS_NET_METRICS_HTTP_H_
 
 #include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
 #include <thread>
 
 #include "common/status.h"
@@ -9,11 +12,17 @@
 namespace chariots::net {
 
 /// Minimal blocking HTTP/1.0 server exposing the process's observability
-/// surface (`chariots_node --metrics_port`). Three routes:
+/// surface (`chariots_node --metrics_port`). Routes:
 ///
-///   GET /metrics       Prometheus text exposition
-///   GET /metrics.json  JSON metrics snapshot
-///   GET /traces.json   JSON dump of the TraceSink ring buffer
+///   GET /metrics               Prometheus text exposition
+///   GET /metrics.json          JSON metrics snapshot
+///   GET /traces.json           JSON dump of the TraceSink ring buffer
+///   GET /healthz               watchdog health report as JSON (503 until a
+///                              health source is installed; 200 once the
+///                              hosting server calls SetHealthSource)
+///   GET /debug/flightrecorder  raw flight-recorder dump (binary; decode
+///                              with `chariots_cli flightrec --decode` or
+///                              flightrec::Recorder::Decode)
 ///
 /// One accept thread, one request per connection, connection closed after
 /// the response — monitoring-poll traffic only, deliberately not a general
@@ -33,6 +42,12 @@ class MetricsHttpServer {
 
   int port() const { return port_; }
 
+  /// Installs the /healthz provider — typically a lambda that ticks the
+  /// hosting server's watchdog and renders the report
+  /// (RenderHealthJson(watchdog.TickOnce())). Callable before or after
+  /// Start(); the last source wins.
+  void SetHealthSource(std::function<std::string()> source);
+
  private:
   void ServeLoop();
   void HandleConnection(int fd);
@@ -41,6 +56,8 @@ class MetricsHttpServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread thread_;
+  std::mutex health_mu_;
+  std::function<std::string()> health_source_;
 };
 
 }  // namespace chariots::net

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 
@@ -159,6 +160,8 @@ void RpcEndpoint::OnMessage(Message msg) {
     reply.payload = "no handler for opcode";
   } else {
     HandledCounter()->Add();
+    flightrec::Record(flightrec::EventType::kRpcStart, msg.type, 0, msg.rpc_id,
+                      msg.payload.size());
     ScopedRpcTrace scoped_trace(std::move(msg.trace));
     Result<std::string> result = handler(msg.from, msg.payload);
     if (result.ok()) {
@@ -168,6 +171,8 @@ void RpcEndpoint::OnMessage(Message msg) {
       reply.error_code = static_cast<uint8_t>(result.status().code());
       reply.payload = result.status().message();
     }
+    flightrec::Record(flightrec::EventType::kRpcEnd, msg.type,
+                      reply.error_code, msg.rpc_id, reply.payload.size());
   }
   (void)transport_->Send(std::move(reply));
 }

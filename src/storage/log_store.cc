@@ -7,6 +7,7 @@
 
 #include "common/codec.h"
 #include "common/crc32c.h"
+#include "common/flight_recorder.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "storage/format.h"
@@ -240,7 +241,11 @@ Status LogStore::MaybeSyncLocked(Segment& seg) {
   if (!want_sync) return Status::OK();
   {
     metrics::ScopedLatencyTimer timer(FsyncHist());
+    int64_t start = clock_->NowNanos();
     CHARIOTS_RETURN_IF_ERROR(seg.file.Sync());
+    flightrec::Record(flightrec::EventType::kFsync, 0, 0,
+                      static_cast<uint64_t>(clock_->NowNanos() - start),
+                      seg.records);
   }
   last_sync_nanos_ = clock_->NowNanos();
   return Status::OK();

@@ -15,6 +15,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/flight_recorder.h"
 #include "common/random.h"
 #include "flstore/controller.h"
 #include "flstore/indexer.h"
@@ -394,6 +395,71 @@ TEST_P(ControlPlaneFuzzTest, MetaWalTornTailRecovery) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ControlPlaneFuzzTest,
                          ::testing::Values(101, 202, 303, 404));
+
+// ------------------------------------------------ flight-recorder dumps
+
+class FlightRecFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The dump decoder ingests whatever a crash handler, a half-written breach
+// file, or a truncated HTTP body hands it: every truncation, bit flip, and
+// random prefix must come back as a Status — never a crash, never an
+// out-of-bounds read (flight_recorder.h contract).
+TEST_P(FlightRecFuzzTest, DumpDecoderNeverCrashesOnDamage) {
+  Random rng(GetParam());
+
+  // A real dump with a wrapped ring, so every section of the format —
+  // header, ring frames, drop counts, CRC — is present and non-trivial.
+  flightrec::Recorder rec(16);
+  int events = 8 + static_cast<int>(rng.Uniform(40));
+  for (int i = 0; i < events; ++i) {
+    rec.Record(static_cast<flightrec::EventType>(rng.Uniform(16)),
+               static_cast<uint16_t>(rng.Uniform(64)),
+               static_cast<uint32_t>(rng.Uniform(1 << 20)), rng.Next(),
+               rng.Next());
+  }
+  std::string good = rec.Dump();
+  flightrec::DecodedDump dump;
+  ASSERT_TRUE(flightrec::Recorder::Decode(good, &dump).ok());
+
+  // Every possible truncation point.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    Status s = flightrec::Recorder::Decode(
+        std::string_view(good.data(), cut), &dump);
+    EXPECT_FALSE(s.ok()) << "truncation at " << cut << " decoded";
+  }
+
+  // Random single-byte flips: either the damage is detected or the dump
+  // still decodes (a flip confined to CRC-covered bytes must be caught;
+  // one in the already-validated prefix of a later frame may land in a
+  // field whose value is simply different — but never a crash).
+  for (int i = 0; i < 64; ++i) {
+    std::string flipped = good;
+    size_t at = rng.Uniform(flipped.size());
+    flipped[at] = static_cast<char>(flipped[at] ^ (1 + rng.Uniform(255)));
+    flightrec::DecodedDump out;
+    Status s = flightrec::Recorder::Decode(flipped, &out);
+    if (s.ok()) {
+      // A surviving decode must still be internally consistent.
+      EXPECT_LE(out.events.size(),
+                static_cast<size_t>(out.recorded));
+    }
+  }
+
+  // Random garbage and random prefixes of garbage.
+  for (int i = 0; i < 32; ++i) {
+    std::string junk = rng.NextString(rng.Uniform(512) + 1);
+    flightrec::DecodedDump out;
+    (void)flightrec::Recorder::Decode(junk, &out);
+    // Garbage wearing the right magic exercises the deeper parsers.
+    if (junk.size() >= 4) {
+      junk.replace(0, 4, "CHFR");
+      (void)flightrec::Recorder::Decode(junk, &out);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlightRecFuzzTest,
+                         ::testing::Values(11, 22, 33, 44));
 
 }  // namespace
 }  // namespace chariots

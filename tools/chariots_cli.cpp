@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "chariots/geo_service.h"
+#include "common/flight_recorder.h"
 #include "flstore/client.h"
+#include "flstore/service.h"
+#include "net/rpc.h"
 #include "net/tcp_transport.h"
 #include "tools/flags.h"
 
@@ -55,9 +58,29 @@ int Usage() {
                "                          with PREFIX, prints one 'name "
                "value'\n"
                "                          line per matching family, e.g.\n"
-               "                          chariots.flstore.repl.\n"
-               "  trace                   sampled record traces as JSON "
-               "(geo mode)\n");
+               "                          chariots.flstore.repl. (exits 1 "
+               "when\n"
+               "                          no family matches)\n"
+               "  trace                   per-record critical-path breakdown "
+               "of\n"
+               "                          sampled traces (geo mode); 'trace "
+               "json'\n"
+               "                          prints the raw trace JSON instead\n"
+               "  health [TARGET]         one watchdog tick + health report "
+               "JSON;\n"
+               "                          geo mode targets the datacenter, "
+               "flstore\n"
+               "                          mode targets ctrl (default) or mN\n"
+               "  flightrec [TARGET] [breach]\n"
+               "                          decoded flight-recorder events from "
+               "the\n"
+               "                          server ('breach' = the snapshot "
+               "taken at\n"
+               "                          the last watchdog breach); "
+               "--out=FILE\n"
+               "                          saves the raw dump bytes, "
+               "--events=N\n"
+               "                          caps decoded lines (default 64)\n");
   return 2;
 }
 
@@ -66,16 +89,19 @@ int Usage() {
 // name starts with `prefix`, one "name value" line per match. Metric names
 // are dotted identifiers — never quotes or braces — so a linear scan with a
 // brace-depth counter is enough; no JSON parser needed. Histogram values
-// print as their full stats object.
-void PrintFilteredMetrics(const std::string& json,
-                          const std::string& prefix) {
+// print as their full stats object. Returns how many families matched so
+// the caller can fail loudly on an unknown prefix instead of printing
+// nothing.
+size_t PrintFilteredMetrics(const std::string& json,
+                            const std::string& prefix) {
+  size_t matches = 0;
   size_t i = 0;
   int depth = 0;
   while (i < json.size()) {
     char c = json[i];
     if (c == '"') {
       size_t end = json.find('"', i + 1);
-      if (end == std::string::npos) return;
+      if (end == std::string::npos) return matches;
       std::string key = json.substr(i + 1, end - i - 1);
       i = end + 1;
       if (i < json.size() && json[i] == ':' && depth == 2) {
@@ -94,6 +120,7 @@ void PrintFilteredMetrics(const std::string& json,
         if (key.compare(0, prefix.size(), prefix) == 0) {
           std::printf("%s %s\n", key.c_str(),
                       json.substr(start, i - start).c_str());
+          ++matches;
         }
       }
       continue;
@@ -102,6 +129,38 @@ void PrintFilteredMetrics(const std::string& json,
     if (c == '}') --depth;
     ++i;
   }
+  return matches;
+}
+
+// Prints a flight-recorder dump fetched over RPC: raw bytes to --out=FILE
+// when asked, decoded human-readable events otherwise. Decode failures are
+// reported and exit nonzero — a truncated or corrupt dump is a finding, not
+// a crash.
+int PrintFlightRecorderDump(const Flags& flags, const std::string& bytes) {
+  std::string out_path = flags.Get("out");
+  if (!out_path.empty()) {
+    FILE* f = std::fopen(out_path.c_str(), "wb");
+    if (f == nullptr ||
+        std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+      std::fprintf(stderr, "flightrec: cannot write %s\n", out_path.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 1;
+    }
+    std::fclose(f);
+    std::printf("wrote %zu dump bytes to %s\n", bytes.size(),
+                out_path.c_str());
+    return 0;
+  }
+  flightrec::DecodedDump dump;
+  Status s = flightrec::Recorder::Decode(bytes, &dump);
+  if (!s.ok()) {
+    std::fprintf(stderr, "flightrec decode: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  size_t max_events =
+      static_cast<size_t>(flags.GetInt("events", 64));
+  std::printf("%s", flightrec::RenderDumpText(dump, max_events).c_str());
+  return 0;
 }
 
 void PrintGeoRecord(const chariots::geo::GeoRecord& record) {
@@ -206,17 +265,41 @@ int RunGeo(const Flags& flags, const std::vector<std::string>& args) {
       return 1;
     }
     if (args.size() == 2) {
-      PrintFilteredMetrics(*r, args[1]);
+      if (PrintFilteredMetrics(*r, args[1]) == 0) {
+        std::fprintf(stderr, "no families match prefix '%s'\n",
+                     args[1].c_str());
+        return 1;
+      }
     } else {
       std::printf("%s\n", r->c_str());
     }
   } else if (command == "trace") {
-    auto r = client.Trace();
+    bool raw_json = args.size() >= 2 && args[1] == "json";
+    auto r = raw_json ? client.Trace() : client.TraceCriticalPath();
     if (!r.ok()) {
       std::fprintf(stderr, "trace: %s\n", r.status().ToString().c_str());
       return 1;
     }
     std::printf("%s\n", r->c_str());
+  } else if (command == "health") {
+    auto r = client.Health();
+    if (!r.ok()) {
+      std::fprintf(stderr, "health: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", r->c_str());
+  } else if (command == "flightrec") {
+    uint8_t mode = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "breach") mode = 1;
+    }
+    auto r = client.FlightRec(mode);
+    if (!r.ok()) {
+      std::fprintf(stderr, "flightrec: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    return PrintFlightRecorderDump(flags, *r);
   } else {
     return Usage();
   }
@@ -374,6 +457,55 @@ int main(int argc, char** argv) {
         }
         std::printf("\n");
       }
+    }
+  } else if (command == "health" || command == "flightrec") {
+    // Raw per-node observability calls: these bypass the data-path client
+    // because health and flight-recorder state are properties of one
+    // process, not of the replicated log.
+    net::NodeId target = controllers.empty()
+                             ? net::NodeId("ctrl/0")
+                             : copts.controllers.front();
+    uint8_t mode = 0;
+    for (size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "breach") {
+        mode = 1;
+      } else if (args[i] == "ctrl") {
+        // default target already set above
+      } else if (args[i].rfind("ctrl", 0) == 0 ||
+                 args[i].rfind("m", 0) == 0 ||
+                 args[i].rfind("idx", 0) == 0) {
+        target = args[i] + "/node";
+      } else {
+        return Usage();
+      }
+    }
+    net::RpcEndpoint raw(&transport,
+                         "cliraw/" + std::to_string(::getpid()));
+    Status rs = raw.Start();
+    if (!rs.ok()) {
+      std::fprintf(stderr, "%s: %s\n", command.c_str(),
+                   rs.ToString().c_str());
+      return 1;
+    }
+    if (command == "health") {
+      auto r = raw.Call(target, kHealth, "");
+      if (!r.ok()) {
+        std::fprintf(stderr, "health %s: %s\n", target.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", r->c_str());
+    } else {
+      BinaryWriter w;
+      w.PutU8(mode);
+      auto r = raw.Call(target, kFlightRec, std::move(w).data());
+      if (!r.ok()) {
+        std::fprintf(stderr, "flightrec %s: %s\n", target.c_str(),
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      int rc = PrintFlightRecorderDump(flags, *r);
+      if (rc != 0) return rc;
     }
   } else if (command == "info") {
     ClusterInfo info = client.cluster_info();

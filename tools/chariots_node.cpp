@@ -26,6 +26,8 @@
 
 #include "chariots/datacenter.h"
 #include "common/executor.h"
+#include "common/flight_recorder.h"
+#include "common/watchdog.h"
 #include "chariots/fabric.h"
 #include "chariots/geo_service.h"
 #include "flstore/service.h"
@@ -124,6 +126,25 @@ bool MaybeStartMetrics(const Flags& flags, net::MetricsHttpServer* server) {
   return true;
 }
 
+// Observability knobs shared by every role. --watchdog_ms arms the
+// periodic health watchdog (0 keeps it on-demand only, via the kHealth RPC
+// and /healthz); --breach_dump persists a flight-recorder snapshot at every
+// watchdog breach; --crash_dump arms the fatal-signal flight-recorder dump.
+int64_t WatchdogIntervalNanos(const Flags& flags) {
+  return static_cast<int64_t>(
+             flags.GetInt("watchdog_ms", flags.GetInt("watchdog-ms", 0))) *
+         1'000'000;
+}
+
+std::string BreachDumpPath(const Flags& flags) {
+  return flags.Get("breach_dump", flags.Get("breach-dump"));
+}
+
+void ArmCrashDump(const Flags& flags) {
+  std::string path = flags.Get("crash_dump", flags.Get("crash-dump"));
+  if (!path.empty()) flightrec::InstallCrashDump(path);
+}
+
 // Applies the runtime-sizing flags (any role). --executor_threads sizes
 // the process-wide shared executor (0 = O(cores) default); --io_threads
 // sizes the TCP reactor. Must run before the first Executor::Default().
@@ -158,7 +179,16 @@ int Usage() {
       "  --listen=PORT              port to serve on\n"
       "  --metrics_port=PORT        HTTP observability endpoint (any role):\n"
       "                             /metrics (Prometheus), /metrics.json,\n"
-      "                             /traces.json\n"
+      "                             /traces.json, /healthz,\n"
+      "                             /debug/flightrecorder\n"
+      "  --watchdog_ms=N            health-watchdog tick interval (any\n"
+      "                             role except indexer; default 0 = tick\n"
+      "                             only on demand via /healthz and\n"
+      "                             `chariots_cli health`)\n"
+      "  --breach_dump=PATH         write a flight-recorder snapshot here\n"
+      "                             whenever the watchdog trips\n"
+      "  --crash_dump=PATH          write a flight-recorder snapshot here\n"
+      "                             on SIGSEGV/SIGABRT/SIGBUS\n"
       "  --maintainers=H:P,H:P,...  all maintainer addresses (ordered)\n"
       "  --indexers=H:P,...         all indexer addresses (ordered)\n"
       "  --controller=H:P           controller address (for routing)\n"
@@ -239,13 +269,20 @@ int RunDatacenter(const Flags& flags) {
     std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
     return 1;
   }
+  ArmCrashDump(flags);
+  geo::GeoServerOptions go;
+  go.watchdog_interval_nanos = WatchdogIntervalNanos(flags);
+  go.executor = Executor::Default();
+  go.breach_dump_path = BreachDumpPath(flags);
   geo::GeoServer api(&transport, "geo/dc" + std::to_string(dc_id) + "/api",
-                     &dc);
+                     &dc, go);
   s = api.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "api start: %s\n", s.ToString().c_str());
     return 1;
   }
+  metrics_http.SetHealthSource(
+      [&api] { return RenderHealthJson(api.watchdog().TickOnce()); });
   std::printf("datacenter %u serving on port %d (%zu-replica group%s)\n",
               dc_id, transport.port(), peers.size(),
               store_dir.empty() ? "" : ", persistent");
@@ -295,6 +332,7 @@ int main(int argc, char** argv) {
 
   net::MetricsHttpServer metrics_http;
   if (!MaybeStartMetrics(flags, &metrics_http)) return 1;
+  ArmCrashDump(flags);
 
   // Declared before the servers so it outlives them (stores keep a pointer).
   std::unique_ptr<storage::DiskFaultSchedule> disk_faults;
@@ -336,6 +374,8 @@ int main(int argc, char** argv) {
         "ctrl_tick_ms",
         flags.GetInt("ctrl-tick-ms", d.controller_addrs.empty() ? 0 : 50));
     co.monitor_interval_nanos = static_cast<int64_t>(tick_ms) * 1'000'000;
+    co.watchdog_interval_nanos = WatchdogIntervalNanos(flags);
+    co.breach_dump_path = BreachDumpPath(flags);
     std::string meta_wal_dir =
         flags.Get("meta_wal_dir", flags.Get("meta-wal-dir"));
     if (!meta_wal_dir.empty()) {
@@ -357,6 +397,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
       return 1;
     }
+    ControllerServer* ctrl = controller.get();
+    metrics_http.SetHealthSource(
+        [ctrl] { return RenderHealthJson(ctrl->watchdog().TickOnce()); });
     std::printf("controller %s serving on port %d (%zu maintainers, %zu "
                 "indexers, batch %llu%s%s)\n",
                 ctrl_node.c_str(), transport.port(),
@@ -389,6 +432,8 @@ int main(int argc, char** argv) {
     so.controllers = d.ControllerNodes();
     so.gossip_interval_nanos =
         static_cast<int64_t>(flags.GetInt("gossip-ms", 2)) * 1'000'000;
+    so.watchdog_interval_nanos = WatchdogIntervalNanos(flags);
+    so.breach_dump_path = BreachDumpPath(flags);
     mo.tail_cache_bytes = flags.GetUint64(
         "read_cache_bytes",
         flags.GetUint64("read-cache-bytes", mo.tail_cache_bytes));
@@ -420,6 +465,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
       return 1;
     }
+    MaintainerServer* m = maintainer.get();
+    metrics_http.SetHealthSource(
+        [m] { return RenderHealthJson(m->watchdog().TickOnce()); });
     std::printf("maintainer %u serving on port %d (%s)\n", index,
                 transport.port(),
                 store_dir.empty() ? "memory" : store_dir.c_str());

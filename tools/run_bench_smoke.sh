@@ -147,4 +147,16 @@ if [ "$FAILED" -ne 0 ] || [ "$STATUS" -ne 0 ]; then
   echo "bench smoke FAILED" >&2
   exit 1
 fi
+
+# Regression gate against the committed baselines (skippable for runs on
+# deliberately slow configurations, e.g. under a sanitizer).
+if [ "${CHARIOTS_SKIP_BENCH_BASELINES:-0}" = "1" ]; then
+  echo "skipping baseline regression check (CHARIOTS_SKIP_BENCH_BASELINES=1)"
+else
+  echo "=== comparing against bench/baselines ==="
+  "$ROOT/tools/check_bench_regression.sh" "$OUT_DIR" || {
+    echo "bench smoke FAILED: baseline regression" >&2
+    exit 1
+  }
+fi
 echo "bench smoke OK: all reports schema-valid"

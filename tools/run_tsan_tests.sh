@@ -54,6 +54,9 @@ else
   # them under the sanitizer too so data races in the metrics/trace hot
   # paths surface here. Set CHARIOTS_SKIP_BENCH_SMOKE=1 to opt out.
   if [ "${CHARIOTS_SKIP_BENCH_SMOKE:-0}" != "1" ]; then
-    "$ROOT/tools/run_bench_smoke.sh" "build-$SANITIZER"
+    # Sanitized builds are far slower than the committed bench baselines,
+    # so the baseline regression gate would only measure the sanitizer.
+    CHARIOTS_SKIP_BENCH_BASELINES=1 \
+      "$ROOT/tools/run_bench_smoke.sh" "build-$SANITIZER"
   fi
 fi
