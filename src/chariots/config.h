@@ -42,6 +42,10 @@ struct ChariotsConfig {
   storage::SyncMode store_mode = storage::SyncMode::kMemoryOnly;
   std::string store_dir;
 
+  /// I/O engine for the maintainer stores; nullptr picks the process
+  /// default ($CHARIOTS_IO_ENGINE or sync — see storage/io_engine.h).
+  storage::IoEngine* io_engine = nullptr;
+
   /// Sender batch size (records per replication message) and resend timer.
   size_t sender_batch_records = 256;
   int64_t sender_resend_nanos = 50'000'000;  // 50 ms

@@ -75,6 +75,7 @@ Status Datacenter::Start() {
     mo.index = m;
     mo.journal = journal_;
     mo.store.mode = config_.store_mode;
+    mo.store.io_engine = config_.io_engine;
     if (!config_.store_dir.empty()) {
       mo.store.dir =
           config_.store_dir + "/maintainer-" + std::to_string(m);

@@ -1,10 +1,16 @@
 #include "chariots/record.h"
 
 #include "common/codec.h"
+#include "net/message.h"
 
 namespace chariots::geo {
 
 std::string EncodeGeoRecord(const GeoRecord& record) {
+  // The record body enters the datapath here, and this serialization is its
+  // ONE budgeted copy — every later layer borrows the encoded bytes
+  // (chariots.net.copies_per_record audits exactly this).
+  net::CountPayloadEntered(record.body.size());
+  net::CountPayloadCopied(record.body.size());
   BinaryWriter w;
   w.PutU32(record.host);
   w.PutU64(record.toid);

@@ -3,13 +3,107 @@
 
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
 
 namespace chariots {
+
+/// Refcounted immutable byte buffer. The unit of ownership on the zero-copy
+/// datapath (DESIGN.md §15): payload bytes are encoded into a Buffer once
+/// and every later layer (message codec, transport write queue, storage
+/// iovec) borrows slices of it instead of copying. Copying a Buffer copies
+/// a pointer; the bytes are freed when the last slice drops.
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::string bytes)
+      : bytes_(std::make_shared<const std::string>(std::move(bytes))) {}
+
+  std::string_view view() const {
+    return bytes_ != nullptr ? std::string_view(*bytes_) : std::string_view();
+  }
+  size_t size() const { return bytes_ != nullptr ? bytes_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  explicit operator bool() const { return bytes_ != nullptr; }
+
+ private:
+  std::shared_ptr<const std::string> bytes_;
+};
+
+/// One contiguous run of bytes plus the Buffer keeping it alive. `data` may
+/// cover any sub-range of `owner`; an empty owner means the caller
+/// guarantees the bytes outlive every use of the slice (stack scratch,
+/// string literals).
+struct IoSlice {
+  std::string_view data;
+  Buffer owner;
+};
+
+/// An ordered list of IoSlices representing one logical byte string — the
+/// in-memory shape of a wire frame or a storage batch that is never
+/// materialized contiguously. Cheap to move; copying shares the underlying
+/// buffers. Feed the slices straight into writev/sendmsg.
+class SliceChain {
+ public:
+  SliceChain() = default;
+
+  /// Appends a slice; empty slices are dropped (writev dislikes them).
+  void Append(IoSlice slice) {
+    if (slice.data.empty()) return;
+    size_ += slice.data.size();
+    slices_.push_back(std::move(slice));
+  }
+
+  /// Takes ownership of `bytes` and appends it as one slice.
+  void AppendOwned(std::string bytes) {
+    Buffer buf(std::move(bytes));
+    std::string_view view = buf.view();
+    Append(IoSlice{view, std::move(buf)});
+  }
+
+  /// Borrows the whole buffer as one slice.
+  void AppendBuffer(Buffer buffer) {
+    std::string_view view = buffer.view();
+    Append(IoSlice{view, std::move(buffer)});
+  }
+
+  /// Moves every slice of `other` onto the tail of this chain.
+  void Extend(SliceChain&& other) {
+    for (IoSlice& s : other.slices_) {
+      size_ += s.data.size();
+      slices_.push_back(std::move(s));
+    }
+    other.slices_.clear();
+    other.size_ = 0;
+  }
+
+  /// Total bytes across all slices.
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::vector<IoSlice>& slices() const { return slices_; }
+
+  /// Materializes the chain into one contiguous string (tests, fallbacks).
+  std::string Flatten() const {
+    std::string out;
+    out.reserve(size_);
+    for (const IoSlice& s : slices_) out.append(s.data);
+    return out;
+  }
+
+  void Clear() {
+    slices_.clear();
+    size_ = 0;
+  }
+
+ private:
+  std::vector<IoSlice> slices_;
+  size_t size_ = 0;
+};
 
 /// Little-endian binary encoder used for wire messages and on-disk records.
 /// All multi-byte integers are fixed-width little-endian; variable-length

@@ -194,7 +194,12 @@ Status InProcTransport::Send(Message msg) {
     if (decision.duplicate) dup_seq = ++seq_;
   }
   Message dup;
-  if (decision.duplicate) dup = msg;  // copy before the original is moved
+  if (decision.duplicate) {
+    dup = msg;  // copy before the original is moved
+    // The only payload copy in this transport — messages are otherwise
+    // moved end to end. Counted so copies_per_record stays truthful.
+    CountPayloadCopied(dup.payload.size());
+  }
   if (!Enqueue(inbox, std::move(msg), deliver_at, seq)) {
     return Status::NotFound("destination stopped");
   }

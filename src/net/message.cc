@@ -1,8 +1,47 @@
 #include "net/message.h"
 
 #include "common/codec.h"
+#include "common/metrics.h"
 
 namespace chariots::net {
+
+namespace {
+
+metrics::Counter* PayloadEnteredCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.net.payload_bytes_entered");
+  return c;
+}
+
+metrics::Counter* PayloadCopiedCounter() {
+  static metrics::Counter* c = metrics::Registry::Default().GetCounter(
+      "chariots.net.payload_bytes_copied");
+  return c;
+}
+
+// chariots.net.copies_per_record — bytes-weighted copies per record on the
+// append path, exported in 1/100ths of a copy (gauges are integral). The
+// registration lives for the process; the counters it reads are the two
+// above.
+const bool g_copies_gauge_registered = [] {
+  metrics::Registry::Default().RegisterCallback(
+      "chariots.net.copies_per_record_x100", []() -> int64_t {
+        uint64_t entered = PayloadEnteredCounter()->Value();
+        if (entered == 0) return 0;
+        return static_cast<int64_t>(PayloadCopiedCounter()->Value() * 100 /
+                                    entered);
+      });
+  return true;
+}();
+
+}  // namespace
+
+void CountPayloadEntered(size_t bytes) {
+  (void)g_copies_gauge_registered;
+  PayloadEnteredCounter()->Add(bytes);
+}
+
+void CountPayloadCopied(size_t bytes) { PayloadCopiedCounter()->Add(bytes); }
 
 size_t Message::WireSize() const {
   // Mirrors EncodeMessage below, field for field: three PutBytes carry a
@@ -24,6 +63,10 @@ size_t Message::WireSize() const {
 }
 
 std::string EncodeMessage(const Message& msg) {
+  // The legacy concatenating encode copies the payload into the output
+  // string — counted, so the copies-per-record gauge stays truthful for
+  // any caller still on this path.
+  CountPayloadCopied(msg.payload.size());
   BinaryWriter w;
   w.PutBytes(msg.from);
   w.PutBytes(msg.to);
@@ -36,6 +79,38 @@ std::string EncodeMessage(const Message& msg) {
   // for unsampled messages, and ignored by decoders that stop at payload.
   trace::EncodeTrace(msg.trace, &w);
   return std::move(w).data();
+}
+
+SliceChain EncodeMessageSlices(Message&& msg, std::string_view prepend) {
+  SliceChain chain;
+  BinaryWriter hdr;
+  hdr.PutRaw(prepend);
+  hdr.PutBytes(msg.from);
+  hdr.PutBytes(msg.to);
+  hdr.PutU16(msg.type);
+  hdr.PutU64(msg.rpc_id);
+  hdr.PutU8(msg.is_response ? 1 : 0);
+  hdr.PutU8(msg.error_code);
+  hdr.PutU32(static_cast<uint32_t>(msg.payload.size()));
+  if (msg.payload.size() < kInlineMessagePayloadBytes) {
+    // Small payload: one buffer beats a third iovec entry. This is the only
+    // payload copy on the slice path, and it is counted.
+    CountPayloadCopied(msg.payload.size());
+    hdr.PutRaw(msg.payload);
+    trace::EncodeTrace(msg.trace, &hdr);
+    chain.AppendOwned(std::move(hdr).data());
+    return chain;
+  }
+  chain.AppendOwned(std::move(hdr).data());
+  // The payload buffer is moved, not copied: the chain's refcount keeps it
+  // alive through the write queue and any retransmit.
+  chain.AppendOwned(std::move(msg.payload));
+  if (msg.trace.active()) {
+    BinaryWriter trailer;
+    trace::EncodeTrace(msg.trace, &trailer);
+    chain.AppendOwned(std::move(trailer).data());
+  }
+  return chain;
 }
 
 Result<Message> DecodeMessage(std::string_view data) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/codec.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/trace.h"
@@ -39,8 +40,33 @@ struct Message {
 /// Serializes a message to wire bytes (used by the TCP transport).
 std::string EncodeMessage(const Message& msg);
 
+/// Payloads below this size are copied into the header buffer by
+/// EncodeMessageSlices instead of borrowed: a third iovec entry costs more
+/// than a small memcpy. Large payloads — the bytes the zero-copy datapath
+/// exists for — are always borrowed.
+inline constexpr size_t kInlineMessagePayloadBytes = 512;
+
+/// Slice-chain encode (DESIGN.md §15): header and trace-trailer bytes are
+/// freshly encoded into chain-owned buffers while a large payload is MOVED
+/// into a refcounted Buffer and borrowed, so record bytes are referenced,
+/// never copied, from here to the socket. `prepend` (may be empty) is
+/// placed verbatim before the message inside the header buffer — the TCP
+/// framing length prefix rides there for free.
+/// Guarantee: chain.Flatten() == prepend + EncodeMessage(msg), byte for
+/// byte, for every message shape (asserted in net_test).
+SliceChain EncodeMessageSlices(Message&& msg, std::string_view prepend = {});
+
 /// Parses wire bytes back into a message.
 Result<Message> DecodeMessage(std::string_view data);
+
+/// Append-path copy accounting (feeds chariots.net.copies_per_record).
+/// Every layer that memcpys record payload bytes on the way from the client
+/// encode to the socket/disk reports them via CountPayloadCopied; each
+/// payload entering the datapath counts once via CountPayloadEntered. The
+/// exported gauge is the bytes-weighted average number of copies per
+/// record: copied bytes / entered bytes, in 1/100ths of a copy.
+void CountPayloadEntered(size_t bytes);
+void CountPayloadCopied(size_t bytes);
 
 }  // namespace chariots::net
 

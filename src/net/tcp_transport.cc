@@ -7,6 +7,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -56,6 +57,38 @@ Status SetNonBlocking(int fd) {
   return Status::OK();
 }
 
+/// A frame chain is at most header + payload + trace trailer; 8 leaves
+/// headroom without touching IOV_MAX.
+constexpr size_t kMaxIovPerSend = 8;
+
+/// Fills `iov` from the chain's slices, skipping the first `skip`
+/// already-sent bytes. Returns the number of entries filled.
+size_t BuildIovecs(const SliceChain& chain, size_t skip, iovec* iov,
+                   size_t max_iov) {
+  size_t n = 0;
+  for (const IoSlice& s : chain.slices()) {
+    if (n == max_iov) break;
+    if (skip >= s.data.size()) {
+      skip -= s.data.size();
+      continue;
+    }
+    iov[n++] = iovec{const_cast<char*>(s.data.data() + skip),
+                     s.data.size() - skip};
+    skip = 0;
+  }
+  return n;
+}
+
+/// sendmsg over the unsent tail of a frame chain (writev has no flags
+/// argument, and MSG_NOSIGNAL is non-negotiable).
+ssize_t SendChain(int fd, const SliceChain& chain, size_t skip) {
+  iovec iov[kMaxIovPerSend];
+  msghdr mh{};
+  mh.msg_iov = iov;
+  mh.msg_iovlen = BuildIovecs(chain, skip, iov, kMaxIovPerSend);
+  return ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+}
+
 }  // namespace
 
 /// One TCP connection. The socket is owned by one reactor thread (`io`):
@@ -72,9 +105,12 @@ struct TcpTransport::Conn {
   std::string rbuf;  // partial inbound frame (reactor thread only)
 
   std::mutex write_mu;
-  std::deque<std::string> wq;  // encoded frames; front may be partly sent
-  size_t woff = 0;             // bytes of wq.front() already sent
-  size_t wbytes = 0;
+  /// Encoded frames as slice chains — large payloads are borrowed via
+  /// refcounted Buffers, never copied into the queue. Front may be partly
+  /// sent.
+  std::deque<SliceChain> wq;
+  size_t woff = 0;    // bytes of wq.front() already sent
+  size_t wbytes = 0;  // unsent bytes across the whole queue
   bool want_write = false;  // EPOLLOUT armed (or will be at adoption)
   bool closed = false;
 
@@ -238,7 +274,7 @@ Status TcpTransport::Send(Message msg) {
         if (std::shared_ptr<Conn> conn = it->second.lock()) {
           // Write outside the registry lock.
           mu_.unlock();
-          Status s = WriteFrame(conn, msg);
+          Status s = WriteFrame(conn, std::move(msg));
           mu_.lock();
           return s;
         }
@@ -248,7 +284,7 @@ Status TcpTransport::Send(Message msg) {
     }
   }
   CHARIOTS_ASSIGN_OR_RETURN(std::shared_ptr<Conn> conn, GetOrConnect(addr));
-  return WriteFrame(conn, msg);
+  return WriteFrame(conn, std::move(msg));
 }
 
 Result<std::shared_ptr<TcpTransport::Conn>> TcpTransport::GetOrConnect(
@@ -333,15 +369,18 @@ void TcpTransport::AdoptConn(const std::shared_ptr<Conn>& conn) {
 }
 
 Status TcpTransport::WriteFrame(const std::shared_ptr<Conn>& conn,
-                                const Message& msg) {
-  std::string body = EncodeMessage(msg);
-  std::string frame;
-  frame.reserve(body.size() + 4);
-  uint32_t len = static_cast<uint32_t>(body.size());
+                                Message msg) {
+  // The 4-byte length prefix rides inside the chain's header buffer:
+  // WireSize() is exact (net_test pins it to the codec), so the frame
+  // length is known before a single byte is encoded.
+  const uint32_t body = static_cast<uint32_t>(msg.WireSize());
+  char prefix[4];
   for (int i = 0; i < 4; ++i) {
-    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+    prefix[i] = static_cast<char>((body >> (8 * i)) & 0xff);
   }
-  frame.append(body);
+  SliceChain chain =
+      EncodeMessageSlices(std::move(msg), std::string_view(prefix, 4));
+  const size_t frame_bytes = chain.size();
 
   std::lock_guard<std::mutex> lock(conn->write_mu);
   if (conn->closed) return Status::Unavailable("connection closed");
@@ -351,24 +390,25 @@ Status TcpTransport::WriteFrame(const std::shared_ptr<Conn>& conn,
   size_t off = 0;
   if (conn->wq.empty()) {
     // Queue empty: try the socket inline on the caller's thread — the
-    // common case finishes here without waking the reactor.
-    while (off < frame.size()) {
-      ssize_t w = ::send(conn->fd, frame.data() + off, frame.size() - off,
-                         MSG_NOSIGNAL);
+    // common case finishes here without waking the reactor, gathering the
+    // header and borrowed payload slices in one sendmsg.
+    while (off < frame_bytes) {
+      ssize_t w = SendChain(conn->fd, chain, off);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-        return Status::IOError(std::string("send: ") + std::strerror(errno));
+        return Status::IOError(std::string("sendmsg: ") +
+                               std::strerror(errno));
       }
       off += static_cast<size_t>(w);
     }
   }
   FramesSentCounter()->Add();
-  BytesSentCounter()->Add(frame.size());
-  if (off == frame.size()) return Status::OK();
-  frame.erase(0, off);
-  conn->wbytes += frame.size();
-  conn->wq.push_back(std::move(frame));
+  BytesSentCounter()->Add(frame_bytes);
+  if (off == frame_bytes) return Status::OK();
+  conn->wbytes += frame_bytes - off;
+  if (conn->wq.empty()) conn->woff = off;  // else off == 0
+  conn->wq.push_back(std::move(chain));
   if (!conn->want_write) {
     conn->want_write = true;
     if (conn->io != nullptr) {
@@ -552,9 +592,8 @@ void TcpTransport::HandleWritable(IoThread* io,
   {
     std::lock_guard<std::mutex> lock(conn->write_mu);
     while (!conn->wq.empty()) {
-      const std::string& f = conn->wq.front();
-      ssize_t w = ::send(conn->fd, f.data() + conn->woff,
-                         f.size() - conn->woff, MSG_NOSIGNAL);
+      const SliceChain& f = conn->wq.front();
+      ssize_t w = SendChain(conn->fd, f, conn->woff);
       if (w < 0) {
         if (errno == EINTR) continue;
         if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // still armed
@@ -562,8 +601,8 @@ void TcpTransport::HandleWritable(IoThread* io,
         break;
       }
       conn->woff += static_cast<size_t>(w);
+      conn->wbytes -= static_cast<size_t>(w);
       if (conn->woff == f.size()) {
-        conn->wbytes -= f.size();
         conn->woff = 0;
         conn->wq.pop_front();
       }

@@ -87,9 +87,10 @@ class TcpTransport : public Transport {
   /// Per-connection strand body: delivers queued requests one at a time.
   void DrainInbox(const std::shared_ptr<Conn>& conn);
   void DeliverLocal(Message msg);
-  /// Encodes + writes (inline if the queue is empty, else queued, arming
-  /// EPOLLOUT). Thread-safe.
-  Status WriteFrame(const std::shared_ptr<Conn>& conn, const Message& msg);
+  /// Encodes into a slice chain (borrowing the payload, DESIGN.md §15) and
+  /// writes it — inline via sendmsg if the queue is empty, else queued,
+  /// arming EPOLLOUT. Thread-safe.
+  Status WriteFrame(const std::shared_ptr<Conn>& conn, Message msg);
   /// Removes the connection from its reactor and the routing tables and
   /// closes the socket.
   void CloseConn(IoThread* io, const std::shared_ptr<Conn>& conn);

@@ -249,6 +249,42 @@ Status FaultInjectingFile::Append(std::string_view data) {
   return Status::OK();
 }
 
+Status FaultInjectingFile::AppendvAndSync(
+    std::span<const std::string_view> parts, bool sync, IoEngine* engine) {
+  if (faults_ == nullptr) return file_.Appendv(parts, sync, engine);
+
+  uint64_t total = 0;
+  for (std::string_view p : parts) total += p.size();
+  DiskFaultSchedule::WriteDecision decision = faults_->OnWrite(path_, total);
+  if (decision.keep_bytes < total) {
+    if (decision.keep_bytes > 0) {
+      // Torn write: the surviving prefix still goes through the engine so
+      // the tear lands the same way real bytes would (vectored, batched).
+      std::vector<std::string_view> kept;
+      uint64_t left = decision.keep_bytes;
+      for (std::string_view p : parts) {
+        if (left == 0) break;
+        size_t take = std::min<uint64_t>(left, p.size());
+        kept.push_back(p.substr(0, take));
+        left -= take;
+      }
+      CHARIOTS_RETURN_IF_ERROR(file_.Appendv(kept, /*sync=*/false, engine));
+    }
+    return Status::IOError("injected disk fault: write lost on " + path_);
+  }
+  CHARIOTS_RETURN_IF_ERROR(file_.Appendv(parts, /*sync=*/false, engine));
+  if (decision.fail) {
+    return Status::IOError("injected disk fault: write failed on " + path_);
+  }
+  if (!sync) return Status::OK();
+  DiskFaultSchedule::SyncDecision sync_decision = faults_->OnSync(path_);
+  if (sync_decision.fail) {
+    return Status::IOError("injected disk fault: sync failed on " + path_);
+  }
+  if (sync_decision.drop) return Status::OK();  // the lying disk says yes
+  return engine->Fsync(file_.fd());
+}
+
 Status FaultInjectingFile::ReadAt(uint64_t offset, size_t n,
                                   std::string* out) const {
   return file_.ReadAt(offset, n, out);

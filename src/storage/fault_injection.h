@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -149,6 +150,18 @@ class FaultInjectingFile {
       const std::string& path, DiskFaultSchedule* faults = nullptr);
 
   Status Append(std::string_view data);
+
+  /// Vectored append + optional durability through `engine`. With no
+  /// schedule attached this is the fused fast path (the uring engine links
+  /// its write and fsync SQEs into one submission). With faults armed the
+  /// operation decomposes into an engine write then an engine fsync so
+  /// torn-write/failed-sync/dropped-sync decisions compose with BOTH
+  /// engines exactly as they do with the scalar Append/Sync pair: a torn
+  /// write persists the trimmed prefix (through the engine) and fails, a
+  /// dropped sync reports OK without flushing, etc.
+  Status AppendvAndSync(std::span<const std::string_view> parts, bool sync,
+                        IoEngine* engine);
+
   Status ReadAt(uint64_t offset, size_t n, std::string* out) const;
   Status Sync();
   Status Truncate(uint64_t size);

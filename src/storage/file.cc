@@ -74,6 +74,15 @@ Status File::Append(std::string_view data) {
   return Status::OK();
 }
 
+Status File::Appendv(std::span<const std::string_view> parts, bool sync,
+                     IoEngine* engine) {
+  uint64_t total = 0;
+  for (std::string_view p : parts) total += p.size();
+  CHARIOTS_RETURN_IF_ERROR(engine->Appendv(fd_, parts, sync));
+  size_ += total;
+  return Status::OK();
+}
+
 Status File::ReadAt(uint64_t offset, size_t n, std::string* out) const {
   out->resize(n);
   char* p = out->data();

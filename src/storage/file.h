@@ -2,12 +2,14 @@
 #define CHARIOTS_STORAGE_FILE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "storage/io_engine.h"
 
 namespace chariots::storage {
 
@@ -32,6 +34,13 @@ class File {
   /// Appends `data` at the end of file; advances the logical size.
   Status Append(std::string_view data);
 
+  /// Vectored append through `engine` (DESIGN.md §15): writes every part,
+  /// in order, as one logical operation, durable before returning when
+  /// `sync` is set. Advances the logical size only on success — on error
+  /// the tail is untrusted and recovery's torn-tail scan owns it.
+  Status Appendv(std::span<const std::string_view> parts, bool sync,
+                 IoEngine* engine);
+
   /// Reads exactly `n` bytes at `offset` into `out` (resized). Returns
   /// OutOfRange if the file ends before `offset + n`.
   Status ReadAt(uint64_t offset, size_t n, std::string* out) const;
@@ -44,6 +53,9 @@ class File {
 
   uint64_t size() const { return size_; }
   bool is_open() const { return fd_ >= 0; }
+  /// Raw descriptor for engine-level operations (fault injection decomposes
+  /// write and sync into separate engine calls against this fd).
+  int fd() const { return fd_; }
 
   void Close();
 

@@ -50,6 +50,33 @@ inline void AppendFrameTo(std::string* out, uint8_t type, uint64_t lid,
   }
 }
 
+/// Header-only encode for the zero-copy append path (DESIGN.md §15): emits
+/// just the kFrameHeaderBytes of the frame into `*out`, with the CRC
+/// extended over the header tail AND `payload` even though the payload
+/// bytes are never appended — the caller submits the payload as its own
+/// iovec entry immediately after this header, so the bytes that land on
+/// disk are identical to AppendFrameTo's, with zero payload copies.
+inline void AppendFrameHeaderTo(std::string* out, uint8_t type, uint64_t lid,
+                                std::string_view payload) {
+  const size_t base = out->size();
+  out->reserve(base + kFrameHeaderBytes);
+  out->append(4, '\0');  // CRC slot, patched below.
+  out->push_back(static_cast<char>(type));
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  }
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((lid >> (8 * i)) & 0xff));
+  }
+  uint32_t crc = crc32c::Extend(0, out->data() + base + 4, 1 + 4 + 8);
+  crc = crc32c::Mask(crc32c::Extend(crc, payload.data(), payload.size()));
+  char* slot = out->data() + base;
+  for (int i = 0; i < 4; ++i) {
+    slot[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
 inline std::string EncodeFrame(uint8_t type, uint64_t lid,
                                std::string_view payload) {
   std::string frame;

@@ -75,6 +75,11 @@ struct LogStoreOptions {
   /// Optional scripted disk-fault plan every segment file routes its writes
   /// and syncs through (crash-consistency tests). Null = real disk only.
   DiskFaultSchedule* disk_faults = nullptr;
+  /// I/O backend for the append path (DESIGN.md §15). Null selects the
+  /// engine named by $CHARIOTS_IO_ENGINE (falling back to the portable sync
+  /// engine) — this is how the test suites and crash matrix rerun the whole
+  /// storage layer under io_uring without any per-test wiring.
+  IoEngine* io_engine = nullptr;
   /// Recovery observers, fired frame-by-frame during Open()'s segment scan
   /// (in scan order, so a later tombstone/rewrite for a lid supersedes an
   /// earlier observation). Both run under the store lock: they must not
@@ -195,11 +200,12 @@ class LogStore {
 
   Status RecoverSegment(uint64_t segment_id, bool is_last);
   Status RotateIfNeededLocked();
-  Status MaybeSyncLocked(Segment& seg);
+  bool WantSyncLocked();
   std::string SegmentPath(uint64_t segment_id) const;
 
   const LogStoreOptions options_;
   Clock* const clock_;
+  IoEngine* const engine_;
 
   /// Reader–writer lock: Get/Locate/Contains and the metadata accessors
   /// take it shared (record reads are pread-based, so concurrent readers
@@ -214,8 +220,14 @@ class LogStore {
   uint64_t count_ = 0;
   uint64_t mem_bytes_ = 0;
   /// Reusable batch-encoding buffer; cleared (not shrunk) between batches so
-  /// steady-state appends do no allocation. Guarded by mu_.
+  /// steady-state appends do no allocation. Since the zero-copy refactor it
+  /// holds only the fixed-size frame HEADERS of a batch (kFrameHeaderBytes
+  /// per record) — payload bytes are borrowed from the caller and submitted
+  /// as their own iovec entries, never copied here. Guarded by mu_.
   std::string arena_;
+  /// Reusable iovec view list for the vectored append (header, payload,
+  /// header, payload, ...). Guarded by mu_.
+  std::vector<std::string_view> parts_;
   int64_t last_sync_nanos_ = 0;
 };
 

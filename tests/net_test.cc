@@ -69,6 +69,97 @@ TEST(MessageCodecTest, WireSizeMatchesEncodedSize) {
   EXPECT_EQ(m.WireSize(), EncodeMessage(m).size());
 }
 
+// ------------------------------------------------------ slice-chain encode
+
+// The slice-chain encode is the zero-copy twin of EncodeMessage: its
+// flattened bytes must be identical, byte for byte, for every message
+// shape — that is the invariant letting the TCP transport switch to
+// scatter-gather writes without a wire-format change.
+TEST(MessageCodecTest, SlicesFlattenIdenticalToLegacyForEveryShape) {
+  auto expect_identical = [](const Message& m, std::string_view prepend) {
+    std::string legacy = EncodeMessage(m);
+    Message moved = m;
+    SliceChain chain = EncodeMessageSlices(std::move(moved), prepend);
+    EXPECT_EQ(chain.size(), prepend.size() + legacy.size());
+    EXPECT_EQ(chain.Flatten(), std::string(prepend) + legacy);
+    // And the flattened bytes still decode to the original message.
+    auto decoded = DecodeMessage(
+        std::string_view(chain.Flatten()).substr(prepend.size()));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->payload, m.payload);
+    EXPECT_EQ(decoded->from, m.from);
+    EXPECT_EQ(decoded->rpc_id, m.rpc_id);
+  };
+
+  Message m;
+  expect_identical(m, "");  // default everything
+
+  m.from = "dc0/client/1";
+  m.to = "dc1/maintainer/2";
+  m.type = 42;
+  m.rpc_id = 0x1234567890;
+  expect_identical(m, "");  // empty payload
+
+  m.payload = "small";  // below the inline threshold: single slice
+  expect_identical(m, "len!");
+  {
+    Message moved = m;
+    SliceChain chain = EncodeMessageSlices(std::move(moved), "");
+    EXPECT_EQ(chain.slices().size(), 1u);
+  }
+
+  m.payload = std::string(kInlineMessagePayloadBytes, 'p');  // borrowed
+  expect_identical(m, "len!");
+
+  m.is_response = true;
+  m.error_code = 7;
+  expect_identical(m, "");  // response + error shape
+
+  m.payload = std::string("\x00\x01 binary \xff", 12);
+  expect_identical(m, std::string_view("\x00\x00\x00\x00", 4));
+
+  // Active multi-hop, multi-span trace: the trailer must land after the
+  // payload slice exactly as the legacy encode places it.
+  m.payload = std::string(4096, 't');
+  m.trace.trace_id = 0xabcdef;
+  m.trace.hops.push_back({"client", 0, 123});
+  m.trace.hops.push_back({"remote-receiver", 1, 789});
+  expect_identical(m, "");
+  m.payload = "tiny";  // active trace + inline payload
+  expect_identical(m, "x");
+}
+
+TEST(MessageCodecTest, SlicesBorrowLargePayloadWithoutCopy) {
+  Message m;
+  m.payload = std::string(4096, 'p');
+  const char* payload_data = m.payload.data();
+  SliceChain chain = EncodeMessageSlices(std::move(m), "");
+  // The payload slice must alias the original string's heap bytes — moved
+  // into the chain's refcounted Buffer, not copied.
+  bool borrowed = false;
+  for (const IoSlice& s : chain.slices()) {
+    if (s.data.size() == 4096 && s.data.data() == payload_data) {
+      borrowed = true;
+    }
+  }
+  EXPECT_TRUE(borrowed);
+  // Copying the chain shares the buffers; the bytes survive the original.
+  SliceChain copy = chain;
+  chain.Clear();
+  EXPECT_EQ(copy.Flatten().substr(copy.size() - 4096), std::string(4096, 'p'));
+}
+
+TEST(MessageCodecTest, InlinePayloadStaysBelowOneSliceThreshold) {
+  // Payloads below the threshold are deliberately copied (one small memcpy
+  // beats an extra iovec entry); at or above, they are borrowed.
+  Message small;
+  small.payload = std::string(kInlineMessagePayloadBytes - 1, 's');
+  EXPECT_EQ(EncodeMessageSlices(std::move(small), "").slices().size(), 1u);
+  Message big;
+  big.payload = std::string(kInlineMessagePayloadBytes, 'b');
+  EXPECT_EQ(EncodeMessageSlices(std::move(big), "").slices().size(), 2u);
+}
+
 // --------------------------------------------------------- InProcTransport
 
 TEST(InProcTransportTest, DeliversToRegisteredNode) {

@@ -14,6 +14,7 @@
 #include "flstore/dedup.h"
 #include "net/inproc_transport.h"
 #include "storage/fault_injection.h"
+#include "storage/io_engine.h"
 #include "storage/log_store.h"
 
 namespace chariots {
@@ -191,6 +192,101 @@ TEST_F(TombstoneTest, FailedFsyncBeforeAckIsNotRecovered) {
   ASSERT_TRUE(store.Open().ok());
   EXPECT_EQ(store.ListLids(), acked);
 }
+
+// -------------------------------------- recovery under both I/O engines
+
+// The torn-final-frame and failed-linked-fsync scenarios again, but run
+// once per I/O engine: recovery semantics must not depend on whether the
+// batch went down through write+fdatasync or a linked io_uring submission.
+class EngineRecoveryTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string_view(GetParam()) == "uring" &&
+        !storage::IoUringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel; uring leg skipped";
+    }
+    dir_ = fs::temp_directory_path() /
+           ("chariots_engine_recovery_" + std::string(GetParam()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  storage::LogStoreOptions Options() {
+    storage::LogStoreOptions o;
+    o.dir = dir_.string();
+    o.io_engine = storage::ResolveIoEngine(GetParam());
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_P(EngineRecoveryTest, TornFinalFrameMidBatchRecovers) {
+  std::vector<storage::AppendEntry> entries;
+  std::vector<std::string> payloads;
+  for (uint64_t lid = 0; lid < 8; ++lid) {
+    payloads.push_back("batch-record-" + std::to_string(lid) +
+                       std::string(100, 'x'));
+  }
+  for (uint64_t lid = 0; lid < 8; ++lid) {
+    entries.push_back({lid, payloads[lid]});
+  }
+  fs::path seg_path;
+  {
+    storage::LogStore store(Options());
+    ASSERT_TRUE(store.Open().ok());
+    ASSERT_TRUE(store.AppendBatch(entries).ok());
+    ASSERT_TRUE(store.Sync().ok());
+  }
+  for (const auto& e : fs::directory_iterator(dir_)) seg_path = e.path();
+  ASSERT_FALSE(seg_path.empty());
+  // Chop the last 40 bytes: rips into record 7's payload.
+  uint64_t size = fs::file_size(seg_path);
+  fs::resize_file(seg_path, size - 40);
+
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.count(), 7u);
+  for (uint64_t lid = 0; lid < 7; ++lid) {
+    auto r = store.Get(lid);
+    ASSERT_TRUE(r.ok()) << lid;
+    EXPECT_EQ(*r, payloads[lid]);
+  }
+  EXPECT_TRUE(store.Get(7).status().IsNotFound());
+  ASSERT_TRUE(store.Append(7, "rewritten").ok());
+  EXPECT_EQ(*store.Get(7), "rewritten");
+}
+
+TEST_P(EngineRecoveryTest, FailedLinkedFsyncBeforeAckIsNotRecovered) {
+  storage::DiskFaultSchedule faults;
+  faults.FailSyncNth("seg-", 3);
+  storage::LogStoreOptions o = Options();
+  o.sync_policy = storage::SyncPolicy::kEveryBatch;
+  o.disk_faults = &faults;
+  std::vector<uint64_t> acked;
+  {
+    storage::LogStore store(o);
+    ASSERT_TRUE(store.Open().ok());
+    for (uint64_t lid = 0; lid < 6; ++lid) {
+      if (store.Append(lid, "rec-" + std::to_string(lid)).ok()) {
+        acked.push_back(lid);
+      }
+    }
+  }
+  ASSERT_EQ(acked, (std::vector<uint64_t>{0, 1}));
+  ASSERT_TRUE(faults.SimulateCrash().ok());
+
+  storage::LogStore store(Options());
+  ASSERT_TRUE(store.Open().ok());
+  EXPECT_EQ(store.ListLids(), acked);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, EngineRecoveryTest,
+                         ::testing::Values("sync", "uring"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
 
 TEST_F(TombstoneTest, TornDedupSidecarRecoversToLastDurableToken) {
   fs::create_directories(dir_);

@@ -208,6 +208,13 @@ int Usage() {
       "  --batch=N                  striping batch size (default 1000)\n"
       "  --store-dir=PATH           persist records (default: memory)\n"
       "  --fsync                    fsync every append\n"
+      "  --io_engine={uring|sync}   storage I/O backend (persistent\n"
+      "                             datacenter + maintainer roles):\n"
+      "                             uring = batched io_uring with linked\n"
+      "                             write+fsync (downgrades to sync with a\n"
+      "                             warning when the kernel lacks io_uring);\n"
+      "                             sync = portable write+fdatasync\n"
+      "                             (default)\n"
       "  --gossip-ms=N              HL gossip interval (default 2)\n"
       "  --read_cache_bytes=N       maintainer tail-cache byte budget\n"
       "                             (default 4194304; 0 disables)\n"
@@ -259,6 +266,9 @@ int RunDatacenter(const Flags& flags) {
     config.store_mode = flags.GetBool("fsync")
                             ? storage::SyncMode::kFsyncEach
                             : storage::SyncMode::kBuffered;
+    config.io_engine = storage::ResolveIoEngine(
+        flags.Get("io_engine", flags.Get("io-engine", "sync")));
+    std::printf("storage io engine: %s\n", config.io_engine->name());
   }
   net::MetricsHttpServer metrics_http;
   if (!MaybeStartMetrics(flags, &metrics_http)) return 1;
@@ -423,6 +433,9 @@ int main(int argc, char** argv) {
                           ? storage::SyncMode::kFsyncEach
                           : storage::SyncMode::kBuffered;
     }
+    mo.store.io_engine = storage::ResolveIoEngine(
+        flags.Get("io_engine", flags.Get("io-engine", "sync")));
+    std::printf("storage io engine: %s\n", mo.store.io_engine->name());
     MaintainerServer::Options so;
     so.node = "m" + std::to_string(index) + "/node";
     so.peers = d.MaintainerNodes();

@@ -1,0 +1,15 @@
+// Exit 0 when this kernel/container can run the io_uring storage engine,
+// 1 otherwise. The test scripts use this to decide whether the uring legs
+// of the storage suites run or are skipped with a message.
+#include <cstdio>
+
+#include "storage/io_engine.h"
+
+int main() {
+  if (chariots::storage::IoUringAvailable()) {
+    std::printf("io_uring available\n");
+    return 0;
+  }
+  std::printf("io_uring unavailable\n");
+  return 1;
+}

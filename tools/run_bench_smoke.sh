@@ -19,7 +19,7 @@ cmake --build "$BUILD_DIR" -j --target \
   bench_table5_two_per_stage bench_corfu_vs_flstore \
   bench_ablation_batch_size bench_ablation_gossip \
   bench_geo_replication bench_hyksos_kv bench_msgfutures_latency \
-  bench_read_scaling bench_replicated_reads bench_micro
+  bench_read_scaling bench_replicated_reads bench_io_engine bench_micro
 
 OUT_DIR="$(mktemp -d "${TMPDIR:-/tmp}/chariots_bench_smoke.XXXXXX")"
 trap 'rm -rf "$OUT_DIR"' EXIT
@@ -133,6 +133,33 @@ for path in paths:
                 f"{path}: failover_mttr_ms "
                 f"{extra.get('failover_mttr_ms', 0):.2f} not under the "
                 "86 ms lease baseline — the suspect fast path regressed")
+    # The I/O engine bench must prove the zero-copy datapath (ISSUE 10):
+    # ~1 user-space copy per payload byte on the encode path, the sync
+    # engine honestly counting its flatten pass, and — when the kernel has
+    # io_uring — the vectored engine touching (almost) nothing in user
+    # space. These are structural counters, not wall-clock numbers, so
+    # they hold on any machine.
+    if path.endswith("BENCH_io_engine.json"):
+        for key in ("copies_per_record", "storage_copy_fraction_sync",
+                    "uring_available", "uring_vs_sync_batch32"):
+            if key not in extra:
+                failures.append(f"{path}: extra missing '{key}'")
+        cpr = extra.get("copies_per_record", -1)
+        if not 0 < cpr <= 1.2:
+            failures.append(
+                f"{path}: copies_per_record {cpr:.2f} outside (0, 1.2] — "
+                "the slice chain stopped borrowing payloads")
+        if extra.get("storage_copy_fraction_sync", 0) < 0.5:
+            failures.append(
+                f"{path}: storage_copy_fraction_sync "
+                f"{extra.get('storage_copy_fraction_sync', 0):.2f} below "
+                "0.5 — the sync engine's copy accounting broke")
+        if (extra.get("uring_available", 0) >= 1
+                and extra.get("storage_copy_fraction_uring", 1) > 0.2):
+            failures.append(
+                f"{path}: storage_copy_fraction_uring "
+                f"{extra.get('storage_copy_fraction_uring', 1):.2f} above "
+                "0.2 — the uring engine is staging instead of borrowing")
     print(f"ok: {path.rsplit('/', 1)[-1]} "
           f"(throughput {doc.get('throughput_rps'):.0f} rps, "
           f"{len(stages)} stages, {doc.get('latency_samples')} samples, "
